@@ -1,0 +1,57 @@
+//! Input encoding for the `replace` workload.
+//!
+//! The program reads three length-prefixed character sequences — pattern,
+//! substitution, line — as integer char codes, and prints the substituted
+//! line one char code at a time.
+
+/// Encodes `(pattern, substitution, line)` into the input stream.
+///
+/// ```
+/// let stream = sympl_apps::replace_input::encode("a", "b", "aa");
+/// assert_eq!(stream, vec![1, 97, 1, 98, 2, 97, 97]);
+/// ```
+#[must_use]
+pub fn encode(pattern: &str, substitution: &str, line: &str) -> Vec<i64> {
+    let mut out = Vec::new();
+    for s in [pattern, substitution, line] {
+        out.push(s.chars().count() as i64);
+        out.extend(s.chars().map(|c| i64::from(u32::from(c))));
+    }
+    out
+}
+
+/// Decodes printed char codes back into a string; out-of-range codes render
+/// as `?` so corrupted outputs stay printable.
+#[must_use]
+pub fn decode(codes: &[i64]) -> String {
+    codes
+        .iter()
+        .map(|&c| {
+            u32::try_from(c)
+                .ok()
+                .and_then(char::from_u32)
+                .unwrap_or('?')
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_round_trips_through_decode() {
+        let stream = encode("[a-c]", "XY", "hello");
+        // pattern len 5, sub len 2, line len 5 -> 3 + 12 values.
+        assert_eq!(stream.len(), 15);
+        assert_eq!(stream[0], 5);
+        let line_codes = &stream[10..];
+        assert_eq!(decode(line_codes), "hello");
+    }
+
+    #[test]
+    fn decode_tolerates_garbage() {
+        assert_eq!(decode(&[104, -1, 105]), "h?i");
+        assert_eq!(decode(&[0x11_0000]), "?");
+    }
+}

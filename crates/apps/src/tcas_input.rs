@@ -1,0 +1,130 @@
+//! tcas input vectors (the 12 parameters of §6, in specification order).
+//!
+//! Parameter order: `Cur_Vertical_Sep, High_Confidence,
+//! Two_of_Three_Reports_Valid, Own_Tracked_Alt, Own_Tracked_Alt_Rate,
+//! Other_Tracked_Alt, Alt_Layer_Value, Up_Separation, Down_Separation,
+//! Other_RAC, Other_Capability, Climb_Inhibit`.
+
+/// Builder for tcas inputs with named fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // field names are the tcas specification names
+pub struct TcasInput {
+    pub cur_vertical_sep: i64,
+    pub high_confidence: i64,
+    pub two_of_three_reports_valid: i64,
+    pub own_tracked_alt: i64,
+    pub own_tracked_alt_rate: i64,
+    pub other_tracked_alt: i64,
+    pub alt_layer_value: i64,
+    pub up_separation: i64,
+    pub down_separation: i64,
+    pub other_rac: i64,
+    pub other_capability: i64,
+    pub climb_inhibit: i64,
+}
+
+impl TcasInput {
+    /// Serializes into the 12-value input stream the program reads.
+    #[must_use]
+    pub fn to_stream(self) -> Vec<i64> {
+        vec![
+            self.cur_vertical_sep,
+            self.high_confidence,
+            self.two_of_three_reports_valid,
+            self.own_tracked_alt,
+            self.own_tracked_alt_rate,
+            self.other_tracked_alt,
+            self.alt_layer_value,
+            self.up_separation,
+            self.down_separation,
+            self.other_rac,
+            self.other_capability,
+            self.climb_inhibit,
+        ]
+    }
+}
+
+impl Default for TcasInput {
+    /// The §6.1 evaluation input: the error-free run produces the upward
+    /// advisory (prints 1).
+    fn default() -> Self {
+        TcasInput {
+            cur_vertical_sep: 601,
+            high_confidence: 1,
+            two_of_three_reports_valid: 1,
+            own_tracked_alt: 500,
+            own_tracked_alt_rate: 500,
+            other_tracked_alt: 600,
+            alt_layer_value: 0,
+            up_separation: 740,
+            down_separation: 399,
+            other_rac: 0,
+            other_capability: 1,
+            climb_inhibit: 0,
+        }
+    }
+}
+
+/// The evaluation input: golden output `1` (upward advisory).
+#[must_use]
+pub fn upward_advisory() -> Vec<i64> {
+    TcasInput::default().to_stream()
+}
+
+/// An input whose golden output is `2` (downward advisory): own aircraft is
+/// above the threat, downward separation dominates (so the climb is not
+/// biased upward), and the upward separation still meets ALIM — which makes
+/// `Non_Crossing_Biased_Descend` true while `need_upward_RA` stays false.
+#[must_use]
+pub fn downward_advisory() -> Vec<i64> {
+    TcasInput {
+        own_tracked_alt: 600,
+        other_tracked_alt: 500,
+        up_separation: 500,
+        down_separation: 740,
+        ..TcasInput::default()
+    }
+    .to_stream()
+}
+
+/// An input whose golden output is `0` (unresolved): neither advisory fires
+/// because both separations are adequate.
+#[must_use]
+pub fn unresolved() -> Vec<i64> {
+    TcasInput {
+        up_separation: 740,
+        down_separation: 740,
+        ..TcasInput::default()
+    }
+    .to_stream()
+}
+
+/// An input with the logic disabled (low confidence): golden output `0`.
+#[must_use]
+pub fn disabled() -> Vec<i64> {
+    TcasInput {
+        high_confidence: 0,
+        ..TcasInput::default()
+    }
+    .to_stream()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_has_twelve_parameters() {
+        assert_eq!(upward_advisory().len(), 12);
+        assert_eq!(downward_advisory().len(), 12);
+        assert_eq!(unresolved().len(), 12);
+        assert_eq!(disabled().len(), 12);
+    }
+
+    #[test]
+    fn builder_orders_fields_per_specification() {
+        let s = TcasInput::default().to_stream();
+        assert_eq!(s[0], 601, "Cur_Vertical_Sep first");
+        assert_eq!(s[11], 0, "Climb_Inhibit last");
+    }
+}

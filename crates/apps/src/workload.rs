@@ -1,0 +1,66 @@
+//! The workload bundle type.
+
+use sympl_asm::Program;
+use sympl_detect::DetectorSet;
+
+/// A ready-to-analyze workload: program, detectors, input, watchdog bound.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name used in reports and benches.
+    pub name: &'static str,
+    /// The assembled program.
+    pub program: Program,
+    /// Detectors referenced by the program's `check` instructions.
+    pub detectors: DetectorSet,
+    /// Default input stream.
+    pub input: Vec<i64>,
+    /// Watchdog instruction bound covering every correct execution (§5.4).
+    pub max_steps: u64,
+}
+
+impl Workload {
+    /// Bundles the pieces of a workload.
+    #[must_use]
+    pub fn new(
+        name: &'static str,
+        program: Program,
+        detectors: DetectorSet,
+        input: Vec<i64>,
+        max_steps: u64,
+    ) -> Self {
+        Workload {
+            name,
+            program,
+            detectors,
+            input,
+            max_steps,
+        }
+    }
+
+    /// A copy of this workload with a different input.
+    #[must_use]
+    pub fn with_input(mut self, input: Vec<i64>) -> Self {
+        self.input = input;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympl_asm::parse_program;
+
+    #[test]
+    fn with_input_replaces_stream() {
+        let w = Workload::new(
+            "t",
+            parse_program("halt").unwrap(),
+            DetectorSet::new(),
+            vec![1],
+            10,
+        )
+        .with_input(vec![9, 9]);
+        assert_eq!(w.input, vec![9, 9]);
+        assert_eq!(w.name, "t");
+    }
+}

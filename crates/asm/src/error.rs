@@ -1,0 +1,102 @@
+//! Error type for assembling and validating programs.
+
+use std::fmt;
+
+/// Errors produced while building, parsing, or translating programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmError {
+    /// A register index was outside the 32-entry register file.
+    InvalidRegister(u8),
+    /// A branch or jump referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// The same label was defined at two different addresses.
+    DuplicateLabel(String),
+    /// A resolved code address fell outside the program.
+    TargetOutOfRange {
+        /// Index of the offending instruction.
+        at: usize,
+        /// The out-of-range target.
+        target: usize,
+        /// Program length.
+        len: usize,
+    },
+    /// A syntax error in `.sasm` or MIPS source text.
+    Parse {
+        /// 1-based source line number.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A MIPS instruction that the front-end does not translate.
+    UnsupportedMips {
+        /// 1-based source line number.
+        line: usize,
+        /// The mnemonic that could not be translated.
+        mnemonic: String,
+    },
+    /// The program was empty.
+    EmptyProgram,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::InvalidRegister(r) => {
+                write!(f, "invalid register ${r}: register file has 32 entries")
+            }
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::TargetOutOfRange { at, target, len } => write!(
+                f,
+                "instruction {at} targets address {target} but program has {len} instructions"
+            ),
+            AsmError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            AsmError::UnsupportedMips { line, mnemonic } => {
+                write!(f, "unsupported MIPS instruction `{mnemonic}` on line {line}")
+            }
+            AsmError::EmptyProgram => write!(f, "program contains no instructions"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<AsmError> = vec![
+            AsmError::InvalidRegister(40),
+            AsmError::UndefinedLabel("loop".into()),
+            AsmError::DuplicateLabel("exit".into()),
+            AsmError::TargetOutOfRange {
+                at: 3,
+                target: 99,
+                len: 10,
+            },
+            AsmError::Parse {
+                line: 7,
+                message: "expected register".into(),
+            },
+            AsmError::UnsupportedMips {
+                line: 2,
+                mnemonic: "mfc0".into(),
+            },
+            AsmError::EmptyProgram,
+        ];
+        for e in cases {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.is_ascii());
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<AsmError>();
+    }
+}

@@ -1,0 +1,618 @@
+//! Instruction set of the generic assembly language.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::Reg;
+
+/// A comparison predicate used by set-compare and branch instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Cmp {
+    /// Equal (`==`).
+    Eq,
+    /// Not equal (`=/=`).
+    Ne,
+    /// Strictly greater than (`>`).
+    Gt,
+    /// Strictly less than (`<`).
+    Lt,
+    /// Greater than or equal (`>=`).
+    Ge,
+    /// Less than or equal (`<=`).
+    Le,
+}
+
+impl Cmp {
+    /// Evaluates the predicate on two concrete integers.
+    ///
+    /// ```
+    /// use sympl_asm::Cmp;
+    /// assert!(Cmp::Gt.eval(3, 2));
+    /// assert!(!Cmp::Le.eval(3, 2));
+    /// ```
+    #[must_use]
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            Cmp::Eq => lhs == rhs,
+            Cmp::Ne => lhs != rhs,
+            Cmp::Gt => lhs > rhs,
+            Cmp::Lt => lhs < rhs,
+            Cmp::Ge => lhs >= rhs,
+            Cmp::Le => lhs <= rhs,
+        }
+    }
+
+    /// The logical negation of this predicate (`>` becomes `<=`, etc.).
+    #[must_use]
+    pub fn negate(self) -> Cmp {
+        match self {
+            Cmp::Eq => Cmp::Ne,
+            Cmp::Ne => Cmp::Eq,
+            Cmp::Gt => Cmp::Le,
+            Cmp::Lt => Cmp::Ge,
+            Cmp::Ge => Cmp::Lt,
+            Cmp::Le => Cmp::Gt,
+        }
+    }
+
+    /// The predicate with its operands swapped (`a > b` becomes `b < a`).
+    #[must_use]
+    pub fn swap(self) -> Cmp {
+        match self {
+            Cmp::Eq => Cmp::Eq,
+            Cmp::Ne => Cmp::Ne,
+            Cmp::Gt => Cmp::Lt,
+            Cmp::Lt => Cmp::Gt,
+            Cmp::Ge => Cmp::Le,
+            Cmp::Le => Cmp::Ge,
+        }
+    }
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cmp::Eq => "==",
+            Cmp::Ne => "=/=",
+            Cmp::Gt => ">",
+            Cmp::Lt => "<",
+            Cmp::Ge => ">=",
+            Cmp::Le => "<=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A source operand: either a register or an immediate integer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// Value read from a register.
+    Reg(Reg),
+    /// An immediate constant.
+    Imm(i64),
+}
+
+impl Operand {
+    /// The register named by this operand, if any.
+    #[must_use]
+    pub fn as_reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(value: Reg) -> Self {
+        Operand::Reg(value)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(value: i64) -> Self {
+        Operand::Imm(value)
+    }
+}
+
+/// A binary arithmetic/logic operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Integer division (traps on division by zero).
+    Div,
+    /// Remainder (traps on division by zero).
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive-or.
+    Xor,
+    /// Logical shift left (shift amount masked to 0..64).
+    Sll,
+    /// Logical shift right (shift amount masked to 0..64).
+    Srl,
+}
+
+impl BinOp {
+    /// Whether this operation can raise a divide-by-zero exception.
+    #[must_use]
+    pub fn is_division(self) -> bool {
+        matches!(self, BinOp::Div | BinOp::Rem)
+    }
+
+    /// Applies the operation to concrete integers.
+    ///
+    /// Division by zero returns `None`; the machine model converts that into
+    /// a `div-zero` exception (paper §5.2).
+    #[must_use]
+    pub fn apply(self, a: i64, b: i64) -> Option<i64> {
+        Some(match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_div(b)
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_rem(b)
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Sll => a.wrapping_shl((b & 63) as u32),
+            BinOp::Srl => ((a as u64).wrapping_shr((b & 63) as u32)) as i64,
+        })
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mult",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Sll => "sll",
+            BinOp::Srl => "srl",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One instruction of the generic assembly language.
+///
+/// Code addresses (`target` fields) are *resolved instruction indices* into
+/// the owning [`crate::Program`]; the parser resolves textual labels during
+/// assembly. Instructions are immutable once a program is built (paper §5.1:
+/// "program instructions are assumed to be immutable").
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Instr {
+    /// `rd <- rs OP operand` — arithmetic or logic.
+    Bin {
+        /// Operation to perform.
+        op: BinOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs: Reg,
+        /// Second source operand (register or immediate).
+        src: Operand,
+    },
+    /// `rd <- operand` — register move or load-immediate.
+    Mov {
+        /// Destination register.
+        rd: Reg,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `rd <- (rs CMP operand) ? 1 : 0` — set-compare (e.g. `setgt`).
+    Set {
+        /// Comparison predicate.
+        cmp: Cmp,
+        /// Destination register.
+        rd: Reg,
+        /// First comparand register.
+        rs: Reg,
+        /// Second comparand.
+        src: Operand,
+    },
+    /// `if (rs CMP operand) goto target` — conditional branch.
+    Branch {
+        /// Comparison predicate.
+        cmp: Cmp,
+        /// Register compared.
+        rs: Reg,
+        /// Comparand.
+        src: Operand,
+        /// Resolved branch target (instruction index).
+        target: usize,
+    },
+    /// Unconditional jump to a code address.
+    Jmp {
+        /// Resolved target (instruction index).
+        target: usize,
+    },
+    /// Jump-and-link: `$31 <- pc + 1; goto target`. Used for calls.
+    Jal {
+        /// Resolved target (instruction index).
+        target: usize,
+    },
+    /// Jump to the code address held in a register. Used for returns; a
+    /// corrupted operand makes the control transfer non-deterministic
+    /// (paper §5.2, "errors in jump or branch targets").
+    Jr {
+        /// Register holding the target code address.
+        rs: Reg,
+    },
+    /// `rt <- mem[rs + offset]` — load (paper's `ldi rt, rs, a`).
+    Load {
+        /// Destination register.
+        rt: Reg,
+        /// Base address register.
+        rs: Reg,
+        /// Byte offset added to the base.
+        offset: i64,
+    },
+    /// `mem[rs + offset] <- rt` — store.
+    Store {
+        /// Source register.
+        rt: Reg,
+        /// Base address register.
+        rs: Reg,
+        /// Byte offset added to the base.
+        offset: i64,
+    },
+    /// `rd <- next value from the input stream` (native I/O, paper §3.1).
+    Read {
+        /// Destination register.
+        rd: Reg,
+    },
+    /// Appends the value of `rs` to the output stream.
+    Print {
+        /// Register whose value is printed.
+        rs: Reg,
+    },
+    /// Appends a string literal to the output stream.
+    PrintS {
+        /// The literal text.
+        text: Arc<str>,
+    },
+    /// Invokes the error detector with the given identifier (the paper's
+    /// `CHECK` annotation, §3.1/§5.3).
+    Check {
+        /// Detector identifier, resolved against the program's detector set.
+        id: u32,
+    },
+    /// No operation.
+    Nop,
+    /// Terminates the program normally.
+    Halt,
+}
+
+impl Instr {
+    /// Registers *read* by this instruction (source registers).
+    ///
+    /// This drives the paper's §6.2 optimization: errors are injected only
+    /// into registers actually used by an instruction, just before the
+    /// instruction executes, which guarantees fault activation.
+    #[must_use]
+    pub fn source_regs(&self) -> Vec<Reg> {
+        let mut out = Vec::with_capacity(2);
+        let mut push = |r: Reg| {
+            if !out.contains(&r) {
+                out.push(r);
+            }
+        };
+        match self {
+            Instr::Bin { rs, src, .. } | Instr::Set { rs, src, .. } => {
+                push(*rs);
+                if let Operand::Reg(r) = src {
+                    push(*r);
+                }
+            }
+            Instr::Mov { src, .. } => {
+                if let Operand::Reg(r) = src {
+                    push(*r);
+                }
+            }
+            Instr::Branch { rs, src, .. } => {
+                push(*rs);
+                if let Operand::Reg(r) = src {
+                    push(*r);
+                }
+            }
+            Instr::Jr { rs } => push(*rs),
+            Instr::Load { rs, .. } => push(*rs),
+            Instr::Store { rt, rs, .. } => {
+                push(*rt);
+                push(*rs);
+            }
+            Instr::Print { rs } => push(*rs),
+            Instr::Jmp { .. }
+            | Instr::Jal { .. }
+            | Instr::Read { .. }
+            | Instr::PrintS { .. }
+            | Instr::Check { .. }
+            | Instr::Nop
+            | Instr::Halt => {}
+        }
+        out
+    }
+
+    /// The register *written* by this instruction, if any.
+    #[must_use]
+    pub fn dest_reg(&self) -> Option<Reg> {
+        match self {
+            Instr::Bin { rd, .. } | Instr::Mov { rd, .. } | Instr::Set { rd, .. } => Some(*rd),
+            Instr::Load { rt, .. } => Some(*rt),
+            Instr::Read { rd } => Some(*rd),
+            Instr::Jal { .. } => Some(crate::LINK_REG),
+            _ => None,
+        }
+    }
+
+    /// Whether the instruction has an explicit destination (register or
+    /// memory). Used by the Table-1 decode-error model, which distinguishes
+    /// "instructions writing to a destination" from no-target instructions.
+    #[must_use]
+    pub fn has_target(&self) -> bool {
+        self.dest_reg().is_some() || matches!(self, Instr::Store { .. })
+    }
+
+    /// The static branch/jump target, if this is a direct control transfer.
+    #[must_use]
+    pub fn static_target(&self) -> Option<usize> {
+        match self {
+            Instr::Branch { target, .. } | Instr::Jmp { target } | Instr::Jal { target } => {
+                Some(*target)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether this instruction may transfer control somewhere other than
+    /// the next instruction.
+    #[must_use]
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instr::Branch { .. } | Instr::Jmp { .. } | Instr::Jal { .. } | Instr::Jr { .. }
+        )
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Bin { op, rd, rs, src } => write!(f, "{op} {rd}, {rs}, {src}"),
+            Instr::Mov { rd, src } => write!(f, "mov {rd}, {src}"),
+            Instr::Set { cmp, rd, rs, src } => {
+                let name = match cmp {
+                    Cmp::Eq => "seteq",
+                    Cmp::Ne => "setne",
+                    Cmp::Gt => "setgt",
+                    Cmp::Lt => "setlt",
+                    Cmp::Ge => "setge",
+                    Cmp::Le => "setle",
+                };
+                write!(f, "{name} {rd}, {rs}, {src}")
+            }
+            Instr::Branch {
+                cmp,
+                rs,
+                src,
+                target,
+            } => {
+                let name = match cmp {
+                    Cmp::Eq => "beq",
+                    Cmp::Ne => "bne",
+                    Cmp::Gt => "bgt",
+                    Cmp::Lt => "blt",
+                    Cmp::Ge => "bge",
+                    Cmp::Le => "ble",
+                };
+                write!(f, "{name} {rs}, {src}, @{target}")
+            }
+            Instr::Jmp { target } => write!(f, "jmp @{target}"),
+            Instr::Jal { target } => write!(f, "jal @{target}"),
+            Instr::Jr { rs } => write!(f, "jr {rs}"),
+            Instr::Load { rt, rs, offset } => write!(f, "ld {rt}, {offset}({rs})"),
+            Instr::Store { rt, rs, offset } => write!(f, "st {rt}, {offset}({rs})"),
+            Instr::Read { rd } => write!(f, "read {rd}"),
+            Instr::Print { rs } => write!(f, "print {rs}"),
+            Instr::PrintS { text } => write!(f, "prints {text:?}"),
+            Instr::Check { id } => write!(f, "check {id}"),
+            Instr::Nop => f.write_str("nop"),
+            Instr::Halt => f.write_str("halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    #[test]
+    fn cmp_eval_covers_all_predicates() {
+        assert!(Cmp::Eq.eval(2, 2) && !Cmp::Eq.eval(2, 3));
+        assert!(Cmp::Ne.eval(2, 3) && !Cmp::Ne.eval(2, 2));
+        assert!(Cmp::Gt.eval(3, 2) && !Cmp::Gt.eval(2, 2));
+        assert!(Cmp::Lt.eval(1, 2) && !Cmp::Lt.eval(2, 2));
+        assert!(Cmp::Ge.eval(2, 2) && !Cmp::Ge.eval(1, 2));
+        assert!(Cmp::Le.eval(2, 2) && !Cmp::Le.eval(3, 2));
+    }
+
+    #[test]
+    fn cmp_negation_is_logical_complement() {
+        for cmp in [Cmp::Eq, Cmp::Ne, Cmp::Gt, Cmp::Lt, Cmp::Ge, Cmp::Le] {
+            for a in -3..=3 {
+                for b in -3..=3 {
+                    assert_eq!(
+                        cmp.eval(a, b),
+                        !cmp.negate().eval(a, b),
+                        "{cmp} vs negation on ({a},{b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_swap_mirrors_operands() {
+        for cmp in [Cmp::Eq, Cmp::Ne, Cmp::Gt, Cmp::Lt, Cmp::Ge, Cmp::Le] {
+            for a in -3..=3 {
+                for b in -3..=3 {
+                    assert_eq!(cmp.eval(a, b), cmp.swap().eval(b, a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binop_division_by_zero_is_none() {
+        assert_eq!(BinOp::Div.apply(5, 0), None);
+        assert_eq!(BinOp::Rem.apply(5, 0), None);
+        assert_eq!(BinOp::Div.apply(7, 2), Some(3));
+        assert_eq!(BinOp::Rem.apply(7, 2), Some(1));
+    }
+
+    #[test]
+    fn binop_wrapping_behaviour() {
+        assert_eq!(BinOp::Add.apply(i64::MAX, 1), Some(i64::MIN));
+        assert_eq!(BinOp::Mul.apply(i64::MAX, 2), Some(-2));
+        // Wrapping division edge case: i64::MIN / -1 wraps rather than traps.
+        assert_eq!(BinOp::Div.apply(i64::MIN, -1), Some(i64::MIN));
+    }
+
+    #[test]
+    fn binop_shifts_mask_amount() {
+        assert_eq!(BinOp::Sll.apply(1, 3), Some(8));
+        assert_eq!(BinOp::Srl.apply(-1, 63), Some(1));
+        assert_eq!(BinOp::Sll.apply(1, 64), Some(1), "shift of 64 masks to 0");
+    }
+
+    #[test]
+    fn source_and_dest_registers() {
+        let i = Instr::Bin {
+            op: BinOp::Add,
+            rd: Reg::r(1),
+            rs: Reg::r(2),
+            src: Operand::Reg(Reg::r(3)),
+        };
+        assert_eq!(i.source_regs(), vec![Reg::r(2), Reg::r(3)]);
+        assert_eq!(i.dest_reg(), Some(Reg::r(1)));
+        assert!(i.has_target());
+
+        let st = Instr::Store {
+            rt: Reg::r(4),
+            rs: Reg::r(5),
+            offset: 8,
+        };
+        assert_eq!(st.source_regs(), vec![Reg::r(4), Reg::r(5)]);
+        assert_eq!(st.dest_reg(), None);
+        assert!(st.has_target(), "stores write memory");
+
+        assert!(!Instr::Nop.has_target());
+        assert_eq!(Instr::Jal { target: 3 }.dest_reg(), Some(crate::LINK_REG));
+    }
+
+    #[test]
+    fn source_regs_deduplicates() {
+        let i = Instr::Bin {
+            op: BinOp::Mul,
+            rd: Reg::r(2),
+            rs: Reg::r(2),
+            src: Operand::Reg(Reg::r(2)),
+        };
+        assert_eq!(i.source_regs(), vec![Reg::r(2)]);
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(Instr::Jr { rs: Reg::r(31) }.is_control());
+        assert!(Instr::Jmp { target: 0 }.is_control());
+        assert!(!Instr::Nop.is_control());
+        assert_eq!(Instr::Jmp { target: 7 }.static_target(), Some(7));
+        assert_eq!(Instr::Jr { rs: Reg::r(31) }.static_target(), None);
+    }
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let instrs = vec![
+            Instr::Bin {
+                op: BinOp::Add,
+                rd: Reg::r(1),
+                rs: Reg::r(2),
+                src: Operand::Imm(3),
+            },
+            Instr::Mov {
+                rd: Reg::r(1),
+                src: Operand::Imm(9),
+            },
+            Instr::Set {
+                cmp: Cmp::Gt,
+                rd: Reg::r(5),
+                rs: Reg::r(3),
+                src: Operand::Reg(Reg::r(4)),
+            },
+            Instr::Branch {
+                cmp: Cmp::Eq,
+                rs: Reg::r(5),
+                src: Operand::Imm(0),
+                target: 9,
+            },
+            Instr::Jmp { target: 1 },
+            Instr::Jal { target: 2 },
+            Instr::Jr { rs: Reg::r(31) },
+            Instr::Load {
+                rt: Reg::r(1),
+                rs: Reg::r(2),
+                offset: 4,
+            },
+            Instr::Store {
+                rt: Reg::r(1),
+                rs: Reg::r(2),
+                offset: -4,
+            },
+            Instr::Read { rd: Reg::r(1) },
+            Instr::Print { rs: Reg::r(2) },
+            Instr::PrintS {
+                text: "hi".into(),
+            },
+            Instr::Check { id: 4 },
+            Instr::Nop,
+            Instr::Halt,
+        ];
+        for i in instrs {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! # sympl-asm — the SymPLFIED generic assembly language
+//!
+//! SymPLFIED (Pattabiraman et al., DSN 2008) analyzes programs expressed in a
+//! *generic assembly language* that abstracts the architectural features found
+//! in common RISC processors. This crate defines that language:
+//!
+//! * [`Reg`] — the 32-entry register file naming scheme (`$0` is hard-wired
+//!   to zero, `$31` is the link register used by [`Instr::Jal`]).
+//! * [`Instr`] — the instruction set: arithmetic/logic, set-compare,
+//!   branches, jumps, loads/stores, native I/O (`read`/`print`/`prints`, so
+//!   programs are analyzable independent of any OS), the `check` annotation
+//!   that invokes an error detector, and `halt`.
+//! * [`Program`] — an immutable, label-resolved instruction sequence.
+//! * [`parse_program`] — a text parser for `.sasm` source files.
+//! * [`mips`] — an architecture-specific front-end that translates a MIPS
+//!   assembly subset into the generic language (paper §5, "Supporting Tools").
+//!
+//! # Example
+//!
+//! ```
+//! use sympl_asm::parse_program;
+//!
+//! let program = parse_program(
+//!     r#"
+//!         mov $2, 1          ; product = 1
+//!         read $1            ; read n from input
+//!         mov $3, $1
+//!     loop:
+//!         setgt $5, $3, 1
+//!         beq $5, 0, exit
+//!         mult $2, $2, $3
+//!         subi $3, $3, 1
+//!         jmp loop
+//!     exit:
+//!         prints "Factorial = "
+//!         print $2
+//!         halt
+//!     "#,
+//! )?;
+//! assert_eq!(program.len(), 11);
+//! assert_eq!(program.label_address("loop"), Some(3));
+//! # Ok::<(), sympl_asm::AsmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod instr;
+mod parser;
+mod program;
+mod reg;
+mod transform;
+
+pub mod mips;
+
+pub use error::AsmError;
+pub use instr::{BinOp, Cmp, Instr, Operand};
+pub use parser::parse_program;
+pub use program::{Program, ProgramBuilder};
+pub use transform::insert_before;
+pub use reg::{Reg, LINK_REG, NUM_REGS, STACK_REG, ZERO_REG};

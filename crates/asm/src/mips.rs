@@ -1,0 +1,673 @@
+//! MIPS front-end: translates a MIPS assembly subset into the generic
+//! SymPLFIED assembly language.
+//!
+//! The paper (§5, "Supporting Tools") provides "a facility to translate
+//! programs written directly in the target architecture's assembly language
+//! into SymPLFIED's assembly language", supporting the MIPS instruction set.
+//! This module is that facility. It handles the integer subset emitted by
+//! compilers for the Siemens programs: three-operand ALU ops, immediates,
+//! `lw`/`sw`, `lui`, branches (including `blez`/`bgez`/`bgtz`/`bltz`),
+//! `slt`-family comparisons, `j`/`jal`/`jr`, `hi/lo` multiplication
+//! (`mult`+`mflo`), common pseudo-instructions (`move`, `li`, `la`, `b`,
+//! `not`, `neg`), and a `syscall` convention for I/O (`$v0`=5 read int,
+//! `$v0`=1 print int, `$v0`=10 exit).
+//!
+//! ```
+//! use sympl_asm::mips::translate_mips;
+//!
+//! let program = translate_mips(r#"
+//!     main:
+//!         li   $v0, 5        # read integer syscall
+//!         syscall
+//!         move $t0, $v0
+//!         addi $t0, $t0, 1
+//!         move $a0, $t0
+//!         li   $v0, 1        # print integer syscall
+//!         syscall
+//!         li   $v0, 10       # exit syscall
+//!         syscall
+//! "#)?;
+//! assert!(program.len() >= 6);
+//! # Ok::<(), sympl_asm::AsmError>(())
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::instr::BinOp;
+use crate::{AsmError, Cmp, Instr, Operand, Program, Reg};
+
+/// Resolves a MIPS register name (numeric `$8` or symbolic `$t0`) to a
+/// register index in the generic machine.
+///
+/// # Errors
+///
+/// Returns [`AsmError::Parse`] (with line 0) for unknown names; callers
+/// replace the line number.
+pub fn mips_reg(name: &str) -> Result<Reg, AsmError> {
+    let body = name.strip_prefix('$').unwrap_or(name);
+    if let Ok(n) = body.parse::<u8>() {
+        return Reg::new(n);
+    }
+    let idx: u8 = match body {
+        "zero" => 0,
+        "at" => 1,
+        "v0" => 2,
+        "v1" => 3,
+        "a0" => 4,
+        "a1" => 5,
+        "a2" => 6,
+        "a3" => 7,
+        "t0" => 8,
+        "t1" => 9,
+        "t2" => 10,
+        "t3" => 11,
+        "t4" => 12,
+        "t5" => 13,
+        "t6" => 14,
+        "t7" => 15,
+        "s0" => 16,
+        "s1" => 17,
+        "s2" => 18,
+        "s3" => 19,
+        "s4" => 20,
+        "s5" => 21,
+        "s6" => 22,
+        "s7" => 23,
+        "t8" => 24,
+        "t9" => 25,
+        "k0" => 26,
+        "k1" => 27,
+        "gp" => 28,
+        "sp" => 29,
+        "fp" | "s8" => 30,
+        "ra" => 31,
+        _ => {
+            return Err(AsmError::Parse {
+                line: 0,
+                message: format!("unknown MIPS register `{name}`"),
+            })
+        }
+    };
+    Reg::new(idx)
+}
+
+/// The `hi`/`lo` special registers are modeled as two scratch memory cells
+/// well above any program data; `mult`/`div` write them, `mflo`/`mfhi`
+/// read them. Register-file errors therefore do not hit hi/lo, matching
+/// real MIPS where they sit in the multiply unit.
+const HILO_BASE: i64 = 0x7FFF_F000;
+
+struct Translator {
+    instrs: Vec<Instr>,
+    labels: BTreeMap<String, usize>,
+    fixups: Vec<(usize, usize, String)>,
+    /// Pending `$v0` value loaded by `li $v0, n`, tracked so `syscall`
+    /// can be translated statically.
+    last_v0_imm: Option<i64>,
+}
+
+impl Translator {
+    fn emit(&mut self, i: Instr) {
+        self.instrs.push(i);
+    }
+
+    fn emit_branch(&mut self, line: usize, cmp: Cmp, rs: Reg, src: Operand, label: &str) {
+        self.fixups.push((self.instrs.len(), line, label.to_owned()));
+        self.emit(Instr::Branch {
+            cmp,
+            rs,
+            src,
+            target: usize::MAX,
+        });
+    }
+}
+
+/// Translates MIPS assembly text into a generic-assembly [`Program`].
+///
+/// Directives (`.text`, `.globl`, …) are ignored; data directives are not
+/// supported (the Siemens workloads in this repository declare data by
+/// stores at startup instead).
+///
+/// # Errors
+///
+/// Returns [`AsmError::UnsupportedMips`] for instructions outside the
+/// supported subset and [`AsmError::Parse`] for malformed operands.
+pub fn translate_mips(source: &str) -> Result<Program, AsmError> {
+    let mut tr = Translator {
+        instrs: Vec::new(),
+        labels: BTreeMap::new(),
+        fixups: Vec::new(),
+        last_v0_imm: None,
+    };
+
+    for (lineno0, raw) in source.lines().enumerate() {
+        let line = lineno0 + 1;
+        let mut text = raw;
+        if let Some(i) = text.find('#') {
+            text = &text[..i];
+        }
+        let mut text = text.trim();
+
+        while let Some(colon) = text.find(':') {
+            let head = text[..colon].trim();
+            if head.is_empty()
+                || !head
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
+            {
+                break;
+            }
+            if tr.labels.insert(head.to_owned(), tr.instrs.len()).is_some() {
+                return Err(AsmError::DuplicateLabel(head.to_owned()));
+            }
+            text = text[colon + 1..].trim();
+        }
+        if text.is_empty() || text.starts_with('.') {
+            continue;
+        }
+
+        let (mnemonic, rest) = match text.find(char::is_whitespace) {
+            Some(i) => (&text[..i], text[i..].trim()),
+            None => (text, ""),
+        };
+        let ops: Vec<String> = rest
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_owned)
+            .collect();
+        translate_one(&mut tr, line, mnemonic, &ops)?;
+    }
+
+    let mut instrs = tr.instrs;
+    for (at, lineno, label) in tr.fixups {
+        let addr = *tr.labels.get(&label).ok_or_else(|| AsmError::Parse {
+            line: lineno,
+            message: format!("undefined label `{label}`"),
+        })?;
+        match &mut instrs[at] {
+            Instr::Branch { target, .. } | Instr::Jmp { target } | Instr::Jal { target } => {
+                *target = addr;
+            }
+            _ => unreachable!(),
+        }
+    }
+    Program::new(instrs, tr.labels)
+}
+
+fn imm(s: &str, line: usize) -> Result<i64, AsmError> {
+    let s = s.trim();
+    let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()
+    } else if let Some(hex) = s.strip_prefix("-0x") {
+        i64::from_str_radix(hex, 16).ok().map(|v| -v)
+    } else {
+        s.parse::<i64>().ok()
+    };
+    parsed.ok_or_else(|| AsmError::Parse {
+        line,
+        message: format!("invalid immediate `{s}`"),
+    })
+}
+
+fn reg_at(ops: &[String], i: usize, line: usize) -> Result<Reg, AsmError> {
+    let s = ops.get(i).ok_or_else(|| AsmError::Parse {
+        line,
+        message: format!("missing operand {i}"),
+    })?;
+    mips_reg(s).map_err(|e| match e {
+        AsmError::Parse { message, .. } => AsmError::Parse { line, message },
+        other => other,
+    })
+}
+
+fn mem_at(ops: &[String], i: usize, line: usize) -> Result<(i64, Reg), AsmError> {
+    let s = ops.get(i).ok_or_else(|| AsmError::Parse {
+        line,
+        message: "missing memory operand".into(),
+    })?;
+    let open = s.find('(').ok_or_else(|| AsmError::Parse {
+        line,
+        message: format!("expected off(base), found `{s}`"),
+    })?;
+    if !s.ends_with(')') {
+        return Err(AsmError::Parse {
+            line,
+            message: format!("unterminated memory operand `{s}`"),
+        });
+    }
+    let off_str = s[..open].trim();
+    let offset = if off_str.is_empty() {
+        0
+    } else {
+        imm(off_str, line)?
+    };
+    let base = mips_reg(s[open + 1..s.len() - 1].trim()).map_err(|e| match e {
+        AsmError::Parse { message, .. } => AsmError::Parse { line, message },
+        other => other,
+    })?;
+    Ok((offset, base))
+}
+
+#[allow(clippy::too_many_lines)]
+fn translate_one(
+    tr: &mut Translator,
+    line: usize,
+    mnemonic: &str,
+    ops: &[String],
+) -> Result<(), AsmError> {
+    let m = mnemonic.to_ascii_lowercase();
+    // Track `li $v0, imm` for the syscall convention before general handling.
+    if m == "li" || m == "addiu" || m == "addi" || m == "ori" {
+        if let Some(first) = ops.first() {
+            if mips_reg(first).ok() == Some(Reg::r(2)) {
+                if let Some(last) = ops.last() {
+                    tr.last_v0_imm = imm(last, line).ok();
+                }
+            }
+        }
+    } else if m != "syscall" {
+        // Any other write to $v0 invalidates the tracked immediate.
+        if ops
+            .first()
+            .and_then(|s| mips_reg(s).ok())
+            .is_some_and(|r| r == Reg::r(2))
+        {
+            tr.last_v0_imm = None;
+        }
+    }
+
+    let rr_imm_or_reg = |tr: &mut Translator, op: BinOp| -> Result<(), AsmError> {
+        let rd = reg_at(ops, 0, line)?;
+        let rs = reg_at(ops, 1, line)?;
+        let src = match ops.get(2) {
+            Some(s) if s.starts_with('$') => Operand::Reg(mips_reg(s).map_err(|e| match e {
+                AsmError::Parse { message, .. } => AsmError::Parse { line, message },
+                other => other,
+            })?),
+            Some(s) => Operand::Imm(imm(s, line)?),
+            None => {
+                return Err(AsmError::Parse {
+                    line,
+                    message: format!("`{m}` expects 3 operands"),
+                })
+            }
+        };
+        tr.emit(Instr::Bin { op, rd, rs, src });
+        Ok(())
+    };
+
+    match m.as_str() {
+        "add" | "addu" | "addi" | "addiu" => rr_imm_or_reg(tr, BinOp::Add)?,
+        "sub" | "subu" => rr_imm_or_reg(tr, BinOp::Sub)?,
+        "and" | "andi" => rr_imm_or_reg(tr, BinOp::And)?,
+        "or" | "ori" => rr_imm_or_reg(tr, BinOp::Or)?,
+        "xor" | "xori" => rr_imm_or_reg(tr, BinOp::Xor)?,
+        "sll" | "sllv" => rr_imm_or_reg(tr, BinOp::Sll)?,
+        "srl" | "srlv" => rr_imm_or_reg(tr, BinOp::Srl)?,
+        "mul" => rr_imm_or_reg(tr, BinOp::Mul)?,
+        "nor" => {
+            // rd = ~(rs | rt): emitted as or + xor -1.
+            let rd = reg_at(ops, 0, line)?;
+            let rs = reg_at(ops, 1, line)?;
+            let rt = reg_at(ops, 2, line)?;
+            tr.emit(Instr::Bin {
+                op: BinOp::Or,
+                rd,
+                rs,
+                src: Operand::Reg(rt),
+            });
+            tr.emit(Instr::Bin {
+                op: BinOp::Xor,
+                rd,
+                rs: rd,
+                src: Operand::Imm(-1),
+            });
+        }
+        "not" => {
+            let rd = reg_at(ops, 0, line)?;
+            let rs = reg_at(ops, 1, line)?;
+            tr.emit(Instr::Bin {
+                op: BinOp::Xor,
+                rd,
+                rs,
+                src: Operand::Imm(-1),
+            });
+        }
+        "neg" | "negu" => {
+            let rd = reg_at(ops, 0, line)?;
+            let rs = reg_at(ops, 1, line)?;
+            tr.emit(Instr::Bin {
+                op: BinOp::Sub,
+                rd,
+                rs: crate::ZERO_REG,
+                src: Operand::Reg(rs),
+            });
+        }
+        "mult" | "multu" => {
+            // lo <- rs*rt (hi not modeled beyond zero), via scratch cells.
+            let rs = reg_at(ops, 0, line)?;
+            let rt = reg_at(ops, 1, line)?;
+            // Use $1 ($at, the assembler temporary) as staging, as real
+            // assemblers do for pseudo-expansions.
+            let at = Reg::r(1);
+            tr.emit(Instr::Bin {
+                op: BinOp::Mul,
+                rd: at,
+                rs,
+                src: Operand::Reg(rt),
+            });
+            tr.emit(Instr::Store {
+                rt: at,
+                rs: crate::ZERO_REG,
+                offset: HILO_BASE,
+            });
+        }
+        "div" if ops.len() == 2 => {
+            let rs = reg_at(ops, 0, line)?;
+            let rt = reg_at(ops, 1, line)?;
+            let at = Reg::r(1);
+            tr.emit(Instr::Bin {
+                op: BinOp::Div,
+                rd: at,
+                rs,
+                src: Operand::Reg(rt),
+            });
+            tr.emit(Instr::Store {
+                rt: at,
+                rs: crate::ZERO_REG,
+                offset: HILO_BASE,
+            });
+            tr.emit(Instr::Bin {
+                op: BinOp::Rem,
+                rd: at,
+                rs,
+                src: Operand::Reg(rt),
+            });
+            tr.emit(Instr::Store {
+                rt: at,
+                rs: crate::ZERO_REG,
+                offset: HILO_BASE + 8,
+            });
+        }
+        "div" | "divu" => rr_imm_or_reg(tr, BinOp::Div)?,
+        "mflo" => {
+            let rd = reg_at(ops, 0, line)?;
+            tr.emit(Instr::Load {
+                rt: rd,
+                rs: crate::ZERO_REG,
+                offset: HILO_BASE,
+            });
+        }
+        "mfhi" => {
+            let rd = reg_at(ops, 0, line)?;
+            tr.emit(Instr::Load {
+                rt: rd,
+                rs: crate::ZERO_REG,
+                offset: HILO_BASE + 8,
+            });
+        }
+        "slt" | "sltu" => {
+            let rd = reg_at(ops, 0, line)?;
+            let rs = reg_at(ops, 1, line)?;
+            let rt = reg_at(ops, 2, line)?;
+            tr.emit(Instr::Set {
+                cmp: Cmp::Lt,
+                rd,
+                rs,
+                src: Operand::Reg(rt),
+            });
+        }
+        "slti" | "sltiu" => {
+            let rd = reg_at(ops, 0, line)?;
+            let rs = reg_at(ops, 1, line)?;
+            let v = imm(ops.get(2).map(String::as_str).unwrap_or(""), line)?;
+            tr.emit(Instr::Set {
+                cmp: Cmp::Lt,
+                rd,
+                rs,
+                src: Operand::Imm(v),
+            });
+        }
+        "lw" | "lb" | "lbu" | "lh" | "lhu" => {
+            let rt = reg_at(ops, 0, line)?;
+            let (offset, base) = mem_at(ops, 1, line)?;
+            tr.emit(Instr::Load { rt, rs: base, offset });
+        }
+        "sw" | "sb" | "sh" => {
+            let rt = reg_at(ops, 0, line)?;
+            let (offset, base) = mem_at(ops, 1, line)?;
+            tr.emit(Instr::Store { rt, rs: base, offset });
+        }
+        "lui" => {
+            let rd = reg_at(ops, 0, line)?;
+            let v = imm(ops.get(1).map(String::as_str).unwrap_or(""), line)?;
+            tr.emit(Instr::Mov {
+                rd,
+                src: Operand::Imm(v << 16),
+            });
+        }
+        "li" | "la" => {
+            let rd = reg_at(ops, 0, line)?;
+            let v = imm(ops.get(1).map(String::as_str).unwrap_or(""), line)?;
+            tr.emit(Instr::Mov {
+                rd,
+                src: Operand::Imm(v),
+            });
+        }
+        "move" => {
+            let rd = reg_at(ops, 0, line)?;
+            let rs = reg_at(ops, 1, line)?;
+            tr.emit(Instr::Mov {
+                rd,
+                src: Operand::Reg(rs),
+            });
+        }
+        "beq" | "bne" => {
+            let rs = reg_at(ops, 0, line)?;
+            let rt_str = ops.get(1).ok_or_else(|| AsmError::Parse {
+                line,
+                message: "missing comparand".into(),
+            })?;
+            let src = if rt_str.starts_with('$') {
+                Operand::Reg(mips_reg(rt_str).map_err(|e| match e {
+                    AsmError::Parse { message, .. } => AsmError::Parse { line, message },
+                    other => other,
+                })?)
+            } else {
+                Operand::Imm(imm(rt_str, line)?)
+            };
+            let label = ops.get(2).ok_or_else(|| AsmError::Parse {
+                line,
+                message: "missing branch target".into(),
+            })?;
+            let cmp = if m == "beq" { Cmp::Eq } else { Cmp::Ne };
+            tr.emit_branch(line, cmp, rs, src, label);
+        }
+        "beqz" | "bnez" | "blez" | "bgez" | "bgtz" | "bltz" => {
+            let rs = reg_at(ops, 0, line)?;
+            let label = ops.get(1).ok_or_else(|| AsmError::Parse {
+                line,
+                message: "missing branch target".into(),
+            })?;
+            let cmp = match m.as_str() {
+                "beqz" => Cmp::Eq,
+                "bnez" => Cmp::Ne,
+                "blez" => Cmp::Le,
+                "bgez" => Cmp::Ge,
+                "bgtz" => Cmp::Gt,
+                _ => Cmp::Lt,
+            };
+            tr.emit_branch(line, cmp, rs, Operand::Imm(0), label);
+        }
+        "j" | "b" => {
+            let label = ops.first().ok_or_else(|| AsmError::Parse {
+                line,
+                message: "missing jump target".into(),
+            })?;
+            tr.fixups.push((tr.instrs.len(), line, label.clone()));
+            tr.emit(Instr::Jmp { target: usize::MAX });
+        }
+        "jal" => {
+            let label = ops.first().ok_or_else(|| AsmError::Parse {
+                line,
+                message: "missing call target".into(),
+            })?;
+            tr.fixups.push((tr.instrs.len(), line, label.clone()));
+            tr.emit(Instr::Jal { target: usize::MAX });
+        }
+        "jr" => {
+            let rs = reg_at(ops, 0, line)?;
+            tr.emit(Instr::Jr { rs });
+        }
+        "nop" => tr.emit(Instr::Nop),
+        "syscall" => match tr.last_v0_imm {
+            Some(5) => tr.emit(Instr::Read { rd: Reg::r(2) }), // read int -> $v0
+            Some(1) => tr.emit(Instr::Print { rs: Reg::r(4) }), // print $a0
+            Some(10) => tr.emit(Instr::Halt),
+            _ => {
+                return Err(AsmError::UnsupportedMips {
+                    line,
+                    mnemonic: "syscall (unknown $v0 service)".into(),
+                })
+            }
+        },
+        other => {
+            return Err(AsmError::UnsupportedMips {
+                line,
+                mnemonic: other.to_owned(),
+            })
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_names_resolve() {
+        assert_eq!(mips_reg("$zero").unwrap(), Reg::r(0));
+        assert_eq!(mips_reg("$v0").unwrap(), Reg::r(2));
+        assert_eq!(mips_reg("$a0").unwrap(), Reg::r(4));
+        assert_eq!(mips_reg("$t0").unwrap(), Reg::r(8));
+        assert_eq!(mips_reg("$s0").unwrap(), Reg::r(16));
+        assert_eq!(mips_reg("$sp").unwrap(), Reg::r(29));
+        assert_eq!(mips_reg("$ra").unwrap(), Reg::r(31));
+        assert_eq!(mips_reg("$17").unwrap(), Reg::r(17));
+        assert!(mips_reg("$bogus").is_err());
+    }
+
+    #[test]
+    fn translates_alu_and_memory() {
+        let p = translate_mips(
+            "main:\n  addiu $sp, $sp, -8\n  li $t0, 7\n  sw $t0, 4($sp)\n  lw $t1, 4($sp)\n  addu $t2, $t0, $t1\n  jr $ra\n",
+        )
+        .unwrap();
+        assert_eq!(p.label_address("main"), Some(0));
+        assert!(matches!(p.fetch(0), Some(Instr::Bin { op: BinOp::Add, .. })));
+        assert!(matches!(p.fetch(2), Some(Instr::Store { offset: 4, .. })));
+        assert!(matches!(p.fetch(3), Some(Instr::Load { offset: 4, .. })));
+        assert!(matches!(p.fetch(5), Some(Instr::Jr { .. })));
+    }
+
+    #[test]
+    fn translates_branches_and_zero_forms() {
+        let p = translate_mips(
+            "start:\n  beq $t0, $t1, start\n  bne $t0, 3, start\n  blez $t0, start\n  bgtz $t0, start\n  beqz $t0, start\n  nop\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            p.fetch(0),
+            Some(Instr::Branch { cmp: Cmp::Eq, target: 0, .. })
+        ));
+        assert!(matches!(
+            p.fetch(2),
+            Some(Instr::Branch { cmp: Cmp::Le, src: Operand::Imm(0), .. })
+        ));
+        assert!(matches!(
+            p.fetch(3),
+            Some(Instr::Branch { cmp: Cmp::Gt, .. })
+        ));
+    }
+
+    #[test]
+    fn mult_mflo_roundtrip_through_scratch() {
+        let p = translate_mips("  li $t0, 6\n  li $t1, 7\n  mult $t0, $t1\n  mflo $t2\n  jr $ra\n")
+            .unwrap();
+        // mult expands to mul+store; mflo to load from the same cell.
+        assert!(matches!(p.fetch(2), Some(Instr::Bin { op: BinOp::Mul, .. })));
+        let (st_off, ld_off) = match (p.fetch(3), p.fetch(4)) {
+            (Some(Instr::Store { offset: a, .. }), Some(Instr::Load { offset: b, .. })) => (*a, *b),
+            other => panic!("unexpected expansion {other:?}"),
+        };
+        assert_eq!(st_off, ld_off);
+    }
+
+    #[test]
+    fn syscall_convention() {
+        let p = translate_mips(
+            "  li $v0, 5\n  syscall\n  move $a0, $v0\n  li $v0, 1\n  syscall\n  li $v0, 10\n  syscall\n",
+        )
+        .unwrap();
+        let kinds: Vec<&Instr> = p.instrs().iter().collect();
+        assert!(kinds.iter().any(|i| matches!(i, Instr::Read { .. })));
+        assert!(kinds.iter().any(|i| matches!(i, Instr::Print { .. })));
+        assert!(matches!(kinds.last().unwrap(), Instr::Halt));
+    }
+
+    #[test]
+    fn unknown_syscall_service_is_unsupported() {
+        let e = translate_mips("  li $v0, 99\n  syscall\n").unwrap_err();
+        assert!(matches!(e, AsmError::UnsupportedMips { line: 2, .. }));
+    }
+
+    #[test]
+    fn unsupported_instruction_reported_with_line() {
+        let e = translate_mips("  nop\n  mfc0 $t0, $12\n").unwrap_err();
+        assert!(
+            matches!(e, AsmError::UnsupportedMips { line: 2, ref mnemonic } if mnemonic == "mfc0")
+        );
+    }
+
+    #[test]
+    fn directives_and_comments_ignored() {
+        let p = translate_mips(".text\n.globl main\nmain: # entry\n  nop # body\n  jr $ra\n")
+            .unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn hex_immediates() {
+        let p = translate_mips("  li $t0, 0x10\n  jr $ra\n").unwrap();
+        assert_eq!(
+            p.fetch(0),
+            Some(&Instr::Mov {
+                rd: Reg::r(8),
+                src: Operand::Imm(16)
+            })
+        );
+    }
+
+    #[test]
+    fn lui_shifts_immediate() {
+        let p = translate_mips("  lui $t0, 1\n  jr $ra\n").unwrap();
+        assert_eq!(
+            p.fetch(0),
+            Some(&Instr::Mov {
+                rd: Reg::r(8),
+                src: Operand::Imm(1 << 16)
+            })
+        );
+    }
+
+    #[test]
+    fn pseudo_not_neg_move() {
+        let p = translate_mips("  not $t0, $t1\n  neg $t2, $t3\n  move $t4, $t5\n  jr $ra\n")
+            .unwrap();
+        assert!(matches!(p.fetch(0), Some(Instr::Bin { op: BinOp::Xor, .. })));
+        assert!(matches!(p.fetch(1), Some(Instr::Bin { op: BinOp::Sub, .. })));
+        assert!(matches!(p.fetch(2), Some(Instr::Mov { .. })));
+    }
+}

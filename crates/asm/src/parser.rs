@@ -1,0 +1,673 @@
+//! Text parser for `.sasm` source, the concrete syntax of the generic
+//! assembly language.
+//!
+//! Grammar (one instruction per line, `;` or `--` starts a comment):
+//!
+//! ```text
+//! line    ::= [label ':'] [instr] [comment]
+//! instr   ::= mnemonic operand (',' operand)*
+//! operand ::= '$' int        register
+//!           | '#'? int       immediate (the paper writes `#1`)
+//!           | ident          label reference
+//!           | '"' text '"'   string literal (prints only)
+//!           | int '(' '$' int ')'   offset(base) for ld/st
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::instr::BinOp;
+use crate::{AsmError, Cmp, Instr, Operand, Program, Reg};
+
+/// Parses `.sasm` source text into a validated [`Program`].
+///
+/// # Errors
+///
+/// Returns [`AsmError::Parse`] with the offending line number on syntax
+/// errors, plus any validation error from [`Program::new`].
+///
+/// ```
+/// let p = sympl_asm::parse_program("mov $1, 3\nprint $1\nhalt")?;
+/// assert_eq!(p.len(), 3);
+/// # Ok::<(), sympl_asm::AsmError>(())
+/// ```
+pub fn parse_program(source: &str) -> Result<Program, AsmError> {
+    let mut instrs: Vec<Instr> = Vec::new();
+    let mut labels: BTreeMap<String, usize> = BTreeMap::new();
+    let mut fixups: Vec<(usize, usize, String)> = Vec::new(); // (instr idx, line, label)
+
+    for (lineno0, raw) in source.lines().enumerate() {
+        let lineno = lineno0 + 1;
+        let mut line = strip_comment(raw).trim();
+
+        // Leading labels (possibly several on one line).
+        while let Some(colon) = find_label_colon(line) {
+            let name = line[..colon].trim();
+            validate_label(name, lineno)?;
+            if labels.insert(name.to_owned(), instrs.len()).is_some() {
+                return Err(AsmError::DuplicateLabel(name.to_owned()));
+            }
+            line = line[colon + 1..].trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+
+        let (mnemonic, rest) = split_mnemonic(line);
+        let instr = parse_instr(mnemonic, rest, lineno, instrs.len(), &mut fixups)?;
+        instrs.push(instr);
+    }
+
+    for (at, lineno, label) in fixups {
+        let addr = *labels.get(&label).ok_or_else(|| AsmError::Parse {
+            line: lineno,
+            message: format!("undefined label `{label}`"),
+        })?;
+        match &mut instrs[at] {
+            Instr::Branch { target, .. } | Instr::Jmp { target } | Instr::Jal { target } => {
+                *target = addr;
+            }
+            _ => unreachable!("fixup recorded for non-control instruction"),
+        }
+    }
+
+    Program::new(instrs, labels)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `;` and `--` both start comments, but not inside string literals.
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => in_str = !in_str,
+            b';' if !in_str => return &line[..i],
+            b'-' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'-' => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Finds the colon ending a leading label, if the line starts with one.
+fn find_label_colon(line: &str) -> Option<usize> {
+    let colon = line.find(':')?;
+    let head = &line[..colon];
+    if !head.is_empty()
+        && head
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+    {
+        Some(colon)
+    } else {
+        None
+    }
+}
+
+fn validate_label(name: &str, line: usize) -> Result<(), AsmError> {
+    if name.is_empty() || name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return Err(AsmError::Parse {
+            line,
+            message: format!("invalid label `{name}`"),
+        });
+    }
+    Ok(())
+}
+
+fn split_mnemonic(line: &str) -> (&str, &str) {
+    match line.find(char::is_whitespace) {
+        Some(i) => (&line[..i], line[i..].trim()),
+        None => (line, ""),
+    }
+}
+
+/// A parsed operand token.
+enum Tok {
+    Reg(Reg),
+    Imm(i64),
+    Label(String),
+    Str(String),
+    Mem { offset: i64, base: Reg },
+}
+
+fn tokenize_operands(rest: &str, line: usize) -> Result<Vec<Tok>, AsmError> {
+    let mut toks = Vec::new();
+    let mut chars = rest.char_indices().peekable();
+    let err = |message: String| AsmError::Parse { line, message };
+
+    while let Some(&(i, c)) = chars.peek() {
+        match c {
+            ' ' | '\t' | ',' => {
+                chars.next();
+            }
+            '"' => {
+                chars.next();
+                let start = i + 1;
+                let mut end = None;
+                for (j, cj) in chars.by_ref() {
+                    if cj == '"' {
+                        end = Some(j);
+                        break;
+                    }
+                }
+                let end = end.ok_or_else(|| err("unterminated string literal".into()))?;
+                toks.push(Tok::Str(rest[start..end].to_owned()));
+            }
+            _ => {
+                // Scan a bare token up to whitespace/comma, except that a
+                // token may contain a parenthesized base like `8($29)`.
+                let start = i;
+                let mut end = rest.len();
+                let mut depth = 0usize;
+                for (j, cj) in chars.by_ref() {
+                    match cj {
+                        '(' => depth += 1,
+                        ')' => depth = depth.saturating_sub(1),
+                        ' ' | '\t' | ',' if depth == 0 => {
+                            end = j;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    end = rest.len();
+                }
+                let token = rest[start..end].trim_end_matches([',', ' ', '\t']);
+                toks.push(parse_bare_token(token, line)?);
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn parse_bare_token(token: &str, line: usize) -> Result<Tok, AsmError> {
+    let err = |message: String| AsmError::Parse { line, message };
+    if let Some(rest) = token.strip_prefix('$') {
+        let idx: u8 = rest
+            .parse()
+            .map_err(|_| err(format!("invalid register `{token}`")))?;
+        return Ok(Tok::Reg(Reg::new(idx)?));
+    }
+    if let Some(rest) = token.strip_prefix('#') {
+        let v: i64 = rest
+            .parse()
+            .map_err(|_| err(format!("invalid immediate `{token}`")))?;
+        return Ok(Tok::Imm(v));
+    }
+    // offset(base) form: e.g. `8($29)` or `-4($2)`.
+    if let Some(open) = token.find('(') {
+        if token.ends_with(')') {
+            let off_str = &token[..open];
+            let base_str = &token[open + 1..token.len() - 1];
+            let offset: i64 = if off_str.is_empty() {
+                0
+            } else {
+                off_str
+                    .parse()
+                    .map_err(|_| err(format!("invalid offset `{off_str}`")))?
+            };
+            let base = match parse_bare_token(base_str, line)? {
+                Tok::Reg(r) => r,
+                _ => return Err(err(format!("memory base must be a register in `{token}`"))),
+            };
+            return Ok(Tok::Mem { offset, base });
+        }
+    }
+    if let Ok(v) = token.parse::<i64>() {
+        return Ok(Tok::Imm(v));
+    }
+    if token
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && !token.is_empty()
+    {
+        return Ok(Tok::Label(token.to_owned()));
+    }
+    Err(err(format!("unrecognized operand `{token}`")))
+}
+
+fn as_reg(t: &Tok, line: usize, what: &str) -> Result<Reg, AsmError> {
+    match t {
+        Tok::Reg(r) => Ok(*r),
+        _ => Err(AsmError::Parse {
+            line,
+            message: format!("expected register for {what}"),
+        }),
+    }
+}
+
+fn as_operand(t: &Tok, line: usize, what: &str) -> Result<Operand, AsmError> {
+    match t {
+        Tok::Reg(r) => Ok(Operand::Reg(*r)),
+        Tok::Imm(v) => Ok(Operand::Imm(*v)),
+        _ => Err(AsmError::Parse {
+            line,
+            message: format!("expected register or immediate for {what}"),
+        }),
+    }
+}
+
+fn parse_instr(
+    mnemonic: &str,
+    rest: &str,
+    line: usize,
+    at: usize,
+    fixups: &mut Vec<(usize, usize, String)>,
+) -> Result<Instr, AsmError> {
+    let toks = tokenize_operands(rest, line)?;
+    let err = |message: String| AsmError::Parse { line, message };
+    let arity = |n: usize| -> Result<(), AsmError> {
+        if toks.len() == n {
+            Ok(())
+        } else {
+            Err(AsmError::Parse {
+                line,
+                message: format!(
+                    "`{mnemonic}` expects {n} operand(s), found {}",
+                    toks.len()
+                ),
+            })
+        }
+    };
+
+    let bin = |op: BinOp, toks: &[Tok]| -> Result<Instr, AsmError> {
+        Ok(Instr::Bin {
+            op,
+            rd: as_reg(&toks[0], line, "destination")?,
+            rs: as_reg(&toks[1], line, "source")?,
+            src: as_operand(&toks[2], line, "operand")?,
+        })
+    };
+    let set = |cmp: Cmp, toks: &[Tok]| -> Result<Instr, AsmError> {
+        Ok(Instr::Set {
+            cmp,
+            rd: as_reg(&toks[0], line, "destination")?,
+            rs: as_reg(&toks[1], line, "comparand")?,
+            src: as_operand(&toks[2], line, "comparand")?,
+        })
+    };
+
+    let lower = mnemonic.to_ascii_lowercase();
+    match lower.as_str() {
+        "add" | "addi" => {
+            arity(3)?;
+            bin(BinOp::Add, &toks)
+        }
+        "sub" | "subi" => {
+            arity(3)?;
+            bin(BinOp::Sub, &toks)
+        }
+        "mult" | "mul" | "muli" => {
+            arity(3)?;
+            bin(BinOp::Mul, &toks)
+        }
+        "div" | "divi" => {
+            arity(3)?;
+            bin(BinOp::Div, &toks)
+        }
+        "rem" => {
+            arity(3)?;
+            bin(BinOp::Rem, &toks)
+        }
+        "and" | "andi" => {
+            arity(3)?;
+            bin(BinOp::And, &toks)
+        }
+        "or" | "ori" => {
+            arity(3)?;
+            bin(BinOp::Or, &toks)
+        }
+        "xor" | "xori" => {
+            arity(3)?;
+            bin(BinOp::Xor, &toks)
+        }
+        "sll" => {
+            arity(3)?;
+            bin(BinOp::Sll, &toks)
+        }
+        "srl" => {
+            arity(3)?;
+            bin(BinOp::Srl, &toks)
+        }
+        "mov" | "li" => {
+            arity(2)?;
+            Ok(Instr::Mov {
+                rd: as_reg(&toks[0], line, "destination")?,
+                src: as_operand(&toks[1], line, "source")?,
+            })
+        }
+        "seteq" => {
+            arity(3)?;
+            set(Cmp::Eq, &toks)
+        }
+        "setne" => {
+            arity(3)?;
+            set(Cmp::Ne, &toks)
+        }
+        "setgt" => {
+            arity(3)?;
+            set(Cmp::Gt, &toks)
+        }
+        "setlt" => {
+            arity(3)?;
+            set(Cmp::Lt, &toks)
+        }
+        "setge" => {
+            arity(3)?;
+            set(Cmp::Ge, &toks)
+        }
+        "setle" => {
+            arity(3)?;
+            set(Cmp::Le, &toks)
+        }
+        "beq" | "bne" | "bgt" | "blt" | "bge" | "ble" => {
+            arity(3)?;
+            let cmp = match lower.as_str() {
+                "beq" => Cmp::Eq,
+                "bne" => Cmp::Ne,
+                "bgt" => Cmp::Gt,
+                "blt" => Cmp::Lt,
+                "bge" => Cmp::Ge,
+                _ => Cmp::Le,
+            };
+            let rs = as_reg(&toks[0], line, "comparand")?;
+            let src = as_operand(&toks[1], line, "comparand")?;
+            let label = match &toks[2] {
+                Tok::Label(l) => l.clone(),
+                _ => return Err(err("branch target must be a label".into())),
+            };
+            fixups.push((at, line, label));
+            Ok(Instr::Branch {
+                cmp,
+                rs,
+                src,
+                target: usize::MAX,
+            })
+        }
+        "jmp" | "j" => {
+            arity(1)?;
+            match &toks[0] {
+                Tok::Label(l) => {
+                    fixups.push((at, line, l.clone()));
+                    Ok(Instr::Jmp { target: usize::MAX })
+                }
+                _ => Err(err("jump target must be a label".into())),
+            }
+        }
+        "jal" | "call" => {
+            arity(1)?;
+            match &toks[0] {
+                Tok::Label(l) => {
+                    fixups.push((at, line, l.clone()));
+                    Ok(Instr::Jal { target: usize::MAX })
+                }
+                _ => Err(err("call target must be a label".into())),
+            }
+        }
+        "jr" | "ret" => {
+            if lower == "ret" && toks.is_empty() {
+                return Ok(Instr::Jr { rs: crate::LINK_REG });
+            }
+            arity(1)?;
+            Ok(Instr::Jr {
+                rs: as_reg(&toks[0], line, "target register")?,
+            })
+        }
+        "ld" | "ldi" | "lw" => {
+            // Forms: `ld $rt, off($rs)` or `ldi $rt, $rs, off`.
+            if toks.len() == 2 {
+                let rt = as_reg(&toks[0], line, "destination")?;
+                match &toks[1] {
+                    Tok::Mem { offset, base } => Ok(Instr::Load {
+                        rt,
+                        rs: *base,
+                        offset: *offset,
+                    }),
+                    _ => Err(err("expected off($base) for load".into())),
+                }
+            } else {
+                arity(3)?;
+                let rt = as_reg(&toks[0], line, "destination")?;
+                let rs = as_reg(&toks[1], line, "base")?;
+                let offset = match &toks[2] {
+                    Tok::Imm(v) => *v,
+                    _ => return Err(err("load offset must be an immediate".into())),
+                };
+                Ok(Instr::Load { rt, rs, offset })
+            }
+        }
+        "st" | "sti" | "sw" => {
+            if toks.len() == 2 {
+                let rt = as_reg(&toks[0], line, "source")?;
+                match &toks[1] {
+                    Tok::Mem { offset, base } => Ok(Instr::Store {
+                        rt,
+                        rs: *base,
+                        offset: *offset,
+                    }),
+                    _ => Err(err("expected off($base) for store".into())),
+                }
+            } else {
+                arity(3)?;
+                let rt = as_reg(&toks[0], line, "source")?;
+                let rs = as_reg(&toks[1], line, "base")?;
+                let offset = match &toks[2] {
+                    Tok::Imm(v) => *v,
+                    _ => return Err(err("store offset must be an immediate".into())),
+                };
+                Ok(Instr::Store { rt, rs, offset })
+            }
+        }
+        "read" => {
+            arity(1)?;
+            Ok(Instr::Read {
+                rd: as_reg(&toks[0], line, "destination")?,
+            })
+        }
+        "print" => {
+            arity(1)?;
+            Ok(Instr::Print {
+                rs: as_reg(&toks[0], line, "source")?,
+            })
+        }
+        "prints" => {
+            arity(1)?;
+            match &toks[0] {
+                Tok::Str(s) => Ok(Instr::PrintS {
+                    text: s.as_str().into(),
+                }),
+                _ => Err(err("prints expects a string literal".into())),
+            }
+        }
+        "check" => {
+            arity(1)?;
+            match &toks[0] {
+                Tok::Imm(v) if *v >= 0 && *v <= i64::from(u32::MAX) => Ok(Instr::Check {
+                    id: u32::try_from(*v).expect("range-checked"),
+                }),
+                _ => Err(err("check expects a non-negative detector id".into())),
+            }
+        }
+        "nop" => {
+            arity(0)?;
+            Ok(Instr::Nop)
+        }
+        "halt" => {
+            arity(0)?;
+            Ok(Instr::Halt)
+        }
+        other => Err(err(format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_factorial_program() {
+        // Figure 2 of the paper, transliterated.
+        let src = r#"
+            ori $2 $0 #1      -- initial product p = 1
+            read $1           -- read i from input
+            mov $3, $1
+            ori $4 $0 #1      -- for comparison purposes
+        loop: setgt $5 $3 $4  -- start of loop
+            beq $5 0 exit     -- loop condition: $3 > $4
+            mult $2 $2 $3     -- p = p * i
+            subi $3 $3 #1     -- i = i - 1
+            beq $0 #0 loop    -- loop backedge
+        exit: prints "Factorial = "
+            print $2
+            halt
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.len(), 12);
+        assert_eq!(p.label_address("loop"), Some(4));
+        assert_eq!(p.label_address("exit"), Some(9));
+        assert!(matches!(p.fetch(4), Some(Instr::Set { cmp: Cmp::Gt, .. })));
+        assert!(matches!(
+            p.fetch(5),
+            Some(Instr::Branch { target: 9, .. })
+        ));
+        assert!(matches!(p.fetch(8), Some(Instr::Branch { target: 4, .. })));
+    }
+
+    #[test]
+    fn parses_memory_operand_forms() {
+        let p = parse_program(
+            "mov $29, 1000\nst $1, 8($29)\nld $2, -8($29)\nldi $3, $29, 16\nsti $4, $29, 24\nhalt",
+        )
+        .unwrap();
+        assert_eq!(
+            p.fetch(1),
+            Some(&Instr::Store {
+                rt: Reg::r(1),
+                rs: Reg::r(29),
+                offset: 8
+            })
+        );
+        assert_eq!(
+            p.fetch(2),
+            Some(&Instr::Load {
+                rt: Reg::r(2),
+                rs: Reg::r(29),
+                offset: -8
+            })
+        );
+        assert_eq!(
+            p.fetch(3),
+            Some(&Instr::Load {
+                rt: Reg::r(3),
+                rs: Reg::r(29),
+                offset: 16
+            })
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = parse_program("; header\n\nnop ; trailing\nhalt -- also trailing\n").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn string_literal_may_contain_comment_chars() {
+        let p = parse_program("prints \"a;b--c\"\nhalt").unwrap();
+        assert_eq!(
+            p.fetch(0),
+            Some(&Instr::PrintS {
+                text: "a;b--c".into()
+            })
+        );
+    }
+
+    #[test]
+    fn ret_is_jr_link() {
+        let p = parse_program("ret\nhalt").unwrap();
+        assert_eq!(p.fetch(0), Some(&Instr::Jr { rs: crate::LINK_REG }));
+    }
+
+    #[test]
+    fn call_and_jal_are_synonyms() {
+        let p = parse_program("f: nop\ncall f\njal f\nhalt").unwrap();
+        assert_eq!(p.fetch(1), Some(&Instr::Jal { target: 0 }));
+        assert_eq!(p.fetch(2), Some(&Instr::Jal { target: 0 }));
+    }
+
+    #[test]
+    fn undefined_label_reports_line() {
+        let e = parse_program("jmp nowhere\nhalt").unwrap_err();
+        assert!(matches!(e, AsmError::Parse { line: 1, .. }), "{e}");
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = parse_program("x: nop\nx: halt").unwrap_err();
+        assert_eq!(e, AsmError::DuplicateLabel("x".into()));
+    }
+
+    #[test]
+    fn unknown_mnemonic_rejected() {
+        let e = parse_program("frobnicate $1\nhalt").unwrap_err();
+        assert!(matches!(e, AsmError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        assert!(parse_program("mov $99, 1\nhalt").is_err());
+    }
+
+    #[test]
+    fn arity_errors_are_reported() {
+        assert!(parse_program("add $1, $2\nhalt").is_err());
+        assert!(parse_program("nop $1\nhalt").is_err());
+        assert!(parse_program("read 5\nhalt").is_err());
+    }
+
+    #[test]
+    fn negative_and_hash_immediates() {
+        let p = parse_program("mov $1, -42\naddi $2, $1, #7\nhalt").unwrap();
+        assert_eq!(
+            p.fetch(0),
+            Some(&Instr::Mov {
+                rd: Reg::r(1),
+                src: Operand::Imm(-42)
+            })
+        );
+        assert_eq!(
+            p.fetch(1),
+            Some(&Instr::Bin {
+                op: BinOp::Add,
+                rd: Reg::r(2),
+                rs: Reg::r(1),
+                src: Operand::Imm(7)
+            })
+        );
+    }
+
+    #[test]
+    fn multiple_labels_same_address() {
+        let p = parse_program("a: b: nop\nhalt").unwrap();
+        assert_eq!(p.label_address("a"), Some(0));
+        assert_eq!(p.label_address("b"), Some(0));
+        assert_eq!(p.labels_at(0).len(), 2);
+    }
+
+    #[test]
+    fn check_parses_detector_id() {
+        let p = parse_program("check 4\nhalt").unwrap();
+        assert_eq!(p.fetch(0), Some(&Instr::Check { id: 4 }));
+        assert!(parse_program("check -1\nhalt").is_err());
+    }
+
+    #[test]
+    fn roundtrip_listing_mentions_every_mnemonic() {
+        let src = "mov $1, 1\nadd $2, $1, $1\nbeq $2, 2, end\nnop\nend: halt";
+        let p = parse_program(src).unwrap();
+        let listing = p.listing();
+        for needle in ["mov", "add", "beq", "nop", "halt", "end:"] {
+            assert!(listing.contains(needle), "listing missing {needle}: {listing}");
+        }
+    }
+}

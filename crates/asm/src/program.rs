@@ -1,0 +1,489 @@
+//! The immutable, label-resolved program representation.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{AsmError, Cmp, Instr, Operand, Reg};
+
+/// An assembled program: an immutable instruction sequence plus its label
+/// table.
+///
+/// Programs are cheap to clone (the instruction vector is behind an `Arc`)
+/// because the model checker and campaign runners share one program across
+/// thousands of states and worker threads. The code is deliberately kept
+/// *outside* the mutable machine state, exactly as the paper's Maude model
+/// keeps `C` outside the state soup "to enable faster rewriting" (§5.1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Program {
+    instrs: Arc<[Instr]>,
+    labels: Arc<BTreeMap<String, usize>>,
+    /// Reverse map from address to the labels defined there (for display).
+    label_at: Arc<BTreeMap<usize, Vec<String>>>,
+}
+
+impl Program {
+    /// Builds a program from raw parts, validating all code targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::EmptyProgram`] for an empty instruction list and
+    /// [`AsmError::TargetOutOfRange`] if any branch or jump targets an
+    /// address outside the program.
+    pub fn new(
+        instrs: Vec<Instr>,
+        labels: BTreeMap<String, usize>,
+    ) -> Result<Self, AsmError> {
+        if instrs.is_empty() {
+            return Err(AsmError::EmptyProgram);
+        }
+        let len = instrs.len();
+        for (at, instr) in instrs.iter().enumerate() {
+            if let Some(target) = instr.static_target() {
+                if target >= len {
+                    return Err(AsmError::TargetOutOfRange { at, target, len });
+                }
+            }
+        }
+        // A label may sit one past the last instruction (a trailing label);
+        // anything further is malformed.
+        if let Some((label, &addr)) = labels.iter().find(|(_, &addr)| addr > len) {
+            let _ = label;
+            return Err(AsmError::TargetOutOfRange {
+                at: addr,
+                target: addr,
+                len,
+            });
+        }
+        let mut label_at: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+        for (name, &addr) in &labels {
+            label_at.entry(addr).or_default().push(name.clone());
+        }
+        Ok(Program {
+            instrs: instrs.into(),
+            labels: Arc::new(labels),
+            label_at: Arc::new(label_at),
+        })
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program is empty (never true for a validated program).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instruction at `addr`, or `None` when `addr` is not a valid code
+    /// address — the machine model turns that into an "illegal instruction"
+    /// exception (paper §5.1 assumptions).
+    #[must_use]
+    pub fn fetch(&self, addr: usize) -> Option<&Instr> {
+        self.instrs.get(addr)
+    }
+
+    /// All instructions, in address order.
+    #[must_use]
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// The address a label resolves to.
+    #[must_use]
+    pub fn label_address(&self, label: &str) -> Option<usize> {
+        self.labels.get(label).copied()
+    }
+
+    /// All labels defined at an address.
+    #[must_use]
+    pub fn labels_at(&self, addr: usize) -> &[String] {
+        self.label_at.get(&addr).map_or(&[], Vec::as_slice)
+    }
+
+    /// Iterates over `(label, address)` pairs in label-name order.
+    pub fn labels(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.labels.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// The nearest label at or before `addr`, with the distance in
+    /// instructions. Used to attribute findings to source functions.
+    #[must_use]
+    pub fn enclosing_label(&self, addr: usize) -> Option<(&str, usize)> {
+        self.label_at
+            .range(..=addr)
+            .next_back()
+            .and_then(|(at, names)| names.first().map(|n| (n.as_str(), addr - at)))
+    }
+
+    /// Human-readable disassembly listing.
+    #[must_use]
+    pub fn listing(&self) -> String {
+        let mut out = String::new();
+        for (addr, instr) in self.instrs.iter().enumerate() {
+            for label in self.labels_at(addr) {
+                out.push_str(label);
+                out.push_str(":\n");
+            }
+            out.push_str(&format!("  {addr:4}  {instr}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.listing())
+    }
+}
+
+impl PartialEq for Program {
+    fn eq(&self, other: &Self) -> bool {
+        self.instrs == other.instrs && self.labels == other.labels
+    }
+}
+
+impl Eq for Program {}
+
+/// Incremental builder for [`Program`] values, used by code that constructs
+/// programs programmatically (tests, the injection engine's program
+/// transformers, the MIPS front-end).
+///
+/// Labels may be referenced before they are defined; they are resolved when
+/// [`ProgramBuilder::build`] is called.
+///
+/// ```
+/// use sympl_asm::{ProgramBuilder, Reg, Operand, Cmp};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.mov(Reg::r(1), Operand::Imm(10));
+/// b.label("loop");
+/// b.subi(Reg::r(1), Reg::r(1), 1);
+/// b.branch_to(Cmp::Gt, Reg::r(1), Operand::Imm(0), "loop");
+/// b.halt();
+/// let program = b.build()?;
+/// assert_eq!(program.len(), 4);
+/// # Ok::<(), sympl_asm::AsmError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    instrs: Vec<Instr>,
+    labels: BTreeMap<String, usize>,
+    /// (instruction index, label) pairs awaiting resolution.
+    fixups: Vec<(usize, String)>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of instructions emitted so far (the address of the next one).
+    #[must_use]
+    pub fn here(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Defines `label` at the current address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already defined; label names are expected to
+    /// be unique within a compilation unit.
+    pub fn label(&mut self, label: &str) -> &mut Self {
+        let addr = self.here();
+        let prev = self.labels.insert(label.to_owned(), addr);
+        assert!(prev.is_none(), "duplicate label `{label}`");
+        self
+    }
+
+    /// Emits a raw instruction.
+    pub fn push(&mut self, instr: Instr) -> &mut Self {
+        self.instrs.push(instr);
+        self
+    }
+
+    /// Emits an instruction whose target is a label resolved at build time;
+    /// the instruction carries a placeholder target of `usize::MAX` until then.
+    fn push_labeled(&mut self, label: &str, instr: Instr) -> &mut Self {
+        let at = self.here();
+        self.fixups.push((at, label.to_owned()));
+        self.instrs.push(instr);
+        self
+    }
+
+    /// `rd <- rs + src`.
+    pub fn add(&mut self, rd: Reg, rs: Reg, src: impl Into<Operand>) -> &mut Self {
+        self.push(Instr::Bin {
+            op: crate::instr::BinOp::Add,
+            rd,
+            rs,
+            src: src.into(),
+        })
+    }
+
+    /// `rd <- rs - src`.
+    pub fn sub(&mut self, rd: Reg, rs: Reg, src: impl Into<Operand>) -> &mut Self {
+        self.push(Instr::Bin {
+            op: crate::instr::BinOp::Sub,
+            rd,
+            rs,
+            src: src.into(),
+        })
+    }
+
+    /// `rd <- rs - imm` (paper's `subi`).
+    pub fn subi(&mut self, rd: Reg, rs: Reg, imm: i64) -> &mut Self {
+        self.sub(rd, rs, Operand::Imm(imm))
+    }
+
+    /// `rd <- rs * src`.
+    pub fn mult(&mut self, rd: Reg, rs: Reg, src: impl Into<Operand>) -> &mut Self {
+        self.push(Instr::Bin {
+            op: crate::instr::BinOp::Mul,
+            rd,
+            rs,
+            src: src.into(),
+        })
+    }
+
+    /// `rd <- rs / src`.
+    pub fn div(&mut self, rd: Reg, rs: Reg, src: impl Into<Operand>) -> &mut Self {
+        self.push(Instr::Bin {
+            op: crate::instr::BinOp::Div,
+            rd,
+            rs,
+            src: src.into(),
+        })
+    }
+
+    /// `rd <- src` (move / load-immediate).
+    pub fn mov(&mut self, rd: Reg, src: impl Into<Operand>) -> &mut Self {
+        self.push(Instr::Mov {
+            rd,
+            src: src.into(),
+        })
+    }
+
+    /// `rd <- (rs cmp src) ? 1 : 0`.
+    pub fn set(&mut self, cmp: Cmp, rd: Reg, rs: Reg, src: impl Into<Operand>) -> &mut Self {
+        self.push(Instr::Set {
+            cmp,
+            rd,
+            rs,
+            src: src.into(),
+        })
+    }
+
+    /// Conditional branch to a label.
+    pub fn branch_to(
+        &mut self,
+        cmp: Cmp,
+        rs: Reg,
+        src: impl Into<Operand>,
+        label: &str,
+    ) -> &mut Self {
+        self.push_labeled(
+            label,
+            Instr::Branch {
+                cmp,
+                rs,
+                src: src.into(),
+                target: usize::MAX,
+            },
+        )
+    }
+
+    /// Unconditional jump to a label.
+    pub fn jmp_to(&mut self, label: &str) -> &mut Self {
+        self.push_labeled(label, Instr::Jmp { target: usize::MAX })
+    }
+
+    /// Call (jump-and-link) to a label.
+    pub fn jal_to(&mut self, label: &str) -> &mut Self {
+        self.push_labeled(label, Instr::Jal { target: usize::MAX })
+    }
+
+    /// Jump to the address in a register (return).
+    pub fn jr(&mut self, rs: Reg) -> &mut Self {
+        self.push(Instr::Jr { rs })
+    }
+
+    /// `rt <- mem[rs + offset]`.
+    pub fn load(&mut self, rt: Reg, rs: Reg, offset: i64) -> &mut Self {
+        self.push(Instr::Load { rt, rs, offset })
+    }
+
+    /// `mem[rs + offset] <- rt`.
+    pub fn store(&mut self, rt: Reg, rs: Reg, offset: i64) -> &mut Self {
+        self.push(Instr::Store { rt, rs, offset })
+    }
+
+    /// `rd <- input`.
+    pub fn read(&mut self, rd: Reg) -> &mut Self {
+        self.push(Instr::Read { rd })
+    }
+
+    /// Print a register value.
+    pub fn print(&mut self, rs: Reg) -> &mut Self {
+        self.push(Instr::Print { rs })
+    }
+
+    /// Print a string literal.
+    pub fn prints(&mut self, text: &str) -> &mut Self {
+        self.push(Instr::PrintS { text: text.into() })
+    }
+
+    /// Invoke detector `id` (the `CHECK` annotation).
+    pub fn check(&mut self, id: u32) -> &mut Self {
+        self.push(Instr::Check { id })
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Instr::Nop)
+    }
+
+    /// Halt.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Instr::Halt)
+    }
+
+    /// Resolves all label fixups and validates the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UndefinedLabel`] for an unresolved reference and
+    /// any validation error from [`Program::new`].
+    pub fn build(mut self) -> Result<Program, AsmError> {
+        for (at, label) in std::mem::take(&mut self.fixups) {
+            let addr = *self
+                .labels
+                .get(&label)
+                .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
+            match &mut self.instrs[at] {
+                Instr::Branch { target, .. } | Instr::Jmp { target } | Instr::Jal { target } => {
+                    *target = addr;
+                }
+                other => unreachable!("fixup on non-control instruction {other}"),
+            }
+        }
+        Program::new(self.instrs, self.labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg::r(1), 5i64);
+        b.label("loop");
+        b.subi(Reg::r(1), Reg::r(1), 1);
+        b.branch_to(Cmp::Gt, Reg::r(1), 0i64, "loop");
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_resolves_forward_and_backward_labels() {
+        let mut b = ProgramBuilder::new();
+        b.jmp_to("end"); // forward reference
+        b.label("mid");
+        b.nop();
+        b.label("end");
+        b.jmp_to("mid"); // backward reference
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.fetch(0), Some(&Instr::Jmp { target: 2 }));
+        assert_eq!(p.fetch(2), Some(&Instr::Jmp { target: 1 }));
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.jmp_to("nowhere");
+        b.halt();
+        assert_eq!(
+            b.build().unwrap_err(),
+            AsmError::UndefinedLabel("nowhere".into())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_label_panics() {
+        let mut b = ProgramBuilder::new();
+        b.label("x");
+        b.nop();
+        b.label("x");
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert_eq!(
+            ProgramBuilder::new().build().unwrap_err(),
+            AsmError::EmptyProgram
+        );
+    }
+
+    #[test]
+    fn out_of_range_target_rejected() {
+        let err = Program::new(vec![Instr::Jmp { target: 5 }], BTreeMap::new()).unwrap_err();
+        assert_eq!(
+            err,
+            AsmError::TargetOutOfRange {
+                at: 0,
+                target: 5,
+                len: 1
+            }
+        );
+    }
+
+    #[test]
+    fn fetch_out_of_bounds_is_none() {
+        let p = tiny();
+        assert!(p.fetch(p.len()).is_none());
+        assert!(p.fetch(0).is_some());
+    }
+
+    #[test]
+    fn label_lookup_and_reverse_lookup() {
+        let p = tiny();
+        assert_eq!(p.label_address("loop"), Some(1));
+        assert_eq!(p.labels_at(1), ["loop".to_string()]);
+        assert!(p.labels_at(0).is_empty());
+        assert_eq!(p.labels().count(), 1);
+    }
+
+    #[test]
+    fn enclosing_label_attributes_addresses() {
+        let p = tiny();
+        assert_eq!(p.enclosing_label(0), None);
+        assert_eq!(p.enclosing_label(1), Some(("loop", 0)));
+        assert_eq!(p.enclosing_label(3), Some(("loop", 2)));
+    }
+
+    #[test]
+    fn listing_mentions_labels_and_instructions() {
+        let p = tiny();
+        let listing = p.to_string();
+        assert!(listing.contains("loop:"));
+        assert!(listing.contains("halt"));
+    }
+
+    #[test]
+    fn programs_share_storage_on_clone() {
+        let p = tiny();
+        let q = p.clone();
+        assert_eq!(p, q);
+        assert_eq!(p.instrs.as_ptr(), q.instrs.as_ptr());
+    }
+}

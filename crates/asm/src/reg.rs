@@ -1,0 +1,147 @@
+//! Register naming for the generic assembly language.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::AsmError;
+
+/// Number of architectural registers in the machine model.
+pub const NUM_REGS: usize = 32;
+
+/// Register `$0`: hard-wired to zero (reads return 0, writes are discarded).
+pub const ZERO_REG: Reg = Reg(0);
+
+/// Register `$29`: by convention the stack pointer used by compiled code.
+pub const STACK_REG: Reg = Reg(29);
+
+/// Register `$31`: the link register written by [`crate::Instr::Jal`].
+pub const LINK_REG: Reg = Reg(31);
+
+/// An architectural register `$0`..`$31`.
+///
+/// `Reg` is a validated newtype: a value can only be constructed through
+/// [`Reg::new`], which rejects indices outside the register file, so every
+/// `Reg` in an instruction stream is in range by construction.
+///
+/// ```
+/// use sympl_asm::Reg;
+/// let r = Reg::new(3)?;
+/// assert_eq!(r.index(), 3);
+/// assert_eq!(r.to_string(), "$3");
+/// assert!(Reg::new(32).is_err());
+/// # Ok::<(), sympl_asm::AsmError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register from its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::InvalidRegister`] if `index >= 32`.
+    pub fn new(index: u8) -> Result<Self, AsmError> {
+        if usize::from(index) < NUM_REGS {
+            Ok(Reg(index))
+        } else {
+            Err(AsmError::InvalidRegister(index))
+        }
+    }
+
+    /// Creates a register, panicking on an out-of-range index.
+    ///
+    /// Convenience for building programs from literals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub fn r(index: u8) -> Self {
+        Self::new(index).expect("register index out of range")
+    }
+
+    /// The register's index within the register file.
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Whether this is the hard-wired zero register `$0`.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over every register in the file, `$0` through `$31`.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_REGS as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.0)
+    }
+}
+
+impl TryFrom<u8> for Reg {
+    type Error = AsmError;
+
+    fn try_from(value: u8) -> Result<Self, Self::Error> {
+        Reg::new(value)
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(value: Reg) -> Self {
+        value.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_accepts_all_file_registers() {
+        for i in 0..32 {
+            assert!(Reg::new(i).is_ok(), "register {i} should be valid");
+        }
+    }
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        for i in [32u8, 33, 100, 255] {
+            assert!(matches!(Reg::new(i), Err(AsmError::InvalidRegister(n)) if n == i));
+        }
+    }
+
+    #[test]
+    fn display_uses_dollar_prefix() {
+        assert_eq!(Reg::r(0).to_string(), "$0");
+        assert_eq!(Reg::r(31).to_string(), "$31");
+    }
+
+    #[test]
+    fn zero_register_identified() {
+        assert!(ZERO_REG.is_zero());
+        assert!(!LINK_REG.is_zero());
+        assert_eq!(LINK_REG.index(), 31);
+        assert_eq!(STACK_REG.index(), 29);
+    }
+
+    #[test]
+    fn all_yields_32_distinct() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), 32);
+        for (i, r) in regs.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let r = Reg::try_from(7u8).unwrap();
+        assert_eq!(u8::from(r), 7);
+    }
+}

@@ -1,0 +1,187 @@
+//! Program transformations: inserting instructions while preserving
+//! control flow.
+//!
+//! The detector-placement workflow (paper §4.2: "the programmer can then
+//! formulate a detector to handle the case…") needs to *add* `check`
+//! instructions to an existing program. Inserting shifts every subsequent
+//! address, so all static branch/jump targets and the label table must be
+//! remapped; `jal`/`jr` return addresses are computed from the (new) PC at
+//! run time and need no fixing.
+
+use std::collections::BTreeMap;
+
+use crate::{AsmError, Instr, Program};
+
+/// Inserts instructions *before* given addresses, remapping all control
+/// flow. `insertions` maps an original address to the instructions to
+/// place immediately before it; original relative order is preserved.
+///
+/// # Errors
+///
+/// Returns [`AsmError::TargetOutOfRange`] if an insertion address lies
+/// outside the program.
+///
+/// ```
+/// use sympl_asm::{insert_before, parse_program, Instr};
+///
+/// let p = parse_program("mov $1, 7\nprint $1\nhalt")?;
+/// let p2 = insert_before(&p, &[(1, vec![Instr::Check { id: 1 }])])?;
+/// assert_eq!(p2.len(), 4);
+/// assert!(matches!(p2.fetch(1), Some(Instr::Check { id: 1 })));
+/// # Ok::<(), sympl_asm::AsmError>(())
+/// ```
+pub fn insert_before(
+    program: &Program,
+    insertions: &[(usize, Vec<Instr>)],
+) -> Result<Program, AsmError> {
+    let len = program.len();
+    let mut by_addr: BTreeMap<usize, Vec<Instr>> = BTreeMap::new();
+    for (addr, instrs) in insertions {
+        if *addr > len {
+            return Err(AsmError::TargetOutOfRange {
+                at: *addr,
+                target: *addr,
+                len,
+            });
+        }
+        by_addr.entry(*addr).or_default().extend(instrs.iter().cloned());
+    }
+
+    // New address of each original instruction: original + instructions
+    // inserted at or before it.
+    let mut shift = vec![0usize; len + 1];
+    let mut acc = 0usize;
+    for (i, entry) in shift.iter_mut().enumerate() {
+        if let Some(ins) = by_addr.get(&i) {
+            acc += ins.len();
+        }
+        *entry = i + acc;
+    }
+    let remap = |target: usize| -> usize {
+        // A branch to address t must land on the (possibly shifted) t,
+        // *after* anything inserted before t — i.e. at shift[t] minus the
+        // insertions at t itself... but inserted checks guard the original
+        // instruction, so control arriving at t should run them too:
+        // remap to the first inserted instruction at t.
+        shift[target] - by_addr.get(&target).map_or(0, Vec::len)
+    };
+
+    let mut instrs: Vec<Instr> = Vec::with_capacity(len + acc);
+    for (i, instr) in program.instrs().iter().enumerate() {
+        if let Some(ins) = by_addr.get(&i) {
+            instrs.extend(ins.iter().cloned());
+        }
+        let mut instr = instr.clone();
+        match &mut instr {
+            Instr::Branch { target, .. } | Instr::Jmp { target } | Instr::Jal { target } => {
+                *target = remap(*target);
+            }
+            _ => {}
+        }
+        instrs.push(instr);
+    }
+    // Trailing insertions (at == len).
+    if let Some(ins) = by_addr.get(&len) {
+        instrs.extend(ins.iter().cloned());
+    }
+
+    let labels: BTreeMap<String, usize> = program
+        .labels()
+        .map(|(name, addr)| (name.to_owned(), remap(addr)))
+        .collect();
+    Program::new(instrs, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    #[test]
+    fn insertion_shifts_later_targets() {
+        let p = parse_program("mov $1, 1\nbeq $1, 1, end\nnop\nend: halt").unwrap();
+        let p2 = insert_before(&p, &[(2, vec![Instr::Nop, Instr::Nop])]).unwrap();
+        assert_eq!(p2.len(), 6);
+        // The branch to `end` (was 3) now targets 5.
+        assert!(matches!(p2.fetch(1), Some(Instr::Branch { target: 5, .. })));
+        assert_eq!(p2.label_address("end"), Some(5));
+    }
+
+    #[test]
+    fn branch_to_guarded_instruction_runs_the_guard() {
+        // A backedge to `loop` must execute the inserted check each
+        // iteration.
+        let p = parse_program("mov $1, 3\nloop: subi $1, $1, 1\nbgt $1, 0, loop\nhalt").unwrap();
+        let p2 = insert_before(&p, &[(1, vec![Instr::Check { id: 9 }])]).unwrap();
+        // Backedge now targets the check, not the subi.
+        assert!(matches!(p2.fetch(1), Some(Instr::Check { id: 9 })));
+        assert!(matches!(p2.fetch(3), Some(Instr::Branch { target: 1, .. })));
+        assert_eq!(p2.label_address("loop"), Some(1));
+    }
+
+    #[test]
+    fn earlier_targets_unshifted() {
+        let p = parse_program("a: nop\njmp a\nhalt").unwrap();
+        let p2 = insert_before(&p, &[(2, vec![Instr::Nop])]).unwrap();
+        assert!(matches!(p2.fetch(1), Some(Instr::Jmp { target: 0 })));
+    }
+
+    #[test]
+    fn multiple_sites_accumulate_shifts() {
+        let p = parse_program("nop\nnop\nnop\njmp end\nend: halt").unwrap();
+        let p2 = insert_before(
+            &p,
+            &[(0, vec![Instr::Nop]), (2, vec![Instr::Nop, Instr::Nop])],
+        )
+        .unwrap();
+        assert_eq!(p2.len(), 8);
+        // `end` was 4; shifted by 3.
+        assert_eq!(p2.label_address("end"), Some(7));
+        assert!(matches!(p2.fetch(6), Some(Instr::Jmp { target: 7 })));
+    }
+
+    #[test]
+    fn out_of_range_insertion_rejected() {
+        let p = parse_program("halt").unwrap();
+        assert!(insert_before(&p, &[(5, vec![Instr::Nop])]).is_err());
+    }
+
+    #[test]
+    fn trailing_insertion_allowed() {
+        let p = parse_program("nop\nhalt").unwrap();
+        let p2 = insert_before(&p, &[(2, vec![Instr::Nop])]).unwrap();
+        assert_eq!(p2.len(), 3);
+    }
+
+    #[test]
+    fn semantics_preserved_for_nop_insertions() {
+        use crate::{Cmp, Operand, Reg};
+        // A looping program; inserting nops must not change its output.
+        let p = parse_program(
+            "mov $1, 4\nmov $2, 0\nloop: add $2, $2, $1\nsubi $1, $1, 1\nbgt $1, 0, loop\nprint $2\nhalt",
+        )
+        .unwrap();
+        let p2 = insert_before(
+            &p,
+            &[(2, vec![Instr::Nop]), (4, vec![Instr::Nop]), (5, vec![Instr::Nop])],
+        )
+        .unwrap();
+        // Cheap structural checks (full behavioural equivalence is covered
+        // by the machine tests that run instrumented programs).
+        assert_eq!(p2.len(), p.len() + 3);
+        let backedge = p2
+            .instrs()
+            .iter()
+            .find_map(|i| match i {
+                Instr::Branch {
+                    cmp: Cmp::Gt,
+                    src: Operand::Imm(0),
+                    target,
+                    rs,
+                } if *rs == Reg::r(1) => Some(*target),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(backedge, p2.label_address("loop").unwrap());
+    }
+}

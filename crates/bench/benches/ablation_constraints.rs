@@ -1,0 +1,56 @@
+//! Ablation (DESIGN.md ⚗1): the constraint solver on vs off.
+//!
+//! With the solver disabled, forked comparisons learn nothing: later
+//! comparisons on the same erroneous location re-fork inconsistently, the
+//! state space grows, and spurious outcomes (false positives) appear. This
+//! bench measures the time cost; the companion test in `tests/` checks the
+//! state-count and false-positive effects.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sympl_asm::Reg;
+use sympl_check::{Predicate, SearchLimits};
+use sympl_inject::{run_point, InjectTarget, InjectionPoint};
+use sympl_machine::ExecLimits;
+
+fn limits(track_constraints: bool) -> SearchLimits {
+    SearchLimits {
+        exec: ExecLimits {
+            max_steps: 1_000,
+            track_constraints,
+            ..ExecLimits::default()
+        },
+        max_states: 200_000,
+        max_solutions: 1_000,
+        max_time: None,
+    }
+}
+
+fn bench_constraint_ablation(c: &mut Criterion) {
+    let w = sympl_apps::factorial_with_detectors().with_input(vec![6]);
+    let point = InjectionPoint::new(10, InjectTarget::Register(Reg::r(3)));
+    let mut group = c.benchmark_group("ablation_constraints");
+    for (label, track) in [("solver_on", true), ("solver_off", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &track, |b, &track| {
+            b.iter(|| {
+                let out = run_point(
+                    &w.program,
+                    &w.detectors,
+                    &w.input,
+                    black_box(&point),
+                    &Predicate::Any,
+                    &limits(track),
+                );
+                black_box(out.report.states_explored)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_constraint_ablation
+}
+criterion_main!(benches);

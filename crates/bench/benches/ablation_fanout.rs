@@ -1,0 +1,57 @@
+//! Ablation (DESIGN.md ⚗4): control-error fork fan-out caps.
+//!
+//! The paper's model forks an erroneous jump target over *every* valid
+//! code location. Capping the fan-out trades exhaustiveness (the
+//! catastrophic tcas landing may be sampled away) for time. This bench
+//! sweeps the cap on the §6.2 injection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sympl_asm::{Instr, Reg};
+use sympl_check::{Predicate, SearchLimits};
+use sympl_inject::{run_point, InjectTarget, InjectionPoint};
+use sympl_machine::ExecLimits;
+
+fn bench_fanout(c: &mut Criterion) {
+    let w = sympl_apps::tcas();
+    let epilogue = w.program.label_address("ncbc_done").unwrap();
+    let jr = epilogue + 2;
+    assert!(matches!(w.program.fetch(jr), Some(Instr::Jr { .. })));
+    let point = InjectionPoint::new(jr, InjectTarget::Register(Reg::r(31)));
+
+    let mut group = c.benchmark_group("ablation_fanout");
+    for cap in [Some(4usize), Some(16), Some(64), None] {
+        let label = cap.map_or("all".to_string(), |c| c.to_string());
+        let limits = SearchLimits {
+            exec: ExecLimits {
+                max_steps: w.max_steps,
+                fork_jump_targets: cap,
+                ..ExecLimits::default()
+            },
+            max_states: 500_000,
+            max_solutions: 10,
+            max_time: None,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(&label), &limits, |b, limits| {
+            b.iter(|| {
+                let out = run_point(
+                    &w.program,
+                    &w.detectors,
+                    &w.input,
+                    black_box(&point),
+                    &Predicate::ExactOutput { output: vec![2] },
+                    limits,
+                );
+                black_box((out.report.states_explored, out.report.solutions.len()))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fanout
+}
+criterion_main!(benches);

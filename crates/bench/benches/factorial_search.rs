@@ -1,0 +1,82 @@
+//! Figures 2 & 3 benchmark: symbolic search on the factorial programs.
+//!
+//! Measures the §4 walkthrough — the loop-counter injection on the plain
+//! (Figure 2) and detector-protected (Figure 3) factorial. The injected
+//! counter can loop to the watchdog, so search *time* scales with the
+//! instruction bound (swept below), while the number of distinct halting
+//! outcomes scales with n (the §4.1 ≤ n+1 claim, asserted by the
+//! `fig2_fig3` binary) — never with the 2^k concrete value space.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sympl_asm::Reg;
+use sympl_check::{Predicate, SearchLimits};
+use sympl_inject::{run_point, InjectTarget, InjectionPoint};
+use sympl_machine::ExecLimits;
+
+fn limits(max_steps: u64) -> SearchLimits {
+    SearchLimits {
+        exec: ExecLimits::with_max_steps(max_steps),
+        max_solutions: 1_000,
+        ..SearchLimits::default()
+    }
+}
+
+fn bench_factorial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_factorial_search");
+    let w = sympl_apps::factorial().with_input(vec![5]);
+    let point = InjectionPoint::new(7, InjectTarget::Register(Reg::r(3)));
+    for max_steps in [250u64, 500, 1_000, 2_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(max_steps),
+            &max_steps,
+            |b, &max_steps| {
+                b.iter(|| {
+                    let out = run_point(
+                        &w.program,
+                        &w.detectors,
+                        &w.input,
+                        black_box(&point),
+                        &Predicate::Any,
+                        &limits(max_steps),
+                    );
+                    black_box(out.report.states_explored)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_factorial_detectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_factorial_detectors");
+    let w = sympl_apps::factorial_with_detectors().with_input(vec![5]);
+    let point = InjectionPoint::new(10, InjectTarget::Register(Reg::r(3)));
+    for max_steps in [250u64, 500, 1_000, 2_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(max_steps),
+            &max_steps,
+            |b, &max_steps| {
+                b.iter(|| {
+                    let out = run_point(
+                        &w.program,
+                        &w.detectors,
+                        &w.input,
+                        black_box(&point),
+                        &Predicate::Detected,
+                        &limits(max_steps),
+                    );
+                    black_box(out.report.solutions.len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_factorial, bench_factorial_detectors
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! §6.4 benchmark: symbolic injections on replace.
+//!
+//! Measures the paper's example scenario — corrupting the `dodash` range
+//! parameter so an erroneous pattern is constructed — and a whole-function
+//! sweep over `makepat`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use sympl_asm::Reg;
+use sympl_check::{Predicate, SearchLimits};
+use sympl_inject::{enumerate_points, run_point, ErrorClass, InjectTarget, InjectionPoint};
+use sympl_machine::ExecLimits;
+
+fn limits() -> SearchLimits {
+    SearchLimits {
+        exec: ExecLimits::with_max_steps(20_000),
+        max_states: 60_000,
+        max_solutions: 10,
+        max_time: Some(Duration::from_secs(20)),
+    }
+}
+
+fn bench_dodash_injection(c: &mut Criterion) {
+    let w = sympl_apps::replace();
+    let golden = sympl_apps::golden(&w).output_ints();
+    // dd_loop's `setgt $9, $8, $5` reads the range-end parameter $5.
+    let dd = w.program.label_address("dd_loop").expect("replace label");
+    let point = InjectionPoint::new(dd, InjectTarget::Register(Reg::r(5)));
+    c.bench_function("replace_dodash_injection", |b| {
+        b.iter(|| {
+            let out = run_point(
+                &w.program,
+                &w.detectors,
+                &w.input,
+                black_box(&point),
+                &Predicate::WrongOutput {
+                    expected: golden.clone(),
+                },
+                &limits(),
+            );
+            black_box(out.report.states_explored)
+        });
+    });
+}
+
+fn bench_makepat_sweep(c: &mut Criterion) {
+    let w = sympl_apps::replace();
+    let golden = sympl_apps::golden(&w).output_ints();
+    let makepat = w.program.label_address("makepat").unwrap();
+    let getccl = w.program.label_address("getccl").unwrap();
+    let points: Vec<_> = enumerate_points(&w.program, &ErrorClass::RegisterFile)
+        .into_iter()
+        .filter(|p| p.breakpoint >= makepat && p.breakpoint < getccl)
+        .collect();
+    assert!(!points.is_empty());
+    c.bench_function("replace_makepat_sweep", |b| {
+        b.iter(|| {
+            let mut findings = 0usize;
+            for point in &points {
+                let out = run_point(
+                    &w.program,
+                    &w.detectors,
+                    &w.input,
+                    point,
+                    &Predicate::WrongOutput {
+                        expected: golden.clone(),
+                    },
+                    &limits(),
+                );
+                findings += out.report.solutions.len();
+            }
+            black_box(findings)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dodash_injection, bench_makepat_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Table 2 benchmark: throughput of the SimpleScalar-substitute concrete
+//! injection campaign on tcas (runs per second drive how many faults a
+//! fixed wall budget can cover — the axis on which the paper compares
+//! 6253/41082 concrete injections against the symbolic search).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use sympl_machine::ExecLimits;
+use sympl_ssim::{enumerate_concrete_points, run_campaign, run_injected, CampaignConfig};
+
+fn bench_single_run(c: &mut Criterion) {
+    let w = sympl_apps::tcas();
+    let points = enumerate_concrete_points(&w.program);
+    let point = points[points.len() / 2];
+    let limits = ExecLimits::with_max_steps(w.max_steps);
+    c.bench_function("ssim_single_injected_run", |b| {
+        b.iter(|| {
+            black_box(run_injected(
+                &w.program,
+                &w.detectors,
+                &w.input,
+                black_box(&point),
+                -1,
+                &limits,
+            ))
+        });
+    });
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let w = sympl_apps::tcas();
+    let limits = ExecLimits::with_max_steps(w.max_steps);
+    let mut group = c.benchmark_group("ssim_campaign");
+    for random_per_point in [3usize, 9] {
+        let config = CampaignConfig {
+            random_per_point,
+            ..CampaignConfig::default()
+        };
+        let runs = enumerate_concrete_points(&w.program).len() * (3 + random_per_point);
+        group.throughput(Throughput::Elements(runs as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(random_per_point),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let report =
+                        run_campaign(&w.program, &w.detectors, &w.input, config, &limits);
+                    assert!(!report.saw_output(&[2]));
+                    black_box(report.total_runs())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_single_run, bench_campaign
+}
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! Figures 2 & 3: the factorial walkthrough of paper §4.
+//!
+//! Part 1 (Figure 2): inject `err` into the loop counter `$3` right after
+//! the decrement, at every dynamic iteration, and enumerate the outcomes —
+//! the paper's 1!, 2!, …, n! prefix products, plus err prints and the
+//! watchdog timeout.
+//!
+//! Part 2 (Figure 3): the same error against the detector-protected
+//! program: the searches show which forks the detectors catch and which
+//! escape, with the constraints under which each happens.
+//!
+//! Part 3 (§4.1 complexity claim): SymPLFIED explores O(n) cases where
+//! concrete injection would need up to 2^k values.
+
+use sympl_asm::Reg;
+use sympl_bench::render_table;
+use sympl_check::{Predicate, SearchLimits};
+use sympl_inject::{run_point, InjectTarget, InjectionPoint};
+use sympl_machine::{ExecLimits, Status};
+
+fn main() {
+    let n: i64 = 5;
+    println!("Figures 2 & 3: factorial under a loop-counter error (input {n})\n");
+
+    // --- Figure 2: unprotected program -------------------------------
+    let w = sympl_apps::factorial().with_input(vec![n]);
+    let subi = 7; // `subi $3 $3 #1`, the paper's line 8
+    let limits = SearchLimits {
+        exec: ExecLimits::with_max_steps(400),
+        max_solutions: 100,
+        ..SearchLimits::default()
+    };
+
+    let mut rows = Vec::new();
+    let mut total_states = 0usize;
+    for occurrence in 1..=u32::try_from(n).unwrap_or(1) {
+        let point =
+            InjectionPoint::new(subi, InjectTarget::Register(Reg::r(3))).at_occurrence(occurrence);
+        let outcome = run_point(
+            &w.program,
+            &w.detectors,
+            &w.input,
+            &point,
+            &Predicate::Any,
+            &limits,
+        );
+        total_states += outcome.report.states_explored;
+        let mut printed: Vec<String> = outcome
+            .report
+            .solutions
+            .iter()
+            .filter(|s| s.state.status() == &Status::Halted)
+            .map(|s| s.state.rendered_output())
+            .collect();
+        printed.sort();
+        printed.dedup();
+        let hangs = outcome
+            .report
+            .solutions
+            .iter()
+            .filter(|s| s.state.status() == &Status::TimedOut)
+            .count();
+        rows.push(vec![
+            occurrence.to_string(),
+            printed.join(" | "),
+            hangs.to_string(),
+            outcome.report.states_explored.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Injected iteration", "Halting outputs", "Hangs", "States"],
+            &rows
+        )
+    );
+    println!(
+        "All n={n} iterations: {total_states} states explored vs 2^64 \
+         candidate concrete values per injection (§4.1).\n"
+    );
+
+    // --- Figure 3: with detectors -------------------------------------
+    let wd = sympl_apps::factorial_with_detectors().with_input(vec![n]);
+    let subi_det = 10; // `subi $3 $3 #1` in the detector version
+    let mut rows = Vec::new();
+    for occurrence in 1..=u32::try_from(n).unwrap_or(1) {
+        let point = InjectionPoint::new(subi_det, InjectTarget::Register(Reg::r(3)))
+            .at_occurrence(occurrence);
+        let outcome = run_point(
+            &wd.program,
+            &wd.detectors,
+            &wd.input,
+            &point,
+            &Predicate::Any,
+            &limits,
+        );
+        let detected = outcome
+            .report
+            .solutions
+            .iter()
+            .filter(|s| matches!(s.state.status(), Status::Detected(_)))
+            .count();
+        let escaped_wrong = outcome
+            .report
+            .solutions
+            .iter()
+            .filter(|s| {
+                s.state.status() == &Status::Halted && s.state.output_ints() != vec![120]
+            })
+            .count();
+        let constraints: Vec<String> = outcome
+            .report
+            .solutions
+            .iter()
+            .find(|s| matches!(s.state.status(), Status::Detected(_)))
+            .map(|s| {
+                s.state
+                    .constraints()
+                    .iter()
+                    .map(|(loc, set)| format!("{loc}: {set}"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        rows.push(vec![
+            occurrence.to_string(),
+            detected.to_string(),
+            escaped_wrong.to_string(),
+            constraints.join("; "),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Injected iteration",
+                "Detected forks",
+                "Escaping wrong outputs",
+                "Detection constraints (example)",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "The detected branches carry the constraints under which the \
+         detectors fire — the §4.2 explanation of which errors escape."
+    );
+}

@@ -1,0 +1,63 @@
+//! Table 3: the important functions of `replace`, with their entry labels,
+//! sizes, and roles — regenerated from the assembled program itself.
+
+use sympl_bench::render_table;
+
+fn main() {
+    let w = sympl_apps::replace();
+    let p = &w.program;
+
+    let functions: &[(&str, &str)] = &[
+        ("makepat", "Constructs pattern to be matched from input reg exp"),
+        ("getccl", "Called by makepat when scanning a '[' character"),
+        ("dodash", "Called by getccl for any character ranges in pattern"),
+        ("amatch", "Returns the position where pattern matched"),
+        (
+            "locate",
+            "Called by amatch to find whether the pattern appears at a string index",
+        ),
+    ];
+
+    // Function size = distance to the next top-level function label.
+    let mut starts: Vec<(usize, &str)> = functions
+        .iter()
+        .filter_map(|(name, _)| p.label_address(name).map(|a| (a, *name)))
+        .collect();
+    starts.push((p.label_address("main").unwrap_or(0), "main"));
+    starts.sort_unstable();
+
+    let size_of = |name: &str| -> usize {
+        let Some(start) = p.label_address(name) else { return 0 };
+        let end = starts
+            .iter()
+            .map(|&(a, _)| a)
+            .filter(|&a| a > start)
+            .min()
+            .unwrap_or(p.len());
+        end - start
+    };
+
+    let rows: Vec<Vec<String>> = functions
+        .iter()
+        .map(|(name, role)| {
+            vec![
+                (*name).to_string(),
+                p.label_address(name)
+                    .map_or("?".into(), |a| a.to_string()),
+                size_of(name).to_string(),
+                (*role).to_string(),
+            ]
+        })
+        .collect();
+
+    println!("Table 3: important functions in replace\n");
+    println!(
+        "{}",
+        render_table(&["Function", "Entry", "Instrs", "Role"], &rows)
+    );
+    println!(
+        "replace: {} instructions total, golden output on default input: {:?}",
+        p.len(),
+        sympl_apps::golden(&w).output_ints()
+    );
+}

@@ -1,0 +1,117 @@
+//! §6.2: the full symbolic register-error campaign on tcas.
+//!
+//! Reproduces the paper's evaluation: for every register used by every
+//! instruction, inject `err` just before the use, and search for runs that
+//! throw no exception and print a value other than the correct advisory 1.
+//! The campaign is sharded into tasks over a worker pool (the paper's 150
+//! cluster nodes), each task capped at 10 findings and a wall budget.
+//!
+//! Usage: `tcas_campaign [--tasks N] [--quick]`
+
+use std::time::Duration;
+
+use sympl_bench::{campaign_limits, render_table};
+use sympl_check::Predicate;
+use sympl_cluster::{run_cluster, ClusterConfig};
+use sympl_inject::{Campaign, ErrorClass};
+use sympl_machine::Status;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let tasks = args
+        .iter()
+        .position(|a| a == "--tasks")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150);
+
+    let w = sympl_apps::tcas();
+    let golden = sympl_apps::golden(&w).output_ints();
+    println!(
+        "tcas: {} instructions, golden output {:?} (upward advisory)",
+        w.program.len(),
+        golden
+    );
+
+    let campaign = Campaign::new(&w.program, ErrorClass::RegisterFile);
+    println!(
+        "register-error campaign: {} injection points, {} tasks\n",
+        campaign.len(),
+        tasks
+    );
+
+    let mut search = campaign_limits(w.max_steps);
+    if quick {
+        search.max_states = 50_000;
+    }
+    let config = ClusterConfig {
+        tasks,
+        search,
+        task_budget: Some(Duration::from_secs(if quick { 10 } else { 120 })),
+        max_findings_per_task: 10,
+        ..ClusterConfig::default()
+    };
+
+    let report = run_cluster(
+        &w.program,
+        &w.detectors,
+        &w.input,
+        &campaign,
+        &Predicate::WrongOutput {
+            expected: golden.clone(),
+        },
+        &config,
+    );
+
+    println!("{}\n", report.summary());
+
+    // Bucket the findings by printed outcome, as §6.2 discusses them.
+    let mut catastrophic = 0usize; // printed exactly 2
+    let mut unresolved = 0usize; // printed exactly 0
+    let mut out_of_range = 0usize; // any other printed value(s)
+    let mut err_prints = 0usize; // printed the err symbol
+    for f in &report.findings {
+        if f.solution.state.output_contains_err() {
+            err_prints += 1;
+        } else {
+            match f.solution.state.output_ints().as_slice() {
+                [2] => catastrophic += 1,
+                [0] => unresolved += 1,
+                _ => out_of_range += 1,
+            }
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Escaping outcome", "Findings"],
+            &[
+                vec!["advisory 2 (catastrophic)".into(), catastrophic.to_string()],
+                vec!["advisory 0 (unresolved)".into(), unresolved.to_string()],
+                vec!["out-of-range value".into(), out_of_range.to_string()],
+                vec!["err printed".into(), err_prints.to_string()],
+            ]
+        )
+    );
+
+    if let Some(f) = report
+        .findings
+        .iter()
+        .find(|f| f.solution.state.output_ints() == vec![2] && !f.solution.state.output_contains_err())
+    {
+        let (label, off) = w
+            .program
+            .enclosing_label(f.point.breakpoint)
+            .unwrap_or(("?", 0));
+        println!(
+            "\nCatastrophic witness: {} (inside {label}+{off})\n  status: {}\n  trace: {}",
+            f.point,
+            f.solution.state.status(),
+            f.solution.trace_summary(16)
+        );
+        assert_eq!(f.solution.state.status(), &Status::Halted);
+    } else {
+        println!("\nNo catastrophic (advisory-2) witness found under these budgets.");
+    }
+}

@@ -1,0 +1,365 @@
+//! The breadth-first exhaustive search (Maude's `search =>!`).
+
+use std::collections::{HashSet, VecDeque};
+use std::time::{Duration, Instant};
+
+use sympl_asm::Program;
+use sympl_detect::DetectorSet;
+use sympl_machine::{ExecLimits, MachineState};
+
+use crate::{OutcomeCounts, Predicate, SearchReport, Solution};
+
+/// Budgets for one search task.
+///
+/// `exec` bounds each *path* (the watchdog); the remaining fields bound the
+/// *search*: total states, matching solutions (the paper capped each
+/// cluster task at 10 findings), and wall-clock time (the paper allotted 30
+/// minutes per task).
+#[derive(Debug, Clone)]
+pub struct SearchLimits {
+    /// Per-path execution bounds (watchdog + fork caps).
+    pub exec: ExecLimits,
+    /// Maximum states to expand before giving up.
+    pub max_states: usize,
+    /// Stop after this many predicate matches.
+    pub max_solutions: usize,
+    /// Wall-clock budget for the whole search.
+    pub max_time: Option<Duration>,
+}
+
+impl SearchLimits {
+    /// Limits with the given watchdog bound.
+    #[must_use]
+    pub fn with_max_steps(max_steps: u64) -> Self {
+        SearchLimits {
+            exec: ExecLimits::with_max_steps(max_steps),
+            ..SearchLimits::default()
+        }
+    }
+}
+
+impl Default for SearchLimits {
+    fn default() -> Self {
+        SearchLimits {
+            exec: ExecLimits::default(),
+            max_states: 1_000_000,
+            max_solutions: 10,
+            max_time: None,
+        }
+    }
+}
+
+/// Exhaustively explores the symbolic state space from `initial`,
+/// collecting terminal states that satisfy `predicate`.
+///
+/// The search is breadth-first from the initial state, visiting each
+/// distinct machine state once (deduplicated by value), exactly like the
+/// paper's §5.4 search command; it stops early when a state, solution, or
+/// time budget is exceeded, and reports which.
+#[must_use]
+pub fn search(
+    program: &Program,
+    detectors: &DetectorSet,
+    initial: MachineState,
+    predicate: &Predicate,
+    limits: &SearchLimits,
+) -> SearchReport {
+    search_many(program, detectors, vec![initial], predicate, limits)
+}
+
+/// Like [`search`] but seeded with several initial states (e.g. one per
+/// non-deterministic injection choice).
+#[must_use]
+pub fn search_many(
+    program: &Program,
+    detectors: &DetectorSet,
+    initials: Vec<MachineState>,
+    predicate: &Predicate,
+    limits: &SearchLimits,
+) -> SearchReport {
+    let start = Instant::now();
+    let mut report = SearchReport::default();
+    let mut terminals = OutcomeCounts::default();
+
+    // Parent arena for witness traces: (parent index or usize::MAX, pc).
+    let mut arena: Vec<(usize, usize)> = Vec::new();
+    let mut visited: HashSet<MachineState> = HashSet::new();
+    let mut frontier: VecDeque<(MachineState, usize)> = VecDeque::new();
+
+    for s in initials {
+        let pc = s.pc();
+        if visited.insert(s.clone()) {
+            arena.push((usize::MAX, pc));
+            frontier.push_back((s, arena.len() - 1));
+        }
+    }
+
+    // Check the time budget only every few expansions; Instant::now() is
+    // cheap but not free, and tasks expand millions of states.
+    const TIME_CHECK_MASK: usize = 0x3F;
+
+    while let Some((state, idx)) = frontier.pop_front() {
+        if report.states_explored >= limits.max_states {
+            report.hit_state_cap = true;
+            break;
+        }
+        if let Some(budget) = limits.max_time {
+            if report.states_explored & TIME_CHECK_MASK == 0 && start.elapsed() >= budget {
+                report.hit_time_cap = true;
+                break;
+            }
+        }
+        report.states_explored += 1;
+
+        if state.status().is_terminal() {
+            terminals.record(&state);
+            if predicate.matches(&state) {
+                report.solutions.push(Solution {
+                    trace: reconstruct_trace(&arena, idx),
+                    state,
+                });
+                if report.solutions.len() >= limits.max_solutions {
+                    report.hit_solution_cap = true;
+                    break;
+                }
+            }
+            continue;
+        }
+
+        for succ in state.step(program, detectors, &limits.exec) {
+            if visited.contains(&succ) {
+                report.duplicate_hits += 1;
+                continue;
+            }
+            visited.insert(succ.clone());
+            arena.push((idx, succ.pc()));
+            frontier.push_back((succ, arena.len() - 1));
+        }
+    }
+
+    report.exhausted =
+        frontier.is_empty() && !report.hit_state_cap && !report.hit_solution_cap && !report.hit_time_cap;
+    report.terminals = terminals;
+    report.elapsed = start.elapsed();
+    report
+}
+
+fn reconstruct_trace(arena: &[(usize, usize)], mut idx: usize) -> Vec<usize> {
+    let mut trace = Vec::new();
+    loop {
+        let (parent, pc) = arena[idx];
+        trace.push(pc);
+        if parent == usize::MAX {
+            break;
+        }
+        idx = parent;
+    }
+    trace.reverse();
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympl_asm::{parse_program, Reg};
+    use sympl_machine::Status;
+    use sympl_symbolic::Value;
+
+    fn dets() -> DetectorSet {
+        DetectorSet::new()
+    }
+
+    #[test]
+    fn error_free_program_is_proof() {
+        let p = parse_program("mov $1, 1\nprint $1\nhalt").unwrap();
+        let report = search(
+            &p,
+            &dets(),
+            MachineState::new(),
+            &Predicate::OutputContainsErr,
+            &SearchLimits::default(),
+        );
+        assert!(report.is_proof_of_resilience());
+        assert_eq!(report.terminals.halted, 1);
+    }
+
+    #[test]
+    fn finds_err_output_with_trace() {
+        let p = parse_program("beq $1, 0, skip\nnop\nskip: print $1\nhalt").unwrap();
+        let mut s = MachineState::new();
+        s.set_reg(Reg::r(1), Value::Err);
+        let report = search(
+            &p,
+            &dets(),
+            s,
+            &Predicate::OutputContainsErr,
+            &SearchLimits::default(),
+        );
+        // Branch forks: taken ($1==0, substituted -> prints 0, not err) and
+        // not-taken ($1 != 0 -> prints err).
+        assert_eq!(report.solutions.len(), 1);
+        let sol = &report.solutions[0];
+        assert!(sol.state.output_contains_err());
+        assert_eq!(sol.trace.first(), Some(&0));
+        // The not-taken path goes 0 -> 1 -> 2 -> 3(terminal halt keeps pc).
+        assert!(sol.trace.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn solution_cap_respected() {
+        // Loop that forks every iteration and prints err before halting on
+        // one side: produces many solutions; cap at 3.
+        let p = parse_program(
+            "loop: beq $1, 0, out\nprint $1\nbeq $0, 0, loop\nout: print $1\nhalt",
+        )
+        .unwrap();
+        let mut s = MachineState::new();
+        s.set_reg(Reg::r(1), Value::Err);
+        let limits = SearchLimits {
+            max_solutions: 3,
+            exec: ExecLimits::with_max_steps(200),
+            ..SearchLimits::default()
+        };
+        let report = search(&p, &dets(), s, &Predicate::OutputContainsErr, &limits);
+        assert!(report.solutions.len() <= 3);
+        assert!(report.hit_solution_cap || report.exhausted);
+    }
+
+    #[test]
+    fn state_cap_truncates() {
+        let p = parse_program("loop: addi $2, $2, 1\nbeq $0, 0, loop").unwrap();
+        let limits = SearchLimits {
+            max_states: 50,
+            exec: ExecLimits::with_max_steps(1_000_000),
+            ..SearchLimits::default()
+        };
+        let report = search(
+            &p,
+            &dets(),
+            MachineState::new(),
+            &Predicate::Any,
+            &limits,
+        );
+        assert!(report.hit_state_cap);
+        assert!(!report.exhausted);
+    }
+
+    #[test]
+    fn time_cap_truncates() {
+        let p = parse_program("loop: addi $2, $2, 1\nbeq $0, 0, loop").unwrap();
+        let limits = SearchLimits {
+            max_time: Some(Duration::ZERO),
+            exec: ExecLimits::with_max_steps(u64::MAX),
+            ..SearchLimits::default()
+        };
+        let report = search(
+            &p,
+            &dets(),
+            MachineState::new(),
+            &Predicate::Any,
+            &limits,
+        );
+        assert!(report.hit_time_cap);
+    }
+
+    #[test]
+    fn pure_cycles_surface_as_hangs() {
+        // A loop that revisits the same configuration forever: the search
+        // must NOT dedup it into silence — it must run into the watchdog
+        // and report timed-out terminals, because a real execution hangs.
+        let p = parse_program("loop: beq $1, 0, loop\njmp loop").unwrap();
+        let mut s = MachineState::new();
+        s.set_reg(Reg::r(1), Value::Err);
+        let limits = SearchLimits {
+            exec: ExecLimits::with_max_steps(60),
+            max_states: 100_000,
+            ..SearchLimits::default()
+        };
+        let report = search(&p, &dets(), s, &Predicate::Hung, &limits);
+        // Exactly two hanging paths: the $1 = 0 path (pinned by the first
+        // taken fork) and the $1 != 0 path. Later taken forks are pruned by
+        // the Ne(0) constraint learned on the not-taken path, so the state
+        // space stays linear in the watchdog bound.
+        assert_eq!(report.solutions.len(), 2, "{report}");
+        assert!(report.terminals.hung >= 2, "{report}");
+        assert!(report.states_explored < 200, "solver must prune re-forks: {report}");
+    }
+
+    #[test]
+    fn bfs_finds_shortest_witness_first() {
+        // Two paths to err output: a short one and a long one.
+        let p = parse_program(
+            "beq $1, 0, long\nprint $1\nhalt\nlong: nop\nnop\nnop\nnop\nmov $1, 1\nprint $1\nhalt",
+        )
+        .unwrap();
+        let mut s = MachineState::new();
+        s.set_reg(Reg::r(1), Value::Err);
+        let report = search(
+            &p,
+            &dets(),
+            s,
+            &Predicate::OutputContainsErr,
+            &SearchLimits::default(),
+        );
+        assert_eq!(report.solutions.len(), 1);
+        assert!(
+            report.solutions[0].trace.len() <= 4,
+            "BFS should find the short witness: {:?}",
+            report.solutions[0].trace
+        );
+    }
+
+    #[test]
+    fn search_many_explores_all_seeds() {
+        let p = parse_program("print $1\nhalt").unwrap();
+        let mut a = MachineState::new();
+        a.set_reg(Reg::r(1), Value::Err);
+        let b = MachineState::new(); // prints 0
+        let report = search_many(
+            &p,
+            &dets(),
+            vec![a, b],
+            &Predicate::Any,
+            &SearchLimits::default(),
+        );
+        assert_eq!(report.solutions.len(), 2);
+        assert!(report.exhausted);
+    }
+
+    #[test]
+    fn wrong_output_predicate_on_forked_program() {
+        // Program should print 7; an err in $1 can redirect the branch.
+        let p = parse_program(
+            "beq $1, 1, bad\nmov $2, 7\nprint $2\nhalt\nbad: mov $2, 9\nprint $2\nhalt",
+        )
+        .unwrap();
+        let mut s = MachineState::new();
+        s.set_reg(Reg::r(1), Value::Err);
+        let report = search(
+            &p,
+            &dets(),
+            s,
+            &Predicate::WrongOutput { expected: vec![7] },
+            &SearchLimits::default(),
+        );
+        assert_eq!(report.solutions.len(), 1);
+        assert_eq!(report.solutions[0].state.output_ints(), vec![9]);
+    }
+
+    #[test]
+    fn detected_terminal_counted() {
+        use sympl_detect::Detector;
+        let mut detectors = DetectorSet::new();
+        detectors.insert(Detector::parse("det(1, $(1), ==, (5))").unwrap());
+        let p = parse_program("check 1\nprint $1\nhalt").unwrap();
+        let mut s = MachineState::new();
+        s.set_reg(Reg::r(1), Value::Err);
+        let report = search(&p, &detectors, s, &Predicate::Any, &SearchLimits::default());
+        assert_eq!(report.terminals.detected, 1);
+        assert_eq!(report.terminals.halted, 1);
+        assert!(report
+            .solutions
+            .iter()
+            .any(|sol| matches!(sol.state.status(), Status::Detected(1))));
+    }
+}

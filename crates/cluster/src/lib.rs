@@ -1,0 +1,437 @@
+//! # sympl-cluster — the parallel campaign runner
+//!
+//! The paper's evaluation (§6.1) ran its searches "on a cluster of 150
+//! dual-processor AMD Opteron machines": the overall search command was
+//! "split into multiple smaller searches, each of which sweeps a particular
+//! section of the program code", performed independently and pooled, with
+//! each task capped at 10 findings and a 30-minute wall budget.
+//!
+//! This crate reproduces that harness on a thread pool. A [`Campaign`]'s
+//! injection points are sharded into [`TaskSpec`]s; worker threads run each
+//! task's points through the model checker under per-task caps; results are
+//! pooled into a [`CampaignReport`] whose task-completion statistics mirror
+//! the ones the paper reports (tasks completed / found errors / found
+//! nothing, average completion time).
+//!
+//! ```no_run
+//! use sympl_asm::parse_program;
+//! use sympl_check::Predicate;
+//! use sympl_cluster::{run_cluster, ClusterConfig};
+//! use sympl_detect::DetectorSet;
+//! use sympl_inject::{Campaign, ErrorClass};
+//!
+//! let program = parse_program("read $1\nprint $1\nhalt")?;
+//! let campaign = Campaign::new(&program, ErrorClass::RegisterFile);
+//! let report = run_cluster(
+//!     &program,
+//!     &DetectorSet::new(),
+//!     &[7],
+//!     &campaign,
+//!     &Predicate::OutputContainsErr,
+//!     &ClusterConfig::default(),
+//! );
+//! println!("{}", report.summary());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use sympl_asm::Program;
+use sympl_check::{Predicate, SearchLimits, Solution};
+use sympl_detect::DetectorSet;
+use sympl_inject::{run_point, Campaign, InjectionPoint};
+
+/// One shard of a campaign: a set of injection points examined by a single
+/// worker under one time/finding budget.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    /// Task identifier (its index in the shard list).
+    pub id: usize,
+    /// The injection points this task sweeps.
+    pub points: Vec<InjectionPoint>,
+}
+
+/// A finding: an injection point together with one terminal state that
+/// matched the campaign predicate.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The task that produced the finding.
+    pub task_id: usize,
+    /// The corrupted location / breakpoint.
+    pub point: InjectionPoint,
+    /// The matching terminal state and its witness trace.
+    pub solution: Solution,
+}
+
+/// Per-task results.
+#[derive(Debug, Clone)]
+pub struct TaskResult {
+    /// The task's identifier.
+    pub id: usize,
+    /// Number of injection points examined before the budget ran out.
+    pub points_examined: usize,
+    /// Number of points in the task.
+    pub points_total: usize,
+    /// Points whose breakpoint was reached (fault activated).
+    pub activated: usize,
+    /// Predicate-matching terminal states found.
+    pub findings: usize,
+    /// Whether every point was fully searched within the budgets.
+    pub completed: bool,
+    /// Wall-clock duration of the task.
+    pub elapsed: Duration,
+    /// Total states explored by this task's searches.
+    pub states_explored: usize,
+}
+
+/// Cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Worker threads (the paper used 150 cluster nodes).
+    pub workers: usize,
+    /// Number of tasks the campaign is split into.
+    pub tasks: usize,
+    /// Per-point search limits (watchdog, state cap, …).
+    pub search: SearchLimits,
+    /// Wall-clock budget per *task* (the paper allotted 30 minutes).
+    pub task_budget: Option<Duration>,
+    /// Finding cap per task (the paper capped at 10).
+    pub max_findings_per_task: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            workers: std::thread::available_parallelism().map_or(4, usize::from),
+            tasks: 16,
+            search: SearchLimits::default(),
+            task_budget: None,
+            max_findings_per_task: 10,
+        }
+    }
+}
+
+/// Pooled results of a sharded campaign.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    /// Per-task results, ordered by task id.
+    pub tasks: Vec<TaskResult>,
+    /// All findings across tasks.
+    pub findings: Vec<Finding>,
+    /// Total wall-clock time of the campaign (not the sum of task times).
+    pub elapsed: Duration,
+}
+
+impl CampaignReport {
+    /// Tasks that ran all their points to completion within budget.
+    #[must_use]
+    pub fn tasks_completed(&self) -> usize {
+        self.tasks.iter().filter(|t| t.completed).count()
+    }
+
+    /// Completed tasks that found at least one error.
+    #[must_use]
+    pub fn tasks_with_findings(&self) -> usize {
+        self.tasks
+            .iter()
+            .filter(|t| t.completed && t.findings > 0)
+            .count()
+    }
+
+    /// Completed tasks that found nothing (benign or crashing errors only).
+    #[must_use]
+    pub fn tasks_without_findings(&self) -> usize {
+        self.tasks
+            .iter()
+            .filter(|t| t.completed && t.findings == 0)
+            .count()
+    }
+
+    /// Mean task duration among completed tasks.
+    #[must_use]
+    pub fn avg_completed_task_time(&self) -> Duration {
+        let completed: Vec<&TaskResult> = self.tasks.iter().filter(|t| t.completed).collect();
+        if completed.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = completed.iter().map(|t| t.elapsed).sum();
+        total / u32::try_from(completed.len()).unwrap_or(1)
+    }
+
+    /// A paper-style textual summary (the §6.2 "Running Time" paragraph).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} tasks: {} completed ({} found errors, {} found none), {} incomplete; \
+             {} findings total; avg completed-task time {:?}; campaign wall time {:?}",
+            self.tasks.len(),
+            self.tasks_completed(),
+            self.tasks_with_findings(),
+            self.tasks_without_findings(),
+            self.tasks.len() - self.tasks_completed(),
+            self.findings.len(),
+            self.avg_completed_task_time(),
+            self.elapsed,
+        )
+    }
+}
+
+/// Shards a campaign and runs it over a worker pool.
+///
+/// Deterministic in its *results* (every task examines a fixed point set
+/// with fixed budgets); only scheduling order varies across runs, unless a
+/// `task_budget` makes completion time-dependent.
+#[must_use]
+pub fn run_cluster(
+    program: &Program,
+    detectors: &DetectorSet,
+    input: &[i64],
+    campaign: &Campaign,
+    predicate: &Predicate,
+    config: &ClusterConfig,
+) -> CampaignReport {
+    let start = Instant::now();
+    let shards = campaign.shards(config.tasks);
+    let specs: Vec<TaskSpec> = shards
+        .into_iter()
+        .enumerate()
+        .map(|(id, points)| TaskSpec { id, points })
+        .collect();
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(TaskResult, Vec<Finding>)>> = Mutex::new(Vec::new());
+
+    let workers = config.workers.max(1);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(i) else { break };
+                let outcome = run_task(program, detectors, input, spec, predicate, config);
+                results
+                    .lock()
+                    .expect("worker panicked while holding the results lock")
+                    .push(outcome);
+            });
+        }
+    })
+    .expect("cluster worker panicked");
+
+    let mut pooled = results
+        .into_inner()
+        .expect("all workers joined before pooling");
+    pooled.sort_by_key(|(t, _)| t.id);
+
+    let mut report = CampaignReport {
+        elapsed: start.elapsed(),
+        ..CampaignReport::default()
+    };
+    for (task, findings) in pooled {
+        report.tasks.push(task);
+        report.findings.extend(findings);
+    }
+    report
+}
+
+/// Runs one task: sweep its points sequentially under the task budget.
+fn run_task(
+    program: &Program,
+    detectors: &DetectorSet,
+    input: &[i64],
+    spec: &TaskSpec,
+    predicate: &Predicate,
+    config: &ClusterConfig,
+) -> (TaskResult, Vec<Finding>) {
+    let start = Instant::now();
+    let mut findings = Vec::new();
+    let mut result = TaskResult {
+        id: spec.id,
+        points_examined: 0,
+        points_total: spec.points.len(),
+        activated: 0,
+        findings: 0,
+        completed: true,
+        elapsed: Duration::ZERO,
+        states_explored: 0,
+    };
+
+    for point in &spec.points {
+        if let Some(budget) = config.task_budget {
+            if start.elapsed() >= budget {
+                result.completed = false;
+                break;
+            }
+        }
+        if result.findings >= config.max_findings_per_task {
+            break;
+        }
+        // Give each point's search the remaining task budget.
+        let mut limits = config.search.clone();
+        if let Some(budget) = config.task_budget {
+            let remaining = budget.saturating_sub(start.elapsed());
+            limits.max_time = Some(match limits.max_time {
+                Some(t) => t.min(remaining),
+                None => remaining,
+            });
+        }
+        limits.max_solutions = limits
+            .max_solutions
+            .min(config.max_findings_per_task - result.findings);
+
+        let outcome = run_point(program, detectors, input, point, predicate, &limits);
+        result.points_examined += 1;
+        if outcome.activated {
+            result.activated += 1;
+        }
+        result.states_explored += outcome.report.states_explored;
+        if outcome.report.hit_time_cap || outcome.report.hit_state_cap {
+            // A truncated search means the task did not fully sweep its
+            // section — it counts as incomplete, like the paper's 65
+            // timed-out tcas tasks.
+            result.completed = false;
+        }
+        result.findings += outcome.report.solutions.len();
+        for solution in outcome.report.solutions {
+            findings.push(Finding {
+                task_id: spec.id,
+                point: *point,
+                solution,
+            });
+        }
+    }
+    result.elapsed = start.elapsed();
+    (result, findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympl_asm::parse_program;
+    use sympl_inject::ErrorClass;
+    use sympl_machine::ExecLimits;
+
+    fn factorial() -> sympl_asm::Program {
+        parse_program(
+            "ori $2 $0 #1\nread $1\nmov $3, $1\nori $4 $0 #1\n\
+             loop: setgt $5 $3 $4\nbeq $5 0 exit\nmult $2 $2 $3\nsubi $3 $3 #1\nbeq $0 #0 loop\n\
+             exit: prints \"Factorial = \"\nprint $2\nhalt",
+        )
+        .unwrap()
+    }
+
+    fn quick_config(tasks: usize) -> ClusterConfig {
+        ClusterConfig {
+            workers: 4,
+            tasks,
+            search: SearchLimits {
+                exec: ExecLimits::with_max_steps(300),
+                ..SearchLimits::default()
+            },
+            task_budget: None,
+            max_findings_per_task: 10,
+        }
+    }
+
+    #[test]
+    fn cluster_pools_all_tasks() {
+        let p = factorial();
+        let campaign = Campaign::new(&p, ErrorClass::RegisterFile);
+        let report = run_cluster(
+            &p,
+            &DetectorSet::new(),
+            &[4],
+            &campaign,
+            &Predicate::OutputContainsErr,
+            &quick_config(5),
+        );
+        assert!(report.tasks.len() <= 5 && !report.tasks.is_empty());
+        let sharded: usize = report.tasks.iter().map(|t| t.points_total).sum();
+        assert_eq!(sharded, campaign.len(), "shards partition the campaign");
+        let examined: usize = report.tasks.iter().map(|t| t.points_examined).sum();
+        assert!(examined > 0);
+        assert!(
+            !report.findings.is_empty(),
+            "register errors in factorial must reach the output"
+        );
+        // Task ids are stable and ordered.
+        for (i, t) in report.tasks.iter().enumerate() {
+            assert_eq!(t.id, i);
+        }
+    }
+
+    #[test]
+    fn single_worker_matches_many_workers() {
+        let p = factorial();
+        let campaign = Campaign::new(&p, ErrorClass::RegisterFile);
+        let predicate = Predicate::OutputContainsErr;
+        let mut one = quick_config(4);
+        one.workers = 1;
+        let mut many = quick_config(4);
+        many.workers = 8;
+        let a = run_cluster(&p, &DetectorSet::new(), &[3], &campaign, &predicate, &one);
+        let b = run_cluster(&p, &DetectorSet::new(), &[3], &campaign, &predicate, &many);
+        assert_eq!(a.findings.len(), b.findings.len());
+        assert_eq!(a.tasks_completed(), b.tasks_completed());
+        let fa: Vec<_> = a.findings.iter().map(|f| (f.task_id, f.point)).collect();
+        let fb: Vec<_> = b.findings.iter().map(|f| (f.task_id, f.point)).collect();
+        assert_eq!(fa, fb, "scheduling must not change pooled results");
+    }
+
+    #[test]
+    fn finding_cap_limits_per_task_results() {
+        let p = factorial();
+        let campaign = Campaign::new(&p, ErrorClass::RegisterFile);
+        let mut config = quick_config(1);
+        config.max_findings_per_task = 2;
+        let report = run_cluster(
+            &p,
+            &DetectorSet::new(),
+            &[4],
+            &campaign,
+            &Predicate::OutputContainsErr,
+            &config,
+        );
+        assert!(report.findings.len() <= 2);
+    }
+
+    #[test]
+    fn zero_budget_marks_tasks_incomplete() {
+        let p = factorial();
+        let campaign = Campaign::new(&p, ErrorClass::RegisterFile);
+        let mut config = quick_config(3);
+        config.task_budget = Some(Duration::ZERO);
+        let report = run_cluster(
+            &p,
+            &DetectorSet::new(),
+            &[4],
+            &campaign,
+            &Predicate::OutputContainsErr,
+            &config,
+        );
+        assert_eq!(report.tasks_completed(), 0);
+        assert!(report.summary().contains("incomplete"));
+    }
+
+    #[test]
+    fn summary_mentions_key_statistics() {
+        let p = factorial();
+        let campaign = Campaign::new(&p, ErrorClass::RegisterFile);
+        let report = run_cluster(
+            &p,
+            &DetectorSet::new(),
+            &[4],
+            &campaign,
+            &Predicate::OutputContainsErr,
+            &quick_config(2),
+        );
+        let text = report.summary();
+        assert!(text.contains("tasks"));
+        assert!(text.contains("findings"));
+        assert!(report.avg_completed_task_time() > Duration::ZERO || report.tasks_completed() == 0);
+    }
+}

@@ -1,0 +1,237 @@
+//! The one-call framework API of Figure 1: program + detectors + error
+//! class in; proof of resilience or enumeration of escaping errors out.
+
+use sympl_asm::Program;
+use sympl_check::{Predicate, SearchLimits};
+use sympl_cluster::Finding;
+use sympl_detect::DetectorSet;
+use sympl_inject::{enumerate_points, golden_run, run_point, ErrorClass};
+
+/// The SymPLFIED framework: holds the program under analysis, its
+/// detectors, the reference input, and the search budgets.
+///
+/// Mirrors the paper's Figure-1 flow: the inputs are (1) a program in the
+/// generic assembly language, (2) detectors embedded via `check`
+/// annotations, (3) an error class; the output is either a proof that the
+/// program is resilient to the class or a comprehensive set of errors that
+/// evade detection and lead to failure.
+#[derive(Debug, Clone)]
+pub struct Framework {
+    program: Program,
+    detectors: DetectorSet,
+    input: Vec<i64>,
+    limits: SearchLimits,
+}
+
+impl Framework {
+    /// Wraps a program with no detectors, empty input, default budgets.
+    #[must_use]
+    pub fn new(program: Program) -> Self {
+        Framework {
+            program,
+            detectors: DetectorSet::new(),
+            input: Vec::new(),
+            limits: SearchLimits::default(),
+        }
+    }
+
+    /// Sets the detector set the program's `check` instructions reference.
+    #[must_use]
+    pub fn with_detectors(mut self, detectors: DetectorSet) -> Self {
+        self.detectors = detectors;
+        self
+    }
+
+    /// Sets the input stream for the analyzed executions.
+    #[must_use]
+    pub fn with_input(mut self, input: Vec<i64>) -> Self {
+        self.input = input;
+        self
+    }
+
+    /// Sets the search budgets (watchdog bound, state/solution caps).
+    #[must_use]
+    pub fn with_limits(mut self, limits: SearchLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// The program under analysis.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The golden (error-free) output for the configured input.
+    #[must_use]
+    pub fn golden_output(&self) -> Vec<i64> {
+        golden_run(&self.program, &self.detectors, &self.input, &self.limits.exec).output_ints()
+    }
+
+    /// Enumerates every error of `class` that evades the detectors and
+    /// leads to an *incorrect output* (normal halt, wrong printed values) —
+    /// the paper's §6.1 query. Crashes and hangs are considered detected by
+    /// the environment (exception handlers / watchdog).
+    #[must_use]
+    pub fn enumerate_undetected(&self, class: ErrorClass) -> Verdict {
+        let expected = self.golden_output();
+        self.enumerate_matching(class, &Predicate::WrongOutput { expected })
+    }
+
+    /// Enumerates every error of `class` whose outcome satisfies an
+    /// arbitrary predicate (the generic `search ... such that` command).
+    #[must_use]
+    pub fn enumerate_matching(&self, class: ErrorClass, predicate: &Predicate) -> Verdict {
+        let points = enumerate_points(&self.program, &class);
+        let mut findings = Vec::new();
+        let mut complete = true;
+        let mut states_explored = 0usize;
+        let mut points_activated = 0usize;
+        for point in &points {
+            let outcome = run_point(
+                &self.program,
+                &self.detectors,
+                &self.input,
+                point,
+                predicate,
+                &self.limits,
+            );
+            if outcome.activated {
+                points_activated += 1;
+            }
+            states_explored += outcome.report.states_explored;
+            if !outcome.report.completed() && outcome.activated {
+                complete = false;
+            }
+            for solution in outcome.report.solutions {
+                findings.push(Finding {
+                    task_id: 0,
+                    point: *point,
+                    solution,
+                });
+            }
+        }
+        Verdict {
+            class,
+            points_examined: points.len(),
+            points_activated,
+            states_explored,
+            complete,
+            findings,
+        }
+    }
+}
+
+/// The framework's answer for one error class.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// The error class examined.
+    pub class: ErrorClass,
+    /// Injection points enumerated.
+    pub points_examined: usize,
+    /// Points whose fault was activated on the configured input.
+    pub points_activated: usize,
+    /// Total states the searches explored.
+    pub states_explored: usize,
+    /// Whether every activated point's search ran to completion.
+    pub complete: bool,
+    /// All predicate-matching outcomes (empty for a resilient program).
+    pub findings: Vec<Finding>,
+}
+
+impl Verdict {
+    /// Whether this is a *proof* of resilience: complete exploration with
+    /// no escaping error (paper output 1: "proof that the program with the
+    /// embedded detectors is resilient to the error class considered").
+    #[must_use]
+    pub fn is_resilient(&self) -> bool {
+        self.complete && self.findings.is_empty()
+    }
+
+    /// Human-readable summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        if self.is_resilient() {
+            format!(
+                "PROOF: resilient to {} ({} points, {} activated, {} states explored)",
+                self.class, self.points_examined, self.points_activated, self.states_explored
+            )
+        } else {
+            format!(
+                "{} escaping error(s) found for {} ({} points, {} activated, {} states{})",
+                self.findings.len(),
+                self.class,
+                self.points_examined,
+                self.points_activated,
+                self.states_explored,
+                if self.complete { "" } else { "; search truncated" }
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympl_asm::parse_program;
+    use sympl_detect::Detector;
+    use sympl_machine::ExecLimits;
+
+    #[test]
+    fn undetected_errors_found_without_detectors() {
+        let p = parse_program("read $1\naddi $2, $1, 1\nprint $2\nhalt").unwrap();
+        let fw = Framework::new(p).with_input(vec![41]);
+        assert_eq!(fw.golden_output(), vec![42]);
+        let verdict = fw.enumerate_undetected(ErrorClass::RegisterFile);
+        assert!(!verdict.is_resilient());
+        assert!(!verdict.findings.is_empty());
+        assert!(verdict.summary().contains("escaping"));
+    }
+
+    #[test]
+    fn detection_window_after_check_is_exposed() {
+        // The detector pins $1 = 7, but an error striking *between* the
+        // check and the print still escapes — exactly the corner case
+        // SymPLFIED exists to expose.
+        let p = parse_program("mov $1, 7\ncheck 1\nprint $1\nhalt").unwrap();
+        let mut detectors = DetectorSet::new();
+        detectors.insert(Detector::parse("det(1, $(1), ==, (7))").unwrap());
+        let fw = Framework::new(p).with_detectors(detectors);
+        let verdict = fw.enumerate_undetected(ErrorClass::RegisterFile);
+        assert!(!verdict.is_resilient());
+        assert_eq!(verdict.findings.len(), 1);
+        assert_eq!(
+            verdict.findings[0].point.breakpoint, 2,
+            "the only escaping error strikes at the print, after the check"
+        );
+    }
+
+    #[test]
+    fn program_without_register_dependent_output_is_resilient() {
+        // The stored value is checked and never printed: register errors
+        // cannot corrupt the output, and the framework proves it.
+        let p =
+            parse_program("mov $1, 7\ncheck 1\nst $1, 100($0)\nprints \"ok\"\nhalt").unwrap();
+        let mut detectors = DetectorSet::new();
+        detectors.insert(Detector::parse("det(1, $(1), ==, (7))").unwrap());
+        let fw = Framework::new(p).with_detectors(detectors);
+        let verdict = fw.enumerate_undetected(ErrorClass::RegisterFile);
+        assert!(verdict.is_resilient(), "{}", verdict.summary());
+        assert!(verdict.summary().contains("PROOF"));
+    }
+
+    #[test]
+    fn custom_predicate_enumeration() {
+        let p = parse_program("read $1\nprint $1\nhalt").unwrap();
+        let fw = Framework::new(p)
+            .with_input(vec![3])
+            .with_limits(SearchLimits {
+                exec: ExecLimits::with_max_steps(100),
+                ..SearchLimits::default()
+            });
+        let verdict =
+            fw.enumerate_matching(ErrorClass::RegisterFile, &Predicate::OutputContainsErr);
+        assert_eq!(verdict.points_examined, 1, "only `print $1` reads a register");
+        assert_eq!(verdict.findings.len(), 1);
+    }
+}

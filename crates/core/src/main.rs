@@ -1,0 +1,202 @@
+//! `symplfied` — command-line front-end for the framework.
+//!
+//! ```text
+//! symplfied run    <prog.sasm> [--mips] [--input 1,2,3] [--detectors dets.txt]
+//! symplfied disasm <prog.sasm> [--mips]
+//! symplfied verify <prog.sasm> [--mips] [--input …] [--detectors dets.txt]
+//!                  [--class register|memory|pc|fetch] [--max-steps N]
+//!                  [--max-solutions N]
+//! symplfied ssim   <prog.sasm> [--mips] [--input …] [--random N] [--seed N]
+//! ```
+
+use std::process::ExitCode;
+
+use symplfied::check::SearchLimits;
+use symplfied::inject::ComputationError;
+use symplfied::machine::ExecLimits;
+use symplfied::prelude::*;
+use symplfied::ssim;
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  symplfied run    <prog> [--mips] [--input 1,2,3] [--detectors FILE] [--max-steps N]
+  symplfied disasm <prog> [--mips]
+  symplfied verify <prog> [--mips] [--input 1,2,3] [--detectors FILE]
+                   [--class register|memory|pc|fetch] [--max-steps N] [--max-solutions N]
+  symplfied ssim   <prog> [--mips] [--input 1,2,3] [--random N] [--seed N]";
+
+struct Opts {
+    program_path: String,
+    mips: bool,
+    input: Vec<i64>,
+    detectors: DetectorSet,
+    class: ErrorClass,
+    max_steps: u64,
+    max_solutions: usize,
+    random: usize,
+    seed: u64,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        program_path: String::new(),
+        mips: false,
+        input: Vec::new(),
+        detectors: DetectorSet::new(),
+        class: ErrorClass::RegisterFile,
+        max_steps: 100_000,
+        max_solutions: 10,
+        random: 3,
+        seed: 0x5151_F1ED,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} expects a value"))
+        };
+        match arg.as_str() {
+            "--mips" => opts.mips = true,
+            "--input" => {
+                opts.input = value("--input")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().parse().map_err(|_| format!("bad input `{s}`")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--detectors" => {
+                let path = value("--detectors")?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                opts.detectors = DetectorSet::parse(&text).map_err(|e| e.to_string())?;
+            }
+            "--class" => {
+                opts.class = match value("--class")?.as_str() {
+                    "register" => ErrorClass::RegisterFile,
+                    "memory" => ErrorClass::Memory,
+                    "pc" => ErrorClass::ProgramCounter,
+                    "fetch" => ErrorClass::Computation(ComputationError::Fetch),
+                    other => return Err(format!("unknown error class `{other}`")),
+                };
+            }
+            "--max-steps" => {
+                opts.max_steps = value("--max-steps")?
+                    .parse()
+                    .map_err(|_| "bad --max-steps")?;
+            }
+            "--max-solutions" => {
+                opts.max_solutions = value("--max-solutions")?
+                    .parse()
+                    .map_err(|_| "bad --max-solutions")?;
+            }
+            "--random" => {
+                opts.random = value("--random")?.parse().map_err(|_| "bad --random")?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?.parse().map_err(|_| "bad --seed")?;
+            }
+            other if opts.program_path.is_empty() && !other.starts_with('-') => {
+                opts.program_path = other.to_owned();
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if opts.program_path.is_empty() {
+        return Err("missing program file".into());
+    }
+    Ok(opts)
+}
+
+fn load_program(opts: &Opts) -> Result<Program, String> {
+    let source = std::fs::read_to_string(&opts.program_path)
+        .map_err(|e| format!("cannot read {}: {e}", opts.program_path))?;
+    if opts.mips {
+        symplfied::asm::mips::translate_mips(&source).map_err(|e| e.to_string())
+    } else {
+        parse_program(&source).map_err(|e| e.to_string())
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err("missing command".into());
+    };
+    let opts = parse_opts(rest)?;
+    let program = load_program(&opts)?;
+
+    match command.as_str() {
+        "run" => {
+            let mut state = MachineState::with_input(opts.input.clone());
+            run_concrete(
+                &mut state,
+                &program,
+                &opts.detectors,
+                &ExecLimits::with_max_steps(opts.max_steps),
+            )
+            .map_err(|e| e.to_string())?;
+            println!("status: {}", state.status());
+            println!("output: {}", state.rendered_output());
+            println!("steps:  {}", state.steps());
+            Ok(())
+        }
+        "disasm" => {
+            print!("{}", program.listing());
+            Ok(())
+        }
+        "verify" => {
+            let framework = Framework::new(program)
+                .with_detectors(opts.detectors.clone())
+                .with_input(opts.input.clone())
+                .with_limits(SearchLimits {
+                    exec: ExecLimits::with_max_steps(opts.max_steps),
+                    max_solutions: opts.max_solutions,
+                    ..SearchLimits::default()
+                });
+            let verdict = framework.enumerate_undetected(opts.class);
+            println!("{}", verdict.summary());
+            for f in &verdict.findings {
+                println!(
+                    "  {} -> {} `{}`",
+                    f.point,
+                    f.solution.state.status(),
+                    f.solution.state.rendered_output()
+                );
+                println!("      trace: {}", f.solution.trace_summary(12));
+            }
+            Ok(())
+        }
+        "ssim" => {
+            let report = ssim::run_campaign(
+                &program,
+                &opts.detectors,
+                &opts.input,
+                &CampaignConfig {
+                    seed: opts.seed,
+                    random_per_point: opts.random,
+                    ..CampaignConfig::default()
+                },
+                &ExecLimits::with_max_steps(opts.max_steps),
+            );
+            println!(
+                "{} runs ({} not activated)",
+                report.total_runs(),
+                report.not_activated
+            );
+            for (outcome, n) in &report.counts {
+                println!("  {n:>6}  {outcome}");
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type for the detector model.
+
+use std::fmt;
+
+/// Errors arising while parsing or evaluating detectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DetectError {
+    /// Malformed detector text.
+    Parse(String),
+    /// A `check` instruction referenced an identifier with no detector.
+    UnknownDetector(u32),
+    /// The detector expression divided by a concrete zero.
+    DivByZero,
+    /// The detector expression read a memory word that was never defined.
+    UndefinedMemory(u64),
+    /// Two detectors with the same identifier were registered.
+    DuplicateId(u32),
+}
+
+impl fmt::Display for DetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectError::Parse(msg) => write!(f, "detector parse error: {msg}"),
+            DetectError::UnknownDetector(id) => write!(f, "no detector with id {id}"),
+            DetectError::DivByZero => f.write_str("division by zero in detector expression"),
+            DetectError::UndefinedMemory(a) => {
+                write!(f, "detector expression reads undefined memory address {a}")
+            }
+            DetectError::DuplicateId(id) => write!(f, "duplicate detector id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for DetectError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_nonempty() {
+        for e in [
+            DetectError::Parse("x".into()),
+            DetectError::UnknownDetector(1),
+            DetectError::DivByZero,
+            DetectError::UndefinedMemory(8),
+            DetectError::DuplicateId(2),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Symbolic evaluation of detector expressions.
+
+use sympl_asm::{BinOp, Reg};
+use sympl_symbolic::{symbolic_binop, ArithOutcome, Location, Value};
+
+use crate::{DetectError, Expr, ExprOp};
+
+/// Read-only view of machine state that detector expressions evaluate
+/// against. The machine model implements this for its state type; tests can
+/// implement it with plain maps.
+pub trait StateView {
+    /// The current value of a register.
+    fn reg_value(&self, reg: Reg) -> Value;
+    /// The value of a memory word, or `None` if the address was never
+    /// written (an "illegal address" in the paper's machine assumptions).
+    fn mem_value(&self, addr: u64) -> Option<Value>;
+}
+
+/// Where the `err` in an expression result came from.
+///
+/// Constraint learning needs a *single* location to attach facts to; when
+/// several erroneous locations feed a result, no per-location constraint is
+/// expressible (the paper's stated over-approximation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrOrigin {
+    /// No `err` contributed to the result.
+    None,
+    /// Exactly one erroneous location contributed.
+    One(Location),
+    /// Multiple erroneous locations contributed.
+    Many,
+}
+
+impl ErrOrigin {
+    fn merge(self, other: ErrOrigin) -> ErrOrigin {
+        match (self, other) {
+            (ErrOrigin::None, o) | (o, ErrOrigin::None) => o,
+            _ => ErrOrigin::Many,
+        }
+    }
+
+    /// The single origin location, if there is exactly one.
+    #[must_use]
+    pub fn single(self) -> Option<Location> {
+        match self {
+            ErrOrigin::One(l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+/// The result of evaluating a detector expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalOutcome {
+    /// The (possibly symbolic) value of the expression.
+    pub value: Value,
+    /// Where any contributing `err` came from.
+    pub origin: ErrOrigin,
+}
+
+/// Evaluates an expression against a state view.
+///
+/// Division by a *symbolic* divisor conservatively yields `err` rather than
+/// forking inside the detector (sound: `err` covers every outcome including
+/// the trap the real detector would take; detectors themselves are assumed
+/// error-free, paper §5.3).
+///
+/// # Errors
+///
+/// * [`DetectError::DivByZero`] — concrete division by zero.
+/// * [`DetectError::UndefinedMemory`] — the expression reads unwritten
+///   memory.
+pub fn eval_expr<S: StateView>(expr: &Expr, state: &S) -> Result<EvalOutcome, DetectError> {
+    match expr {
+        Expr::Const(c) => Ok(EvalOutcome {
+            value: Value::Int(*c),
+            origin: ErrOrigin::None,
+        }),
+        Expr::Reg(r) => {
+            let value = state.reg_value(*r);
+            let origin = if value.is_err() {
+                ErrOrigin::One(Location::Reg(*r))
+            } else {
+                ErrOrigin::None
+            };
+            Ok(EvalOutcome { value, origin })
+        }
+        Expr::Mem(a) => {
+            let value = state
+                .mem_value(*a)
+                .ok_or(DetectError::UndefinedMemory(*a))?;
+            let origin = if value.is_err() {
+                ErrOrigin::One(Location::Mem(*a))
+            } else {
+                ErrOrigin::None
+            };
+            Ok(EvalOutcome { value, origin })
+        }
+        Expr::Bin { op, lhs, rhs } => {
+            let l = eval_expr(lhs, state)?;
+            let r = eval_expr(rhs, state)?;
+            let bin = match op {
+                ExprOp::Add => BinOp::Add,
+                ExprOp::Sub => BinOp::Sub,
+                ExprOp::Mul => BinOp::Mul,
+                ExprOp::Div => BinOp::Div,
+            };
+            let (value, origin) = match symbolic_binop(bin, l.value, r.value) {
+                ArithOutcome::Value(v) => {
+                    let origin = if v.is_err() {
+                        l.origin.merge(r.origin)
+                    } else {
+                        ErrOrigin::None
+                    };
+                    (v, origin)
+                }
+                ArithOutcome::DivByZero => return Err(DetectError::DivByZero),
+                // Symbolic divisor: conservative err result.
+                ArithOutcome::ForkOnDivisorZero => (Value::Err, l.origin.merge(r.origin)),
+            };
+            Ok(EvalOutcome { value, origin })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    struct FakeState {
+        regs: BTreeMap<u8, Value>,
+        mem: BTreeMap<u64, Value>,
+    }
+
+    impl FakeState {
+        fn new() -> Self {
+            FakeState {
+                regs: BTreeMap::new(),
+                mem: BTreeMap::new(),
+            }
+        }
+    }
+
+    impl StateView for FakeState {
+        fn reg_value(&self, reg: Reg) -> Value {
+            self.regs
+                .get(&(reg.index() as u8))
+                .copied()
+                .unwrap_or(Value::Int(0))
+        }
+        fn mem_value(&self, addr: u64) -> Option<Value> {
+            self.mem.get(&addr).copied()
+        }
+    }
+
+    #[test]
+    fn concrete_expression_evaluates() {
+        let mut s = FakeState::new();
+        s.regs.insert(3, Value::Int(4));
+        s.mem.insert(1000, Value::Int(6));
+        let e = Expr::reg(3).add(Expr::mem(1000));
+        let out = eval_expr(&e, &s).unwrap();
+        assert_eq!(out.value, Value::Int(10));
+        assert_eq!(out.origin, ErrOrigin::None);
+    }
+
+    #[test]
+    fn single_err_origin_tracked() {
+        let mut s = FakeState::new();
+        s.regs.insert(3, Value::Err);
+        s.regs.insert(4, Value::Int(2));
+        let e = Expr::reg(3).mul(Expr::reg(4));
+        let out = eval_expr(&e, &s).unwrap();
+        assert_eq!(out.value, Value::Err);
+        assert_eq!(out.origin.single(), Some(Location::reg(3)));
+    }
+
+    #[test]
+    fn multiple_err_origins_collapse_to_many() {
+        let mut s = FakeState::new();
+        s.regs.insert(3, Value::Err);
+        s.mem.insert(8, Value::Err);
+        let e = Expr::reg(3).add(Expr::mem(8));
+        let out = eval_expr(&e, &s).unwrap();
+        assert_eq!(out.origin, ErrOrigin::Many);
+        assert_eq!(out.origin.single(), None);
+    }
+
+    #[test]
+    fn err_times_zero_clears_origin() {
+        let mut s = FakeState::new();
+        s.regs.insert(3, Value::Err);
+        let e = Expr::reg(3).mul(Expr::constant(0));
+        let out = eval_expr(&e, &s).unwrap();
+        assert_eq!(out.value, Value::Int(0));
+        assert_eq!(out.origin, ErrOrigin::None, "absorbed err leaves no origin");
+    }
+
+    #[test]
+    fn concrete_div_by_zero_is_error() {
+        let s = FakeState::new();
+        let e = Expr::constant(1).div(Expr::constant(0));
+        assert_eq!(eval_expr(&e, &s), Err(DetectError::DivByZero));
+    }
+
+    #[test]
+    fn symbolic_divisor_yields_err() {
+        let mut s = FakeState::new();
+        s.regs.insert(3, Value::Err);
+        let e = Expr::constant(10).div(Expr::reg(3));
+        let out = eval_expr(&e, &s).unwrap();
+        assert_eq!(out.value, Value::Err);
+        assert_eq!(out.origin.single(), Some(Location::reg(3)));
+    }
+
+    #[test]
+    fn undefined_memory_is_reported() {
+        let s = FakeState::new();
+        let e = Expr::mem(4096);
+        assert_eq!(eval_expr(&e, &s), Err(DetectError::UndefinedMemory(4096)));
+    }
+}

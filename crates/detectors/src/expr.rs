@@ -1,0 +1,192 @@
+//! The detector expression grammar (paper §5.3).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use sympl_asm::Reg;
+
+/// Arithmetic operators allowed in detector expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExprOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+impl fmt::Display for ExprOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ExprOp::Add => "+",
+            ExprOp::Sub => "-",
+            ExprOp::Mul => "*",
+            ExprOp::Div => "/",
+        })
+    }
+}
+
+/// A detector right-hand-side expression:
+///
+/// ```text
+/// Expr ::= Expr + Expr | Expr - Expr | Expr * Expr | Expr / Expr
+///        | (c) | (RegName) | *(memory address)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Expr {
+    /// An integer constant `(c)`.
+    Const(i64),
+    /// A register value `(RegName)`.
+    Reg(Reg),
+    /// A memory word `*(address)`.
+    Mem(u64),
+    /// A binary operation on two sub-expressions.
+    Bin {
+        /// Operator.
+        op: ExprOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+}
+
+#[allow(clippy::should_implement_trait)] // the paper's Expr grammar names its operators add/sub/mul/div
+impl Expr {
+    /// Constant expression.
+    #[must_use]
+    pub fn constant(c: i64) -> Self {
+        Expr::Const(c)
+    }
+
+    /// Register expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub fn reg(index: u8) -> Self {
+        Expr::Reg(Reg::r(index))
+    }
+
+    /// Memory expression.
+    #[must_use]
+    pub fn mem(addr: u64) -> Self {
+        Expr::Mem(addr)
+    }
+
+    /// `self + rhs`.
+    #[must_use]
+    pub fn add(self, rhs: Expr) -> Self {
+        Expr::Bin {
+            op: ExprOp::Add,
+            lhs: Box::new(self),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// `self - rhs`.
+    #[must_use]
+    pub fn sub(self, rhs: Expr) -> Self {
+        Expr::Bin {
+            op: ExprOp::Sub,
+            lhs: Box::new(self),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// `self * rhs`.
+    #[must_use]
+    pub fn mul(self, rhs: Expr) -> Self {
+        Expr::Bin {
+            op: ExprOp::Mul,
+            lhs: Box::new(self),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// `self / rhs`.
+    #[must_use]
+    pub fn div(self, rhs: Expr) -> Self {
+        Expr::Bin {
+            op: ExprOp::Div,
+            lhs: Box::new(self),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Every register the expression reads.
+    #[must_use]
+    pub fn registers(&self) -> Vec<Reg> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Reg(r) = e {
+                if !out.contains(r) {
+                    out.push(*r);
+                }
+            }
+        });
+        out
+    }
+
+    /// Every memory address the expression reads.
+    #[must_use]
+    pub fn memory_addresses(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Mem(a) = e {
+                if !out.contains(a) {
+                    out.push(*a);
+                }
+            }
+        });
+        out
+    }
+
+    fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        if let Expr::Bin { lhs, rhs, .. } = self {
+            lhs.visit(f);
+            rhs.visit(f);
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(c) => write!(f, "({c})"),
+            Expr::Reg(r) => write!(f, "(${})", r.index()),
+            Expr::Mem(a) => write!(f, "*({a})"),
+            Expr::Bin { op, lhs, rhs } => write!(f, "{lhs} {op} {rhs}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let e = Expr::reg(3).add(Expr::mem(1000)).mul(Expr::constant(2));
+        assert_eq!(e.registers(), vec![Reg::r(3)]);
+        assert_eq!(e.memory_addresses(), vec![1000]);
+        assert!(matches!(e, Expr::Bin { op: ExprOp::Mul, .. }));
+    }
+
+    #[test]
+    fn registers_deduplicated() {
+        let e = Expr::reg(6).mul(Expr::reg(1)).sub(Expr::reg(6));
+        assert_eq!(e.registers(), vec![Reg::r(6), Reg::r(1)]);
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let e = Expr::reg(3).add(Expr::mem(1000));
+        assert_eq!(e.to_string(), "($3) + *(1000)");
+        assert_eq!(Expr::constant(-5).to_string(), "(-5)");
+    }
+}

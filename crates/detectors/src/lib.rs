@@ -1,0 +1,149 @@
+//! # sympl-detect — the SymPLFIED detector model
+//!
+//! Error detectors (paper §5.3) are executable checks that test whether a
+//! given register or memory location satisfies an arithmetic/logical
+//! expression. They are written *outside* the program and invoked from
+//! within it by `CHECK` instructions that carry the detector's identifier;
+//! the same detector may be invoked at several program points.
+//!
+//! A detector has the paper's four-part form:
+//!
+//! ```text
+//! det (ID, location, cmp-op, expr)
+//! Expr ::= Expr + Expr | Expr - Expr | Expr * Expr | Expr / Expr
+//!        | (c) | (RegName) | *(memory address)
+//! ```
+//!
+//! For example, the paper's `det(4, $(5), ==, $(3) + *(1000))` checks that
+//! register `$5` equals the sum of register `$3` and memory word 1000.
+//!
+//! If the check fails, an exception is thrown and the program halts — that
+//! is a *detection*. Over symbolic `err` values the comparison forks, and
+//! the false (detected) branch records the constraints under which the
+//! detector fires, which is exactly how SymPLFIED explains *which* errors a
+//! detector does and does not catch (§4.2).
+//!
+//! Detectors are assumed error-free (paper §5.3): their own execution is
+//! never corrupted by the error model.
+//!
+//! ```
+//! use sympl_detect::{Detector, DetectorSet};
+//!
+//! let det = Detector::parse("det(4, $(5), ==, ($3) + *(1000))")?;
+//! assert_eq!(det.id(), 4);
+//! let mut set = DetectorSet::new();
+//! set.insert(det);
+//! assert!(set.get(4).is_some());
+//! # Ok::<(), sympl_detect::DetectError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod eval;
+mod expr;
+mod parse;
+mod set;
+
+pub use error::DetectError;
+pub use eval::{eval_expr, ErrOrigin, EvalOutcome, StateView};
+pub use expr::{Expr, ExprOp};
+pub use set::DetectorSet;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use sympl_asm::Cmp;
+use sympl_symbolic::Location;
+
+/// One error detector: `det(id, location, cmp, expr)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Detector {
+    id: u32,
+    target: Location,
+    cmp: Cmp,
+    expr: Expr,
+}
+
+impl Detector {
+    /// Builds a detector from its four components.
+    #[must_use]
+    pub fn new(id: u32, target: Location, cmp: Cmp, expr: Expr) -> Self {
+        Detector {
+            id,
+            target,
+            cmp,
+            expr,
+        }
+    }
+
+    /// Parses the paper's textual format, e.g.
+    /// `det(4, $(5), ==, ($3) + *(1000))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::Parse`] on malformed input.
+    pub fn parse(text: &str) -> Result<Self, DetectError> {
+        parse::parse_detector(text)
+    }
+
+    /// The detector's unique identifier (referenced by `check` instructions).
+    #[must_use]
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The register or memory location the detector checks.
+    #[must_use]
+    pub fn target(&self) -> Location {
+        self.target
+    }
+
+    /// The comparison operation.
+    #[must_use]
+    pub fn cmp(&self) -> Cmp {
+        self.cmp
+    }
+
+    /// The right-hand-side arithmetic expression.
+    #[must_use]
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+}
+
+impl fmt::Display for Detector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let target = match self.target {
+            Location::Reg(r) => format!("$({})", r.index()),
+            Location::Mem(a) => format!("*({a})"),
+        };
+        write!(f, "det({}, {target}, {}, {})", self.id, self.cmp, self.expr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let d = Detector::parse("det(4, $(5), ==, ($3) + *(1000))").unwrap();
+        let text = d.to_string();
+        let d2 = Detector::parse(&text).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn accessors() {
+        let d = Detector::new(
+            7,
+            Location::reg(2),
+            Cmp::Ge,
+            Expr::reg(6).mul(Expr::reg(1)),
+        );
+        assert_eq!(d.id(), 7);
+        assert_eq!(d.target(), Location::reg(2));
+        assert_eq!(d.cmp(), Cmp::Ge);
+    }
+}

@@ -1,0 +1,347 @@
+//! Parser for the paper's textual detector format:
+//! `det(ID, location, cmp-op, expr)`.
+
+use sympl_asm::{Cmp, Reg};
+use sympl_symbolic::Location;
+
+use crate::{DetectError, Detector, Expr};
+
+/// Parses `det(4, $(5), ==, ($3) + *(1000))`.
+pub(crate) fn parse_detector(text: &str) -> Result<Detector, DetectError> {
+    let mut p = Parser::new(text);
+    p.skip_ws();
+    p.expect_word("det")?;
+    p.expect('(')?;
+    let id = p.integer()?;
+    let id = u32::try_from(id).map_err(|_| p.err("detector id must be non-negative"))?;
+    p.expect(',')?;
+    let target = p.location()?;
+    p.expect(',')?;
+    let cmp = p.cmp_op()?;
+    p.expect(',')?;
+    let expr = p.expr()?;
+    p.expect(')')?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("trailing input after detector"));
+    }
+    Ok(Detector::new(id, target, cmp, expr))
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { text, pos: 0 }
+    }
+
+    fn err(&self, msg: &str) -> DetectError {
+        DetectError::Parse(format!("{msg} at position {} in `{}`", self.pos, self.text))
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.text[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.rest().is_empty()
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.text.len() - trimmed.len();
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.rest().chars().next()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), DetectError> {
+        self.skip_ws();
+        if self.rest().starts_with(c) {
+            self.pos += c.len_utf8();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{c}`")))
+        }
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<(), DetectError> {
+        self.skip_ws();
+        if self.rest().starts_with(word) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn integer(&mut self) -> Result<i64, DetectError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let mut len = 0;
+        let bytes = rest.as_bytes();
+        if len < bytes.len() && (bytes[len] == b'-' || bytes[len] == b'+') {
+            len += 1;
+        }
+        let digits_start = len;
+        while len < bytes.len() && bytes[len].is_ascii_digit() {
+            len += 1;
+        }
+        if len == digits_start {
+            return Err(self.err("expected integer"));
+        }
+        let v: i64 = rest[..len]
+            .parse()
+            .map_err(|_| self.err("integer out of range"))?;
+        self.pos += len;
+        Ok(v)
+    }
+
+    fn register(&mut self) -> Result<Reg, DetectError> {
+        // `$(n)` or `$n`.
+        self.expect('$')?;
+        let parens = self.rest().starts_with('(');
+        if parens {
+            self.expect('(')?;
+        }
+        let n = self.integer()?;
+        if parens {
+            self.expect(')')?;
+        }
+        let n = u8::try_from(n).map_err(|_| self.err("register index out of range"))?;
+        Reg::new(n).map_err(|_| self.err("register index out of range"))
+    }
+
+    fn location(&mut self) -> Result<Location, DetectError> {
+        match self.peek() {
+            Some('$') => Ok(Location::Reg(self.register()?)),
+            Some('*') => {
+                self.bump();
+                let parens = self.peek() == Some('(');
+                if parens {
+                    self.expect('(')?;
+                }
+                let a = self.integer()?;
+                if parens {
+                    self.expect(')')?;
+                }
+                let a = u64::try_from(a).map_err(|_| self.err("negative memory address"))?;
+                Ok(Location::Mem(a))
+            }
+            _ => Err(self.err("expected `$reg` or `*(addr)` location")),
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<Cmp, DetectError> {
+        self.skip_ws();
+        let rest = self.rest();
+        // Longest-match first.
+        let table: &[(&str, Cmp)] = &[
+            ("==", Cmp::Eq),
+            ("=/=", Cmp::Ne),
+            ("!=", Cmp::Ne),
+            (">=", Cmp::Ge),
+            ("<=", Cmp::Le),
+            (">", Cmp::Gt),
+            ("<", Cmp::Lt),
+        ];
+        for (tok, cmp) in table {
+            if rest.starts_with(tok) {
+                // `>` must not shadow `>=`: table order handles it, but
+                // `=/=` vs `==` both start with `=`; check exact prefix.
+                self.pos += tok.len();
+                return Ok(*cmp);
+            }
+        }
+        Err(self.err("expected comparison operator"))
+    }
+
+    /// expr := term (('+'|'-') term)*
+    fn expr(&mut self) -> Result<Expr, DetectError> {
+        let mut lhs = self.term()?;
+        loop {
+            match self.peek() {
+                Some('+') => {
+                    self.bump();
+                    let rhs = self.term()?;
+                    lhs = lhs.add(rhs);
+                }
+                Some('-') => {
+                    self.bump();
+                    let rhs = self.term()?;
+                    lhs = lhs.sub(rhs);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    /// term := atom (('*'|'/') atom)*    — note: `*(` begins a memory atom,
+    /// so multiplication is only taken when not followed by `(` ... except
+    /// the grammar is ambiguous there; we resolve `* (` as multiplication
+    /// only if an atom already consumed the `*`. Disambiguation: a `*`
+    /// *immediately* followed by `(` after an operator position is a memory
+    /// reference; in operator position we treat `*` as multiply unless the
+    /// previous token was also an operator.
+    fn term(&mut self) -> Result<Expr, DetectError> {
+        let mut lhs = self.atom()?;
+        loop {
+            self.skip_ws();
+            let rest = self.rest();
+            if rest.starts_with('/') {
+                self.bump();
+                let rhs = self.atom()?;
+                lhs = lhs.div(rhs);
+            } else if rest.starts_with('*') {
+                // In operator position `*` is multiplication; memory atoms
+                // only appear in atom position.
+                self.bump();
+                let rhs = self.atom()?;
+                lhs = lhs.mul(rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    /// atom := '(' expr ')' | '(c)' | '$reg' | '*(addr)' | integer
+    fn atom(&mut self) -> Result<Expr, DetectError> {
+        match self.peek() {
+            Some('(') => {
+                self.expect('(')?;
+                let inner = self.expr()?;
+                self.expect(')')?;
+                Ok(inner)
+            }
+            Some('$') => Ok(Expr::Reg(self.register()?)),
+            Some('*') => {
+                self.bump();
+                let parens = self.peek() == Some('(');
+                if parens {
+                    self.expect('(')?;
+                }
+                let a = self.integer()?;
+                if parens {
+                    self.expect(')')?;
+                }
+                let a = u64::try_from(a).map_err(|_| self.err("negative memory address"))?;
+                Ok(Expr::Mem(a))
+            }
+            Some(c) if c.is_ascii_digit() || c == '-' || c == '+' => {
+                Ok(Expr::Const(self.integer()?))
+            }
+            _ => Err(self.err("expected expression atom")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExprOp;
+
+    #[test]
+    fn parses_paper_example() {
+        let d = parse_detector("det(4, $(5), ==, ($3) + *(1000))").unwrap();
+        assert_eq!(d.id(), 4);
+        assert_eq!(d.target(), Location::reg(5));
+        assert_eq!(d.cmp(), Cmp::Eq);
+        assert_eq!(d.expr(), &Expr::reg(3).add(Expr::mem(1000)));
+    }
+
+    #[test]
+    fn parses_all_cmp_ops() {
+        for (tok, cmp) in [
+            ("==", Cmp::Eq),
+            ("=/=", Cmp::Ne),
+            ("!=", Cmp::Ne),
+            (">", Cmp::Gt),
+            ("<", Cmp::Lt),
+            (">=", Cmp::Ge),
+            ("<=", Cmp::Le),
+        ] {
+            let d = parse_detector(&format!("det(1, $(2), {tok}, (5))")).unwrap();
+            assert_eq!(d.cmp(), cmp, "token {tok}");
+        }
+    }
+
+    #[test]
+    fn memory_location_target() {
+        let d = parse_detector("det(9, *(1000), >=, ($1))").unwrap();
+        assert_eq!(d.target(), Location::mem(1000));
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter() {
+        let d = parse_detector("det(1, $(2), >=, ($6) * ($1) + (3))").unwrap();
+        // (6*1) + 3
+        match d.expr() {
+            Expr::Bin { op: ExprOp::Add, lhs, .. } => {
+                assert!(matches!(**lhs, Expr::Bin { op: ExprOp::Mul, .. }));
+            }
+            other => panic!("unexpected parse {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesized_grouping() {
+        let d = parse_detector("det(1, $(2), ==, ($6) * (($1) + (3)))").unwrap();
+        match d.expr() {
+            Expr::Bin { op: ExprOp::Mul, rhs, .. } => {
+                assert!(matches!(**rhs, Expr::Bin { op: ExprOp::Add, .. }));
+            }
+            other => panic!("unexpected parse {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_register_and_constant_forms() {
+        let d = parse_detector("det(2, $7, <, $3 - 10)").unwrap();
+        assert_eq!(d.target(), Location::reg(7));
+        assert_eq!(d.expr(), &Expr::reg(3).sub(Expr::constant(10)));
+    }
+
+    #[test]
+    fn division_in_expression() {
+        let d = parse_detector("det(3, $(1), ==, ($2) / (2))").unwrap();
+        assert!(matches!(d.expr(), Expr::Bin { op: ExprOp::Div, .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "det",
+            "det(1)",
+            "det(1, $(2))",
+            "det(1, $(2), ==)",
+            "det(1, $(2), ==, )",
+            "det(1, $(2), ~~, (1))",
+            "det(x, $(2), ==, (1))",
+            "det(1, $(99), ==, (1))",
+            "det(1, $(2), ==, (1)) trailing",
+            "det(-1, $(2), ==, (1))",
+            "det(1, *(-5), ==, (1))",
+        ] {
+            assert!(parse_detector(bad).is_err(), "should reject `{bad}`");
+        }
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let a = parse_detector("det(4,$(5),==,($3)+*(1000))").unwrap();
+        let b = parse_detector("  det ( 4 , $( 5 ) , == , ( $3 ) + * ( 1000 ) )  ").unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,185 @@
+//! A collection of detectors indexed by identifier.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{DetectError, Detector};
+
+/// The detectors available to a program, looked up by `check` instructions.
+///
+/// Detectors live *outside* the program text (paper §5.3); the same
+/// detector may be invoked from several `check` sites.
+///
+/// ```
+/// use sympl_detect::{Detector, DetectorSet};
+///
+/// let mut set = DetectorSet::new();
+/// set.insert(Detector::parse("det(1, $(2), >=, ($6) * ($1))")?);
+/// set.insert(Detector::parse("det(2, $(3), >, ($4))")?);
+/// assert_eq!(set.len(), 2);
+/// # Ok::<(), sympl_detect::DetectError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectorSet {
+    detectors: BTreeMap<u32, Detector>,
+}
+
+impl DetectorSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a detector, replacing any previous detector with the same id.
+    pub fn insert(&mut self, detector: Detector) -> Option<Detector> {
+        self.detectors.insert(detector.id(), detector)
+    }
+
+    /// Adds a detector, failing on a duplicate identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::DuplicateId`] if the id is already present.
+    pub fn try_insert(&mut self, detector: Detector) -> Result<(), DetectError> {
+        let id = detector.id();
+        if self.detectors.contains_key(&id) {
+            return Err(DetectError::DuplicateId(id));
+        }
+        self.detectors.insert(id, detector);
+        Ok(())
+    }
+
+    /// Parses a multi-line detector listing (one `det(...)` per line;
+    /// blank lines and `;`/`--` comments are ignored).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors and duplicate identifiers.
+    pub fn parse(text: &str) -> Result<Self, DetectError> {
+        let mut set = DetectorSet::new();
+        for raw in text.lines() {
+            let line = raw
+                .split(';')
+                .next()
+                .unwrap_or("")
+                .split("--")
+                .next()
+                .unwrap_or("")
+                .trim();
+            if line.is_empty() {
+                continue;
+            }
+            set.try_insert(Detector::parse(line)?)?;
+        }
+        Ok(set)
+    }
+
+    /// The detector with the given identifier.
+    #[must_use]
+    pub fn get(&self, id: u32) -> Option<&Detector> {
+        self.detectors.get(&id)
+    }
+
+    /// Number of registered detectors.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.detectors.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.detectors.is_empty()
+    }
+
+    /// Iterates over detectors in identifier order.
+    pub fn iter(&self) -> impl Iterator<Item = &Detector> {
+        self.detectors.values()
+    }
+}
+
+impl FromIterator<Detector> for DetectorSet {
+    fn from_iter<T: IntoIterator<Item = Detector>>(iter: T) -> Self {
+        let mut set = DetectorSet::new();
+        for d in iter {
+            set.insert(d);
+        }
+        set
+    }
+}
+
+impl Extend<Detector> for DetectorSet {
+    fn extend<T: IntoIterator<Item = Detector>>(&mut self, iter: T) {
+        for d in iter {
+            self.insert(d);
+        }
+    }
+}
+
+impl fmt::Display for DetectorSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in self.detectors.values() {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut set = DetectorSet::new();
+        let d = Detector::parse("det(4, $(5), ==, ($3))").unwrap();
+        assert!(set.insert(d.clone()).is_none());
+        assert_eq!(set.get(4), Some(&d));
+        assert!(set.get(5).is_none());
+    }
+
+    #[test]
+    fn try_insert_rejects_duplicates() {
+        let mut set = DetectorSet::new();
+        set.try_insert(Detector::parse("det(1, $(2), >, (0))").unwrap())
+            .unwrap();
+        let e = set
+            .try_insert(Detector::parse("det(1, $(3), <, (9))").unwrap())
+            .unwrap_err();
+        assert_eq!(e, DetectError::DuplicateId(1));
+    }
+
+    #[test]
+    fn parse_multi_line_listing() {
+        let set = DetectorSet::parse(
+            "; factorial detectors (paper Figure 3)\n\
+             det(1, $(3), >, ($4))       -- check ($4 < $3)\n\
+             det(2, $(2), >=, ($6) * ($1)) ; check ($2 >= $6 * $1)\n\
+             \n",
+        )
+        .unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(set.get(1).is_some());
+        assert!(set.get(2).is_some());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let set = DetectorSet::parse("det(1, $(3), >, ($4))\ndet(2, *(8), ==, (0))").unwrap();
+        let again = DetectorSet::parse(&set.to_string()).unwrap();
+        assert_eq!(set, again);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let set: DetectorSet = vec![
+            Detector::parse("det(1, $(1), >, (0))").unwrap(),
+            Detector::parse("det(2, $(2), <, (0))").unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(set.iter().count(), 2);
+    }
+}

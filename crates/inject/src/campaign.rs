@@ -1,0 +1,226 @@
+//! Campaign enumeration: all injection points of an error class.
+
+use sympl_asm::{Instr, Program, Reg};
+
+use crate::{ComputationError, ErrorClass, InjectTarget, InjectionPoint};
+
+/// Enumerates every injection point of `class` in `program`, applying the
+/// paper's §6.2 state-space optimization: only locations *used by* each
+/// instruction are injected, just before the instruction runs, so every
+/// fault is activated. (Injecting a register at an arbitrary earlier point
+/// is equivalent to injecting it right before its next use.)
+#[must_use]
+pub fn enumerate_points(program: &Program, class: &ErrorClass) -> Vec<InjectionPoint> {
+    let mut points = Vec::new();
+    for (addr, instr) in program.instrs().iter().enumerate() {
+        match class {
+            ErrorClass::RegisterFile | ErrorClass::Computation(ComputationError::BusSource) => {
+                for r in instr.source_regs() {
+                    if !r.is_zero() {
+                        points.push(InjectionPoint::new(addr, InjectTarget::Register(r)));
+                    }
+                }
+            }
+            ErrorClass::Memory => {
+                if matches!(instr, Instr::Load { .. }) {
+                    points.push(InjectionPoint::new(addr, InjectTarget::LoadedWord));
+                }
+            }
+            ErrorClass::ProgramCounter | ErrorClass::Computation(ComputationError::Fetch) => {
+                points.push(InjectionPoint::new(addr, InjectTarget::ProgramCounter));
+            }
+            ErrorClass::Computation(ComputationError::FunctionalUnit) => {
+                if instr.has_target() {
+                    points.push(InjectionPoint::new(addr, InjectTarget::Destination));
+                }
+            }
+            ErrorClass::Computation(ComputationError::DecodeChangedTarget) => {
+                if let Some(rd) = instr.dest_reg() {
+                    // The "new" target is part of the error's
+                    // non-determinism; candidate wrong targets are chosen
+                    // close to the original (neighbouring encodings differ
+                    // in few bits) plus the link register, deduplicated.
+                    for wrong in wrong_targets(rd) {
+                        points.push(InjectionPoint::new(
+                            addr,
+                            InjectTarget::ChangedTarget { wrong },
+                        ));
+                    }
+                }
+            }
+            ErrorClass::Computation(ComputationError::DecodeNopToTargeted) => {
+                if matches!(instr, Instr::Nop) {
+                    for wrong in Reg::all().filter(|r| !r.is_zero()) {
+                        points.push(InjectionPoint::new(
+                            addr,
+                            InjectTarget::NopToTargeted { wrong },
+                        ));
+                    }
+                }
+            }
+            ErrorClass::Computation(ComputationError::DecodeTargetedToNop) => {
+                if instr.dest_reg().is_some() {
+                    points.push(InjectionPoint::new(addr, InjectTarget::TargetedToNop));
+                }
+            }
+        }
+    }
+    points
+}
+
+/// Candidate wrong destinations for a changed-target decode error: the
+/// registers whose encodings are one bit-flip away from the original, which
+/// is how a single-event upset in the destination field manifests.
+fn wrong_targets(rd: Reg) -> Vec<Reg> {
+    let original = rd.index() as u8;
+    (0..5u8)
+        .map(|bit| original ^ (1 << bit))
+        .filter(|&idx| idx != original && idx != 0)
+        .filter_map(|idx| Reg::new(idx).ok())
+        .collect()
+}
+
+/// A full campaign description: an error class over a program, ready to be
+/// sharded into per-point search tasks.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// The error class being explored.
+    pub class: ErrorClass,
+    /// All injection points, in program order.
+    pub points: Vec<InjectionPoint>,
+}
+
+impl Campaign {
+    /// Enumerates the campaign for `program` and `class`.
+    #[must_use]
+    pub fn new(program: &Program, class: ErrorClass) -> Self {
+        Campaign {
+            points: enumerate_points(program, &class),
+            class,
+        }
+    }
+
+    /// Number of injection points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the campaign is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Splits the campaign into `n` contiguous shards of near-equal size
+    /// (the paper split its tcas search into 150 cluster tasks).
+    #[must_use]
+    pub fn shards(&self, n: usize) -> Vec<Vec<InjectionPoint>> {
+        if self.points.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let n = n.min(self.points.len());
+        let chunk = self.points.len().div_ceil(n);
+        self.points.chunks(chunk).map(<[_]>::to_vec).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympl_asm::parse_program;
+
+    fn sample() -> Program {
+        parse_program(
+            "read $1\nmov $29, 100\nst $1, 0($29)\nld $2, 0($29)\nadd $3, $1, $2\nnop\nprint $3\nhalt",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn register_file_points_cover_used_registers_only() {
+        let p = sample();
+        let points = enumerate_points(&p, &ErrorClass::RegisterFile);
+        // read: none; mov imm: none; st: $1,$29; ld: $29; add: $1,$2;
+        // print: $3. Total 6.
+        assert_eq!(points.len(), 6);
+        assert!(points
+            .iter()
+            .all(|pt| matches!(pt.target, InjectTarget::Register(r) if !r.is_zero())));
+        // The store instruction contributes both its source registers.
+        let at_store: Vec<_> = points.iter().filter(|pt| pt.breakpoint == 2).collect();
+        assert_eq!(at_store.len(), 2);
+    }
+
+    #[test]
+    fn memory_points_target_loads() {
+        let p = sample();
+        let points = enumerate_points(&p, &ErrorClass::Memory);
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].breakpoint, 3);
+        assert_eq!(points[0].target, InjectTarget::LoadedWord);
+    }
+
+    #[test]
+    fn pc_points_cover_every_instruction() {
+        let p = sample();
+        let points = enumerate_points(&p, &ErrorClass::ProgramCounter);
+        assert_eq!(points.len(), p.len());
+    }
+
+    #[test]
+    fn functional_unit_points_cover_targeted_instructions() {
+        let p = sample();
+        let points = enumerate_points(
+            &p,
+            &ErrorClass::Computation(ComputationError::FunctionalUnit),
+        );
+        // read, mov, st, ld, add, print? print has no target; nop no; halt no.
+        // read(0), mov(1), st(2), ld(3), add(4) => 5 points.
+        assert_eq!(points.len(), 5);
+    }
+
+    #[test]
+    fn decode_nop_points_only_at_nops() {
+        let p = sample();
+        let points = enumerate_points(
+            &p,
+            &ErrorClass::Computation(ComputationError::DecodeNopToTargeted),
+        );
+        assert!(points.iter().all(|pt| pt.breakpoint == 5));
+        assert_eq!(points.len(), 31, "every non-zero register is a candidate");
+    }
+
+    #[test]
+    fn decode_changed_target_uses_bitflip_neighbours() {
+        let p = parse_program("add $8, $1, $2\nhalt").unwrap();
+        let points = enumerate_points(
+            &p,
+            &ErrorClass::Computation(ComputationError::DecodeChangedTarget),
+        );
+        // $8 = 0b01000; neighbours: 9, 10, 12, 0(dropped), 24.
+        let wrongs: Vec<u8> = points
+            .iter()
+            .filter_map(|pt| match pt.target {
+                InjectTarget::ChangedTarget { wrong } => Some(wrong.index() as u8),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(wrongs, vec![9, 10, 12, 24]);
+    }
+
+    #[test]
+    fn shards_partition_the_points() {
+        let p = sample();
+        let c = Campaign::new(&p, ErrorClass::RegisterFile);
+        let shards = c.shards(4);
+        let total: usize = shards.iter().map(Vec::len).sum();
+        assert_eq!(total, c.len());
+        assert!(shards.len() <= 4);
+        assert!(!c.is_empty());
+        // More shards than points degrades gracefully.
+        let many = c.shards(1000);
+        assert_eq!(many.iter().map(Vec::len).sum::<usize>(), c.len());
+        assert!(c.shards(0).is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Error classes (paper §3.3 and Table 1).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Computation-error categories from Table 1, classified by where the fault
+/// originates in the pipeline and how it manifests architecturally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComputationError {
+    /// Instruction decoder: an instruction writing to a destination has its
+    /// output target changed — `err` appears in *both* the original and the
+    /// new (wrong) target.
+    DecodeChangedTarget,
+    /// Instruction decoder: a no-target instruction (e.g. `nop`) is decoded
+    /// as a targeted one — `err` in the new wrong target.
+    DecodeNopToTargeted,
+    /// Instruction decoder: a targeted instruction is decoded as `nop` —
+    /// the destination keeps a stale value, modeled as `err` in the
+    /// original target location.
+    DecodeTargetedToNop,
+    /// Address/data bus: data read from memory, cache, or the register file
+    /// is corrupted — `err` in the source register(s) of the current
+    /// instruction (or the target register of loads).
+    BusSource,
+    /// Processor functional unit: the FU output is corrupted — `err` in the
+    /// register or memory word being written by the current instruction.
+    FunctionalUnit,
+    /// Instruction fetch: errors in the PC — the PC is changed to an
+    /// arbitrary but valid code location. (Errors in the fetched
+    /// instruction itself are modeled as decode errors.)
+    Fetch,
+}
+
+impl ComputationError {
+    /// All Table-1 computation categories.
+    pub const ALL: [ComputationError; 6] = [
+        ComputationError::DecodeChangedTarget,
+        ComputationError::DecodeNopToTargeted,
+        ComputationError::DecodeTargetedToNop,
+        ComputationError::BusSource,
+        ComputationError::FunctionalUnit,
+        ComputationError::Fetch,
+    ];
+
+    /// The "fault origin" column of Table 1.
+    #[must_use]
+    pub fn fault_origin(self) -> &'static str {
+        match self {
+            ComputationError::DecodeChangedTarget
+            | ComputationError::DecodeNopToTargeted
+            | ComputationError::DecodeTargetedToNop => "Instruction Decoder",
+            ComputationError::BusSource => "Address or Data Bus",
+            ComputationError::FunctionalUnit => "Processor Functional Unit",
+            ComputationError::Fetch => "Instruction Fetch Mechanism",
+        }
+    }
+
+    /// The "modeling procedure" column of Table 1.
+    #[must_use]
+    pub fn modeling_procedure(self) -> &'static str {
+        match self {
+            ComputationError::DecodeChangedTarget => {
+                "err in the original and new targets (register or memory)"
+            }
+            ComputationError::DecodeNopToTargeted => {
+                "err in the new wrong target (register or memory)"
+            }
+            ComputationError::DecodeTargetedToNop => {
+                "err in the original target location (register or memory)"
+            }
+            ComputationError::BusSource => "err in source register(s) of the current instruction",
+            ComputationError::FunctionalUnit => {
+                "err in register or memory being written by the current instruction"
+            }
+            ComputationError::Fetch => "PC is changed to an arbitrary but valid code location",
+        }
+    }
+}
+
+impl fmt::Display for ComputationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ComputationError::DecodeChangedTarget => "decode: changed output target",
+            ComputationError::DecodeNopToTargeted => "decode: nop to targeted instruction",
+            ComputationError::DecodeTargetedToNop => "decode: targeted instruction to nop",
+            ComputationError::BusSource => "bus: corrupted source operand",
+            ComputationError::FunctionalUnit => "functional unit: corrupted output",
+            ComputationError::Fetch => "fetch: corrupted program counter",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An error class selects which transient errors a campaign enumerates
+/// (the framework input "a class of hardware errors to be considered").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorClass {
+    /// Transient errors in the register file: `err` replaces the contents
+    /// of a register used by the program (single- and multi-bit errors are
+    /// not distinguished, §3.3).
+    RegisterFile,
+    /// Transient errors in main memory/cache: `err` replaces a memory word
+    /// the program reads.
+    Memory,
+    /// Control-flow errors: the PC moves to an arbitrary valid location.
+    ProgramCounter,
+    /// One of the Table-1 computation categories.
+    Computation(ComputationError),
+}
+
+impl ErrorClass {
+    /// Every concrete class, with the computation categories expanded.
+    #[must_use]
+    pub fn all() -> Vec<ErrorClass> {
+        let mut out = vec![
+            ErrorClass::RegisterFile,
+            ErrorClass::Memory,
+            ErrorClass::ProgramCounter,
+        ];
+        out.extend(ComputationError::ALL.map(ErrorClass::Computation));
+        out
+    }
+}
+
+impl fmt::Display for ErrorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorClass::RegisterFile => f.write_str("register-file errors"),
+            ErrorClass::Memory => f.write_str("memory errors"),
+            ErrorClass::ProgramCounter => f.write_str("program-counter errors"),
+            ErrorClass::Computation(c) => write!(f, "computation errors ({c})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_expands_computation_categories() {
+        let all = ErrorClass::all();
+        assert_eq!(all.len(), 9);
+        assert!(all.contains(&ErrorClass::Computation(ComputationError::Fetch)));
+    }
+
+    #[test]
+    fn table1_columns_are_documented() {
+        for c in ComputationError::ALL {
+            assert!(!c.fault_origin().is_empty());
+            assert!(!c.modeling_procedure().is_empty());
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn display_distinct() {
+        let mut names: Vec<String> = ErrorClass::all().iter().map(ToString::to_string).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 9, "class names must be distinct");
+    }
+}

@@ -1,0 +1,282 @@
+//! Automated derivation of application-aware error detectors.
+//!
+//! The paper's §4.2 workflow ends with "the programmer can then formulate
+//! a detector to handle the case…"; its reference \[2\] (Pattabiraman,
+//! Kalbarczyk, Iyer, IOLTS 2007) automates that formulation by deriving
+//! value-range detectors from observed executions. This module provides
+//! that companion capability on the SymPLFIED machine:
+//!
+//! 1. run the program concretely over a set of training inputs, recording
+//!    the range of values a chosen register takes each time a chosen
+//!    program point executes;
+//! 2. emit a pair of `det(id, $(r), >=, lo)` / `det(id+1, $(r), <=, hi)`
+//!    detectors; and
+//! 3. instrument the program with `check` instructions guarding the point
+//!    (remapping all control flow via [`sympl_asm::insert_before`]).
+//!
+//! The derived detectors are *likely invariants*: sound on the training
+//! inputs by construction, and then verifiable against arbitrary errors by
+//! the SymPLFIED search itself — closing the loop the paper describes.
+
+use sympl_asm::{insert_before, AsmError, Cmp, Instr, Program, Reg};
+use sympl_detect::{Detector, DetectorSet, Expr};
+use sympl_machine::{step_concrete, ExecLimits, MachineState};
+use sympl_symbolic::Location;
+
+/// The observed value range of one (program point, register) site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObservedRange {
+    /// Program point (instruction address about to execute).
+    pub at: usize,
+    /// Observed register.
+    pub reg: Reg,
+    /// Minimum observed value.
+    pub lo: i64,
+    /// Maximum observed value.
+    pub hi: i64,
+    /// How many observations were made.
+    pub samples: usize,
+}
+
+/// Runs the program concretely over `inputs` and records the value range
+/// of `reg` every time execution is about to run the instruction at `at`.
+///
+/// Returns `None` if the site never executes on any training input.
+///
+/// # Panics
+///
+/// Panics if a training run is not concretely executable (training uses
+/// the error-free program).
+#[must_use]
+pub fn observe_range(
+    program: &Program,
+    detectors: &DetectorSet,
+    inputs: &[Vec<i64>],
+    at: usize,
+    reg: Reg,
+    limits: &ExecLimits,
+) -> Option<ObservedRange> {
+    let mut range: Option<(i64, i64, usize)> = None;
+    for input in inputs {
+        let mut state = MachineState::with_input(input.clone());
+        while !state.status().is_terminal() {
+            if state.pc() == at {
+                if let Some(v) = state.reg(reg).as_int() {
+                    range = Some(match range {
+                        None => (v, v, 1),
+                        Some((lo, hi, n)) => (lo.min(v), hi.max(v), n + 1),
+                    });
+                }
+            }
+            step_concrete(&mut state, program, detectors, limits)
+                .expect("training runs are error-free and concrete");
+        }
+    }
+    range.map(|(lo, hi, samples)| ObservedRange {
+        at,
+        reg,
+        lo,
+        hi,
+        samples,
+    })
+}
+
+/// A derived detector pair plus the instrumented program.
+#[derive(Debug, Clone)]
+pub struct DerivedDetectors {
+    /// The instrumented program (checks inserted before each site).
+    pub program: Program,
+    /// The detector set including the derived range checks.
+    pub detectors: DetectorSet,
+    /// The observations the detectors were derived from.
+    pub ranges: Vec<ObservedRange>,
+}
+
+/// Derives range detectors for the given `(address, register)` sites from
+/// training `inputs`, and instruments the program with the corresponding
+/// `check` instructions. Detector identifiers start at `first_id`.
+///
+/// Sites that never execute during training are skipped (no observation,
+/// no detector).
+///
+/// # Errors
+///
+/// Propagates instrumentation errors from [`insert_before`].
+pub fn derive_range_detectors(
+    program: &Program,
+    base_detectors: &DetectorSet,
+    inputs: &[Vec<i64>],
+    sites: &[(usize, Reg)],
+    first_id: u32,
+    limits: &ExecLimits,
+) -> Result<DerivedDetectors, AsmError> {
+    let mut detectors = base_detectors.clone();
+    let mut insertions: Vec<(usize, Vec<Instr>)> = Vec::new();
+    let mut ranges = Vec::new();
+    let mut next_id = first_id;
+
+    for &(at, reg) in sites {
+        let Some(range) = observe_range(program, base_detectors, inputs, at, reg, limits) else {
+            continue;
+        };
+        let lo_id = next_id;
+        let hi_id = next_id + 1;
+        next_id += 2;
+        detectors.insert(Detector::new(
+            lo_id,
+            Location::Reg(reg),
+            Cmp::Ge,
+            Expr::constant(range.lo),
+        ));
+        detectors.insert(Detector::new(
+            hi_id,
+            Location::Reg(reg),
+            Cmp::Le,
+            Expr::constant(range.hi),
+        ));
+        insertions.push((
+            at,
+            vec![Instr::Check { id: lo_id }, Instr::Check { id: hi_id }],
+        ));
+        ranges.push(range);
+    }
+
+    let program = insert_before(program, &insertions)?;
+    Ok(DerivedDetectors {
+        program,
+        detectors,
+        ranges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympl_asm::parse_program;
+    use sympl_machine::{run_concrete, Status};
+
+    fn sum_program() -> Program {
+        parse_program(
+            "read $1\nmov $2, 0\nmov $3, 1\n\
+             loop: setgt $4, $3, $1\nbne $4, 0, exit\nadd $2, $2, $3\naddi $3, $3, 1\njmp loop\n\
+             exit: print $2\nhalt",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn observes_accumulator_range() {
+        let p = sum_program();
+        // Observe $2 at the `add` (address 5) over n in 1..=5.
+        let inputs: Vec<Vec<i64>> = (1..=5).map(|n| vec![n]).collect();
+        let range = observe_range(
+            &p,
+            &DetectorSet::new(),
+            &inputs,
+            5,
+            Reg::r(2),
+            &ExecLimits::default(),
+        )
+        .unwrap();
+        assert_eq!(range.lo, 0, "accumulator starts at 0");
+        assert_eq!(range.hi, 10, "1+2+3+4 before the last add of n=5");
+        assert_eq!(range.samples, 1 + 2 + 3 + 4 + 5);
+    }
+
+    #[test]
+    fn unexecuted_site_yields_no_observation() {
+        let p = parse_program("jmp end\nmov $1, 1\nend: halt").unwrap();
+        assert!(observe_range(
+            &p,
+            &DetectorSet::new(),
+            &[vec![]],
+            1,
+            Reg::r(1),
+            &ExecLimits::default(),
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn derived_detectors_are_transparent_on_training_inputs() {
+        let p = sum_program();
+        let inputs: Vec<Vec<i64>> = (1..=6).map(|n| vec![n]).collect();
+        let derived = derive_range_detectors(
+            &p,
+            &DetectorSet::new(),
+            &inputs,
+            &[(5, Reg::r(2)), (6, Reg::r(3))],
+            100,
+            &ExecLimits::default(),
+        )
+        .unwrap();
+        assert_eq!(derived.ranges.len(), 2);
+        assert_eq!(derived.detectors.len(), 4);
+        assert_eq!(derived.program.len(), p.len() + 4);
+        // Every training input still halts with the correct sum.
+        for n in 1..=6i64 {
+            let mut s = MachineState::with_input(vec![n]);
+            run_concrete(
+                &mut s,
+                &derived.program,
+                &derived.detectors,
+                &ExecLimits::default(),
+            )
+            .unwrap();
+            assert_eq!(s.status(), &Status::Halted, "n = {n}");
+            assert_eq!(s.output_ints(), vec![n * (n + 1) / 2]);
+        }
+    }
+
+    #[test]
+    fn derived_detectors_catch_out_of_range_errors() {
+        use crate::{run_point, InjectTarget, InjectionPoint};
+        use sympl_check::{Predicate, SearchLimits};
+
+        let p = sum_program();
+        let inputs: Vec<Vec<i64>> = (1..=6).map(|n| vec![n]).collect();
+        let derived = derive_range_detectors(
+            &p,
+            &DetectorSet::new(),
+            &inputs,
+            &[(5, Reg::r(2))],
+            100,
+            &ExecLimits::default(),
+        )
+        .unwrap();
+        // Inject err into the accumulator at the (now guarded) add: the
+        // checks run first, so out-of-range errors are detected; in-range
+        // errors may still escape — the derived detectors narrow, not
+        // close, the escaping set.
+        let guarded_add = derived.program.len() - p.len() + 5; // shifted by 2 checks
+        assert!(matches!(
+            derived.program.fetch(guarded_add),
+            Some(Instr::Bin { .. })
+        ));
+        let point = InjectionPoint::new(
+            guarded_add - 2, // inject before the first check
+            InjectTarget::Register(Reg::r(2)),
+        );
+        let limits = SearchLimits {
+            exec: ExecLimits::with_max_steps(1_000),
+            max_solutions: 200,
+            ..SearchLimits::default()
+        };
+        let outcome = run_point(
+            &derived.program,
+            &derived.detectors,
+            &[4],
+            &point,
+            &Predicate::Detected,
+            &limits,
+        );
+        assert!(outcome.activated);
+        assert!(
+            !outcome.report.solutions.is_empty(),
+            "out-of-range accumulator values must be detected"
+        );
+        // The detected branches learned exactly the derived bounds.
+        let detected = &outcome.report.solutions[0];
+        assert!(matches!(detected.state.status(), Status::Detected(_)));
+    }
+}

@@ -1,0 +1,136 @@
+//! Injection points: where and what to corrupt.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use sympl_asm::Reg;
+
+/// What an injection corrupts once the breakpoint is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InjectTarget {
+    /// Replace a register's contents with `err` just *before* the
+    /// breakpoint instruction executes (activation guaranteed when the
+    /// instruction reads the register).
+    Register(Reg),
+    /// Replace with `err` the memory word the breakpoint instruction is
+    /// about to load.
+    LoadedWord,
+    /// Corrupt the destination *after* the breakpoint instruction executes
+    /// (functional-unit output error): the written register or the stored
+    /// memory word.
+    Destination,
+    /// Decode error: the instruction's output target changes — `err` in
+    /// the original destination and in the wrong new target.
+    ChangedTarget {
+        /// The erroneous extra destination.
+        wrong: Reg,
+    },
+    /// Decode error: a `nop` becomes a targeted instruction — `err` in the
+    /// new wrong target.
+    NopToTargeted {
+        /// The spuriously written register.
+        wrong: Reg,
+    },
+    /// Decode error: a targeted instruction becomes `nop` — `err` in the
+    /// original destination (its intended update never happened).
+    TargetedToNop,
+    /// Fetch error: the PC moves to an arbitrary valid code location
+    /// instead of the breakpoint instruction.
+    ProgramCounter,
+}
+
+impl fmt::Display for InjectTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjectTarget::Register(r) => write!(f, "err in {r}"),
+            InjectTarget::LoadedWord => f.write_str("err in loaded memory word"),
+            InjectTarget::Destination => f.write_str("err in destination (FU output)"),
+            InjectTarget::ChangedTarget { wrong } => {
+                write!(f, "decode: destination redirected to {wrong}")
+            }
+            InjectTarget::NopToTargeted { wrong } => {
+                write!(f, "decode: nop writes {wrong}")
+            }
+            InjectTarget::TargetedToNop => f.write_str("decode: instruction squashed to nop"),
+            InjectTarget::ProgramCounter => f.write_str("fetch: PC redirected"),
+        }
+    }
+}
+
+/// One candidate injection: a breakpoint plus a corruption target.
+///
+/// The breakpoint is a *static* instruction address and a 1-based dynamic
+/// occurrence count — "the error is injected just before the instruction
+/// that uses the register, to ensure fault activation" (§6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InjectionPoint {
+    /// Static instruction address of the breakpoint.
+    pub breakpoint: usize,
+    /// Which dynamic execution of the breakpoint triggers the injection
+    /// (1 = the first time the instruction is about to execute).
+    pub occurrence: u32,
+    /// What to corrupt.
+    pub target: InjectTarget,
+}
+
+impl InjectionPoint {
+    /// A first-occurrence injection point.
+    #[must_use]
+    pub fn new(breakpoint: usize, target: InjectTarget) -> Self {
+        InjectionPoint {
+            breakpoint,
+            occurrence: 1,
+            target,
+        }
+    }
+
+    /// The same point at a later dynamic occurrence.
+    #[must_use]
+    pub fn at_occurrence(mut self, occurrence: u32) -> Self {
+        self.occurrence = occurrence.max(1);
+        self
+    }
+}
+
+impl fmt::Display for InjectionPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "@{} (occurrence {}): {}",
+            self.breakpoint, self.occurrence, self.target
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let p = InjectionPoint::new(5, InjectTarget::Register(Reg::r(3)));
+        assert_eq!(p.breakpoint, 5);
+        assert_eq!(p.occurrence, 1);
+        let p2 = p.at_occurrence(4);
+        assert_eq!(p2.occurrence, 4);
+        let p3 = p.at_occurrence(0);
+        assert_eq!(p3.occurrence, 1, "occurrence is clamped to 1");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let p = InjectionPoint::new(7, InjectTarget::ProgramCounter);
+        let text = p.to_string();
+        assert!(text.contains("@7"));
+        assert!(text.contains("PC"));
+        for t in [
+            InjectTarget::Register(Reg::r(1)),
+            InjectTarget::LoadedWord,
+            InjectTarget::Destination,
+            InjectTarget::ChangedTarget { wrong: Reg::r(2) },
+            InjectTarget::NopToTargeted { wrong: Reg::r(3) },
+            InjectTarget::TargetedToNop,
+        ] {
+            assert!(!t.to_string().is_empty());
+        }
+    }
+}

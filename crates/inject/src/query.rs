@@ -1,0 +1,144 @@
+//! The query generator (paper §5, "Supporting Tools"): pre-defined error
+//! categories paired with outcome predicates, so programmers can verify
+//! resilience "without having to write complex specifications (or any
+//! specifications)".
+
+use sympl_check::Predicate;
+
+use crate::{ComputationError, ErrorClass};
+
+/// The pre-defined queries the generator offers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QueryKind {
+    /// "Does any register error make the program print an erroneous value?"
+    /// — the paper's running search command.
+    ErrInOutput,
+    /// "Does any register error make the program halt normally with output
+    /// different from the golden run?" — the §6.1 tcas query.
+    WrongOutput {
+        /// The golden (error-free) output.
+        expected: Vec<i64>,
+    },
+    /// "Can the program print exactly this (catastrophic) output with no
+    /// exception?" — the hunt for tcas printing `2`.
+    CatastrophicOutput {
+        /// The catastrophic output searched for.
+        output: Vec<i64>,
+    },
+    /// "Which errors crash the program?"
+    Crashes,
+    /// "Which errors hang the program (watchdog timeout)?"
+    Hangs,
+}
+
+/// A ready-to-run query: an error class plus an outcome predicate.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// The error class to enumerate.
+    pub class: ErrorClass,
+    /// What counts as an interesting outcome.
+    pub kind: QueryKind,
+}
+
+impl Query {
+    /// The standard register-error/err-output query.
+    #[must_use]
+    pub fn register_errors_in_output() -> Self {
+        Query {
+            class: ErrorClass::RegisterFile,
+            kind: QueryKind::ErrInOutput,
+        }
+    }
+
+    /// The §6.1 query: register errors that silently corrupt the output.
+    #[must_use]
+    pub fn register_errors_wrong_output(expected: Vec<i64>) -> Self {
+        Query {
+            class: ErrorClass::RegisterFile,
+            kind: QueryKind::WrongOutput { expected },
+        }
+    }
+
+    /// The catastrophic-outcome hunt for a specific printed sequence.
+    #[must_use]
+    pub fn catastrophic(class: ErrorClass, output: Vec<i64>) -> Self {
+        Query {
+            class,
+            kind: QueryKind::CatastrophicOutput { output },
+        }
+    }
+
+    /// A control-flow-error crash query.
+    #[must_use]
+    pub fn fetch_errors_crashing() -> Self {
+        Query {
+            class: ErrorClass::Computation(ComputationError::Fetch),
+            kind: QueryKind::Crashes,
+        }
+    }
+
+    /// The search predicate this query filters terminal states with.
+    #[must_use]
+    pub fn predicate(&self) -> Predicate {
+        match &self.kind {
+            QueryKind::ErrInOutput => Predicate::OutputContainsErr,
+            QueryKind::WrongOutput { expected } => Predicate::WrongOutput {
+                expected: expected.clone(),
+            },
+            QueryKind::CatastrophicOutput { output } => Predicate::ExactOutput {
+                output: output.clone(),
+            },
+            QueryKind::Crashes => Predicate::Crashed,
+            QueryKind::Hangs => Predicate::Hung,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympl_machine::{MachineState, OutItem, Status};
+    use sympl_symbolic::Value;
+
+    #[test]
+    fn presets_build_expected_predicates() {
+        let q = Query::register_errors_in_output();
+        assert_eq!(q.class, ErrorClass::RegisterFile);
+        let mut s = MachineState::new();
+        s.push_output(OutItem::Val(Value::Err));
+        s.set_status(Status::Halted);
+        assert!(q.predicate().matches(&s));
+    }
+
+    #[test]
+    fn wrong_output_query() {
+        let q = Query::register_errors_wrong_output(vec![1]);
+        let mut s = MachineState::new();
+        s.push_output(OutItem::Val(Value::Int(2)));
+        s.set_status(Status::Halted);
+        assert!(q.predicate().matches(&s));
+        let mut ok = MachineState::new();
+        ok.push_output(OutItem::Val(Value::Int(1)));
+        ok.set_status(Status::Halted);
+        assert!(!q.predicate().matches(&ok));
+    }
+
+    #[test]
+    fn catastrophic_query_exact_match() {
+        let q = Query::catastrophic(ErrorClass::RegisterFile, vec![2]);
+        let mut s = MachineState::new();
+        s.push_output(OutItem::Val(Value::Int(2)));
+        s.set_status(Status::Halted);
+        assert!(q.predicate().matches(&s));
+    }
+
+    #[test]
+    fn fetch_crash_query() {
+        let q = Query::fetch_errors_crashing();
+        assert!(matches!(q.class, ErrorClass::Computation(_)));
+        let mut s = MachineState::new();
+        s.set_status(Status::Exception(sympl_machine::Exception::IllegalAddress));
+        assert!(q.predicate().matches(&s));
+    }
+}

@@ -1,0 +1,368 @@
+//! Fast in-place execution of fully concrete states.
+//!
+//! The symbolic executor clones states at every step so it can fork; for
+//! the tens of thousands of runs the SimpleScalar-substitute fault injector
+//! performs (paper §6.3, Table 2), that is far too slow. This module
+//! executes one state *in place* with purely concrete semantics. Any `err`
+//! encountered is an error — concrete execution is only defined on concrete
+//! states — which also gives the property tests a cross-check: on concrete
+//! states, [`step_concrete`] and [`MachineState::step`] must agree exactly.
+
+use std::fmt;
+
+use sympl_asm::{Instr, Operand, Program};
+use sympl_detect::{eval_expr, DetectError, DetectorSet};
+use sympl_symbolic::Value;
+
+use crate::{Exception, ExecLimits, MachineState, OutItem, Status};
+
+/// Errors from the concrete executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConcreteError {
+    /// The state contains the symbolic `err` value; concrete semantics are
+    /// undefined. Use the symbolic executor instead.
+    SymbolicValue {
+        /// Program counter at which the `err` was encountered.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for ConcreteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConcreteError::SymbolicValue { pc } => {
+                write!(f, "symbolic err value encountered at pc {pc} during concrete execution")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConcreteError {}
+
+fn concrete(v: Value, pc: usize) -> Result<i64, ConcreteError> {
+    v.as_int().ok_or(ConcreteError::SymbolicValue { pc })
+}
+
+/// Executes exactly one instruction in place.
+///
+/// Terminal states are left untouched. Returns `Ok(())` on success.
+///
+/// # Errors
+///
+/// [`ConcreteError::SymbolicValue`] if an operand holds `err`.
+#[allow(clippy::too_many_lines)]
+pub fn step_concrete(
+    state: &mut MachineState,
+    program: &Program,
+    detectors: &DetectorSet,
+    limits: &ExecLimits,
+) -> Result<(), ConcreteError> {
+    if state.status().is_terminal() {
+        return Ok(());
+    }
+    if state.steps() >= limits.max_steps {
+        state.set_status(Status::TimedOut);
+        return Ok(());
+    }
+    let pc = state.pc();
+    let Some(instr) = program.fetch(pc) else {
+        state.set_status(Status::Exception(Exception::IllegalInstruction));
+        return Ok(());
+    };
+    state.bump_steps();
+
+    let operand = |state: &MachineState, src: Operand| -> Result<i64, ConcreteError> {
+        match src {
+            Operand::Imm(v) => Ok(v),
+            Operand::Reg(r) => concrete(state.reg(r), pc),
+        }
+    };
+
+    match instr.clone() {
+        Instr::Nop => state.set_pc(pc + 1),
+        Instr::Halt => state.set_status(Status::Halted),
+        Instr::Mov { rd, src } => {
+            let v = operand(state, src)?;
+            state.set_reg(rd, Value::Int(v));
+            state.set_pc(pc + 1);
+        }
+        Instr::Bin { op, rd, rs, src } => {
+            let a = concrete(state.reg(rs), pc)?;
+            let b = operand(state, src)?;
+            match op.apply(a, b) {
+                Some(v) => {
+                    state.set_reg(rd, Value::Int(v));
+                    state.set_pc(pc + 1);
+                }
+                None => state.set_status(Status::Exception(Exception::DivByZero)),
+            }
+        }
+        Instr::Set { cmp, rd, rs, src } => {
+            let a = concrete(state.reg(rs), pc)?;
+            let b = operand(state, src)?;
+            state.set_reg(rd, Value::Int(i64::from(cmp.eval(a, b))));
+            state.set_pc(pc + 1);
+        }
+        Instr::Branch {
+            cmp,
+            rs,
+            src,
+            target,
+        } => {
+            let a = concrete(state.reg(rs), pc)?;
+            let b = operand(state, src)?;
+            state.set_pc(if cmp.eval(a, b) { target } else { pc + 1 });
+        }
+        Instr::Jmp { target } => state.set_pc(target),
+        Instr::Jal { target } => {
+            state.set_reg(sympl_asm::LINK_REG, Value::Int(pc as i64 + 1));
+            state.set_pc(target);
+        }
+        Instr::Jr { rs } => {
+            let v = concrete(state.reg(rs), pc)?;
+            if v >= 0 && (v as usize) < program.len() {
+                state.set_pc(v as usize);
+            } else {
+                state.set_status(Status::Exception(Exception::IllegalInstruction));
+            }
+        }
+        Instr::Load { rt, rs, offset } => {
+            let base = concrete(state.reg(rs), pc)?;
+            let addr = base.wrapping_add(offset);
+            match u64::try_from(addr).ok().and_then(|a| state.mem(a)) {
+                Some(v) => {
+                    state.set_reg(rt, v);
+                    state.set_pc(pc + 1);
+                }
+                None => state.set_status(Status::Exception(Exception::IllegalAddress)),
+            }
+        }
+        Instr::Store { rt, rs, offset } => {
+            let base = concrete(state.reg(rs), pc)?;
+            let addr = base.wrapping_add(offset);
+            match u64::try_from(addr) {
+                Ok(a) => {
+                    let v = state.reg(rt);
+                    state.set_mem(a, v);
+                    state.set_pc(pc + 1);
+                }
+                Err(_) => state.set_status(Status::Exception(Exception::IllegalAddress)),
+            }
+        }
+        Instr::Read { rd } => {
+            let v = state.read_input();
+            state.set_reg(rd, Value::Int(v));
+            state.set_pc(pc + 1);
+        }
+        Instr::Print { rs } => {
+            let v = state.reg(rs);
+            state.push_output(OutItem::Val(v));
+            state.set_pc(pc + 1);
+        }
+        Instr::PrintS { text } => {
+            state.push_output(OutItem::Str(text));
+            state.set_pc(pc + 1);
+        }
+        Instr::Check { id } => {
+            let Some(det) = detectors.get(id) else {
+                state.set_status(Status::Exception(Exception::IllegalInstruction));
+                return Ok(());
+            };
+            let Some(lhs) = state.location_value(det.target()) else {
+                state.set_status(Status::Exception(Exception::IllegalAddress));
+                return Ok(());
+            };
+            let lhs = concrete(lhs, pc)?;
+            match eval_expr(det.expr(), state) {
+                Ok(out) => {
+                    let rhs = concrete(out.value, pc)?;
+                    if det.cmp().eval(lhs, rhs) {
+                        state.set_pc(pc + 1);
+                    } else {
+                        state.set_status(Status::Detected(id));
+                    }
+                }
+                Err(DetectError::DivByZero) => {
+                    state.set_status(Status::Exception(Exception::DivByZero));
+                }
+                Err(_) => {
+                    state.set_status(Status::Exception(Exception::IllegalAddress));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs a concrete state to a terminal status (halt, exception, detection,
+/// or watchdog timeout).
+///
+/// # Errors
+///
+/// [`ConcreteError::SymbolicValue`] if the state stops being concrete.
+pub fn run_concrete(
+    state: &mut MachineState,
+    program: &Program,
+    detectors: &DetectorSet,
+    limits: &ExecLimits,
+) -> Result<(), ConcreteError> {
+    while !state.status().is_terminal() {
+        step_concrete(state, program, detectors, limits)?;
+    }
+    Ok(())
+}
+
+/// Runs concretely until the instruction at `breakpoint` is *about to
+/// execute* for the `occurrence`-th time (1-based), or the program ends.
+///
+/// Returns `true` if the breakpoint was reached. This implements the
+/// paper's §6.2 injection strategy: the error is planted "just before the
+/// instruction that uses the register, in order to ensure fault activation".
+///
+/// # Errors
+///
+/// [`ConcreteError::SymbolicValue`] if the prefix is not concrete.
+pub fn run_concrete_to_breakpoint(
+    state: &mut MachineState,
+    program: &Program,
+    detectors: &DetectorSet,
+    limits: &ExecLimits,
+    breakpoint: usize,
+    occurrence: u32,
+) -> Result<bool, ConcreteError> {
+    let mut seen = 0u32;
+    loop {
+        if state.status().is_terminal() {
+            return Ok(false);
+        }
+        if state.pc() == breakpoint {
+            seen += 1;
+            if seen >= occurrence {
+                return Ok(true);
+            }
+        }
+        step_concrete(state, program, detectors, limits)?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympl_asm::{parse_program, Reg};
+
+    fn lim() -> ExecLimits {
+        ExecLimits::default()
+    }
+
+    #[test]
+    fn runs_factorial_concretely() {
+        let p = parse_program(
+            "ori $2 $0 #1\nread $1\nmov $3, $1\nori $4 $0 #1\n\
+             loop: setgt $5 $3 $4\nbeq $5 0 exit\nmult $2 $2 $3\nsubi $3 $3 #1\nbeq $0 #0 loop\n\
+             exit: prints \"Factorial = \"\nprint $2\nhalt",
+        )
+        .unwrap();
+        let mut s = MachineState::with_input(vec![5]);
+        run_concrete(&mut s, &p, &DetectorSet::new(), &lim()).unwrap();
+        assert_eq!(s.status(), &Status::Halted);
+        assert_eq!(s.output_ints(), vec![120]);
+        assert_eq!(s.rendered_output(), "Factorial = 120");
+    }
+
+    #[test]
+    fn err_value_is_rejected() {
+        let p = parse_program("print $1\nhalt").unwrap();
+        let mut s = MachineState::new();
+        s.set_reg(Reg::r(1), Value::Err);
+        // print itself is fine (prints err), but arithmetic on err fails.
+        let p2 = parse_program("addi $2, $1, 1\nhalt").unwrap();
+        let e = run_concrete(&mut s, &p2, &DetectorSet::new(), &lim()).unwrap_err();
+        assert_eq!(e, ConcreteError::SymbolicValue { pc: 0 });
+        let _ = p;
+    }
+
+    #[test]
+    fn breakpoint_stops_before_execution() {
+        let p = parse_program("mov $1, 1\nmov $2, 2\nmov $3, 3\nhalt").unwrap();
+        let mut s = MachineState::new();
+        let reached =
+            run_concrete_to_breakpoint(&mut s, &p, &DetectorSet::new(), &lim(), 2, 1).unwrap();
+        assert!(reached);
+        assert_eq!(s.pc(), 2);
+        assert_eq!(s.reg(Reg::r(2)), Value::Int(2));
+        assert_eq!(s.reg(Reg::r(3)), Value::Int(0), "breakpoint instr not yet run");
+    }
+
+    #[test]
+    fn breakpoint_occurrence_counts_loop_iterations() {
+        let p = parse_program(
+            "mov $1, 3\nloop: subi $1, $1, 1\nbgt $1, 0, loop\nhalt",
+        )
+        .unwrap();
+        let mut s = MachineState::new();
+        let reached =
+            run_concrete_to_breakpoint(&mut s, &p, &DetectorSet::new(), &lim(), 1, 3).unwrap();
+        assert!(reached);
+        assert_eq!(s.reg(Reg::r(1)), Value::Int(1), "two decrements executed");
+    }
+
+    #[test]
+    fn breakpoint_never_reached_returns_false() {
+        let p = parse_program("halt\nnop").unwrap();
+        let mut s = MachineState::new();
+        let reached =
+            run_concrete_to_breakpoint(&mut s, &p, &DetectorSet::new(), &lim(), 1, 1).unwrap();
+        assert!(!reached);
+        assert_eq!(s.status(), &Status::Halted);
+    }
+
+    #[test]
+    fn watchdog_timeout() {
+        let p = parse_program("loop: jmp loop").unwrap();
+        let mut s = MachineState::new();
+        run_concrete(&mut s, &p, &DetectorSet::new(), &ExecLimits::with_max_steps(25)).unwrap();
+        assert_eq!(s.status(), &Status::TimedOut);
+    }
+
+    #[test]
+    fn agrees_with_symbolic_executor_on_concrete_states() {
+        // Differential test: run the same program both ways and compare
+        // final states field by field.
+        let p = parse_program(
+            "read $1\nmov $29, 1000\nst $1, 0($29)\nld $2, 0($29)\n\
+             setgt $3, $2, 10\nbeq $3, 1, big\naddi $4, $2, 100\njmp out\n\
+             big: subi $4, $2, 100\nout: print $4\nhalt",
+        )
+        .unwrap();
+        for input in [0, 5, 10, 11, 100, -50] {
+            let detectors = DetectorSet::new();
+            let limits = lim();
+            // Concrete in place.
+            let mut a = MachineState::with_input(vec![input]);
+            run_concrete(&mut a, &p, &detectors, &limits).unwrap();
+            // Symbolic (must produce exactly one successor per step).
+            let mut b = MachineState::with_input(vec![input]);
+            while !b.status().is_terminal() {
+                let mut succ = b.step(&p, &detectors, &limits);
+                assert_eq!(succ.len(), 1, "concrete state must not fork");
+                b = succ.pop().unwrap();
+            }
+            assert_eq!(a, b, "executors disagree on input {input}");
+        }
+    }
+
+    #[test]
+    fn detection_matches_symbolic() {
+        use sympl_detect::Detector;
+        let mut detectors = DetectorSet::new();
+        detectors.insert(Detector::parse("det(7, $(2), <=, (100))").unwrap());
+        let p = parse_program("read $2\ncheck 7\nprint $2\nhalt").unwrap();
+        let mut ok = MachineState::with_input(vec![50]);
+        run_concrete(&mut ok, &p, &detectors, &lim()).unwrap();
+        assert_eq!(ok.status(), &Status::Halted);
+        let mut caught = MachineState::with_input(vec![500]);
+        run_concrete(&mut caught, &p, &detectors, &lim()).unwrap();
+        assert_eq!(caught.status(), &Status::Detected(7));
+    }
+}

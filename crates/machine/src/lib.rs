@@ -1,0 +1,50 @@
+//! # sympl-machine — the SymPLFIED machine model
+//!
+//! This crate implements the paper's machine model (§5.1) and the execution
+//! half of the error model (§5.2). The central abstraction is
+//! [`MachineState`]: the mutable "soup" of processor structures — program
+//! counter, register file, memory, input/output streams — plus the
+//! ConstraintMap of the symbolic engine. Code is immutable and lives outside
+//! the state, exactly as in the paper's Maude specification.
+//!
+//! Two executors operate on states:
+//!
+//! * [`MachineState::step`] — the *symbolic* executor. Deterministic
+//!   instructions behave like the paper's Maude equations; instructions that
+//!   touch an `err` value fork, returning several successor states (Maude's
+//!   rewrite rules): comparisons and branches fork into true/false with
+//!   learned constraints, `jr` on an erroneous register forks to every valid
+//!   code location, and loads/stores through an erroneous pointer fork over
+//!   every defined memory word plus the illegal-address case.
+//! * [`run_concrete`] / [`step_concrete`] — a fast in-place executor for
+//!   fully concrete states, used by the SimpleScalar-substitute fault
+//!   injector and for replaying symbolic findings with witness values.
+//!
+//! # Example
+//!
+//! ```
+//! use sympl_asm::parse_program;
+//! use sympl_detect::DetectorSet;
+//! use sympl_machine::{ExecLimits, MachineState, Status};
+//!
+//! let program = parse_program("read $1\naddi $2, $1, 1\nprint $2\nhalt")?;
+//! let mut state = MachineState::with_input(vec![41]);
+//! let detectors = DetectorSet::new();
+//! let limits = ExecLimits::default();
+//! sympl_machine::run_concrete(&mut state, &program, &detectors, &limits)?;
+//! assert_eq!(state.status(), &Status::Halted);
+//! assert_eq!(state.output_ints(), vec![42]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod concrete;
+mod limits;
+mod state;
+mod step;
+
+pub use concrete::{run_concrete, run_concrete_to_breakpoint, step_concrete, ConcreteError};
+pub use limits::ExecLimits;
+pub use state::{Exception, MachineState, OutItem, Status};

@@ -1,0 +1,103 @@
+//! Execution bounds: the watchdog and the fork fan-out caps.
+
+use serde::{Deserialize, Serialize};
+
+/// Bounds on a single execution path.
+///
+/// * `max_steps` is the paper's *timeout* (§5.4): the instruction bound
+///   standing in for a watchdog timer. It must be chosen to encompass every
+///   correct (error-free) execution; exceeding it marks the path
+///   [`crate::Status::TimedOut`] (a hang outcome).
+/// * `fork_jump_targets` / `fork_mem_targets` cap the fan-out of the
+///   non-deterministic control/memory error rules. The paper's model forks
+///   over *every* valid code location / defined memory word; `None`
+///   reproduces that. Finite caps trade exhaustiveness for speed and back
+///   the fan-out ablation benchmark.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecLimits {
+    /// Maximum instructions executed along one path (the watchdog bound).
+    pub max_steps: u64,
+    /// Cap on successors when an erroneous jump target forks over the code
+    /// (`None` = every valid instruction address, as in the paper).
+    pub fork_jump_targets: Option<usize>,
+    /// Cap on successors when an erroneous pointer forks over memory
+    /// (`None` = every defined word, as in the paper).
+    pub fork_mem_targets: Option<usize>,
+    /// Whether comparison forks record constraints and equality
+    /// substitutions. `true` is the paper's full technique; `false`
+    /// disables the constraint solver (the ablation of DESIGN.md §⚗1:
+    /// more false positives, a larger state space, and spurious outcomes).
+    pub track_constraints: bool,
+}
+
+impl ExecLimits {
+    /// Limits with a given watchdog bound and unbounded fan-outs.
+    #[must_use]
+    pub fn with_max_steps(max_steps: u64) -> Self {
+        ExecLimits {
+            max_steps,
+            ..ExecLimits::default()
+        }
+    }
+
+    /// Selects up to `cap` fork targets from `n` candidates, evenly spread
+    /// so capped fan-outs still cover the whole range.
+    pub(crate) fn spread(cap: Option<usize>, n: usize) -> Vec<usize> {
+        match cap {
+            None => (0..n).collect(),
+            Some(c) if c >= n => (0..n).collect(),
+            Some(0) => Vec::new(),
+            Some(c) => {
+                // Evenly spaced sample including both endpoints.
+                (0..c)
+                    .map(|i| if c == 1 { 0 } else { i * (n - 1) / (c - 1) })
+                    .collect()
+            }
+        }
+    }
+}
+
+impl Default for ExecLimits {
+    fn default() -> Self {
+        ExecLimits {
+            max_steps: 100_000,
+            fork_jump_targets: None,
+            fork_mem_targets: None,
+            track_constraints: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unbounded_fanout() {
+        let l = ExecLimits::default();
+        assert_eq!(l.fork_jump_targets, None);
+        assert_eq!(l.fork_mem_targets, None);
+        assert!(l.max_steps > 0);
+    }
+
+    #[test]
+    fn spread_uncapped_is_identity() {
+        assert_eq!(ExecLimits::spread(None, 4), vec![0, 1, 2, 3]);
+        assert_eq!(ExecLimits::spread(Some(10), 4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spread_capped_covers_endpoints() {
+        let s = ExecLimits::spread(Some(3), 100);
+        assert_eq!(s.len(), 3);
+        assert_eq!(*s.first().unwrap(), 0);
+        assert_eq!(*s.last().unwrap(), 99);
+    }
+
+    #[test]
+    fn spread_degenerate_cases() {
+        assert!(ExecLimits::spread(Some(0), 10).is_empty());
+        assert_eq!(ExecLimits::spread(Some(1), 10), vec![0]);
+        assert!(ExecLimits::spread(None, 0).is_empty());
+    }
+}

@@ -1,0 +1,591 @@
+//! The machine state "soup" (paper §5.1).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use std::collections::BTreeMap;
+use sympl_asm::{Reg, NUM_REGS};
+use sympl_detect::StateView;
+use sympl_symbolic::{ConstraintMap, Location, Value};
+
+/// Exceptions the machine can throw (paper §5.1 assumptions and §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Exception {
+    /// Instruction fetch from an invalid code address.
+    IllegalInstruction,
+    /// Load from an undefined memory location or a negative address.
+    IllegalAddress,
+    /// Division by zero (`div-zero` in the paper's propagation equations).
+    DivByZero,
+}
+
+impl fmt::Display for Exception {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Exception::IllegalInstruction => "illegal instruction",
+            Exception::IllegalAddress => "illegal addr",
+            Exception::DivByZero => "div-zero",
+        })
+    }
+}
+
+/// Execution status of a machine state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Status {
+    /// The program is still executing.
+    Running,
+    /// The program executed `halt` — a normal termination.
+    Halted,
+    /// An exception was thrown (a *crash* outcome).
+    Exception(Exception),
+    /// A detector fired: the error was *detected* and the program halted.
+    Detected(u32),
+    /// The watchdog instruction bound was exceeded (a *hang* outcome,
+    /// paper §5.4 "timed out").
+    TimedOut,
+}
+
+impl Status {
+    /// Whether the state is terminal (no further steps possible).
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, Status::Running)
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Status::Running => f.write_str("running"),
+            Status::Halted => f.write_str("halted"),
+            Status::Exception(e) => write!(f, "exception: {e}"),
+            Status::Detected(id) => write!(f, "detected by detector {id}"),
+            Status::TimedOut => f.write_str("timed out"),
+        }
+    }
+}
+
+/// One item of the output stream: a printed value or a string literal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OutItem {
+    /// Output of a `print` instruction.
+    Val(Value),
+    /// Output of a `prints` instruction.
+    Str(Arc<str>),
+}
+
+impl fmt::Display for OutItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OutItem::Val(v) => write!(f, "{v}"),
+            OutItem::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+/// The mutable machine state carried from instruction to instruction.
+///
+/// Corresponds to the paper's soup `PC(pc) regs(R) mem(M) input(in)
+/// output(out)` plus the ConstraintMap of §5.2. States are value types:
+/// the symbolic executor clones them at forks, and the model checker hashes
+/// them for visited-state deduplication.
+///
+/// Equality and hashing *include* the executed-instruction counter, exactly
+/// as the paper's Maude model carries the watchdog counter in the state
+/// term. This is what makes hang detection sound: a looping path revisits
+/// structurally identical configurations at ever-higher counts, so the
+/// search cannot dedup the cycle away — it runs into the §5.4 instruction
+/// bound and reports a timed-out (hang) terminal, as a real execution
+/// would behave under a watchdog.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MachineState {
+    pc: usize,
+    regs: [Value; NUM_REGS],
+    mem: BTreeMap<u64, Value>,
+    input: Arc<[i64]>,
+    input_pos: usize,
+    output: Vec<OutItem>,
+    constraints: ConstraintMap,
+    steps: u64,
+    status: Status,
+}
+
+impl MachineState {
+    /// A fresh state at PC 0 with zeroed registers, empty memory, and no
+    /// input.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_input(Vec::new())
+    }
+
+    /// A fresh state with the given input stream.
+    #[must_use]
+    pub fn with_input(input: Vec<i64>) -> Self {
+        MachineState {
+            pc: 0,
+            regs: [Value::Int(0); NUM_REGS],
+            mem: BTreeMap::new(),
+            input: input.into(),
+            input_pos: 0,
+            output: Vec::new(),
+            constraints: ConstraintMap::new(),
+            steps: 0,
+            status: Status::Running,
+        }
+    }
+
+    /// The current program counter.
+    #[must_use]
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Sets the program counter (used by the fetch-error model, which moves
+    /// the PC to an arbitrary valid code location).
+    pub fn set_pc(&mut self, pc: usize) {
+        self.pc = pc;
+    }
+
+    /// The value of a register ($0 always reads zero).
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> Value {
+        if r.is_zero() {
+            Value::Int(0)
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Writes a register. Writes to `$0` are discarded; any constraints
+    /// recorded for the register are cleared because a fresh value now
+    /// occupies it.
+    pub fn set_reg(&mut self, r: Reg, v: Value) {
+        if r.is_zero() {
+            return;
+        }
+        self.regs[r.index()] = v;
+        self.constraints.clear(Location::Reg(r));
+    }
+
+    /// Writes a register *and* carries the constraints of a source
+    /// location with it (used by `mov`-style copies of an `err` value,
+    /// whose learned facts travel with the value).
+    pub fn copy_reg_with_constraints(&mut self, r: Reg, v: Value, from: Location) {
+        if r.is_zero() {
+            return;
+        }
+        self.regs[r.index()] = v;
+        if v.is_err() {
+            self.constraints.copy(from, Location::Reg(r));
+        } else {
+            self.constraints.clear(Location::Reg(r));
+        }
+    }
+
+    /// The value of a memory word, or `None` if undefined.
+    #[must_use]
+    pub fn mem(&self, addr: u64) -> Option<Value> {
+        self.mem.get(&addr).copied()
+    }
+
+    /// Writes a memory word (stores define locations on first write).
+    pub fn set_mem(&mut self, addr: u64, v: Value) {
+        self.mem.insert(addr, v);
+        self.constraints.clear(Location::Mem(addr));
+    }
+
+    /// Writes a memory word carrying constraints from a source location.
+    pub fn copy_mem_with_constraints(&mut self, addr: u64, v: Value, from: Location) {
+        self.mem.insert(addr, v);
+        if v.is_err() {
+            self.constraints.copy(from, Location::Mem(addr));
+        } else {
+            self.constraints.clear(Location::Mem(addr));
+        }
+    }
+
+    /// Pre-initializes a memory image before execution (the paper's loader
+    /// "initializes all locations prior to their first use").
+    pub fn load_memory<I: IntoIterator<Item = (u64, i64)>>(&mut self, image: I) {
+        for (addr, v) in image {
+            self.mem.insert(addr, Value::Int(v));
+        }
+    }
+
+    /// All defined memory addresses, in order.
+    pub fn defined_addresses(&self) -> impl Iterator<Item = u64> + '_ {
+        self.mem.keys().copied()
+    }
+
+    /// Number of defined memory words.
+    #[must_use]
+    pub fn memory_len(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// One past the largest defined address (0 when memory is empty); the
+    /// store-through-corrupt-pointer model writes its "new value in memory"
+    /// here.
+    #[must_use]
+    pub fn fresh_address(&self) -> u64 {
+        self.mem
+            .keys()
+            .next_back()
+            .map_or(0, |&a| a.saturating_add(8))
+    }
+
+    /// Reads the next input value (the `read` instruction). Reading past
+    /// the end of the stream yields 0, so programs are total in the input.
+    pub fn read_input(&mut self) -> i64 {
+        let v = self.input.get(self.input_pos).copied().unwrap_or(0);
+        self.input_pos += 1;
+        v
+    }
+
+    /// The value of a [`Location`] (registers always defined; memory may
+    /// not be).
+    #[must_use]
+    pub fn location_value(&self, loc: Location) -> Option<Value> {
+        match loc {
+            Location::Reg(r) => Some(self.reg(r)),
+            Location::Mem(a) => self.mem(a),
+        }
+    }
+
+    /// Writes a [`Location`] directly (fault injection uses this to plant
+    /// the `err` symbol).
+    pub fn set_location(&mut self, loc: Location, v: Value) {
+        match loc {
+            Location::Reg(r) => self.set_reg(r, v),
+            Location::Mem(a) => self.set_mem(a, v),
+        }
+    }
+
+    /// Appends to the output stream.
+    pub fn push_output(&mut self, item: OutItem) {
+        self.output.push(item);
+    }
+
+    /// The output stream so far.
+    #[must_use]
+    pub fn output(&self) -> &[OutItem] {
+        &self.output
+    }
+
+    /// The printed *values* (ignoring string literals), for outcome checks.
+    #[must_use]
+    pub fn output_values(&self) -> Vec<Value> {
+        self.output
+            .iter()
+            .filter_map(|o| match o {
+                OutItem::Val(v) => Some(*v),
+                OutItem::Str(_) => None,
+            })
+            .collect()
+    }
+
+    /// The printed values as integers; `err` values are dropped.
+    #[must_use]
+    pub fn output_ints(&self) -> Vec<i64> {
+        self.output_values()
+            .into_iter()
+            .filter_map(Value::as_int)
+            .collect()
+    }
+
+    /// Whether any printed value is the `err` symbol — the paper's standard
+    /// search predicate `output(S) contains err`.
+    #[must_use]
+    pub fn output_contains_err(&self) -> bool {
+        self.output_values().iter().any(|v| v.is_err())
+    }
+
+    /// The constraint map of the current path.
+    #[must_use]
+    pub fn constraints(&self) -> &ConstraintMap {
+        &self.constraints
+    }
+
+    /// Mutable access to the constraint map (fork application).
+    pub fn constraints_mut(&mut self) -> &mut ConstraintMap {
+        &mut self.constraints
+    }
+
+    /// The execution status.
+    #[must_use]
+    pub fn status(&self) -> &Status {
+        &self.status
+    }
+
+    /// Sets the execution status (terminal transitions).
+    pub fn set_status(&mut self, status: Status) {
+        self.status = status;
+    }
+
+    /// Number of instructions executed so far (the watchdog counter).
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Increments the instruction counter.
+    pub fn bump_steps(&mut self) {
+        self.steps += 1;
+    }
+
+    /// Whether every register and defined memory word is concrete.
+    #[must_use]
+    pub fn is_fully_concrete(&self) -> bool {
+        !self.regs.iter().any(|v| v.is_err()) && !self.mem.values().any(|v| v.is_err())
+    }
+
+    /// Every location currently holding `err`.
+    #[must_use]
+    pub fn err_locations(&self) -> Vec<Location> {
+        let mut out = Vec::new();
+        for (i, v) in self.regs.iter().enumerate() {
+            if v.is_err() {
+                out.push(Location::reg(i as u8));
+            }
+        }
+        for (&a, v) in &self.mem {
+            if v.is_err() {
+                out.push(Location::Mem(a));
+            }
+        }
+        out
+    }
+
+    /// Renders the output stream as a single line.
+    #[must_use]
+    pub fn rendered_output(&self) -> String {
+        self.output.iter().map(ToString::to_string).collect()
+    }
+}
+
+impl Default for MachineState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PartialEq for MachineState {
+    fn eq(&self, other: &Self) -> bool {
+        // `steps` included: see the type-level docs on hang soundness.
+        self.steps == other.steps
+            && self.pc == other.pc
+            && self.regs == other.regs
+            && self.mem == other.mem
+            && self.input == other.input
+            && self.input_pos == other.input_pos
+            && self.output == other.output
+            && self.constraints == other.constraints
+            && self.status == other.status
+    }
+}
+
+impl Eq for MachineState {}
+
+impl Hash for MachineState {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.steps.hash(state);
+        self.pc.hash(state);
+        self.regs.hash(state);
+        self.mem.hash(state);
+        self.input.hash(state);
+        self.input_pos.hash(state);
+        self.output.hash(state);
+        self.constraints.hash(state);
+        self.status.hash(state);
+    }
+}
+
+impl MachineState {
+    /// Whether two states coincide in everything *except* the instruction
+    /// counter — the structural-identity notion an aggressive deduplication
+    /// would use (at the cost of missing hang outcomes; see the type docs).
+    #[must_use]
+    pub fn same_configuration(&self, other: &Self) -> bool {
+        self.pc == other.pc
+            && self.regs == other.regs
+            && self.mem == other.mem
+            && self.input == other.input
+            && self.input_pos == other.input_pos
+            && self.output == other.output
+            && self.constraints == other.constraints
+            && self.status == other.status
+    }
+}
+
+impl StateView for MachineState {
+    fn reg_value(&self, reg: Reg) -> Value {
+        self.reg(reg)
+    }
+
+    fn mem_value(&self, addr: u64) -> Option<Value> {
+        self.mem(addr)
+    }
+}
+
+impl fmt::Display for MachineState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "pc={} status={} steps={}", self.pc, self.status, self.steps)?;
+        write!(f, "regs:")?;
+        for (i, v) in self.regs.iter().enumerate() {
+            if *v != Value::Int(0) {
+                write!(f, " ${i}={v}")?;
+            }
+        }
+        writeln!(f)?;
+        if !self.mem.is_empty() {
+            write!(f, "mem:")?;
+            for (a, v) in &self.mem {
+                write!(f, " [{a}]={v}")?;
+            }
+            writeln!(f)?;
+        }
+        if !self.output.is_empty() {
+            writeln!(f, "output: {}", self.rendered_output())?;
+        }
+        if !self.constraints.is_empty() {
+            writeln!(f, "constraints: {}", self.constraints)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_semantics() {
+        let mut s = MachineState::new();
+        s.set_reg(Reg::r(0), Value::Int(99));
+        assert_eq!(s.reg(Reg::r(0)), Value::Int(0));
+        s.set_reg(Reg::r(5), Value::Int(7));
+        assert_eq!(s.reg(Reg::r(5)), Value::Int(7));
+    }
+
+    #[test]
+    fn register_write_clears_constraints() {
+        let mut s = MachineState::new();
+        s.set_reg(Reg::r(3), Value::Err);
+        assert!(s
+            .constraints_mut()
+            .constrain(Location::reg(3), sympl_symbolic::Constraint::Gt(0)));
+        s.set_reg(Reg::r(3), Value::Int(1));
+        assert!(s.constraints().get(Location::reg(3)).is_none());
+    }
+
+    #[test]
+    fn copy_with_constraints_moves_facts() {
+        let mut s = MachineState::new();
+        s.set_reg(Reg::r(3), Value::Err);
+        let _ = s
+            .constraints_mut()
+            .constrain(Location::reg(3), sympl_symbolic::Constraint::Ge(5));
+        s.copy_reg_with_constraints(Reg::r(6), Value::Err, Location::reg(3));
+        assert_eq!(s.constraints().witness(Location::reg(6)), Some(5));
+    }
+
+    #[test]
+    fn memory_definition_and_fresh_address() {
+        let mut s = MachineState::new();
+        assert_eq!(s.fresh_address(), 0);
+        assert_eq!(s.mem(100), None);
+        s.set_mem(100, Value::Int(1));
+        assert_eq!(s.mem(100), Some(Value::Int(1)));
+        assert_eq!(s.fresh_address(), 108);
+        s.load_memory([(4, 2), (8, 3)]);
+        assert_eq!(s.memory_len(), 3);
+        assert_eq!(s.defined_addresses().collect::<Vec<_>>(), vec![4, 8, 100]);
+    }
+
+    #[test]
+    fn input_stream_reads_then_zeroes() {
+        let mut s = MachineState::with_input(vec![10, 20]);
+        assert_eq!(s.read_input(), 10);
+        assert_eq!(s.read_input(), 20);
+        assert_eq!(s.read_input(), 0);
+    }
+
+    #[test]
+    fn output_helpers() {
+        let mut s = MachineState::new();
+        s.push_output(OutItem::Str("Factorial = ".into()));
+        s.push_output(OutItem::Val(Value::Int(120)));
+        s.push_output(OutItem::Val(Value::Err));
+        assert_eq!(s.output_values(), vec![Value::Int(120), Value::Err]);
+        assert_eq!(s.output_ints(), vec![120]);
+        assert!(s.output_contains_err());
+        assert_eq!(s.rendered_output(), "Factorial = 120err");
+    }
+
+    #[test]
+    fn equality_includes_step_count() {
+        let mut a = MachineState::new();
+        let mut b = MachineState::new();
+        b.bump_steps();
+        b.bump_steps();
+        assert_ne!(a, b, "watchdog counter is part of the state term");
+        assert!(a.same_configuration(&b));
+        a.bump_steps();
+        a.bump_steps();
+        assert_eq!(a, b);
+        a.set_pc(3);
+        assert_ne!(a, b);
+        assert!(!a.same_configuration(&b));
+    }
+
+    #[test]
+    fn err_locations_enumerated() {
+        let mut s = MachineState::new();
+        s.set_reg(Reg::r(4), Value::Err);
+        s.set_mem(16, Value::Err);
+        s.set_mem(8, Value::Int(1));
+        assert_eq!(
+            s.err_locations(),
+            vec![Location::reg(4), Location::Mem(16)]
+        );
+        assert!(!s.is_fully_concrete());
+    }
+
+    #[test]
+    fn status_terminality() {
+        assert!(!Status::Running.is_terminal());
+        for s in [
+            Status::Halted,
+            Status::Exception(Exception::DivByZero),
+            Status::Detected(1),
+            Status::TimedOut,
+        ] {
+            assert!(s.is_terminal());
+        }
+    }
+
+    #[test]
+    fn location_roundtrip() {
+        let mut s = MachineState::new();
+        s.set_location(Location::reg(7), Value::Err);
+        assert_eq!(s.location_value(Location::reg(7)), Some(Value::Err));
+        s.set_location(Location::Mem(40), Value::Int(3));
+        assert_eq!(s.location_value(Location::Mem(40)), Some(Value::Int(3)));
+        assert_eq!(s.location_value(Location::Mem(48)), None);
+    }
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let mut s = MachineState::with_input(vec![1]);
+        s.set_reg(Reg::r(2), Value::Err);
+        s.set_mem(8, Value::Int(5));
+        s.push_output(OutItem::Val(Value::Int(1)));
+        let text = s.to_string();
+        assert!(text.contains("pc=0"));
+        assert!(text.contains("$2=err"));
+        assert!(text.contains("[8]=5"));
+        assert!(text.contains("output: 1"));
+    }
+}

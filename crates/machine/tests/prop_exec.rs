@@ -1,0 +1,123 @@
+//! Property tests: the symbolic and concrete executors agree exactly on
+//! concrete states (the paper's machine model is deterministic; its
+//! equations are shared by both executors here, so any divergence is a
+//! bug in one of them).
+
+use proptest::prelude::*;
+use sympl_asm::{BinOp, Cmp, Instr, Operand, Program, Reg};
+use sympl_detect::DetectorSet;
+use sympl_machine::{run_concrete, step_concrete, ExecLimits, MachineState};
+
+/// Random straight-line-ish programs over registers $1..$6 and a small
+/// memory window, with bounded loops via a countdown register.
+fn arb_program() -> impl Strategy<Value = Program> {
+    let arb_reg = || (1u8..6).prop_map(Reg::r);
+    let arb_operand = || {
+        prop_oneof![
+            (1u8..6).prop_map(|r| Operand::Reg(Reg::r(r))),
+            (-20i64..=20).prop_map(Operand::Imm),
+        ]
+    };
+    let arb_binop = || {
+        prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Sub),
+            Just(BinOp::Mul),
+            Just(BinOp::And),
+            Just(BinOp::Or),
+            Just(BinOp::Xor),
+            Just(BinOp::Div),
+            Just(BinOp::Rem),
+        ]
+    };
+    let arb_cmp = || {
+        prop_oneof![
+            Just(Cmp::Eq),
+            Just(Cmp::Ne),
+            Just(Cmp::Gt),
+            Just(Cmp::Lt),
+            Just(Cmp::Ge),
+            Just(Cmp::Le),
+        ]
+    };
+    let arb_instr = (0u8..8).prop_flat_map(move |kind| match kind {
+        0 => (arb_binop(), arb_reg(), arb_reg(), arb_operand())
+            .prop_map(|(op, rd, rs, src)| Instr::Bin { op, rd, rs, src })
+            .boxed(),
+        1 => (arb_reg(), arb_operand())
+            .prop_map(|(rd, src)| Instr::Mov { rd, src })
+            .boxed(),
+        2 => (arb_cmp(), arb_reg(), arb_reg(), arb_operand())
+            .prop_map(|(cmp, rd, rs, src)| Instr::Set { cmp, rd, rs, src })
+            .boxed(),
+        3 => (arb_reg(), 0i64..8)
+            .prop_map(|(rt, slot)| Instr::Store {
+                rt,
+                rs: Reg::r(0),
+                offset: 1000 + slot * 8,
+            })
+            .boxed(),
+        4 => (arb_reg(), 0i64..8)
+            .prop_map(|(rt, slot)| Instr::Load {
+                rt,
+                rs: Reg::r(0),
+                offset: 1000 + slot * 8,
+            })
+            .boxed(),
+        5 => arb_reg().prop_map(|rd| Instr::Read { rd }).boxed(),
+        6 => arb_reg().prop_map(|rs| Instr::Print { rs }).boxed(),
+        _ => Just(Instr::Nop).boxed(),
+    });
+    prop::collection::vec(arb_instr, 1..25).prop_map(|mut instrs| {
+        instrs.push(Instr::Halt);
+        Program::new(instrs, std::collections::BTreeMap::new()).expect("non-empty, no targets")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn executors_agree_on_random_programs(
+        program in arb_program(),
+        input in prop::collection::vec(-100i64..=100, 0..6),
+    ) {
+        let detectors = DetectorSet::new();
+        let limits = ExecLimits::with_max_steps(500);
+
+        let mut concrete = MachineState::with_input(input.clone());
+        concrete.load_memory((0u64..8).map(|i| (1000 + i * 8, i as i64 * 3 - 5)));
+        run_concrete(&mut concrete, &program, &detectors, &limits).unwrap();
+
+        let mut symbolic = MachineState::with_input(input);
+        symbolic.load_memory((0u64..8).map(|i| (1000 + i * 8, i as i64 * 3 - 5)));
+        while !symbolic.status().is_terminal() {
+            let mut succ = symbolic.step(&program, &detectors, &limits);
+            prop_assert_eq!(succ.len(), 1, "concrete program must not fork");
+            symbolic = succ.pop().unwrap();
+        }
+
+        prop_assert_eq!(concrete, symbolic);
+    }
+
+    #[test]
+    fn step_counts_match(
+        program in arb_program(),
+        input in prop::collection::vec(-100i64..=100, 0..6),
+    ) {
+        let detectors = DetectorSet::new();
+        let limits = ExecLimits::with_max_steps(500);
+        let mut a = MachineState::with_input(input.clone());
+        a.load_memory((0u64..8).map(|i| (1000 + i * 8, 0)));
+        let mut b = a.clone();
+        // Lockstep: after every single step the states coincide.
+        while !a.status().is_terminal() {
+            step_concrete(&mut a, &program, &detectors, &limits).unwrap();
+            let mut succ = b.step(&program, &detectors, &limits);
+            prop_assert_eq!(succ.len(), 1);
+            b = succ.pop().unwrap();
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(a.steps(), b.steps());
+        }
+    }
+}

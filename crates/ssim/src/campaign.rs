@@ -1,0 +1,329 @@
+//! The concrete injection campaign (paper §6.1/§6.3).
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+#[allow(unused_imports)]
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use sympl_asm::{Program, Reg};
+use sympl_detect::DetectorSet;
+use sympl_machine::{
+    run_concrete, run_concrete_to_breakpoint, step_concrete, ExecLimits, MachineState,
+};
+use sympl_symbolic::Value;
+
+use crate::ConcreteOutcome;
+
+/// Whether a register is injected as a source (before the instruction) or
+/// a destination (after it) — the paper injects both, one at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RegSlot {
+    /// Corrupt before execution (data the instruction reads).
+    Source,
+    /// Corrupt after execution (data the instruction wrote).
+    Destination,
+}
+
+/// One concrete injection point: instruction, register, slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ConcretePoint {
+    /// Static instruction address.
+    pub breakpoint: usize,
+    /// Register to corrupt.
+    pub reg: Reg,
+    /// Source or destination slot.
+    pub slot: RegSlot,
+}
+
+/// Campaign configuration: which values to inject per point.
+///
+/// Defaults to the paper's recipe — three extreme values in the integer
+/// range plus three seeded-random values — so a default campaign performs
+/// `6 × (number of points)` runs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Deterministic seed for the random values.
+    pub seed: u64,
+    /// The extreme values injected at every point.
+    pub extremes: Vec<i64>,
+    /// How many random values to inject at every point.
+    pub random_per_point: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 0x5151_F1ED,
+            extremes: vec![i64::MAX, i64::MIN, -1],
+            random_per_point: 3,
+        }
+    }
+}
+
+/// Aggregated campaign results.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SsimReport {
+    /// Outcome histogram over all performed runs.
+    pub counts: BTreeMap<ConcreteOutcome, usize>,
+    /// Injections whose breakpoint was never reached (fault not activated).
+    pub not_activated: usize,
+}
+
+impl SsimReport {
+    /// Total runs performed (activated injections).
+    #[must_use]
+    pub fn total_runs(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Count of runs whose outcome classifies into the given bucket
+    /// according to `f`.
+    pub fn count_where(&self, mut f: impl FnMut(&ConcreteOutcome) -> bool) -> usize {
+        self.counts
+            .iter()
+            .filter(|(o, _)| f(o))
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Whether any run halted normally printing exactly `output`.
+    #[must_use]
+    pub fn saw_output(&self, output: &[i64]) -> bool {
+        self.counts
+            .keys()
+            .any(|o| matches!(o, ConcreteOutcome::Output(v) if v == output))
+    }
+
+    /// Records one outcome.
+    pub fn record(&mut self, outcome: ConcreteOutcome) {
+        *self.counts.entry(outcome).or_insert(0) += 1;
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: SsimReport) {
+        for (o, n) in other.counts {
+            *self.counts.entry(o).or_insert(0) += n;
+        }
+        self.not_activated += other.not_activated;
+    }
+}
+
+/// Enumerates every (instruction, register, slot) concrete injection point,
+/// as the paper's augmented SimpleScalar does.
+#[must_use]
+pub fn enumerate_concrete_points(program: &Program) -> Vec<ConcretePoint> {
+    let mut points = Vec::new();
+    for (addr, instr) in program.instrs().iter().enumerate() {
+        for reg in instr.source_regs() {
+            if !reg.is_zero() {
+                points.push(ConcretePoint {
+                    breakpoint: addr,
+                    reg,
+                    slot: RegSlot::Source,
+                });
+            }
+        }
+        if let Some(rd) = instr.dest_reg() {
+            if !rd.is_zero() {
+                points.push(ConcretePoint {
+                    breakpoint: addr,
+                    reg: rd,
+                    slot: RegSlot::Destination,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Performs one injected run: execute to the breakpoint, plant `value` in
+/// the register (before or after the instruction per the slot), run to a
+/// terminal status, classify. Returns `None` when the breakpoint is not on
+/// the execution path (the fault is never activated).
+#[must_use]
+pub fn run_injected(
+    program: &Program,
+    detectors: &DetectorSet,
+    input: &[i64],
+    point: &ConcretePoint,
+    value: i64,
+    limits: &ExecLimits,
+) -> Option<ConcreteOutcome> {
+    let mut state = MachineState::with_input(input.to_vec());
+    let reached = run_concrete_to_breakpoint(
+        &mut state,
+        program,
+        detectors,
+        limits,
+        point.breakpoint,
+        1,
+    )
+    .expect("pre-injection execution is concrete");
+    if !reached {
+        return None;
+    }
+    match point.slot {
+        RegSlot::Source => {
+            state.set_reg(point.reg, Value::Int(value));
+        }
+        RegSlot::Destination => {
+            step_concrete(&mut state, program, detectors, limits)
+                .expect("concrete execution");
+            if state.status().is_terminal() {
+                return Some(ConcreteOutcome::classify(&state));
+            }
+            state.set_reg(point.reg, Value::Int(value));
+        }
+    }
+    run_concrete(&mut state, program, detectors, limits).expect(
+        "post-injection state is still concrete: the injected value is an integer",
+    );
+    Some(ConcreteOutcome::classify(&state))
+}
+
+/// Runs the full campaign: every point × every configured value.
+///
+/// Deterministic for a fixed seed: random values are drawn from a seeded
+/// PRNG in point order.
+#[must_use]
+pub fn run_campaign(
+    program: &Program,
+    detectors: &DetectorSet,
+    input: &[i64],
+    config: &CampaignConfig,
+    limits: &ExecLimits,
+) -> SsimReport {
+    let points = enumerate_concrete_points(program);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut report = SsimReport::default();
+    for point in &points {
+        let mut values = config.extremes.clone();
+        values.extend((0..config.random_per_point).map(|_| rng.gen::<i64>()));
+        for value in values {
+            match run_injected(program, detectors, input, point, value, limits) {
+                Some(outcome) => report.record(outcome),
+                None => report.not_activated += 1,
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympl_asm::parse_program;
+
+    fn dets() -> DetectorSet {
+        DetectorSet::new()
+    }
+
+    #[test]
+    fn points_cover_sources_and_destinations() {
+        let p = parse_program("read $1\naddi $2, $1, 1\nprint $2\nhalt").unwrap();
+        let points = enumerate_concrete_points(&p);
+        // read: dest $1; addi: src $1, dest $2; print: src $2.
+        assert_eq!(points.len(), 4);
+        assert!(points.iter().any(|pt| pt.slot == RegSlot::Source));
+        assert!(points.iter().any(|pt| pt.slot == RegSlot::Destination));
+    }
+
+    #[test]
+    fn source_injection_changes_output() {
+        let p = parse_program("read $1\naddi $2, $1, 1\nprint $2\nhalt").unwrap();
+        let point = ConcretePoint {
+            breakpoint: 1,
+            reg: Reg::r(1),
+            slot: RegSlot::Source,
+        };
+        let out = run_injected(&p, &dets(), &[10], &point, 100, &ExecLimits::default()).unwrap();
+        assert_eq!(out, ConcreteOutcome::Output(vec![101]));
+    }
+
+    #[test]
+    fn destination_injection_applies_after_execution() {
+        let p = parse_program("mov $1, 5\naddi $2, $1, 1\nprint $2\nhalt").unwrap();
+        let point = ConcretePoint {
+            breakpoint: 1,
+            reg: Reg::r(2),
+            slot: RegSlot::Destination,
+        };
+        let out = run_injected(&p, &dets(), &[], &point, 77, &ExecLimits::default()).unwrap();
+        assert_eq!(out, ConcreteOutcome::Output(vec![77]));
+    }
+
+    #[test]
+    fn unreached_breakpoint_returns_none() {
+        let p = parse_program("halt\nmov $1, 1").unwrap();
+        let point = ConcretePoint {
+            breakpoint: 1,
+            reg: Reg::r(1),
+            slot: RegSlot::Source,
+        };
+        assert!(run_injected(&p, &dets(), &[], &point, 1, &ExecLimits::default()).is_none());
+    }
+
+    #[test]
+    fn campaign_is_deterministic_for_fixed_seed() {
+        let p = parse_program("read $1\nmult $2, $1, $1\nprint $2\nhalt").unwrap();
+        let cfg = CampaignConfig::default();
+        let a = run_campaign(&p, &dets(), &[6], &cfg, &ExecLimits::default());
+        let b = run_campaign(&p, &dets(), &[6], &cfg, &ExecLimits::default());
+        assert_eq!(a, b);
+        assert_eq!(a.total_runs() + a.not_activated, 6 * 4);
+    }
+
+    #[test]
+    fn different_seeds_may_differ() {
+        let p = parse_program("read $1\nmult $2, $1, $1\nprint $2\nhalt").unwrap();
+        let a = run_campaign(
+            &p,
+            &dets(),
+            &[6],
+            &CampaignConfig {
+                seed: 1,
+                ..CampaignConfig::default()
+            },
+            &ExecLimits::default(),
+        );
+        // Seeds change which wrong outputs appear, not the run count.
+        assert_eq!(a.total_runs(), 24);
+    }
+
+    #[test]
+    fn report_helpers() {
+        let mut r = SsimReport::default();
+        r.record(ConcreteOutcome::Output(vec![1]));
+        r.record(ConcreteOutcome::Output(vec![1]));
+        r.record(ConcreteOutcome::Hang);
+        assert_eq!(r.total_runs(), 3);
+        assert!(r.saw_output(&[1]));
+        assert!(!r.saw_output(&[2]));
+        assert_eq!(r.count_where(|o| o.is_benign(&[1])), 2);
+        let mut other = SsimReport::default();
+        other.record(ConcreteOutcome::Hang);
+        other.not_activated = 2;
+        r.merge(other);
+        assert_eq!(r.counts[&ConcreteOutcome::Hang], 2);
+        assert_eq!(r.not_activated, 2);
+    }
+
+    #[test]
+    fn crash_outcomes_classified() {
+        // Injecting a giant value into the address register crashes loads.
+        let p = parse_program(
+            "mov $29, 64\nmov $1, 5\nst $1, 0($29)\nld $2, 0($29)\nprint $2\nhalt",
+        )
+        .unwrap();
+        let point = ConcretePoint {
+            breakpoint: 3,
+            reg: Reg::r(29),
+            slot: RegSlot::Source,
+        };
+        let out =
+            run_injected(&p, &dets(), &[], &point, i64::MAX, &ExecLimits::default()).unwrap();
+        assert!(matches!(out, ConcreteOutcome::Crash(_)), "{out}");
+    }
+}

@@ -1,0 +1,47 @@
+//! # sympl-ssim — the SimpleScalar-substitute concrete fault injector
+//!
+//! The paper validates SymPLFIED against a conventional fault-injection
+//! campaign: a SimpleScalar simulator "augmented with the capability to
+//! inject errors into the source and destination registers of all
+//! instructions, one at a time", injecting "three extreme values in the
+//! integer range as well as three random values" per register (§6.1), more
+//! than 6000 (and later 41000) runs in total — which still never found the
+//! catastrophic tcas outcome (Table 2).
+//!
+//! This crate is that baseline, rebuilt on the same generic assembly
+//! machine: a deterministic, seeded campaign of concrete-value injections
+//! with Table-2 outcome classification, plus the replay facility used to
+//! confirm that symbolic findings are real errors and not false positives
+//! (§6.2).
+//!
+//! ```
+//! use sympl_asm::parse_program;
+//! use sympl_detect::DetectorSet;
+//! use sympl_machine::ExecLimits;
+//! use sympl_ssim::{CampaignConfig, run_campaign};
+//!
+//! let program = parse_program("read $1\naddi $2, $1, 1\nprint $2\nhalt")?;
+//! let report = run_campaign(
+//!     &program,
+//!     &DetectorSet::new(),
+//!     &[41],
+//!     &CampaignConfig::default(),
+//!     &ExecLimits::default(),
+//! );
+//! assert!(report.total_runs() > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+mod outcome;
+mod replay;
+
+pub use campaign::{
+    enumerate_concrete_points, run_campaign, run_injected, CampaignConfig, ConcretePoint, RegSlot,
+    SsimReport,
+};
+pub use outcome::ConcreteOutcome;
+pub use replay::{replay_permanent_register_fault, replay_register_witness, ReplayResult};

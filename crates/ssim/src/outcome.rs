@@ -1,0 +1,126 @@
+//! Outcome classification for concrete injection runs (Table 2).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use sympl_machine::{Exception, MachineState, Status};
+
+/// The outcome of one concrete injected run, in the categories of the
+/// paper's Table 2: the printed output on a normal halt, or crash / hang /
+/// detected.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ConcreteOutcome {
+    /// Normal halt with the printed integer sequence.
+    Output(Vec<i64>),
+    /// An exception was thrown.
+    Crash(Exception),
+    /// The watchdog bound was exceeded.
+    Hang,
+    /// A detector fired.
+    Detected(u32),
+}
+
+impl ConcreteOutcome {
+    /// Classifies a terminal machine state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is still running (callers classify only after
+    /// the executor reports a terminal status).
+    #[must_use]
+    pub fn classify(state: &MachineState) -> Self {
+        match state.status() {
+            Status::Halted => ConcreteOutcome::Output(state.output_ints()),
+            Status::Exception(e) => ConcreteOutcome::Crash(*e),
+            Status::TimedOut => ConcreteOutcome::Hang,
+            Status::Detected(id) => ConcreteOutcome::Detected(*id),
+            Status::Running => panic!("cannot classify a running state"),
+        }
+    }
+
+    /// Whether the run produced the same output as the golden run (a
+    /// *benign* fault).
+    #[must_use]
+    pub fn is_benign(&self, golden: &[i64]) -> bool {
+        matches!(self, ConcreteOutcome::Output(out) if out == golden)
+    }
+
+    /// The first printed integer, when the program halted with output —
+    /// tcas-style programs print a single advisory value.
+    #[must_use]
+    pub fn first_value(&self) -> Option<i64> {
+        match self {
+            ConcreteOutcome::Output(v) => v.first().copied(),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ConcreteOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConcreteOutcome::Output(v) => {
+                write!(f, "output ")?;
+                let strs: Vec<String> = v.iter().map(ToString::to_string).collect();
+                write!(f, "[{}]", strs.join(", "))
+            }
+            ConcreteOutcome::Crash(e) => write!(f, "crash ({e})"),
+            ConcreteOutcome::Hang => f.write_str("hang"),
+            ConcreteOutcome::Detected(id) => write!(f, "detected ({id})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympl_machine::OutItem;
+    use sympl_symbolic::Value;
+
+    #[test]
+    fn classify_all_statuses() {
+        let mut s = MachineState::new();
+        s.push_output(OutItem::Val(Value::Int(1)));
+        s.set_status(Status::Halted);
+        assert_eq!(ConcreteOutcome::classify(&s), ConcreteOutcome::Output(vec![1]));
+        s.set_status(Status::Exception(Exception::DivByZero));
+        assert_eq!(
+            ConcreteOutcome::classify(&s),
+            ConcreteOutcome::Crash(Exception::DivByZero)
+        );
+        s.set_status(Status::TimedOut);
+        assert_eq!(ConcreteOutcome::classify(&s), ConcreteOutcome::Hang);
+        s.set_status(Status::Detected(9));
+        assert_eq!(ConcreteOutcome::classify(&s), ConcreteOutcome::Detected(9));
+    }
+
+    #[test]
+    fn benign_comparison() {
+        let o = ConcreteOutcome::Output(vec![1]);
+        assert!(o.is_benign(&[1]));
+        assert!(!o.is_benign(&[2]));
+        assert!(!ConcreteOutcome::Hang.is_benign(&[1]));
+    }
+
+    #[test]
+    fn first_value_extracts_advisory() {
+        assert_eq!(ConcreteOutcome::Output(vec![2, 9]).first_value(), Some(2));
+        assert_eq!(ConcreteOutcome::Output(vec![]).first_value(), None);
+        assert_eq!(ConcreteOutcome::Hang.first_value(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "running")]
+    fn classify_running_panics() {
+        let s = MachineState::new();
+        let _ = ConcreteOutcome::classify(&s);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(ConcreteOutcome::Output(vec![1, 2]).to_string(), "output [1, 2]");
+        assert!(ConcreteOutcome::Crash(Exception::IllegalAddress)
+            .to_string()
+            .contains("illegal addr"));
+    }
+}

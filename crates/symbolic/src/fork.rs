@@ -1,0 +1,239 @@
+//! Non-deterministic comparison semantics (paper §5.2, "Comparison Handling
+//! Sub-Model").
+//!
+//! Comparison operators with `err` operands evaluate to *both* true and
+//! false — the execution forks. Each fork case carries what the path learned:
+//! a [`Constraint`] on the location holding the error, or (for equalities
+//! that become true) a substitution pinning the location to the concrete
+//! comparand, mirroring the paper's "the location being compared can be
+//! updated with the value it is being compared to".
+
+use sympl_asm::Cmp;
+
+use crate::{Constraint, Location, Value};
+
+/// One case of a (possibly forked) comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CmpCase {
+    /// The boolean outcome this case assumes.
+    pub result: bool,
+    /// A constraint to record on a location, if the case teaches one.
+    pub constraint: Option<(Location, Constraint)>,
+    /// A substitution `location := value` (equality learning).
+    pub substitute: Option<(Location, i64)>,
+}
+
+impl CmpCase {
+    fn concrete(result: bool) -> Self {
+        CmpCase {
+            result,
+            constraint: None,
+            substitute: None,
+        }
+    }
+}
+
+/// Evaluates `lhs CMP rhs` over the symbolic domain.
+///
+/// `lloc`/`rloc` are the locations the operands were read from, when known;
+/// they are where learned constraints attach. Returns one case (concrete
+/// operands or an already-decidable symbolic case) or two (a genuine fork).
+///
+/// Decidability refinement: when the `err` operand's location already has a
+/// recorded constraint set that decides the comparison, callers should first
+/// consult it (see `ConstraintMap`); this function performs the *structural*
+/// fork only. Subsequent re-comparisons stay consistent because the learned
+/// constraint makes one branch unsatisfiable and the solver prunes it.
+///
+/// ```
+/// use sympl_asm::Cmp;
+/// use sympl_symbolic::{fork_compare, Location, Value};
+///
+/// // Concrete: one case.
+/// let cases = fork_compare(Cmp::Gt, Value::Int(3), None, Value::Int(2), None);
+/// assert_eq!(cases.len(), 1);
+/// assert!(cases[0].result);
+///
+/// // err > 1 with the err in $3: forks into true ($3 > 1) and false ($3 <= 1).
+/// let cases = fork_compare(
+///     Cmp::Gt,
+///     Value::Err,
+///     Some(Location::reg(3)),
+///     Value::Int(1),
+///     None,
+/// );
+/// assert_eq!(cases.len(), 2);
+/// ```
+#[must_use]
+pub fn fork_compare(
+    cmp: Cmp,
+    lhs: Value,
+    lloc: Option<Location>,
+    rhs: Value,
+    rloc: Option<Location>,
+) -> Vec<CmpCase> {
+    match (lhs, rhs) {
+        (Value::Int(a), Value::Int(b)) => vec![CmpCase::concrete(cmp.eval(a, b))],
+        (Value::Err, Value::Int(c)) => fork_one_sided(cmp, lloc, c),
+        (Value::Int(c), Value::Err) => fork_one_sided(cmp.swap(), rloc, c),
+        (Value::Err, Value::Err) => {
+            // Two unknowns share the single `err` symbol; no relational
+            // constraint is expressible (paper §3.2's stated source of
+            // false positives). Fork with no learned facts.
+            vec![CmpCase::concrete(true), CmpCase::concrete(false)]
+        }
+    }
+}
+
+/// Forks `err CMP c` where the error sits in `loc` (if known).
+fn fork_one_sided(cmp: Cmp, loc: Option<Location>, c: i64) -> Vec<CmpCase> {
+    let true_case = match (cmp, loc) {
+        // Equality true: pin the location to the comparand.
+        (Cmp::Eq, Some(l)) => CmpCase {
+            result: true,
+            constraint: None,
+            substitute: Some((l, c)),
+        },
+        (_, Some(l)) => CmpCase {
+            result: true,
+            constraint: Some((l, Constraint::from_cmp(cmp, c))),
+            substitute: None,
+        },
+        (_, None) => CmpCase::concrete(true),
+    };
+    let neg = cmp.negate();
+    let false_case = match (neg, loc) {
+        // `Ne` false means the location equals the comparand.
+        (Cmp::Eq, Some(l)) => CmpCase {
+            result: false,
+            constraint: None,
+            substitute: Some((l, c)),
+        },
+        (_, Some(l)) => CmpCase {
+            result: false,
+            constraint: Some((l, Constraint::from_cmp(neg, c))),
+            substitute: None,
+        },
+        (_, None) => CmpCase::concrete(false),
+    };
+    vec![true_case, false_case]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l3() -> Location {
+        Location::reg(3)
+    }
+
+    #[test]
+    fn concrete_comparisons_do_not_fork() {
+        for cmp in [Cmp::Eq, Cmp::Ne, Cmp::Gt, Cmp::Lt, Cmp::Ge, Cmp::Le] {
+            let cases = fork_compare(cmp, Value::Int(4), None, Value::Int(4), None);
+            assert_eq!(cases.len(), 1);
+            assert_eq!(cases[0].result, cmp.eval(4, 4));
+            assert!(cases[0].constraint.is_none() && cases[0].substitute.is_none());
+        }
+    }
+
+    #[test]
+    fn err_gt_constant_learns_interval_bounds() {
+        let cases = fork_compare(Cmp::Gt, Value::Err, Some(l3()), Value::Int(1), None);
+        assert_eq!(cases.len(), 2);
+        let t = &cases[0];
+        assert!(t.result);
+        assert_eq!(t.constraint, Some((l3(), Constraint::Gt(1))));
+        let f = &cases[1];
+        assert!(!f.result);
+        assert_eq!(f.constraint, Some((l3(), Constraint::Le(1))));
+    }
+
+    #[test]
+    fn equality_true_substitutes() {
+        let cases = fork_compare(Cmp::Eq, Value::Err, Some(l3()), Value::Int(9), None);
+        let t = &cases[0];
+        assert!(t.result);
+        assert_eq!(t.substitute, Some((l3(), 9)));
+        assert!(t.constraint.is_none());
+        let f = &cases[1];
+        assert!(!f.result);
+        assert_eq!(f.constraint, Some((l3(), Constraint::Ne(9))));
+    }
+
+    #[test]
+    fn inequality_false_substitutes() {
+        let cases = fork_compare(Cmp::Ne, Value::Err, Some(l3()), Value::Int(9), None);
+        let t = &cases[0];
+        assert!(t.result);
+        assert_eq!(t.constraint, Some((l3(), Constraint::Ne(9))));
+        let f = &cases[1];
+        assert!(!f.result);
+        assert_eq!(f.substitute, Some((l3(), 9)));
+    }
+
+    #[test]
+    fn err_on_right_swaps_the_predicate() {
+        // 5 < err  ≡  err > 5
+        let cases = fork_compare(Cmp::Lt, Value::Int(5), None, Value::Err, Some(l3()));
+        assert_eq!(cases[0].constraint, Some((l3(), Constraint::Gt(5))));
+        assert_eq!(cases[1].constraint, Some((l3(), Constraint::Le(5))));
+    }
+
+    #[test]
+    fn err_vs_err_forks_without_constraints() {
+        let cases = fork_compare(
+            Cmp::Eq,
+            Value::Err,
+            Some(l3()),
+            Value::Err,
+            Some(Location::reg(4)),
+        );
+        assert_eq!(cases.len(), 2);
+        for c in &cases {
+            assert!(c.constraint.is_none());
+            assert!(c.substitute.is_none());
+        }
+        assert_ne!(cases[0].result, cases[1].result);
+    }
+
+    #[test]
+    fn unknown_location_forks_without_constraints() {
+        let cases = fork_compare(Cmp::Ge, Value::Err, None, Value::Int(0), None);
+        assert_eq!(cases.len(), 2);
+        assert!(cases.iter().all(|c| c.constraint.is_none()));
+    }
+
+    #[test]
+    fn learned_constraints_partition_the_integers() {
+        // Soundness: for every predicate, the true-constraint and the
+        // false-constraint must cover all integers and be disjoint.
+        for cmp in [Cmp::Gt, Cmp::Lt, Cmp::Ge, Cmp::Le, Cmp::Eq, Cmp::Ne] {
+            let cases = fork_compare(cmp, Value::Err, Some(l3()), Value::Int(2), None);
+            for v in -5..=5 {
+                let holds_true = case_admits(&cases[0], v);
+                let holds_false = case_admits(&cases[1], v);
+                assert!(
+                    holds_true ^ holds_false,
+                    "{cmp}: value {v} must satisfy exactly one branch"
+                );
+                // The admitted branch's boolean must equal the concrete
+                // comparison outcome.
+                let expected = cmp.eval(v, 2);
+                let admitted = if holds_true { &cases[0] } else { &cases[1] };
+                assert_eq!(admitted.result, expected);
+            }
+        }
+    }
+
+    fn case_admits(case: &CmpCase, v: i64) -> bool {
+        if let Some((_, c)) = case.constraint {
+            return c.holds(v);
+        }
+        if let Some((_, s)) = case.substitute {
+            return v == s;
+        }
+        true
+    }
+
+}

@@ -1,0 +1,48 @@
+//! # sympl-symbolic — the `err` value domain and constraint solver
+//!
+//! SymPLFIED represents *every* erroneous value in the program with the
+//! single abstract symbol `err` (paper §3.2). This crate implements:
+//!
+//! * [`Value`] — an integer or the `err` symbol, with the paper's §5.2
+//!   error-propagation algebra (`err + I = err`, `err * 0 = 0`, the
+//!   divide-by-zero forks, …).
+//! * [`Location`] — a register or memory cell; constraints attach to
+//!   locations, not to values, because all errors share one symbol.
+//! * [`Constraint`] / [`ConstraintSet`] — the per-location constraint sets
+//!   of the paper's ConstraintMap (e.g. `notGreaterThan(5) notEqualTo(2)
+//!   greaterThan(0)`), with a satisfiability solver that prunes infeasible
+//!   paths and can produce a concrete witness for replay.
+//! * [`ConstraintMap`] — the map carried in the machine state.
+//! * [`fork_compare`] — the non-deterministic comparison semantics: a
+//!   comparison involving `err` forks execution into the true and false
+//!   cases, each "remembering" what it learned as a constraint (and, for
+//!   equalities, substituting the concrete value back into the location).
+//!
+//! # Example: the factorial detector reasoning from paper §4.2
+//!
+//! ```
+//! use sympl_symbolic::{Constraint, ConstraintSet};
+//!
+//! let mut set = ConstraintSet::new();
+//! // false case of ($3 > $4) with $4 = 1: remember $3 <= 1
+//! set.add(Constraint::Le(1));
+//! // detector check ($4 < $3) claims $3 > 1
+//! set.add(Constraint::Gt(1));
+//! // Contradiction: the path is infeasible and is pruned.
+//! assert!(!set.is_satisfiable());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod constraint;
+mod fork;
+mod location;
+mod map;
+mod value;
+
+pub use constraint::{Constraint, ConstraintSet};
+pub use fork::{fork_compare, CmpCase};
+pub use location::Location;
+pub use map::ConstraintMap;
+pub use value::{symbolic_binop, ArithOutcome, Value};

@@ -1,0 +1,77 @@
+//! Locations that can hold values (and therefore errors and constraints).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use sympl_asm::Reg;
+
+/// A storage location in the machine: a register or a memory cell.
+///
+/// The ConstraintMap (paper §5.2) is keyed by locations — because every
+/// erroneous value shares the single `err` symbol, what the analysis learns
+/// at a fork is a fact about *the location holding* the error, not about a
+/// distinguishable symbolic variable.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Location {
+    /// An architectural register.
+    Reg(Reg),
+    /// A memory word at an absolute address.
+    Mem(u64),
+}
+
+impl Location {
+    /// Convenience constructor for a register location.
+    #[must_use]
+    pub fn reg(index: u8) -> Self {
+        Location::Reg(Reg::r(index))
+    }
+
+    /// Convenience constructor for a memory location.
+    #[must_use]
+    pub fn mem(addr: u64) -> Self {
+        Location::Mem(addr)
+    }
+
+    /// Whether this is a register location.
+    #[must_use]
+    pub fn is_reg(self) -> bool {
+        matches!(self, Location::Reg(_))
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Reg(r) => write!(f, "{r}"),
+            Location::Mem(a) => write!(f, "mem[{a}]"),
+        }
+    }
+}
+
+impl From<Reg> for Location {
+    fn from(value: Reg) -> Self {
+        Location::Reg(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_display() {
+        assert_eq!(Location::reg(3).to_string(), "$3");
+        assert_eq!(Location::mem(1000).to_string(), "mem[1000]");
+        assert!(Location::reg(0).is_reg());
+        assert!(!Location::mem(0).is_reg());
+        assert_eq!(Location::from(Reg::r(5)), Location::reg(5));
+    }
+
+    #[test]
+    fn ordering_groups_registers_before_memory() {
+        assert!(Location::reg(31) < Location::mem(0));
+        assert!(Location::reg(1) < Location::reg(2));
+        assert!(Location::mem(1) < Location::mem(2));
+    }
+}

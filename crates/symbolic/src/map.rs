@@ -1,0 +1,191 @@
+//! The ConstraintMap carried inside the machine state (paper §5.2).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{Constraint, ConstraintSet, Location};
+
+/// Maps each location currently holding `err` to the set of constraints its
+/// (unknown) value must satisfy along the current execution path.
+///
+/// The map is part of the forked machine state: the true and false branches
+/// of a comparison each carry a *different* ConstraintMap, which is how the
+/// search "remembers" the outcome of earlier comparisons and keeps later
+/// comparisons on unmodified locations consistent.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConstraintMap {
+    entries: BTreeMap<Location, ConstraintSet>,
+}
+
+impl ConstraintMap {
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `constraint` on `loc`, returning whether the location's
+    /// constraint set is still satisfiable.
+    ///
+    /// A `false` return marks the current path as infeasible (a
+    /// false-positive candidate); callers prune it from the search.
+    #[must_use = "an unsatisfiable result must prune the path"]
+    pub fn constrain(&mut self, loc: Location, constraint: Constraint) -> bool {
+        let set = self.entries.entry(loc).or_default();
+        set.add(constraint);
+        set.is_satisfiable()
+    }
+
+    /// Forgets everything known about a location. Called when the location
+    /// is overwritten with a *fresh* value (concrete or a new error): the
+    /// old constraints described the previous occupant.
+    pub fn clear(&mut self, loc: Location) {
+        self.entries.remove(&loc);
+    }
+
+    /// Copies the constraints of `from` onto `to` (register moves propagate
+    /// the same unknown value, so its known facts travel with it).
+    pub fn copy(&mut self, from: Location, to: Location) {
+        if from == to {
+            return;
+        }
+        match self.entries.get(&from).cloned() {
+            Some(set) => {
+                self.entries.insert(to, set);
+            }
+            None => {
+                self.entries.remove(&to);
+            }
+        }
+    }
+
+    /// The constraint set for a location, if any constraints are recorded.
+    #[must_use]
+    pub fn get(&self, loc: Location) -> Option<&ConstraintSet> {
+        self.entries.get(&loc)
+    }
+
+    /// Whether every recorded constraint set is satisfiable.
+    #[must_use]
+    pub fn is_satisfiable(&self) -> bool {
+        self.entries.values().all(ConstraintSet::is_satisfiable)
+    }
+
+    /// A concrete witness for a location (used for replay); `None` if the
+    /// location is unconstrained — any value works — in which case callers
+    /// typically choose a surprising default.
+    #[must_use]
+    pub fn witness(&self, loc: Location) -> Option<i64> {
+        self.entries.get(&loc).and_then(ConstraintSet::witness)
+    }
+
+    /// Number of constrained locations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no constraints are recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(location, constraint set)` pairs in location order.
+    pub fn iter(&self) -> impl Iterator<Item = (Location, &ConstraintSet)> {
+        self.entries.iter().map(|(&l, s)| (l, s))
+    }
+}
+
+impl fmt::Display for ConstraintMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.entries.is_empty() {
+            return f.write_str("{}");
+        }
+        writeln!(f, "{{")?;
+        for (loc, set) in &self.entries {
+            writeln!(f, "  {loc}: {set}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constrain_accumulates_and_detects_unsat() {
+        let mut m = ConstraintMap::new();
+        let loc = Location::reg(3);
+        assert!(m.constrain(loc, Constraint::Gt(0)));
+        assert!(m.constrain(loc, Constraint::Le(5)));
+        assert!(m.is_satisfiable());
+        assert!(!m.constrain(loc, Constraint::Gt(5)));
+        assert!(!m.is_satisfiable());
+    }
+
+    #[test]
+    fn clear_forgets_location() {
+        let mut m = ConstraintMap::new();
+        let loc = Location::reg(3);
+        let _ = m.constrain(loc, Constraint::Eq(7));
+        m.clear(loc);
+        assert!(m.get(loc).is_none());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn copy_moves_facts_with_the_value() {
+        let mut m = ConstraintMap::new();
+        let a = Location::reg(1);
+        let b = Location::reg(2);
+        let _ = m.constrain(a, Constraint::Ge(10));
+        m.copy(a, b);
+        assert_eq!(m.witness(b), Some(10));
+        // Copying an unconstrained source erases stale facts on the target.
+        m.copy(Location::reg(5), b);
+        assert!(m.get(b).is_none());
+        // Self-copy is a no-op.
+        m.copy(a, a);
+        assert_eq!(m.witness(a), Some(10));
+    }
+
+    #[test]
+    fn independent_locations_do_not_interfere() {
+        let mut m = ConstraintMap::new();
+        assert!(m.constrain(Location::reg(1), Constraint::Eq(1)));
+        assert!(m.constrain(Location::mem(100), Constraint::Eq(2)));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.witness(Location::reg(1)), Some(1));
+        assert_eq!(m.witness(Location::mem(100)), Some(2));
+    }
+
+    #[test]
+    fn display_lists_entries() {
+        let mut m = ConstraintMap::new();
+        assert_eq!(m.to_string(), "{}");
+        let _ = m.constrain(Location::reg(3), Constraint::Gt(1));
+        let text = m.to_string();
+        assert!(text.contains("$3"));
+        assert!(text.contains("notLesserThan(2)"));
+    }
+
+    #[test]
+    fn maps_hash_equal_iff_equal() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut a = ConstraintMap::new();
+        let mut b = ConstraintMap::new();
+        let _ = a.constrain(Location::reg(1), Constraint::Gt(0));
+        let _ = b.constrain(Location::reg(1), Constraint::Gt(0));
+        assert_eq!(a, b);
+        let hash = |m: &ConstraintMap| {
+            let mut h = DefaultHasher::new();
+            m.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+    }
+}

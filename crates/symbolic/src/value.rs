@@ -1,0 +1,293 @@
+//! The symbolic value domain and the §5.2 error-propagation algebra.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use sympl_asm::BinOp;
+
+/// A machine value: either a concrete integer or the abstract error symbol.
+///
+/// The paper coalesces every erroneous value — single- or multi-bit flips in
+/// registers, memory, caches, or computation — into the single symbol `err`
+/// (§3.2). This avoids state explosion: program states are distinguished by
+/// *where* errors live, not by the individual corrupted bit patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// A concrete integer.
+    Int(i64),
+    /// The abstract error symbol `err`.
+    Err,
+}
+
+impl Value {
+    /// Whether the value is the `err` symbol.
+    #[must_use]
+    pub fn is_err(self) -> bool {
+        matches!(self, Value::Err)
+    }
+
+    /// The concrete integer, if this is not `err`.
+    #[must_use]
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(v),
+            Value::Err => None,
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Int(0)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Err => f.write_str("err"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(value: i64) -> Self {
+        Value::Int(value)
+    }
+}
+
+/// Result of a (possibly symbolic) binary arithmetic operation.
+///
+/// Most combinations are deterministic, following the paper's propagation
+/// equations. The divide-by-`err` cases are *non-deterministic*: the paper
+/// forks on `isEqual(err, 0)`, so the machine model must split the state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOutcome {
+    /// The operation produced a single value.
+    Value(Value),
+    /// Concrete division by a concrete zero: `div-zero` exception.
+    DivByZero,
+    /// The divisor is `err`: fork into a `div-zero` exception (divisor = 0)
+    /// and an `err` result (divisor ≠ 0). The machine attaches the learned
+    /// constraint to the divisor's location if it has one.
+    ForkOnDivisorZero,
+}
+
+/// Applies a binary operation over the symbolic domain, implementing the
+/// propagation equations of paper §5.2:
+///
+/// ```text
+/// err ± x = err                err * I = if I == 0 then 0 else err
+/// err * err = err              err / I = if I == 0 then div-zero else err
+/// I / err, err / err           = fork on isEqual(err, 0)
+/// ```
+///
+/// Bitwise operations propagate `err` except for the absorbing cases
+/// `err & 0 = 0` and `err | -1 = -1`, which are exact for every possible
+/// concrete value behind `err` (the same reasoning the paper applies to
+/// `err * 0 = 0`).
+///
+/// ```
+/// use sympl_symbolic::{symbolic_binop, ArithOutcome, Value};
+/// use sympl_asm::BinOp;
+///
+/// assert_eq!(
+///     symbolic_binop(BinOp::Add, Value::Err, Value::Int(3)),
+///     ArithOutcome::Value(Value::Err)
+/// );
+/// assert_eq!(
+///     symbolic_binop(BinOp::Mul, Value::Err, Value::Int(0)),
+///     ArithOutcome::Value(Value::Int(0))
+/// );
+/// assert_eq!(
+///     symbolic_binop(BinOp::Div, Value::Int(1), Value::Err),
+///     ArithOutcome::ForkOnDivisorZero
+/// );
+/// ```
+#[must_use]
+pub fn symbolic_binop(op: BinOp, lhs: Value, rhs: Value) -> ArithOutcome {
+    use Value::{Err, Int};
+    match (lhs, rhs) {
+        (Int(a), Int(b)) => match op.apply(a, b) {
+            Some(v) => ArithOutcome::Value(Int(v)),
+            None => ArithOutcome::DivByZero,
+        },
+        // Divisions with a symbolic divisor fork on divisor == 0.
+        (_, Err) if op.is_division() => ArithOutcome::ForkOnDivisorZero,
+        // err / I: definite trap when I == 0, else err.
+        (Err, Int(b)) if op.is_division() => {
+            if b == 0 {
+                ArithOutcome::DivByZero
+            } else {
+                ArithOutcome::Value(Err)
+            }
+        }
+        // Multiplication by a concrete zero absorbs the error.
+        (Err, Int(0)) | (Int(0), Err) if op == BinOp::Mul => ArithOutcome::Value(Int(0)),
+        // Bitwise absorbing elements are exact regardless of the err value.
+        (Err, Int(0)) | (Int(0), Err) if op == BinOp::And => ArithOutcome::Value(Int(0)),
+        (Err, Int(-1)) | (Int(-1), Err) if op == BinOp::Or => ArithOutcome::Value(Int(-1)),
+        // Shifting the concrete value 0 yields 0 whatever the shift amount.
+        (Int(0), Err) if matches!(op, BinOp::Sll | BinOp::Srl) => ArithOutcome::Value(Int(0)),
+        // Everything else propagates the error symbol.
+        _ => ArithOutcome::Value(Err),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concrete_arithmetic_delegates_to_binop() {
+        assert_eq!(
+            symbolic_binop(BinOp::Add, Value::Int(2), Value::Int(3)),
+            ArithOutcome::Value(Value::Int(5))
+        );
+        assert_eq!(
+            symbolic_binop(BinOp::Div, Value::Int(7), Value::Int(0)),
+            ArithOutcome::DivByZero
+        );
+    }
+
+    #[test]
+    fn err_absorbs_addition_and_subtraction() {
+        for op in [BinOp::Add, BinOp::Sub] {
+            assert_eq!(
+                symbolic_binop(op, Value::Err, Value::Int(5)),
+                ArithOutcome::Value(Value::Err)
+            );
+            assert_eq!(
+                symbolic_binop(op, Value::Int(5), Value::Err),
+                ArithOutcome::Value(Value::Err)
+            );
+            assert_eq!(
+                symbolic_binop(op, Value::Err, Value::Err),
+                ArithOutcome::Value(Value::Err)
+            );
+        }
+    }
+
+    #[test]
+    fn err_times_zero_is_zero() {
+        assert_eq!(
+            symbolic_binop(BinOp::Mul, Value::Err, Value::Int(0)),
+            ArithOutcome::Value(Value::Int(0))
+        );
+        assert_eq!(
+            symbolic_binop(BinOp::Mul, Value::Int(0), Value::Err),
+            ArithOutcome::Value(Value::Int(0))
+        );
+        assert_eq!(
+            symbolic_binop(BinOp::Mul, Value::Err, Value::Int(3)),
+            ArithOutcome::Value(Value::Err)
+        );
+        assert_eq!(
+            symbolic_binop(BinOp::Mul, Value::Err, Value::Err),
+            ArithOutcome::Value(Value::Err)
+        );
+    }
+
+    #[test]
+    fn division_by_err_forks() {
+        assert_eq!(
+            symbolic_binop(BinOp::Div, Value::Int(10), Value::Err),
+            ArithOutcome::ForkOnDivisorZero
+        );
+        assert_eq!(
+            symbolic_binop(BinOp::Div, Value::Err, Value::Err),
+            ArithOutcome::ForkOnDivisorZero
+        );
+        assert_eq!(
+            symbolic_binop(BinOp::Rem, Value::Int(10), Value::Err),
+            ArithOutcome::ForkOnDivisorZero
+        );
+    }
+
+    #[test]
+    fn err_divided_by_concrete() {
+        assert_eq!(
+            symbolic_binop(BinOp::Div, Value::Err, Value::Int(0)),
+            ArithOutcome::DivByZero
+        );
+        assert_eq!(
+            symbolic_binop(BinOp::Div, Value::Err, Value::Int(4)),
+            ArithOutcome::Value(Value::Err)
+        );
+    }
+
+    #[test]
+    fn bitwise_absorption_is_exact() {
+        assert_eq!(
+            symbolic_binop(BinOp::And, Value::Err, Value::Int(0)),
+            ArithOutcome::Value(Value::Int(0))
+        );
+        assert_eq!(
+            symbolic_binop(BinOp::Or, Value::Err, Value::Int(-1)),
+            ArithOutcome::Value(Value::Int(-1))
+        );
+        assert_eq!(
+            symbolic_binop(BinOp::And, Value::Err, Value::Int(7)),
+            ArithOutcome::Value(Value::Err)
+        );
+        assert_eq!(
+            symbolic_binop(BinOp::Sll, Value::Int(0), Value::Err),
+            ArithOutcome::Value(Value::Int(0))
+        );
+        assert_eq!(
+            symbolic_binop(BinOp::Sll, Value::Int(1), Value::Err),
+            ArithOutcome::Value(Value::Err)
+        );
+    }
+
+    #[test]
+    fn soundness_err_result_covers_all_concrete_results() {
+        // For a sample of concrete stand-ins for `err`, the symbolic result
+        // must cover the concrete result: either it is `err`, or it equals
+        // the concrete result exactly (absorption cases).
+        let stand_ins = [-3i64, -1, 0, 1, 2, 7, i64::MAX, i64::MIN];
+        let ops = [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Sll,
+            BinOp::Srl,
+        ];
+        for op in ops {
+            for &e in &stand_ins {
+                for &c in &[-2i64, 0, 1, 5, -1] {
+                    let symbolic = symbolic_binop(op, Value::Err, Value::Int(c));
+                    if let ArithOutcome::Value(Value::Int(exact)) = symbolic {
+                        let concrete = op.apply(e, c).expect("non-division ops never trap");
+                        assert_eq!(
+                            concrete, exact,
+                            "{op:?}: err(={e}) op {c} claimed exact {exact}"
+                        );
+                    }
+                    let symmetric = symbolic_binop(op, Value::Int(c), Value::Err);
+                    if let ArithOutcome::Value(Value::Int(exact)) = symmetric {
+                        let concrete = op.apply(c, e).expect("non-division ops never trap");
+                        assert_eq!(
+                            concrete, exact,
+                            "{op:?}: {c} op err(={e}) claimed exact {exact}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn value_display_and_default() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Err.to_string(), "err");
+        assert_eq!(Value::default(), Value::Int(0));
+        assert_eq!(Value::from(9), Value::Int(9));
+        assert_eq!(Value::Int(4).as_int(), Some(4));
+        assert_eq!(Value::Err.as_int(), None);
+        assert!(Value::Err.is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests: the constraint solver agrees with brute force.
+
+use proptest::prelude::*;
+use sympl_symbolic::{Constraint, ConstraintSet};
+
+fn arb_constraint() -> impl Strategy<Value = Constraint> {
+    // Constants stay small so a brute-force check over [-30, 30] is
+    // conclusive for bound constraints drawn from [-20, 20].
+    (0..6u8, -20i64..=20).prop_map(|(kind, c)| match kind {
+        0 => Constraint::Eq(c),
+        1 => Constraint::Ne(c),
+        2 => Constraint::Gt(c),
+        3 => Constraint::Lt(c),
+        4 => Constraint::Ge(c),
+        _ => Constraint::Le(c),
+    })
+}
+
+fn brute_force_satisfiable(constraints: &[Constraint]) -> bool {
+    (-30i64..=30).any(|v| constraints.iter().all(|c| c.holds(v)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn satisfiability_matches_brute_force(cs in prop::collection::vec(arb_constraint(), 0..8)) {
+        let set: ConstraintSet = cs.iter().copied().collect();
+        prop_assert_eq!(
+            set.is_satisfiable(),
+            brute_force_satisfiable(&cs),
+            "constraints {:?} -> set {}", cs, set
+        );
+    }
+
+    #[test]
+    fn witness_satisfies_every_constraint(cs in prop::collection::vec(arb_constraint(), 0..8)) {
+        let set: ConstraintSet = cs.iter().copied().collect();
+        if let Some(w) = set.witness() {
+            for c in &cs {
+                prop_assert!(c.holds(w), "witness {} violates {} (set {})", w, c, set);
+            }
+        } else {
+            prop_assert!(!brute_force_satisfiable(&cs));
+        }
+    }
+
+    #[test]
+    fn allows_agrees_with_conjunction(
+        cs in prop::collection::vec(arb_constraint(), 0..8),
+        v in -30i64..=30,
+    ) {
+        let set: ConstraintSet = cs.iter().copied().collect();
+        prop_assert_eq!(set.allows(v), cs.iter().all(|c| c.holds(v)));
+    }
+
+    #[test]
+    fn adding_constraints_never_widens(
+        cs in prop::collection::vec(arb_constraint(), 1..8),
+        extra in arb_constraint(),
+        v in -30i64..=30,
+    ) {
+        let base: ConstraintSet = cs.iter().copied().collect();
+        let mut tightened = base.clone();
+        tightened.add(extra);
+        // Monotonicity: anything the tightened set allows, the base allowed.
+        if tightened.allows(v) {
+            prop_assert!(base.allows(v));
+        }
+    }
+
+    #[test]
+    fn insertion_order_is_irrelevant(cs in prop::collection::vec(arb_constraint(), 0..8)) {
+        let forward: ConstraintSet = cs.iter().copied().collect();
+        let backward: ConstraintSet = cs.iter().rev().copied().collect();
+        for v in -30i64..=30 {
+            prop_assert_eq!(forward.allows(v), backward.allows(v));
+        }
+        prop_assert_eq!(forward.is_satisfiable(), backward.is_satisfiable());
+    }
+}

@@ -1,0 +1,67 @@
+//! The paper's §4 walkthrough: the factorial program of Figure 2, the
+//! injected loop-counter error, and the Figure-3 detectors.
+//!
+//! Run with `cargo run --example factorial_detectors`.
+
+use symplfied::check::{search_many, SearchLimits};
+use symplfied::inject::{prepare, InjectTarget, InjectionPoint};
+use symplfied::machine::ExecLimits;
+use symplfied::prelude::*;
+
+fn main() {
+    let plain = symplfied::apps::factorial();
+    let protected = symplfied::apps::factorial_with_detectors();
+
+    println!("Figure 2 program:\n{}", plain.program.listing());
+
+    // Inject err into $3 just after the first decrement (paper §4.1).
+    let limits = SearchLimits {
+        exec: ExecLimits::with_max_steps(400),
+        max_solutions: 50,
+        ..SearchLimits::default()
+    };
+    for (name, w, subi_addr) in [
+        ("Figure 2 (no detectors)", &plain, 7usize),
+        ("Figure 3 (with detectors)", &protected, 10usize),
+    ] {
+        let point = InjectionPoint::new(subi_addr, InjectTarget::Register(Reg::r(3)));
+        let prep = prepare(
+            &w.program,
+            &w.detectors,
+            &w.input,
+            &point,
+            &limits.exec,
+        );
+        let report = search_many(
+            &w.program,
+            &w.detectors,
+            prep.seeds,
+            &Predicate::Any,
+            &limits,
+        );
+        println!("--- {name} ---");
+        println!(
+            "states explored: {}, terminals: {}",
+            report.states_explored, report.terminals
+        );
+        for sol in &report.solutions {
+            let constraints = if sol.state.constraints().is_empty() {
+                String::new()
+            } else {
+                format!("   [constraints {}]", sol.state.constraints())
+            };
+            println!(
+                "  {:>28} | output `{}`{}",
+                sol.state.status().to_string(),
+                sol.state.rendered_output(),
+                constraints
+            );
+        }
+        println!();
+    }
+    println!(
+        "The detected branches show *which* errors the Figure-3 detectors \
+         catch; the halted-with-wrong-output branches are the errors that \
+         evade them — made explicit for the programmer (paper §4.2)."
+    );
+}

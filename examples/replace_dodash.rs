@@ -1,0 +1,63 @@
+//! The paper's §6.4 example scenario on `replace`: corrupt the range
+//! parameter of `dodash` so an erroneous character class is constructed
+//! and the substitution silently does not happen.
+//!
+//! Run with `cargo run --release --example replace_dodash`.
+
+use std::time::Duration;
+
+use symplfied::apps::replace_input;
+use symplfied::check::SearchLimits;
+use symplfied::inject::{run_point, InjectTarget, InjectionPoint};
+use symplfied::machine::ExecLimits;
+use symplfied::prelude::*;
+
+fn main() {
+    let w = symplfied::apps::replace();
+    let golden = symplfied::apps::golden(&w).output_ints();
+    println!(
+        "replace: pattern `[a-c]x`, substitution `Z`, line `axbxdx`\n\
+         golden output: `{}`",
+        replace_input::decode(&golden)
+    );
+
+    // dodash's range-end parameter is $5, read by dd_loop's comparison.
+    let dd = w.program.label_address("dd_loop").unwrap();
+    let point = InjectionPoint::new(dd, InjectTarget::Register(Reg::r(5)));
+    let limits = SearchLimits {
+        exec: ExecLimits::with_max_steps(20_000),
+        max_states: 100_000,
+        max_solutions: 10,
+        max_time: Some(Duration::from_secs(30)),
+    };
+    let outcome = run_point(
+        &w.program,
+        &w.detectors,
+        &w.input,
+        &point,
+        &Predicate::WrongOutput {
+            expected: golden.clone(),
+        },
+        &limits,
+    );
+    println!(
+        "\ninjection {point}: {} states explored, {} incorrect outcomes\n",
+        outcome.report.states_explored,
+        outcome.report.solutions.len()
+    );
+    let original: Vec<i64> = "axbxdx".chars().map(|c| i64::from(u32::from(c))).collect();
+    for sol in &outcome.report.solutions {
+        let out = sol.state.output_ints();
+        let note = if out == original {
+            "  <- original string returned unmodified (the paper's scenario)"
+        } else {
+            ""
+        };
+        println!(
+            "  {:>9} | `{}`{}",
+            sol.state.status().to_string(),
+            replace_input::decode(&out),
+            note
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! # symplfied-suite — workspace-level examples and integration tests
+//!
+//! This crate hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`) of the SymPLFIED reproduction.
+//! The library surface simply re-exports the [`symplfied`] facade.
+//!
+//! ```
+//! use symplfied_suite::prelude::*;
+//! let program = parse_program("mov $1, 1\nprint $1\nhalt")?;
+//! assert_eq!(program.len(), 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use symplfied::*;

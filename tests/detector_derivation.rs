@@ -1,0 +1,124 @@
+//! End-to-end detector derivation workflow (DESIGN.md "beyond-paper
+//! capabilities", the paper's reference [2]): observe training runs,
+//! derive range detectors, instrument the program, and measure how the
+//! escaping-error set shrinks under the SymPLFIED search.
+
+use symplfied::check::{Predicate, SearchLimits};
+use symplfied::inject::{derive_range_detectors, enumerate_points, run_point, ErrorClass};
+use symplfied::machine::ExecLimits;
+use symplfied::prelude::*;
+
+#[test]
+fn derived_detectors_shrink_the_escaping_set() {
+    let w = symplfied::apps::sum();
+    let golden = symplfied::apps::golden(&w).output_ints();
+    let training: Vec<Vec<i64>> = (1..=10).map(|n| vec![n]).collect();
+
+    // Derive range guards for the accumulator and the loop counter at the
+    // loop body (addresses 6 `add` and 7 `addi` in sum.sasm).
+    let add_addr = 6;
+    let derived = derive_range_detectors(
+        &w.program,
+        &w.detectors,
+        &training,
+        &[(add_addr, Reg::r(2)), (add_addr + 1, Reg::r(3))],
+        50,
+        &ExecLimits::with_max_steps(w.max_steps),
+    )
+    .unwrap();
+    assert_eq!(derived.detectors.len(), 4);
+    assert_eq!(derived.ranges.len(), 2);
+    // The instrumented program still computes the same golden output.
+    let wd = symplfied::apps::Workload::new(
+        "sum-derived",
+        derived.program.clone(),
+        derived.detectors.clone(),
+        w.input.clone(),
+        w.max_steps * 2,
+    );
+    assert_eq!(symplfied::apps::golden(&wd).output_ints(), golden);
+
+    // Count escaping wrong outputs before and after, over the full
+    // register campaign.
+    let count_escaping = |program: &Program, detectors: &DetectorSet| -> (usize, usize) {
+        let limits = SearchLimits {
+            exec: ExecLimits::with_max_steps(3_000),
+            max_solutions: 100,
+            ..SearchLimits::default()
+        };
+        let mut escaping = 0;
+        let mut detected = 0;
+        for point in enumerate_points(program, &ErrorClass::RegisterFile) {
+            let out = run_point(
+                program,
+                detectors,
+                &w.input,
+                &point,
+                &Predicate::Any,
+                &limits,
+            );
+            for sol in out.report.solutions {
+                match sol.state.status() {
+                    Status::Halted
+                        if sol.state.output_contains_err()
+                            || sol.state.output_ints() != golden =>
+                    {
+                        escaping += 1;
+                    }
+                    Status::Detected(_) => detected += 1,
+                    _ => {}
+                }
+            }
+        }
+        (escaping, detected)
+    };
+
+    let (before_escaping, before_detected) = count_escaping(&w.program, &w.detectors);
+    let (after_escaping, after_detected) = count_escaping(&derived.program, &derived.detectors);
+
+    assert_eq!(before_detected, 0, "no detectors in the plain program");
+    assert!(after_detected > 0, "derived range checks must fire");
+    assert!(
+        after_escaping <= before_escaping,
+        "derived detectors must not widen the escaping set \
+         (before {before_escaping}, after {after_escaping})"
+    );
+}
+
+#[test]
+fn auxiliary_workloads_survive_register_campaigns() {
+    // Smoke: every auxiliary workload's register campaign runs to
+    // completion and finds at least one output-corrupting error (none of
+    // them have detectors).
+    for w in [
+        symplfied::apps::gcd(),
+        symplfied::apps::matmul(),
+        symplfied::apps::sum(),
+    ] {
+        let golden = symplfied::apps::golden(&w).output_ints();
+        let limits = SearchLimits {
+            exec: ExecLimits::with_max_steps(w.max_steps),
+            max_solutions: 3,
+            max_states: 100_000,
+            max_time: None,
+        };
+        let mut found = false;
+        for point in enumerate_points(&w.program, &ErrorClass::RegisterFile) {
+            let out = run_point(
+                &w.program,
+                &w.detectors,
+                &w.input,
+                &point,
+                &Predicate::WrongOutput {
+                    expected: golden.clone(),
+                },
+                &limits,
+            );
+            if out.found_errors() {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "workload {} must have corruptible output", w.name);
+    }
+}

@@ -1,0 +1,191 @@
+//! Table-1 error classes end-to-end: every class enumerates points,
+//! activates, and produces sound seed states on real workloads.
+
+use symplfied::check::{Predicate, SearchLimits};
+use symplfied::inject::{
+    enumerate_points, prepare, run_point, Campaign, ComputationError, ErrorClass,
+};
+use symplfied::machine::ExecLimits;
+#[allow(unused_imports)]
+use symplfied::prelude::*;
+
+#[test]
+fn every_class_enumerates_points_on_tcas() {
+    let w = symplfied::apps::tcas();
+    for class in ErrorClass::all() {
+        let points = enumerate_points(&w.program, &class);
+        let expects_points = !matches!(
+            class,
+            ErrorClass::Computation(ComputationError::DecodeNopToTargeted)
+        );
+        assert_eq!(
+            !points.is_empty(),
+            expects_points,
+            "{class}: tcas has no nop instructions, everything else applies"
+        );
+    }
+}
+
+#[test]
+fn register_class_seeds_have_exactly_one_err() {
+    let w = symplfied::apps::tcas();
+    let exec = ExecLimits::with_max_steps(w.max_steps);
+    let points = enumerate_points(&w.program, &ErrorClass::RegisterFile);
+    let mut activated = 0;
+    for point in points.iter().take(30) {
+        let prep = prepare(&w.program, &w.detectors, &w.input, point, &exec);
+        if !prep.activated {
+            continue;
+        }
+        activated += 1;
+        for seed in &prep.seeds {
+            assert_eq!(
+                seed.err_locations().len(),
+                1,
+                "single-error model: one err per execution ({point})"
+            );
+            assert_eq!(seed.pc(), point.breakpoint);
+        }
+    }
+    assert!(activated > 10, "most early tcas points activate");
+}
+
+#[test]
+fn memory_class_corrupts_the_loaded_word() {
+    let w = symplfied::apps::tcas();
+    let exec = ExecLimits::with_max_steps(w.max_steps);
+    let points = enumerate_points(&w.program, &ErrorClass::Memory);
+    assert!(!points.is_empty(), "tcas is full of global loads");
+    let mut hit = false;
+    for point in &points {
+        let prep = prepare(&w.program, &w.detectors, &w.input, point, &exec);
+        if prep.activated && !prep.seeds.is_empty() {
+            hit = true;
+            let seed = &prep.seeds[0];
+            assert!(
+                seed.err_locations().iter().any(|l| !l.is_reg()),
+                "memory class must plant err in memory"
+            );
+        }
+    }
+    assert!(hit);
+}
+
+#[test]
+fn memory_errors_propagate_to_wrong_advisories() {
+    // Corrupting Up_Separation where ALIM is compared can flip advisories.
+    let w = symplfied::apps::tcas();
+    let limits = SearchLimits {
+        exec: ExecLimits::with_max_steps(w.max_steps),
+        max_states: 300_000,
+        max_solutions: 10,
+        max_time: None,
+    };
+    let campaign = Campaign::new(&w.program, ErrorClass::Memory);
+    let mut findings = 0;
+    for point in &campaign.points {
+        let outcome = run_point(
+            &w.program,
+            &w.detectors,
+            &w.input,
+            point,
+            &Predicate::WrongOutput { expected: vec![1] },
+            &limits,
+        );
+        findings += outcome.report.solutions.len();
+        if findings > 0 {
+            break;
+        }
+    }
+    assert!(findings > 0, "some memory error must corrupt the advisory");
+}
+
+#[test]
+fn functional_unit_class_corrupts_destinations_after_execution() {
+    let w = symplfied::apps::sum();
+    let exec = ExecLimits::with_max_steps(w.max_steps);
+    let points = enumerate_points(
+        &w.program,
+        &ErrorClass::Computation(ComputationError::FunctionalUnit),
+    );
+    let prep = prepare(&w.program, &w.detectors, &w.input, &points[0], &exec);
+    assert!(prep.activated);
+    let seed = &prep.seeds[0];
+    assert_eq!(seed.pc(), points[0].breakpoint + 1, "instruction executed");
+    assert_eq!(seed.err_locations().len(), 1);
+}
+
+#[test]
+fn fetch_class_finds_control_flow_failures() {
+    let w = symplfied::apps::sum();
+    let limits = SearchLimits {
+        exec: ExecLimits::with_max_steps(2_000),
+        max_states: 100_000,
+        max_solutions: 5,
+        max_time: None,
+    };
+    let points = enumerate_points(
+        &w.program,
+        &ErrorClass::Computation(ComputationError::Fetch),
+    );
+    // A fetch error somewhere must be able to corrupt the printed sum.
+    let mut wrong = 0;
+    for point in &points {
+        let outcome = run_point(
+            &w.program,
+            &w.detectors,
+            &w.input,
+            point,
+            &Predicate::WrongOutput { expected: vec![55] },
+            &limits,
+        );
+        wrong += outcome.report.solutions.len();
+    }
+    assert!(wrong > 0, "PC redirection must be able to skip loop work");
+}
+
+#[test]
+fn decode_changed_target_affects_two_registers() {
+    let w = symplfied::apps::sum();
+    let exec = ExecLimits::with_max_steps(w.max_steps);
+    let points = enumerate_points(
+        &w.program,
+        &ErrorClass::Computation(ComputationError::DecodeChangedTarget),
+    );
+    assert!(!points.is_empty());
+    let prep = prepare(&w.program, &w.detectors, &w.input, &points[0], &exec);
+    assert!(prep.activated);
+    assert_eq!(
+        prep.seeds[0].err_locations().len(),
+        2,
+        "err in the original and the new target (Table 1)"
+    );
+}
+
+#[test]
+fn decode_targeted_to_nop_skips_the_write() {
+    let w = symplfied::apps::sum();
+    let exec = ExecLimits::with_max_steps(w.max_steps);
+    let points = enumerate_points(
+        &w.program,
+        &ErrorClass::Computation(ComputationError::DecodeTargetedToNop),
+    );
+    let prep = prepare(&w.program, &w.detectors, &w.input, &points[0], &exec);
+    assert!(prep.activated);
+    let seed = &prep.seeds[0];
+    assert_eq!(seed.pc(), points[0].breakpoint + 1, "squashed to nop");
+    assert_eq!(seed.err_locations().len(), 1, "stale destination is err");
+}
+
+#[test]
+fn bus_source_class_equals_register_file_manifestation() {
+    // Table 1: bus errors manifest as err in source registers — the same
+    // manifestation the register-file class enumerates.
+    let w = symplfied::apps::factorial();
+    let a = enumerate_points(&w.program, &ErrorClass::RegisterFile);
+    let b = enumerate_points(
+        &w.program,
+        &ErrorClass::Computation(ComputationError::BusSource),
+    );
+    assert_eq!(a, b);
+}

@@ -1,0 +1,191 @@
+//! End-to-end Framework runs over the auxiliary workloads, the detector
+//! workflow of §4.2, and the constraint-solver ablation (DESIGN.md ⚗1).
+
+use symplfied::check::{search_many, Predicate, SearchLimits};
+use symplfied::inject::{prepare, ErrorClass, InjectTarget, InjectionPoint};
+use symplfied::machine::ExecLimits;
+use symplfied::prelude::*;
+
+#[test]
+fn framework_sum_enumeration_is_complete_and_real() {
+    let w = symplfied::apps::sum();
+    let fw = Framework::new(w.program.clone())
+        .with_input(w.input.clone())
+        .with_limits(SearchLimits {
+            exec: ExecLimits::with_max_steps(w.max_steps),
+            max_solutions: 50,
+            ..SearchLimits::default()
+        });
+    assert_eq!(fw.golden_output(), vec![55]);
+    let verdict = fw.enumerate_undetected(ErrorClass::RegisterFile);
+    assert!(!verdict.is_resilient());
+    // Every finding halted normally with a corrupted output.
+    for f in &verdict.findings {
+        assert_eq!(f.solution.state.status(), &Status::Halted);
+        assert!(
+            f.solution.state.output_contains_err()
+                || f.solution.state.output_ints() != vec![55]
+        );
+    }
+    assert!(verdict.points_activated > 0);
+    assert!(verdict.states_explored > verdict.points_examined);
+}
+
+#[test]
+fn bubble_sort_wrong_order_findings() {
+    // Errors in the compare register can silently produce unsorted output.
+    let w = symplfied::apps::bubble_sort();
+    let golden = symplfied::apps::golden(&w).output_ints();
+    assert_eq!(golden, vec![10, 20, 30, 40, 50]);
+    let fw = Framework::new(w.program.clone())
+        .with_input(w.input.clone())
+        .with_limits(SearchLimits {
+            exec: ExecLimits::with_max_steps(w.max_steps),
+            max_solutions: 5,
+            max_states: 200_000,
+            max_time: None,
+        });
+    let verdict = fw.enumerate_matching(
+        ErrorClass::RegisterFile,
+        &Predicate::custom(move |s| {
+            s.status() == &Status::Halted
+                && !s.output_contains_err()
+                && s.output_ints().len() == 5
+                && s.output_ints() != vec![10, 20, 30, 40, 50]
+        }),
+    );
+    assert!(
+        !verdict.findings.is_empty(),
+        "a corrupted comparison must be able to mis-sort silently"
+    );
+    for f in &verdict.findings {
+        // The output is silently wrong: an out-of-order pair or a
+        // corrupted multiset (e.g. a duplicated element from a bad swap).
+        let out = f.solution.state.output_ints();
+        assert_ne!(out, golden, "finding must differ from the golden output");
+    }
+}
+
+#[test]
+fn detector_workflow_narrows_escaping_errors() {
+    // §4.2's development loop: compare the escaping-error sets of the
+    // unprotected and protected factorial under the same injection.
+    let plain = symplfied::apps::factorial();
+    let protected = symplfied::apps::factorial_with_detectors();
+    let limits = SearchLimits {
+        exec: ExecLimits::with_max_steps(600),
+        max_solutions: 500,
+        ..SearchLimits::default()
+    };
+
+    let run = |w: &symplfied::apps::Workload, subi: usize| {
+        let point = InjectionPoint::new(subi, InjectTarget::Register(Reg::r(3)));
+        let prep = prepare(&w.program, &w.detectors, &w.input, &point, &limits.exec);
+        search_many(&w.program, &w.detectors, prep.seeds, &Predicate::Any, &limits)
+    };
+    let unprotected = run(&plain, 7);
+    let with_detectors = run(&protected, 10);
+
+    assert_eq!(unprotected.terminals.detected, 0);
+    assert!(with_detectors.terminals.detected > 0, "detectors must fire");
+    // The protected program still has escaping wrong outputs (the paper's
+    // point: detection is partial and SymPLFIED shows exactly what's left).
+    let escaping = |r: &symplfied::check::SearchReport| {
+        r.solutions
+            .iter()
+            .filter(|s| {
+                s.state.status() == &Status::Halted && s.state.output_ints() != vec![120]
+            })
+            .count()
+    };
+    assert!(escaping(&with_detectors) > 0);
+    assert!(escaping(&with_detectors) <= escaping(&unprotected));
+}
+
+#[test]
+fn ablation_disabling_solver_creates_false_positives() {
+    // DESIGN.md ⚗1: without constraint tracking, contradictory paths are
+    // not pruned, so the search reports outcomes that cannot occur.
+    let program = parse_program(
+        "setgt $2, $1, 10\nbeq $2, 0, out\nsetle $3, $1, 10\nbeq $3, 0, out\n\
+         mov $4, 999\nprint $4\nout: print $1\nhalt",
+    )
+    .unwrap();
+    let mut seed = MachineState::new();
+    seed.set_reg(Reg::r(1), Value::Err);
+
+    let mut with_solver = SearchLimits::with_max_steps(100);
+    with_solver.max_solutions = 100;
+    let mut without_solver = with_solver.clone();
+    without_solver.exec.track_constraints = false;
+
+    let detectors = DetectorSet::new();
+    let sound = search_many(
+        &program,
+        &detectors,
+        vec![seed.clone()],
+        &Predicate::Any,
+        &with_solver,
+    );
+    let ablated = search_many(
+        &program,
+        &detectors,
+        vec![seed],
+        &Predicate::Any,
+        &without_solver,
+    );
+
+    let prints_999 = |r: &symplfied::check::SearchReport| {
+        r.solutions
+            .iter()
+            .filter(|s| s.state.output_ints().contains(&999))
+            .count()
+    };
+    assert_eq!(
+        prints_999(&sound),
+        0,
+        "($1 > 10) && ($1 <= 10) is infeasible — the solver must prune it"
+    );
+    assert!(
+        prints_999(&ablated) > 0,
+        "without the solver the contradictory path survives (false positive)"
+    );
+    assert!(ablated.states_explored >= sound.states_explored);
+}
+
+#[test]
+fn query_generator_presets_run_end_to_end() {
+    use symplfied::inject::Query;
+    let w = symplfied::apps::sum();
+    let fw = Framework::new(w.program.clone())
+        .with_input(w.input.clone())
+        .with_limits(SearchLimits {
+            exec: ExecLimits::with_max_steps(w.max_steps),
+            ..SearchLimits::default()
+        });
+    let q = Query::register_errors_in_output();
+    let verdict = fw.enumerate_matching(q.class, &q.predicate());
+    assert!(!verdict.findings.is_empty());
+    // Fetch errors cannot crash `sum` (it has no memory accesses, and PC
+    // redirection stays inside valid code), but on bubble-sort a redirected
+    // PC reaches loads through uninitialized index registers.
+    let q2 = Query::fetch_errors_crashing();
+    let verdict_sum = fw.enumerate_matching(q2.class, &q2.predicate());
+    assert!(
+        verdict_sum.findings.is_empty(),
+        "sum has no memory ops: no fetch error can crash it"
+    );
+    let wb = symplfied::apps::bubble_sort();
+    let fwb = Framework::new(wb.program.clone())
+        .with_input(wb.input.clone())
+        .with_limits(SearchLimits {
+            exec: ExecLimits::with_max_steps(wb.max_steps),
+            max_solutions: 3,
+            ..SearchLimits::default()
+        });
+    let verdict_bubble = fwb.enumerate_matching(q2.class, &q2.predicate());
+    assert!(
+        !verdict_bubble.findings.is_empty(),
+        "redirected PC in bubble-sort must be able to crash on a load"
+    );
+}

@@ -1,0 +1,98 @@
+//! The architecture front-end pipeline (§5 "Supporting Tools"): MIPS text
+//! to generic assembly to symbolic analysis, unchanged.
+
+use symplfied::asm::mips::translate_mips;
+use symplfied::check::SearchLimits;
+use symplfied::machine::ExecLimits;
+use symplfied::prelude::*;
+
+const MIPS_ABS: &str = r"
+    # abs(x) via branch
+    main:
+        li   $v0, 5
+        syscall              # read x
+        move $t0, $v0
+        bgez $t0, pos
+        neg  $t0, $t0
+    pos:
+        move $a0, $t0
+        li   $v0, 1
+        syscall              # print |x|
+        li   $v0, 10
+        syscall
+";
+
+#[test]
+fn translated_mips_runs_concretely() {
+    let program = translate_mips(MIPS_ABS).unwrap();
+    for x in [-5i64, 0, 9] {
+        let mut state = MachineState::with_input(vec![x]);
+        run_concrete(&mut state, &program, &DetectorSet::new(), &ExecLimits::default()).unwrap();
+        assert_eq!(state.status(), &Status::Halted);
+        assert_eq!(state.output_ints(), vec![x.abs()], "x = {x}");
+    }
+}
+
+#[test]
+fn translated_mips_is_symbolically_analyzable() {
+    let program = translate_mips(MIPS_ABS).unwrap();
+    let fw = Framework::new(program)
+        .with_input(vec![-7])
+        .with_limits(SearchLimits::with_max_steps(200));
+    assert_eq!(fw.golden_output(), vec![7]);
+    let verdict = fw.enumerate_undetected(ErrorClass::RegisterFile);
+    assert!(
+        !verdict.is_resilient(),
+        "an error in $t0 before the print escapes"
+    );
+    // The branch on the erroneous sign forks: both |x| paths are explored.
+    assert!(verdict.states_explored > verdict.points_examined);
+}
+
+#[test]
+fn mips_function_calls_translate() {
+    // jal/jr with a stack frame, like compiled code.
+    let src = r"
+    main:
+        li   $sp, 1000
+        li   $a0, 20
+        jal  double
+        move $a0, $v0
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+    double:
+        addiu $sp, $sp, -8
+        sw   $ra, 0($sp)
+        addu $v0, $a0, $a0
+        lw   $ra, 0($sp)
+        addiu $sp, $sp, 8
+        jr   $ra
+    ";
+    let program = translate_mips(src).unwrap();
+    let mut state = MachineState::new();
+    run_concrete(&mut state, &program, &DetectorSet::new(), &ExecLimits::default()).unwrap();
+    assert_eq!(state.output_ints(), vec![40]);
+}
+
+#[test]
+fn mips_mult_div_hilo_sequences() {
+    let src = r"
+        li   $t0, 84
+        li   $t1, 2
+        div  $t0, $t1
+        mflo $a0          # quotient
+        li   $v0, 1
+        syscall
+        mfhi $a0          # remainder
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+    ";
+    let program = translate_mips(src).unwrap();
+    let mut state = MachineState::new();
+    run_concrete(&mut state, &program, &DetectorSet::new(), &ExecLimits::default()).unwrap();
+    assert_eq!(state.output_ints(), vec![42, 0]);
+}

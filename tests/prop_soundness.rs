@@ -1,0 +1,139 @@
+//! The paper's central soundness claim (§3.2): "while SymPLFIED may
+//! uncover false-positives, it will never miss an outcome that may occur
+//! in the program due to the error."
+//!
+//! Property: for any concrete value injected at an injection point, the
+//! outcome of the concrete run must be *covered* by some terminal state of
+//! the symbolic search from the same point — same status class, and each
+//! printed value either equal or abstracted to `err`.
+
+use proptest::prelude::*;
+use symplfied::check::{search_many, Predicate, SearchLimits};
+use symplfied::inject::{prepare, InjectTarget, InjectionPoint};
+use symplfied::machine::{ExecLimits, MachineState, OutItem, Status};
+use symplfied::prelude::*;
+use symplfied::ssim::{replay_register_witness, ConcreteOutcome};
+
+/// Whether a symbolic terminal state covers a concrete outcome.
+fn covers(symbolic: &MachineState, concrete: &ConcreteOutcome) -> bool {
+    match (symbolic.status(), concrete) {
+        (Status::Halted, ConcreteOutcome::Output(values)) => {
+            let sym: Vec<&OutItem> = symbolic
+                .output()
+                .iter()
+                .filter(|o| matches!(o, OutItem::Val(_)))
+                .collect();
+            sym.len() == values.len()
+                && sym.iter().zip(values).all(|(s, v)| match s {
+                    OutItem::Val(Value::Int(i)) => i == v,
+                    OutItem::Val(Value::Err) => true,
+                    OutItem::Str(_) => false,
+                })
+        }
+        (Status::Exception(_), ConcreteOutcome::Crash(_)) => true,
+        (Status::TimedOut, ConcreteOutcome::Hang) => true,
+        (Status::Detected(a), ConcreteOutcome::Detected(b)) => a == b,
+        _ => false,
+    }
+}
+
+fn check_coverage(
+    workload: &symplfied::apps::Workload,
+    breakpoint: usize,
+    reg: Reg,
+    value: i64,
+    max_steps: u64,
+) -> Result<(), TestCaseError> {
+    let exec = ExecLimits::with_max_steps(max_steps);
+    // Concrete run with the injected value.
+    let Some(replay) = replay_register_witness(
+        &workload.program,
+        &workload.detectors,
+        &workload.input,
+        breakpoint,
+        1,
+        reg,
+        value,
+        &exec,
+    ) else {
+        // Breakpoint off the golden path: nothing to cover.
+        return Ok(());
+    };
+
+    // Symbolic search from the same point.
+    let point = InjectionPoint::new(breakpoint, InjectTarget::Register(reg));
+    let prep = prepare(
+        &workload.program,
+        &workload.detectors,
+        &workload.input,
+        &point,
+        &exec,
+    );
+    prop_assert!(prep.activated);
+    let report = search_many(
+        &workload.program,
+        &workload.detectors,
+        prep.seeds,
+        &Predicate::Any,
+        &SearchLimits {
+            exec,
+            max_states: 500_000,
+            max_solutions: 100_000,
+            max_time: None,
+        },
+    );
+    prop_assert!(
+        report.exhausted,
+        "soundness check needs a complete search ({} states)",
+        report.states_explored
+    );
+    prop_assert!(
+        report.solutions.iter().any(|s| covers(&s.state, &replay.outcome)),
+        "no symbolic terminal covers concrete outcome {:?} (value {value} in {reg} @{breakpoint}); \
+         symbolic outcomes: {:?}",
+        replay.outcome,
+        report
+            .solutions
+            .iter()
+            .map(|s| format!("{} `{}`", s.state.status(), s.state.rendered_output()))
+            .collect::<Vec<_>>()
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn factorial_symbolic_covers_concrete(
+        value in prop_oneof![(-10i64..=10), Just(i64::MAX), Just(i64::MIN), any::<i64>()],
+        bp_choice in 0usize..4,
+        n in 1i64..6,
+    ) {
+        // Injection points inside the loop: setgt(4), mult(6), subi(7), print(10).
+        let breakpoints = [(4usize, 3u8), (6, 3), (7, 3), (10, 2)];
+        let (bp, reg) = breakpoints[bp_choice];
+        let w = symplfied::apps::factorial().with_input(vec![n]);
+        check_coverage(&w, bp, Reg::r(reg), value, 1_500)?;
+    }
+
+    #[test]
+    fn factorial_with_detectors_symbolic_covers_concrete(
+        value in prop_oneof![(-10i64..=10), any::<i64>()],
+        n in 1i64..5,
+    ) {
+        // The loop counter at the decrement (`subi $3 $3 #1`, address 10).
+        let w = symplfied::apps::factorial_with_detectors().with_input(vec![n]);
+        check_coverage(&w, 10, Reg::r(3), value, 1_500)?;
+    }
+
+    #[test]
+    fn sum_symbolic_covers_concrete(
+        value in prop_oneof![(-5i64..=15), any::<i64>()],
+        n in 1i64..6,
+    ) {
+        // The accumulator at `add $2, $2, $3` (address 5).
+        let w = symplfied::apps::sum().with_input(vec![n]);
+        check_coverage(&w, 5, Reg::r(2), value, 1_000)?;
+    }
+}

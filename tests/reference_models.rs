@@ -1,0 +1,269 @@
+//! Differential validation of the assembly workloads against native Rust
+//! reference models (paper §3.1 "the model must be an accurate
+//! representation of the system being modeled" — we check the tcas and
+//! replace translations against independent reimplementations over many
+//! inputs).
+
+use proptest::prelude::*;
+use symplfied::apps::{self, replace_input, tcas_input::TcasInput};
+
+// ---------------------------------------------------------------------
+// tcas reference model (Siemens tcas.c semantics)
+// ---------------------------------------------------------------------
+
+const OLEV: i64 = 600;
+const MAXALTDIFF: i64 = 600;
+const MINSEP: i64 = 300;
+const NOZCROSS: i64 = 100;
+const THRESHOLDS: [i64; 4] = [400, 500, 640, 740];
+
+fn alim(inp: &TcasInput) -> i64 {
+    THRESHOLDS[inp.alt_layer_value as usize]
+}
+
+fn inhibit_biased_climb(inp: &TcasInput) -> i64 {
+    if inp.climb_inhibit != 0 {
+        inp.up_separation + NOZCROSS
+    } else {
+        inp.up_separation
+    }
+}
+
+fn own_below_threat(inp: &TcasInput) -> bool {
+    inp.own_tracked_alt < inp.other_tracked_alt
+}
+
+fn own_above_threat(inp: &TcasInput) -> bool {
+    inp.other_tracked_alt < inp.own_tracked_alt
+}
+
+fn non_crossing_biased_climb(inp: &TcasInput) -> bool {
+    let upward_preferred = inhibit_biased_climb(inp) > inp.down_separation;
+    if upward_preferred {
+        !(own_below_threat(inp) && inp.down_separation >= alim(inp))
+    } else {
+        own_above_threat(inp)
+            && inp.cur_vertical_sep >= MINSEP
+            && inp.up_separation >= alim(inp)
+    }
+}
+
+fn non_crossing_biased_descend(inp: &TcasInput) -> bool {
+    let upward_preferred = inhibit_biased_climb(inp) > inp.down_separation;
+    if upward_preferred {
+        own_below_threat(inp)
+            && inp.cur_vertical_sep >= MINSEP
+            && inp.down_separation >= alim(inp)
+    } else {
+        !own_above_threat(inp) || inp.up_separation >= alim(inp)
+    }
+}
+
+#[allow(clippy::nonminimal_bool)] // mirrors the tcas.c condition verbatim
+fn ref_alt_sep_test(inp: &TcasInput) -> i64 {
+    let enabled = inp.high_confidence != 0
+        && inp.own_tracked_alt_rate <= OLEV
+        && inp.cur_vertical_sep > MAXALTDIFF;
+    let tcas_equipped = inp.other_capability == 1;
+    let intent_not_known = inp.two_of_three_reports_valid != 0 && inp.other_rac == 0;
+    if !(enabled && ((tcas_equipped && intent_not_known) || !tcas_equipped)) {
+        return 0;
+    }
+    let need_up = non_crossing_biased_climb(inp) && own_below_threat(inp);
+    let need_down = non_crossing_biased_descend(inp) && own_above_threat(inp);
+    match (need_up, need_down) {
+        (true, true) | (false, false) => 0,
+        (true, false) => 1,
+        (false, true) => 2,
+    }
+}
+
+fn arb_tcas_input() -> impl Strategy<Value = TcasInput> {
+    (
+        (0i64..1200, 0i64..=1, 0i64..=1, 0i64..1000),
+        (0i64..1200, 0i64..1000, 0i64..=3, 0i64..900),
+        (0i64..900, 0i64..=2, 0i64..=2, 0i64..=1),
+    )
+        .prop_map(
+            |(
+                (cur_vertical_sep, high_confidence, two_valid, own_alt),
+                (rate, other_alt, layer, up),
+                (down, rac, cap, inhibit),
+            )| TcasInput {
+                cur_vertical_sep,
+                high_confidence,
+                two_of_three_reports_valid: two_valid,
+                own_tracked_alt: own_alt,
+                own_tracked_alt_rate: rate,
+                other_tracked_alt: other_alt,
+                alt_layer_value: layer,
+                up_separation: up,
+                down_separation: down,
+                other_rac: rac,
+                other_capability: cap,
+                climb_inhibit: inhibit,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn tcas_assembly_matches_reference(inp in arb_tcas_input()) {
+        let w = apps::tcas().with_input(inp.to_stream());
+        let state = apps::golden(&w);
+        prop_assert_eq!(
+            state.output_ints(),
+            vec![ref_alt_sep_test(&inp)],
+            "input {:?}", inp
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// replace reference model (the subset semantics of the asm program)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Pat {
+    Lit(char),
+    Any,
+    Ccl(Vec<char>),
+    Nccl(Vec<char>),
+}
+
+fn ref_makepat(pattern: &str) -> Vec<Pat> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '?' => {
+                out.push(Pat::Any);
+                i += 1;
+            }
+            '[' => {
+                i += 1;
+                let mut negate = false;
+                if i < chars.len() && chars[i] == '^' {
+                    negate = true;
+                    i += 1;
+                }
+                let mut set: Vec<char> = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if chars[i] == '-'
+                        && !set.is_empty()
+                        && i + 1 < chars.len()
+                        && chars[i + 1] != ']'
+                    {
+                        let from = *set.last().unwrap() as u32;
+                        let to = chars[i + 1] as u32;
+                        for c in (from + 1)..=to {
+                            set.push(char::from_u32(c).unwrap());
+                        }
+                        i += 2;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                if i < chars.len() {
+                    i += 1; // skip ']'
+                }
+                out.push(if negate { Pat::Nccl(set) } else { Pat::Ccl(set) });
+            }
+            c => {
+                out.push(Pat::Lit(c));
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn ref_amatch(line: &[char], mut i: usize, pat: &[Pat]) -> Option<usize> {
+    for p in pat {
+        if i >= line.len() {
+            return None;
+        }
+        let c = line[i];
+        let ok = match p {
+            Pat::Lit(l) => c == *l,
+            Pat::Any => true,
+            Pat::Ccl(set) => set.contains(&c),
+            Pat::Nccl(set) => !set.contains(&c),
+        };
+        if !ok {
+            return None;
+        }
+        i += 1;
+    }
+    Some(i)
+}
+
+fn ref_replace(pattern: &str, substitution: &str, line: &str) -> String {
+    let pat = ref_makepat(pattern);
+    let chars: Vec<char> = line.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        match ref_amatch(&chars, i, &pat) {
+            Some(end) if end > i => {
+                out.push_str(substitution);
+                i = end;
+            }
+            _ => {
+                out.push(chars[i]);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn arb_pattern() -> impl Strategy<Value = String> {
+    // Patterns over a small alphabet with literals, '?', and classes.
+    prop::collection::vec(
+        prop_oneof![
+            3 => prop::sample::select(vec!["a", "b", "c", "x", "?"]),
+            1 => prop::sample::select(vec!["[a-c]", "[^a]", "[bx]", "[0-9]"]),
+        ],
+        1..4,
+    )
+    .prop_map(|parts| parts.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn replace_assembly_matches_reference(
+        pattern in arb_pattern(),
+        sub in "[A-Z]{0,3}",
+        line in "[abcx01]{0,8}",
+    ) {
+        let w = apps::replace()
+            .with_input(replace_input::encode(&pattern, &sub, &line));
+        let state = apps::golden(&w);
+        prop_assert_eq!(
+            replace_input::decode(&state.output_ints()),
+            ref_replace(&pattern, &sub, &line),
+            "pattern `{}` sub `{}` line `{}`", pattern, sub, line
+        );
+    }
+}
+
+#[test]
+fn tcas_reference_agrees_on_named_inputs() {
+    use symplfied::apps::tcas_input;
+    for (stream, expected) in [
+        (tcas_input::upward_advisory(), 1),
+        (tcas_input::downward_advisory(), 2),
+        (tcas_input::unresolved(), 0),
+        (tcas_input::disabled(), 0),
+    ] {
+        let w = apps::tcas().with_input(stream);
+        assert_eq!(apps::golden(&w).output_ints(), vec![expected]);
+    }
+}

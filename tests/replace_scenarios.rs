@@ -1,0 +1,157 @@
+//! §6.4 integration tests: symbolic injections on the replace program.
+
+use std::time::Duration;
+
+use symplfied::apps::replace_input;
+use symplfied::check::{Predicate, SearchLimits};
+use symplfied::cluster::{run_cluster, ClusterConfig};
+use symplfied::inject::{run_point, Campaign, ErrorClass, InjectTarget, InjectionPoint};
+use symplfied::machine::ExecLimits;
+use symplfied::prelude::*;
+
+fn limits() -> SearchLimits {
+    SearchLimits {
+        exec: ExecLimits::with_max_steps(20_000),
+        max_states: 100_000,
+        max_solutions: 10,
+        max_time: Some(Duration::from_secs(30)),
+    }
+}
+
+#[test]
+fn dodash_range_corruption_builds_erroneous_pattern() {
+    // The paper's example scenario: the parameter holding the range end
+    // for dodash is injected; an erroneous pattern is constructed, which
+    // leads to a failure in the pattern match.
+    let w = symplfied::apps::replace();
+    let golden = symplfied::apps::golden(&w).output_ints();
+    assert_eq!(replace_input::decode(&golden), "ZZdx");
+
+    let dd_loop = w.program.label_address("dd_loop").unwrap();
+    let point = InjectionPoint::new(dd_loop, InjectTarget::Register(Reg::r(5)));
+    let outcome = run_point(
+        &w.program,
+        &w.detectors,
+        &w.input,
+        &point,
+        &Predicate::WrongOutput {
+            expected: golden.clone(),
+        },
+        &limits(),
+    );
+    assert!(outcome.activated, "dodash runs for the [a-c] range");
+    assert!(
+        outcome.found_errors(),
+        "a corrupted range end must change the matching behaviour"
+    );
+    // Every reported incorrect outcome halted normally with a different
+    // substitution result — silent data corruption, not a crash.
+    for sol in &outcome.report.solutions {
+        assert_eq!(sol.state.status(), &Status::Halted);
+        assert_ne!(sol.state.output_ints(), golden);
+    }
+}
+
+#[test]
+fn pattern_char_corruption_can_return_original_string() {
+    // An erroneous pattern character can make the pattern match nothing,
+    // so the program returns the original string without substitution —
+    // the outcome the paper's §6.4 example describes.
+    let w = symplfied::apps::replace();
+    let golden = symplfied::apps::golden(&w).output_ints();
+    let original: Vec<i64> = "axbxdx".chars().map(|c| i64::from(u32::from(c))).collect();
+
+    // `st $11, 0($12)` in the pattern-read loop stores the pattern char.
+    let point = InjectionPoint::new(10, InjectTarget::Register(Reg::r(11)));
+    let outcome = run_point(
+        &w.program,
+        &w.detectors,
+        &w.input,
+        &point,
+        &Predicate::WrongOutput { expected: golden },
+        &limits(),
+    );
+    assert!(outcome.activated);
+    assert!(
+        outcome
+            .report
+            .solutions
+            .iter()
+            .any(|s| s.state.output_ints() == original),
+        "some fork must return the unsubstituted original string; got {:?}",
+        outcome
+            .report
+            .solutions
+            .iter()
+            .map(|s| replace_input::decode(&s.state.output_ints()))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn sharded_campaign_reports_task_statistics() {
+    // A scaled-down §6.4 campaign: shard the register-error space, pool
+    // the per-task statistics, and check the report's invariants.
+    let w = symplfied::apps::replace();
+    let golden = symplfied::apps::golden(&w).output_ints();
+    let campaign = Campaign::new(&w.program, ErrorClass::RegisterFile);
+    assert!(campaign.len() > 100, "replace has many injection points");
+
+    // Keep the test fast: first 40 points only, small budgets.
+    let subset = Campaign {
+        class: ErrorClass::RegisterFile,
+        points: campaign.points[..40].to_vec(),
+    };
+    let config = ClusterConfig {
+        tasks: 8,
+        search: SearchLimits {
+            exec: ExecLimits::with_max_steps(6_000),
+            max_states: 15_000,
+            max_solutions: 5,
+            max_time: Some(Duration::from_secs(5)),
+        },
+        task_budget: Some(Duration::from_secs(20)),
+        max_findings_per_task: 5,
+        ..ClusterConfig::default()
+    };
+    let report = run_cluster(
+        &w.program,
+        &w.detectors,
+        &w.input,
+        &subset,
+        &Predicate::WrongOutput { expected: golden },
+        &config,
+    );
+    let examined: usize = report.tasks.iter().map(|t| t.points_examined).sum();
+    assert!(examined > 0);
+    assert_eq!(
+        report.tasks.iter().map(|t| t.points_total).sum::<usize>(),
+        40
+    );
+    // Tasks partition cleanly and the summary is printable.
+    assert!(report.summary().contains("tasks"));
+    // Findings reference points inside the subset.
+    for f in &report.findings {
+        assert!(subset.points.contains(&f.point));
+    }
+}
+
+#[test]
+fn replace_detects_nothing_without_check_instructions() {
+    // replace has no detectors: no Detected terminal can ever appear.
+    let w = symplfied::apps::replace();
+    let point = InjectionPoint::new(
+        w.program.label_address("am_loop").unwrap(),
+        InjectTarget::Register(Reg::r(16)),
+    );
+    let outcome = run_point(
+        &w.program,
+        &w.detectors,
+        &w.input,
+        &point,
+        &Predicate::Detected,
+        &limits(),
+    );
+    assert!(outcome.activated);
+    assert!(outcome.report.solutions.is_empty());
+}
