@@ -224,7 +224,12 @@ mod tests {
     fn tcas_golden_prints_upward_advisory() {
         let w = tcas();
         let s = golden(&w);
-        assert_eq!(s.status(), &Status::Halted, "output: {}", s.rendered_output());
+        assert_eq!(
+            s.status(),
+            &Status::Halted,
+            "output: {}",
+            s.rendered_output()
+        );
         assert_eq!(s.output_ints(), vec![1], "expected the upward advisory");
     }
 

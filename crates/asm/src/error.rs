@@ -53,7 +53,10 @@ impl fmt::Display for AsmError {
             ),
             AsmError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
             AsmError::UnsupportedMips { line, mnemonic } => {
-                write!(f, "unsupported MIPS instruction `{mnemonic}` on line {line}")
+                write!(
+                    f,
+                    "unsupported MIPS instruction `{mnemonic}` on line {line}"
+                )
             }
             AsmError::EmptyProgram => write!(f, "program contains no instructions"),
         }

@@ -1,13 +1,12 @@
 //! Instruction set of the generic assembly language.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
 use crate::Reg;
 
 /// A comparison predicate used by set-compare and branch instructions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Cmp {
     /// Equal (`==`).
     Eq,
@@ -85,7 +84,7 @@ impl fmt::Display for Cmp {
 }
 
 /// A source operand: either a register or an immediate integer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Operand {
     /// Value read from a register.
     Reg(Reg),
@@ -126,7 +125,7 @@ impl From<i64> for Operand {
 }
 
 /// A binary arithmetic/logic operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// Wrapping addition.
     Add,
@@ -212,7 +211,7 @@ impl fmt::Display for BinOp {
 /// the owning [`crate::Program`]; the parser resolves textual labels during
 /// assembly. Instructions are immutable once a program is built (paper §5.1:
 /// "program instructions are assumed to be immutable").
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Instr {
     /// `rd <- rs OP operand` — arithmetic or logic.
     Bin {
@@ -604,9 +603,7 @@ mod tests {
             },
             Instr::Read { rd: Reg::r(1) },
             Instr::Print { rs: Reg::r(2) },
-            Instr::PrintS {
-                text: "hi".into(),
-            },
+            Instr::PrintS { text: "hi".into() },
             Instr::Check { id: 4 },
             Instr::Nop,
             Instr::Halt,

@@ -58,5 +58,5 @@ pub use error::AsmError;
 pub use instr::{BinOp, Cmp, Instr, Operand};
 pub use parser::parse_program;
 pub use program::{Program, ProgramBuilder};
-pub use transform::insert_before;
 pub use reg::{Reg, LINK_REG, NUM_REGS, STACK_REG, ZERO_REG};
+pub use transform::insert_before;

@@ -112,7 +112,8 @@ impl Translator {
     }
 
     fn emit_branch(&mut self, line: usize, cmp: Cmp, rs: Reg, src: Operand, label: &str) {
-        self.fixups.push((self.instrs.len(), line, label.to_owned()));
+        self.fixups
+            .push((self.instrs.len(), line, label.to_owned()));
         self.emit(Instr::Branch {
             cmp,
             rs,
@@ -432,12 +433,20 @@ fn translate_one(
         "lw" | "lb" | "lbu" | "lh" | "lhu" => {
             let rt = reg_at(ops, 0, line)?;
             let (offset, base) = mem_at(ops, 1, line)?;
-            tr.emit(Instr::Load { rt, rs: base, offset });
+            tr.emit(Instr::Load {
+                rt,
+                rs: base,
+                offset,
+            });
         }
         "sw" | "sb" | "sh" => {
             let rt = reg_at(ops, 0, line)?;
             let (offset, base) = mem_at(ops, 1, line)?;
-            tr.emit(Instr::Store { rt, rs: base, offset });
+            tr.emit(Instr::Store {
+                rt,
+                rs: base,
+                offset,
+            });
         }
         "lui" => {
             let rd = reg_at(ops, 0, line)?;
@@ -566,7 +575,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(p.label_address("main"), Some(0));
-        assert!(matches!(p.fetch(0), Some(Instr::Bin { op: BinOp::Add, .. })));
+        assert!(matches!(
+            p.fetch(0),
+            Some(Instr::Bin { op: BinOp::Add, .. })
+        ));
         assert!(matches!(p.fetch(2), Some(Instr::Store { offset: 4, .. })));
         assert!(matches!(p.fetch(3), Some(Instr::Load { offset: 4, .. })));
         assert!(matches!(p.fetch(5), Some(Instr::Jr { .. })));
@@ -580,11 +592,19 @@ mod tests {
         .unwrap();
         assert!(matches!(
             p.fetch(0),
-            Some(Instr::Branch { cmp: Cmp::Eq, target: 0, .. })
+            Some(Instr::Branch {
+                cmp: Cmp::Eq,
+                target: 0,
+                ..
+            })
         ));
         assert!(matches!(
             p.fetch(2),
-            Some(Instr::Branch { cmp: Cmp::Le, src: Operand::Imm(0), .. })
+            Some(Instr::Branch {
+                cmp: Cmp::Le,
+                src: Operand::Imm(0),
+                ..
+            })
         ));
         assert!(matches!(
             p.fetch(3),
@@ -597,7 +617,10 @@ mod tests {
         let p = translate_mips("  li $t0, 6\n  li $t1, 7\n  mult $t0, $t1\n  mflo $t2\n  jr $ra\n")
             .unwrap();
         // mult expands to mul+store; mflo to load from the same cell.
-        assert!(matches!(p.fetch(2), Some(Instr::Bin { op: BinOp::Mul, .. })));
+        assert!(matches!(
+            p.fetch(2),
+            Some(Instr::Bin { op: BinOp::Mul, .. })
+        ));
         let (st_off, ld_off) = match (p.fetch(3), p.fetch(4)) {
             (Some(Instr::Store { offset: a, .. }), Some(Instr::Load { offset: b, .. })) => (*a, *b),
             other => panic!("unexpected expansion {other:?}"),
@@ -633,8 +656,8 @@ mod tests {
 
     #[test]
     fn directives_and_comments_ignored() {
-        let p = translate_mips(".text\n.globl main\nmain: # entry\n  nop # body\n  jr $ra\n")
-            .unwrap();
+        let p =
+            translate_mips(".text\n.globl main\nmain: # entry\n  nop # body\n  jr $ra\n").unwrap();
         assert_eq!(p.len(), 2);
     }
 
@@ -664,10 +687,16 @@ mod tests {
 
     #[test]
     fn pseudo_not_neg_move() {
-        let p = translate_mips("  not $t0, $t1\n  neg $t2, $t3\n  move $t4, $t5\n  jr $ra\n")
-            .unwrap();
-        assert!(matches!(p.fetch(0), Some(Instr::Bin { op: BinOp::Xor, .. })));
-        assert!(matches!(p.fetch(1), Some(Instr::Bin { op: BinOp::Sub, .. })));
+        let p =
+            translate_mips("  not $t0, $t1\n  neg $t2, $t3\n  move $t4, $t5\n  jr $ra\n").unwrap();
+        assert!(matches!(
+            p.fetch(0),
+            Some(Instr::Bin { op: BinOp::Xor, .. })
+        ));
+        assert!(matches!(
+            p.fetch(1),
+            Some(Instr::Bin { op: BinOp::Sub, .. })
+        ));
         assert!(matches!(p.fetch(2), Some(Instr::Mov { .. })));
     }
 }

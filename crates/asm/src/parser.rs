@@ -262,10 +262,7 @@ fn parse_instr(
         } else {
             Err(AsmError::Parse {
                 line,
-                message: format!(
-                    "`{mnemonic}` expects {n} operand(s), found {}",
-                    toks.len()
-                ),
+                message: format!("`{mnemonic}` expects {n} operand(s), found {}", toks.len()),
             })
         }
     };
@@ -406,7 +403,9 @@ fn parse_instr(
         }
         "jr" | "ret" => {
             if lower == "ret" && toks.is_empty() {
-                return Ok(Instr::Jr { rs: crate::LINK_REG });
+                return Ok(Instr::Jr {
+                    rs: crate::LINK_REG,
+                });
             }
             arity(1)?;
             Ok(Instr::Jr {
@@ -526,10 +525,7 @@ mod tests {
         assert_eq!(p.label_address("loop"), Some(4));
         assert_eq!(p.label_address("exit"), Some(9));
         assert!(matches!(p.fetch(4), Some(Instr::Set { cmp: Cmp::Gt, .. })));
-        assert!(matches!(
-            p.fetch(5),
-            Some(Instr::Branch { target: 9, .. })
-        ));
+        assert!(matches!(p.fetch(5), Some(Instr::Branch { target: 9, .. })));
         assert!(matches!(p.fetch(8), Some(Instr::Branch { target: 4, .. })));
     }
 
@@ -585,7 +581,12 @@ mod tests {
     #[test]
     fn ret_is_jr_link() {
         let p = parse_program("ret\nhalt").unwrap();
-        assert_eq!(p.fetch(0), Some(&Instr::Jr { rs: crate::LINK_REG }));
+        assert_eq!(
+            p.fetch(0),
+            Some(&Instr::Jr {
+                rs: crate::LINK_REG
+            })
+        );
     }
 
     #[test]
@@ -667,7 +668,10 @@ mod tests {
         let p = parse_program(src).unwrap();
         let listing = p.listing();
         for needle in ["mov", "add", "beq", "nop", "halt", "end:"] {
-            assert!(listing.contains(needle), "listing missing {needle}: {listing}");
+            assert!(
+                listing.contains(needle),
+                "listing missing {needle}: {listing}"
+            );
         }
     }
 }

@@ -1,6 +1,5 @@
 //! The immutable, label-resolved program representation.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -15,7 +14,7 @@ use crate::{AsmError, Cmp, Instr, Operand, Reg};
 /// thousands of states and worker threads. The code is deliberately kept
 /// *outside* the mutable machine state, exactly as the paper's Maude model
 /// keeps `C` outside the state soup "to enable faster rewriting" (§5.1).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Program {
     instrs: Arc<[Instr]>,
     labels: Arc<BTreeMap<String, usize>>,
@@ -31,10 +30,7 @@ impl Program {
     /// Returns [`AsmError::EmptyProgram`] for an empty instruction list and
     /// [`AsmError::TargetOutOfRange`] if any branch or jump targets an
     /// address outside the program.
-    pub fn new(
-        instrs: Vec<Instr>,
-        labels: BTreeMap<String, usize>,
-    ) -> Result<Self, AsmError> {
+    pub fn new(instrs: Vec<Instr>, labels: BTreeMap<String, usize>) -> Result<Self, AsmError> {
         if instrs.is_empty() {
             return Err(AsmError::EmptyProgram);
         }

@@ -1,6 +1,5 @@
 //! Register naming for the generic assembly language.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::AsmError;
@@ -31,7 +30,7 @@ pub const LINK_REG: Reg = Reg(31);
 /// assert!(Reg::new(32).is_err());
 /// # Ok::<(), sympl_asm::AsmError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Reg(u8);
 
 impl Reg {

@@ -44,7 +44,10 @@ pub fn insert_before(
                 len,
             });
         }
-        by_addr.entry(*addr).or_default().extend(instrs.iter().cloned());
+        by_addr
+            .entry(*addr)
+            .or_default()
+            .extend(instrs.iter().cloned());
     }
 
     // New address of each original instruction: original + instructions
@@ -163,7 +166,11 @@ mod tests {
         .unwrap();
         let p2 = insert_before(
             &p,
-            &[(2, vec![Instr::Nop]), (4, vec![Instr::Nop]), (5, vec![Instr::Nop])],
+            &[
+                (2, vec![Instr::Nop]),
+                (4, vec![Instr::Nop]),
+                (5, vec![Instr::Nop]),
+            ],
         )
         .unwrap();
         // Cheap structural checks (full behavioural equivalence is covered

@@ -43,8 +43,7 @@ fn bench_campaign(c: &mut Criterion) {
             &config,
             |b, config| {
                 b.iter(|| {
-                    let report =
-                        run_campaign(&w.program, &w.detectors, &w.input, config, &limits);
+                    let report = run_campaign(&w.program, &w.detectors, &w.input, config, &limits);
                     assert!(!report.saw_output(&[2]));
                     black_box(report.total_runs())
                 });

@@ -20,10 +20,7 @@ fn ncbc_return(program: &sympl_asm::Program) -> usize {
 
 fn bench_catastrophic(c: &mut Criterion) {
     let w = sympl_apps::tcas();
-    let point = InjectionPoint::new(
-        ncbc_return(&w.program),
-        InjectTarget::Register(Reg::r(31)),
-    );
+    let point = InjectionPoint::new(ncbc_return(&w.program), InjectTarget::Register(Reg::r(31)));
     c.bench_function("tcas_catastrophic_search", |b| {
         b.iter(|| {
             let out = run_point(

@@ -69,7 +69,11 @@ fn main() {
         render_table(
             &["Statistic", "This run", "Paper (§6.4)"],
             &[
-                vec!["search tasks".into(), report.tasks.len().to_string(), "312".into()],
+                vec![
+                    "search tasks".into(),
+                    report.tasks.len().to_string(),
+                    "312".into()
+                ],
                 vec![
                     "completed in budget".into(),
                     report.tasks_completed().to_string(),

@@ -25,7 +25,10 @@ fn main() {
         &CampaignConfig::default(),
         &limits,
     );
-    println!("{}", render_table2(&base, "Table 2, column 1 (base campaign)"));
+    println!(
+        "{}",
+        render_table2(&base, "Table 2, column 1 (base campaign)")
+    );
     println!();
 
     // Extended campaign: scale the random values per point to approach the
@@ -50,6 +53,10 @@ fn main() {
     let saw_two = base.saw_output(&[2]) || extended.saw_output(&[2]);
     println!(
         "\nCatastrophic outcome '2' observed by concrete injection: {}",
-        if saw_two { "YES (!)" } else { "no — as in the paper" }
+        if saw_two {
+            "YES (!)"
+        } else {
+            "no — as in the paper"
+        }
     );
 }

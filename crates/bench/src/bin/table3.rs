@@ -8,9 +8,15 @@ fn main() {
     let p = &w.program;
 
     let functions: &[(&str, &str)] = &[
-        ("makepat", "Constructs pattern to be matched from input reg exp"),
+        (
+            "makepat",
+            "Constructs pattern to be matched from input reg exp",
+        ),
         ("getccl", "Called by makepat when scanning a '[' character"),
-        ("dodash", "Called by getccl for any character ranges in pattern"),
+        (
+            "dodash",
+            "Called by getccl for any character ranges in pattern",
+        ),
         ("amatch", "Returns the position where pattern matched"),
         (
             "locate",
@@ -27,7 +33,9 @@ fn main() {
     starts.sort_unstable();
 
     let size_of = |name: &str| -> usize {
-        let Some(start) = p.label_address(name) else { return 0 };
+        let Some(start) = p.label_address(name) else {
+            return 0;
+        };
         let end = starts
             .iter()
             .map(|&(a, _)| a)
@@ -42,8 +50,7 @@ fn main() {
         .map(|(name, role)| {
             vec![
                 (*name).to_string(),
-                p.label_address(name)
-                    .map_or("?".into(), |a| a.to_string()),
+                p.label_address(name).map_or("?".into(), |a| a.to_string()),
                 size_of(name).to_string(),
                 (*role).to_string(),
             ]

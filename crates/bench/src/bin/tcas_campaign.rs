@@ -95,11 +95,9 @@ fn main() {
         )
     );
 
-    if let Some(f) = report
-        .findings
-        .iter()
-        .find(|f| f.solution.state.output_ints() == vec![2] && !f.solution.state.output_contains_err())
-    {
+    if let Some(f) = report.findings.iter().find(|f| {
+        f.solution.state.output_ints() == vec![2] && !f.solution.state.output_contains_err()
+    }) {
         let (label, off) = w
             .program
             .enclosing_label(f.point.breakpoint)

@@ -1,0 +1,310 @@
+//! The reusable exploration engine behind every campaign.
+//!
+//! [`Explorer`] packages the pieces a search task needs — program, detector
+//! set, budgets, and a frontier discipline — so that `sympl-inject`'s
+//! per-point searches, `sympl-cluster`'s worker loop, `sympl-ssim`'s
+//! symbolic cross-validation, and `symplfied::Framework` all drive the same
+//! engine instead of each re-implementing the loop around `search()`.
+//!
+//! Engine properties:
+//!
+//! * **Fingerprint deduplication.** The visited set stores 128-bit
+//!   [`Fingerprint`]s (16 bytes per state) rather than whole
+//!   [`MachineState`] values; combined with the copy-on-write state
+//!   representation this is what lets one task sweep millions of states.
+//! * **Single insertion point.** A state's fingerprint enters the visited
+//!   set exactly once, when the state is enqueued (the old `search()`
+//!   redundantly re-inserted on dequeue as well).
+//! * **Pluggable frontier.** [`Frontier::Bfs`] reproduces Maude's
+//!   breadth-first `search =>!` (shortest witnesses first, the default);
+//!   [`Frontier::Dfs`] dives to terminals quickly, which suits
+//!   memory-constrained sweeps that only need *a* witness.
+//! * **Budget accounting.** State, solution, and wall-clock budgets are
+//!   tracked per [`SearchLimits`] and reported in the [`SearchReport`],
+//!   along with a `states_per_second` throughput figure for campaign
+//!   summaries and benchmark tables.
+
+use std::collections::{HashSet, VecDeque};
+use std::time::Instant;
+
+use sympl_asm::Program;
+use sympl_detect::DetectorSet;
+use sympl_machine::{ExecLimits, Fingerprint, MachineState};
+
+use crate::{OutcomeCounts, Predicate, SearchLimits, SearchReport, Solution};
+
+/// The frontier discipline: which state the engine expands next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Frontier {
+    /// Breadth-first (the paper's exhaustive `search =>!`): shortest
+    /// witness traces are found first.
+    #[default]
+    Bfs,
+    /// Depth-first: reaches terminals with a much smaller live frontier;
+    /// witness traces are not length-minimal.
+    Dfs,
+}
+
+/// A reusable, configured exploration engine over one program + detector
+/// set. Construction is cheap; campaigns build one per task (or per point
+/// when budgets shrink as the task progresses).
+#[derive(Debug, Clone)]
+pub struct Explorer<'a> {
+    program: &'a Program,
+    detectors: &'a DetectorSet,
+    limits: SearchLimits,
+    frontier: Frontier,
+}
+
+impl<'a> Explorer<'a> {
+    /// An engine with default budgets and a BFS frontier.
+    #[must_use]
+    pub fn new(program: &'a Program, detectors: &'a DetectorSet) -> Self {
+        Explorer {
+            program,
+            detectors,
+            limits: SearchLimits::default(),
+            frontier: Frontier::default(),
+        }
+    }
+
+    /// Replaces the search budgets.
+    #[must_use]
+    pub fn with_limits(mut self, limits: SearchLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Replaces the frontier discipline.
+    #[must_use]
+    pub fn with_frontier(mut self, frontier: Frontier) -> Self {
+        self.frontier = frontier;
+        self
+    }
+
+    /// The program under exploration.
+    #[must_use]
+    pub fn program(&self) -> &'a Program {
+        self.program
+    }
+
+    /// The detector set the program's `check` instructions reference.
+    #[must_use]
+    pub fn detectors(&self) -> &'a DetectorSet {
+        self.detectors
+    }
+
+    /// The configured search budgets.
+    #[must_use]
+    pub fn limits(&self) -> &SearchLimits {
+        &self.limits
+    }
+
+    /// The per-path execution bounds (watchdog + fork caps).
+    #[must_use]
+    pub fn exec_limits(&self) -> &ExecLimits {
+        &self.limits.exec
+    }
+
+    /// Exhaustively explores the state space from `seeds`, collecting
+    /// terminal states that satisfy `predicate`.
+    ///
+    /// Every distinct machine state is expanded once (deduplicated by
+    /// fingerprint); the exploration stops early when a state, solution,
+    /// or time budget is exhausted, and the report records which.
+    #[must_use]
+    pub fn explore(&self, seeds: Vec<MachineState>, predicate: &Predicate) -> SearchReport {
+        let start = Instant::now();
+        let mut report = SearchReport::default();
+        let mut terminals = OutcomeCounts::default();
+
+        // Parent arena for witness traces: (parent index or usize::MAX, pc).
+        let mut arena: Vec<(usize, usize)> = Vec::new();
+        // Fingerprints only: 16 bytes per visited state.
+        let mut visited: HashSet<Fingerprint> = HashSet::new();
+        let mut frontier: VecDeque<(MachineState, usize)> = VecDeque::new();
+
+        for s in seeds {
+            let pc = s.pc();
+            // The single insertion point: enqueue time.
+            if visited.insert(s.fingerprint()) {
+                arena.push((usize::MAX, pc));
+                frontier.push_back((s, arena.len() - 1));
+            }
+        }
+
+        // Check the time budget only every few expansions; Instant::now()
+        // is cheap but not free, and tasks expand millions of states.
+        const TIME_CHECK_MASK: usize = 0x3F;
+
+        while let Some((state, idx)) = self.pop(&mut frontier) {
+            if report.states_explored >= self.limits.max_states {
+                report.hit_state_cap = true;
+                break;
+            }
+            if let Some(budget) = self.limits.max_time {
+                if report.states_explored & TIME_CHECK_MASK == 0 && start.elapsed() >= budget {
+                    report.hit_time_cap = true;
+                    break;
+                }
+            }
+            report.states_explored += 1;
+
+            if state.status().is_terminal() {
+                terminals.record(&state);
+                if predicate.matches(&state) {
+                    report.solutions.push(Solution {
+                        trace: reconstruct_trace(&arena, idx),
+                        state,
+                    });
+                    if report.solutions.len() >= self.limits.max_solutions {
+                        report.hit_solution_cap = true;
+                        break;
+                    }
+                }
+                continue;
+            }
+
+            for succ in state.step(self.program, self.detectors, &self.limits.exec) {
+                if visited.insert(succ.fingerprint()) {
+                    arena.push((idx, succ.pc()));
+                    frontier.push_back((succ, arena.len() - 1));
+                } else {
+                    report.duplicate_hits += 1;
+                }
+            }
+        }
+
+        report.exhausted = frontier.is_empty()
+            && !report.hit_state_cap
+            && !report.hit_solution_cap
+            && !report.hit_time_cap;
+        report.terminals = terminals;
+        report.elapsed = start.elapsed();
+        report.states_per_second = SearchReport::throughput(report.states_explored, report.elapsed);
+        report
+    }
+
+    fn pop(&self, frontier: &mut VecDeque<(MachineState, usize)>) -> Option<(MachineState, usize)> {
+        match self.frontier {
+            Frontier::Bfs => frontier.pop_front(),
+            Frontier::Dfs => frontier.pop_back(),
+        }
+    }
+}
+
+fn reconstruct_trace(arena: &[(usize, usize)], mut idx: usize) -> Vec<usize> {
+    let mut trace = Vec::new();
+    loop {
+        let (parent, pc) = arena[idx];
+        trace.push(pc);
+        if parent == usize::MAX {
+            break;
+        }
+        idx = parent;
+    }
+    trace.reverse();
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympl_asm::{parse_program, Reg};
+    use sympl_symbolic::Value;
+
+    fn dets() -> DetectorSet {
+        DetectorSet::new()
+    }
+
+    #[test]
+    fn bfs_and_dfs_find_the_same_terminals() {
+        let p = parse_program(
+            "beq $1, 0, long\nprint $1\nhalt\nlong: nop\nnop\nmov $1, 1\nprint $1\nhalt",
+        )
+        .unwrap();
+        let mut s = MachineState::new();
+        s.set_reg(Reg::r(1), Value::Err);
+        let explore = |frontier| {
+            Explorer::new(&p, &dets())
+                .with_frontier(frontier)
+                .explore(vec![s.clone()], &Predicate::Any)
+        };
+        let bfs = explore(Frontier::Bfs);
+        let dfs = explore(Frontier::Dfs);
+        assert!(bfs.exhausted && dfs.exhausted);
+        assert_eq!(bfs.terminals, dfs.terminals);
+        assert_eq!(bfs.states_explored, dfs.states_explored);
+        assert_eq!(bfs.solutions.len(), dfs.solutions.len());
+        // BFS returns the shortest witness first; DFS dives deep first.
+        assert!(bfs.solutions[0].trace.len() <= dfs.solutions[0].trace.len());
+    }
+
+    #[test]
+    fn converging_paths_deduplicate_by_fingerprint() {
+        // A diamond whose sides are the same length (3 steps each) and
+        // converge completely after `join` clears the forked register and
+        // its constraints: the second arrival's successor is a duplicate,
+        // so the tail (print/halt) is explored exactly once.
+        let p = parse_program(
+            "beq $1, 0, t\nmov $2, 1\njmp join\nt: mov $2, 1\nnop\n\
+             join: mov $1, 0\nprint $2\nhalt",
+        )
+        .unwrap();
+        let mut s = MachineState::new();
+        s.set_reg(Reg::r(1), Value::Err);
+        let report = Explorer::new(&p, &dets()).explore(vec![s], &Predicate::Any);
+        assert!(report.exhausted);
+        assert_eq!(
+            report.duplicate_hits, 1,
+            "the post-join state must be recognised as already visited: {report}"
+        );
+        assert_eq!(
+            report.terminals.halted, 1,
+            "only one path survives past the join: {report}"
+        );
+        // seed + both fork successors + one more state per side + the
+        // merged join/print/halt tail expanded once = 10 expansions.
+        assert_eq!(report.states_explored, 10, "{report}");
+    }
+
+    #[test]
+    fn seeds_are_deduplicated_by_fingerprint() {
+        let p = parse_program("print $1\nhalt").unwrap();
+        let s = MachineState::new();
+        let report =
+            Explorer::new(&p, &dets()).explore(vec![s.clone(), s.clone(), s], &Predicate::Any);
+        assert_eq!(report.solutions.len(), 1, "duplicate seeds collapse");
+        assert!(report.exhausted);
+    }
+
+    #[test]
+    fn throughput_is_reported() {
+        let p = parse_program("loop: addi $2, $2, 1\nbeq $0, 0, loop").unwrap();
+        let limits = SearchLimits {
+            max_states: 500,
+            exec: ExecLimits::with_max_steps(1_000_000),
+            ..SearchLimits::default()
+        };
+        let report = Explorer::new(&p, &dets())
+            .with_limits(limits)
+            .explore(vec![MachineState::new()], &Predicate::Any);
+        assert!(report.hit_state_cap);
+        assert!(
+            report.states_per_second > 0.0,
+            "throughput must be populated: {report}"
+        );
+    }
+
+    #[test]
+    fn accessors_expose_configuration() {
+        let p = parse_program("halt").unwrap();
+        let d = dets();
+        let limits = SearchLimits::with_max_steps(42);
+        let e = Explorer::new(&p, &d).with_limits(limits);
+        assert_eq!(e.limits().exec.max_steps, 42);
+        assert_eq!(e.exec_limits().max_steps, 42);
+        assert_eq!(e.program().len(), 1);
+        assert_eq!(e.detectors().len(), 0);
+    }
+}

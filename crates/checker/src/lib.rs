@@ -44,10 +44,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod explorer;
 mod predicate;
 mod report;
 mod search;
 
+pub use explorer::{Explorer, Frontier};
 pub use predicate::Predicate;
 pub use report::{OutcomeCounts, SearchReport, Solution};
 pub use search::{search, search_many, SearchLimits};

@@ -113,7 +113,10 @@ mod tests {
     fn wrong_output_requires_normal_halt() {
         let p = Predicate::WrongOutput { expected: vec![1] };
         assert!(p.matches(&halted_with(&[Value::Int(2)])));
-        assert!(p.matches(&halted_with(&[Value::Err])), "err output is wrong");
+        assert!(
+            p.matches(&halted_with(&[Value::Err])),
+            "err output is wrong"
+        );
         assert!(!p.matches(&halted_with(&[Value::Int(1)])));
         let mut crashed = halted_with(&[Value::Int(2)]);
         crashed.set_status(Status::Exception(Exception::DivByZero));

@@ -29,7 +29,11 @@ impl Solution {
             let tail = max_shown - head - 1;
             let mut v: Vec<String> = self.trace[..head].iter().map(ToString::to_string).collect();
             v.push(format!("…({} more)…", self.trace.len() - head - tail));
-            v.extend(self.trace[self.trace.len() - tail..].iter().map(ToString::to_string));
+            v.extend(
+                self.trace[self.trace.len() - tail..]
+                    .iter()
+                    .map(ToString::to_string),
+            );
             v
         };
         pcs.join(" -> ")
@@ -102,6 +106,12 @@ pub struct SearchReport {
     pub hit_time_cap: bool,
     /// Wall-clock duration of the search.
     pub elapsed: Duration,
+    /// Engine throughput: states expanded per wall-clock second. Populated
+    /// by the Explorer at the end of a search (and recomputed by
+    /// [`SearchReport::merge`]); campaign summaries and the benchmark
+    /// table binaries surface it so BENCH_*.json entries can track engine
+    /// speed across revisions.
+    pub states_per_second: f64,
 }
 
 impl SearchReport {
@@ -132,6 +142,19 @@ impl SearchReport {
         self.hit_solution_cap |= other.hit_solution_cap;
         self.hit_time_cap |= other.hit_time_cap;
         self.elapsed += other.elapsed;
+        self.states_per_second = Self::throughput(self.states_explored, self.elapsed);
+    }
+
+    /// States-per-second over a measured interval (0 when no time has
+    /// been observed, so idle reports do not divide by zero).
+    #[must_use]
+    pub fn throughput(states: usize, elapsed: Duration) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs > 0.0 {
+            states as f64 / secs
+        } else {
+            0.0
+        }
     }
 }
 
@@ -139,9 +162,10 @@ impl fmt::Display for SearchReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "search: {} solution(s), {} states explored, {} duplicates, terminals: {}",
+            "search: {} solution(s), {} states explored ({:.0} states/s), {} duplicates, terminals: {}",
             self.solutions.len(),
             self.states_explored,
+            self.states_per_second,
             self.duplicate_hits,
             self.terminals
         )?;

@@ -1,13 +1,12 @@
 //! The breadth-first exhaustive search (Maude's `search =>!`).
 
-use std::collections::{HashSet, VecDeque};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use sympl_asm::Program;
 use sympl_detect::DetectorSet;
 use sympl_machine::{ExecLimits, MachineState};
 
-use crate::{OutcomeCounts, Predicate, SearchReport, Solution};
+use crate::{Explorer, Predicate, SearchReport};
 
 /// Budgets for one search task.
 ///
@@ -52,10 +51,10 @@ impl Default for SearchLimits {
 /// Exhaustively explores the symbolic state space from `initial`,
 /// collecting terminal states that satisfy `predicate`.
 ///
-/// The search is breadth-first from the initial state, visiting each
-/// distinct machine state once (deduplicated by value), exactly like the
-/// paper's §5.4 search command; it stops early when a state, solution, or
-/// time budget is exceeded, and reports which.
+/// Thin wrapper over [`Explorer`]: breadth-first from the initial state,
+/// each distinct machine state visited once (deduplicated by fingerprint),
+/// exactly like the paper's §5.4 search command; it stops early when a
+/// state, solution, or time budget is exceeded, and reports which.
 #[must_use]
 pub fn search(
     program: &Program,
@@ -77,85 +76,9 @@ pub fn search_many(
     predicate: &Predicate,
     limits: &SearchLimits,
 ) -> SearchReport {
-    let start = Instant::now();
-    let mut report = SearchReport::default();
-    let mut terminals = OutcomeCounts::default();
-
-    // Parent arena for witness traces: (parent index or usize::MAX, pc).
-    let mut arena: Vec<(usize, usize)> = Vec::new();
-    let mut visited: HashSet<MachineState> = HashSet::new();
-    let mut frontier: VecDeque<(MachineState, usize)> = VecDeque::new();
-
-    for s in initials {
-        let pc = s.pc();
-        if visited.insert(s.clone()) {
-            arena.push((usize::MAX, pc));
-            frontier.push_back((s, arena.len() - 1));
-        }
-    }
-
-    // Check the time budget only every few expansions; Instant::now() is
-    // cheap but not free, and tasks expand millions of states.
-    const TIME_CHECK_MASK: usize = 0x3F;
-
-    while let Some((state, idx)) = frontier.pop_front() {
-        if report.states_explored >= limits.max_states {
-            report.hit_state_cap = true;
-            break;
-        }
-        if let Some(budget) = limits.max_time {
-            if report.states_explored & TIME_CHECK_MASK == 0 && start.elapsed() >= budget {
-                report.hit_time_cap = true;
-                break;
-            }
-        }
-        report.states_explored += 1;
-
-        if state.status().is_terminal() {
-            terminals.record(&state);
-            if predicate.matches(&state) {
-                report.solutions.push(Solution {
-                    trace: reconstruct_trace(&arena, idx),
-                    state,
-                });
-                if report.solutions.len() >= limits.max_solutions {
-                    report.hit_solution_cap = true;
-                    break;
-                }
-            }
-            continue;
-        }
-
-        for succ in state.step(program, detectors, &limits.exec) {
-            if visited.contains(&succ) {
-                report.duplicate_hits += 1;
-                continue;
-            }
-            visited.insert(succ.clone());
-            arena.push((idx, succ.pc()));
-            frontier.push_back((succ, arena.len() - 1));
-        }
-    }
-
-    report.exhausted =
-        frontier.is_empty() && !report.hit_state_cap && !report.hit_solution_cap && !report.hit_time_cap;
-    report.terminals = terminals;
-    report.elapsed = start.elapsed();
-    report
-}
-
-fn reconstruct_trace(arena: &[(usize, usize)], mut idx: usize) -> Vec<usize> {
-    let mut trace = Vec::new();
-    loop {
-        let (parent, pc) = arena[idx];
-        trace.push(pc);
-        if parent == usize::MAX {
-            break;
-        }
-        idx = parent;
-    }
-    trace.reverse();
-    trace
+    Explorer::new(program, detectors)
+        .with_limits(limits.clone())
+        .explore(initials, predicate)
 }
 
 #[cfg(test)]
@@ -209,10 +132,9 @@ mod tests {
     fn solution_cap_respected() {
         // Loop that forks every iteration and prints err before halting on
         // one side: produces many solutions; cap at 3.
-        let p = parse_program(
-            "loop: beq $1, 0, out\nprint $1\nbeq $0, 0, loop\nout: print $1\nhalt",
-        )
-        .unwrap();
+        let p =
+            parse_program("loop: beq $1, 0, out\nprint $1\nbeq $0, 0, loop\nout: print $1\nhalt")
+                .unwrap();
         let mut s = MachineState::new();
         s.set_reg(Reg::r(1), Value::Err);
         let limits = SearchLimits {
@@ -233,13 +155,7 @@ mod tests {
             exec: ExecLimits::with_max_steps(1_000_000),
             ..SearchLimits::default()
         };
-        let report = search(
-            &p,
-            &dets(),
-            MachineState::new(),
-            &Predicate::Any,
-            &limits,
-        );
+        let report = search(&p, &dets(), MachineState::new(), &Predicate::Any, &limits);
         assert!(report.hit_state_cap);
         assert!(!report.exhausted);
     }
@@ -252,13 +168,7 @@ mod tests {
             exec: ExecLimits::with_max_steps(u64::MAX),
             ..SearchLimits::default()
         };
-        let report = search(
-            &p,
-            &dets(),
-            MachineState::new(),
-            &Predicate::Any,
-            &limits,
-        );
+        let report = search(&p, &dets(), MachineState::new(), &Predicate::Any, &limits);
         assert!(report.hit_time_cap);
     }
 
@@ -282,7 +192,10 @@ mod tests {
         // space stays linear in the watchdog bound.
         assert_eq!(report.solutions.len(), 2, "{report}");
         assert!(report.terminals.hung >= 2, "{report}");
-        assert!(report.states_explored < 200, "solver must prune re-forks: {report}");
+        assert!(
+            report.states_explored < 200,
+            "solver must prune re-forks: {report}"
+        );
     }
 
     #[test]

@@ -42,9 +42,9 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use sympl_asm::Program;
-use sympl_check::{Predicate, SearchLimits, Solution};
+use sympl_check::{Explorer, Predicate, SearchLimits, Solution};
 use sympl_detect::DetectorSet;
-use sympl_inject::{run_point, Campaign, InjectionPoint};
+use sympl_inject::{run_point_with, Campaign, InjectionPoint};
 
 /// One shard of a campaign: a set of injection points examined by a single
 /// worker under one time/finding budget.
@@ -163,12 +163,27 @@ impl CampaignReport {
         total / u32::try_from(completed.len()).unwrap_or(1)
     }
 
+    /// Total states the campaign's searches expanded, across all tasks.
+    #[must_use]
+    pub fn states_explored(&self) -> usize {
+        self.tasks.iter().map(|t| t.states_explored).sum()
+    }
+
+    /// Aggregate engine throughput: states expanded per wall-clock second
+    /// of the campaign (CPU-parallel tasks all count toward the same
+    /// wall-clock denominator).
+    #[must_use]
+    pub fn states_per_second(&self) -> f64 {
+        sympl_check::SearchReport::throughput(self.states_explored(), self.elapsed)
+    }
+
     /// A paper-style textual summary (the §6.2 "Running Time" paragraph).
     #[must_use]
     pub fn summary(&self) -> String {
         format!(
             "{} tasks: {} completed ({} found errors, {} found none), {} incomplete; \
-             {} findings total; avg completed-task time {:?}; campaign wall time {:?}",
+             {} findings total; avg completed-task time {:?}; campaign wall time {:?}; \
+             engine: {} states at {:.0} states/s",
             self.tasks.len(),
             self.tasks_completed(),
             self.tasks_with_findings(),
@@ -177,6 +192,8 @@ impl CampaignReport {
             self.findings.len(),
             self.avg_completed_task_time(),
             self.elapsed,
+            self.states_explored(),
+            self.states_per_second(),
         )
     }
 }
@@ -207,9 +224,9 @@ pub fn run_cluster(
     let results: Mutex<Vec<(TaskResult, Vec<Finding>)>> = Mutex::new(Vec::new());
 
     let workers = config.workers.max(1);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(spec) = specs.get(i) else { break };
                 let outcome = run_task(program, detectors, input, spec, predicate, config);
@@ -219,8 +236,7 @@ pub fn run_cluster(
                     .push(outcome);
             });
         }
-    })
-    .expect("cluster worker panicked");
+    });
 
     let mut pooled = results
         .into_inner()
@@ -283,7 +299,13 @@ fn run_task(
             .max_solutions
             .min(config.max_findings_per_task - result.findings);
 
-        let outcome = run_point(program, detectors, input, point, predicate, &limits);
+        // A fresh Explorer per point: the remaining task budget shrinks
+        // as points complete, and budgets are fixed at construction.
+        // Construction is cheap (two references + the limits); the value
+        // of the shared API here is that workers run the same engine
+        // code path as inject/ssim/Framework, not object reuse.
+        let explorer = Explorer::new(program, detectors).with_limits(limits);
+        let outcome = run_point_with(&explorer, input, point, predicate);
         result.points_examined += 1;
         if outcome.activated {
             result.activated += 1;

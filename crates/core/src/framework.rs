@@ -2,10 +2,10 @@
 //! class in; proof of resilience or enumeration of escaping errors out.
 
 use sympl_asm::Program;
-use sympl_check::{Predicate, SearchLimits};
+use sympl_check::{Explorer, Predicate, SearchLimits};
 use sympl_cluster::Finding;
 use sympl_detect::DetectorSet;
-use sympl_inject::{enumerate_points, golden_run, run_point, ErrorClass};
+use sympl_inject::{enumerate_points, golden_run, run_point_with, ErrorClass};
 
 /// The SymPLFIED framework: holds the program under analysis, its
 /// detectors, the reference input, and the search budgets.
@@ -65,7 +65,13 @@ impl Framework {
     /// The golden (error-free) output for the configured input.
     #[must_use]
     pub fn golden_output(&self) -> Vec<i64> {
-        golden_run(&self.program, &self.detectors, &self.input, &self.limits.exec).output_ints()
+        golden_run(
+            &self.program,
+            &self.detectors,
+            &self.input,
+            &self.limits.exec,
+        )
+        .output_ints()
     }
 
     /// Enumerates every error of `class` that evades the detectors and
@@ -83,19 +89,16 @@ impl Framework {
     #[must_use]
     pub fn enumerate_matching(&self, class: ErrorClass, predicate: &Predicate) -> Verdict {
         let points = enumerate_points(&self.program, &class);
+        // One shared engine for the whole enumeration: every point's
+        // search runs on the same Explorer configuration.
+        let explorer =
+            Explorer::new(&self.program, &self.detectors).with_limits(self.limits.clone());
         let mut findings = Vec::new();
         let mut complete = true;
         let mut states_explored = 0usize;
         let mut points_activated = 0usize;
         for point in &points {
-            let outcome = run_point(
-                &self.program,
-                &self.detectors,
-                &self.input,
-                point,
-                predicate,
-                &self.limits,
-            );
+            let outcome = run_point_with(&explorer, &self.input, point, predicate);
             if outcome.activated {
                 points_activated += 1;
             }
@@ -164,7 +167,11 @@ impl Verdict {
                 self.points_examined,
                 self.points_activated,
                 self.states_explored,
-                if self.complete { "" } else { "; search truncated" }
+                if self.complete {
+                    ""
+                } else {
+                    "; search truncated"
+                }
             )
         }
     }
@@ -210,8 +217,7 @@ mod tests {
     fn program_without_register_dependent_output_is_resilient() {
         // The stored value is checked and never printed: register errors
         // cannot corrupt the output, and the framework proves it.
-        let p =
-            parse_program("mov $1, 7\ncheck 1\nst $1, 100($0)\nprints \"ok\"\nhalt").unwrap();
+        let p = parse_program("mov $1, 7\ncheck 1\nst $1, 100($0)\nprints \"ok\"\nhalt").unwrap();
         let mut detectors = DetectorSet::new();
         detectors.insert(Detector::parse("det(1, $(1), ==, (7))").unwrap());
         let fw = Framework::new(p).with_detectors(detectors);
@@ -231,7 +237,10 @@ mod tests {
             });
         let verdict =
             fw.enumerate_matching(ErrorClass::RegisterFile, &Predicate::OutputContainsErr);
-        assert_eq!(verdict.points_examined, 1, "only `print $1` reads a register");
+        assert_eq!(
+            verdict.points_examined, 1,
+            "only `print $1` reads a register"
+        );
         assert_eq!(verdict.findings.len(), 1);
     }
 }

@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use sympl_apps as apps;
 pub use sympl_asm as asm;
 pub use sympl_check as check;
 pub use sympl_cluster as cluster;
@@ -57,7 +58,6 @@ pub use sympl_inject as inject;
 pub use sympl_machine as machine;
 pub use sympl_ssim as ssim;
 pub use sympl_symbolic as symbolic;
-pub use sympl_apps as apps;
 
 mod framework;
 
@@ -74,9 +74,7 @@ pub mod prelude {
         enumerate_points, run_point, Campaign, ComputationError, ErrorClass, InjectTarget,
         InjectionPoint,
     };
-    pub use sympl_machine::{
-        run_concrete, ExecLimits, Exception, MachineState, OutItem, Status,
-    };
+    pub use sympl_machine::{run_concrete, Exception, ExecLimits, MachineState, OutItem, Status};
     pub use sympl_ssim::{run_campaign as run_ssim_campaign, CampaignConfig, ConcreteOutcome};
     pub use sympl_symbolic::{Constraint, ConstraintMap, ConstraintSet, Location, Value};
 }

@@ -1,11 +1,10 @@
 //! The detector expression grammar (paper §5.3).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use sympl_asm::Reg;
 
 /// Arithmetic operators allowed in detector expressions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExprOp {
     /// Addition.
     Add,
@@ -34,7 +33,7 @@ impl fmt::Display for ExprOp {
 /// Expr ::= Expr + Expr | Expr - Expr | Expr * Expr | Expr / Expr
 ///        | (c) | (RegName) | *(memory address)
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Expr {
     /// An integer constant `(c)`.
     Const(i64),
@@ -174,7 +173,13 @@ mod tests {
         let e = Expr::reg(3).add(Expr::mem(1000)).mul(Expr::constant(2));
         assert_eq!(e.registers(), vec![Reg::r(3)]);
         assert_eq!(e.memory_addresses(), vec![1000]);
-        assert!(matches!(e, Expr::Bin { op: ExprOp::Mul, .. }));
+        assert!(matches!(
+            e,
+            Expr::Bin {
+                op: ExprOp::Mul,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -51,13 +51,12 @@ pub use eval::{eval_expr, ErrOrigin, EvalOutcome, StateView};
 pub use expr::{Expr, ExprOp};
 pub use set::DetectorSet;
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use sympl_asm::Cmp;
 use sympl_symbolic::Location;
 
 /// One error detector: `det(id, location, cmp, expr)`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Detector {
     id: u32,
     target: Location,
@@ -136,12 +135,7 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let d = Detector::new(
-            7,
-            Location::reg(2),
-            Cmp::Ge,
-            Expr::reg(6).mul(Expr::reg(1)),
-        );
+        let d = Detector::new(7, Location::reg(2), Cmp::Ge, Expr::reg(6).mul(Expr::reg(1)));
         assert_eq!(d.id(), 7);
         assert_eq!(d.target(), Location::reg(2));
         assert_eq!(d.cmp(), Cmp::Ge);

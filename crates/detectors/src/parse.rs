@@ -287,8 +287,18 @@ mod tests {
         let d = parse_detector("det(1, $(2), >=, ($6) * ($1) + (3))").unwrap();
         // (6*1) + 3
         match d.expr() {
-            Expr::Bin { op: ExprOp::Add, lhs, .. } => {
-                assert!(matches!(**lhs, Expr::Bin { op: ExprOp::Mul, .. }));
+            Expr::Bin {
+                op: ExprOp::Add,
+                lhs,
+                ..
+            } => {
+                assert!(matches!(
+                    **lhs,
+                    Expr::Bin {
+                        op: ExprOp::Mul,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected parse {other:?}"),
         }
@@ -298,8 +308,18 @@ mod tests {
     fn parenthesized_grouping() {
         let d = parse_detector("det(1, $(2), ==, ($6) * (($1) + (3)))").unwrap();
         match d.expr() {
-            Expr::Bin { op: ExprOp::Mul, rhs, .. } => {
-                assert!(matches!(**rhs, Expr::Bin { op: ExprOp::Add, .. }));
+            Expr::Bin {
+                op: ExprOp::Mul,
+                rhs,
+                ..
+            } => {
+                assert!(matches!(
+                    **rhs,
+                    Expr::Bin {
+                        op: ExprOp::Add,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected parse {other:?}"),
         }
@@ -315,7 +335,13 @@ mod tests {
     #[test]
     fn division_in_expression() {
         let d = parse_detector("det(3, $(1), ==, ($2) / (2))").unwrap();
-        assert!(matches!(d.expr(), Expr::Bin { op: ExprOp::Div, .. }));
+        assert!(matches!(
+            d.expr(),
+            Expr::Bin {
+                op: ExprOp::Div,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! A collection of detectors indexed by identifier.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -20,7 +19,7 @@ use crate::{DetectError, Detector};
 /// assert_eq!(set.len(), 2);
 /// # Ok::<(), sympl_detect::DetectError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DetectorSet {
     detectors: BTreeMap<u32, Detector>,
 }

@@ -1,11 +1,10 @@
 //! Error classes (paper §3.3 and Table 1).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Computation-error categories from Table 1, classified by where the fault
 /// originates in the pipeline and how it manifests architecturally.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ComputationError {
     /// Instruction decoder: an instruction writing to a destination has its
     /// output target changed — `err` appears in *both* the original and the
@@ -93,7 +92,7 @@ impl fmt::Display for ComputationError {
 
 /// An error class selects which transient errors a campaign enumerates
 /// (the framework input "a class of hardware errors to be considered").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ErrorClass {
     /// Transient errors in the register file: `err` replaces the contents
     /// of a register used by the program (single- and multi-bit errors are

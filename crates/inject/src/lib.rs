@@ -50,8 +50,10 @@ mod prepare;
 mod query;
 
 pub use campaign::{enumerate_points, Campaign};
-pub use derive::{derive_range_detectors, observe_range, DerivedDetectors, ObservedRange};
 pub use class::{ComputationError, ErrorClass};
+pub use derive::{derive_range_detectors, observe_range, DerivedDetectors, ObservedRange};
 pub use point::{InjectTarget, InjectionPoint};
-pub use prepare::{golden_run, prepare, run_point, PointOutcome, PreparedInjection};
+pub use prepare::{
+    golden_run, prepare, run_point, run_point_with, PointOutcome, PreparedInjection,
+};
 pub use query::{Query, QueryKind};

@@ -1,11 +1,10 @@
 //! Injection points: where and what to corrupt.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use sympl_asm::Reg;
 
 /// What an injection corrupts once the breakpoint is reached.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InjectTarget {
     /// Replace a register's contents with `err` just *before* the
     /// breakpoint instruction executes (activation guaranteed when the
@@ -61,7 +60,7 @@ impl fmt::Display for InjectTarget {
 /// The breakpoint is a *static* instruction address and a 1-based dynamic
 /// occurrence count — "the error is injected just before the instruction
 /// that uses the register, to ensure fault activation" (§6.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct InjectionPoint {
     /// Static instruction address of the breakpoint.
     pub breakpoint: usize,

@@ -1,7 +1,7 @@
 //! Preparing an injection: concrete prefix, plant the `err`, search.
 
 use sympl_asm::{Instr, Program};
-use sympl_check::{search_many, Predicate, SearchLimits, SearchReport};
+use sympl_check::{Explorer, Predicate, SearchLimits, SearchReport};
 use sympl_detect::DetectorSet;
 use sympl_machine::{
     run_concrete, run_concrete_to_breakpoint, step_concrete, ExecLimits, MachineState,
@@ -217,8 +217,41 @@ impl PointOutcome {
     }
 }
 
-/// Prepares an injection point and model-checks its seed states: the unit
-/// of campaign work (one cluster task runs many of these).
+/// Prepares an injection point and model-checks its seed states on a
+/// caller-supplied [`Explorer`]: the unit of campaign work (one cluster
+/// task runs many of these against one engine configuration).
+#[must_use]
+pub fn run_point_with(
+    explorer: &Explorer<'_>,
+    input: &[i64],
+    point: &InjectionPoint,
+    predicate: &Predicate,
+) -> PointOutcome {
+    let prepared = prepare(
+        explorer.program(),
+        explorer.detectors(),
+        input,
+        point,
+        explorer.exec_limits(),
+    );
+    if !prepared.activated || prepared.seeds.is_empty() {
+        return PointOutcome {
+            point: *point,
+            activated: prepared.activated,
+            report: SearchReport::default(),
+        };
+    }
+    let report = explorer.explore(prepared.seeds, predicate);
+    PointOutcome {
+        point: *point,
+        activated: true,
+        report,
+    }
+}
+
+/// Prepares an injection point and model-checks its seed states: the
+/// one-shot form of [`run_point_with`], constructing a throwaway
+/// [`Explorer`] for the given budgets.
 #[must_use]
 pub fn run_point(
     program: &Program,
@@ -228,20 +261,8 @@ pub fn run_point(
     predicate: &Predicate,
     limits: &SearchLimits,
 ) -> PointOutcome {
-    let prepared = prepare(program, detectors, input, point, &limits.exec);
-    if !prepared.activated || prepared.seeds.is_empty() {
-        return PointOutcome {
-            point: *point,
-            activated: prepared.activated,
-            report: SearchReport::default(),
-        };
-    }
-    let report = search_many(program, detectors, prepared.seeds, predicate, limits);
-    PointOutcome {
-        point: *point,
-        activated: true,
-        report,
-    }
+    let explorer = Explorer::new(program, detectors).with_limits(limits.clone());
+    run_point_with(&explorer, input, point, predicate)
 }
 
 #[cfg(test)]
@@ -286,8 +307,9 @@ mod tests {
 
     #[test]
     fn loaded_word_injection_corrupts_memory() {
-        let p = parse_program("mov $29, 64\nmov $1, 5\nst $1, 0($29)\nld $2, 0($29)\nprint $2\nhalt")
-            .unwrap();
+        let p =
+            parse_program("mov $29, 64\nmov $1, 5\nst $1, 0($29)\nld $2, 0($29)\nprint $2\nhalt")
+                .unwrap();
         let point = InjectionPoint::new(3, InjectTarget::LoadedWord);
         let prep = prepare(&p, &dets(), &[], &point, &ExecLimits::default());
         assert!(prep.activated);
@@ -309,10 +331,7 @@ mod tests {
     #[test]
     fn changed_target_corrupts_both_destinations() {
         let p = parse_program("mov $1, 5\naddi $2, $1, 1\nhalt").unwrap();
-        let point = InjectionPoint::new(
-            1,
-            InjectTarget::ChangedTarget { wrong: Reg::r(10) },
-        );
+        let point = InjectionPoint::new(1, InjectTarget::ChangedTarget { wrong: Reg::r(10) });
         let prep = prepare(&p, &dets(), &[], &point, &ExecLimits::default());
         let seed = &prep.seeds[0];
         assert_eq!(seed.reg(Reg::r(2)), Value::Err);

@@ -32,7 +32,10 @@ impl fmt::Display for ConcreteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConcreteError::SymbolicValue { pc } => {
-                write!(f, "symbolic err value encountered at pc {pc} during concrete execution")
+                write!(
+                    f,
+                    "symbolic err value encountered at pc {pc} during concrete execution"
+                )
             }
         }
     }
@@ -291,15 +294,16 @@ mod tests {
         assert!(reached);
         assert_eq!(s.pc(), 2);
         assert_eq!(s.reg(Reg::r(2)), Value::Int(2));
-        assert_eq!(s.reg(Reg::r(3)), Value::Int(0), "breakpoint instr not yet run");
+        assert_eq!(
+            s.reg(Reg::r(3)),
+            Value::Int(0),
+            "breakpoint instr not yet run"
+        );
     }
 
     #[test]
     fn breakpoint_occurrence_counts_loop_iterations() {
-        let p = parse_program(
-            "mov $1, 3\nloop: subi $1, $1, 1\nbgt $1, 0, loop\nhalt",
-        )
-        .unwrap();
+        let p = parse_program("mov $1, 3\nloop: subi $1, $1, 1\nbgt $1, 0, loop\nhalt").unwrap();
         let mut s = MachineState::new();
         let reached =
             run_concrete_to_breakpoint(&mut s, &p, &DetectorSet::new(), &lim(), 1, 3).unwrap();
@@ -321,7 +325,13 @@ mod tests {
     fn watchdog_timeout() {
         let p = parse_program("loop: jmp loop").unwrap();
         let mut s = MachineState::new();
-        run_concrete(&mut s, &p, &DetectorSet::new(), &ExecLimits::with_max_steps(25)).unwrap();
+        run_concrete(
+            &mut s,
+            &p,
+            &DetectorSet::new(),
+            &ExecLimits::with_max_steps(25),
+        )
+        .unwrap();
         assert_eq!(s.status(), &Status::TimedOut);
     }
 

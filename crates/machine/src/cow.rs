@@ -1,0 +1,269 @@
+//! Structurally-shared, copy-on-write memory for [`crate::MachineState`].
+//!
+//! The exploration engine clones machine states at every fork; with a plain
+//! `BTreeMap` memory each clone deep-copies the whole memory image, which
+//! makes forking O(|memory|) and dominates every campaign. [`CowMemory`]
+//! splits the image into a shared immutable **base** (behind an [`Arc`])
+//! and a small private **delta** overlay:
+//!
+//! * `clone` bumps the base refcount and copies only the delta — O(|delta|).
+//! * reads consult the delta first, then the base.
+//! * writes go to the delta while the base is shared; when the base is
+//!   uniquely owned and the delta is empty they go straight into the base.
+//! * once the delta outgrows [`COMPACT_THRESHOLD`] it is folded into a new
+//!   base, so lookups stay O(log n) with a bounded overlay.
+//!
+//! Equality, ordering-sensitive iteration, and hashing all operate on the
+//! *merged* content, so two memories with the same contents are
+//! indistinguishable regardless of how their base/delta layers happen to be
+//! split — the property the model checker's fingerprint dedup relies on.
+
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use sympl_symbolic::Value;
+
+/// Delta entries tolerated before folding into a fresh base. Chosen so a
+/// typical fork burst (a handful of writes per forked successor) never
+/// compacts, while a long-running concrete path cannot accumulate an
+/// unbounded overlay.
+const COMPACT_THRESHOLD: usize = 64;
+
+/// A copy-on-write map from memory addresses to values.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CowMemory {
+    base: Arc<BTreeMap<u64, Value>>,
+    delta: BTreeMap<u64, Value>,
+}
+
+impl CowMemory {
+    /// An empty memory.
+    pub(crate) fn new() -> Self {
+        CowMemory::default()
+    }
+
+    /// The value at `addr`, if defined.
+    pub(crate) fn get(&self, addr: u64) -> Option<Value> {
+        self.delta
+            .get(&addr)
+            .or_else(|| self.base.get(&addr))
+            .copied()
+    }
+
+    /// Defines or overwrites `addr`.
+    pub(crate) fn insert(&mut self, addr: u64, value: Value) {
+        if self.delta.is_empty() {
+            // Unique owner with no overlay: write in place, no copy at all.
+            if let Some(base) = Arc::get_mut(&mut self.base) {
+                base.insert(addr, value);
+                return;
+            }
+        }
+        self.delta.insert(addr, value);
+        if self.delta.len() >= COMPACT_THRESHOLD {
+            self.compact();
+        }
+    }
+
+    /// Folds the delta into the base — in place when the base is uniquely
+    /// owned, otherwise into a freshly cloned one.
+    fn compact(&mut self) {
+        if let Some(base) = Arc::get_mut(&mut self.base) {
+            base.extend(std::mem::take(&mut self.delta));
+            return;
+        }
+        let mut merged = (*self.base).clone();
+        merged.extend(std::mem::take(&mut self.delta));
+        self.base = Arc::new(merged);
+    }
+
+    /// Number of defined addresses.
+    pub(crate) fn len(&self) -> usize {
+        self.base.len()
+            + self
+                .delta
+                .keys()
+                .filter(|k| !self.base.contains_key(k))
+                .count()
+    }
+
+    /// Whether no address is defined.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.base.is_empty() && self.delta.is_empty()
+    }
+
+    /// The largest defined address, if any.
+    pub(crate) fn last_addr(&self) -> Option<u64> {
+        match (self.base.keys().next_back(), self.delta.keys().next_back()) {
+            (Some(&b), Some(&d)) => Some(b.max(d)),
+            (Some(&b), None) => Some(b),
+            (None, Some(&d)) => Some(d),
+            (None, None) => None,
+        }
+    }
+
+    /// Merged `(address, value)` pairs in ascending address order; delta
+    /// entries shadow base entries.
+    pub(crate) fn iter(&self) -> MergedIter<'_> {
+        MergedIter {
+            base: self.base.iter().peekable(),
+            delta: self.delta.iter().peekable(),
+        }
+    }
+
+    /// Whether `self` and `other` share the same base storage (structural
+    /// sharing introduced by `clone`). Used by the pointer-identity tests
+    /// that pin down the O(delta) fork guarantee.
+    pub(crate) fn shares_base_with(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.base, &other.base)
+    }
+
+    /// Delta-overlay size (tests only).
+    #[cfg(test)]
+    pub(crate) fn delta_len(&self) -> usize {
+        self.delta.len()
+    }
+}
+
+/// Merge-join over the base and delta layers.
+pub(crate) struct MergedIter<'a> {
+    base: std::iter::Peekable<std::collections::btree_map::Iter<'a, u64, Value>>,
+    delta: std::iter::Peekable<std::collections::btree_map::Iter<'a, u64, Value>>,
+}
+
+impl Iterator for MergedIter<'_> {
+    type Item = (u64, Value);
+
+    fn next(&mut self) -> Option<(u64, Value)> {
+        match (self.base.peek(), self.delta.peek()) {
+            (Some(&(&ba, &bv)), Some(&(&da, &dv))) => {
+                if ba < da {
+                    self.base.next();
+                    Some((ba, bv))
+                } else {
+                    if ba == da {
+                        self.base.next(); // shadowed by the delta
+                    }
+                    self.delta.next();
+                    Some((da, dv))
+                }
+            }
+            (Some(&(&ba, &bv)), None) => {
+                self.base.next();
+                Some((ba, bv))
+            }
+            (None, Some(&(&da, &dv))) => {
+                self.delta.next();
+                Some((da, dv))
+            }
+            (None, None) => None,
+        }
+    }
+}
+
+impl PartialEq for CowMemory {
+    fn eq(&self, other: &Self) -> bool {
+        // Content equality, independent of the base/delta split.
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for CowMemory {}
+
+impl Hash for CowMemory {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Mirrors BTreeMap's Hash (length prefix, then entries in order) on
+        // the merged view, so layout never leaks into the hash.
+        state.write_usize(self.len());
+        for (addr, value) in self.iter() {
+            addr.hash(state);
+            value.hash(state);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(m: &CowMemory) -> u64 {
+        let mut h = DefaultHasher::new();
+        m.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn reads_see_delta_over_base() {
+        let mut a = CowMemory::new();
+        a.insert(8, Value::Int(1));
+        let mut b = a.clone(); // base now shared
+        b.insert(8, Value::Int(2)); // goes to b's delta
+        assert_eq!(a.get(8), Some(Value::Int(1)));
+        assert_eq!(b.get(8), Some(Value::Int(2)));
+        assert!(a.shares_base_with(&b));
+    }
+
+    #[test]
+    fn equality_and_hash_ignore_layering() {
+        let mut flat = CowMemory::new();
+        for i in 0..10 {
+            flat.insert(i * 8, Value::Int(i as i64));
+        }
+        // Build the same contents through a clone + delta writes.
+        let mut partial = CowMemory::new();
+        for i in 0..5 {
+            partial.insert(i * 8, Value::Int(i as i64));
+        }
+        let _pin = partial.clone(); // force sharing so writes go to the delta
+        let mut layered = partial.clone();
+        for i in 5..10 {
+            layered.insert(i * 8, Value::Int(i as i64));
+        }
+        assert!(layered.delta_len() > 0, "writes must land in the delta");
+        assert_eq!(flat, layered);
+        assert_eq!(hash_of(&flat), hash_of(&layered));
+        assert_eq!(flat.len(), layered.len());
+        assert!(flat.iter().eq(layered.iter()));
+    }
+
+    #[test]
+    fn shadowed_addresses_counted_once() {
+        let mut a = CowMemory::new();
+        a.insert(8, Value::Int(1));
+        a.insert(16, Value::Int(2));
+        let _pin = a.clone();
+        a.insert(8, Value::Int(3)); // shadows the base entry
+        assert_eq!(a.len(), 2);
+        assert_eq!(
+            a.iter().collect::<Vec<_>>(),
+            vec![(8, Value::Int(3)), (16, Value::Int(2))]
+        );
+        assert_eq!(a.last_addr(), Some(16));
+    }
+
+    #[test]
+    fn compaction_folds_delta() {
+        let mut a = CowMemory::new();
+        a.insert(0, Value::Int(0));
+        let _pin = a.clone();
+        for i in 0..(COMPACT_THRESHOLD as u64 + 4) {
+            a.insert(i, Value::Int(i as i64));
+        }
+        assert!(
+            a.delta_len() < COMPACT_THRESHOLD,
+            "delta must have been folded"
+        );
+        assert_eq!(a.len(), COMPACT_THRESHOLD + 4);
+    }
+
+    #[test]
+    fn unique_owner_writes_in_place() {
+        let mut a = CowMemory::new();
+        for i in 0..100u64 {
+            a.insert(i, Value::Int(1));
+        }
+        assert_eq!(a.delta_len(), 0, "sole owner never builds a delta");
+    }
+}

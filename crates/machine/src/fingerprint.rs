@@ -1,0 +1,93 @@
+//! 128-bit state fingerprints for visited-set deduplication.
+//!
+//! The model checker used to store whole [`crate::MachineState`] values in
+//! its visited set — hundreds of bytes per state. A [`Fingerprint`] is a
+//! 128-bit digest of everything state equality observes (program counter,
+//! registers, merged memory content, I/O streams, constraint map, watchdog
+//! counter, status), so dedup costs 16 bytes per state and one hash pass.
+//!
+//! The digest is FNV-1a over the state's canonical [`Hash`] byte stream,
+//! widened to 128 bits. At 128 bits a campaign of a billion states has a
+//! collision probability around 1.5e-21, far below the model's other
+//! sources of approximation; the search-equivalence property tests compare
+//! fingerprint dedup against full-state dedup on the paper workloads.
+
+use std::hash::Hasher;
+
+/// A 128-bit digest of a machine state's content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+
+/// FNV-1a accumulator exposing a 128-bit digest through the standard
+/// [`Hasher`] interface (so any `Hash` impl can feed it).
+#[derive(Debug, Clone)]
+pub struct Fnv128Hasher {
+    state: u128,
+}
+
+impl Fnv128Hasher {
+    /// A hasher at the FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv128Hasher {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    /// The full 128-bit digest.
+    #[must_use]
+    pub fn finish128(&self) -> Fingerprint {
+        Fingerprint(self.state)
+    }
+}
+
+impl Default for Fnv128Hasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher for Fnv128Hasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.state as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    #[test]
+    fn distinct_inputs_give_distinct_digests() {
+        let digest = |v: u64| {
+            let mut h = Fnv128Hasher::new();
+            v.hash(&mut h);
+            h.finish128()
+        };
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..10_000u64 {
+            assert!(seen.insert(digest(v)), "collision at {v}");
+        }
+    }
+
+    #[test]
+    fn digest_is_deterministic() {
+        let mut a = Fnv128Hasher::new();
+        let mut b = Fnv128Hasher::new();
+        "some state bytes".hash(&mut a);
+        "some state bytes".hash(&mut b);
+        assert_eq!(a.finish128(), b.finish128());
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -41,10 +41,13 @@
 #![warn(missing_docs)]
 
 mod concrete;
+mod cow;
+mod fingerprint;
 mod limits;
 mod state;
 mod step;
 
 pub use concrete::{run_concrete, run_concrete_to_breakpoint, step_concrete, ConcreteError};
+pub use fingerprint::{Fingerprint, Fnv128Hasher};
 pub use limits::ExecLimits;
 pub use state::{Exception, MachineState, OutItem, Status};

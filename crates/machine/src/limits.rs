@@ -1,7 +1,5 @@
 //! Execution bounds: the watchdog and the fork fan-out caps.
 
-use serde::{Deserialize, Serialize};
-
 /// Bounds on a single execution path.
 ///
 /// * `max_steps` is the paper's *timeout* (§5.4): the instruction bound
@@ -13,7 +11,7 @@ use serde::{Deserialize, Serialize};
 ///   over *every* valid code location / defined memory word; `None`
 ///   reproduces that. Finite caps trade exhaustiveness for speed and back
 ///   the fan-out ablation benchmark.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecLimits {
     /// Maximum instructions executed along one path (the watchdog bound).
     pub max_steps: u64,

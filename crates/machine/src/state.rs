@@ -1,17 +1,38 @@
 //! The machine state "soup" (paper §5.1).
+//!
+//! # State representation
+//!
+//! A [`MachineState`] is a value type: the symbolic executor clones it at
+//! every fork and the model checker fingerprints it for deduplication. Two
+//! representation choices keep those hot paths cheap:
+//!
+//! * **Copy-on-write memory.** The memory image is a [`cow::CowMemory`]: an
+//!   `Arc`-shared immutable base map plus a small per-state delta overlay.
+//!   Cloning a state bumps a refcount and copies the delta only, so forking
+//!   is O(|delta|) instead of O(|memory|); the overlay is folded into a new
+//!   base once it outgrows a fixed threshold. Content equality and hashing
+//!   operate on the merged view, so structural sharing is invisible to the
+//!   search. [`MachineState::memory_shares_storage`] exposes the sharing
+//!   for pointer-identity tests.
+//! * **128-bit fingerprints.** [`MachineState::fingerprint`] digests the
+//!   full state term (everything `Eq`/`Hash` observe) into a 16-byte
+//!   [`Fingerprint`], which is what the `sympl-check` Explorer stores in
+//!   its visited set instead of whole states.
+//!
+//! [`cow::CowMemory`]: crate::cow
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use std::collections::BTreeMap;
+use crate::cow::CowMemory;
+use crate::fingerprint::{Fingerprint, Fnv128Hasher};
 use sympl_asm::{Reg, NUM_REGS};
 use sympl_detect::StateView;
 use sympl_symbolic::{ConstraintMap, Location, Value};
 
 /// Exceptions the machine can throw (paper §5.1 assumptions and §5.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Exception {
     /// Instruction fetch from an invalid code address.
     IllegalInstruction,
@@ -32,7 +53,7 @@ impl fmt::Display for Exception {
 }
 
 /// Execution status of a machine state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Status {
     /// The program is still executing.
     Running,
@@ -68,7 +89,7 @@ impl fmt::Display for Status {
 }
 
 /// One item of the output stream: a printed value or a string literal.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum OutItem {
     /// Output of a `print` instruction.
     Val(Value),
@@ -99,11 +120,11 @@ impl fmt::Display for OutItem {
 /// search cannot dedup the cycle away — it runs into the §5.4 instruction
 /// bound and reports a timed-out (hang) terminal, as a real execution
 /// would behave under a watchdog.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MachineState {
     pc: usize,
     regs: [Value; NUM_REGS],
-    mem: BTreeMap<u64, Value>,
+    mem: CowMemory,
     input: Arc<[i64]>,
     input_pos: usize,
     output: Vec<OutItem>,
@@ -126,7 +147,7 @@ impl MachineState {
         MachineState {
             pc: 0,
             regs: [Value::Int(0); NUM_REGS],
-            mem: BTreeMap::new(),
+            mem: CowMemory::new(),
             input: input.into(),
             input_pos: 0,
             output: Vec::new(),
@@ -187,7 +208,7 @@ impl MachineState {
     /// The value of a memory word, or `None` if undefined.
     #[must_use]
     pub fn mem(&self, addr: u64) -> Option<Value> {
-        self.mem.get(&addr).copied()
+        self.mem.get(addr)
     }
 
     /// Writes a memory word (stores define locations on first write).
@@ -216,7 +237,7 @@ impl MachineState {
 
     /// All defined memory addresses, in order.
     pub fn defined_addresses(&self) -> impl Iterator<Item = u64> + '_ {
-        self.mem.keys().copied()
+        self.mem.iter().map(|(addr, _)| addr)
     }
 
     /// Number of defined memory words.
@@ -230,10 +251,7 @@ impl MachineState {
     /// here.
     #[must_use]
     pub fn fresh_address(&self) -> u64 {
-        self.mem
-            .keys()
-            .next_back()
-            .map_or(0, |&a| a.saturating_add(8))
+        self.mem.last_addr().map_or(0, |a| a.saturating_add(8))
     }
 
     /// Reads the next input value (the `read` instruction). Reading past
@@ -338,7 +356,7 @@ impl MachineState {
     /// Whether every register and defined memory word is concrete.
     #[must_use]
     pub fn is_fully_concrete(&self) -> bool {
-        !self.regs.iter().any(|v| v.is_err()) && !self.mem.values().any(|v| v.is_err())
+        !self.regs.iter().any(|v| v.is_err()) && !self.mem.iter().any(|(_, v)| v.is_err())
     }
 
     /// Every location currently holding `err`.
@@ -350,7 +368,7 @@ impl MachineState {
                 out.push(Location::reg(i as u8));
             }
         }
-        for (&a, v) in &self.mem {
+        for (a, v) in self.mem.iter() {
             if v.is_err() {
                 out.push(Location::Mem(a));
             }
@@ -403,6 +421,27 @@ impl Hash for MachineState {
 }
 
 impl MachineState {
+    /// A 128-bit digest of the full state term — registers, merged memory
+    /// content, constraint map, PC, I/O streams, watchdog counter, status.
+    /// Everything [`Eq`]/[`Hash`] observe feeds the digest, so equal states
+    /// always fingerprint equal, and the model checker can deduplicate on
+    /// 16-byte fingerprints instead of retained whole states.
+    #[must_use]
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut hasher = Fnv128Hasher::new();
+        self.hash(&mut hasher);
+        hasher.finish128()
+    }
+
+    /// Whether the memory images of `self` and `other` share their base
+    /// storage (the structural sharing a clone introduces). A forked state
+    /// keeps sharing until enough writes force a compaction, which is the
+    /// O(delta)-fork guarantee the pointer-identity tests pin down.
+    #[must_use]
+    pub fn memory_shares_storage(&self, other: &Self) -> bool {
+        self.mem.shares_base_with(&other.mem)
+    }
+
     /// Whether two states coincide in everything *except* the instruction
     /// counter — the structural-identity notion an aggressive deduplication
     /// would use (at the cost of missing hang outcomes; see the type docs).
@@ -431,7 +470,11 @@ impl StateView for MachineState {
 
 impl fmt::Display for MachineState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "pc={} status={} steps={}", self.pc, self.status, self.steps)?;
+        writeln!(
+            f,
+            "pc={} status={} steps={}",
+            self.pc, self.status, self.steps
+        )?;
         write!(f, "regs:")?;
         for (i, v) in self.regs.iter().enumerate() {
             if *v != Value::Int(0) {
@@ -441,7 +484,7 @@ impl fmt::Display for MachineState {
         writeln!(f)?;
         if !self.mem.is_empty() {
             write!(f, "mem:")?;
-            for (a, v) in &self.mem {
+            for (a, v) in self.mem.iter() {
                 write!(f, " [{a}]={v}")?;
             }
             writeln!(f)?;
@@ -546,10 +589,7 @@ mod tests {
         s.set_reg(Reg::r(4), Value::Err);
         s.set_mem(16, Value::Err);
         s.set_mem(8, Value::Int(1));
-        assert_eq!(
-            s.err_locations(),
-            vec![Location::reg(4), Location::Mem(16)]
-        );
+        assert_eq!(s.err_locations(), vec![Location::reg(4), Location::Mem(16)]);
         assert!(!s.is_fully_concrete());
     }
 
@@ -574,6 +614,49 @@ mod tests {
         s.set_location(Location::Mem(40), Value::Int(3));
         assert_eq!(s.location_value(Location::Mem(40)), Some(Value::Int(3)));
         assert_eq!(s.location_value(Location::Mem(48)), None);
+    }
+
+    #[test]
+    fn clone_shares_memory_storage() {
+        // The O(delta) fork guarantee: cloning must NOT deep-copy memory.
+        let mut a = MachineState::new();
+        a.load_memory((0..200).map(|i| (i * 8, i as i64)));
+        let mut b = a.clone();
+        assert!(
+            a.memory_shares_storage(&b),
+            "a fresh clone shares the base image by pointer identity"
+        );
+        // A handful of writes on the fork stay in its private delta; the
+        // base stays shared and the original is untouched.
+        b.set_mem(8, Value::Int(999));
+        b.set_mem(4096, Value::Int(1));
+        assert!(a.memory_shares_storage(&b));
+        assert_eq!(a.mem(8), Some(Value::Int(1)));
+        assert_eq!(b.mem(8), Some(Value::Int(999)));
+        assert_eq!(a.memory_len(), 200);
+        assert_eq!(b.memory_len(), 201);
+    }
+
+    #[test]
+    fn fingerprint_matches_equality() {
+        let mut a = MachineState::with_input(vec![1, 2]);
+        a.load_memory([(8, 5), (16, 6)]);
+        a.set_reg(Reg::r(3), Value::Err);
+        let mut b = a.clone();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Same contents built independently (different layering).
+        let mut c = MachineState::with_input(vec![1, 2]);
+        c.load_memory([(8, 5)]);
+        c.load_memory([(16, 6)]);
+        c.set_reg(Reg::r(3), Value::Err);
+        assert_eq!(a, c);
+        assert_eq!(a.fingerprint(), c.fingerprint());
+        // Any observable difference moves the fingerprint.
+        b.bump_steps();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut d = a.clone();
+        d.set_mem(16, Value::Int(7));
+        assert_ne!(a.fingerprint(), d.fingerprint());
     }
 
     #[test]

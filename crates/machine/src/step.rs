@@ -9,9 +9,7 @@
 
 use sympl_asm::{Instr, Operand, Program, Reg};
 use sympl_detect::{eval_expr, DetectError, DetectorSet};
-use sympl_symbolic::{
-    fork_compare, symbolic_binop, ArithOutcome, CmpCase, Location, Value,
-};
+use sympl_symbolic::{fork_compare, symbolic_binop, ArithOutcome, CmpCase, Location, Value};
 
 use crate::{Exception, ExecLimits, MachineState, OutItem, Status};
 
@@ -88,10 +86,8 @@ impl MachineState {
                         let mut trap = succ.clone();
                         let feasible = match bloc {
                             Some(loc) if limits.track_constraints => {
-                                let zero_ok = trap
-                                    .constraints()
-                                    .get(loc)
-                                    .is_none_or(|set| set.allows(0));
+                                let zero_ok =
+                                    trap.constraints().get(loc).is_none_or(|set| set.allows(0));
                                 if zero_ok {
                                     trap.set_location(loc, Value::Int(0));
                                 }
@@ -180,7 +176,10 @@ impl MachineState {
             Instr::Load { rt, rs, offset } => match self.reg(rs) {
                 Value::Int(base) => {
                     let addr = base.wrapping_add(offset);
-                    match u64::try_from(addr).ok().and_then(|a| self.mem(a).map(|v| (a, v))) {
+                    match u64::try_from(addr)
+                        .ok()
+                        .and_then(|a| self.mem(a).map(|v| (a, v)))
+                    {
                         Some((a, v)) => {
                             succ.copy_reg_with_constraints(rt, v, Location::Mem(a));
                             succ.set_pc(self.pc() + 1);
@@ -437,7 +436,11 @@ mod tests {
 
     /// Run the symbolic executor to completion from `state`, collecting all
     /// terminal states (tiny exhaustive search for tests).
-    fn explore(program: &Program, detectors: &DetectorSet, state: MachineState) -> Vec<MachineState> {
+    fn explore(
+        program: &Program,
+        detectors: &DetectorSet,
+        state: MachineState,
+    ) -> Vec<MachineState> {
         let lim = limits();
         let mut frontier = vec![state];
         let mut terminal = Vec::new();
@@ -462,7 +465,10 @@ mod tests {
 
     #[test]
     fn branch_on_concrete_value_is_deterministic() {
-        let p = parse_program("mov $1, 5\nbeq $1, 5, yes\nprint $0\nhalt\nyes: mov $2, 1\nprint $2\nhalt").unwrap();
+        let p = parse_program(
+            "mov $1, 5\nbeq $1, 5, yes\nprint $0\nhalt\nyes: mov $2, 1\nprint $2\nhalt",
+        )
+        .unwrap();
         let terminal = explore(&p, &dets(), MachineState::new());
         assert_eq!(terminal.len(), 1);
         assert_eq!(terminal[0].output_ints(), vec![1]);
@@ -470,7 +476,8 @@ mod tests {
 
     #[test]
     fn branch_on_err_forks_both_ways() {
-        let p = parse_program("beq $1, 5, yes\nprint $0\nhalt\nyes: mov $2, 1\nprint $2\nhalt").unwrap();
+        let p = parse_program("beq $1, 5, yes\nprint $0\nhalt\nyes: mov $2, 1\nprint $2\nhalt")
+            .unwrap();
         let mut s = MachineState::new();
         s.set_reg(Reg::r(1), Value::Err);
         let terminal = explore(&p, &dets(), s);
@@ -531,7 +538,10 @@ mod tests {
     fn concrete_division_by_zero_traps() {
         let p = parse_program("mov $1, 0\ndiv $2, $3, $1\nhalt").unwrap();
         let terminal = explore(&p, &dets(), MachineState::new());
-        assert_eq!(terminal[0].status(), &Status::Exception(Exception::DivByZero));
+        assert_eq!(
+            terminal[0].status(),
+            &Status::Exception(Exception::DivByZero)
+        );
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Minimal offline stand-in for the subset of the `criterion` crate API
+//! this workspace's benches use.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `criterion` cannot be fetched. This shim keeps every bench target
+//! compiling and runnable under `cargo bench`: it times each benchmark
+//! with `std::time::Instant` over `sample_size` iterations (after one
+//! warm-up) and prints a mean per iteration, plus a throughput figure when
+//! one is configured. No statistical analysis, outlier rejection, or
+//! HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+/// The benchmark driver (subset of `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measured: None,
+        };
+        f(&mut b);
+        report(name, &b, None);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            throughput: None,
+        }
+    }
+}
+
+/// Runs and times one benchmark body (subset of `criterion::Bencher`).
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measured: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `sample_size` runs of `f` after one warm-up run.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            black_box(f());
+        }
+        self.measured = Some(start.elapsed() / self.sample_size as u32);
+    }
+}
+
+/// A group of related benchmarks (subset of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive a rate for following benches.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            sample_size: self.criterion.sample_size,
+            measured: None,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.0), &b, self.throughput);
+    }
+
+    /// Runs one named benchmark in the group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            sample_size: self.criterion.sample_size,
+            measured: None,
+        };
+        f(&mut b);
+        report(&format!("{}/{name}", self.name), &b, self.throughput);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    match b.measured {
+        Some(mean) => {
+            let rate = throughput.map_or(String::new(), |t| {
+                let per_sec = t.count() as f64 / mean.as_secs_f64();
+                format!("  ({per_sec:.0} {}/s)", t.unit())
+            });
+            println!("bench {name:<48} {mean:>12.3?}/iter{rate}");
+        }
+        None => println!("bench {name:<48} (no measurement: iter() never called)"),
+    }
+}
+
+/// Work-per-iteration descriptor (subset of `criterion::Throughput`).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+impl Throughput {
+    fn count(self) -> u64 {
+        match self {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        }
+    }
+
+    fn unit(self) -> &'static str {
+        match self {
+            Throughput::Elements(_) => "elem",
+            Throughput::Bytes(_) => "B",
+        }
+    }
+}
+
+/// A benchmark identifier (subset of `criterion::BenchmarkId`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id carrying only a parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Declares a group-runner function over benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,158 @@
+//! Minimal offline stand-in for the subset of the `rand` crate API this
+//! workspace uses (`StdRng::seed_from_u64` + `Rng::gen::<i64>()`).
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `rand` cannot be fetched. The campaign code only needs a deterministic,
+//! seedable 64-bit generator; this shim provides one built on SplitMix64
+//! (Steele, Lea & Flood 2014) feeding a xoshiro256** core — statistically
+//! solid for fault-value sampling, deterministic for a fixed seed, and
+//! stable across platforms.
+//!
+//! It is **not** the real `rand`: streams differ from upstream `StdRng`,
+//! and only the APIs the workspace exercises are implemented.
+
+#![forbid(unsafe_code)]
+
+/// Low-level 64-bit generator interface (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators (subset of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling helpers layered over [`RngCore`] (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples a uniformly distributed value of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `[low, high)`.
+    fn gen_range(&mut self, range: core::ops::Range<i64>) -> i64
+    where
+        Self: Sized,
+    {
+        assert!(
+            range.start < range.end,
+            "gen_range called with an empty or reversed range"
+        );
+        let span = range.end.wrapping_sub(range.start) as u64;
+        // Modulo bias is negligible for the spans used here and
+        // acceptable for fault-value sampling.
+        range.start.wrapping_add((self.next_u64() % span) as i64)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable from uniform bits (stand-in for `distributions::Standard`).
+pub trait Standard {
+    /// Draws one uniformly distributed value.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for i64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the xoshiro state,
+            // as recommended by the xoshiro authors.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<i64>(), b.gen::<i64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.gen::<i64>() == b.gen::<i64>()).count();
+        assert!(same < 4, "streams from different seeds must differ");
+    }
+
+    #[test]
+    fn gen_range_stays_in_range() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(-5..17);
+            assert!((-5..17).contains(&v));
+        }
+    }
+}

@@ -3,10 +3,9 @@
 use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 #[allow(unused_imports)]
 use rand::RngCore;
-use serde::{Deserialize, Serialize};
+use rand::{Rng, SeedableRng};
 use sympl_asm::{Program, Reg};
 use sympl_detect::DetectorSet;
 use sympl_machine::{
@@ -18,7 +17,7 @@ use crate::ConcreteOutcome;
 
 /// Whether a register is injected as a source (before the instruction) or
 /// a destination (after it) — the paper injects both, one at a time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RegSlot {
     /// Corrupt before execution (data the instruction reads).
     Source,
@@ -27,7 +26,7 @@ pub enum RegSlot {
 }
 
 /// One concrete injection point: instruction, register, slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ConcretePoint {
     /// Static instruction address.
     pub breakpoint: usize,
@@ -42,7 +41,7 @@ pub struct ConcretePoint {
 /// Defaults to the paper's recipe — three extreme values in the integer
 /// range plus three seeded-random values — so a default campaign performs
 /// `6 × (number of points)` runs.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignConfig {
     /// Deterministic seed for the random values.
     pub seed: u64,
@@ -152,15 +151,9 @@ pub fn run_injected(
     limits: &ExecLimits,
 ) -> Option<ConcreteOutcome> {
     let mut state = MachineState::with_input(input.to_vec());
-    let reached = run_concrete_to_breakpoint(
-        &mut state,
-        program,
-        detectors,
-        limits,
-        point.breakpoint,
-        1,
-    )
-    .expect("pre-injection execution is concrete");
+    let reached =
+        run_concrete_to_breakpoint(&mut state, program, detectors, limits, point.breakpoint, 1)
+            .expect("pre-injection execution is concrete");
     if !reached {
         return None;
     }
@@ -169,17 +162,15 @@ pub fn run_injected(
             state.set_reg(point.reg, Value::Int(value));
         }
         RegSlot::Destination => {
-            step_concrete(&mut state, program, detectors, limits)
-                .expect("concrete execution");
+            step_concrete(&mut state, program, detectors, limits).expect("concrete execution");
             if state.status().is_terminal() {
                 return Some(ConcreteOutcome::classify(&state));
             }
             state.set_reg(point.reg, Value::Int(value));
         }
     }
-    run_concrete(&mut state, program, detectors, limits).expect(
-        "post-injection state is still concrete: the injected value is an integer",
-    );
+    run_concrete(&mut state, program, detectors, limits)
+        .expect("post-injection state is still concrete: the injected value is an integer");
     Some(ConcreteOutcome::classify(&state))
 }
 
@@ -313,17 +304,15 @@ mod tests {
     #[test]
     fn crash_outcomes_classified() {
         // Injecting a giant value into the address register crashes loads.
-        let p = parse_program(
-            "mov $29, 64\nmov $1, 5\nst $1, 0($29)\nld $2, 0($29)\nprint $2\nhalt",
-        )
-        .unwrap();
+        let p =
+            parse_program("mov $29, 64\nmov $1, 5\nst $1, 0($29)\nld $2, 0($29)\nprint $2\nhalt")
+                .unwrap();
         let point = ConcretePoint {
             breakpoint: 3,
             reg: Reg::r(29),
             slot: RegSlot::Source,
         };
-        let out =
-            run_injected(&p, &dets(), &[], &point, i64::MAX, &ExecLimits::default()).unwrap();
+        let out = run_injected(&p, &dets(), &[], &point, i64::MAX, &ExecLimits::default()).unwrap();
         assert!(matches!(out, ConcreteOutcome::Crash(_)), "{out}");
     }
 }

@@ -1,0 +1,223 @@
+//! Symbolic cross-validation of concrete injections (§3.2 / §6.2).
+//!
+//! The paper replays *symbolic* findings concretely to show they are real.
+//! This module provides the opposite direction on the shared exploration
+//! engine: take a concrete injection (point + value), run it on the
+//! SimpleScalar-substitute, and check that the symbolic search from the
+//! same point **covers** the observed outcome — the paper's §3.2 soundness
+//! claim ("it will never miss an outcome that may occur in the program due
+//! to the error"), made executable. Campaigns use it to spot-audit the
+//! model; the suite's property tests sweep it across workloads.
+
+use sympl_check::{Explorer, Predicate};
+use sympl_machine::{run_concrete_to_breakpoint, step_concrete, MachineState, OutItem, Status};
+use sympl_symbolic::Value;
+
+use crate::{run_injected, ConcreteOutcome, ConcretePoint, RegSlot};
+
+/// Whether one symbolic terminal state covers a concrete outcome: the same
+/// status class, and each printed value either equal or abstracted to
+/// `err`.
+#[must_use]
+pub fn covers(symbolic: &MachineState, concrete: &ConcreteOutcome) -> bool {
+    match (symbolic.status(), concrete) {
+        (Status::Halted, ConcreteOutcome::Output(values)) => {
+            let printed: Vec<&OutItem> = symbolic
+                .output()
+                .iter()
+                .filter(|o| matches!(o, OutItem::Val(_)))
+                .collect();
+            printed.len() == values.len()
+                && printed.iter().zip(values).all(|(item, v)| match item {
+                    OutItem::Val(Value::Int(i)) => i == v,
+                    OutItem::Val(Value::Err) => true,
+                    OutItem::Str(_) => false,
+                })
+        }
+        (Status::Exception(_), ConcreteOutcome::Crash(_)) => true,
+        (Status::TimedOut, ConcreteOutcome::Hang) => true,
+        (Status::Detected(a), ConcreteOutcome::Detected(b)) => a == b,
+        _ => false,
+    }
+}
+
+/// Runs the concrete injection `(point, value)` and checks whether the
+/// symbolic search from the same point, driven on `explorer`, covers the
+/// concrete outcome.
+///
+/// The solution cap is lifted internally (coverage needs *every* terminal,
+/// not the first few), so only the explorer's state/time budgets can
+/// truncate the search. Returns:
+///
+/// * `None` — nothing to conclude: the breakpoint is off the golden path
+///   (the fault is never activated), or the state/time budgets truncated
+///   the search before the outcome was covered.
+/// * `Some(true)` — a symbolic terminal covers the concrete outcome.
+/// * `Some(false)` — the search ran to exhaustion and *no* terminal
+///   covers the outcome: a genuine §3.2 soundness violation.
+#[must_use]
+pub fn concrete_outcome_covered(
+    explorer: &Explorer<'_>,
+    input: &[i64],
+    point: &ConcretePoint,
+    value: i64,
+) -> Option<bool> {
+    let program = explorer.program();
+    let detectors = explorer.detectors();
+    let limits = explorer.exec_limits();
+
+    let concrete = run_injected(program, detectors, input, point, value, limits)?;
+
+    // Prepare the symbolic twin: same prefix, `err` planted where the
+    // concrete value went.
+    let mut seed = MachineState::with_input(input.to_vec());
+    let reached =
+        run_concrete_to_breakpoint(&mut seed, program, detectors, limits, point.breakpoint, 1)
+            .expect("pre-injection execution is concrete");
+    if !reached {
+        return None;
+    }
+    match point.slot {
+        RegSlot::Source => seed.set_reg(point.reg, Value::Err),
+        RegSlot::Destination => {
+            step_concrete(&mut seed, program, detectors, limits).expect("concrete execution");
+            if seed.status().is_terminal() {
+                // The run ended before the corruption landed; the concrete
+                // outcome is the uncorrupted one and is trivially covered.
+                return Some(covers(&seed, &concrete));
+            }
+            seed.set_reg(point.reg, Value::Err);
+        }
+    }
+
+    // Lift the solution cap: the default budgets stop collecting after a
+    // handful of terminals, which would mistake truncation for a missing
+    // outcome. State/time budgets still apply.
+    let mut limits = explorer.limits().clone();
+    limits.max_solutions = usize::MAX;
+    let report = explorer
+        .clone()
+        .with_limits(limits)
+        .explore(vec![seed], &Predicate::Any);
+
+    if report.solutions.iter().any(|s| covers(&s.state, &concrete)) {
+        Some(true)
+    } else if report.exhausted {
+        Some(false)
+    } else {
+        // Truncated by a state/time budget before any covering terminal
+        // appeared: no verdict either way.
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympl_asm::{parse_program, Reg};
+    use sympl_check::SearchLimits;
+    use sympl_detect::DetectorSet;
+    use sympl_machine::ExecLimits;
+
+    #[test]
+    fn symbolic_search_covers_concrete_injections() {
+        let p = parse_program("read $1\naddi $2, $1, 1\nprint $2\nhalt").unwrap();
+        let dets = DetectorSet::new();
+        let explorer = Explorer::new(&p, &dets).with_limits(SearchLimits {
+            exec: ExecLimits::with_max_steps(200),
+            max_solutions: 10_000,
+            ..SearchLimits::default()
+        });
+        let point = ConcretePoint {
+            breakpoint: 1,
+            reg: Reg::r(1),
+            slot: RegSlot::Source,
+        };
+        for value in [0, 7, -1, i64::MAX, i64::MIN] {
+            assert_eq!(
+                concrete_outcome_covered(&explorer, &[41], &point, value),
+                Some(true),
+                "symbolic search must cover value {value}"
+            );
+        }
+    }
+
+    #[test]
+    fn solution_caps_do_not_fabricate_violations() {
+        // Under default limits (max_solutions = 10) a point with many
+        // terminal forks used to truncate the coverage search and report a
+        // spurious Some(false). The cap is lifted internally now.
+        let p = parse_program(
+            "read $1\nbeq $1, 0, a\nnop\na: beq $1, 1, b\nnop\nb: beq $1, 2, c\nnop\n\
+             c: beq $1, 3, d\nnop\nd: beq $1, 4, e\nnop\ne: print $1\nhalt",
+        )
+        .unwrap();
+        let dets = DetectorSet::new();
+        let explorer = Explorer::new(&p, &dets); // default limits
+        let point = ConcretePoint {
+            breakpoint: 1,
+            reg: Reg::r(1),
+            slot: RegSlot::Source,
+        };
+        assert_eq!(
+            concrete_outcome_covered(&explorer, &[2], &point, 77),
+            Some(true),
+            "every concrete value must stay covered under default budgets"
+        );
+    }
+
+    #[test]
+    fn truncated_search_is_inconclusive_not_a_violation() {
+        let p = parse_program("read $1\nprint $1\nhalt").unwrap();
+        let dets = DetectorSet::new();
+        let explorer = Explorer::new(&p, &dets).with_limits(SearchLimits {
+            max_states: 1, // guarantees truncation before any terminal
+            ..SearchLimits::default()
+        });
+        let point = ConcretePoint {
+            breakpoint: 1,
+            reg: Reg::r(1),
+            slot: RegSlot::Source,
+        };
+        assert_eq!(
+            concrete_outcome_covered(&explorer, &[5], &point, 9),
+            None,
+            "a budget-truncated search must not claim a soundness violation"
+        );
+    }
+
+    #[test]
+    fn unreached_breakpoint_is_none() {
+        let p = parse_program("halt\nmov $1, 1").unwrap();
+        let dets = DetectorSet::new();
+        let explorer = Explorer::new(&p, &dets);
+        let point = ConcretePoint {
+            breakpoint: 1,
+            reg: Reg::r(1),
+            slot: RegSlot::Source,
+        };
+        assert_eq!(concrete_outcome_covered(&explorer, &[], &point, 3), None);
+    }
+
+    #[test]
+    fn covers_matches_status_classes() {
+        let mut halted = MachineState::new();
+        halted.push_output(OutItem::Val(Value::Int(7)));
+        halted.set_status(Status::Halted);
+        assert!(covers(&halted, &ConcreteOutcome::Output(vec![7])));
+        assert!(!covers(&halted, &ConcreteOutcome::Output(vec![8])));
+        assert!(!covers(&halted, &ConcreteOutcome::Hang));
+
+        let mut err_out = MachineState::new();
+        err_out.push_output(OutItem::Val(Value::Err));
+        err_out.set_status(Status::Halted);
+        assert!(
+            covers(&err_out, &ConcreteOutcome::Output(vec![123])),
+            "err abstracts any printed value"
+        );
+
+        let mut hung = MachineState::new();
+        hung.set_status(Status::TimedOut);
+        assert!(covers(&hung, &ConcreteOutcome::Hang));
+    }
+}

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod campaign;
+mod confirm;
 mod outcome;
 mod replay;
 
@@ -43,5 +44,6 @@ pub use campaign::{
     enumerate_concrete_points, run_campaign, run_injected, CampaignConfig, ConcretePoint, RegSlot,
     SsimReport,
 };
+pub use confirm::{concrete_outcome_covered, covers};
 pub use outcome::ConcreteOutcome;
 pub use replay::{replay_permanent_register_fault, replay_register_witness, ReplayResult};

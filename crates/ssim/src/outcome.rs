@@ -1,6 +1,5 @@
 //! Outcome classification for concrete injection runs (Table 2).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use sympl_machine::{Exception, MachineState, Status};
@@ -8,7 +7,7 @@ use sympl_machine::{Exception, MachineState, Status};
 /// The outcome of one concrete injected run, in the categories of the
 /// paper's Table 2: the printed output on a normal halt, or crash / hang /
 /// detected.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ConcreteOutcome {
     /// Normal halt with the printed integer sequence.
     Output(Vec<i64>),
@@ -82,7 +81,10 @@ mod tests {
         let mut s = MachineState::new();
         s.push_output(OutItem::Val(Value::Int(1)));
         s.set_status(Status::Halted);
-        assert_eq!(ConcreteOutcome::classify(&s), ConcreteOutcome::Output(vec![1]));
+        assert_eq!(
+            ConcreteOutcome::classify(&s),
+            ConcreteOutcome::Output(vec![1])
+        );
         s.set_status(Status::Exception(Exception::DivByZero));
         assert_eq!(
             ConcreteOutcome::classify(&s),
@@ -118,7 +120,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert_eq!(ConcreteOutcome::Output(vec![1, 2]).to_string(), "output [1, 2]");
+        assert_eq!(
+            ConcreteOutcome::Output(vec![1, 2]).to_string(),
+            "output [1, 2]"
+        );
         assert!(ConcreteOutcome::Crash(Exception::IllegalAddress)
             .to_string()
             .contains("illegal addr"));

@@ -41,20 +41,14 @@ pub fn replay_register_witness(
 ) -> Option<ReplayResult> {
     let mut state = MachineState::with_input(input.to_vec());
     let reached = run_concrete_to_breakpoint(
-        &mut state,
-        program,
-        detectors,
-        limits,
-        breakpoint,
-        occurrence,
+        &mut state, program, detectors, limits, breakpoint, occurrence,
     )
     .expect("pre-injection execution is concrete");
     if !reached {
         return None;
     }
     state.set_reg(reg, Value::Int(value));
-    run_concrete(&mut state, program, detectors, limits)
-        .expect("replayed state is concrete");
+    run_concrete(&mut state, program, detectors, limits).expect("replayed state is concrete");
     Some(ReplayResult {
         value,
         outcome: ConcreteOutcome::classify(&state),
@@ -138,9 +132,8 @@ pub fn replay_permanent_register_fault(
     limits: &ExecLimits,
 ) -> Option<ReplayResult> {
     let mut state = MachineState::with_input(input.to_vec());
-    let reached =
-        run_concrete_to_breakpoint(&mut state, program, detectors, limits, breakpoint, 1)
-            .expect("pre-injection execution is concrete");
+    let reached = run_concrete_to_breakpoint(&mut state, program, detectors, limits, breakpoint, 1)
+        .expect("pre-injection execution is concrete");
     if !reached {
         return None;
     }
@@ -168,10 +161,7 @@ mod permanent_tests {
     fn stuck_at_register_defeats_recomputation() {
         // The program recomputes $2 after the fault window; a transient
         // error is erased, a permanent one persists to the output.
-        let p = parse_program(
-            "mov $2, 7\nmov $2, 7\nprint $2\nhalt",
-        )
-        .unwrap();
+        let p = parse_program("mov $2, 7\nmov $2, 7\nprint $2\nhalt").unwrap();
         let transient = replay_register_witness(
             &p,
             &DetectorSet::new(),
@@ -207,10 +197,7 @@ mod permanent_tests {
 
     #[test]
     fn stuck_at_loop_counter_hangs() {
-        let p = parse_program(
-            "mov $1, 3\nloop: subi $1, $1, 1\nbgt $1, 0, loop\nhalt",
-        )
-        .unwrap();
+        let p = parse_program("mov $1, 3\nloop: subi $1, $1, 1\nbgt $1, 0, loop\nhalt").unwrap();
         let result = replay_permanent_register_fault(
             &p,
             &DetectorSet::new(),

@@ -6,13 +6,12 @@
 //! satisfiable — if not, the state is a false positive and the search is
 //! truncated — and eliminates redundancies in the set.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 use sympl_asm::Cmp;
 
 /// A single constraint on the (unknown) integer behind an `err` symbol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Constraint {
     /// The value equals the constant.
     Eq(i64),
@@ -89,7 +88,7 @@ impl fmt::Display for Constraint {
 /// assert!(!s.allows(2));
 /// assert!(s.allows(5));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ConstraintSet {
     lo: i64,
     hi: i64,

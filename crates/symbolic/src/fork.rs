@@ -235,5 +235,4 @@ mod tests {
         }
         true
     }
-
 }

@@ -1,6 +1,5 @@
 //! Locations that can hold values (and therefore errors and constraints).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use sympl_asm::Reg;
 
@@ -10,9 +9,7 @@ use sympl_asm::Reg;
 /// erroneous value shares the single `err` symbol, what the analysis learns
 /// at a fork is a fact about *the location holding* the error, not about a
 /// distinguishable symbolic variable.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Location {
     /// An architectural register.
     Reg(Reg),

@@ -1,6 +1,5 @@
 //! The ConstraintMap carried inside the machine state (paper §5.2).
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -13,7 +12,7 @@ use crate::{Constraint, ConstraintSet, Location};
 /// of a comparison each carry a *different* ConstraintMap, which is how the
 /// search "remembers" the outcome of earlier comparisons and keeps later
 /// comparisons on unmodified locations consistent.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct ConstraintMap {
     entries: BTreeMap<Location, ConstraintSet>,
 }

@@ -1,6 +1,5 @@
 //! The symbolic value domain and the §5.2 error-propagation algebra.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use sympl_asm::BinOp;
 
@@ -10,7 +9,7 @@ use sympl_asm::BinOp;
 /// registers, memory, caches, or computation — into the single symbol `err`
 /// (§3.2). This avoids state explosion: program states are distinguished by
 /// *where* errors live, not by the individual corrupted bit patterns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
     /// A concrete integer.
     Int(i64),

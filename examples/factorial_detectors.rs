@@ -25,13 +25,7 @@ fn main() {
         ("Figure 3 (with detectors)", &protected, 10usize),
     ] {
         let point = InjectionPoint::new(subi_addr, InjectTarget::Register(Reg::r(3)));
-        let prep = prepare(
-            &w.program,
-            &w.detectors,
-            &w.input,
-            &point,
-            &limits.exec,
-        );
+        let prep = prepare(&w.program, &w.detectors, &w.input, &point, &limits.exec);
         let report = search_many(
             &w.program,
             &w.detectors,

@@ -34,7 +34,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Run it concretely.
     let mut state = MachineState::with_input(vec![10]);
-    run_concrete(&mut state, &program, &DetectorSet::new(), &ExecLimits::default())?;
+    run_concrete(
+        &mut state,
+        &program,
+        &DetectorSet::new(),
+        &ExecLimits::default(),
+    )?;
     println!("concrete run, n=10: output {:?}", state.output_ints());
     assert_eq!(state.output_ints(), vec![55]);
 

@@ -1,0 +1,30 @@
+# Developer entry points for the SymPLFIED reproduction.
+#
+# `just build` / `just test` mirror the tier-1 gate; `just repro-tables`
+# regenerates every paper table/figure in one command.
+
+# Build the whole workspace in release mode.
+build:
+    cargo build --release --workspace
+
+# Run the full test suite (unit + integration + property tests).
+test:
+    cargo test -q --workspace
+
+# Lint gate: formatting and clippy, as CI runs them.
+lint:
+    cargo fmt --all --check
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Run the Criterion-style benches (engine + campaign throughput).
+bench:
+    cargo bench --workspace
+
+# Regenerate the paper's tables and figures from the assembled workloads.
+repro-tables:
+    cargo run --release -p sympl-bench --bin table1
+    cargo run --release -p sympl-bench --bin table2 -- --quick
+    cargo run --release -p sympl-bench --bin table3
+    cargo run --release -p sympl-bench --bin fig2_fig3
+    cargo run --release -p sympl-bench --bin tcas_campaign -- --quick --tasks 16
+    cargo run --release -p sympl-bench --bin replace_campaign -- --quick --tasks 16

@@ -60,8 +60,7 @@ fn derived_detectors_shrink_the_escaping_set() {
             for sol in out.report.solutions {
                 match sol.state.status() {
                     Status::Halted
-                        if sol.state.output_contains_err()
-                            || sol.state.output_ints() != golden =>
+                        if sol.state.output_contains_err() || sol.state.output_ints() != golden =>
                     {
                         escaping += 1;
                     }

@@ -23,8 +23,7 @@ fn framework_sum_enumeration_is_complete_and_real() {
     for f in &verdict.findings {
         assert_eq!(f.solution.state.status(), &Status::Halted);
         assert!(
-            f.solution.state.output_contains_err()
-                || f.solution.state.output_ints() != vec![55]
+            f.solution.state.output_contains_err() || f.solution.state.output_ints() != vec![55]
         );
     }
     assert!(verdict.points_activated > 0);
@@ -81,7 +80,13 @@ fn detector_workflow_narrows_escaping_errors() {
     let run = |w: &symplfied::apps::Workload, subi: usize| {
         let point = InjectionPoint::new(subi, InjectTarget::Register(Reg::r(3)));
         let prep = prepare(&w.program, &w.detectors, &w.input, &point, &limits.exec);
-        search_many(&w.program, &w.detectors, prep.seeds, &Predicate::Any, &limits)
+        search_many(
+            &w.program,
+            &w.detectors,
+            prep.seeds,
+            &Predicate::Any,
+            &limits,
+        )
     };
     let unprotected = run(&plain, 7);
     let with_detectors = run(&protected, 10);
@@ -93,9 +98,7 @@ fn detector_workflow_narrows_escaping_errors() {
     let escaping = |r: &symplfied::check::SearchReport| {
         r.solutions
             .iter()
-            .filter(|s| {
-                s.state.status() == &Status::Halted && s.state.output_ints() != vec![120]
-            })
+            .filter(|s| s.state.status() == &Status::Halted && s.state.output_ints() != vec![120])
             .count()
     };
     assert!(escaping(&with_detectors) > 0);

@@ -27,7 +27,13 @@ fn translated_mips_runs_concretely() {
     let program = translate_mips(MIPS_ABS).unwrap();
     for x in [-5i64, 0, 9] {
         let mut state = MachineState::with_input(vec![x]);
-        run_concrete(&mut state, &program, &DetectorSet::new(), &ExecLimits::default()).unwrap();
+        run_concrete(
+            &mut state,
+            &program,
+            &DetectorSet::new(),
+            &ExecLimits::default(),
+        )
+        .unwrap();
         assert_eq!(state.status(), &Status::Halted);
         assert_eq!(state.output_ints(), vec![x.abs()], "x = {x}");
     }
@@ -72,7 +78,13 @@ fn mips_function_calls_translate() {
     ";
     let program = translate_mips(src).unwrap();
     let mut state = MachineState::new();
-    run_concrete(&mut state, &program, &DetectorSet::new(), &ExecLimits::default()).unwrap();
+    run_concrete(
+        &mut state,
+        &program,
+        &DetectorSet::new(),
+        &ExecLimits::default(),
+    )
+    .unwrap();
     assert_eq!(state.output_ints(), vec![40]);
 }
 
@@ -93,6 +105,12 @@ fn mips_mult_div_hilo_sequences() {
     ";
     let program = translate_mips(src).unwrap();
     let mut state = MachineState::new();
-    run_concrete(&mut state, &program, &DetectorSet::new(), &ExecLimits::default()).unwrap();
+    run_concrete(
+        &mut state,
+        &program,
+        &DetectorSet::new(),
+        &ExecLimits::default(),
+    )
+    .unwrap();
     assert_eq!(state.output_ints(), vec![42, 0]);
 }

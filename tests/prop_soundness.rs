@@ -137,3 +137,172 @@ proptest! {
         check_coverage(&w, 5, Reg::r(2), value, 1_000)?;
     }
 }
+
+// ---------------------------------------------------------------------
+// State-representation equivalence (the copy-on-write refactor)
+// ---------------------------------------------------------------------
+
+mod state_representation {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn std_hash(state: &MachineState) -> u64 {
+        let mut h = DefaultHasher::new();
+        state.hash(&mut h);
+        h.finish()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// CoW-forked states must be indistinguishable from independently
+        /// constructed states with the same contents: `==`, the std hash,
+        /// and the 128-bit search fingerprint all agree, regardless of how
+        /// the base/delta memory layers are split.
+        #[test]
+        fn cow_forked_states_match_fresh_states(
+            base in prop::collection::vec((0u64..48, -100i64..=100), 1..40),
+            extra in prop::collection::vec((0u64..64, -100i64..=100), 0..24),
+        ) {
+            let mut origin = MachineState::new();
+            origin.load_memory(base.iter().map(|&(slot, v)| (slot * 8, v)));
+
+            // Fork and keep writing: writes land in the fork's delta while
+            // the base image stays shared with the origin.
+            let mut fork = origin.clone();
+            prop_assert!(fork.memory_shares_storage(&origin));
+            for &(slot, v) in &extra {
+                fork.set_mem(slot * 8, Value::Int(v));
+            }
+
+            // The same contents, built flat with no sharing anywhere.
+            let mut fresh = MachineState::new();
+            fresh.load_memory(base.iter().map(|&(slot, v)| (slot * 8, v)));
+            for &(slot, v) in &extra {
+                fresh.set_mem(slot * 8, Value::Int(v));
+            }
+
+            prop_assert_eq!(&fork, &fresh);
+            prop_assert_eq!(std_hash(&fork), std_hash(&fresh));
+            prop_assert_eq!(fork.fingerprint(), fresh.fingerprint());
+            // And the origin never observed the fork's writes.
+            prop_assert_eq!(origin.memory_len(), {
+                let mut distinct: Vec<u64> = base.iter().map(|&(s, _)| s).collect();
+                distinct.sort_unstable();
+                distinct.dedup();
+                distinct.len()
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fingerprint-dedup equivalence: the Explorer's 16-byte visited set must
+// not change search outcomes versus retaining whole states.
+// ---------------------------------------------------------------------
+
+mod fingerprint_dedup {
+    use super::*;
+    use std::collections::{HashSet, VecDeque};
+    use symplfied::check::{Explorer, OutcomeCounts};
+
+    /// A reference BFS that deduplicates on retained whole `MachineState`
+    /// values — the pre-refactor behaviour — mirroring the Explorer's
+    /// expansion order and budget accounting exactly.
+    fn reference_explore(
+        w: &symplfied::apps::Workload,
+        seeds: Vec<MachineState>,
+        limits: &SearchLimits,
+    ) -> (usize, usize, OutcomeCounts, usize) {
+        let mut visited: HashSet<MachineState> = HashSet::new();
+        let mut frontier: VecDeque<MachineState> = VecDeque::new();
+        for s in seeds {
+            if visited.insert(s.clone()) {
+                frontier.push_back(s);
+            }
+        }
+        let mut states = 0usize;
+        let mut duplicates = 0usize;
+        let mut solutions = 0usize;
+        let mut terminals = OutcomeCounts::default();
+        while let Some(state) = frontier.pop_front() {
+            if states >= limits.max_states {
+                break;
+            }
+            states += 1;
+            if state.status().is_terminal() {
+                terminals.record(&state);
+                solutions += 1;
+                continue;
+            }
+            for succ in state.step(&w.program, &w.detectors, &limits.exec) {
+                if visited.insert(succ.clone()) {
+                    frontier.push_back(succ);
+                } else {
+                    duplicates += 1;
+                }
+            }
+        }
+        (states, duplicates, terminals, solutions)
+    }
+
+    fn assert_equivalent(
+        w: &symplfied::apps::Workload,
+        breakpoint: usize,
+        reg: Reg,
+        limits: &SearchLimits,
+    ) {
+        let point = InjectionPoint::new(breakpoint, InjectTarget::Register(reg));
+        let prep = prepare(&w.program, &w.detectors, &w.input, &point, &limits.exec);
+        assert!(
+            prep.activated,
+            "breakpoint {breakpoint} must be on the golden path"
+        );
+
+        let report = Explorer::new(&w.program, &w.detectors)
+            .with_limits(limits.clone())
+            .explore(prep.seeds.clone(), &Predicate::Any);
+        let (states, duplicates, terminals, solutions) = reference_explore(w, prep.seeds, limits);
+
+        assert_eq!(report.states_explored, states, "{}: state counts", w.name);
+        assert_eq!(
+            report.duplicate_hits, duplicates,
+            "{}: duplicate hits",
+            w.name
+        );
+        assert_eq!(report.terminals, terminals, "{}: outcome counts", w.name);
+        assert_eq!(report.solutions.len(), solutions, "{}: solutions", w.name);
+    }
+
+    #[test]
+    fn factorial_outcome_counts_unchanged_by_fingerprints() {
+        // The §4 walkthrough point: the loop-counter decrement, every n
+        // whose golden path enters the loop body.
+        for n in 2..=5 {
+            let w = symplfied::apps::factorial().with_input(vec![n]);
+            let limits = SearchLimits {
+                exec: ExecLimits::with_max_steps(500),
+                max_states: 1_000_000,
+                max_solutions: usize::MAX,
+                max_time: None,
+            };
+            assert_equivalent(&w, 7, Reg::r(3), &limits);
+        }
+    }
+
+    #[test]
+    fn tcas_outcome_counts_unchanged_by_fingerprints() {
+        // A data-register point inside alt_sep_test on the evaluation
+        // input, truncated by the same state budget on both engines.
+        let w = symplfied::apps::tcas();
+        let ast = w.program.label_address("alt_sep_test").expect("tcas label");
+        let limits = SearchLimits {
+            exec: ExecLimits::with_max_steps(w.max_steps),
+            max_states: 30_000,
+            max_solutions: usize::MAX,
+            max_time: None,
+        };
+        assert_equivalent(&w, ast + 3, Reg::r(8), &limits);
+    }
+}

@@ -42,18 +42,14 @@ fn non_crossing_biased_climb(inp: &TcasInput) -> bool {
     if upward_preferred {
         !(own_below_threat(inp) && inp.down_separation >= alim(inp))
     } else {
-        own_above_threat(inp)
-            && inp.cur_vertical_sep >= MINSEP
-            && inp.up_separation >= alim(inp)
+        own_above_threat(inp) && inp.cur_vertical_sep >= MINSEP && inp.up_separation >= alim(inp)
     }
 }
 
 fn non_crossing_biased_descend(inp: &TcasInput) -> bool {
     let upward_preferred = inhibit_biased_climb(inp) > inp.down_separation;
     if upward_preferred {
-        own_below_threat(inp)
-            && inp.cur_vertical_sep >= MINSEP
-            && inp.down_separation >= alim(inp)
+        own_below_threat(inp) && inp.cur_vertical_sep >= MINSEP && inp.down_separation >= alim(inp)
     } else {
         !own_above_threat(inp) || inp.up_separation >= alim(inp)
     }
@@ -171,7 +167,11 @@ fn ref_makepat(pattern: &str) -> Vec<Pat> {
                 if i < chars.len() {
                     i += 1; // skip ']'
                 }
-                out.push(if negate { Pat::Nccl(set) } else { Pat::Ccl(set) });
+                out.push(if negate {
+                    Pat::Nccl(set)
+                } else {
+                    Pat::Ccl(set)
+                });
             }
             c => {
                 out.push(Pat::Lit(c));

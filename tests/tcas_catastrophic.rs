@@ -42,10 +42,7 @@ fn symbolic_search_finds_the_1_to_2_conversion() {
         "the evaluation input must produce the upward advisory"
     );
 
-    let point = InjectionPoint::new(
-        ncbc_return(&w.program),
-        InjectTarget::Register(Reg::r(31)),
-    );
+    let point = InjectionPoint::new(ncbc_return(&w.program), InjectTarget::Register(Reg::r(31)));
     let outcome = run_point(
         &w.program,
         &w.detectors,
