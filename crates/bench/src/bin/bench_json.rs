@@ -1,0 +1,194 @@
+//! Engine-throughput trajectory: writes `BENCH_explore.json`.
+//!
+//! For each paper workload (factorial, tcas, replace) this binary builds
+//! one **pooled full-sweep search** — the seed states of *every*
+//! register-file injection point, deduplicated by the engine — and runs it
+//! twice at identical budgets: once on the sequential `Explorer`, once on
+//! the work-stealing `ParallelExplorer`. Each run becomes one JSON entry
+//! `{workload, states, seconds, states_per_second, workers, steals,
+//! exhausted}`, so BENCH_explore.json tracks both raw engine speed and the
+//! parallel speedup across revisions.
+//!
+//! Usage: `bench_json [--quick] [--workers N] [--out PATH]`
+//!
+//! `--quick` shrinks the budgets for CI smoke runs; `--workers N` pins the
+//! parallel engine's worker count (default: one per hardware thread, min 2
+//! so the parallel path is exercised even on single-core runners).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use sympl_apps::Workload;
+use sympl_check::{Explorer, ParallelExplorer, Predicate, SearchLimits, SearchReport};
+use sympl_inject::{enumerate_points, prepare, ErrorClass};
+use sympl_machine::{ExecLimits, MachineState};
+
+struct Entry {
+    workload: &'static str,
+    states: usize,
+    seconds: f64,
+    states_per_second: f64,
+    workers: usize,
+    steals: usize,
+    exhausted: bool,
+}
+
+impl Entry {
+    fn from_report(workload: &'static str, report: &SearchReport) -> Self {
+        Entry {
+            workload,
+            states: report.states_explored,
+            seconds: report.elapsed.as_secs_f64(),
+            states_per_second: report.states_per_second,
+            workers: report.workers,
+            steals: report.steals,
+            exhausted: report.exhausted,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"workload\": \"{}\", \"states\": {}, \"seconds\": {:.6}, \
+             \"states_per_second\": {:.1}, \"workers\": {}, \"steals\": {}, \
+             \"exhausted\": {}}}",
+            self.workload,
+            self.states,
+            self.seconds,
+            self.states_per_second,
+            self.workers,
+            self.steals,
+            self.exhausted
+        )
+    }
+}
+
+/// Seeds of every register-file injection point of `w`, pooled into one
+/// giant search (the engine deduplicates overlapping frontiers).
+fn pooled_register_seeds(w: &Workload, exec: &ExecLimits) -> Vec<MachineState> {
+    let mut seeds = Vec::new();
+    for point in enumerate_points(&w.program, &ErrorClass::RegisterFile) {
+        seeds.extend(prepare(&w.program, &w.detectors, &w.input, &point, exec).seeds);
+    }
+    seeds
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let workers: usize = flag("--workers")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map_or(2, usize::from)
+                .max(2)
+        });
+    let out_path = flag("--out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_explore.json".into());
+
+    // (workload, exec-step bound, state budget): fixed budgets so entries
+    // are comparable across revisions.
+    let configs: Vec<(Workload, u64, usize)> = vec![
+        {
+            let w = sympl_apps::factorial().with_input(vec![6]);
+            let (steps, states) = if quick {
+                (800, 5_000)
+            } else {
+                (1_500, 100_000)
+            };
+            (w, steps, states)
+        },
+        {
+            let w = sympl_apps::tcas();
+            let steps = if quick {
+                w.max_steps.min(2_000)
+            } else {
+                w.max_steps
+            };
+            let states = if quick { 8_000 } else { 150_000 };
+            (w, steps, states)
+        },
+        {
+            let w = sympl_apps::replace();
+            let steps = if quick { 2_000 } else { 6_000 };
+            let states = if quick { 8_000 } else { 100_000 };
+            (w, steps, states)
+        },
+    ];
+
+    let mut entries: Vec<Entry> = Vec::new();
+    for (w, steps, max_states) in &configs {
+        let exec = ExecLimits::with_max_steps(*steps);
+        let limits = SearchLimits {
+            exec: exec.clone(),
+            max_states: *max_states,
+            max_solutions: usize::MAX,
+            max_time: None,
+        };
+        let prep_start = Instant::now();
+        let seeds = pooled_register_seeds(w, &exec);
+        println!(
+            "{}: {} pooled seeds from the register full-sweep ({:?} prep)",
+            w.name,
+            seeds.len(),
+            prep_start.elapsed()
+        );
+
+        let sequential = Explorer::new(&w.program, &w.detectors)
+            .with_limits(limits.clone())
+            .explore(seeds.clone(), &Predicate::Any);
+        entries.push(Entry::from_report(w.name, &sequential));
+
+        let parallel = ParallelExplorer::new(&w.program, &w.detectors)
+            .with_limits(limits)
+            .with_workers(workers)
+            .explore(seeds, &Predicate::Any);
+        entries.push(Entry::from_report(w.name, &parallel));
+
+        let speedup = if parallel.elapsed.as_secs_f64() > 0.0 {
+            sequential.elapsed.as_secs_f64() / parallel.elapsed.as_secs_f64()
+        } else {
+            0.0
+        };
+        println!(
+            "  sequential: {:>8} states in {:>8.3}s ({:>9.0} states/s)",
+            sequential.states_explored,
+            sequential.elapsed.as_secs_f64(),
+            sequential.states_per_second
+        );
+        println!(
+            "  parallel  : {:>8} states in {:>8.3}s ({:>9.0} states/s, {} workers, {} steals) — {:.2}x",
+            parallel.states_explored,
+            parallel.elapsed.as_secs_f64(),
+            parallel.states_per_second,
+            parallel.workers,
+            parallel.steals,
+            speedup
+        );
+        if sequential.exhausted && parallel.exhausted {
+            assert_eq!(
+                sequential.terminals, parallel.terminals,
+                "{}: engines must agree on exhausted sweeps",
+                w.name
+            );
+        }
+    }
+
+    let mut json = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "  {}{}",
+            e.to_json(),
+            if i + 1 < entries.len() { "," } else { "" }
+        );
+    }
+    json.push_str("]\n");
+    std::fs::write(&out_path, json).expect("failed to write the benchmark JSON");
+    println!("\nwrote {} entries to {out_path}", entries.len());
+}

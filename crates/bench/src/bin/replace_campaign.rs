@@ -63,7 +63,13 @@ fn main() {
         &config,
     );
 
-    println!("{}\n", report.summary());
+    println!("{}", report.summary());
+    println!(
+        "point engine: {}-way work-stealing searches, {} steals, {:.0} states/s aggregate\n",
+        report.point_workers().max(1),
+        report.steals(),
+        report.states_per_second()
+    );
     println!(
         "{}",
         render_table(

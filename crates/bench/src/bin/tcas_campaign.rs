@@ -64,7 +64,13 @@ fn main() {
         &config,
     );
 
-    println!("{}\n", report.summary());
+    println!("{}", report.summary());
+    println!(
+        "point engine: {}-way work-stealing searches, {} steals, {:.0} states/s aggregate\n",
+        report.point_workers().max(1),
+        report.steals(),
+        report.states_per_second()
+    );
 
     // Bucket the findings by printed outcome, as §6.2 discusses them.
     let mut catastrophic = 0usize; // printed exactly 2

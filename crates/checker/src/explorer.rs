@@ -24,12 +24,12 @@
 //!   along with a `states_per_second` throughput figure for campaign
 //!   summaries and benchmark tables.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::time::Instant;
 
 use sympl_asm::Program;
 use sympl_detect::DetectorSet;
-use sympl_machine::{ExecLimits, Fingerprint, MachineState};
+use sympl_machine::{ExecLimits, FingerprintSet, MachineState};
 
 use crate::{OutcomeCounts, Predicate, SearchLimits, SearchReport, Solution};
 
@@ -54,6 +54,7 @@ pub struct Explorer<'a> {
     detectors: &'a DetectorSet,
     limits: SearchLimits,
     frontier: Frontier,
+    workers_hint: Option<usize>,
 }
 
 impl<'a> Explorer<'a> {
@@ -65,7 +66,28 @@ impl<'a> Explorer<'a> {
             detectors,
             limits: SearchLimits::default(),
             frontier: Frontier::default(),
+            workers_hint: None,
         }
+    }
+
+    /// Caps the worker count [`Explorer::explore_auto`] may engage when it
+    /// routes a big-budget search to the parallel engine. `1` forces the
+    /// sequential path; `None` (the default) uses every hardware thread.
+    ///
+    /// Callers that are *themselves* running many explorers concurrently
+    /// (the cluster's task pool) set this to their share of the machine so
+    /// nested parallelism does not oversubscribe it.
+    #[must_use]
+    pub fn with_workers_hint(mut self, workers: Option<usize>) -> Self {
+        self.workers_hint = workers.map(|w| w.max(1));
+        self
+    }
+
+    /// The configured worker cap for auto-routed searches (`None` = all
+    /// hardware threads).
+    #[must_use]
+    pub fn workers_hint(&self) -> Option<usize> {
+        self.workers_hint
     }
 
     /// Replaces the search budgets.
@@ -80,6 +102,12 @@ impl<'a> Explorer<'a> {
     pub fn with_frontier(mut self, frontier: Frontier) -> Self {
         self.frontier = frontier;
         self
+    }
+
+    /// The configured frontier discipline.
+    #[must_use]
+    pub fn frontier(&self) -> Frontier {
+        self.frontier
     }
 
     /// The program under exploration.
@@ -120,8 +148,9 @@ impl<'a> Explorer<'a> {
 
         // Parent arena for witness traces: (parent index or usize::MAX, pc).
         let mut arena: Vec<(usize, usize)> = Vec::new();
-        // Fingerprints only: 16 bytes per visited state.
-        let mut visited: HashSet<Fingerprint> = HashSet::new();
+        // Fingerprints only (16 bytes per visited state), bucketed by their
+        // own digest bits — no SipHash re-hash per probe.
+        let mut visited = FingerprintSet::default();
         let mut frontier: VecDeque<(MachineState, usize)> = VecDeque::new();
 
         for s in seeds {
@@ -182,6 +211,7 @@ impl<'a> Explorer<'a> {
         report.terminals = terminals;
         report.elapsed = start.elapsed();
         report.states_per_second = SearchReport::throughput(report.states_explored, report.elapsed);
+        report.workers = 1;
         report
     }
 

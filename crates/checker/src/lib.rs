@@ -45,11 +45,13 @@
 #![warn(missing_docs)]
 
 mod explorer;
+mod parallel;
 mod predicate;
 mod report;
 mod search;
 
 pub use explorer::{Explorer, Frontier};
+pub use parallel::{ParallelExplorer, PARALLEL_STATE_THRESHOLD};
 pub use predicate::Predicate;
 pub use report::{OutcomeCounts, SearchReport, Solution};
 pub use search::{search, search_many, SearchLimits};

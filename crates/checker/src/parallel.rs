@@ -1,0 +1,782 @@
+//! The work-stealing parallel exploration engine.
+//!
+//! The paper scaled its searches by fanning independent tasks across a
+//! 150-node cluster; *within* one task the search stayed sequential. This
+//! module parallelizes a single search: [`ParallelExplorer`] runs N worker
+//! threads under `std::thread::scope`, each owning a local work deque and
+//! stealing from victims when its own runs dry, all deduplicating against
+//! one **sharded visited set**.
+//!
+//! # Shard scheme
+//!
+//! The visited set is split into `2^k` shards (default `2^6 = 64`), each a
+//! mutex-guarded [`FingerprintSet`]. A state's shard is chosen by the
+//! **low** `k` bits of its 128-bit fingerprint ([`Fingerprint::shard`]);
+//! within a shard, the identity `BuildHasher` buckets by the **high** 64
+//! bits, so the two levels consume disjoint digest bits. Dedup inserts from
+//! different workers only contend when their fingerprints agree in the low
+//! `k` bits — with 64 shards and uniformly distributed digests, lock
+//! contention is negligible next to the cost of expanding a state.
+//!
+//! # Work stealing
+//!
+//! Each worker pushes successors onto its own mutex-guarded deque and
+//! consumes it locally (FIFO under [`Frontier::Bfs`], LIFO under
+//! [`Frontier::Dfs`]). When empty, it scans the other workers round-robin
+//! and steals half of the first non-empty deque it finds — from the end
+//! its victim is *not* consuming, so a steal races minimally with the
+//! victim's own pops. The number of successful steals is reported as
+//! [`SearchReport::steals`].
+//!
+//! The deques are deliberately one-level: every worker's **whole**
+//! sub-frontier stays in its stealable deque. An earlier two-level variant
+//! (lock-free private buffer spilling to a shared deque) benchmarked
+//! *slower* under a state cap — the small private window slides depth-wise
+//! through one subtree, stranding spilled work and burning the budget on
+//! deep, expensive states instead of the shallow BFS prefix. The own-deque
+//! mutex is uncontended outside steals, costing ~tens of nanoseconds per
+//! state against microseconds of expansion work.
+//!
+//! # Budget accounting and termination
+//!
+//! State and solution budgets live in shared atomics; any worker that
+//! exhausts a budget raises a cooperative stop flag, which every worker
+//! checks once per expansion. Wall-clock budgets are checked every 64
+//! expansions per worker (mirroring the sequential engine). Global
+//! completion is detected with an in-flight counter: enqueuing a state
+//! increments it, finishing a state's expansion decrements it, and an idle
+//! worker exits once the counter hits zero.
+//!
+//! # Determinism contract
+//!
+//! When a search **exhausts** its state space (no cap hit), every distinct
+//! state is expanded exactly once regardless of worker count or schedule,
+//! so `states_explored`, `duplicate_hits`, terminal outcome counts, and the
+//! *set* of solutions are identical to the sequential [`Explorer`]'s.
+//! Discovery *order* is schedule-dependent, so solutions are sorted into a
+//! canonical order (trace length, then trace, then state fingerprint)
+//! before the report is returned. Two caveats, both documented here rather
+//! than papered over: (1) a truncated search (state/solution/time cap hit)
+//! explores a schedule-dependent prefix of the space, exactly as the
+//! paper's 30-minute task timeouts truncated nondeterministically across
+//! cluster nodes; (2) witness traces record the path that *won the race*
+//! to each state, which under Bfs is no longer guaranteed shortest.
+//!
+//! # Threshold heuristic
+//!
+//! [`Explorer::explore_auto`] routes a search here only when its **state
+//! budget** exceeds [`PARALLEL_STATE_THRESHOLD`] and more than one hardware
+//! thread is available. The budget is the only size signal available before
+//! the search runs; small-budget searches (the per-point common case in
+//! quick campaigns) stay on the sequential engine, whose single-threaded
+//! loop has no atomics, locks, or thread-spawn overhead.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use sympl_asm::Program;
+use sympl_detect::DetectorSet;
+use sympl_machine::{Fingerprint, FingerprintSet, MachineState};
+
+use crate::{Explorer, Frontier, OutcomeCounts, Predicate, SearchLimits, SearchReport, Solution};
+
+/// State-budget threshold above which [`Explorer::explore_auto`] hands a
+/// search to the [`ParallelExplorer`]. Below it, thread spawn plus shared
+/// counters cost more than they recover; the paper-scale searches that
+/// dominate campaign wall-clock are far above it.
+pub const PARALLEL_STATE_THRESHOLD: usize = 50_000;
+
+/// Default number of visited-set shards (`2^6`).
+const DEFAULT_SHARD_BITS: u32 = 6;
+
+/// Expansions between wall-clock budget checks, as in the sequential engine.
+const TIME_CHECK_MASK: usize = 0x3F;
+
+/// A persistent parent chain for witness traces. Work items migrate between
+/// workers, so the sequential engine's flat parent arena (indices into one
+/// worker-local `Vec`) cannot work here; an `Arc` chain clones in O(1) and
+/// is immutable, so it crosses threads freely.
+#[derive(Debug)]
+struct TraceNode {
+    pc: usize,
+    parent: Option<Arc<TraceNode>>,
+}
+
+impl TraceNode {
+    fn root(pc: usize) -> Arc<Self> {
+        Arc::new(TraceNode { pc, parent: None })
+    }
+
+    fn child(self: &Arc<Self>, pc: usize) -> Arc<Self> {
+        Arc::new(TraceNode {
+            pc,
+            parent: Some(Arc::clone(self)),
+        })
+    }
+
+    fn reconstruct(&self) -> Vec<usize> {
+        let mut trace = Vec::new();
+        let mut cur = Some(self);
+        while let Some(node) = cur {
+            trace.push(node.pc);
+            cur = node.parent.as_deref();
+        }
+        trace.reverse();
+        trace
+    }
+}
+
+type WorkItem = (MachineState, Arc<TraceNode>);
+
+/// The sharded visited set: fingerprint low bits pick a shard, the identity
+/// hasher buckets by the high bits within it.
+struct ShardedVisited {
+    shards: Vec<Mutex<FingerprintSet>>,
+}
+
+impl ShardedVisited {
+    fn new(bits: u32) -> Self {
+        ShardedVisited {
+            shards: (0..1usize << bits)
+                .map(|_| Mutex::new(FingerprintSet::default()))
+                .collect(),
+        }
+    }
+
+    /// Inserts a fingerprint; `true` when it was not already present.
+    fn insert(&self, fp: Fingerprint) -> bool {
+        self.shards[fp.shard(self.shards.len())]
+            .lock()
+            .expect("a worker panicked while holding a visited shard")
+            .insert(fp)
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("visited shard poisoned").len())
+            .sum()
+    }
+}
+
+/// Shared coordination state for one parallel search.
+struct Shared<'a> {
+    program: &'a Program,
+    detectors: &'a DetectorSet,
+    limits: &'a SearchLimits,
+    predicate: &'a Predicate,
+    frontier: Frontier,
+    queues: Vec<Mutex<VecDeque<WorkItem>>>,
+    visited: ShardedVisited,
+    /// Enqueued-but-unfinished states; 0 means the space is swept.
+    in_flight: AtomicUsize,
+    /// Cooperative stop: raised by whichever worker exhausts a budget.
+    stop: AtomicBool,
+    states: AtomicUsize,
+    solutions_found: AtomicUsize,
+    steals: AtomicUsize,
+    hit_state_cap: AtomicBool,
+    hit_solution_cap: AtomicBool,
+    hit_time_cap: AtomicBool,
+    start: Instant,
+}
+
+/// Per-worker result pool, merged after the scope joins.
+#[derive(Default)]
+struct WorkerPool {
+    solutions: Vec<Solution>,
+    terminals: OutcomeCounts,
+    duplicate_hits: usize,
+}
+
+/// A work-stealing parallel twin of [`Explorer`]: same program/detector
+/// set/budget/frontier configuration, N worker threads per search.
+///
+/// ```
+/// use sympl_asm::parse_program;
+/// use sympl_check::{ParallelExplorer, Predicate};
+/// use sympl_detect::DetectorSet;
+/// use sympl_machine::MachineState;
+///
+/// let program = parse_program("print $1\nhalt")?;
+/// let detectors = DetectorSet::new();
+/// let report = ParallelExplorer::new(&program, &detectors)
+///     .with_workers(2)
+///     .explore(vec![MachineState::new()], &Predicate::Any);
+/// assert!(report.exhausted);
+/// assert_eq!(report.workers, 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelExplorer<'a> {
+    program: &'a Program,
+    detectors: &'a DetectorSet,
+    limits: SearchLimits,
+    frontier: Frontier,
+    workers: usize,
+    shard_bits: u32,
+}
+
+impl<'a> ParallelExplorer<'a> {
+    /// An engine with default budgets, a BFS frontier, and one worker per
+    /// available hardware thread.
+    #[must_use]
+    pub fn new(program: &'a Program, detectors: &'a DetectorSet) -> Self {
+        ParallelExplorer {
+            program,
+            detectors,
+            limits: SearchLimits::default(),
+            frontier: Frontier::default(),
+            workers: available_workers(),
+            shard_bits: DEFAULT_SHARD_BITS,
+        }
+    }
+
+    /// A parallel engine inheriting a sequential [`Explorer`]'s full
+    /// configuration (program, detectors, budgets, frontier, worker cap).
+    #[must_use]
+    pub fn from_explorer(explorer: &Explorer<'a>) -> Self {
+        ParallelExplorer {
+            program: explorer.program(),
+            detectors: explorer.detectors(),
+            limits: explorer.limits().clone(),
+            frontier: explorer.frontier(),
+            workers: explorer.workers_hint().unwrap_or_else(available_workers),
+            shard_bits: DEFAULT_SHARD_BITS,
+        }
+    }
+
+    /// Replaces the search budgets.
+    #[must_use]
+    pub fn with_limits(mut self, limits: SearchLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Replaces the frontier discipline (per-worker: FIFO for Bfs, LIFO for
+    /// Dfs; the global interleaving is schedule-dependent either way).
+    #[must_use]
+    pub fn with_frontier(mut self, frontier: Frontier) -> Self {
+        self.frontier = frontier;
+        self
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the visited-set shard count to `2^bits` (clamped to `[0, 16]`).
+    #[must_use]
+    pub fn with_shard_bits(mut self, bits: u32) -> Self {
+        self.shard_bits = bits.min(16);
+        self
+    }
+
+    /// The configured worker-thread count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The configured search budgets.
+    #[must_use]
+    pub fn limits(&self) -> &SearchLimits {
+        &self.limits
+    }
+
+    /// Exhaustively explores the state space from `seeds` on the worker
+    /// pool, collecting terminal states that satisfy `predicate`.
+    ///
+    /// See the module docs for the determinism contract: exhausted searches
+    /// reproduce the sequential engine's counts and solution set exactly;
+    /// truncated searches explore a schedule-dependent prefix.
+    #[must_use]
+    pub fn explore(&self, seeds: Vec<MachineState>, predicate: &Predicate) -> SearchReport {
+        let start = Instant::now();
+        let shared = Shared {
+            program: self.program,
+            detectors: self.detectors,
+            limits: &self.limits,
+            predicate,
+            frontier: self.frontier,
+            queues: (0..self.workers)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            visited: ShardedVisited::new(self.shard_bits),
+            in_flight: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            states: AtomicUsize::new(0),
+            solutions_found: AtomicUsize::new(0),
+            steals: AtomicUsize::new(0),
+            hit_state_cap: AtomicBool::new(false),
+            hit_solution_cap: AtomicBool::new(false),
+            hit_time_cap: AtomicBool::new(false),
+            start,
+        };
+
+        // Seed round-robin across the worker deques, deduplicated exactly
+        // like successors (single insertion point: enqueue time).
+        let mut enqueued = 0usize;
+        for (i, seed) in seeds.into_iter().enumerate() {
+            if shared.visited.insert(seed.fingerprint()) {
+                let node = TraceNode::root(seed.pc());
+                shared.queues[i % self.workers]
+                    .lock()
+                    .expect("seeding happens before workers start")
+                    .push_back((seed, node));
+                enqueued += 1;
+            }
+        }
+        shared.in_flight.store(enqueued, Ordering::Release);
+
+        let pools: Vec<WorkerPool> = std::thread::scope(|scope| {
+            let shared = &shared;
+            let handles: Vec<_> = (0..self.workers)
+                .map(|id| scope.spawn(move || worker_loop(shared, id)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("search worker panicked"))
+                .collect()
+        });
+
+        let mut report = SearchReport {
+            states_explored: shared.states.load(Ordering::Acquire),
+            steals: shared.steals.load(Ordering::Acquire),
+            workers: self.workers,
+            hit_state_cap: shared.hit_state_cap.load(Ordering::Acquire),
+            hit_solution_cap: shared.hit_solution_cap.load(Ordering::Acquire),
+            hit_time_cap: shared.hit_time_cap.load(Ordering::Acquire),
+            ..SearchReport::default()
+        };
+        for pool in pools {
+            report.terminals.absorb(&pool.terminals);
+            report.duplicate_hits += pool.duplicate_hits;
+            report.solutions.extend(pool.solutions);
+        }
+        report.exhausted = !report.hit_state_cap
+            && !report.hit_solution_cap
+            && !report.hit_time_cap
+            && shared.in_flight.load(Ordering::Acquire) == 0;
+
+        // Canonical solution order (see module docs): discovery order is
+        // schedule-dependent, so sort by witness length, then the trace
+        // itself, then the terminal state's content digest.
+        report.solutions.sort_by(|a, b| {
+            (a.trace.len(), &a.trace)
+                .cmp(&(b.trace.len(), &b.trace))
+                .then_with(|| a.state.fingerprint().cmp(&b.state.fingerprint()))
+        });
+        // Workers race past the solution cap by at most one solution each;
+        // trim the pooled excess so the cap is exact, like the sequential
+        // engine's.
+        if report.solutions.len() > self.limits.max_solutions {
+            report.solutions.truncate(self.limits.max_solutions);
+        }
+
+        report.elapsed = start.elapsed();
+        report.states_per_second = SearchReport::throughput(report.states_explored, report.elapsed);
+        report
+    }
+}
+
+/// One worker: drain the local deque, steal when dry, stop cooperatively.
+fn worker_loop(shared: &Shared<'_>, id: usize) -> WorkerPool {
+    let mut pool = WorkerPool::default();
+    let mut expanded = 0usize;
+    let mut idle_spins = 0u32;
+
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Some((state, trace)) = pop_local(shared, id).or_else(|| {
+            if try_steal(shared, id) {
+                pop_local(shared, id)
+            } else {
+                None
+            }
+        }) else {
+            if shared.in_flight.load(Ordering::Acquire) == 0 {
+                break; // The space is swept; everyone else will follow.
+            }
+            // Work exists but lives in states other workers are expanding
+            // right now; back off briefly and re-scan.
+            idle_spins += 1;
+            if idle_spins < 64 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+            continue;
+        };
+        idle_spins = 0;
+
+        // State budget: claim an expansion slot; release it and stop if the
+        // cap was already reached (the popped state stays unexpanded,
+        // exactly like the sequential engine's pre-expansion cap check).
+        let claimed = shared.states.fetch_add(1, Ordering::Relaxed);
+        if claimed >= shared.limits.max_states {
+            shared.states.fetch_sub(1, Ordering::Relaxed);
+            shared.hit_state_cap.store(true, Ordering::Relaxed);
+            shared.stop.store(true, Ordering::Release);
+            shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+            break;
+        }
+
+        // Wall-clock budget, checked every few expansions per worker —
+        // including the worker's very first (`expanded` still 0 here), so
+        // an already-expired budget stops the search before any expansion,
+        // exactly as the sequential engine's check does.
+        if let Some(budget) = shared.limits.max_time {
+            if expanded & TIME_CHECK_MASK == 0 && shared.start.elapsed() >= budget {
+                // Release the expansion slot claimed above: this state is
+                // not expanded, so it must not be counted.
+                shared.states.fetch_sub(1, Ordering::Relaxed);
+                shared.hit_time_cap.store(true, Ordering::Relaxed);
+                shared.stop.store(true, Ordering::Release);
+                shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+                break;
+            }
+        }
+        expanded += 1;
+
+        if state.status().is_terminal() {
+            pool.terminals.record(&state);
+            if shared.predicate.matches(&state) {
+                pool.solutions.push(Solution {
+                    trace: trace.reconstruct(),
+                    state,
+                });
+                let found = shared.solutions_found.fetch_add(1, Ordering::AcqRel) + 1;
+                if found >= shared.limits.max_solutions {
+                    shared.hit_solution_cap.store(true, Ordering::Relaxed);
+                    shared.stop.store(true, Ordering::Release);
+                }
+            }
+            shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+            continue;
+        }
+
+        for succ in state.step(shared.program, shared.detectors, &shared.limits.exec) {
+            if shared.visited.insert(succ.fingerprint()) {
+                let node = trace.child(succ.pc());
+                // Increment before enqueuing so `in_flight` can never dip
+                // to zero while this successor is still reachable.
+                shared.in_flight.fetch_add(1, Ordering::AcqRel);
+                shared.queues[id]
+                    .lock()
+                    .expect("own queue poisoned")
+                    .push_back((succ, node));
+            } else {
+                pool.duplicate_hits += 1;
+            }
+        }
+        shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+    pool
+}
+
+fn pop_local(shared: &Shared<'_>, id: usize) -> Option<WorkItem> {
+    let mut queue = shared.queues[id].lock().expect("own queue poisoned");
+    match shared.frontier {
+        Frontier::Bfs => queue.pop_front(),
+        Frontier::Dfs => queue.pop_back(),
+    }
+}
+
+/// Steals half of the first non-empty victim deque into `id`'s own deque;
+/// `true` when anything was taken. Never holds two queue locks at once, so
+/// mutual steals cannot deadlock.
+fn try_steal(shared: &Shared<'_>, id: usize) -> bool {
+    let workers = shared.queues.len();
+    for offset in 1..workers {
+        let victim = (id + offset) % workers;
+        let taken: VecDeque<WorkItem> = {
+            let mut queue = shared.queues[victim].lock().expect("victim queue poisoned");
+            let len = queue.len();
+            if len == 0 {
+                continue;
+            }
+            let take = len.div_ceil(2);
+            match shared.frontier {
+                // Bfs victims consume the front: steal the back half.
+                Frontier::Bfs => queue.split_off(len - take),
+                // Dfs victims consume the back: steal the front half.
+                Frontier::Dfs => {
+                    let rest = queue.split_off(take);
+                    std::mem::replace(&mut *queue, rest)
+                }
+            }
+        };
+        shared.steals.fetch_add(1, Ordering::Relaxed);
+        shared.queues[id]
+            .lock()
+            .expect("own queue poisoned")
+            .extend(taken);
+        return true;
+    }
+    false
+}
+
+fn available_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+impl<'a> Explorer<'a> {
+    /// Routes the search by budget: the [`ParallelExplorer`] when the state
+    /// budget exceeds [`PARALLEL_STATE_THRESHOLD`] and more than one worker
+    /// is available, the sequential engine otherwise.
+    ///
+    /// This is the entry point the campaign layers (`run_point_with`, the
+    /// cluster worker loop, `symplfied::Framework`) drive: big-budget point
+    /// searches saturate the machine, small ones skip the thread-pool
+    /// overhead. The worker count is the hardware thread count unless the
+    /// caller capped it with [`Explorer::with_workers_hint`] — callers that
+    /// already run explorers concurrently (the cluster task pool) pass
+    /// their per-task share so nested parallelism cannot oversubscribe the
+    /// machine.
+    #[must_use]
+    pub fn explore_auto(&self, seeds: Vec<MachineState>, predicate: &Predicate) -> SearchReport {
+        let workers = self
+            .workers_hint()
+            .unwrap_or_else(available_workers)
+            .min(available_workers())
+            .max(1);
+        if workers >= 2 && self.limits().max_states > PARALLEL_STATE_THRESHOLD {
+            ParallelExplorer::from_explorer(self)
+                .with_workers(workers)
+                .explore(seeds, predicate)
+        } else {
+            self.explore(seeds, predicate)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympl_asm::{parse_program, Reg};
+    use sympl_machine::ExecLimits;
+    use sympl_symbolic::Value;
+
+    fn dets() -> DetectorSet {
+        DetectorSet::new()
+    }
+
+    /// A program whose error fork produces a few dozen states.
+    fn forked_program() -> (Program, MachineState) {
+        let p = parse_program(
+            "beq $1, 0, t\nmov $2, 1\njmp join\nt: mov $2, 2\nnop\n\
+             join: print $2\nprint $1\nhalt",
+        )
+        .unwrap();
+        let mut s = MachineState::new();
+        s.set_reg(Reg::r(1), Value::Err);
+        (p, s)
+    }
+
+    fn solution_digests(report: &SearchReport) -> Vec<Fingerprint> {
+        let mut v: Vec<Fingerprint> = report
+            .solutions
+            .iter()
+            .map(|s| s.state.fingerprint())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn matches_sequential_engine_when_exhausted() {
+        let (p, s) = forked_program();
+        let sequential = Explorer::new(&p, &dets()).explore(vec![s.clone()], &Predicate::Any);
+        assert!(sequential.exhausted);
+        for workers in [1, 2, 4] {
+            let parallel = ParallelExplorer::new(&p, &dets())
+                .with_workers(workers)
+                .explore(vec![s.clone()], &Predicate::Any);
+            assert!(parallel.exhausted, "workers={workers}");
+            assert_eq!(parallel.workers, workers);
+            assert_eq!(parallel.states_explored, sequential.states_explored);
+            assert_eq!(parallel.duplicate_hits, sequential.duplicate_hits);
+            assert_eq!(parallel.terminals, sequential.terminals);
+            assert_eq!(solution_digests(&parallel), solution_digests(&sequential));
+        }
+    }
+
+    #[test]
+    fn dfs_frontier_matches_too() {
+        let (p, s) = forked_program();
+        let sequential = Explorer::new(&p, &dets())
+            .with_frontier(Frontier::Dfs)
+            .explore(vec![s.clone()], &Predicate::Any);
+        let parallel = ParallelExplorer::new(&p, &dets())
+            .with_frontier(Frontier::Dfs)
+            .with_workers(3)
+            .explore(vec![s], &Predicate::Any);
+        assert!(parallel.exhausted);
+        assert_eq!(parallel.terminals, sequential.terminals);
+        assert_eq!(parallel.states_explored, sequential.states_explored);
+    }
+
+    #[test]
+    fn parallel_runs_are_deterministic_when_exhausted() {
+        let (p, s) = forked_program();
+        let run = || {
+            ParallelExplorer::new(&p, &dets())
+                .with_workers(4)
+                .with_shard_bits(2)
+                .explore(vec![s.clone()], &Predicate::Any)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.states_explored, b.states_explored);
+        assert_eq!(a.terminals, b.terminals);
+        assert_eq!(solution_digests(&a), solution_digests(&b));
+        // Canonical order makes the full solution lists comparable, not
+        // just the multisets.
+        let traces = |r: &SearchReport| {
+            r.solutions
+                .iter()
+                .map(|s| s.trace.len())
+                .collect::<Vec<_>>()
+        };
+        assert!(traces(&a).windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn state_cap_truncates_and_is_reported() {
+        let p = parse_program("loop: addi $2, $2, 1\nbeq $0, 0, loop").unwrap();
+        let limits = SearchLimits {
+            max_states: 300,
+            exec: ExecLimits::with_max_steps(1_000_000),
+            ..SearchLimits::default()
+        };
+        let report = ParallelExplorer::new(&p, &dets())
+            .with_workers(2)
+            .with_limits(limits)
+            .explore(vec![MachineState::new()], &Predicate::Any);
+        assert!(report.hit_state_cap);
+        assert!(!report.exhausted);
+        // Workers may stop a few states short of the cap (cooperative
+        // stop), never past it.
+        assert!(report.states_explored <= 300);
+    }
+
+    #[test]
+    fn solution_cap_is_exact_after_pooling() {
+        let (p, s) = forked_program();
+        let limits = SearchLimits {
+            max_solutions: 1,
+            ..SearchLimits::default()
+        };
+        let report = ParallelExplorer::new(&p, &dets())
+            .with_workers(4)
+            .with_limits(limits)
+            .explore(vec![s], &Predicate::Any);
+        assert_eq!(report.solutions.len(), 1);
+        assert!(report.hit_solution_cap);
+    }
+
+    #[test]
+    fn time_cap_stops_the_pool() {
+        let p = parse_program("loop: addi $2, $2, 1\nbeq $0, 0, loop").unwrap();
+        let limits = SearchLimits {
+            max_time: Some(std::time::Duration::ZERO),
+            exec: ExecLimits::with_max_steps(u64::MAX),
+            ..SearchLimits::default()
+        };
+        let report = ParallelExplorer::new(&p, &dets())
+            .with_workers(2)
+            .with_limits(limits.clone())
+            .explore(vec![MachineState::new()], &Predicate::Any);
+        assert!(report.hit_time_cap);
+        assert!(!report.exhausted);
+        // Even a space smaller than one check interval must see the
+        // expired budget on the very first expansion, like the sequential
+        // engine — not sweep the space and claim exhaustion.
+        let tiny = parse_program("nop\nhalt").unwrap();
+        let report = ParallelExplorer::new(&tiny, &dets())
+            .with_workers(2)
+            .with_limits(limits)
+            .explore(vec![MachineState::new()], &Predicate::Any);
+        assert!(report.hit_time_cap);
+        assert!(!report.exhausted);
+        assert_eq!(report.states_explored, 0);
+    }
+
+    #[test]
+    fn duplicate_seeds_collapse() {
+        let p = parse_program("print $1\nhalt").unwrap();
+        let s = MachineState::new();
+        let report = ParallelExplorer::new(&p, &dets())
+            .with_workers(3)
+            .explore(vec![s.clone(), s.clone(), s], &Predicate::Any);
+        assert_eq!(report.solutions.len(), 1);
+        assert!(report.exhausted);
+    }
+
+    #[test]
+    fn empty_seed_set_exhausts_immediately() {
+        let p = parse_program("halt").unwrap();
+        let report = ParallelExplorer::new(&p, &dets())
+            .with_workers(2)
+            .explore(Vec::new(), &Predicate::Any);
+        assert!(report.exhausted);
+        assert_eq!(report.states_explored, 0);
+        assert_eq!(report.workers, 2);
+    }
+
+    #[test]
+    fn sharded_visited_set_counts_inserts() {
+        let visited = ShardedVisited::new(3);
+        for v in 0..500u128 {
+            assert!(visited.insert(Fingerprint(v * 0x9E37_79B9_7F4A_7C15)));
+        }
+        for v in 0..500u128 {
+            assert!(!visited.insert(Fingerprint(v * 0x9E37_79B9_7F4A_7C15)));
+        }
+        assert_eq!(visited.len(), 500);
+    }
+
+    #[test]
+    fn explore_auto_routes_by_budget() {
+        let (p, s) = forked_program();
+        // A tiny budget stays sequential regardless of core count.
+        let small = Explorer::new(&p, &dets())
+            .with_limits(SearchLimits {
+                max_states: 100,
+                ..SearchLimits::default()
+            })
+            .explore_auto(vec![s.clone()], &Predicate::Any);
+        assert_eq!(small.workers, 1);
+        // A big budget engages as many workers as the hardware offers (on
+        // a single-core machine the sequential engine is the right call).
+        let big = Explorer::new(&p, &dets()).explore_auto(vec![s.clone()], &Predicate::Any);
+        assert_eq!(big.workers, available_workers());
+        assert_eq!(big.terminals, small.terminals, "same exhaustive answer");
+        // A workers hint of 1 forces the sequential path even on big
+        // budgets (nested-parallel callers use this to avoid
+        // oversubscription).
+        let hinted = Explorer::new(&p, &dets())
+            .with_workers_hint(Some(1))
+            .explore_auto(vec![s], &Predicate::Any);
+        assert_eq!(hinted.workers, 1);
+        assert_eq!(hinted.steals, 0);
+        assert_eq!(hinted.terminals, small.terminals);
+    }
+
+    #[test]
+    fn trace_nodes_reconstruct_paths() {
+        let root = TraceNode::root(0);
+        let deep = root.child(1).child(2).child(5);
+        assert_eq!(deep.reconstruct(), vec![0, 1, 2, 5]);
+        assert_eq!(root.reconstruct(), vec![0]);
+    }
+}

@@ -70,6 +70,14 @@ impl OutcomeCounts {
     pub fn total(&self) -> usize {
         self.halted + self.crashed + self.hung + self.detected
     }
+
+    /// Adds another set of counts (pooling per-worker or per-task tallies).
+    pub fn absorb(&mut self, other: &OutcomeCounts) {
+        self.halted += other.halted;
+        self.crashed += other.crashed;
+        self.hung += other.hung;
+        self.detected += other.detected;
+    }
 }
 
 impl fmt::Display for OutcomeCounts {
@@ -112,6 +120,16 @@ pub struct SearchReport {
     /// table binaries surface it so BENCH_*.json entries can track engine
     /// speed across revisions.
     pub states_per_second: f64,
+    /// Worker threads that executed the search: 1 for the sequential
+    /// [`crate::Explorer`], N for the work-stealing
+    /// [`crate::ParallelExplorer`] (0 only in empty default reports that
+    /// ran no search at all).
+    pub workers: usize,
+    /// Successful work-steal operations between workers (always 0 for the
+    /// sequential engine). A healthy parallel search steals rarely relative
+    /// to `states_explored`; a steal-dominated run signals a frontier too
+    /// small to parallelize.
+    pub steals: usize,
 }
 
 impl SearchReport {
@@ -132,11 +150,10 @@ impl SearchReport {
     pub fn merge(&mut self, other: SearchReport) {
         self.solutions.extend(other.solutions);
         self.states_explored += other.states_explored;
-        self.terminals.halted += other.terminals.halted;
-        self.terminals.crashed += other.terminals.crashed;
-        self.terminals.hung += other.terminals.hung;
-        self.terminals.detected += other.terminals.detected;
+        self.terminals.absorb(&other.terminals);
         self.duplicate_hits += other.duplicate_hits;
+        self.workers = self.workers.max(other.workers);
+        self.steals += other.steals;
         self.exhausted &= other.exhausted;
         self.hit_state_cap |= other.hit_state_cap;
         self.hit_solution_cap |= other.hit_solution_cap;
@@ -162,10 +179,13 @@ impl fmt::Display for SearchReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "search: {} solution(s), {} states explored ({:.0} states/s), {} duplicates, terminals: {}",
+            "search: {} solution(s), {} states explored ({:.0} states/s, {} worker(s), {} steals), \
+             {} duplicates, terminals: {}",
             self.solutions.len(),
             self.states_explored,
             self.states_per_second,
+            self.workers,
+            self.steals,
             self.duplicate_hits,
             self.terminals
         )?;

@@ -87,6 +87,12 @@ pub struct TaskResult {
     pub elapsed: Duration,
     /// Total states explored by this task's searches.
     pub states_explored: usize,
+    /// Widest engine that ran any of this task's point searches: 1 when
+    /// every point stayed on the sequential fast path, N when a big-budget
+    /// point engaged the N-way work-stealing engine.
+    pub point_workers: usize,
+    /// Work-steal operations across this task's parallel point searches.
+    pub steals: usize,
 }
 
 /// Cluster configuration.
@@ -177,13 +183,30 @@ impl CampaignReport {
         sympl_check::SearchReport::throughput(self.states_explored(), self.elapsed)
     }
 
+    /// Widest point-search engine any task engaged (1 = all sequential).
+    #[must_use]
+    pub fn point_workers(&self) -> usize {
+        self.tasks
+            .iter()
+            .map(|t| t.point_workers)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total work-steal operations across all tasks' parallel point
+    /// searches.
+    #[must_use]
+    pub fn steals(&self) -> usize {
+        self.tasks.iter().map(|t| t.steals).sum()
+    }
+
     /// A paper-style textual summary (the §6.2 "Running Time" paragraph).
     #[must_use]
     pub fn summary(&self) -> String {
         format!(
             "{} tasks: {} completed ({} found errors, {} found none), {} incomplete; \
              {} findings total; avg completed-task time {:?}; campaign wall time {:?}; \
-             engine: {} states at {:.0} states/s",
+             engine: {} states at {:.0} states/s ({}-way point searches, {} steals)",
             self.tasks.len(),
             self.tasks_completed(),
             self.tasks_with_findings(),
@@ -194,6 +217,8 @@ impl CampaignReport {
             self.elapsed,
             self.states_explored(),
             self.states_per_second(),
+            self.point_workers().max(1),
+            self.steals(),
         )
     }
 }
@@ -274,7 +299,19 @@ fn run_task(
         completed: true,
         elapsed: Duration::ZERO,
         states_explored: 0,
+        point_workers: 0,
+        steals: 0,
     };
+
+    // The workers hint for every point search in this task: its fair share
+    // of the machine. `config.workers` tasks already run concurrently, so
+    // letting each point search additionally fan out across every hardware
+    // thread would oversubscribe the box workers² ways. With the default
+    // config (task workers = hardware threads) the share is 1 and point
+    // searches stay sequential — parallelism comes from exactly one layer.
+    let share = (std::thread::available_parallelism().map_or(1, usize::from)
+        / config.workers.max(1))
+    .max(1);
 
     for point in &spec.points {
         if let Some(budget) = config.task_budget {
@@ -304,13 +341,17 @@ fn run_task(
         // Construction is cheap (two references + the limits); the value
         // of the shared API here is that workers run the same engine
         // code path as inject/ssim/Framework, not object reuse.
-        let explorer = Explorer::new(program, detectors).with_limits(limits);
+        let explorer = Explorer::new(program, detectors)
+            .with_limits(limits)
+            .with_workers_hint(Some(share));
         let outcome = run_point_with(&explorer, input, point, predicate);
         result.points_examined += 1;
         if outcome.activated {
             result.activated += 1;
         }
         result.states_explored += outcome.report.states_explored;
+        result.point_workers = result.point_workers.max(outcome.report.workers);
+        result.steals += outcome.report.steals;
         if outcome.report.hit_time_cap || outcome.report.hit_state_cap {
             // A truncated search means the task did not fully sweep its
             // section — it counts as incomplete, like the paper's 65

@@ -88,21 +88,27 @@ impl Framework {
     /// arbitrary predicate (the generic `search ... such that` command).
     #[must_use]
     pub fn enumerate_matching(&self, class: ErrorClass, predicate: &Predicate) -> Verdict {
+        let start = std::time::Instant::now();
         let points = enumerate_points(&self.program, &class);
-        // One shared engine for the whole enumeration: every point's
-        // search runs on the same Explorer configuration.
+        // One shared engine configuration for the whole enumeration; each
+        // point's search is routed by budget to the sequential or the
+        // work-stealing parallel engine (`Explorer::explore_auto`).
         let explorer =
             Explorer::new(&self.program, &self.detectors).with_limits(self.limits.clone());
         let mut findings = Vec::new();
         let mut complete = true;
         let mut states_explored = 0usize;
         let mut points_activated = 0usize;
+        let mut point_workers = 0usize;
+        let mut steals = 0usize;
         for point in &points {
             let outcome = run_point_with(&explorer, &self.input, point, predicate);
             if outcome.activated {
                 points_activated += 1;
             }
             states_explored += outcome.report.states_explored;
+            point_workers = point_workers.max(outcome.report.workers);
+            steals += outcome.report.steals;
             if !outcome.report.completed() && outcome.activated {
                 complete = false;
             }
@@ -114,11 +120,15 @@ impl Framework {
                 });
             }
         }
+        let elapsed = start.elapsed();
         Verdict {
             class,
             points_examined: points.len(),
             points_activated,
             states_explored,
+            states_per_second: sympl_check::SearchReport::throughput(states_explored, elapsed),
+            point_workers,
+            steals,
             complete,
             findings,
         }
@@ -136,6 +146,15 @@ pub struct Verdict {
     pub points_activated: usize,
     /// Total states the searches explored.
     pub states_explored: usize,
+    /// Engine throughput over the whole enumeration (states per wall-clock
+    /// second).
+    pub states_per_second: f64,
+    /// Widest engine that ran any point search: 1 when every point stayed
+    /// sequential, N when a big-budget point engaged the N-way
+    /// work-stealing engine (0 if no search ran).
+    pub point_workers: usize,
+    /// Work-steal operations across all parallel point searches.
+    pub steals: usize,
     /// Whether every activated point's search ran to completion.
     pub complete: bool,
     /// All predicate-matching outcomes (empty for a resilient program).
@@ -156,17 +175,26 @@ impl Verdict {
     pub fn summary(&self) -> String {
         if self.is_resilient() {
             format!(
-                "PROOF: resilient to {} ({} points, {} activated, {} states explored)",
-                self.class, self.points_examined, self.points_activated, self.states_explored
+                "PROOF: resilient to {} ({} points, {} activated, {} states explored \
+                 at {:.0} states/s, {}-way engine)",
+                self.class,
+                self.points_examined,
+                self.points_activated,
+                self.states_explored,
+                self.states_per_second,
+                self.point_workers.max(1)
             )
         } else {
             format!(
-                "{} escaping error(s) found for {} ({} points, {} activated, {} states{})",
+                "{} escaping error(s) found for {} ({} points, {} activated, {} states \
+                 at {:.0} states/s, {}-way engine{})",
                 self.findings.len(),
                 self.class,
                 self.points_examined,
                 self.points_activated,
                 self.states_explored,
+                self.states_per_second,
+                self.point_workers.max(1),
                 if self.complete {
                     ""
                 } else {

@@ -12,11 +12,65 @@
 //! sources of approximation; the search-equivalence property tests compare
 //! fingerprint dedup against full-state dedup on the paper workloads.
 
-use std::hash::Hasher;
+use std::collections::HashSet;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// A 128-bit digest of a machine state's content.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Fingerprint(pub u128);
+
+impl Fingerprint {
+    /// The shard index for a sharded visited set: the digest's **low**
+    /// `log2(shards)` bits. [`IdentityHasher`] derives bucket positions from
+    /// the **high** 64 bits, so sharding and in-shard bucketing consume
+    /// disjoint, independently-mixed bits of the digest.
+    ///
+    /// `shards` must be a power of two.
+    #[must_use]
+    pub fn shard(self, shards: usize) -> usize {
+        debug_assert!(shards.is_power_of_two(), "shard count must be 2^k");
+        (self.0 as usize) & (shards - 1)
+    }
+}
+
+/// A no-op [`Hasher`] for [`Fingerprint`] keys.
+///
+/// Fingerprints are already uniform 128-bit FNV-1a digests; re-hashing them
+/// through SipHash (the `HashSet` default) burns a full hash pass per
+/// visited-set probe for zero distributional benefit. This hasher just
+/// truncates: it keeps the digest's **high** 64 bits as the bucket hash
+/// (the low bits select the shard in the parallel engine's sharded set, so
+/// the two uses never collapse onto the same bits).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityHasher {
+    hash: u64,
+}
+
+impl Hasher for IdentityHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (not used by `Fingerprint`, whose derived Hash
+        // calls `write_u128`): fold bytes in, preserving all input.
+        for &b in bytes {
+            self.hash = self.hash.rotate_left(8) ^ u64::from(b);
+        }
+    }
+
+    fn write_u128(&mut self, n: u128) {
+        self.hash = (n >> 64) as u64;
+    }
+
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// The [`std::hash::BuildHasher`] plugging [`IdentityHasher`] into std
+/// collections.
+pub type FingerprintBuildHasher = BuildHasherDefault<IdentityHasher>;
+
+/// A visited set keyed by fingerprints with no re-hashing: the digest's own
+/// bits are the bucket hash.
+pub type FingerprintSet = HashSet<Fingerprint, FingerprintBuildHasher>;
 
 const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
 const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
@@ -79,6 +133,36 @@ mod tests {
         for v in 0..10_000u64 {
             assert!(seen.insert(digest(v)), "collision at {v}");
         }
+    }
+
+    #[test]
+    fn identity_hasher_passes_digest_bits_through() {
+        let fp = Fingerprint(0xDEAD_BEEF_0123_4567_89AB_CDEF_FEED_FACE);
+        let mut h = IdentityHasher::default();
+        fp.hash(&mut h);
+        assert_eq!(h.finish(), 0xDEAD_BEEF_0123_4567, "high 64 bits kept");
+        // A FingerprintSet behaves like a plain set.
+        let mut set = FingerprintSet::default();
+        for v in 0..1000u128 {
+            assert!(set.insert(Fingerprint(v << 64 | v)));
+        }
+        for v in 0..1000u128 {
+            assert!(set.contains(&Fingerprint(v << 64 | v)));
+            assert!(!set.insert(Fingerprint(v << 64 | v)));
+        }
+        assert_eq!(set.len(), 1000);
+    }
+
+    #[test]
+    fn shard_uses_low_bits() {
+        let fp = Fingerprint(0xFFFF_0000_0000_0000_0000_0000_0000_002B);
+        assert_eq!(fp.shard(64), 0x2B);
+        assert_eq!(fp.shard(1), 0);
+        // Bucket hash (high bits) and shard index (low bits) are disjoint:
+        // states that land in the same shard still spread across buckets.
+        let mut h = IdentityHasher::default();
+        fp.hash(&mut h);
+        assert_eq!(h.finish(), 0xFFFF_0000_0000_0000);
     }
 
     #[test]

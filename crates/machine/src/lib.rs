@@ -48,6 +48,8 @@ mod state;
 mod step;
 
 pub use concrete::{run_concrete, run_concrete_to_breakpoint, step_concrete, ConcreteError};
-pub use fingerprint::{Fingerprint, Fnv128Hasher};
+pub use fingerprint::{
+    Fingerprint, FingerprintBuildHasher, FingerprintSet, Fnv128Hasher, IdentityHasher,
+};
 pub use limits::ExecLimits;
 pub use state::{Exception, MachineState, OutItem, Status};

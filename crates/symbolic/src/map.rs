@@ -15,6 +15,11 @@ use crate::{Constraint, ConstraintSet, Location};
 #[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct ConstraintMap {
     entries: BTreeMap<Location, ConstraintSet>,
+    // Locations whose constraint set is unsatisfiable, maintained by
+    // `constrain`/`clear`/`copy` so `is_satisfiable` is O(1) on the fork
+    // hot path instead of a scan over every constrained location. Always
+    // derivable from `entries`, so the derived Eq/Hash stay consistent.
+    unsat: usize,
 }
 
 impl ConstraintMap {
@@ -32,15 +37,26 @@ impl ConstraintMap {
     #[must_use = "an unsatisfiable result must prune the path"]
     pub fn constrain(&mut self, loc: Location, constraint: Constraint) -> bool {
         let set = self.entries.entry(loc).or_default();
+        // Constraint sets only ever tighten, so satisfiability transitions
+        // at most once, from satisfiable to unsatisfiable.
+        let was_satisfiable = set.is_satisfiable();
         set.add(constraint);
-        set.is_satisfiable()
+        let now_satisfiable = set.is_satisfiable();
+        if was_satisfiable && !now_satisfiable {
+            self.unsat += 1;
+        }
+        now_satisfiable
     }
 
     /// Forgets everything known about a location. Called when the location
     /// is overwritten with a *fresh* value (concrete or a new error): the
     /// old constraints described the previous occupant.
     pub fn clear(&mut self, loc: Location) {
-        self.entries.remove(&loc);
+        if let Some(set) = self.entries.remove(&loc) {
+            if !set.is_satisfiable() {
+                self.unsat -= 1;
+            }
+        }
     }
 
     /// Copies the constraints of `from` onto `to` (register moves propagate
@@ -51,10 +67,14 @@ impl ConstraintMap {
         }
         match self.entries.get(&from).cloned() {
             Some(set) => {
+                self.clear(to);
+                if !set.is_satisfiable() {
+                    self.unsat += 1;
+                }
                 self.entries.insert(to, set);
             }
             None => {
-                self.entries.remove(&to);
+                self.clear(to);
             }
         }
     }
@@ -66,9 +86,14 @@ impl ConstraintMap {
     }
 
     /// Whether every recorded constraint set is satisfiable.
+    ///
+    /// O(1): the unsatisfiable-location count is maintained incrementally by
+    /// [`ConstraintMap::constrain`] (the only tightening operation) and kept
+    /// consistent by `clear`/`copy`, so the fork hot path never rescans the
+    /// map.
     #[must_use]
     pub fn is_satisfiable(&self) -> bool {
-        self.entries.values().all(ConstraintSet::is_satisfiable)
+        self.unsat == 0
     }
 
     /// A concrete witness for a location (used for replay); `None` if the
@@ -169,6 +194,35 @@ mod tests {
         let text = m.to_string();
         assert!(text.contains("$3"));
         assert!(text.contains("notLesserThan(2)"));
+    }
+
+    #[test]
+    fn unsat_cache_tracks_clear_and_copy() {
+        let mut m = ConstraintMap::new();
+        let a = Location::reg(1);
+        let b = Location::reg(2);
+        // Drive `a` unsatisfiable.
+        assert!(m.constrain(a, Constraint::Gt(5)));
+        assert!(!m.constrain(a, Constraint::Lt(5)));
+        assert!(!m.is_satisfiable());
+        // Overwriting the location restores satisfiability.
+        m.clear(a);
+        assert!(m.is_satisfiable());
+        // An unsat set copied onto another location is still tracked…
+        assert!(m.constrain(a, Constraint::Gt(5)));
+        assert!(!m.constrain(a, Constraint::Lt(5)));
+        m.copy(a, b);
+        assert!(!m.is_satisfiable());
+        m.clear(a);
+        assert!(!m.is_satisfiable(), "the copy at `b` is still unsat");
+        // …and copying an unconstrained source over it clears the flag.
+        m.copy(Location::reg(7), b);
+        assert!(m.is_satisfiable());
+        // Copying a satisfiable set over an unsat target also restores.
+        assert!(m.constrain(a, Constraint::Eq(1)));
+        assert!(!m.constrain(b, Constraint::Gt(2)) || !m.constrain(b, Constraint::Lt(2)));
+        m.copy(a, b);
+        assert!(m.is_satisfiable());
     }
 
     #[test]

@@ -20,6 +20,11 @@ lint:
 bench:
     cargo bench --workspace
 
+# Write BENCH_explore.json: sequential-vs-parallel engine throughput on the
+# factorial/tcas/replace register full-sweeps at fixed budgets.
+bench-json:
+    cargo run --release -p sympl-bench --bin bench_json
+
 # Regenerate the paper's tables and figures from the assembled workloads.
 repro-tables:
     cargo run --release -p sympl-bench --bin table1

@@ -306,3 +306,152 @@ mod fingerprint_dedup {
         assert_equivalent(&w, ast + 3, Reg::r(8), &limits);
     }
 }
+
+// ---------------------------------------------------------------------
+// Parallel-engine equivalence: the work-stealing ParallelExplorer must
+// reproduce the sequential Explorer's results exactly on exhausted
+// searches, at every worker count.
+// ---------------------------------------------------------------------
+
+mod parallel_equivalence {
+    use super::*;
+    use symplfied::check::{Explorer, ParallelExplorer, SearchReport};
+    use symplfied::machine::Fingerprint;
+
+    /// Content digests of the solution states, order-independent.
+    fn solution_digests(report: &SearchReport) -> Vec<Fingerprint> {
+        let mut digests: Vec<Fingerprint> = report
+            .solutions
+            .iter()
+            .map(|s| s.state.fingerprint())
+            .collect();
+        digests.sort_unstable();
+        digests
+    }
+
+    /// Runs the same exhaustive search sequentially and at 1, 2, and 8
+    /// workers, and checks the engines agree on every observable except
+    /// ordering: state count, duplicate count, terminal outcome counts,
+    /// and the solution *set* (compared by state content digest).
+    fn assert_parallel_matches(
+        w: &symplfied::apps::Workload,
+        breakpoint: usize,
+        reg: Reg,
+        limits: &SearchLimits,
+    ) {
+        let point = InjectionPoint::new(breakpoint, InjectTarget::Register(reg));
+        let prep = prepare(&w.program, &w.detectors, &w.input, &point, &limits.exec);
+        assert!(
+            prep.activated,
+            "{}: breakpoint {breakpoint} must be on the golden path",
+            w.name
+        );
+
+        let sequential = Explorer::new(&w.program, &w.detectors)
+            .with_limits(limits.clone())
+            .explore(prep.seeds.clone(), &Predicate::Any);
+        assert!(
+            sequential.exhausted,
+            "{}: equivalence needs a complete search ({} states)",
+            w.name, sequential.states_explored
+        );
+        assert_eq!(sequential.workers, 1);
+
+        for workers in [1usize, 2, 8] {
+            let parallel = ParallelExplorer::new(&w.program, &w.detectors)
+                .with_limits(limits.clone())
+                .with_workers(workers)
+                .explore(prep.seeds.clone(), &Predicate::Any);
+            let label = format!("{} @{breakpoint} x{workers}", w.name);
+            assert!(parallel.exhausted, "{label}: must exhaust");
+            assert_eq!(parallel.workers, workers, "{label}");
+            assert_eq!(
+                parallel.states_explored, sequential.states_explored,
+                "{label}: states"
+            );
+            assert_eq!(
+                parallel.duplicate_hits, sequential.duplicate_hits,
+                "{label}: duplicates"
+            );
+            assert_eq!(
+                parallel.terminals, sequential.terminals,
+                "{label}: outcomes"
+            );
+            assert_eq!(
+                solution_digests(&parallel),
+                solution_digests(&sequential),
+                "{label}: solution sets"
+            );
+        }
+    }
+
+    #[test]
+    fn factorial_parallel_matches_sequential() {
+        // The §4 walkthrough point (loop-counter decrement) for every n
+        // whose golden path enters the loop body.
+        for n in 2..=5 {
+            let w = symplfied::apps::factorial().with_input(vec![n]);
+            let limits = SearchLimits {
+                exec: ExecLimits::with_max_steps(500),
+                max_states: 1_000_000,
+                max_solutions: usize::MAX,
+                max_time: None,
+            };
+            assert_parallel_matches(&w, 7, Reg::r(3), &limits);
+        }
+    }
+
+    #[test]
+    fn tcas_parallel_matches_sequential() {
+        // A data-register point (`err` in $8 at address 20) whose search
+        // exhausts in a few thousand states on the evaluation input.
+        let w = symplfied::apps::tcas();
+        let limits = SearchLimits {
+            exec: ExecLimits::with_max_steps(w.max_steps),
+            max_states: 60_000,
+            max_solutions: usize::MAX,
+            max_time: None,
+        };
+        assert_parallel_matches(&w, 20, Reg::r(8), &limits);
+    }
+
+    #[test]
+    fn parallel_solution_order_is_canonical() {
+        // Repeated parallel runs of the same exhaustive search return the
+        // same solution-state set, presented in the documented canonical
+        // order (witness length, then trace, then state digest). Traces
+        // themselves may differ across runs — they record whichever path
+        // won the race to each state — so only the states and the ordering
+        // *rule* are asserted, not the exact trace contents.
+        let w = symplfied::apps::factorial().with_input(vec![4]);
+        let point = InjectionPoint::new(7, InjectTarget::Register(Reg::r(3)));
+        let limits = SearchLimits {
+            exec: ExecLimits::with_max_steps(500),
+            max_states: 1_000_000,
+            max_solutions: usize::MAX,
+            max_time: None,
+        };
+        let prep = prepare(&w.program, &w.detectors, &w.input, &point, &limits.exec);
+        let run = || {
+            ParallelExplorer::new(&w.program, &w.detectors)
+                .with_limits(limits.clone())
+                .with_workers(4)
+                .explore(prep.seeds.clone(), &Predicate::Any)
+        };
+        let a = run();
+        let b = run();
+        assert!(a.exhausted && b.exhausted);
+        assert_eq!(solution_digests(&a), solution_digests(&b));
+        for report in [&a, &b] {
+            let keys: Vec<_> = report
+                .solutions
+                .iter()
+                .map(|s| (s.trace.len(), s.trace.clone(), s.state.fingerprint()))
+                .collect();
+            assert!(
+                keys.windows(2).all(|w| w[0] <= w[1]),
+                "solutions must come out in canonical order"
+            );
+        }
+    }
+}
