@@ -1,13 +1,20 @@
 //! Engine-throughput trajectory: writes `BENCH_explore.json`.
 //!
-//! For each paper workload (factorial, tcas, replace) this binary builds
-//! one **pooled full-sweep search** — the seed states of *every*
-//! register-file injection point, deduplicated by the engine — and runs it
-//! twice at identical budgets: once on the sequential `Explorer`, once on
-//! the work-stealing `ParallelExplorer`. Each run becomes one JSON entry
-//! `{workload, states, seconds, states_per_second, workers, steals,
-//! exhausted}`, so BENCH_explore.json tracks both raw engine speed and the
-//! parallel speedup across revisions.
+//! For each paper workload (factorial, tcas, replace) plus the bubble/gcd
+//! kernels, this binary builds one **pooled full-sweep search** — the seed
+//! states of *every* register-file injection point, deduplicated by the
+//! engine — and runs it twice at identical budgets: once on the sequential
+//! `Explorer`, once on the work-stealing `ParallelExplorer`. Each run
+//! becomes one JSON entry `{workload, states, seconds, states_per_second,
+//! workers, steals, exhausted}`, so BENCH_explore.json tracks both raw
+//! engine speed and the parallel speedup across revisions.
+//!
+//! Two extra micro-bench rows time `MachineState::fingerprint()` itself on
+//! a bulky state: `fingerprint_rolling` (the O(1) cached-fold mix the
+//! engines call per enqueued successor) against `fingerprint_scratch` (the
+//! O(|state|) full-walk reference), with `states_per_second` holding
+//! digests/sec. The ratio is the visited-set digest win the rolling scheme
+//! buys.
 //!
 //! Usage: `bench_json [--quick] [--workers N] [--out PATH]`
 //!
@@ -16,12 +23,14 @@
 //! so the parallel path is exercised even on single-core runners).
 
 use std::fmt::Write as _;
+use std::hint::black_box;
 use std::time::Instant;
 
 use sympl_apps::Workload;
 use sympl_check::{Explorer, ParallelExplorer, Predicate, SearchLimits, SearchReport};
 use sympl_inject::{enumerate_points, prepare, ErrorClass};
-use sympl_machine::{ExecLimits, MachineState};
+use sympl_machine::{ExecLimits, MachineState, OutItem};
+use sympl_symbolic::{Constraint, Location, Value};
 
 struct Entry {
     workload: &'static str,
@@ -72,6 +81,61 @@ fn pooled_register_seeds(w: &Workload, exec: &ExecLimits) -> Vec<MachineState> {
     seeds
 }
 
+/// Times the rolling `fingerprint()` against the from-scratch reference on
+/// a state with campaign-scale bulk (a few hundred memory words, symbolic
+/// registers, constraints, output) — the shape tcas/replace states take
+/// deep into a sweep, where a full-walk digest hurts most.
+fn fingerprint_micro_bench(quick: bool) -> Vec<Entry> {
+    let mut s = MachineState::with_input(vec![3, 1, 4, 1, 5, 9, 2, 6]);
+    s.load_memory((0..512u64).map(|i| (i * 8, (i as i64) * 3 - 64)));
+    for r in [3u8, 5, 8, 11] {
+        s.set_reg(sympl_asm::Reg::r(r), Value::Err);
+        let _ = s
+            .constraints_mut()
+            .constrain(Location::reg(r), Constraint::Gt(-(i64::from(r))));
+    }
+    for i in 0..16 {
+        s.push_output(OutItem::Val(Value::Int(i)));
+    }
+    assert_eq!(
+        s.fingerprint(),
+        s.fingerprint_from_scratch(),
+        "micro-bench state must have a consistent rolling digest"
+    );
+
+    let iters: u32 = if quick { 20_000 } else { 500_000 };
+    let timed = |f: &dyn Fn(&MachineState) -> sympl_machine::Fingerprint| {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f(black_box(&s)));
+        }
+        start.elapsed()
+    };
+    // From-scratch first so cache warmth, if anything, favours the
+    // reference.
+    let scratch = timed(&MachineState::fingerprint_from_scratch);
+    let rolling = timed(&MachineState::fingerprint);
+
+    let entry = |name: &'static str, elapsed: std::time::Duration| Entry {
+        workload: name,
+        states: iters as usize,
+        seconds: elapsed.as_secs_f64(),
+        states_per_second: f64::from(iters) / elapsed.as_secs_f64().max(1e-9),
+        workers: 1,
+        steals: 0,
+        exhausted: true,
+    };
+    let rolling = entry("fingerprint_rolling", rolling);
+    let scratch = entry("fingerprint_scratch", scratch);
+    println!(
+        "fingerprint: rolling {:>12.0} digests/s vs from-scratch {:>12.0} digests/s ({:.1}x)",
+        rolling.states_per_second,
+        scratch.states_per_second,
+        rolling.states_per_second / scratch.states_per_second.max(1e-9)
+    );
+    vec![rolling, scratch]
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -119,9 +183,21 @@ fn main() {
             let states = if quick { 8_000 } else { 100_000 };
             (w, steps, states)
         },
+        {
+            let w = sympl_apps::bubble_sort();
+            let steps = if quick { 1_000 } else { 3_000 };
+            let states = if quick { 8_000 } else { 100_000 };
+            (w, steps, states)
+        },
+        {
+            let w = sympl_apps::gcd();
+            let steps = if quick { 800 } else { 1_500 };
+            let states = if quick { 5_000 } else { 50_000 };
+            (w, steps, states)
+        },
     ];
 
-    let mut entries: Vec<Entry> = Vec::new();
+    let mut entries: Vec<Entry> = fingerprint_micro_bench(quick);
     for (w, steps, max_states) in &configs {
         let exec = ExecLimits::with_max_steps(*steps);
         let limits = SearchLimits {

@@ -12,6 +12,9 @@
 //!   [`Fingerprint`]s (16 bytes per state) rather than whole
 //!   [`MachineState`] values; combined with the copy-on-write state
 //!   representation this is what lets one task sweep millions of states.
+//!   `fingerprint()` is O(1) at the enqueue call site — the state carries
+//!   rolling Zobrist-style component digests updated per write — so dedup
+//!   costs O(writes) along a path, never O(|state|) per successor.
 //! * **Single insertion point.** A state's fingerprint enters the visited
 //!   set exactly once, when the state is enqueued (the old `search()`
 //!   redundantly re-inserted on dequeue as well).

@@ -10,7 +10,10 @@
 //! # Shard scheme
 //!
 //! The visited set is split into `2^k` shards (default `2^6 = 64`), each a
-//! mutex-guarded [`FingerprintSet`]. A state's shard is chosen by the
+//! mutex-guarded [`FingerprintSet`]. Fingerprints themselves are O(1) to
+//! obtain — states maintain rolling component digests on every write — so
+//! the dedup insert is pure shard-lock + probe cost. A state's shard is
+//! chosen by the
 //! **low** `k` bits of its 128-bit fingerprint ([`Fingerprint::shard`]);
 //! within a shard, the identity `BuildHasher` buckets by the **high** 64
 //! bits, so the two levels consume disjoint digest bits. Dedup inserts from

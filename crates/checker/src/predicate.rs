@@ -42,18 +42,25 @@ pub enum Predicate {
 
 impl Predicate {
     /// Evaluates the predicate on a terminal state.
+    ///
+    /// Allocation-free: this runs once per terminal state on the engines'
+    /// hot path, so output comparisons stream
+    /// [`MachineState::output_ints_iter`] against the expected sequence
+    /// instead of collecting a fresh `Vec` per call, and the contains-err
+    /// probe is an O(1) cached counter check.
     #[must_use]
     pub fn matches(&self, state: &MachineState) -> bool {
         match self {
             Predicate::OutputContainsErr => state.output_contains_err(),
             Predicate::WrongOutput { expected } => {
                 state.status() == &Status::Halted
-                    && (state.output_contains_err() || &state.output_ints() != expected)
+                    && (state.output_contains_err()
+                        || !state.output_ints_iter().eq(expected.iter().copied()))
             }
             Predicate::ExactOutput { output } => {
                 state.status() == &Status::Halted
                     && !state.output_contains_err()
-                    && &state.output_ints() == output
+                    && state.output_ints_iter().eq(output.iter().copied())
             }
             Predicate::Crashed => matches!(state.status(), Status::Exception(_)),
             Predicate::Hung => state.status() == &Status::TimedOut,

@@ -22,7 +22,7 @@ use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use sympl_symbolic::Value;
+use sympl_symbolic::{Value, ZobristComponent};
 
 /// Delta entries tolerated before folding into a fresh base. Chosen so a
 /// typical fork burst (a handful of writes per forked successor) never
@@ -35,6 +35,15 @@ const COMPACT_THRESHOLD: usize = 64;
 pub(crate) struct CowMemory {
     base: Arc<BTreeMap<u64, Value>>,
     delta: BTreeMap<u64, Value>,
+    // Merged-view caches, maintained by `insert` (`compact` preserves
+    // content, so it never touches them): the number of defined addresses,
+    // which `len`/`Hash`/`PartialEq` would otherwise recount by scanning the
+    // delta against the base, and the rolling XOR-fold over `(addr, value)`
+    // cells that the state fingerprint mixes in instead of re-hashing the
+    // whole image. Both are functions of the merged content, so layering
+    // stays invisible.
+    len: usize,
+    digest: ZobristComponent,
 }
 
 impl CowMemory {
@@ -54,10 +63,31 @@ impl CowMemory {
     /// Defines or overwrites `addr`.
     pub(crate) fn insert(&mut self, addr: u64, value: Value) {
         if self.delta.is_empty() {
-            // Unique owner with no overlay: write in place, no copy at all.
+            // Unique owner with no overlay: write in place, no copy and a
+            // single tree traversal — the displaced value tells the
+            // len/digest caches what changed.
             if let Some(base) = Arc::get_mut(&mut self.base) {
-                base.insert(addr, value);
+                match base.insert(addr, value) {
+                    Some(old) if old == value => {}
+                    Some(old) => self.digest.update(&addr, &old, &value),
+                    None => {
+                        self.len += 1;
+                        self.digest.insert(&addr, &value);
+                    }
+                }
                 return;
+            }
+        }
+        match self.get(addr) {
+            // Rewriting a cell with its current *merged* value leaves the
+            // content — the only thing reads, equality, hashing, and the
+            // digest observe — untouched; skip the write entirely rather
+            // than grow the delta with a shadowing copy.
+            Some(old) if old == value => return,
+            Some(old) => self.digest.update(&addr, &old, &value),
+            None => {
+                self.len += 1;
+                self.digest.insert(&addr, &value);
             }
         }
         self.delta.insert(addr, value);
@@ -67,7 +97,8 @@ impl CowMemory {
     }
 
     /// Folds the delta into the base — in place when the base is uniquely
-    /// owned, otherwise into a freshly cloned one.
+    /// owned, otherwise into a freshly cloned one. Merged content is
+    /// preserved, so the `len`/`digest` caches are untouched.
     fn compact(&mut self) {
         if let Some(base) = Arc::get_mut(&mut self.base) {
             base.extend(std::mem::take(&mut self.delta));
@@ -78,19 +109,28 @@ impl CowMemory {
         self.base = Arc::new(merged);
     }
 
-    /// Number of defined addresses.
+    /// Number of defined addresses. O(1): maintained by `insert` instead of
+    /// rescanning the delta against the base per call.
     pub(crate) fn len(&self) -> usize {
-        self.base.len()
-            + self
-                .delta
-                .keys()
-                .filter(|k| !self.base.contains_key(k))
-                .count()
+        self.len
     }
 
     /// Whether no address is defined.
     pub(crate) fn is_empty(&self) -> bool {
-        self.base.is_empty() && self.delta.is_empty()
+        self.len == 0
+    }
+
+    /// The rolling XOR-fold over the merged image's `(addr, value)` cells.
+    /// O(1); the state fingerprint mixes this in instead of walking memory.
+    pub(crate) fn digest(&self) -> ZobristComponent {
+        self.digest
+    }
+
+    /// A from-scratch recompute of [`CowMemory::digest`] over the merged
+    /// view — O(|memory|), for consistency tests and the reference
+    /// fingerprint path only.
+    pub(crate) fn refold_digest(&self) -> ZobristComponent {
+        ZobristComponent::refold(self.iter())
     }
 
     /// The largest defined address, if any.
@@ -256,6 +296,34 @@ mod tests {
             "delta must have been folded"
         );
         assert_eq!(a.len(), COMPACT_THRESHOLD + 4);
+    }
+
+    #[test]
+    fn len_and_digest_caches_survive_layering_and_compaction() {
+        let mut m = CowMemory::new();
+        assert_eq!(m.digest(), m.refold_digest());
+        m.insert(8, Value::Int(1));
+        let _pin = m.clone(); // force sharing: writes go to the delta
+        m.insert(8, Value::Int(2)); // overwrite shadowing the base
+        m.insert(8, Value::Int(2)); // same-value rewrite: a no-op
+        m.insert(16, Value::Err);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.digest(), m.refold_digest());
+        // Push through a compaction; content (and caches) must not move.
+        let before = m.digest();
+        for i in 0..(COMPACT_THRESHOLD as u64 + 4) {
+            m.insert(i * 8 + 1000, Value::Int(i as i64));
+        }
+        assert_eq!(m.digest(), m.refold_digest());
+        assert_eq!(m.len(), 2 + COMPACT_THRESHOLD + 4);
+        assert_ne!(m.digest(), before);
+        // Same contents, different history: digests agree.
+        let mut flat = CowMemory::new();
+        for (a, v) in m.iter() {
+            flat.insert(a, v);
+        }
+        assert_eq!(flat, m);
+        assert_eq!(flat.digest(), m.digest());
     }
 
     #[test]

@@ -5,15 +5,53 @@
 //! 128-bit digest of everything state equality observes (program counter,
 //! registers, merged memory content, I/O streams, constraint map, watchdog
 //! counter, status), so dedup costs 16 bytes per state and one hash pass.
+//! At 128 bits a campaign of a billion states has a collision probability
+//! around 1.5e-21, far below the model's other sources of approximation;
+//! the search-equivalence property tests compare fingerprint dedup against
+//! full-state dedup on the paper workloads.
 //!
-//! The digest is FNV-1a over the state's canonical [`Hash`] byte stream,
-//! widened to 128 bits. At 128 bits a campaign of a billion states has a
-//! collision probability around 1.5e-21, far below the model's other
-//! sources of approximation; the search-equivalence property tests compare
-//! fingerprint dedup against full-state dedup on the paper workloads.
+//! # Incremental (Zobrist-style) digest maintenance
+//!
+//! Computing a digest by re-walking the whole state term is O(|state|) per
+//! enqueued successor — the dominant cost once forking is O(delta). Instead,
+//! every *collection-valued* state component (register file, merged memory
+//! image, output stream, constraint map) maintains a [`ZobristComponent`]:
+//! an XOR-fold of one **cell hash** per `(key, value)` entry, updated in
+//! O(1) per mutation by XOR-ing the old cell out and the new cell in.
+//! [`crate::MachineState::fingerprint`] then mixes the component folds and
+//! the cheap scalars (pc, input cursor, step counter, status) through one
+//! fixed-size FNV-1a pass, so the digest costs O(writes) amortized over the
+//! path — never O(|state|) at call time.
+//!
+//! # Determinism contract (why no random Zobrist table)
+//!
+//! Classic Zobrist hashing draws one random bitstring per (location, value)
+//! pair from a pre-seeded table, which caps the key domain and drags RNG
+//! state into every engine. Here the cell hash is simply FNV-128 of the
+//! encoded `(key, value)` pair ([`cell_hash`]): fully deterministic, defined
+//! for unbounded domains (64-bit addresses, arbitrary constraint sets), and
+//! needing no table, seed, or initialization order. The XOR fold keeps the
+//! two algebraic properties the engine relies on:
+//!
+//! * **Content determinism** — the fold is a function of the entry *set*
+//!   only. Insertion order, CoW base/delta layering, and delta compactions
+//!   cannot move it, so equal states always fingerprint equal.
+//! * **Self-inverse updates** — XOR-ing a cell twice cancels, so overwrite
+//!   is "remove old, insert new" with no lookup into an auxiliary structure.
+//!
+//! Collision quality is the birthday bound over XOR-accumulated FNV-128
+//! cells rather than a single serial FNV stream; both are ~2^-64-per-pair
+//! schemes, and the digest-consistency property tests pin the rolling fold
+//! to a from-scratch recompute after arbitrary mutation/fork/compaction
+//! sequences. The primitives themselves ([`Fnv128Hasher`], [`cell_hash`],
+//! [`ZobristComponent`]) live in `sympl-symbolic` so the `ConstraintMap`
+//! can maintain its own fold; they are re-exported here, where the state
+//! digest scheme they serve is documented.
 
 use std::collections::HashSet;
 use std::hash::{BuildHasherDefault, Hasher};
+
+pub use sympl_symbolic::{cell_hash, Fnv128Hasher, ZobristComponent};
 
 /// A 128-bit digest of a machine state's content.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -72,51 +110,6 @@ pub type FingerprintBuildHasher = BuildHasherDefault<IdentityHasher>;
 /// bits are the bucket hash.
 pub type FingerprintSet = HashSet<Fingerprint, FingerprintBuildHasher>;
 
-const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
-const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
-
-/// FNV-1a accumulator exposing a 128-bit digest through the standard
-/// [`Hasher`] interface (so any `Hash` impl can feed it).
-#[derive(Debug, Clone)]
-pub struct Fnv128Hasher {
-    state: u128,
-}
-
-impl Fnv128Hasher {
-    /// A hasher at the FNV-1a offset basis.
-    #[must_use]
-    pub fn new() -> Self {
-        Fnv128Hasher {
-            state: FNV128_OFFSET,
-        }
-    }
-
-    /// The full 128-bit digest.
-    #[must_use]
-    pub fn finish128(&self) -> Fingerprint {
-        Fingerprint(self.state)
-    }
-}
-
-impl Default for Fnv128Hasher {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Hasher for Fnv128Hasher {
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.state ^= u128::from(b);
-            self.state = self.state.wrapping_mul(FNV128_PRIME);
-        }
-    }
-
-    fn finish(&self) -> u64 {
-        self.state as u64
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,7 +120,7 @@ mod tests {
         let digest = |v: u64| {
             let mut h = Fnv128Hasher::new();
             v.hash(&mut h);
-            h.finish128()
+            Fingerprint(h.finish128())
         };
         let mut seen = std::collections::HashSet::new();
         for v in 0..10_000u64 {

@@ -49,7 +49,8 @@ mod step;
 
 pub use concrete::{run_concrete, run_concrete_to_breakpoint, step_concrete, ConcreteError};
 pub use fingerprint::{
-    Fingerprint, FingerprintBuildHasher, FingerprintSet, Fnv128Hasher, IdentityHasher,
+    cell_hash, Fingerprint, FingerprintBuildHasher, FingerprintSet, Fnv128Hasher, IdentityHasher,
+    ZobristComponent,
 };
 pub use limits::ExecLimits;
 pub use state::{Exception, MachineState, OutItem, Status};

@@ -14,10 +14,17 @@
 //!   operate on the merged view, so structural sharing is invisible to the
 //!   search. [`MachineState::memory_shares_storage`] exposes the sharing
 //!   for pointer-identity tests.
-//! * **128-bit fingerprints.** [`MachineState::fingerprint`] digests the
-//!   full state term (everything `Eq`/`Hash` observe) into a 16-byte
-//!   [`Fingerprint`], which is what the `sympl-check` Explorer stores in
-//!   its visited set instead of whole states.
+//! * **Rolling 128-bit fingerprints.** [`MachineState::fingerprint`]
+//!   digests the full state term (everything `Eq`/`Hash` observe) into a
+//!   16-byte [`Fingerprint`], which is what the `sympl-check` engines store
+//!   in their visited sets instead of whole states. The digest is **O(1) at
+//!   call time**: each collection-valued component (register file, merged
+//!   memory image, output stream, constraint map) maintains a
+//!   [`ZobristComponent`] XOR-fold updated on every write, and
+//!   `fingerprint()` just mixes the folds with the scalar fields (see
+//!   [`crate::fingerprint`] for the scheme).
+//!   [`MachineState::fingerprint_from_scratch`] is the O(|state|) reference
+//!   recompute the consistency property tests pin the rolling digest to.
 //!
 //! [`cow::CowMemory`]: crate::cow
 
@@ -26,7 +33,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use crate::cow::CowMemory;
-use crate::fingerprint::{Fingerprint, Fnv128Hasher};
+use crate::fingerprint::{Fingerprint, Fnv128Hasher, ZobristComponent};
 use sympl_asm::{Reg, NUM_REGS};
 use sympl_detect::StateView;
 use sympl_symbolic::{ConstraintMap, Location, Value};
@@ -131,6 +138,16 @@ pub struct MachineState {
     constraints: ConstraintMap,
     steps: u64,
     status: Status,
+    // Rolling-fingerprint caches, maintained by the write paths below (the
+    // memory and constraint-map folds live inside CowMemory/ConstraintMap,
+    // whose mutators are the only code that sees those writes). All four
+    // are pure functions of the observable fields, so they are excluded
+    // from the manual Eq/Hash impls and can never make equal states
+    // compare unequal.
+    reg_digest: ZobristComponent,
+    out_digest: ZobristComponent,
+    out_errs: u32,
+    input_digest: u128,
 }
 
 impl MachineState {
@@ -144,17 +161,37 @@ impl MachineState {
     /// A fresh state with the given input stream.
     #[must_use]
     pub fn with_input(input: Vec<i64>) -> Self {
+        let input: Arc<[i64]> = input.into();
         MachineState {
             pc: 0,
             regs: [Value::Int(0); NUM_REGS],
             mem: CowMemory::new(),
-            input: input.into(),
             input_pos: 0,
             output: Vec::new(),
             constraints: ConstraintMap::new(),
             steps: 0,
             status: Status::Running,
+            reg_digest: Self::refold_regs(&[Value::Int(0); NUM_REGS]),
+            out_digest: ZobristComponent::new(),
+            out_errs: 0,
+            input_digest: Self::fold_input(&input),
+            input,
         }
+    }
+
+    /// The register-file fold of `regs` — the reference the rolling
+    /// `reg_digest` tracks write-by-write.
+    fn refold_regs(regs: &[Value; NUM_REGS]) -> ZobristComponent {
+        ZobristComponent::refold(regs.iter().enumerate())
+    }
+
+    /// FNV-128 of the input stream. The stream is immutable after
+    /// construction (only the cursor moves), so this is computed once here
+    /// and copied on clone.
+    fn fold_input(input: &[i64]) -> u128 {
+        let mut h = Fnv128Hasher::new();
+        input.hash(&mut h);
+        h.finish128()
     }
 
     /// The current program counter.
@@ -179,6 +216,17 @@ impl MachineState {
         }
     }
 
+    /// Writes the register cell and rolls the register-file fold: the old
+    /// `(index, value)` cell XORs out, the new one XORs in.
+    fn write_reg_cell(&mut self, r: Reg, v: Value) {
+        let i = r.index();
+        let old = self.regs[i];
+        if old != v {
+            self.reg_digest.update(&i, &old, &v);
+            self.regs[i] = v;
+        }
+    }
+
     /// Writes a register. Writes to `$0` are discarded; any constraints
     /// recorded for the register are cleared because a fresh value now
     /// occupies it.
@@ -186,7 +234,7 @@ impl MachineState {
         if r.is_zero() {
             return;
         }
-        self.regs[r.index()] = v;
+        self.write_reg_cell(r, v);
         self.constraints.clear(Location::Reg(r));
     }
 
@@ -197,7 +245,7 @@ impl MachineState {
         if r.is_zero() {
             return;
         }
-        self.regs[r.index()] = v;
+        self.write_reg_cell(r, v);
         if v.is_err() {
             self.constraints.copy(from, Location::Reg(r));
         } else {
@@ -281,8 +329,14 @@ impl MachineState {
         }
     }
 
-    /// Appends to the output stream.
+    /// Appends to the output stream. The stream is append-only, so the
+    /// rolling output fold only ever inserts the new `(position, item)`
+    /// cell, and the err-count cache only ever increments.
     pub fn push_output(&mut self, item: OutItem) {
+        self.out_digest.insert(&self.output.len(), &item);
+        if matches!(item, OutItem::Val(Value::Err)) {
+            self.out_errs += 1;
+        }
         self.output.push(item);
     }
 
@@ -293,31 +347,37 @@ impl MachineState {
     }
 
     /// The printed *values* (ignoring string literals), for outcome checks.
-    #[must_use]
-    pub fn output_values(&self) -> Vec<Value> {
-        self.output
-            .iter()
-            .filter_map(|o| match o {
-                OutItem::Val(v) => Some(*v),
-                OutItem::Str(_) => None,
-            })
-            .collect()
+    /// Allocation-free: terminal predicates run this on every solution
+    /// candidate.
+    pub fn output_values(&self) -> impl Iterator<Item = Value> + '_ {
+        self.output.iter().filter_map(|o| match o {
+            OutItem::Val(v) => Some(*v),
+            OutItem::Str(_) => None,
+        })
     }
 
-    /// The printed values as integers; `err` values are dropped.
+    /// The printed values as integers, `err` values dropped;
+    /// allocation-free, for the golden-output comparisons on the terminal
+    /// hot path (see [`MachineState::output_ints`] for the collected
+    /// convenience form).
+    pub fn output_ints_iter(&self) -> impl Iterator<Item = i64> + '_ {
+        self.output_values().filter_map(Value::as_int)
+    }
+
+    /// The printed values as integers, collected for callers that keep or
+    /// index the list (reports, decoding, tests). Hot-path predicates use
+    /// [`MachineState::output_ints_iter`] instead.
     #[must_use]
     pub fn output_ints(&self) -> Vec<i64> {
-        self.output_values()
-            .into_iter()
-            .filter_map(Value::as_int)
-            .collect()
+        self.output_ints_iter().collect()
     }
 
     /// Whether any printed value is the `err` symbol — the paper's standard
-    /// search predicate `output(S) contains err`.
+    /// search predicate `output(S) contains err`. O(1): the err count rolls
+    /// forward with every `push_output`.
     #[must_use]
     pub fn output_contains_err(&self) -> bool {
-        self.output_values().iter().any(|v| v.is_err())
+        self.out_errs > 0
     }
 
     /// The constraint map of the current path.
@@ -437,11 +497,72 @@ impl MachineState {
     /// Everything [`Eq`]/[`Hash`] observe feeds the digest, so equal states
     /// always fingerprint equal, and the model checker can deduplicate on
     /// 16-byte fingerprints instead of retained whole states.
+    ///
+    /// **O(1) at call time**: the collection components' rolling
+    /// [`ZobristComponent`] folds are maintained on every write, so this
+    /// just mixes four cached 128-bit folds, the cached input digest, and
+    /// the scalar fields through one fixed-size FNV pass — no register,
+    /// memory, output, or constraint-map traversal.
     #[must_use]
     pub fn fingerprint(&self) -> Fingerprint {
-        let mut hasher = Fnv128Hasher::new();
-        self.hash(&mut hasher);
-        hasher.finish128()
+        self.mix_fingerprint(
+            self.reg_digest,
+            self.mem.digest(),
+            self.out_digest,
+            self.constraints.digest(),
+            self.input_digest,
+            self.mem.len(),
+        )
+    }
+
+    /// The O(|state|) reference digest: recomputes every component fold
+    /// from the observable content and mixes it exactly like
+    /// [`MachineState::fingerprint`]. The digest-consistency property tests
+    /// pin the rolling fingerprint to this after arbitrary mutation, fork,
+    /// and compaction sequences; engines never call it.
+    #[must_use]
+    pub fn fingerprint_from_scratch(&self) -> Fingerprint {
+        self.mix_fingerprint(
+            Self::refold_regs(&self.regs),
+            self.mem.refold_digest(),
+            ZobristComponent::refold(self.output.iter().enumerate()),
+            self.constraints.refold_digest(),
+            Self::fold_input(&self.input),
+            // Recounted, not the cached counter: the reference path must
+            // catch a desynced length cache, not launder it.
+            self.mem.iter().count(),
+        )
+    }
+
+    /// The shared final mix: component folds are paired with their
+    /// collection lengths (an XOR-fold alone is length-blind only across
+    /// colliding cell pairs, and the lengths are O(1) anyway), then the
+    /// scalars. Both digest paths route through here so they can never
+    /// drift apart; the memory length is a parameter because it is itself
+    /// a rolling cache the reference path independently recounts.
+    fn mix_fingerprint(
+        &self,
+        regs: ZobristComponent,
+        mem: ZobristComponent,
+        out: ZobristComponent,
+        constraints: ZobristComponent,
+        input_digest: u128,
+        mem_len: usize,
+    ) -> Fingerprint {
+        let mut h = Fnv128Hasher::new();
+        h.write_u128(regs.value());
+        h.write_u128(mem.value());
+        h.write_usize(mem_len);
+        h.write_u128(out.value());
+        h.write_usize(self.output.len());
+        h.write_u128(constraints.value());
+        h.write_usize(self.constraints.len());
+        h.write_u128(input_digest);
+        h.write_usize(self.input_pos);
+        h.write_usize(self.pc);
+        h.write_u64(self.steps);
+        self.status.hash(&mut h);
+        Fingerprint(h.finish128())
     }
 
     /// Whether the memory images of `self` and `other` share their base
@@ -572,8 +693,12 @@ mod tests {
         s.push_output(OutItem::Str("Factorial = ".into()));
         s.push_output(OutItem::Val(Value::Int(120)));
         s.push_output(OutItem::Val(Value::Err));
-        assert_eq!(s.output_values(), vec![Value::Int(120), Value::Err]);
+        assert_eq!(
+            s.output_values().collect::<Vec<_>>(),
+            vec![Value::Int(120), Value::Err]
+        );
         assert_eq!(s.output_ints(), vec![120]);
+        assert!(s.output_ints_iter().eq([120]));
         assert!(s.output_contains_err());
         assert_eq!(s.rendered_output(), "Factorial = 120err");
     }
@@ -668,6 +793,67 @@ mod tests {
         let mut d = a.clone();
         d.set_mem(16, Value::Int(7));
         assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn rolling_fingerprint_matches_from_scratch_after_every_write_kind() {
+        let mut s = MachineState::with_input(vec![3, -1]);
+        let check = |s: &MachineState, what: &str| {
+            assert_eq!(
+                s.fingerprint(),
+                s.fingerprint_from_scratch(),
+                "rolling digest desynced after {what}"
+            );
+        };
+        check(&s, "construction");
+        s.set_reg(Reg::r(3), Value::Err);
+        check(&s, "set_reg");
+        let _ = s
+            .constraints_mut()
+            .constrain(Location::reg(3), sympl_symbolic::Constraint::Gt(2));
+        check(&s, "constrain");
+        s.copy_reg_with_constraints(Reg::r(4), Value::Err, Location::reg(3));
+        check(&s, "copy_reg_with_constraints");
+        s.set_mem(16, Value::Int(7));
+        check(&s, "set_mem");
+        s.copy_mem_with_constraints(24, Value::Err, Location::reg(4));
+        check(&s, "copy_mem_with_constraints");
+        s.load_memory([(0, 1), (8, 2), (16, 99)]);
+        check(&s, "load_memory overwrite");
+        s.set_location(Location::Mem(16), Value::Int(7));
+        check(&s, "set_location");
+        let _ = s.read_input();
+        check(&s, "read_input");
+        s.push_output(OutItem::Str("x=".into()));
+        s.push_output(OutItem::Val(Value::Err));
+        check(&s, "push_output");
+        s.bump_steps();
+        s.set_pc(5);
+        s.set_status(Status::Halted);
+        check(&s, "scalars");
+        // Forks inherit consistent caches.
+        let mut fork = s.clone();
+        fork.set_mem(8, Value::Int(5));
+        check(&fork, "fork write");
+        check(&s, "origin after fork");
+    }
+
+    #[test]
+    fn fingerprint_is_a_pure_content_function() {
+        // Overwriting a cell and writing it back must return the digest to
+        // its original value (XOR self-inverse), and same-value rewrites
+        // must not move it.
+        let mut s = MachineState::new();
+        s.set_mem(8, Value::Int(1));
+        s.set_reg(Reg::r(2), Value::Int(9));
+        let before = s.fingerprint();
+        s.set_mem(8, Value::Int(2));
+        assert_ne!(s.fingerprint(), before);
+        s.set_mem(8, Value::Int(1));
+        assert_eq!(s.fingerprint(), before);
+        s.set_mem(8, Value::Int(1));
+        s.set_reg(Reg::r(2), Value::Int(9));
+        assert_eq!(s.fingerprint(), before, "no-op rewrites keep the digest");
     }
 
     #[test]

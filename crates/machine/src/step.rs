@@ -496,7 +496,7 @@ mod tests {
         // In the taken branch $1 must be 5, so the print shows 5, not err.
         let taken = terminal
             .iter()
-            .find(|t| !t.output_values().is_empty())
+            .find(|t| t.output_values().next().is_some())
             .unwrap();
         assert_eq!(taken.output_ints(), vec![5]);
     }

@@ -13,6 +13,10 @@
 //!   greaterThan(0)`), with a satisfiability solver that prunes infeasible
 //!   paths and can produce a concrete witness for replay.
 //! * [`ConstraintMap`] — the map carried in the machine state.
+//! * [`ZobristComponent`] / [`Fnv128Hasher`] — deterministic 128-bit
+//!   cell hashing and the incremental XOR-folds behind the machine crate's
+//!   rolling state fingerprints (the ConstraintMap maintains one for its
+//!   own entries).
 //! * [`fork_compare`] — the non-deterministic comparison semantics: a
 //!   comparison involving `err` forks execution into the true and false
 //!   cases, each "remembering" what it learned as a constraint (and, for
@@ -36,12 +40,14 @@
 #![warn(missing_docs)]
 
 mod constraint;
+mod fold;
 mod fork;
 mod location;
 mod map;
 mod value;
 
 pub use constraint::{Constraint, ConstraintSet};
+pub use fold::{cell_hash, Fnv128Hasher, ZobristComponent};
 pub use fork::{fork_compare, CmpCase};
 pub use location::Location;
 pub use map::ConstraintMap;

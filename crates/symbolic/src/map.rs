@@ -1,9 +1,10 @@
 //! The ConstraintMap carried inside the machine state (paper §5.2).
 
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::{Constraint, ConstraintSet, Location};
+use crate::{Constraint, ConstraintSet, Location, ZobristComponent};
 
 /// Maps each location currently holding `err` to the set of constraints its
 /// (unknown) value must satisfy along the current execution path.
@@ -20,6 +21,11 @@ pub struct ConstraintMap {
     // hot path instead of a scan over every constrained location. Always
     // derivable from `entries`, so the derived Eq/Hash stay consistent.
     unsat: usize,
+    // Rolling XOR-fold over `(location, constraint set)` cells, maintained
+    // by the same three mutators so the machine state's fingerprint never
+    // re-walks the map. Derivable from `entries` like `unsat`, keeping the
+    // derived Eq/Hash consistent.
+    digest: ZobristComponent,
 }
 
 impl ConstraintMap {
@@ -36,16 +42,33 @@ impl ConstraintMap {
     /// false-positive candidate); callers prune it from the search.
     #[must_use = "an unsatisfiable result must prune the path"]
     pub fn constrain(&mut self, loc: Location, constraint: Constraint) -> bool {
-        let set = self.entries.entry(loc).or_default();
-        // Constraint sets only ever tighten, so satisfiability transitions
-        // at most once, from satisfiable to unsatisfiable.
-        let was_satisfiable = set.is_satisfiable();
-        set.add(constraint);
-        let now_satisfiable = set.is_satisfiable();
-        if was_satisfiable && !now_satisfiable {
-            self.unsat += 1;
+        match self.entries.entry(loc) {
+            Entry::Occupied(mut e) => {
+                let set = e.get_mut();
+                // Constraint sets only ever tighten, so satisfiability
+                // transitions at most once, satisfiable → unsatisfiable.
+                let was_satisfiable = set.is_satisfiable();
+                self.digest.remove(&loc, &*set);
+                set.add(constraint);
+                self.digest.insert(&loc, &*set);
+                let now_satisfiable = set.is_satisfiable();
+                if was_satisfiable && !now_satisfiable {
+                    self.unsat += 1;
+                }
+                now_satisfiable
+            }
+            Entry::Vacant(e) => {
+                let mut set = ConstraintSet::new();
+                set.add(constraint);
+                let now_satisfiable = set.is_satisfiable();
+                if !now_satisfiable {
+                    self.unsat += 1;
+                }
+                self.digest.insert(&loc, &set);
+                e.insert(set);
+                now_satisfiable
+            }
         }
-        now_satisfiable
     }
 
     /// Forgets everything known about a location. Called when the location
@@ -53,6 +76,7 @@ impl ConstraintMap {
     /// old constraints described the previous occupant.
     pub fn clear(&mut self, loc: Location) {
         if let Some(set) = self.entries.remove(&loc) {
+            self.digest.remove(&loc, &set);
             if !set.is_satisfiable() {
                 self.unsat -= 1;
             }
@@ -71,6 +95,7 @@ impl ConstraintMap {
                 if !set.is_satisfiable() {
                     self.unsat += 1;
                 }
+                self.digest.insert(&to, &set);
                 self.entries.insert(to, set);
             }
             None => {
@@ -119,6 +144,23 @@ impl ConstraintMap {
     /// Iterates over `(location, constraint set)` pairs in location order.
     pub fn iter(&self) -> impl Iterator<Item = (Location, &ConstraintSet)> {
         self.entries.iter().map(|(&l, s)| (l, s))
+    }
+
+    /// The rolling XOR-fold over the map's `(location, constraint set)`
+    /// cells, maintained incrementally by `constrain`/`clear`/`copy`. O(1);
+    /// the machine state mixes it into its fingerprint instead of
+    /// re-hashing every entry.
+    #[must_use]
+    pub fn digest(&self) -> ZobristComponent {
+        self.digest
+    }
+
+    /// A from-scratch recompute of [`ConstraintMap::digest`] — O(|map|),
+    /// for the digest-consistency tests and reference fingerprint path
+    /// only.
+    #[must_use]
+    pub fn refold_digest(&self) -> ZobristComponent {
+        ZobristComponent::refold(self.entries.iter())
     }
 }
 
@@ -223,6 +265,40 @@ mod tests {
         assert!(!m.constrain(b, Constraint::Gt(2)) || !m.constrain(b, Constraint::Lt(2)));
         m.copy(a, b);
         assert!(m.is_satisfiable());
+    }
+
+    #[test]
+    fn digest_tracks_constrain_clear_and_copy() {
+        let mut m = ConstraintMap::new();
+        let a = Location::reg(1);
+        let b = Location::reg(2);
+        assert_eq!(m.digest(), m.refold_digest());
+        assert!(m.constrain(a, Constraint::Gt(0)));
+        assert_eq!(m.digest(), m.refold_digest());
+        assert!(m.constrain(a, Constraint::Le(9)));
+        assert_eq!(m.digest(), m.refold_digest());
+        m.copy(a, b);
+        assert_eq!(m.digest(), m.refold_digest());
+        // Copy over an existing target, self-copy, unconstrained-source copy.
+        assert!(m.constrain(b, Constraint::Ne(3)));
+        m.copy(a, b);
+        assert_eq!(m.digest(), m.refold_digest());
+        m.copy(a, a);
+        assert_eq!(m.digest(), m.refold_digest());
+        m.copy(Location::reg(7), b);
+        assert_eq!(m.digest(), m.refold_digest());
+        m.clear(a);
+        assert_eq!(m.digest(), m.refold_digest());
+        assert_eq!(m.digest(), ZobristComponent::new(), "empty map folds to 0");
+        // Equal contents reached by different histories agree.
+        let mut n = ConstraintMap::new();
+        assert!(n.constrain(b, Constraint::Gt(0)));
+        let mut o = ConstraintMap::new();
+        assert!(o.constrain(a, Constraint::Gt(0)));
+        o.copy(a, b);
+        o.clear(a);
+        assert_eq!(n, o);
+        assert_eq!(n.digest(), o.digest());
     }
 
     #[test]

@@ -198,6 +198,184 @@ mod state_representation {
 }
 
 // ---------------------------------------------------------------------
+// Rolling-digest consistency: the incrementally-maintained fingerprint
+// must equal a from-scratch recompute after arbitrary write/fork/compact
+// sequences through every mutator the executors use.
+// ---------------------------------------------------------------------
+
+mod digest_consistency {
+    use super::*;
+
+    /// One mutation drawn from the full write-path surface of the machine
+    /// state (every operation that can move a rolling component fold).
+    #[derive(Debug, Clone)]
+    enum Op {
+        SetReg(u8, Value),
+        CopyReg(u8, Value, Location),
+        SetMem(u64, Value),
+        CopyMem(u64, Value, Location),
+        /// Bulk image load; sized so that runs of these cross the CoW
+        /// delta-compaction threshold while the base is shared by a fork.
+        LoadMemory(Vec<(u64, i64)>),
+        Constrain(Location, Constraint),
+        PushVal(Value),
+        PushStr,
+        ReadInput,
+        SetPc(usize),
+        BumpSteps,
+        SetStatus(u8),
+        /// Clone the newest state (CoW fork) and continue mutating the
+        /// clone; the original is re-checked at the end.
+        Fork,
+        /// Swap the two newest states, so later writes hit a fork whose
+        /// base is shared from the *other* side.
+        Swap,
+    }
+
+    fn value_strategy() -> impl Strategy<Value = Value> {
+        prop_oneof![4 => (-50i64..=50).prop_map(Value::Int), 1 => Just(Value::Err)]
+    }
+
+    fn location_strategy() -> impl Strategy<Value = Location> {
+        prop_oneof![
+            (1u8..28).prop_map(Location::reg),
+            (0u64..40).prop_map(|slot| Location::Mem(slot * 8)),
+        ]
+    }
+
+    fn constraint_strategy() -> impl Strategy<Value = Constraint> {
+        (0u8..6, -5i64..=5).prop_map(|(kind, c)| match kind {
+            0 => Constraint::Eq(c),
+            1 => Constraint::Ne(c),
+            2 => Constraint::Gt(c),
+            3 => Constraint::Lt(c),
+            4 => Constraint::Ge(c),
+            _ => Constraint::Le(c),
+        })
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            4 => ((1u8..30), value_strategy()).prop_map(|(r, v)| Op::SetReg(r, v)),
+            2 => ((1u8..30), value_strategy(), location_strategy())
+                .prop_map(|(r, v, f)| Op::CopyReg(r, v, f)),
+            4 => ((0u64..48), value_strategy()).prop_map(|(s, v)| Op::SetMem(s * 8, v)),
+            2 => ((0u64..48), value_strategy(), location_strategy())
+                .prop_map(|(s, v, f)| Op::CopyMem(s * 8, v, f)),
+            1 => prop::collection::vec(((0u64..96), (-9i64..=9)), 1..80)
+                .prop_map(|img| Op::LoadMemory(
+                    img.into_iter().map(|(s, v)| (s * 8, v)).collect()
+                )),
+            3 => (location_strategy(), constraint_strategy())
+                .prop_map(|(l, c)| Op::Constrain(l, c)),
+            2 => value_strategy().prop_map(Op::PushVal),
+            1 => Just(Op::PushStr),
+            1 => Just(Op::ReadInput),
+            1 => (0usize..64).prop_map(Op::SetPc),
+            1 => Just(Op::BumpSteps),
+            1 => (0u8..5).prop_map(Op::SetStatus),
+            2 => Just(Op::Fork),
+            1 => Just(Op::Swap),
+        ]
+    }
+
+    fn apply(state: &mut MachineState, op: &Op) {
+        match op {
+            Op::SetReg(r, v) => state.set_reg(Reg::r(*r), *v),
+            Op::CopyReg(r, v, from) => state.copy_reg_with_constraints(Reg::r(*r), *v, *from),
+            Op::SetMem(a, v) => state.set_mem(*a, *v),
+            Op::CopyMem(a, v, from) => state.copy_mem_with_constraints(*a, *v, *from),
+            Op::LoadMemory(img) => state.load_memory(img.iter().copied()),
+            Op::Constrain(l, c) => {
+                let _ = state.constraints_mut().constrain(*l, *c);
+            }
+            Op::PushVal(v) => state.push_output(OutItem::Val(*v)),
+            Op::PushStr => state.push_output(OutItem::Str("s".into())),
+            Op::ReadInput => {
+                let _ = state.read_input();
+            }
+            Op::SetPc(pc) => state.set_pc(*pc),
+            Op::BumpSteps => state.bump_steps(),
+            Op::SetStatus(k) => state.set_status(match k {
+                0 => Status::Running,
+                1 => Status::Halted,
+                2 => Status::Exception(symplfied::machine::Exception::DivByZero),
+                3 => Status::Detected(2),
+                _ => Status::TimedOut,
+            }),
+            Op::Fork | Op::Swap => unreachable!("pool-level ops"),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// After every single mutation — across forks, shared-base writes,
+        /// and delta compactions — the rolling fingerprint equals the
+        /// O(|state|) from-scratch recompute, on the mutated state and
+        /// (at the end) on every forked ancestor it shares storage with.
+        #[test]
+        fn rolling_fingerprint_equals_recompute(
+            ops in prop::collection::vec(op_strategy(), 1..120),
+        ) {
+            let mut pool = vec![MachineState::with_input(vec![7, -3, 0, 11])];
+            for op in &ops {
+                match op {
+                    Op::Fork => {
+                        let fork = pool.last().expect("nonempty pool").clone();
+                        pool.push(fork);
+                    }
+                    Op::Swap => {
+                        let n = pool.len();
+                        if n >= 2 {
+                            pool.swap(n - 1, n - 2);
+                        }
+                    }
+                    _ => apply(pool.last_mut().expect("nonempty pool"), op),
+                }
+                let s = pool.last().expect("nonempty pool");
+                prop_assert_eq!(
+                    s.fingerprint(),
+                    s.fingerprint_from_scratch(),
+                    "rolling digest desynced after {:?}",
+                    op
+                );
+            }
+            // Every ancestor fork must still be consistent (writes to the
+            // newest state must never corrupt a sharing sibling's caches)…
+            for s in &pool {
+                prop_assert_eq!(s.fingerprint(), s.fingerprint_from_scratch());
+            }
+            // …and equal-content states must agree on the digest even when
+            // their mutation histories (and base/delta splits) differ.
+            let replayed = {
+                let mut pool = vec![MachineState::with_input(vec![7, -3, 0, 11])];
+                for op in &ops {
+                    match op {
+                        Op::Fork => {
+                            let fork = pool.last().expect("nonempty pool").clone();
+                            pool.push(fork);
+                        }
+                        Op::Swap => {
+                            let n = pool.len();
+                            if n >= 2 {
+                                pool.swap(n - 1, n - 2);
+                            }
+                        }
+                        _ => apply(pool.last_mut().expect("nonempty pool"), op),
+                    }
+                }
+                pool
+            };
+            for (a, b) in pool.iter().zip(&replayed) {
+                prop_assert_eq!(a, b);
+                prop_assert_eq!(a.fingerprint(), b.fingerprint());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Fingerprint-dedup equivalence: the Explorer's 16-byte visited set must
 // not change search outcomes versus retaining whole states.
 // ---------------------------------------------------------------------
