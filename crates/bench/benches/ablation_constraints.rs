@@ -23,6 +23,7 @@ fn limits(track_constraints: bool) -> SearchLimits {
         max_states: 200_000,
         max_solutions: 1_000,
         max_time: None,
+        ..SearchLimits::default()
     }
 }
 

@@ -31,6 +31,7 @@ fn bench_fanout(c: &mut Criterion) {
             max_states: 500_000,
             max_solutions: 10,
             max_time: None,
+            ..SearchLimits::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(&label), &limits, |b, limits| {
             b.iter(|| {

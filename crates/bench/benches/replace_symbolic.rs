@@ -18,6 +18,7 @@ fn limits() -> SearchLimits {
         max_states: 60_000,
         max_solutions: 10,
         max_time: Some(Duration::from_secs(20)),
+        ..SearchLimits::default()
     }
 }
 

@@ -6,8 +6,12 @@
 //! engine — and runs it twice at identical budgets: once on the sequential
 //! `Explorer`, once on the work-stealing `ParallelExplorer`. Each run
 //! becomes one JSON entry `{workload, states, seconds, states_per_second,
-//! workers, steals, exhausted}`, so BENCH_explore.json tracks both raw
-//! engine speed and the parallel speedup across revisions.
+//! workers, steals, peak_frontier_len, peak_frontier_bytes,
+//! spilled_states, exhausted}`, so BENCH_explore.json tracks raw engine
+//! speed, the parallel speedup, and frontier memory across revisions.
+//! `spill_frontier_tcas` / `spill_frontier_replace` rows rerun the
+//! tcas/replace sweeps under a small (512 KiB) in-RAM frontier window, so
+//! the disk-spilling path's throughput is tracked alongside.
 //!
 //! Two extra micro-bench rows time `MachineState::fingerprint()` itself on
 //! a bulky state: `fingerprint_rolling` (the O(1) cached-fold mix the
@@ -33,24 +37,30 @@ use sympl_machine::{ExecLimits, MachineState, OutItem};
 use sympl_symbolic::{Constraint, Location, Value};
 
 struct Entry {
-    workload: &'static str,
+    workload: String,
     states: usize,
     seconds: f64,
     states_per_second: f64,
     workers: usize,
     steals: usize,
+    peak_frontier_len: usize,
+    peak_frontier_bytes: usize,
+    spilled_states: usize,
     exhausted: bool,
 }
 
 impl Entry {
-    fn from_report(workload: &'static str, report: &SearchReport) -> Self {
+    fn from_report(workload: impl Into<String>, report: &SearchReport) -> Self {
         Entry {
-            workload,
+            workload: workload.into(),
             states: report.states_explored,
             seconds: report.elapsed.as_secs_f64(),
             states_per_second: report.states_per_second,
             workers: report.workers,
             steals: report.steals,
+            peak_frontier_len: report.peak_frontier_len,
+            peak_frontier_bytes: report.peak_frontier_bytes,
+            spilled_states: report.spilled_states,
             exhausted: report.exhausted,
         }
     }
@@ -59,13 +69,17 @@ impl Entry {
         format!(
             "{{\"workload\": \"{}\", \"states\": {}, \"seconds\": {:.6}, \
              \"states_per_second\": {:.1}, \"workers\": {}, \"steals\": {}, \
-             \"exhausted\": {}}}",
+             \"peak_frontier_len\": {}, \"peak_frontier_bytes\": {}, \
+             \"spilled_states\": {}, \"exhausted\": {}}}",
             self.workload,
             self.states,
             self.seconds,
             self.states_per_second,
             self.workers,
             self.steals,
+            self.peak_frontier_len,
+            self.peak_frontier_bytes,
+            self.spilled_states,
             self.exhausted
         )
     }
@@ -117,12 +131,15 @@ fn fingerprint_micro_bench(quick: bool) -> Vec<Entry> {
     let rolling = timed(&MachineState::fingerprint);
 
     let entry = |name: &'static str, elapsed: std::time::Duration| Entry {
-        workload: name,
+        workload: name.into(),
         states: iters as usize,
         seconds: elapsed.as_secs_f64(),
         states_per_second: f64::from(iters) / elapsed.as_secs_f64().max(1e-9),
         workers: 1,
         steals: 0,
+        peak_frontier_len: 0,
+        peak_frontier_bytes: 0,
+        spilled_states: 0,
         exhausted: true,
     };
     let rolling = entry("fingerprint_rolling", rolling);
@@ -205,6 +222,7 @@ fn main() {
             max_states: *max_states,
             max_solutions: usize::MAX,
             max_time: None,
+            ..SearchLimits::default()
         };
         let prep_start = Instant::now();
         let seeds = pooled_register_seeds(w, &exec);
@@ -253,6 +271,60 @@ fn main() {
                 w.name
             );
         }
+    }
+
+    // Disk-spilling sweep rows: the same tcas/replace full sweeps under a
+    // deliberately small in-RAM frontier window, so BENCH_explore.json
+    // tracks the spill path's throughput (and its overhead vs the
+    // unbounded rows above) across revisions.
+    let spill_window: usize = 512 * 1024;
+    let spill_configs: Vec<(Workload, u64, usize)> = vec![
+        {
+            let w = sympl_apps::tcas();
+            let steps = if quick {
+                w.max_steps.min(2_000)
+            } else {
+                w.max_steps
+            };
+            let states = if quick { 8_000 } else { 150_000 };
+            (w, steps, states)
+        },
+        {
+            let w = sympl_apps::replace();
+            let steps = if quick { 2_000 } else { 6_000 };
+            let states = if quick { 8_000 } else { 100_000 };
+            (w, steps, states)
+        },
+    ];
+    for (w, steps, max_states) in &spill_configs {
+        let exec = ExecLimits::with_max_steps(*steps);
+        let limits = SearchLimits {
+            exec: exec.clone(),
+            max_states: *max_states,
+            max_solutions: usize::MAX,
+            max_time: None,
+            max_frontier_bytes: Some(spill_window),
+            ..SearchLimits::default()
+        };
+        let seeds = pooled_register_seeds(w, &exec);
+        let spilling = Explorer::new(&w.program, &w.detectors)
+            .with_limits(limits)
+            .explore(seeds, &Predicate::Any);
+        println!(
+            "spill_frontier_{}: {:>8} states in {:>8.3}s ({:>9.0} states/s, \
+             peak {} states / ~{} bytes in RAM, {} spilled)",
+            w.name,
+            spilling.states_explored,
+            spilling.elapsed.as_secs_f64(),
+            spilling.states_per_second,
+            spilling.peak_frontier_len,
+            spilling.peak_frontier_bytes,
+            spilling.spilled_states
+        );
+        entries.push(Entry::from_report(
+            format!("spill_frontier_{}", w.name),
+            &spilling,
+        ));
     }
 
     let mut json = String::from("[\n");

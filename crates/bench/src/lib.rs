@@ -157,6 +157,7 @@ pub fn campaign_limits(max_steps: u64) -> SearchLimits {
         max_states: 300_000,
         max_solutions: 10,
         max_time: Some(std::time::Duration::from_secs(60)),
+        ..SearchLimits::default()
     }
 }
 

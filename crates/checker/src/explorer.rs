@@ -1,7 +1,7 @@
 //! The reusable exploration engine behind every campaign.
 //!
 //! [`Explorer`] packages the pieces a search task needs — program, detector
-//! set, budgets, and a frontier discipline — so that `sympl-inject`'s
+//! set, budgets, and a frontier policy — so that `sympl-inject`'s
 //! per-point searches, `sympl-cluster`'s worker loop, `sympl-ssim`'s
 //! symbolic cross-validation, and `symplfied::Framework` all drive the same
 //! engine instead of each re-implementing the loop around `search()`.
@@ -18,35 +18,33 @@
 //! * **Single insertion point.** A state's fingerprint enters the visited
 //!   set exactly once, when the state is enqueued (the old `search()`
 //!   redundantly re-inserted on dequeue as well).
-//! * **Pluggable frontier.** [`Frontier::Bfs`] reproduces Maude's
-//!   breadth-first `search =>!` (shortest witnesses first, the default);
-//!   [`Frontier::Dfs`] dives to terminals quickly, which suits
-//!   memory-constrained sweeps that only need *a* witness.
+//! * **Pluggable frontier.** The engine drives its frontier exclusively
+//!   through the [`FrontierQueue`] trait: FIFO/LIFO, best-first, iterative
+//!   deepening, and the disk-spilling window all plug in via
+//!   [`SearchLimits::policy`] / [`SearchLimits::max_frontier_bytes`] with
+//!   no engine change (see [`crate::frontier`] for the policies and their
+//!   determinism contracts). Iterative deepening's rounds are the one
+//!   engine-visible wrinkle: when the frontier drains,
+//!   [`FrontierQueue::next_round`] may hand back the root seeds, and the
+//!   engine resets its visited set (the per-round dedup reset) plus the
+//!   per-round terminal/solution tallies before re-seeding.
 //! * **Budget accounting.** State, solution, and wall-clock budgets are
 //!   tracked per [`SearchLimits`] and reported in the [`SearchReport`],
-//!   along with a `states_per_second` throughput figure for campaign
-//!   summaries and benchmark tables.
+//!   along with throughput and peak-frontier-footprint figures
+//!   (`peak_frontier_len` / `peak_frontier_bytes` / `spilled_states`) for
+//!   campaign summaries and benchmark tables.
+//!
+//! [`Fingerprint`]: sympl_machine::Fingerprint
 
-use std::collections::VecDeque;
 use std::time::Instant;
 
 use sympl_asm::Program;
 use sympl_detect::DetectorSet;
 use sympl_machine::{ExecLimits, FingerprintSet, MachineState};
 
-use crate::{OutcomeCounts, Predicate, SearchLimits, SearchReport, Solution};
-
-/// The frontier discipline: which state the engine expands next.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Frontier {
-    /// Breadth-first (the paper's exhaustive `search =>!`): shortest
-    /// witness traces are found first.
-    #[default]
-    Bfs,
-    /// Depth-first: reaches terminals with a much smaller live frontier;
-    /// witness traces are not length-minimal.
-    Dfs,
-}
+use crate::{
+    FrontierPolicy, FrontierQueue, OutcomeCounts, Predicate, SearchLimits, SearchReport, Solution,
+};
 
 /// A reusable, configured exploration engine over one program + detector
 /// set. Construction is cheap; campaigns build one per task (or per point
@@ -56,7 +54,11 @@ pub struct Explorer<'a> {
     program: &'a Program,
     detectors: &'a DetectorSet,
     limits: SearchLimits,
-    frontier: Frontier,
+    /// A policy chosen via [`Explorer::with_policy`]. Kept separate from
+    /// `limits.policy` so the two builders compose in either order — a
+    /// later `with_limits` cannot silently revert an explicit
+    /// `with_policy` choice.
+    policy_override: Option<FrontierPolicy>,
     workers_hint: Option<usize>,
 }
 
@@ -68,7 +70,7 @@ impl<'a> Explorer<'a> {
             program,
             detectors,
             limits: SearchLimits::default(),
-            frontier: Frontier::default(),
+            policy_override: None,
             workers_hint: None,
         }
     }
@@ -100,17 +102,19 @@ impl<'a> Explorer<'a> {
         self
     }
 
-    /// Replaces the frontier discipline.
+    /// Replaces the frontier policy. Overrides [`SearchLimits::policy`]
+    /// whether called before or after [`Explorer::with_limits`].
     #[must_use]
-    pub fn with_frontier(mut self, frontier: Frontier) -> Self {
-        self.frontier = frontier;
+    pub fn with_policy(mut self, policy: FrontierPolicy) -> Self {
+        self.policy_override = Some(policy);
         self
     }
 
-    /// The configured frontier discipline.
+    /// The effective frontier policy: an explicit
+    /// [`Explorer::with_policy`] choice, else [`SearchLimits::policy`].
     #[must_use]
-    pub fn frontier(&self) -> Frontier {
-        self.frontier
+    pub fn policy(&self) -> FrontierPolicy {
+        self.policy_override.unwrap_or(self.limits.policy)
     }
 
     /// The program under exploration.
@@ -142,7 +146,10 @@ impl<'a> Explorer<'a> {
     ///
     /// Every distinct machine state is expanded once (deduplicated by
     /// fingerprint); the exploration stops early when a state, solution,
-    /// or time budget is exhausted, and the report records which.
+    /// or time budget is exhausted, and the report records which. Under an
+    /// iterative-deepening policy, "once" holds per round, and the report's
+    /// terminal counts and solutions describe the final (deepest) round —
+    /// complete whenever the search exhausts (see [`crate::frontier`]).
     #[must_use]
     pub fn explore(&self, seeds: Vec<MachineState>, predicate: &Predicate) -> SearchReport {
         let start = Instant::now();
@@ -150,79 +157,113 @@ impl<'a> Explorer<'a> {
         let mut terminals = OutcomeCounts::default();
 
         // Parent arena for witness traces: (parent index or usize::MAX, pc).
+        // Survives iterative-deepening rounds: indices recorded in round 0
+        // stay valid as re-seed metadata.
         let mut arena: Vec<(usize, usize)> = Vec::new();
         // Fingerprints only (16 bytes per visited state), bucketed by their
         // own digest bits — no SipHash re-hash per probe.
         let mut visited = FingerprintSet::default();
-        let mut frontier: VecDeque<(MachineState, usize)> = VecDeque::new();
+        let mut frontier: Box<dyn FrontierQueue<usize>> =
+            self.policy().build(self.limits.max_frontier_bytes);
 
         for s in seeds {
             let pc = s.pc();
             // The single insertion point: enqueue time.
             if visited.insert(s.fingerprint()) {
                 arena.push((usize::MAX, pc));
-                frontier.push_back((s, arena.len() - 1));
+                frontier.seed(s, arena.len() - 1);
             }
         }
+        // Root entries occupy the arena prefix; iterative-deepening rounds
+        // truncate back to here so dead trace nodes from earlier rounds
+        // don't accumulate in the one mode sold as memory-minimal.
+        let root_arena_len = arena.len();
+        report.peak_frontier_len = frontier.len();
+        report.peak_frontier_bytes = frontier.approx_bytes();
 
         // Check the time budget only every few expansions; Instant::now()
         // is cheap but not free, and tasks expand millions of states.
         const TIME_CHECK_MASK: usize = 0x3F;
 
-        while let Some((state, idx)) = self.pop(&mut frontier) {
-            if report.states_explored >= self.limits.max_states {
-                report.hit_state_cap = true;
-                break;
-            }
-            if let Some(budget) = self.limits.max_time {
-                if report.states_explored & TIME_CHECK_MASK == 0 && start.elapsed() >= budget {
-                    report.hit_time_cap = true;
-                    break;
+        // Whether the loop exited by sweeping the space (frontier drained
+        // and no further round demanded), as opposed to a cap break.
+        let mut swept = false;
+        'rounds: loop {
+            while let Some((state, idx)) = frontier.pop() {
+                if report.states_explored >= self.limits.max_states {
+                    report.hit_state_cap = true;
+                    break 'rounds;
                 }
-            }
-            report.states_explored += 1;
-
-            if state.status().is_terminal() {
-                terminals.record(&state);
-                if predicate.matches(&state) {
-                    report.solutions.push(Solution {
-                        trace: reconstruct_trace(&arena, idx),
-                        state,
-                    });
-                    if report.solutions.len() >= self.limits.max_solutions {
-                        report.hit_solution_cap = true;
-                        break;
+                if let Some(budget) = self.limits.max_time {
+                    if report.states_explored & TIME_CHECK_MASK == 0 && start.elapsed() >= budget {
+                        report.hit_time_cap = true;
+                        break 'rounds;
                     }
                 }
-                continue;
+                report.states_explored += 1;
+
+                if state.status().is_terminal() {
+                    terminals.record(&state);
+                    if predicate.matches(&state) {
+                        report.solutions.push(Solution {
+                            trace: reconstruct_trace(&arena, idx),
+                            state,
+                        });
+                        if report.solutions.len() >= self.limits.max_solutions {
+                            report.hit_solution_cap = true;
+                            break 'rounds;
+                        }
+                    }
+                    continue;
+                }
+
+                for succ in state.step(self.program, self.detectors, &self.limits.exec) {
+                    if visited.insert(succ.fingerprint()) {
+                        arena.push((idx, succ.pc()));
+                        frontier.push(succ, arena.len() - 1);
+                    } else {
+                        report.duplicate_hits += 1;
+                    }
+                }
+                report.peak_frontier_len = report.peak_frontier_len.max(frontier.len());
+                report.peak_frontier_bytes =
+                    report.peak_frontier_bytes.max(frontier.approx_bytes());
             }
 
-            for succ in state.step(self.program, self.detectors, &self.limits.exec) {
-                if visited.insert(succ.fingerprint()) {
-                    arena.push((idx, succ.pc()));
-                    frontier.push_back((succ, arena.len() - 1));
-                } else {
-                    report.duplicate_hits += 1;
+            // The frontier drained. A restarting policy (iterative
+            // deepening) may demand another round from the roots: reset the
+            // visited set (per-round dedup reset), the per-round tallies,
+            // and the arena's non-root suffix (its entries are unreachable
+            // once the round's solutions are cleared), then re-seed through
+            // the normal dedup path. `None` means the space is swept within
+            // the final bound — the loop's only complete exit.
+            match frontier.next_round() {
+                Some(roots) => {
+                    visited.clear();
+                    terminals = OutcomeCounts::default();
+                    report.solutions.clear();
+                    arena.truncate(root_arena_len);
+                    for (s, meta) in roots {
+                        if visited.insert(s.fingerprint()) {
+                            frontier.seed(s, meta);
+                        }
+                    }
+                }
+                None => {
+                    swept = true;
+                    break;
                 }
             }
         }
 
-        report.exhausted = frontier.is_empty()
-            && !report.hit_state_cap
-            && !report.hit_solution_cap
-            && !report.hit_time_cap;
+        report.exhausted =
+            swept && !report.hit_state_cap && !report.hit_solution_cap && !report.hit_time_cap;
+        report.spilled_states = frontier.spilled_states();
         report.terminals = terminals;
         report.elapsed = start.elapsed();
         report.states_per_second = SearchReport::throughput(report.states_explored, report.elapsed);
         report.workers = 1;
         report
-    }
-
-    fn pop(&self, frontier: &mut VecDeque<(MachineState, usize)>) -> Option<(MachineState, usize)> {
-        match self.frontier {
-            Frontier::Bfs => frontier.pop_front(),
-            Frontier::Dfs => frontier.pop_back(),
-        }
     }
 }
 
@@ -243,6 +284,7 @@ fn reconstruct_trace(arena: &[(usize, usize)], mut idx: usize) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::PriorityHeuristic;
     use sympl_asm::{parse_program, Reg};
     use sympl_symbolic::Value;
 
@@ -258,19 +300,91 @@ mod tests {
         .unwrap();
         let mut s = MachineState::new();
         s.set_reg(Reg::r(1), Value::Err);
-        let explore = |frontier| {
+        let explore = |policy| {
             Explorer::new(&p, &dets())
-                .with_frontier(frontier)
+                .with_policy(policy)
                 .explore(vec![s.clone()], &Predicate::Any)
         };
-        let bfs = explore(Frontier::Bfs);
-        let dfs = explore(Frontier::Dfs);
+        let bfs = explore(FrontierPolicy::Bfs);
+        let dfs = explore(FrontierPolicy::Dfs);
         assert!(bfs.exhausted && dfs.exhausted);
         assert_eq!(bfs.terminals, dfs.terminals);
         assert_eq!(bfs.states_explored, dfs.states_explored);
         assert_eq!(bfs.solutions.len(), dfs.solutions.len());
         // BFS returns the shortest witness first; DFS dives deep first.
         assert!(bfs.solutions[0].trace.len() <= dfs.solutions[0].trace.len());
+    }
+
+    #[test]
+    fn every_policy_agrees_on_an_exhausted_search() {
+        let p = parse_program(
+            "beq $1, 0, t\nmov $2, 1\njmp join\nt: mov $2, 2\nnop\n\
+             join: print $2\nprint $1\nhalt",
+        )
+        .unwrap();
+        let mut s = MachineState::new();
+        s.set_reg(Reg::r(1), Value::Err);
+        let bfs = Explorer::new(&p, &dets()).explore(vec![s.clone()], &Predicate::Any);
+        assert!(bfs.exhausted);
+        for policy in [
+            FrontierPolicy::Dfs,
+            FrontierPolicy::Priority(PriorityHeuristic::ConstraintMapSize),
+            FrontierPolicy::Priority(PriorityHeuristic::Depth),
+            FrontierPolicy::Priority(PriorityHeuristic::OutputLen),
+        ] {
+            let report = Explorer::new(&p, &dets())
+                .with_policy(policy)
+                .explore(vec![s.clone()], &Predicate::Any);
+            assert!(report.exhausted, "{policy:?}");
+            assert_eq!(report.terminals, bfs.terminals, "{policy:?}");
+            assert_eq!(report.states_explored, bfs.states_explored, "{policy:?}");
+            assert_eq!(report.solutions.len(), bfs.solutions.len(), "{policy:?}");
+        }
+        // Iterative deepening re-explores per round, so only the terminal
+        // picture must agree.
+        let idd = Explorer::new(&p, &dets())
+            .with_policy(FrontierPolicy::IterativeDeepening {
+                initial_depth: 1,
+                depth_step: 1,
+            })
+            .explore(vec![s.clone()], &Predicate::Any);
+        assert!(idd.exhausted);
+        assert_eq!(idd.terminals, bfs.terminals);
+        assert_eq!(idd.solutions.len(), bfs.solutions.len());
+        assert!(
+            idd.states_explored >= bfs.states_explored,
+            "rounds re-expand shallow states"
+        );
+    }
+
+    #[test]
+    fn spilling_bfs_reproduces_the_unbounded_run() {
+        let p = parse_program(
+            "beq $1, 0, long\nprint $1\nhalt\nlong: nop\nnop\nmov $1, 1\nprint $1\nhalt",
+        )
+        .unwrap();
+        let mut s = MachineState::new();
+        s.set_reg(Reg::r(1), Value::Err);
+        let unbounded = Explorer::new(&p, &dets()).explore(vec![s.clone()], &Predicate::Any);
+        let limits = SearchLimits {
+            max_frontier_bytes: Some(1), // clamped to the 4 KiB floor
+            ..SearchLimits::default()
+        };
+        let spilled = Explorer::new(&p, &dets())
+            .with_limits(limits)
+            .explore(vec![s], &Predicate::Any);
+        assert!(spilled.exhausted);
+        assert_eq!(spilled.terminals, unbounded.terminals);
+        assert_eq!(spilled.states_explored, unbounded.states_explored);
+        assert_eq!(spilled.duplicate_hits, unbounded.duplicate_hits);
+        // Identical expansion order means identical witness traces, too.
+        let traces = |r: &SearchReport| {
+            r.solutions
+                .iter()
+                .map(|s| s.trace.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(traces(&spilled), traces(&unbounded));
     }
 
     #[test]
@@ -312,7 +426,7 @@ mod tests {
     }
 
     #[test]
-    fn throughput_is_reported() {
+    fn throughput_and_peaks_are_reported() {
         let p = parse_program("loop: addi $2, $2, 1\nbeq $0, 0, loop").unwrap();
         let limits = SearchLimits {
             max_states: 500,
@@ -327,6 +441,29 @@ mod tests {
             report.states_per_second > 0.0,
             "throughput must be populated: {report}"
         );
+        assert!(report.peak_frontier_len > 0, "{report}");
+        assert!(report.peak_frontier_bytes > 0, "{report}");
+        assert_eq!(report.spilled_states, 0, "no budget, no spilling");
+    }
+
+    #[test]
+    fn with_policy_survives_with_limits_in_any_order() {
+        let p = parse_program("halt").unwrap();
+        let d = dets();
+        let after = Explorer::new(&p, &d)
+            .with_policy(FrontierPolicy::Dfs)
+            .with_limits(SearchLimits::default());
+        assert_eq!(after.policy(), FrontierPolicy::Dfs);
+        let before = Explorer::new(&p, &d)
+            .with_limits(SearchLimits::default())
+            .with_policy(FrontierPolicy::Dfs);
+        assert_eq!(before.policy(), FrontierPolicy::Dfs);
+        // With no explicit override, the limits' policy governs.
+        let from_limits = Explorer::new(&p, &d).with_limits(SearchLimits {
+            policy: FrontierPolicy::Dfs,
+            ..SearchLimits::default()
+        });
+        assert_eq!(from_limits.policy(), FrontierPolicy::Dfs);
     }
 
     #[test]
@@ -334,9 +471,12 @@ mod tests {
         let p = parse_program("halt").unwrap();
         let d = dets();
         let limits = SearchLimits::with_max_steps(42);
-        let e = Explorer::new(&p, &d).with_limits(limits);
+        let e = Explorer::new(&p, &d)
+            .with_limits(limits)
+            .with_policy(FrontierPolicy::Dfs);
         assert_eq!(e.limits().exec.max_steps, 42);
         assert_eq!(e.exec_limits().max_steps, 42);
+        assert_eq!(e.policy(), FrontierPolicy::Dfs);
         assert_eq!(e.program().len(), 1);
         assert_eq!(e.detectors().len(), 0);
     }

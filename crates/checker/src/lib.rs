@@ -45,12 +45,17 @@
 #![warn(missing_docs)]
 
 mod explorer;
+pub mod frontier;
 mod parallel;
 mod predicate;
 mod report;
 mod search;
 
-pub use explorer::{Explorer, Frontier};
+pub use explorer::Explorer;
+pub use frontier::{
+    FifoQueue, FrontierPolicy, FrontierQueue, IddQueue, LifoQueue, PriorityFrontier,
+    PriorityHeuristic, SpillOrder, SpillingFrontier,
+};
 pub use parallel::{ParallelExplorer, PARALLEL_STATE_THRESHOLD};
 pub use predicate::Predicate;
 pub use report::{OutcomeCounts, SearchReport, Solution};

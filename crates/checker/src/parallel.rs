@@ -3,9 +3,26 @@
 //! The paper scaled its searches by fanning independent tasks across a
 //! 150-node cluster; *within* one task the search stayed sequential. This
 //! module parallelizes a single search: [`ParallelExplorer`] runs N worker
-//! threads under `std::thread::scope`, each owning a local work deque and
-//! stealing from victims when its own runs dry, all deduplicating against
-//! one **sharded visited set**.
+//! threads under `std::thread::scope`, each owning a local work frontier
+//! and stealing from victims when its own runs dry, all deduplicating
+//! against one **sharded visited set**.
+//!
+//! # Frontier policies
+//!
+//! Each worker's deque is a [`FrontierQueue`] built from the configured
+//! [`FrontierPolicy`] ([`SearchLimits::policy`]) — the engine never
+//! branches on the policy; pushes, pops, **and steal-half** all go through
+//! the trait, so every policy (FIFO, LIFO, best-first, spilling) is
+//! stealable with no engine change. With a
+//! [`SearchLimits::max_frontier_bytes`] budget, each worker gets a
+//! disk-spilling window sized to its share (`budget / workers`).
+//! Iterative deepening is the one policy with global structure (a rising
+//! depth bound and a dedup reset per round): the coordinator runs it as a
+//! loop of complete parallel sub-searches on depth-bounded LIFO deques,
+//! resetting the sharded visited set between rounds; a round that cuts no
+//! successor ends the search. Completed iterative searches report the
+//! final (complete) round's terminals and solutions, with
+//! `states_explored` accumulating every round's work.
 //!
 //! # Shard scheme
 //!
@@ -23,20 +40,22 @@
 //!
 //! # Work stealing
 //!
-//! Each worker pushes successors onto its own mutex-guarded deque and
-//! consumes it locally (FIFO under [`Frontier::Bfs`], LIFO under
-//! [`Frontier::Dfs`]). When empty, it scans the other workers round-robin
-//! and steals half of the first non-empty deque it finds — from the end
-//! its victim is *not* consuming, so a steal races minimally with the
-//! victim's own pops. The number of successful steals is reported as
-//! [`SearchReport::steals`].
+//! Each worker pushes successors onto its own mutex-guarded frontier and
+//! consumes it locally in policy order. When empty, it scans the other
+//! workers round-robin and takes [`FrontierQueue::steal_half`] from the
+//! first victim with work — which half is the queue policy's choice: the
+//! FIFO/LIFO disciplines (and their spilling windows) hand over the half
+//! their owner would consume *last*, so a steal races minimally with the
+//! victim's own pops, while the best-first frontier hands over the current
+//! best half so both workers drive globally-promising states. The number
+//! of successful steals is reported as [`SearchReport::steals`].
 //!
 //! The deques are deliberately one-level: every worker's **whole**
-//! sub-frontier stays in its stealable deque. An earlier two-level variant
+//! sub-frontier stays in its stealable queue. An earlier two-level variant
 //! (lock-free private buffer spilling to a shared deque) benchmarked
 //! *slower* under a state cap — the small private window slides depth-wise
 //! through one subtree, stranding spilled work and burning the budget on
-//! deep, expensive states instead of the shallow BFS prefix. The own-deque
+//! deep, expensive states instead of the shallow BFS prefix. The own-queue
 //! mutex is uncontended outside steals, costing ~tens of nanoseconds per
 //! state against microseconds of expansion work.
 //!
@@ -48,22 +67,28 @@
 //! expansions per worker (mirroring the sequential engine). Global
 //! completion is detected with an in-flight counter: enqueuing a state
 //! increments it, finishing a state's expansion decrements it, and an idle
-//! worker exits once the counter hits zero.
+//! worker exits once the counter hits zero. A queue that *drops* a push
+//! (iterative deepening's depth cut) never counts toward in-flight — the
+//! engine measures actual enqueues through the queue's length delta, under
+//! the queue lock, so dropped states cannot wedge termination.
 //!
 //! # Determinism contract
 //!
 //! When a search **exhausts** its state space (no cap hit), every distinct
-//! state is expanded exactly once regardless of worker count or schedule,
-//! so `states_explored`, `duplicate_hits`, terminal outcome counts, and the
-//! *set* of solutions are identical to the sequential [`Explorer`]'s.
-//! Discovery *order* is schedule-dependent, so solutions are sorted into a
-//! canonical order (trace length, then trace, then state fingerprint)
-//! before the report is returned. Two caveats, both documented here rather
-//! than papered over: (1) a truncated search (state/solution/time cap hit)
-//! explores a schedule-dependent prefix of the space, exactly as the
-//! paper's 30-minute task timeouts truncated nondeterministically across
-//! cluster nodes; (2) witness traces record the path that *won the race*
-//! to each state, which under Bfs is no longer guaranteed shortest.
+//! state is expanded exactly once regardless of worker count, schedule, or
+//! frontier policy, so `states_explored`, `duplicate_hits`, terminal
+//! outcome counts, and the *set* of solutions are identical to the
+//! sequential [`Explorer`]'s (iterative deepening: identical terminals and
+//! solutions; its `states_explored` includes the per-round re-expansion
+//! cost by design). Discovery *order* is schedule-dependent, so solutions
+//! are sorted into a canonical order (trace length, then trace, then state
+//! fingerprint) before the report is returned. Two caveats, both
+//! documented here rather than papered over: (1) a truncated search
+//! (state/solution/time cap hit) explores a schedule-dependent prefix,
+//! exactly as the paper's 30-minute task timeouts truncated
+//! nondeterministically across cluster nodes; (2) witness traces record
+//! the path that *won the race* to each state, which under Bfs is no
+//! longer guaranteed shortest.
 //!
 //! # Threshold heuristic
 //!
@@ -73,8 +98,9 @@
 //! the search runs; small-budget searches (the per-point common case in
 //! quick campaigns) stay on the sequential engine, whose single-threaded
 //! loop has no atomics, locks, or thread-spawn overhead.
+//!
+//! [`FingerprintSet`]: sympl_machine::FingerprintSet
 
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -83,7 +109,11 @@ use sympl_asm::Program;
 use sympl_detect::DetectorSet;
 use sympl_machine::{Fingerprint, FingerprintSet, MachineState};
 
-use crate::{Explorer, Frontier, OutcomeCounts, Predicate, SearchLimits, SearchReport, Solution};
+use crate::frontier::BoundedLifoQueue;
+use crate::{
+    Explorer, FrontierPolicy, FrontierQueue, OutcomeCounts, Predicate, SearchLimits, SearchReport,
+    Solution,
+};
 
 /// State-budget threshold above which [`Explorer::explore_auto`] hands a
 /// search to the [`ParallelExplorer`]. Below it, thread spawn plus shared
@@ -131,7 +161,7 @@ impl TraceNode {
     }
 }
 
-type WorkItem = (MachineState, Arc<TraceNode>);
+type WorkerQueue = Mutex<Box<dyn FrontierQueue<Arc<TraceNode>>>>;
 
 /// The sharded visited set: fingerprint low bits pick a shard, the identity
 /// hasher buckets by the high bits within it.
@@ -165,14 +195,14 @@ impl ShardedVisited {
     }
 }
 
-/// Shared coordination state for one parallel search.
+/// Shared coordination state for one parallel search (or one iterative
+/// round).
 struct Shared<'a> {
     program: &'a Program,
     detectors: &'a DetectorSet,
     limits: &'a SearchLimits,
     predicate: &'a Predicate,
-    frontier: Frontier,
-    queues: Vec<Mutex<VecDeque<WorkItem>>>,
+    queues: Vec<WorkerQueue>,
     visited: ShardedVisited,
     /// Enqueued-but-unfinished states; 0 means the space is swept.
     in_flight: AtomicUsize,
@@ -193,10 +223,12 @@ struct WorkerPool {
     solutions: Vec<Solution>,
     terminals: OutcomeCounts,
     duplicate_hits: usize,
+    peak_frontier_len: usize,
+    peak_frontier_bytes: usize,
 }
 
 /// A work-stealing parallel twin of [`Explorer`]: same program/detector
-/// set/budget/frontier configuration, N worker threads per search.
+/// set/budget/policy configuration, N worker threads per search.
 ///
 /// ```
 /// use sympl_asm::parse_program;
@@ -218,7 +250,11 @@ pub struct ParallelExplorer<'a> {
     program: &'a Program,
     detectors: &'a DetectorSet,
     limits: SearchLimits,
-    frontier: Frontier,
+    /// A policy chosen via [`ParallelExplorer::with_policy`]. Kept
+    /// separate from `limits.policy` so the two builders compose in
+    /// either order — a later `with_limits` cannot silently revert an
+    /// explicit `with_policy` choice.
+    policy_override: Option<FrontierPolicy>,
     workers: usize,
     shard_bits: u32,
 }
@@ -232,21 +268,22 @@ impl<'a> ParallelExplorer<'a> {
             program,
             detectors,
             limits: SearchLimits::default(),
-            frontier: Frontier::default(),
+            policy_override: None,
             workers: available_workers(),
             shard_bits: DEFAULT_SHARD_BITS,
         }
     }
 
     /// A parallel engine inheriting a sequential [`Explorer`]'s full
-    /// configuration (program, detectors, budgets, frontier, worker cap).
+    /// configuration (program, detectors, budgets, effective policy,
+    /// worker cap).
     #[must_use]
     pub fn from_explorer(explorer: &Explorer<'a>) -> Self {
         ParallelExplorer {
             program: explorer.program(),
             detectors: explorer.detectors(),
             limits: explorer.limits().clone(),
-            frontier: explorer.frontier(),
+            policy_override: Some(explorer.policy()),
             workers: explorer.workers_hint().unwrap_or_else(available_workers),
             shard_bits: DEFAULT_SHARD_BITS,
         }
@@ -259,12 +296,22 @@ impl<'a> ParallelExplorer<'a> {
         self
     }
 
-    /// Replaces the frontier discipline (per-worker: FIFO for Bfs, LIFO for
-    /// Dfs; the global interleaving is schedule-dependent either way).
+    /// Replaces the frontier policy (per-worker queues follow it; the
+    /// global interleaving is schedule-dependent either way). Overrides
+    /// [`SearchLimits::policy`] whether called before or after
+    /// [`ParallelExplorer::with_limits`].
     #[must_use]
-    pub fn with_frontier(mut self, frontier: Frontier) -> Self {
-        self.frontier = frontier;
+    pub fn with_policy(mut self, policy: FrontierPolicy) -> Self {
+        self.policy_override = Some(policy);
         self
+    }
+
+    /// The effective frontier policy: an explicit
+    /// [`ParallelExplorer::with_policy`] choice, else
+    /// [`SearchLimits::policy`].
+    #[must_use]
+    pub fn policy(&self) -> FrontierPolicy {
+        self.policy_override.unwrap_or(self.limits.policy)
     }
 
     /// Sets the worker-thread count (clamped to at least 1).
@@ -293,6 +340,14 @@ impl<'a> ParallelExplorer<'a> {
         &self.limits
     }
 
+    /// The per-worker spill window: each worker's share of the configured
+    /// frontier budget.
+    fn per_worker_budget(&self) -> Option<usize> {
+        self.limits
+            .max_frontier_bytes
+            .map(|b| (b / self.workers).max(1))
+    }
+
     /// Exhaustively explores the state space from `seeds` on the worker
     /// pool, collecting terminal states that satisfy `predicate`.
     ///
@@ -302,19 +357,99 @@ impl<'a> ParallelExplorer<'a> {
     #[must_use]
     pub fn explore(&self, seeds: Vec<MachineState>, predicate: &Predicate) -> SearchReport {
         let start = Instant::now();
+        let mut report = if let FrontierPolicy::IterativeDeepening {
+            initial_depth,
+            depth_step,
+        } = self.policy()
+        {
+            self.explore_iterative(seeds, predicate, start, initial_depth, depth_step)
+        } else {
+            let budget = self.per_worker_budget();
+            let queues: Vec<WorkerQueue> = (0..self.workers)
+                .map(|_| Mutex::new(self.policy().build(budget)))
+                .collect();
+            self.explore_round(seeds, predicate, queues, 0, start)
+        };
+        report.elapsed = start.elapsed();
+        report.states_per_second = SearchReport::throughput(report.states_explored, report.elapsed);
+        report
+    }
+
+    /// Iterative deepening on the worker pool: a loop of complete parallel
+    /// sub-searches on depth-bounded LIFO deques, with a fresh (reset)
+    /// visited set per round — the parallel form of the sequential engine's
+    /// round loop. The final round's terminals/solutions are the report;
+    /// `states_explored`/`duplicate_hits`/`steals` accumulate every
+    /// round's work.
+    fn explore_iterative(
+        &self,
+        seeds: Vec<MachineState>,
+        predicate: &Predicate,
+        start: Instant,
+        initial_depth: u64,
+        depth_step: u64,
+    ) -> SearchReport {
+        let base = seeds.iter().map(MachineState::steps).min().unwrap_or(0);
+        let mut bound = initial_depth;
+        let step = depth_step.max(1);
+        let mut total_states = 0usize;
+        let mut total_dups = 0usize;
+        let mut total_steals = 0usize;
+        let mut peak_len = 0usize;
+        let mut peak_bytes = 0usize;
+        loop {
+            let cut = Arc::new(AtomicBool::new(false));
+            let queues: Vec<WorkerQueue> = (0..self.workers)
+                .map(|_| {
+                    Mutex::new(
+                        Box::new(BoundedLifoQueue::new(base, bound, Arc::clone(&cut)))
+                            as Box<dyn FrontierQueue<Arc<TraceNode>>>,
+                    )
+                })
+                .collect();
+            let mut report =
+                self.explore_round(seeds.clone(), predicate, queues, total_states, start);
+            total_states += report.states_explored;
+            total_dups += report.duplicate_hits;
+            total_steals += report.steals;
+            peak_len = peak_len.max(report.peak_frontier_len);
+            peak_bytes = peak_bytes.max(report.peak_frontier_bytes);
+            let truncated = report.hit_state_cap || report.hit_solution_cap || report.hit_time_cap;
+            if !truncated && cut.load(Ordering::Relaxed) {
+                bound = bound.saturating_add(step);
+                continue;
+            }
+            report.states_explored = total_states;
+            report.duplicate_hits = total_dups;
+            report.steals = total_steals;
+            report.peak_frontier_len = peak_len;
+            report.peak_frontier_bytes = peak_bytes;
+            return report;
+        }
+    }
+
+    /// One complete parallel sub-search over caller-built worker queues.
+    /// `states_used` seeds the shared expansion counter so state budgets
+    /// span iterative rounds; the returned `states_explored` counts this
+    /// round only. `elapsed`/`states_per_second` are left for the caller.
+    fn explore_round(
+        &self,
+        seeds: Vec<MachineState>,
+        predicate: &Predicate,
+        queues: Vec<WorkerQueue>,
+        states_used: usize,
+        start: Instant,
+    ) -> SearchReport {
         let shared = Shared {
             program: self.program,
             detectors: self.detectors,
             limits: &self.limits,
             predicate,
-            frontier: self.frontier,
-            queues: (0..self.workers)
-                .map(|_| Mutex::new(VecDeque::new()))
-                .collect(),
+            queues,
             visited: ShardedVisited::new(self.shard_bits),
             in_flight: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
-            states: AtomicUsize::new(0),
+            states: AtomicUsize::new(states_used),
             solutions_found: AtomicUsize::new(0),
             steals: AtomicUsize::new(0),
             hit_state_cap: AtomicBool::new(false),
@@ -323,19 +458,34 @@ impl<'a> ParallelExplorer<'a> {
             start,
         };
 
-        // Seed round-robin across the worker deques, deduplicated exactly
-        // like successors (single insertion point: enqueue time).
+        // Seed round-robin across the worker queues, deduplicated exactly
+        // like successors (single insertion point: enqueue time). In-flight
+        // counts the queues' *actual* length growth, so a policy that drops
+        // a push can never wedge termination.
         let mut enqueued = 0usize;
         for (i, seed) in seeds.into_iter().enumerate() {
             if shared.visited.insert(seed.fingerprint()) {
                 let node = TraceNode::root(seed.pc());
-                shared.queues[i % self.workers]
+                let mut queue = shared.queues[i % self.workers]
                     .lock()
-                    .expect("seeding happens before workers start")
-                    .push_back((seed, node));
-                enqueued += 1;
+                    .expect("seeding happens before workers start");
+                let before = queue.len();
+                queue.seed(seed, node);
+                enqueued += queue.len() - before;
             }
         }
+        // Snapshot the post-seeding footprint across *all* queues, so a
+        // search that never pushes (all-terminal seeds) still reports a
+        // consistent (len, bytes) peak pair.
+        let seed_bytes: usize = shared
+            .queues
+            .iter()
+            .map(|q| {
+                q.lock()
+                    .expect("seeding happens before workers start")
+                    .approx_bytes()
+            })
+            .sum();
         shared.in_flight.store(enqueued, Ordering::Release);
 
         let pools: Vec<WorkerPool> = std::thread::scope(|scope| {
@@ -350,7 +500,7 @@ impl<'a> ParallelExplorer<'a> {
         });
 
         let mut report = SearchReport {
-            states_explored: shared.states.load(Ordering::Acquire),
+            states_explored: shared.states.load(Ordering::Acquire) - states_used,
             steals: shared.steals.load(Ordering::Acquire),
             workers: self.workers,
             hit_state_cap: shared.hit_state_cap.load(Ordering::Acquire),
@@ -358,11 +508,27 @@ impl<'a> ParallelExplorer<'a> {
             hit_time_cap: shared.hit_time_cap.load(Ordering::Acquire),
             ..SearchReport::default()
         };
+        // Peak frontier figures: the sum of per-worker peaks is an upper
+        // bound on the true global peak (steals migrate states between
+        // queues); the seed snapshot covers searches that never push.
+        report.peak_frontier_len = enqueued;
+        report.peak_frontier_bytes = seed_bytes;
+        let mut worker_peak_len = 0usize;
+        let mut worker_peak_bytes = 0usize;
         for pool in pools {
             report.terminals.absorb(&pool.terminals);
             report.duplicate_hits += pool.duplicate_hits;
             report.solutions.extend(pool.solutions);
+            worker_peak_len += pool.peak_frontier_len;
+            worker_peak_bytes += pool.peak_frontier_bytes;
         }
+        report.peak_frontier_len = report.peak_frontier_len.max(worker_peak_len);
+        report.peak_frontier_bytes = report.peak_frontier_bytes.max(worker_peak_bytes);
+        report.spilled_states = shared
+            .queues
+            .iter()
+            .map(|q| q.lock().expect("workers joined").spilled_states())
+            .sum();
         report.exhausted = !report.hit_state_cap
             && !report.hit_solution_cap
             && !report.hit_time_cap
@@ -382,14 +548,11 @@ impl<'a> ParallelExplorer<'a> {
         if report.solutions.len() > self.limits.max_solutions {
             report.solutions.truncate(self.limits.max_solutions);
         }
-
-        report.elapsed = start.elapsed();
-        report.states_per_second = SearchReport::throughput(report.states_explored, report.elapsed);
         report
     }
 }
 
-/// One worker: drain the local deque, steal when dry, stop cooperatively.
+/// One worker: drain the local frontier, steal when dry, stop cooperatively.
 fn worker_loop(shared: &Shared<'_>, id: usize) -> WorkerPool {
     let mut pool = WorkerPool::default();
     let mut expanded = 0usize;
@@ -467,62 +630,67 @@ fn worker_loop(shared: &Shared<'_>, id: usize) -> WorkerPool {
             continue;
         }
 
+        // Dedup each successor, then enqueue the fresh ones in one batch
+        // under a single own-queue lock. In-flight grows by the queue's
+        // *measured* length delta while the lock is held — items are
+        // unreachable to thieves until the lock drops, so the counter can
+        // never dip to zero with work outstanding, and policy-dropped
+        // pushes (depth cuts) are never counted.
+        let mut fresh: Vec<(MachineState, Arc<TraceNode>)> = Vec::new();
         for succ in state.step(shared.program, shared.detectors, &shared.limits.exec) {
             if shared.visited.insert(succ.fingerprint()) {
                 let node = trace.child(succ.pc());
-                // Increment before enqueuing so `in_flight` can never dip
-                // to zero while this successor is still reachable.
-                shared.in_flight.fetch_add(1, Ordering::AcqRel);
-                shared.queues[id]
-                    .lock()
-                    .expect("own queue poisoned")
-                    .push_back((succ, node));
+                fresh.push((succ, node));
             } else {
                 pool.duplicate_hits += 1;
             }
+        }
+        if !fresh.is_empty() {
+            let mut queue = shared.queues[id].lock().expect("own queue poisoned");
+            let before = queue.len();
+            for (succ, node) in fresh {
+                queue.push(succ, node);
+            }
+            let grown = queue.len() - before;
+            if grown > 0 {
+                shared.in_flight.fetch_add(grown, Ordering::AcqRel);
+            }
+            pool.peak_frontier_len = pool.peak_frontier_len.max(queue.len());
+            pool.peak_frontier_bytes = pool.peak_frontier_bytes.max(queue.approx_bytes());
         }
         shared.in_flight.fetch_sub(1, Ordering::AcqRel);
     }
     pool
 }
 
-fn pop_local(shared: &Shared<'_>, id: usize) -> Option<WorkItem> {
-    let mut queue = shared.queues[id].lock().expect("own queue poisoned");
-    match shared.frontier {
-        Frontier::Bfs => queue.pop_front(),
-        Frontier::Dfs => queue.pop_back(),
-    }
+fn pop_local(shared: &Shared<'_>, id: usize) -> Option<(MachineState, Arc<TraceNode>)> {
+    shared.queues[id].lock().expect("own queue poisoned").pop()
 }
 
-/// Steals half of the first non-empty victim deque into `id`'s own deque;
-/// `true` when anything was taken. Never holds two queue locks at once, so
-/// mutual steals cannot deadlock.
+/// Steals roughly half of the first non-empty victim frontier into `id`'s
+/// own; `true` when anything was taken. Which half is the queue policy's
+/// call — see [`FrontierQueue::steal_half`] for each discipline's choice.
+/// Never holds two queue locks at once, so mutual steals cannot deadlock.
+/// In-flight is untouched: stolen states were counted at their original
+/// enqueue and remain enqueued, just elsewhere.
 fn try_steal(shared: &Shared<'_>, id: usize) -> bool {
     let workers = shared.queues.len();
     for offset in 1..workers {
         let victim = (id + offset) % workers;
-        let taken: VecDeque<WorkItem> = {
-            let mut queue = shared.queues[victim].lock().expect("victim queue poisoned");
-            let len = queue.len();
-            if len == 0 {
-                continue;
-            }
-            let take = len.div_ceil(2);
-            match shared.frontier {
-                // Bfs victims consume the front: steal the back half.
-                Frontier::Bfs => queue.split_off(len - take),
-                // Dfs victims consume the back: steal the front half.
-                Frontier::Dfs => {
-                    let rest = queue.split_off(take);
-                    std::mem::replace(&mut *queue, rest)
-                }
-            }
-        };
-        shared.steals.fetch_add(1, Ordering::Relaxed);
-        shared.queues[id]
+        let taken = shared.queues[victim]
             .lock()
-            .expect("own queue poisoned")
-            .extend(taken);
+            .expect("victim queue poisoned")
+            .steal_half();
+        if taken.is_empty() {
+            continue;
+        }
+        shared.steals.fetch_add(1, Ordering::Relaxed);
+        let mut own = shared.queues[id].lock().expect("own queue poisoned");
+        for (state, node) in taken {
+            // Re-entering through `seed` keeps already-admitted states
+            // exempt from a depth bound they have already passed.
+            own.seed(state, node);
+        }
         return true;
     }
     false
@@ -565,6 +733,7 @@ impl<'a> Explorer<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::PriorityHeuristic;
     use sympl_asm::{parse_program, Reg};
     use sympl_machine::ExecLimits;
     use sympl_symbolic::Value;
@@ -614,13 +783,87 @@ mod tests {
     }
 
     #[test]
+    fn every_policy_matches_when_exhausted() {
+        let (p, s) = forked_program();
+        let sequential = Explorer::new(&p, &dets()).explore(vec![s.clone()], &Predicate::Any);
+        for policy in [
+            FrontierPolicy::Dfs,
+            FrontierPolicy::Priority(PriorityHeuristic::ConstraintMapSize),
+            FrontierPolicy::Priority(PriorityHeuristic::Depth),
+            FrontierPolicy::Priority(PriorityHeuristic::OutputLen),
+        ] {
+            let parallel = ParallelExplorer::new(&p, &dets())
+                .with_policy(policy)
+                .with_workers(3)
+                .explore(vec![s.clone()], &Predicate::Any);
+            assert!(parallel.exhausted, "{policy:?}");
+            assert_eq!(parallel.terminals, sequential.terminals, "{policy:?}");
+            assert_eq!(
+                parallel.states_explored, sequential.states_explored,
+                "{policy:?}"
+            );
+            assert_eq!(
+                solution_digests(&parallel),
+                solution_digests(&sequential),
+                "{policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn iterative_deepening_matches_terminals_and_solutions() {
+        let (p, s) = forked_program();
+        let sequential = Explorer::new(&p, &dets()).explore(vec![s.clone()], &Predicate::Any);
+        for workers in [1, 3] {
+            let idd = ParallelExplorer::new(&p, &dets())
+                .with_policy(FrontierPolicy::IterativeDeepening {
+                    initial_depth: 1,
+                    depth_step: 2,
+                })
+                .with_workers(workers)
+                .explore(vec![s.clone()], &Predicate::Any);
+            assert!(idd.exhausted, "workers={workers}");
+            assert_eq!(idd.terminals, sequential.terminals, "workers={workers}");
+            assert_eq!(
+                solution_digests(&idd),
+                solution_digests(&sequential),
+                "workers={workers}"
+            );
+            assert!(
+                idd.states_explored >= sequential.states_explored,
+                "rounds re-expand shallow states"
+            );
+        }
+    }
+
+    #[test]
+    fn spilling_frontier_matches_at_multiple_worker_counts() {
+        let (p, s) = forked_program();
+        let sequential = Explorer::new(&p, &dets()).explore(vec![s.clone()], &Predicate::Any);
+        let limits = SearchLimits {
+            max_frontier_bytes: Some(1), // clamped to the per-queue floor
+            ..SearchLimits::default()
+        };
+        for workers in [1, 2, 4] {
+            let parallel = ParallelExplorer::new(&p, &dets())
+                .with_limits(limits.clone())
+                .with_workers(workers)
+                .explore(vec![s.clone()], &Predicate::Any);
+            assert!(parallel.exhausted, "workers={workers}");
+            assert_eq!(parallel.terminals, sequential.terminals);
+            assert_eq!(parallel.states_explored, sequential.states_explored);
+            assert_eq!(solution_digests(&parallel), solution_digests(&sequential));
+        }
+    }
+
+    #[test]
     fn dfs_frontier_matches_too() {
         let (p, s) = forked_program();
         let sequential = Explorer::new(&p, &dets())
-            .with_frontier(Frontier::Dfs)
+            .with_policy(FrontierPolicy::Dfs)
             .explore(vec![s.clone()], &Predicate::Any);
         let parallel = ParallelExplorer::new(&p, &dets())
-            .with_frontier(Frontier::Dfs)
+            .with_policy(FrontierPolicy::Dfs)
             .with_workers(3)
             .explore(vec![s], &Predicate::Any);
         assert!(parallel.exhausted);
@@ -670,6 +913,7 @@ mod tests {
         // Workers may stop a few states short of the cap (cooperative
         // stop), never past it.
         assert!(report.states_explored <= 300);
+        assert!(report.peak_frontier_len > 0);
     }
 
     #[test]

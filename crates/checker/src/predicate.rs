@@ -11,6 +11,15 @@ use sympl_machine::{MachineState, Status};
 /// The paper lets the user supply any first-order formula over the final
 /// state; the common queries from the evaluation are provided as variants
 /// and anything else via [`Predicate::Custom`].
+///
+/// Predicates are **frontier-policy agnostic**: they see only terminal
+/// states, never the frontier, so which states a search *matches* is
+/// independent of [`crate::FrontierPolicy`] — the policy can only change
+/// discovery order (and, on truncated searches, which prefix was explored;
+/// see [`crate::FrontierPolicy::determinism_contract`]). Nothing in this
+/// module may branch on the policy; everything policy-shaped lives in
+/// [`crate::frontier`], which is what keeps a new policy a one-file
+/// change.
 #[derive(Clone)]
 pub enum Predicate {
     /// `output(S) contains err` — the paper's running example query.

@@ -130,6 +130,20 @@ pub struct SearchReport {
     /// to `states_explored`; a steal-dominated run signals a frontier too
     /// small to parallelize.
     pub steals: usize,
+    /// Largest number of states the frontier held at once (including any
+    /// spilled to disk). For the parallel engine this sums the per-worker
+    /// deque peaks, an upper bound on the true global peak.
+    pub peak_frontier_len: usize,
+    /// Largest approximate number of bytes of frontier state held **in
+    /// RAM** at once ([`MachineState::approx_bytes`] per queued state;
+    /// spilled states excluded). This is the figure a
+    /// [`crate::SearchLimits::max_frontier_bytes`] budget bounds — compare
+    /// it across a spilling and an unbounded run of the same search to see
+    /// the spill working. Parallel runs sum per-worker peaks (upper bound).
+    pub peak_frontier_bytes: usize,
+    /// States the frontier wrote to disk over the whole search (0 unless a
+    /// `max_frontier_bytes` budget forced spilling).
+    pub spilled_states: usize,
 }
 
 impl SearchReport {
@@ -154,6 +168,11 @@ impl SearchReport {
         self.duplicate_hits += other.duplicate_hits;
         self.workers = self.workers.max(other.workers);
         self.steals += other.steals;
+        // Sharded searches run one after another (or independently), so the
+        // widest single frontier is the meaningful pooled figure.
+        self.peak_frontier_len = self.peak_frontier_len.max(other.peak_frontier_len);
+        self.peak_frontier_bytes = self.peak_frontier_bytes.max(other.peak_frontier_bytes);
+        self.spilled_states += other.spilled_states;
         self.exhausted &= other.exhausted;
         self.hit_state_cap |= other.hit_state_cap;
         self.hit_solution_cap |= other.hit_solution_cap;
@@ -188,6 +207,11 @@ impl fmt::Display for SearchReport {
             self.steals,
             self.duplicate_hits,
             self.terminals
+        )?;
+        writeln!(
+            f,
+            "frontier: peak {} state(s) / ~{} bytes in RAM, {} spilled to disk",
+            self.peak_frontier_len, self.peak_frontier_bytes, self.spilled_states
         )?;
         if self.is_proof_of_resilience() {
             writeln!(f, "PROOF: program is resilient to this error (bounded)")?;

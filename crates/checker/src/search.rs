@@ -6,14 +6,22 @@ use sympl_asm::Program;
 use sympl_detect::DetectorSet;
 use sympl_machine::{ExecLimits, MachineState};
 
-use crate::{Explorer, Predicate, SearchReport};
+use crate::{Explorer, FrontierPolicy, Predicate, SearchReport};
 
 /// Budgets for one search task.
 ///
 /// `exec` bounds each *path* (the watchdog); the remaining fields bound the
 /// *search*: total states, matching solutions (the paper capped each
 /// cluster task at 10 findings), and wall-clock time (the paper allotted 30
-/// minutes per task).
+/// minutes per task). `policy` and `max_frontier_bytes` configure the
+/// frontier subsystem; they live here so every campaign layer (cluster
+/// config, `symplfied::Framework`, the CLI) threads them through for free.
+///
+/// Neither this type nor any campaign code branches on the policy: the
+/// engines build a [`crate::FrontierQueue`] from it and drive the trait,
+/// so adding a policy is a change to `crate::frontier` alone. See that
+/// module for each policy's determinism contract
+/// ([`FrontierPolicy::determinism_contract`]).
 #[derive(Debug, Clone)]
 pub struct SearchLimits {
     /// Per-path execution bounds (watchdog + fork caps).
@@ -24,6 +32,16 @@ pub struct SearchLimits {
     pub max_solutions: usize,
     /// Wall-clock budget for the whole search.
     pub max_time: Option<Duration>,
+    /// Which state the engine expands next (BFS, DFS, best-first, or
+    /// iterative deepening).
+    pub policy: FrontierPolicy,
+    /// In-RAM frontier budget for the BFS/DFS disciplines: beyond roughly
+    /// this many bytes of live frontier, overflow spills to codec-encoded
+    /// segment files and replays on demand, preserving the expansion order
+    /// exactly. `None` (the default) never spills; the priority and
+    /// iterative-deepening policies ignore the budget (see
+    /// [`crate::frontier`]).
+    pub max_frontier_bytes: Option<usize>,
 }
 
 impl SearchLimits {
@@ -44,6 +62,8 @@ impl Default for SearchLimits {
             max_states: 1_000_000,
             max_solutions: 10,
             max_time: None,
+            policy: FrontierPolicy::default(),
+            max_frontier_bytes: None,
         }
     }
 }

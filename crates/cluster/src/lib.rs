@@ -93,6 +93,15 @@ pub struct TaskResult {
     pub point_workers: usize,
     /// Work-steal operations across this task's parallel point searches.
     pub steals: usize,
+    /// Largest frontier (in states, including any spilled to disk) any of
+    /// this task's point searches held at once.
+    pub peak_frontier_len: usize,
+    /// Largest approximate in-RAM frontier footprint (bytes) any of this
+    /// task's point searches held at once — the figure a
+    /// `SearchLimits::max_frontier_bytes` budget bounds.
+    pub peak_frontier_bytes: usize,
+    /// Frontier states this task's searches spilled to disk.
+    pub spilled_states: usize,
 }
 
 /// Cluster configuration.
@@ -102,7 +111,10 @@ pub struct ClusterConfig {
     pub workers: usize,
     /// Number of tasks the campaign is split into.
     pub tasks: usize,
-    /// Per-point search limits (watchdog, state cap, …).
+    /// Per-point search limits (watchdog, state cap, …) — including the
+    /// frontier policy and spill budget (`SearchLimits::policy` /
+    /// `SearchLimits::max_frontier_bytes`), so memory-bounded campaigns
+    /// configure the frontier subsystem here once for every task.
     pub search: SearchLimits,
     /// Wall-clock budget per *task* (the paper allotted 30 minutes).
     pub task_budget: Option<Duration>,
@@ -200,13 +212,42 @@ impl CampaignReport {
         self.tasks.iter().map(|t| t.steals).sum()
     }
 
+    /// Largest frontier (in states) any point search in the campaign held
+    /// at once.
+    #[must_use]
+    pub fn peak_frontier_len(&self) -> usize {
+        self.tasks
+            .iter()
+            .map(|t| t.peak_frontier_len)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Largest approximate in-RAM frontier footprint (bytes) any point
+    /// search in the campaign held at once.
+    #[must_use]
+    pub fn peak_frontier_bytes(&self) -> usize {
+        self.tasks
+            .iter()
+            .map(|t| t.peak_frontier_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total frontier states the campaign's searches spilled to disk.
+    #[must_use]
+    pub fn spilled_states(&self) -> usize {
+        self.tasks.iter().map(|t| t.spilled_states).sum()
+    }
+
     /// A paper-style textual summary (the §6.2 "Running Time" paragraph).
     #[must_use]
     pub fn summary(&self) -> String {
         format!(
             "{} tasks: {} completed ({} found errors, {} found none), {} incomplete; \
              {} findings total; avg completed-task time {:?}; campaign wall time {:?}; \
-             engine: {} states at {:.0} states/s ({}-way point searches, {} steals)",
+             engine: {} states at {:.0} states/s ({}-way point searches, {} steals); \
+             frontier: peak {} state(s) / ~{} bytes in RAM, {} spilled",
             self.tasks.len(),
             self.tasks_completed(),
             self.tasks_with_findings(),
@@ -219,6 +260,9 @@ impl CampaignReport {
             self.states_per_second(),
             self.point_workers().max(1),
             self.steals(),
+            self.peak_frontier_len(),
+            self.peak_frontier_bytes(),
+            self.spilled_states(),
         )
     }
 }
@@ -301,6 +345,9 @@ fn run_task(
         states_explored: 0,
         point_workers: 0,
         steals: 0,
+        peak_frontier_len: 0,
+        peak_frontier_bytes: 0,
+        spilled_states: 0,
     };
 
     // The workers hint for every point search in this task: its fair share
@@ -352,6 +399,13 @@ fn run_task(
         result.states_explored += outcome.report.states_explored;
         result.point_workers = result.point_workers.max(outcome.report.workers);
         result.steals += outcome.report.steals;
+        result.peak_frontier_len = result
+            .peak_frontier_len
+            .max(outcome.report.peak_frontier_len);
+        result.peak_frontier_bytes = result
+            .peak_frontier_bytes
+            .max(outcome.report.peak_frontier_bytes);
+        result.spilled_states += outcome.report.spilled_states;
         if outcome.report.hit_time_cap || outcome.report.hit_state_cap {
             // A truncated search means the task did not fully sweep its
             // section — it counts as incomplete, like the paper's 65

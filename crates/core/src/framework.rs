@@ -101,6 +101,9 @@ impl Framework {
         let mut points_activated = 0usize;
         let mut point_workers = 0usize;
         let mut steals = 0usize;
+        let mut peak_frontier_len = 0usize;
+        let mut peak_frontier_bytes = 0usize;
+        let mut spilled_states = 0usize;
         for point in &points {
             let outcome = run_point_with(&explorer, &self.input, point, predicate);
             if outcome.activated {
@@ -109,6 +112,9 @@ impl Framework {
             states_explored += outcome.report.states_explored;
             point_workers = point_workers.max(outcome.report.workers);
             steals += outcome.report.steals;
+            peak_frontier_len = peak_frontier_len.max(outcome.report.peak_frontier_len);
+            peak_frontier_bytes = peak_frontier_bytes.max(outcome.report.peak_frontier_bytes);
+            spilled_states += outcome.report.spilled_states;
             if !outcome.report.completed() && outcome.activated {
                 complete = false;
             }
@@ -129,6 +135,9 @@ impl Framework {
             states_per_second: sympl_check::SearchReport::throughput(states_explored, elapsed),
             point_workers,
             steals,
+            peak_frontier_len,
+            peak_frontier_bytes,
+            spilled_states,
             complete,
             findings,
         }
@@ -155,6 +164,15 @@ pub struct Verdict {
     pub point_workers: usize,
     /// Work-steal operations across all parallel point searches.
     pub steals: usize,
+    /// Largest frontier (in states, including any spilled to disk) any
+    /// point search held at once.
+    pub peak_frontier_len: usize,
+    /// Largest approximate in-RAM frontier footprint (bytes) any point
+    /// search held at once — the figure a
+    /// `SearchLimits::max_frontier_bytes` budget bounds.
+    pub peak_frontier_bytes: usize,
+    /// Frontier states spilled to disk across all point searches.
+    pub spilled_states: usize,
     /// Whether every activated point's search ran to completion.
     pub complete: bool,
     /// All predicate-matching outcomes (empty for a resilient program).
@@ -173,10 +191,21 @@ impl Verdict {
     /// Human-readable summary.
     #[must_use]
     pub fn summary(&self) -> String {
+        let frontier = if self.spilled_states > 0 {
+            format!(
+                ", frontier peak {} states / ~{} bytes in RAM ({} spilled)",
+                self.peak_frontier_len, self.peak_frontier_bytes, self.spilled_states
+            )
+        } else {
+            format!(
+                ", frontier peak {} states / ~{} bytes",
+                self.peak_frontier_len, self.peak_frontier_bytes
+            )
+        };
         if self.is_resilient() {
             format!(
                 "PROOF: resilient to {} ({} points, {} activated, {} states explored \
-                 at {:.0} states/s, {}-way engine)",
+                 at {:.0} states/s, {}-way engine{frontier})",
                 self.class,
                 self.points_examined,
                 self.points_activated,
@@ -187,7 +216,7 @@ impl Verdict {
         } else {
             format!(
                 "{} escaping error(s) found for {} ({} points, {} activated, {} states \
-                 at {:.0} states/s, {}-way engine{})",
+                 at {:.0} states/s, {}-way engine{frontier}{})",
                 self.findings.len(),
                 self.class,
                 self.points_examined,

@@ -67,7 +67,10 @@ pub use framework::{Framework, Verdict};
 pub mod prelude {
     pub use crate::framework::{Framework, Verdict};
     pub use sympl_asm::{parse_program, Cmp, Instr, Operand, Program, ProgramBuilder, Reg};
-    pub use sympl_check::{search, ParallelExplorer, Predicate, SearchLimits, SearchReport};
+    pub use sympl_check::{
+        search, FrontierPolicy, ParallelExplorer, Predicate, PriorityHeuristic, SearchLimits,
+        SearchReport,
+    };
     pub use sympl_cluster::{run_cluster, CampaignReport, ClusterConfig};
     pub use sympl_detect::{Detector, DetectorSet};
     pub use sympl_inject::{

@@ -11,7 +11,7 @@
 
 use std::process::ExitCode;
 
-use symplfied::check::SearchLimits;
+use symplfied::check::{FrontierPolicy, PriorityHeuristic, SearchLimits};
 use symplfied::inject::ComputationError;
 use symplfied::machine::ExecLimits;
 use symplfied::prelude::*;
@@ -34,7 +34,14 @@ const USAGE: &str = "usage:
   symplfied disasm <prog> [--mips]
   symplfied verify <prog> [--mips] [--input 1,2,3] [--detectors FILE]
                    [--class register|memory|pc|fetch] [--max-steps N] [--max-solutions N]
-  symplfied ssim   <prog> [--mips] [--input 1,2,3] [--random N] [--seed N]";
+                   [--frontier bfs|dfs|priority-constraints|priority-depth|priority-output|iddfs]
+                   [--max-frontier-bytes N]
+  symplfied ssim   <prog> [--mips] [--input 1,2,3] [--random N] [--seed N]
+
+--frontier picks the search's frontier policy (exhausted searches agree
+under every policy; see each policy's determinism contract in the docs);
+--max-frontier-bytes bounds the in-RAM frontier for bfs/dfs, spilling
+overflow to disk so exhaustive searches larger than RAM still complete.";
 
 struct Opts {
     program_path: String,
@@ -44,6 +51,8 @@ struct Opts {
     class: ErrorClass,
     max_steps: u64,
     max_solutions: usize,
+    policy: FrontierPolicy,
+    max_frontier_bytes: Option<usize>,
     random: usize,
     seed: u64,
 }
@@ -57,6 +66,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         class: ErrorClass::RegisterFile,
         max_steps: 100_000,
         max_solutions: 10,
+        policy: FrontierPolicy::default(),
+        max_frontier_bytes: None,
         random: 3,
         seed: 0x5151_F1ED,
     };
@@ -98,6 +109,26 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 opts.max_solutions = value("--max-solutions")?
                     .parse()
                     .map_err(|_| "bad --max-solutions")?;
+            }
+            "--frontier" => {
+                opts.policy = match value("--frontier")?.as_str() {
+                    "bfs" => FrontierPolicy::Bfs,
+                    "dfs" => FrontierPolicy::Dfs,
+                    "priority-constraints" => {
+                        FrontierPolicy::Priority(PriorityHeuristic::ConstraintMapSize)
+                    }
+                    "priority-depth" => FrontierPolicy::Priority(PriorityHeuristic::Depth),
+                    "priority-output" => FrontierPolicy::Priority(PriorityHeuristic::OutputLen),
+                    "iddfs" => FrontierPolicy::iterative_deepening(),
+                    other => return Err(format!("unknown frontier policy `{other}`")),
+                };
+            }
+            "--max-frontier-bytes" => {
+                opts.max_frontier_bytes = Some(
+                    value("--max-frontier-bytes")?
+                        .parse()
+                        .map_err(|_| "bad --max-frontier-bytes")?,
+                );
             }
             "--random" => {
                 opts.random = value("--random")?.parse().map_err(|_| "bad --random")?;
@@ -160,6 +191,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 .with_limits(SearchLimits {
                     exec: ExecLimits::with_max_steps(opts.max_steps),
                     max_solutions: opts.max_solutions,
+                    policy: opts.policy,
+                    max_frontier_bytes: opts.max_frontier_bytes,
                     ..SearchLimits::default()
                 });
             let verdict = framework.enumerate_undetected(opts.class);

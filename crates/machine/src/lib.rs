@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 mod concrete;
 mod cow;
 mod fingerprint;
@@ -47,6 +48,7 @@ mod limits;
 mod state;
 mod step;
 
+pub use codec::{decode_state, encode_state, CodecError};
 pub use concrete::{run_concrete, run_concrete_to_breakpoint, step_concrete, ConcreteError};
 pub use fingerprint::{
     cell_hash, Fingerprint, FingerprintBuildHasher, FingerprintSet, Fnv128Hasher, IdentityHasher,

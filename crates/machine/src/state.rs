@@ -310,6 +310,25 @@ impl MachineState {
         v
     }
 
+    /// The full input stream the state was constructed with (immutable
+    /// after construction; only the cursor moves).
+    #[must_use]
+    pub fn input_stream(&self) -> &[i64] {
+        &self.input
+    }
+
+    /// The input-cursor position: how many values `read` has consumed.
+    #[must_use]
+    pub fn input_cursor(&self) -> usize {
+        self.input_pos
+    }
+
+    /// The merged `(address, value)` memory cells in ascending address
+    /// order (delta entries shadow base entries; layering is invisible).
+    pub fn memory_cells(&self) -> impl Iterator<Item = (u64, Value)> + '_ {
+        self.mem.iter()
+    }
+
     /// The value of a [`Location`] (registers always defined; memory may
     /// not be).
     #[must_use]
@@ -440,6 +459,83 @@ impl MachineState {
     #[must_use]
     pub fn rendered_output(&self) -> String {
         self.output.iter().map(ToString::to_string).collect()
+    }
+}
+
+/// The observable field set of a decoded state, produced by
+/// [`crate::codec::decode_state`] and turned into a live [`MachineState`]
+/// by [`MachineState::from_decoded`].
+pub(crate) struct DecodedState {
+    pub(crate) pc: usize,
+    pub(crate) regs: [Value; NUM_REGS],
+    pub(crate) mem: Vec<(u64, Value)>,
+    pub(crate) input: Vec<i64>,
+    pub(crate) input_pos: usize,
+    pub(crate) output: Vec<OutItem>,
+    pub(crate) constraints: ConstraintMap,
+    pub(crate) steps: u64,
+    pub(crate) status: Status,
+}
+
+impl MachineState {
+    /// Rebuilds a live state from decoded observable content, **re-deriving
+    /// every rolling cache**: the register/output folds and the cached input
+    /// digest are refolded here, the memory fold/length grow through
+    /// `CowMemory::insert`, and the constraint map arrives from the codec
+    /// with its digest and unsat counter already rebuilt. A decoded state is
+    /// therefore indistinguishable from one built through the mutators —
+    /// its `fingerprint()` equals `fingerprint_from_scratch()` by
+    /// construction, which the codec round-trip property tests pin down.
+    pub(crate) fn from_decoded(d: DecodedState) -> Self {
+        let input: Arc<[i64]> = d.input.into();
+        let mut mem = CowMemory::new();
+        for (addr, value) in d.mem {
+            mem.insert(addr, value);
+        }
+        let out_errs = d
+            .output
+            .iter()
+            .filter(|o| matches!(o, OutItem::Val(Value::Err)))
+            .count() as u32;
+        MachineState {
+            pc: d.pc,
+            reg_digest: Self::refold_regs(&d.regs),
+            regs: d.regs,
+            mem,
+            input_pos: d.input_pos,
+            out_digest: ZobristComponent::refold(d.output.iter().enumerate()),
+            out_errs,
+            output: d.output,
+            constraints: d.constraints,
+            steps: d.steps,
+            status: d.status,
+            input_digest: Self::fold_input(&input),
+            input,
+        }
+    }
+
+    /// An approximate in-RAM footprint of this state, in bytes: the struct
+    /// itself plus per-entry estimates for the merged memory image, output
+    /// stream, input stream, and constraint map.
+    ///
+    /// O(1) (every count is a cached length) and a **pure function of the
+    /// observable content** — a decoded copy of a state reports the same
+    /// figure — which is what lets frontier queues budget their in-RAM
+    /// window and subtract on pop exactly what they added on push.
+    /// Deliberately ignores copy-on-write sharing: a spill budget wants the
+    /// worst-case (post-compaction, unshared) footprint, not the transient
+    /// shared one.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        // BTreeMap node overhead amortizes to roughly one extra word-pair
+        // per entry; constraint sets carry an interval plus a small
+        // exclusion tree.
+        size_of::<Self>()
+            + self.mem.len() * (size_of::<u64>() + size_of::<Value>() + 16)
+            + self.output.len() * size_of::<OutItem>()
+            + self.input.len() * size_of::<i64>()
+            + self.constraints.len() * 96
     }
 }
 

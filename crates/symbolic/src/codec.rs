@@ -1,0 +1,413 @@
+//! Compact binary leaf codecs for the symbolic value domain.
+//!
+//! These are the building blocks of the machine crate's state codec (see
+//! `sympl-machine`'s `codec` module): LEB128 varints for unsigned integers,
+//! zigzag varints for signed ones, and tagged encoders for the leaf types a
+//! [`crate::ConstraintMap`] is made of — [`Value`], [`Location`], and the
+//! normal-form [`ConstraintSet`]. They live here, below the machine state,
+//! for the same reason the fold primitives do: the constraint map is the
+//! one state component whose internals only this crate can see, so its
+//! encoder must live next to them.
+//!
+//! The format is **self-describing within a known schema**: every variant
+//! choice is a tag byte, every count a varint, so a decoder never needs
+//! out-of-band length information, and a truncated or corrupted buffer
+//! surfaces as a [`CodecError`] instead of a wrong value. Decoding a
+//! constraint set *replays* its interval bounds and exclusions through
+//! [`ConstraintSet::add`], so whatever the bytes say, the decoded set is in
+//! the solver's normal form — malformed input can produce a different set,
+//! never an invalid one. Decoding a constraint map rebuilds the rolling
+//! digest and unsatisfiable-location caches entry by entry, so decoded maps
+//! are indistinguishable from incrementally-built ones.
+//!
+//! This codec is also the stepping stone to serialized reports and
+//! cluster-over-network campaigns: it gives state serialization a vendored,
+//! dependency-free wire format until a vendored `serde` exists.
+
+use std::fmt;
+
+use crate::{Constraint, ConstraintMap, ConstraintSet, Location, Value};
+use sympl_asm::{Reg, NUM_REGS};
+
+/// Decoding failure: the buffer does not describe a value of the expected
+/// shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended inside a value.
+    UnexpectedEnd,
+    /// A tag byte had no matching variant.
+    BadTag {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// A varint ran longer than its integer type allows.
+    Overflow,
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// The buffer's version byte names an unknown codec revision.
+    BadVersion(u8),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEnd => f.write_str("buffer ended inside a value"),
+            CodecError::BadTag { what, tag } => write!(f, "bad {what} tag {tag:#04x}"),
+            CodecError::Overflow => f.write_str("varint overflows its integer type"),
+            CodecError::BadUtf8 => f.write_str("string field is not valid UTF-8"),
+            CodecError::BadVersion(v) => write!(f, "unknown codec version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends `v` as an LEB128 varint (7 bits per byte, high bit = continue).
+pub fn encode_u64(v: u64, buf: &mut Vec<u8>) {
+    let mut v = v;
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Decodes an LEB128 varint at `*pos`, advancing it.
+///
+/// # Errors
+///
+/// [`CodecError::UnexpectedEnd`] when the buffer ends mid-varint,
+/// [`CodecError::Overflow`] when the encoding exceeds 64 bits.
+pub fn decode_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes.get(*pos).ok_or(CodecError::UnexpectedEnd)?;
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(CodecError::Overflow);
+        }
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Appends `v` as a zigzag-mapped varint (small magnitudes stay small).
+pub fn encode_i64(v: i64, buf: &mut Vec<u8>) {
+    encode_u64(zigzag(v), buf);
+}
+
+/// Decodes a zigzag varint at `*pos`, advancing it.
+///
+/// # Errors
+///
+/// Propagates the varint errors of [`decode_u64`].
+pub fn decode_i64(bytes: &[u8], pos: &mut usize) -> Result<i64, CodecError> {
+    Ok(unzigzag(decode_u64(bytes, pos)?))
+}
+
+/// The zigzag map `0, -1, 1, -2, … → 0, 1, 2, 3, …`.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+const VALUE_INT: u8 = 0;
+const VALUE_ERR: u8 = 1;
+
+/// Appends a [`Value`]: a tag byte, then a zigzag varint for integers.
+pub fn encode_value(v: Value, buf: &mut Vec<u8>) {
+    match v {
+        Value::Int(i) => {
+            buf.push(VALUE_INT);
+            encode_i64(i, buf);
+        }
+        Value::Err => buf.push(VALUE_ERR),
+    }
+}
+
+/// Decodes a [`Value`] at `*pos`, advancing it.
+///
+/// # Errors
+///
+/// [`CodecError::BadTag`] on an unknown tag, plus the varint errors.
+pub fn decode_value(bytes: &[u8], pos: &mut usize) -> Result<Value, CodecError> {
+    let &tag = bytes.get(*pos).ok_or(CodecError::UnexpectedEnd)?;
+    *pos += 1;
+    match tag {
+        VALUE_INT => Ok(Value::Int(decode_i64(bytes, pos)?)),
+        VALUE_ERR => Ok(Value::Err),
+        tag => Err(CodecError::BadTag { what: "value", tag }),
+    }
+}
+
+const LOC_REG: u8 = 0;
+const LOC_MEM: u8 = 1;
+
+/// Appends a [`Location`]: a tag byte, then a register index byte or a
+/// varint address.
+pub fn encode_location(loc: Location, buf: &mut Vec<u8>) {
+    match loc {
+        Location::Reg(r) => {
+            buf.push(LOC_REG);
+            buf.push(u8::from(r));
+        }
+        Location::Mem(a) => {
+            buf.push(LOC_MEM);
+            encode_u64(a, buf);
+        }
+    }
+}
+
+/// Decodes a [`Location`] at `*pos`, advancing it.
+///
+/// # Errors
+///
+/// [`CodecError::BadTag`] on an unknown tag or an out-of-file register
+/// index, plus the varint errors.
+pub fn decode_location(bytes: &[u8], pos: &mut usize) -> Result<Location, CodecError> {
+    let &tag = bytes.get(*pos).ok_or(CodecError::UnexpectedEnd)?;
+    *pos += 1;
+    match tag {
+        LOC_REG => {
+            let &idx = bytes.get(*pos).ok_or(CodecError::UnexpectedEnd)?;
+            *pos += 1;
+            if usize::from(idx) >= NUM_REGS {
+                return Err(CodecError::BadTag {
+                    what: "register index",
+                    tag: idx,
+                });
+            }
+            Ok(Location::Reg(Reg::r(idx)))
+        }
+        LOC_MEM => Ok(Location::Mem(decode_u64(bytes, pos)?)),
+        tag => Err(CodecError::BadTag {
+            what: "location",
+            tag,
+        }),
+    }
+}
+
+/// Appends a [`ConstraintSet`] in its normal form: zigzag `lo`, zigzag
+/// `hi`, then the exclusion count and each excluded point.
+pub fn encode_constraint_set(set: &ConstraintSet, buf: &mut Vec<u8>) {
+    encode_i64(set.lower(), buf);
+    encode_i64(set.upper(), buf);
+    let exclusions: Vec<i64> = set.exclusions().collect();
+    encode_u64(exclusions.len() as u64, buf);
+    for x in exclusions {
+        encode_i64(x, buf);
+    }
+}
+
+/// Decodes a [`ConstraintSet`] at `*pos` by **replaying** the encoded
+/// bounds and exclusions through [`ConstraintSet::add`], so the result is
+/// always in the solver's normal form — a well-formed encoding round-trips
+/// exactly, and adversarial bytes can only produce a *different* normalized
+/// set, never an un-normalized one.
+///
+/// # Errors
+///
+/// Propagates the varint errors.
+pub fn decode_constraint_set(bytes: &[u8], pos: &mut usize) -> Result<ConstraintSet, CodecError> {
+    let lo = decode_i64(bytes, pos)?;
+    let hi = decode_i64(bytes, pos)?;
+    let n = decode_u64(bytes, pos)?;
+    let mut set = ConstraintSet::new();
+    if lo != i64::MIN {
+        set.add(Constraint::Ge(lo));
+    }
+    if hi != i64::MAX {
+        set.add(Constraint::Le(hi));
+    }
+    for _ in 0..n {
+        set.add(Constraint::Ne(decode_i64(bytes, pos)?));
+    }
+    Ok(set)
+}
+
+/// Appends a [`ConstraintMap`]: an entry count, then `(location, set)`
+/// pairs in the map's canonical location order.
+pub fn encode_constraint_map(map: &ConstraintMap, buf: &mut Vec<u8>) {
+    encode_u64(map.len() as u64, buf);
+    for (loc, set) in map.iter() {
+        encode_location(loc, buf);
+        encode_constraint_set(set, buf);
+    }
+}
+
+/// Decodes a [`ConstraintMap`] at `*pos`, rebuilding the map's rolling
+/// digest and unsatisfiable-location caches entry by entry, so a decoded
+/// map is indistinguishable (including its O(1) `digest`/`is_satisfiable`)
+/// from one built through the normal mutators.
+///
+/// # Errors
+///
+/// Propagates the leaf decoding errors.
+pub fn decode_constraint_map(bytes: &[u8], pos: &mut usize) -> Result<ConstraintMap, CodecError> {
+    let n = decode_u64(bytes, pos)?;
+    let mut map = ConstraintMap::new();
+    for _ in 0..n {
+        let loc = decode_location(bytes, pos)?;
+        let set = decode_constraint_set(bytes, pos)?;
+        map.insert_set(loc, set);
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_u64(v: u64) -> u64 {
+        let mut buf = Vec::new();
+        encode_u64(v, &mut buf);
+        let mut pos = 0;
+        let out = decode_u64(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len(), "whole encoding consumed");
+        out
+    }
+
+    #[test]
+    fn varints_roundtrip_across_magnitudes() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            assert_eq!(roundtrip_u64(v), v);
+        }
+        for v in [0i64, 1, -1, 63, -64, 1 << 40, i64::MIN, i64::MAX] {
+            let mut buf = Vec::new();
+            encode_i64(v, &mut buf);
+            let mut pos = 0;
+            assert_eq!(decode_i64(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn small_magnitudes_stay_small() {
+        let mut buf = Vec::new();
+        encode_i64(-3, &mut buf);
+        assert_eq!(buf.len(), 1, "zigzag keeps small negatives one byte");
+        buf.clear();
+        encode_u64(127, &mut buf);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn truncated_and_overlong_varints_error() {
+        assert_eq!(
+            decode_u64(&[0x80, 0x80], &mut 0),
+            Err(CodecError::UnexpectedEnd)
+        );
+        let overlong = [0xFFu8; 11];
+        assert_eq!(decode_u64(&overlong, &mut 0), Err(CodecError::Overflow));
+    }
+
+    #[test]
+    fn values_and_locations_roundtrip() {
+        let mut buf = Vec::new();
+        for v in [
+            Value::Int(0),
+            Value::Int(-77),
+            Value::Int(i64::MAX),
+            Value::Err,
+        ] {
+            buf.clear();
+            encode_value(v, &mut buf);
+            assert_eq!(decode_value(&buf, &mut 0).unwrap(), v);
+        }
+        for loc in [
+            Location::reg(0),
+            Location::reg(31),
+            Location::Mem(0),
+            Location::Mem(u64::MAX),
+        ] {
+            buf.clear();
+            encode_location(loc, &mut buf);
+            assert_eq!(decode_location(&buf, &mut 0).unwrap(), loc);
+        }
+        assert!(matches!(
+            decode_value(&[9], &mut 0),
+            Err(CodecError::BadTag { what: "value", .. })
+        ));
+        assert!(matches!(
+            decode_location(&[LOC_REG, 32], &mut 0),
+            Err(CodecError::BadTag {
+                what: "register index",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn constraint_sets_roundtrip_exactly() {
+        let sets: Vec<ConstraintSet> = vec![
+            ConstraintSet::new(),
+            [Constraint::Gt(0), Constraint::Le(5), Constraint::Ne(2)]
+                .into_iter()
+                .collect(),
+            [Constraint::Gt(5), Constraint::Lt(5)].into_iter().collect(), // unsat
+            [Constraint::Eq(42)].into_iter().collect(),
+            [Constraint::Ne(i64::MIN)].into_iter().collect(),
+            [Constraint::Gt(i64::MAX)].into_iter().collect(), // forced empty
+        ];
+        for set in sets {
+            let mut buf = Vec::new();
+            encode_constraint_set(&set, &mut buf);
+            let mut pos = 0;
+            let decoded = decode_constraint_set(&buf, &mut pos).unwrap();
+            assert_eq!(pos, buf.len());
+            assert_eq!(decoded, set, "normal form must round-trip exactly");
+        }
+    }
+
+    #[test]
+    fn constraint_maps_roundtrip_with_live_caches() {
+        let mut map = ConstraintMap::new();
+        assert!(map.constrain(Location::reg(3), Constraint::Gt(0)));
+        assert!(map.constrain(Location::reg(3), Constraint::Le(9)));
+        assert!(map.constrain(Location::Mem(64), Constraint::Ne(7)));
+        // Drive one location unsatisfiable so the unsat cache is non-zero.
+        assert!(map.constrain(Location::reg(5), Constraint::Gt(2)));
+        assert!(!map.constrain(Location::reg(5), Constraint::Lt(2)));
+
+        let mut buf = Vec::new();
+        encode_constraint_map(&map, &mut buf);
+        let mut pos = 0;
+        let decoded = decode_constraint_map(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len());
+        assert_eq!(decoded, map);
+        assert_eq!(decoded.digest(), map.digest(), "rolling digest rebuilt");
+        assert_eq!(decoded.digest(), decoded.refold_digest());
+        assert_eq!(decoded.is_satisfiable(), map.is_satisfiable());
+    }
+
+    #[test]
+    fn empty_map_is_one_byte() {
+        let mut buf = Vec::new();
+        encode_constraint_map(&ConstraintMap::new(), &mut buf);
+        assert_eq!(buf, vec![0]);
+        let decoded = decode_constraint_map(&buf, &mut 0).unwrap();
+        assert!(decoded.is_empty());
+    }
+}

@@ -17,6 +17,10 @@
 //!   cell hashing and the incremental XOR-folds behind the machine crate's
 //!   rolling state fingerprints (the ConstraintMap maintains one for its
 //!   own entries).
+//! * [`codec`] — compact varint leaf encoders for values, locations, and
+//!   constraint sets/maps, the building blocks of the machine crate's state
+//!   codec (disk-spilling frontiers, and eventually cluster-over-network
+//!   state shipping).
 //! * [`fork_compare`] — the non-deterministic comparison semantics: a
 //!   comparison involving `err` forks execution into the true and false
 //!   cases, each "remembering" what it learned as a constraint (and, for
@@ -39,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 mod constraint;
 mod fold;
 mod fork;
@@ -46,6 +51,7 @@ mod location;
 mod map;
 mod value;
 
+pub use codec::CodecError;
 pub use constraint::{Constraint, ConstraintSet};
 pub use fold::{cell_hash, Fnv128Hasher, ZobristComponent};
 pub use fork::{fork_compare, CmpCase};

@@ -104,6 +104,20 @@ impl ConstraintMap {
         }
     }
 
+    /// Installs a whole constraint set on a location, replacing whatever was
+    /// recorded, while maintaining the rolling digest and the
+    /// unsatisfiable-location counter. Decoding support (`crate::codec`):
+    /// the decoder rebuilds a map entry-by-entry through here so decoded
+    /// maps carry live caches, exactly like incrementally-built ones.
+    pub(crate) fn insert_set(&mut self, loc: Location, set: ConstraintSet) {
+        self.clear(loc);
+        if !set.is_satisfiable() {
+            self.unsat += 1;
+        }
+        self.digest.insert(&loc, &set);
+        self.entries.insert(loc, set);
+    }
+
     /// The constraint set for a location, if any constraints are recorded.
     #[must_use]
     pub fn get(&self, loc: Location) -> Option<&ConstraintSet> {

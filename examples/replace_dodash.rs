@@ -29,6 +29,7 @@ fn main() {
         max_states: 100_000,
         max_solutions: 10,
         max_time: Some(Duration::from_secs(30)),
+        ..SearchLimits::default()
     };
     let outcome = run_point(
         &w.program,

@@ -29,6 +29,7 @@ fn main() {
         max_states: 2_000_000,
         max_solutions: 5,
         max_time: None,
+        ..SearchLimits::default()
     };
     let outcome = run_point(
         &w.program,

@@ -100,6 +100,7 @@ fn auxiliary_workloads_survive_register_campaigns() {
             max_solutions: 3,
             max_states: 100_000,
             max_time: None,
+            ..SearchLimits::default()
         };
         let mut found = false;
         for point in enumerate_points(&w.program, &ErrorClass::RegisterFile) {

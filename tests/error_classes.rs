@@ -80,6 +80,7 @@ fn memory_errors_propagate_to_wrong_advisories() {
         max_states: 300_000,
         max_solutions: 10,
         max_time: None,
+        ..SearchLimits::default()
     };
     let campaign = Campaign::new(&w.program, ErrorClass::Memory);
     let mut findings = 0;
@@ -123,6 +124,7 @@ fn fetch_class_finds_control_flow_failures() {
         max_states: 100_000,
         max_solutions: 5,
         max_time: None,
+        ..SearchLimits::default()
     };
     let points = enumerate_points(
         &w.program,

@@ -43,6 +43,7 @@ fn bubble_sort_wrong_order_findings() {
             max_solutions: 5,
             max_states: 200_000,
             max_time: None,
+            ..SearchLimits::default()
         });
     let verdict = fw.enumerate_matching(
         ErrorClass::RegisterFile,

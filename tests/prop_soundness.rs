@@ -80,6 +80,7 @@ fn check_coverage(
             max_states: 500_000,
             max_solutions: 100_000,
             max_time: None,
+            ..SearchLimits::default()
         },
     );
     prop_assert!(
@@ -198,18 +199,18 @@ mod state_representation {
 }
 
 // ---------------------------------------------------------------------
-// Rolling-digest consistency: the incrementally-maintained fingerprint
-// must equal a from-scratch recompute after arbitrary write/fork/compact
-// sequences through every mutator the executors use.
+// Shared state-mutation machinery: random operation sequences over the
+// full write-path surface of the machine state, used by the rolling-digest
+// consistency tests and the codec round-trip tests alike.
 // ---------------------------------------------------------------------
 
-mod digest_consistency {
+mod state_ops {
     use super::*;
 
     /// One mutation drawn from the full write-path surface of the machine
     /// state (every operation that can move a rolling component fold).
     #[derive(Debug, Clone)]
-    enum Op {
+    pub enum Op {
         SetReg(u8, Value),
         CopyReg(u8, Value, Location),
         SetMem(u64, Value),
@@ -254,7 +255,7 @@ mod digest_consistency {
         })
     }
 
-    fn op_strategy() -> impl Strategy<Value = Op> {
+    pub fn op_strategy() -> impl Strategy<Value = Op> {
         prop_oneof![
             4 => ((1u8..30), value_strategy()).prop_map(|(r, v)| Op::SetReg(r, v)),
             2 => ((1u8..30), value_strategy(), location_strategy())
@@ -279,7 +280,7 @@ mod digest_consistency {
         ]
     }
 
-    fn apply(state: &mut MachineState, op: &Op) {
+    pub fn apply(state: &mut MachineState, op: &Op) {
         match op {
             Op::SetReg(r, v) => state.set_reg(Reg::r(*r), *v),
             Op::CopyReg(r, v, from) => state.copy_reg_with_constraints(Reg::r(*r), *v, *from),
@@ -306,6 +307,41 @@ mod digest_consistency {
             Op::Fork | Op::Swap => unreachable!("pool-level ops"),
         }
     }
+
+    /// Runs an op sequence against a fresh pool (forks clone the newest
+    /// state, swaps reorder the two newest), returning every state built
+    /// along the way — the CoW-layered zoo the digest and codec tests
+    /// exercise.
+    pub fn run_ops(input: &[i64], ops: &[Op]) -> Vec<MachineState> {
+        let mut pool = vec![MachineState::with_input(input.to_vec())];
+        for op in ops {
+            match op {
+                Op::Fork => {
+                    let fork = pool.last().expect("nonempty pool").clone();
+                    pool.push(fork);
+                }
+                Op::Swap => {
+                    let n = pool.len();
+                    if n >= 2 {
+                        pool.swap(n - 1, n - 2);
+                    }
+                }
+                _ => apply(pool.last_mut().expect("nonempty pool"), op),
+            }
+        }
+        pool
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rolling-digest consistency: the incrementally-maintained fingerprint
+// must equal a from-scratch recompute after arbitrary write/fork/compact
+// sequences through every mutator the executors use.
+// ---------------------------------------------------------------------
+
+mod digest_consistency {
+    use super::state_ops::{apply, op_strategy, run_ops, Op};
+    use super::*;
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(96))]
@@ -348,29 +384,71 @@ mod digest_consistency {
             }
             // …and equal-content states must agree on the digest even when
             // their mutation histories (and base/delta splits) differ.
-            let replayed = {
-                let mut pool = vec![MachineState::with_input(vec![7, -3, 0, 11])];
-                for op in &ops {
-                    match op {
-                        Op::Fork => {
-                            let fork = pool.last().expect("nonempty pool").clone();
-                            pool.push(fork);
-                        }
-                        Op::Swap => {
-                            let n = pool.len();
-                            if n >= 2 {
-                                pool.swap(n - 1, n - 2);
-                            }
-                        }
-                        _ => apply(pool.last_mut().expect("nonempty pool"), op),
-                    }
-                }
-                pool
-            };
+            let replayed = run_ops(&[7, -3, 0, 11], &ops);
             for (a, b) in pool.iter().zip(&replayed) {
                 prop_assert_eq!(a, b);
                 prop_assert_eq!(a.fingerprint(), b.fingerprint());
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codec round-trip: encode → decode must preserve full `Eq`, and the
+// decoded state's re-derived rolling fingerprint must agree with both the
+// from-scratch recompute and the original — the property the disk-spilling
+// frontier's segment replay stands on.
+// ---------------------------------------------------------------------
+
+mod codec_roundtrip {
+    use super::state_ops::{op_strategy, run_ops};
+    use super::*;
+    use symplfied::machine::{decode_state, encode_state};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn encode_decode_preserves_eq_and_fingerprints(
+            ops in prop::collection::vec(op_strategy(), 1..120),
+        ) {
+            // Every state in the pool — CoW-forked, shared-base, compacted,
+            // swapped — must survive a codec round-trip.
+            for original in run_ops(&[7, -3, 0, 11], &ops) {
+                let mut buf = Vec::new();
+                encode_state(&original, &mut buf);
+                let (decoded, consumed) = decode_state(&buf)
+                    .expect("well-formed encodings must decode");
+                prop_assert_eq!(consumed, buf.len(), "whole record consumed");
+                prop_assert_eq!(&decoded, &original, "full Eq after round-trip");
+                prop_assert_eq!(
+                    decoded.fingerprint(),
+                    decoded.fingerprint_from_scratch(),
+                    "decoded rolling caches must be re-derived consistently"
+                );
+                prop_assert_eq!(decoded.fingerprint(), original.fingerprint());
+            }
+        }
+
+        /// Concatenated records (the spill-segment layout) decode back in
+        /// order, one at a time.
+        #[test]
+        fn segment_streams_roundtrip(
+            ops in prop::collection::vec(op_strategy(), 1..60),
+        ) {
+            let pool = run_ops(&[1, 2], &ops);
+            let mut buf = Vec::new();
+            for s in &pool {
+                encode_state(s, &mut buf);
+            }
+            let mut pos = 0usize;
+            let mut decoded = Vec::new();
+            while pos < buf.len() {
+                let (s, consumed) = decode_state(&buf[pos..]).expect("stream record");
+                pos += consumed;
+                decoded.push(s);
+            }
+            prop_assert_eq!(&decoded, &pool);
         }
     }
 }
@@ -464,6 +542,7 @@ mod fingerprint_dedup {
                 max_states: 1_000_000,
                 max_solutions: usize::MAX,
                 max_time: None,
+                ..SearchLimits::default()
             };
             assert_equivalent(&w, 7, Reg::r(3), &limits);
         }
@@ -480,6 +559,7 @@ mod fingerprint_dedup {
             max_states: 30_000,
             max_solutions: usize::MAX,
             max_time: None,
+            ..SearchLimits::default()
         };
         assert_equivalent(&w, ast + 3, Reg::r(8), &limits);
     }
@@ -574,6 +654,7 @@ mod parallel_equivalence {
                 max_states: 1_000_000,
                 max_solutions: usize::MAX,
                 max_time: None,
+                ..SearchLimits::default()
             };
             assert_parallel_matches(&w, 7, Reg::r(3), &limits);
         }
@@ -589,6 +670,7 @@ mod parallel_equivalence {
             max_states: 60_000,
             max_solutions: usize::MAX,
             max_time: None,
+            ..SearchLimits::default()
         };
         assert_parallel_matches(&w, 20, Reg::r(8), &limits);
     }
@@ -608,6 +690,7 @@ mod parallel_equivalence {
             max_states: 1_000_000,
             max_solutions: usize::MAX,
             max_time: None,
+            ..SearchLimits::default()
         };
         let prep = prepare(&w.program, &w.detectors, &w.input, &point, &limits.exec);
         let run = || {
@@ -631,5 +714,285 @@ mod parallel_equivalence {
                 "solutions must come out in canonical order"
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frontier-policy equivalence: exhausted searches must produce identical
+// outcome counts and canonical solution sets under every frontier policy
+// — Bfs, Dfs, Priority (all heuristics), the disk-spilling window, and
+// (for terminals/solutions) iterative deepening — sequentially and on the
+// work-stealing engine at 2 and 8 workers.
+// ---------------------------------------------------------------------
+
+mod frontier_policy {
+    use super::*;
+    use symplfied::check::{
+        Explorer, FrontierPolicy, ParallelExplorer, PriorityHeuristic, SearchReport,
+    };
+    use symplfied::machine::Fingerprint;
+
+    fn solution_digests(report: &SearchReport) -> Vec<Fingerprint> {
+        let mut digests: Vec<Fingerprint> = report
+            .solutions
+            .iter()
+            .map(|s| s.state.fingerprint())
+            .collect();
+        digests.sort_unstable();
+        digests
+    }
+
+    /// Every policy variant under test: (policy, spill budget).
+    fn policies() -> Vec<(FrontierPolicy, Option<usize>)> {
+        vec![
+            (FrontierPolicy::Bfs, None),
+            (FrontierPolicy::Dfs, None),
+            (
+                FrontierPolicy::Priority(PriorityHeuristic::ConstraintMapSize),
+                None,
+            ),
+            (FrontierPolicy::Priority(PriorityHeuristic::Depth), None),
+            (FrontierPolicy::Priority(PriorityHeuristic::OutputLen), None),
+            // A tiny budget (clamped to the 4 KiB floor) forces the
+            // spilling window through constant spill/replay cycles.
+            (FrontierPolicy::Bfs, Some(1)),
+            (FrontierPolicy::Dfs, Some(1)),
+        ]
+    }
+
+    fn assert_policies_agree(
+        w: &symplfied::apps::Workload,
+        breakpoint: usize,
+        reg: Reg,
+        limits: &SearchLimits,
+        worker_counts: &[usize],
+    ) {
+        let point = InjectionPoint::new(breakpoint, InjectTarget::Register(reg));
+        let prep = prepare(&w.program, &w.detectors, &w.input, &point, &limits.exec);
+        assert!(
+            prep.activated,
+            "{}: breakpoint {breakpoint} must be on the golden path",
+            w.name
+        );
+
+        let reference = Explorer::new(&w.program, &w.detectors)
+            .with_limits(limits.clone())
+            .explore(prep.seeds.clone(), &Predicate::Any);
+        assert!(
+            reference.exhausted,
+            "{}: equivalence needs a complete search ({} states)",
+            w.name, reference.states_explored
+        );
+
+        for (policy, spill) in policies() {
+            let mut policy_limits = limits.clone();
+            policy_limits.policy = policy;
+            policy_limits.max_frontier_bytes = spill;
+            let label = format!("{} @{breakpoint} {policy:?} spill={spill:?}", w.name);
+
+            let sequential = Explorer::new(&w.program, &w.detectors)
+                .with_limits(policy_limits.clone())
+                .explore(prep.seeds.clone(), &Predicate::Any);
+            assert!(sequential.exhausted, "{label}: must exhaust");
+            assert_eq!(
+                sequential.states_explored, reference.states_explored,
+                "{label}: states"
+            );
+            assert_eq!(
+                sequential.duplicate_hits, reference.duplicate_hits,
+                "{label}: duplicates"
+            );
+            assert_eq!(
+                sequential.terminals, reference.terminals,
+                "{label}: outcomes"
+            );
+            assert_eq!(
+                solution_digests(&sequential),
+                solution_digests(&reference),
+                "{label}: solution sets"
+            );
+            // A tiny search can fit inside the spill window's 4 KiB floor;
+            // only demand actual spilling when the unbounded run's peak
+            // exceeded it.
+            if spill.is_some() && reference.peak_frontier_bytes > 8 * 1024 {
+                assert!(sequential.spilled_states > 0, "{label}: must have spilled");
+            }
+
+            for &workers in worker_counts {
+                let parallel = ParallelExplorer::new(&w.program, &w.detectors)
+                    .with_limits(policy_limits.clone())
+                    .with_workers(workers)
+                    .explore(prep.seeds.clone(), &Predicate::Any);
+                assert!(parallel.exhausted, "{label} x{workers}: must exhaust");
+                assert_eq!(
+                    parallel.states_explored, reference.states_explored,
+                    "{label} x{workers}: states"
+                );
+                assert_eq!(
+                    parallel.terminals, reference.terminals,
+                    "{label} x{workers}: outcomes"
+                );
+                assert_eq!(
+                    solution_digests(&parallel),
+                    solution_digests(&reference),
+                    "{label} x{workers}: solution sets"
+                );
+            }
+        }
+
+        // Iterative deepening re-expands shallow states per round, so only
+        // its terminal picture (counts + solution set) must agree.
+        let mut idd_limits = limits.clone();
+        idd_limits.policy = FrontierPolicy::IterativeDeepening {
+            initial_depth: 32,
+            depth_step: 32,
+        };
+        for &workers in std::iter::once(&1usize).chain(worker_counts) {
+            let idd = ParallelExplorer::new(&w.program, &w.detectors)
+                .with_limits(idd_limits.clone())
+                .with_workers(workers)
+                .explore(prep.seeds.clone(), &Predicate::Any);
+            let label = format!("{} @{breakpoint} iddfs x{workers}", w.name);
+            assert!(idd.exhausted, "{label}: must exhaust");
+            assert_eq!(idd.terminals, reference.terminals, "{label}: outcomes");
+            assert_eq!(
+                solution_digests(&idd),
+                solution_digests(&reference),
+                "{label}: solution sets"
+            );
+            assert!(
+                idd.states_explored >= reference.states_explored,
+                "{label}: rounds re-expand shallow states"
+            );
+        }
+        let idd_seq = Explorer::new(&w.program, &w.detectors)
+            .with_limits(idd_limits)
+            .explore(prep.seeds.clone(), &Predicate::Any);
+        assert!(idd_seq.exhausted);
+        assert_eq!(idd_seq.terminals, reference.terminals);
+        assert_eq!(solution_digests(&idd_seq), solution_digests(&reference));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Factorial, random loop injection point and input: every policy,
+        /// sequentially and at 2/8 workers.
+        #[test]
+        fn factorial_policies_agree_when_exhausted(
+            n in 2i64..6,
+            bp_choice in 0usize..4,
+        ) {
+            // Injection points inside the loop: setgt(4), mult(6), subi(7),
+            // print(10).
+            let breakpoints = [(4usize, 3u8), (6, 3), (7, 3), (10, 2)];
+            let (bp, reg) = breakpoints[bp_choice];
+            let w = symplfied::apps::factorial().with_input(vec![n]);
+            let limits = SearchLimits {
+                exec: ExecLimits::with_max_steps(500),
+                max_states: 1_000_000,
+                max_solutions: usize::MAX,
+                max_time: None,
+                ..SearchLimits::default()
+            };
+            assert_policies_agree(&w, bp, Reg::r(reg), &limits, &[2, 8]);
+        }
+    }
+
+    #[test]
+    fn tcas_policies_agree_when_exhausted() {
+        // The same data-register point the parallel-equivalence suite pins
+        // (`err` in $8 at address 20), across every policy at 2/8 workers.
+        let w = symplfied::apps::tcas();
+        let limits = SearchLimits {
+            exec: ExecLimits::with_max_steps(w.max_steps),
+            max_states: 60_000,
+            max_solutions: usize::MAX,
+            max_time: None,
+            ..SearchLimits::default()
+        };
+        assert_policies_agree(&w, 20, Reg::r(8), &limits, &[2, 8]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Disk-spilling acceptance: a tcas exhaustive search whose in-RAM
+// frontier budget sits well below the unbounded run's peak footprint must
+// complete by spilling and reproduce the unbounded run's outcome counts
+// and canonical solution set exactly — sequentially and at 2 workers.
+// ---------------------------------------------------------------------
+
+mod spill_smoke {
+    use super::*;
+    use symplfied::check::{Explorer, ParallelExplorer, SearchReport};
+    use symplfied::machine::Fingerprint;
+
+    fn solution_digests(report: &SearchReport) -> Vec<Fingerprint> {
+        let mut digests: Vec<Fingerprint> = report
+            .solutions
+            .iter()
+            .map(|s| s.state.fingerprint())
+            .collect();
+        digests.sort_unstable();
+        digests
+    }
+
+    #[test]
+    fn tcas_exhaustive_completes_below_its_peak_frontier() {
+        let w = symplfied::apps::tcas();
+        let limits = SearchLimits {
+            exec: ExecLimits::with_max_steps(w.max_steps),
+            max_states: 60_000,
+            max_solutions: usize::MAX,
+            max_time: None,
+            ..SearchLimits::default()
+        };
+        let point = InjectionPoint::new(20, InjectTarget::Register(Reg::r(8)));
+        let prep = prepare(&w.program, &w.detectors, &w.input, &point, &limits.exec);
+        assert!(prep.activated);
+
+        // The unbounded reference run, and its peak in-RAM footprint.
+        let unbounded = Explorer::new(&w.program, &w.detectors)
+            .with_limits(limits.clone())
+            .explore(prep.seeds.clone(), &Predicate::Any);
+        assert!(unbounded.exhausted, "need a complete reference search");
+        assert!(
+            unbounded.peak_frontier_bytes > 16 * 1024,
+            "the tcas frontier must be big enough for the budget to bite \
+             (peak {} bytes)",
+            unbounded.peak_frontier_bytes
+        );
+        assert_eq!(unbounded.spilled_states, 0);
+
+        // A budget well below the observed peak forces spilling.
+        let mut tight = limits.clone();
+        tight.max_frontier_bytes = Some(unbounded.peak_frontier_bytes / 4);
+
+        let spilling = Explorer::new(&w.program, &w.detectors)
+            .with_limits(tight.clone())
+            .explore(prep.seeds.clone(), &Predicate::Any);
+        assert!(spilling.exhausted, "the spilling search must complete");
+        assert!(spilling.spilled_states > 0, "the budget must have bitten");
+        assert!(
+            spilling.peak_frontier_bytes < unbounded.peak_frontier_bytes,
+            "spilling must hold the RAM window below the unbounded peak \
+             ({} vs {})",
+            spilling.peak_frontier_bytes,
+            unbounded.peak_frontier_bytes
+        );
+        assert_eq!(spilling.states_explored, unbounded.states_explored);
+        assert_eq!(spilling.duplicate_hits, unbounded.duplicate_hits);
+        assert_eq!(spilling.terminals, unbounded.terminals);
+        assert_eq!(solution_digests(&spilling), solution_digests(&unbounded));
+
+        // And at 2 workers, with each worker budgeted half the window.
+        let parallel = ParallelExplorer::new(&w.program, &w.detectors)
+            .with_limits(tight)
+            .with_workers(2)
+            .explore(prep.seeds.clone(), &Predicate::Any);
+        assert!(parallel.exhausted);
+        assert_eq!(parallel.states_explored, unbounded.states_explored);
+        assert_eq!(parallel.terminals, unbounded.terminals);
+        assert_eq!(solution_digests(&parallel), solution_digests(&unbounded));
     }
 }

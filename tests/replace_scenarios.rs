@@ -15,6 +15,7 @@ fn limits() -> SearchLimits {
         max_states: 100_000,
         max_solutions: 10,
         max_time: Some(Duration::from_secs(30)),
+        ..SearchLimits::default()
     }
 }
 
@@ -109,6 +110,7 @@ fn sharded_campaign_reports_task_statistics() {
             max_states: 15_000,
             max_solutions: 5,
             max_time: Some(Duration::from_secs(5)),
+            ..SearchLimits::default()
         },
         task_budget: Some(Duration::from_secs(20)),
         max_findings_per_task: 5,

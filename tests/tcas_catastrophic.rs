@@ -16,6 +16,7 @@ fn tcas_limits() -> SearchLimits {
         max_states: 2_000_000,
         max_solutions: 10,
         max_time: None,
+        ..SearchLimits::default()
     }
 }
 
