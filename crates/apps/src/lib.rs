@@ -166,6 +166,16 @@ pub fn all_workloads() -> Vec<Workload> {
     ]
 }
 
+/// Resolves a bundled workload by its report name (`"tcas"`,
+/// `"replace"`, `"factorial"`, …) — the single lookup behind every
+/// distributed-campaign program id, so `symplfied serve` and the campaign
+/// binaries' self-spawned workers can never resolve the same id to
+/// different programs.
+#[must_use]
+pub fn resolve_workload(name: &str) -> Option<Workload> {
+    all_workloads().into_iter().find(|w| w.name == name)
+}
+
 fn parse_source(src: &str) -> Program {
     parse_program(src).expect("bundled workload sources are well-formed")
 }

@@ -7,18 +7,26 @@
 //! silently not happen). This binary reruns that campaign, scaled to the
 //! local machine, and reports the same statistics plus an example scenario.
 //!
-//! Usage: `replace_campaign [--tasks N] [--quick]`
+//! Usage: `replace_campaign [--tasks N] [--quick]
+//!                          [--workers-at host:port,…] [--spawn-workers N] [--verify-local]`
+//!
+//! The `--workers-at` / `--spawn-workers` flags run the campaign over the
+//! network through `sympl_wire`; `--verify-local` gates on the
+//! distributed and in-process outcome digests matching.
 
 use std::time::Duration;
 
+use sympl_bench::net::{maybe_serve_loopback, parse_dist_mode, run_distributed_campaign};
 use sympl_bench::{campaign_limits, render_table};
 use sympl_check::Predicate;
 use sympl_cluster::{run_cluster, ClusterConfig};
 use sympl_inject::{Campaign, ErrorClass};
 
 fn main() {
+    maybe_serve_loopback();
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let dist = parse_dist_mode(&args);
     let tasks = args
         .iter()
         .position(|a| a == "--tasks")
@@ -52,16 +60,21 @@ fn main() {
         ..ClusterConfig::default()
     };
 
-    let report = run_cluster(
-        &w.program,
-        &w.detectors,
-        &w.input,
-        &campaign,
-        &Predicate::WrongOutput {
-            expected: golden.clone(),
-        },
-        &config,
-    );
+    let predicate = Predicate::WrongOutput {
+        expected: golden.clone(),
+    };
+    let report = if dist.is_active() {
+        run_distributed_campaign(&w, &campaign, &predicate, &config, &dist)
+    } else {
+        run_cluster(
+            &w.program,
+            &w.detectors,
+            &w.input,
+            &campaign,
+            &predicate,
+            &config,
+        )
+    };
 
     println!("{}", report.summary());
     println!(

@@ -6,10 +6,17 @@
 //! The campaign is sharded into tasks over a worker pool (the paper's 150
 //! cluster nodes), each task capped at 10 findings and a wall budget.
 //!
-//! Usage: `tcas_campaign [--tasks N] [--quick]`
+//! Usage: `tcas_campaign [--tasks N] [--quick]
+//!                       [--workers-at host:port,…] [--spawn-workers N] [--verify-local]`
+//!
+//! The `--workers-at` / `--spawn-workers` flags run the campaign over the
+//! network through `sympl_wire` instead of in-process threads;
+//! `--verify-local` additionally re-runs it in-process and gates on the
+//! two outcome digests matching (the distributed-campaign CI job).
 
 use std::time::Duration;
 
+use sympl_bench::net::{maybe_serve_loopback, parse_dist_mode, run_distributed_campaign};
 use sympl_bench::{campaign_limits, render_table};
 use sympl_check::Predicate;
 use sympl_cluster::{run_cluster, ClusterConfig};
@@ -17,8 +24,10 @@ use sympl_inject::{Campaign, ErrorClass};
 use sympl_machine::Status;
 
 fn main() {
+    maybe_serve_loopback();
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let dist = parse_dist_mode(&args);
     let tasks = args
         .iter()
         .position(|a| a == "--tasks")
@@ -53,16 +62,21 @@ fn main() {
         ..ClusterConfig::default()
     };
 
-    let report = run_cluster(
-        &w.program,
-        &w.detectors,
-        &w.input,
-        &campaign,
-        &Predicate::WrongOutput {
-            expected: golden.clone(),
-        },
-        &config,
-    );
+    let predicate = Predicate::WrongOutput {
+        expected: golden.clone(),
+    };
+    let report = if dist.is_active() {
+        run_distributed_campaign(&w, &campaign, &predicate, &config, &dist)
+    } else {
+        run_cluster(
+            &w.program,
+            &w.detectors,
+            &w.input,
+            &campaign,
+            &predicate,
+            &config,
+        )
+    };
 
     println!("{}", report.summary());
     println!(

@@ -149,6 +149,190 @@ pub fn render_table2(report: &SsimReport, caption: &str) -> String {
     )
 }
 
+/// Distributed-campaign plumbing shared by the campaign binaries:
+/// `--workers-at` / `--spawn-workers` / `--verify-local` parsing, the
+/// loopback self-spawn worker mode, and the gating digest comparison the
+/// `distributed-campaign` CI job (and `just cluster-demo`) rides on.
+pub mod net {
+    use sympl_apps::Workload;
+    use sympl_check::Predicate;
+    use sympl_cluster::{run_cluster, CampaignReport, ClusterConfig};
+    use sympl_inject::Campaign;
+    use sympl_wire::{run_distributed, spawn_loopback_workers, CampaignJob, WorkerServer};
+
+    /// The hidden flag that re-runs a campaign binary as a loopback
+    /// worker process (the self-spawn mode used by `--spawn-workers`).
+    pub const SERVE_FLAG: &str = "--serve-loopback";
+
+    /// If the process was invoked in self-spawn worker mode, serve
+    /// distributed-campaign tasks on a loopback port until the
+    /// coordinator's shutdown frame, then exit the process. Campaign
+    /// binaries call this first thing in `main`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the loopback socket cannot be bound or the serve loop
+    /// fails — a worker that cannot work should die loudly.
+    pub fn maybe_serve_loopback() {
+        if !std::env::args().any(|a| a == SERVE_FLAG) {
+            return;
+        }
+        let server = WorkerServer::bind("127.0.0.1:0").expect("bind a loopback port");
+        server.announce().expect("announce the bound address");
+        server
+            .serve(&|id: &str| sympl_apps::resolve_workload(id).map(|w| (w.program, w.detectors)))
+            .expect("serve distributed-campaign tasks");
+        std::process::exit(0);
+    }
+
+    /// Distribution options parsed from a campaign binary's arguments.
+    #[derive(Debug, Clone, Default)]
+    pub struct DistMode {
+        /// Remote worker addresses from `--workers-at host:port,…`.
+        pub workers_at: Vec<String>,
+        /// Loopback worker processes to self-spawn (`--spawn-workers N`).
+        pub spawn_workers: usize,
+        /// `--verify-local`: also run the campaign in-process and gate on
+        /// the two outcome digests matching.
+        pub verify_local: bool,
+    }
+
+    impl DistMode {
+        /// Whether any distribution was requested.
+        #[must_use]
+        pub fn is_active(&self) -> bool {
+            !self.workers_at.is_empty() || self.spawn_workers > 0
+        }
+    }
+
+    /// Parses the distribution flags out of `args` (unknown arguments are
+    /// left for the binary's own parser).
+    #[must_use]
+    pub fn parse_dist_mode(args: &[String]) -> DistMode {
+        let mut mode = DistMode::default();
+        let mut it = args.iter().peekable();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--workers-at" => {
+                    if let Some(list) = it.next() {
+                        mode.workers_at
+                            .extend(list.split(',').filter(|s| !s.is_empty()).map(str::to_owned));
+                    }
+                }
+                "--spawn-workers" => {
+                    mode.spawn_workers = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--spawn-workers expects a count");
+                }
+                "--verify-local" => mode.verify_local = true,
+                _ => {}
+            }
+        }
+        mode
+    }
+
+    /// Runs a campaign over the network per `mode`, and — under
+    /// `--verify-local` — re-runs it in-process and gates on the two
+    /// [`CampaignReport::outcome_digest`]s matching.
+    ///
+    /// Verification forces the determinism contract (sequential point
+    /// searches, no task wall-clock budget) on *both* runs, because a
+    /// time-budgeted or schedule-dependent truncation can legitimately
+    /// differ between runs; without `--verify-local` the config is used
+    /// as given.
+    ///
+    /// # Panics
+    ///
+    /// Exits the process with a failure code when workers cannot be
+    /// spawned/reached or when the gating digest comparison fails.
+    #[must_use]
+    pub fn run_distributed_campaign(
+        workload: &Workload,
+        campaign: &Campaign,
+        predicate: &Predicate,
+        config: &ClusterConfig,
+        mode: &DistMode,
+    ) -> CampaignReport {
+        let mut config = config.clone();
+        if mode.verify_local {
+            config.point_workers_hint = Some(1);
+            config.task_budget = None;
+        }
+
+        let mut addrs = mode.workers_at.clone();
+        let spawned = if mode.spawn_workers > 0 {
+            let exe = std::env::current_exe().expect("own executable path");
+            let spawned =
+                spawn_loopback_workers(&exe, &[SERVE_FLAG.to_owned()], mode.spawn_workers)
+                    .expect("spawn loopback workers");
+            addrs.extend(spawned.addrs.iter().cloned());
+            Some(spawned)
+        } else {
+            None
+        };
+
+        println!(
+            "distributed campaign: {} worker(s) at {addrs:?}",
+            addrs.len()
+        );
+        let job = CampaignJob {
+            program: &workload.program,
+            program_id: workload.name,
+            input: &workload.input,
+            campaign,
+            predicate,
+            config: &config,
+        };
+        // Shut workers down only when we spawned them; externally managed
+        // workers (--workers-at) keep serving for the next campaign.
+        let shutdown = spawned.is_some();
+        let report = match run_distributed(&job, &addrs, shutdown) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("distributed campaign failed: {e}");
+                // `exit` skips destructors; reap the spawned workers
+                // explicitly so they are not orphaned.
+                drop(spawned);
+                std::process::exit(1);
+            }
+        };
+        if let Some(spawned) = spawned {
+            spawned.join().expect("spawned workers exit cleanly");
+        }
+        println!(
+            "distributed outcome digest: {:#034x}",
+            report.outcome_digest()
+        );
+
+        if mode.verify_local {
+            let local = run_cluster(
+                &workload.program,
+                &workload.detectors,
+                &workload.input,
+                campaign,
+                predicate,
+                &config,
+            );
+            println!(
+                "in-process outcome digest:  {:#034x}",
+                local.outcome_digest()
+            );
+            if local.outcome_digest() != report.outcome_digest() {
+                eprintln!(
+                    "GATE FAILED: distributed campaign diverged from the in-process run\n\
+                     distributed: {}\n in-process: {}",
+                    report.summary(),
+                    local.summary()
+                );
+                std::process::exit(2);
+            }
+            println!("verify-local: distributed report reproduces the in-process run verbatim");
+        }
+        report
+    }
+}
+
 /// The standard per-point search limits used by the campaign binaries.
 #[must_use]
 pub fn campaign_limits(max_steps: u64) -> SearchLimits {

@@ -9,7 +9,7 @@ use sympl_machine::{MachineState, Status};
 /// One terminal state satisfying the search predicate, with its witness
 /// trace — the program-counter path from the initial state, the paper's
 /// "execution trace of how the error evaded detection".
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Solution {
     /// The terminal machine state.
     pub state: MachineState,
@@ -91,7 +91,7 @@ impl fmt::Display for OutcomeCounts {
 }
 
 /// The result of one exhaustive search.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SearchReport {
     /// Terminal states matching the predicate, in BFS discovery order.
     pub solutions: Vec<Solution>,
@@ -145,6 +145,11 @@ pub struct SearchReport {
     /// `max_frontier_bytes` budget forced spilling).
     pub spilled_states: usize,
 }
+
+// `states_per_second` is a pure function of `states_explored`/`elapsed`
+// and never NaN (`throughput` guards the division), so the derived
+// `PartialEq` is reflexive and `Eq` is sound.
+impl Eq for SearchReport {}
 
 impl SearchReport {
     /// Whether this search proves resilience: complete exploration with no

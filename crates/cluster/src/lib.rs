@@ -45,10 +45,11 @@ use sympl_asm::Program;
 use sympl_check::{Explorer, Predicate, SearchLimits, Solution};
 use sympl_detect::DetectorSet;
 use sympl_inject::{run_point_with, Campaign, InjectionPoint};
+use sympl_symbolic::Fnv128Hasher;
 
 /// One shard of a campaign: a set of injection points examined by a single
 /// worker under one time/finding budget.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskSpec {
     /// Task identifier (its index in the shard list).
     pub id: usize,
@@ -56,9 +57,23 @@ pub struct TaskSpec {
     pub points: Vec<InjectionPoint>,
 }
 
+/// Shards a campaign into [`TaskSpec`]s — the canonical task partition
+/// shared by the in-process pool ([`run_cluster`]) and the network
+/// coordinator (`sympl_wire`), so a distributed campaign sweeps exactly
+/// the same task boundaries as a local one.
+#[must_use]
+pub fn shard_specs(campaign: &Campaign, tasks: usize) -> Vec<TaskSpec> {
+    campaign
+        .shards(tasks)
+        .into_iter()
+        .enumerate()
+        .map(|(id, points)| TaskSpec { id, points })
+        .collect()
+}
+
 /// A finding: an injection point together with one terminal state that
 /// matched the campaign predicate.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// The task that produced the finding.
     pub task_id: usize,
@@ -69,7 +84,7 @@ pub struct Finding {
 }
 
 /// Per-task results.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskResult {
     /// The task's identifier.
     pub id: usize,
@@ -120,6 +135,32 @@ pub struct ClusterConfig {
     pub task_budget: Option<Duration>,
     /// Finding cap per task (the paper capped at 10).
     pub max_findings_per_task: usize,
+    /// Worker allowance for each *point search* inside a task. `None`
+    /// (the default) gives every point its fair share of the machine
+    /// (hardware threads / `workers`); `Some(1)` pins point searches to
+    /// the sequential engine, which makes even *truncated* searches
+    /// deterministic — the setting distributed campaigns use when their
+    /// report must reproduce an in-process run verbatim.
+    pub point_workers_hint: Option<usize>,
+}
+
+impl ClusterConfig {
+    /// The workers hint for every point search in a task: its fair share
+    /// of the machine. `config.workers` tasks already run concurrently, so
+    /// letting each point search additionally fan out across every
+    /// hardware thread would oversubscribe the box workers² ways. With the
+    /// default config (task workers = hardware threads) the share is 1 and
+    /// point searches stay sequential — parallelism comes from exactly one
+    /// layer. An explicit [`ClusterConfig::point_workers_hint`] overrides
+    /// the formula (the network coordinator ships the resolved share to
+    /// remote workers, whose own core counts must not change the search).
+    #[must_use]
+    pub fn point_share(&self) -> usize {
+        self.point_workers_hint.unwrap_or_else(|| {
+            (std::thread::available_parallelism().map_or(1, usize::from) / self.workers.max(1))
+                .max(1)
+        })
+    }
 }
 
 impl Default for ClusterConfig {
@@ -130,12 +171,13 @@ impl Default for ClusterConfig {
             search: SearchLimits::default(),
             task_budget: None,
             max_findings_per_task: 10,
+            point_workers_hint: None,
         }
     }
 }
 
 /// Pooled results of a sharded campaign.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CampaignReport {
     /// Per-task results, ordered by task id.
     pub tasks: Vec<TaskResult>,
@@ -240,6 +282,42 @@ impl CampaignReport {
         self.tasks.iter().map(|t| t.spilled_states).sum()
     }
 
+    /// A deterministic 128-bit digest of the campaign's *outcome* — the
+    /// per-task completion statistics and every finding's injection point,
+    /// terminal-state fingerprint, and witness trace — excluding all
+    /// wall-clock figures. Two campaign runs that swept the same points to
+    /// the same results produce the same digest, whether the tasks ran on
+    /// in-process threads or on remote workers over the wire; the
+    /// distributed CI gate diffs exactly this value. (FNV-128 over
+    /// `Hash`-fed bytes: stable across processes on one platform, not
+    /// across platforms of different endianness.)
+    #[must_use]
+    pub fn outcome_digest(&self) -> u128 {
+        use std::hash::Hash;
+        let mut h = Fnv128Hasher::new();
+        self.tasks.len().hash(&mut h);
+        for t in &self.tasks {
+            (
+                t.id,
+                t.points_examined,
+                t.points_total,
+                t.activated,
+                t.findings,
+                t.completed,
+                t.states_explored,
+                t.spilled_states,
+            )
+                .hash(&mut h);
+        }
+        self.findings.len().hash(&mut h);
+        for f in &self.findings {
+            (f.task_id, f.point).hash(&mut h);
+            f.solution.state.fingerprint().0.hash(&mut h);
+            f.solution.trace.hash(&mut h);
+        }
+        h.finish128()
+    }
+
     /// A paper-style textual summary (the §6.2 "Running Time" paragraph).
     #[must_use]
     pub fn summary(&self) -> String {
@@ -282,12 +360,7 @@ pub fn run_cluster(
     config: &ClusterConfig,
 ) -> CampaignReport {
     let start = Instant::now();
-    let shards = campaign.shards(config.tasks);
-    let specs: Vec<TaskSpec> = shards
-        .into_iter()
-        .enumerate()
-        .map(|(id, points)| TaskSpec { id, points })
-        .collect();
+    let specs = shard_specs(campaign, config.tasks);
 
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<(TaskResult, Vec<Finding>)>> = Mutex::new(Vec::new());
@@ -298,7 +371,7 @@ pub fn run_cluster(
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(spec) = specs.get(i) else { break };
-                let outcome = run_task(program, detectors, input, spec, predicate, config);
+                let outcome = run_task_spec(program, detectors, input, spec, predicate, config);
                 results
                     .lock()
                     .expect("worker panicked while holding the results lock")
@@ -307,13 +380,26 @@ pub fn run_cluster(
         }
     });
 
-    let mut pooled = results
+    let pooled = results
         .into_inner()
         .expect("all workers joined before pooling");
-    pooled.sort_by_key(|(t, _)| t.id);
+    pool_results(pooled, start.elapsed())
+}
 
+/// Pools per-task results into a [`CampaignReport`] in the canonical
+/// order: tasks sorted by id, each task's findings appended in task order.
+/// Both [`run_cluster`] and the network coordinator merge through this
+/// function, which is what makes a distributed exhaustive campaign's
+/// report reproduce the in-process one verbatim regardless of which
+/// worker finished first.
+#[must_use]
+pub fn pool_results(
+    mut pooled: Vec<(TaskResult, Vec<Finding>)>,
+    elapsed: Duration,
+) -> CampaignReport {
+    pooled.sort_by_key(|(t, _)| t.id);
     let mut report = CampaignReport {
-        elapsed: start.elapsed(),
+        elapsed,
         ..CampaignReport::default()
     };
     for (task, findings) in pooled {
@@ -324,7 +410,16 @@ pub fn run_cluster(
 }
 
 /// Runs one task: sweep its points sequentially under the task budget.
-fn run_task(
+///
+/// This is the unit of work a campaign schedules — the in-process pool
+/// calls it on its worker threads, and a `symplfied serve` network worker
+/// calls it for each task frame it receives, so both paths run the exact
+/// same engine code under the same budget accounting. Only
+/// `config.search`, `config.task_budget`, `config.max_findings_per_task`,
+/// and the point-workers share ([`ClusterConfig::point_share`]) are read
+/// from the config.
+#[must_use]
+pub fn run_task_spec(
     program: &Program,
     detectors: &DetectorSet,
     input: &[i64],
@@ -350,15 +445,7 @@ fn run_task(
         spilled_states: 0,
     };
 
-    // The workers hint for every point search in this task: its fair share
-    // of the machine. `config.workers` tasks already run concurrently, so
-    // letting each point search additionally fan out across every hardware
-    // thread would oversubscribe the box workers² ways. With the default
-    // config (task workers = hardware threads) the share is 1 and point
-    // searches stay sequential — parallelism comes from exactly one layer.
-    let share = (std::thread::available_parallelism().map_or(1, usize::from)
-        / config.workers.max(1))
-    .max(1);
+    let share = config.point_share();
 
     for point in &spec.points {
         if let Some(budget) = config.task_budget {
@@ -451,6 +538,7 @@ mod tests {
             },
             task_budget: None,
             max_findings_per_task: 10,
+            point_workers_hint: None,
         }
     }
 
@@ -532,6 +620,60 @@ mod tests {
         );
         assert_eq!(report.tasks_completed(), 0);
         assert!(report.summary().contains("incomplete"));
+    }
+
+    #[test]
+    fn pool_results_order_is_canonical() {
+        let p = factorial();
+        let campaign = Campaign::new(&p, ErrorClass::RegisterFile);
+        let config = quick_config(4);
+        let specs = shard_specs(&campaign, config.tasks);
+        assert_eq!(specs.len(), 4);
+        let dets = DetectorSet::new();
+        let predicate = Predicate::OutputContainsErr;
+        let mut results: Vec<_> = specs
+            .iter()
+            .map(|s| run_task_spec(&p, &dets, &[4], s, &predicate, &config))
+            .collect();
+        let forward = pool_results(results.clone(), Duration::ZERO);
+        results.reverse();
+        let reversed = pool_results(results, Duration::ZERO);
+        assert_eq!(forward.tasks, reversed.tasks);
+        assert_eq!(forward.findings, reversed.findings);
+        assert_eq!(forward.outcome_digest(), reversed.outcome_digest());
+    }
+
+    #[test]
+    fn outcome_digest_ignores_wall_clock_but_sees_outcomes() {
+        let p = factorial();
+        let campaign = Campaign::new(&p, ErrorClass::RegisterFile);
+        let predicate = Predicate::OutputContainsErr;
+        let config = ClusterConfig {
+            point_workers_hint: Some(1),
+            ..quick_config(4)
+        };
+        let run = |cfg: &ClusterConfig| {
+            run_cluster(&p, &DetectorSet::new(), &[4], &campaign, &predicate, cfg)
+        };
+        let a = run(&config);
+        let b = run(&config);
+        assert_ne!(a.elapsed, Duration::ZERO);
+        assert_eq!(
+            a.outcome_digest(),
+            b.outcome_digest(),
+            "digest must be a pure function of outcomes, not timing"
+        );
+        let mut c = b.clone();
+        c.findings.pop();
+        assert_ne!(a.outcome_digest(), c.outcome_digest());
+    }
+
+    #[test]
+    fn point_share_respects_explicit_hint() {
+        let mut config = quick_config(1);
+        assert!(config.point_share() >= 1);
+        config.point_workers_hint = Some(7);
+        assert_eq!(config.point_share(), 7);
     }
 
     #[test]

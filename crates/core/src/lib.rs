@@ -44,6 +44,7 @@
 //! | error model & campaigns | [`inject`] |
 //! | concrete-injection baseline | [`ssim`] |
 //! | parallel campaign runner | [`cluster`] |
+//! | network wire protocol + TCP transport | [`wire`] |
 //! | evaluation workloads | [`apps`] |
 
 #![forbid(unsafe_code)]
@@ -58,6 +59,7 @@ pub use sympl_inject as inject;
 pub use sympl_machine as machine;
 pub use sympl_ssim as ssim;
 pub use sympl_symbolic as symbolic;
+pub use sympl_wire as wire;
 
 mod framework;
 

@@ -7,6 +7,7 @@
 //!                  [--class register|memory|pc|fetch] [--max-steps N]
 //!                  [--max-solutions N]
 //! symplfied ssim   <prog.sasm> [--mips] [--input …] [--random N] [--seed N]
+//! symplfied serve  [--listen HOST:PORT]
 //! ```
 
 use std::process::ExitCode;
@@ -37,11 +38,19 @@ const USAGE: &str = "usage:
                    [--frontier bfs|dfs|priority-constraints|priority-depth|priority-output|iddfs]
                    [--max-frontier-bytes N]
   symplfied ssim   <prog> [--mips] [--input 1,2,3] [--random N] [--seed N]
+  symplfied serve  [--listen HOST:PORT]
 
 --frontier picks the search's frontier policy (exhausted searches agree
 under every policy; see each policy's determinism contract in the docs);
 --max-frontier-bytes bounds the in-RAM frontier for bfs/dfs, spilling
-overflow to disk so exhaustive searches larger than RAM still complete.";
+overflow to disk so exhaustive searches larger than RAM still complete.
+
+serve starts a distributed-campaign worker: it listens for a campaign
+coordinator (tcas_campaign/replace_campaign --workers-at), announces its
+bound address as `sympl-wire listening on HOST:PORT`, resolves tasks'
+program ids against the bundled workloads, and exits when the
+coordinator sends a shutdown frame. --listen defaults to 127.0.0.1:0
+(loopback, OS-assigned port).";
 
 struct Opts {
     program_path: String,
@@ -158,10 +167,36 @@ fn load_program(opts: &Opts) -> Result<Program, String> {
     }
 }
 
+/// Resolves a wire task's program id against the bundled workloads.
+fn resolve_workload(id: &str) -> Option<(Program, DetectorSet)> {
+    symplfied::apps::resolve_workload(id).map(|w| (w.program, w.detectors))
+}
+
+/// The `serve` subcommand: a distributed-campaign worker agent.
+fn serve(args: &[String]) -> Result<(), String> {
+    let mut listen = String::from("127.0.0.1:0");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--listen" => {
+                listen = it.next().ok_or("--listen expects a value")?.clone();
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let server = symplfied::wire::WorkerServer::bind(&listen)
+        .map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    server.announce().map_err(|e| e.to_string())?;
+    server.serve(&resolve_workload).map_err(|e| e.to_string())
+}
+
 fn run(args: Vec<String>) -> Result<(), String> {
     let Some((command, rest)) = args.split_first() else {
         return Err("missing command".into());
     };
+    if command == "serve" {
+        return serve(rest);
+    }
     let opts = parse_opts(rest)?;
     let program = load_program(&opts)?;
 

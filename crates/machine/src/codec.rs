@@ -33,11 +33,11 @@
 //! reports) until a vendored `serde` exists.
 
 use crate::state::DecodedState;
-use crate::{Exception, MachineState, OutItem, Status};
+use crate::{Exception, ExecLimits, MachineState, OutItem, Status};
 use sympl_asm::{Reg, NUM_REGS};
 use sympl_symbolic::codec::{
-    decode_constraint_map, decode_i64, decode_u64, decode_value, encode_constraint_map, encode_i64,
-    encode_u64, encode_value,
+    decode_bool, decode_constraint_map, decode_i64, decode_u64, decode_value, encode_bool,
+    encode_constraint_map, encode_i64, encode_u64, encode_value,
 };
 use sympl_symbolic::Value;
 
@@ -129,6 +129,47 @@ pub fn encode_state(state: &MachineState, buf: &mut Vec<u8>) {
 
 fn decode_usize(bytes: &[u8], pos: &mut usize) -> Result<usize, CodecError> {
     usize::try_from(decode_u64(bytes, pos)?).map_err(|_| CodecError::Overflow)
+}
+
+fn encode_opt_usize(v: Option<usize>, buf: &mut Vec<u8>) {
+    match v {
+        None => buf.push(0),
+        Some(v) => {
+            buf.push(1);
+            encode_u64(v as u64, buf);
+        }
+    }
+}
+
+fn decode_opt_usize(bytes: &[u8], pos: &mut usize) -> Result<Option<usize>, CodecError> {
+    if decode_bool(bytes, pos)? {
+        Ok(Some(decode_usize(bytes, pos)?))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Appends the per-path execution bounds (the watchdog and fork fan-out
+/// caps) — the machine-level half of a search-limits wire record.
+pub fn encode_exec_limits(limits: &ExecLimits, buf: &mut Vec<u8>) {
+    encode_u64(limits.max_steps, buf);
+    encode_opt_usize(limits.fork_jump_targets, buf);
+    encode_opt_usize(limits.fork_mem_targets, buf);
+    encode_bool(limits.track_constraints, buf);
+}
+
+/// Decodes an [`ExecLimits`] at `*pos`, advancing it.
+///
+/// # Errors
+///
+/// Any [`CodecError`] on truncated or malformed bytes.
+pub fn decode_exec_limits(bytes: &[u8], pos: &mut usize) -> Result<ExecLimits, CodecError> {
+    Ok(ExecLimits {
+        max_steps: decode_u64(bytes, pos)?,
+        fork_jump_targets: decode_opt_usize(bytes, pos)?,
+        fork_mem_targets: decode_opt_usize(bytes, pos)?,
+        track_constraints: decode_bool(bytes, pos)?,
+    })
 }
 
 fn take_byte(bytes: &[u8], pos: &mut usize) -> Result<u8, CodecError> {
@@ -399,6 +440,26 @@ mod tests {
             buf.len(),
             s.approx_bytes()
         );
+    }
+
+    #[test]
+    fn exec_limits_roundtrip() {
+        for limits in [
+            ExecLimits::default(),
+            ExecLimits {
+                max_steps: u64::MAX,
+                fork_jump_targets: Some(0),
+                fork_mem_targets: Some(123_456),
+                track_constraints: false,
+            },
+        ] {
+            let mut buf = Vec::new();
+            encode_exec_limits(&limits, &mut buf);
+            let mut pos = 0;
+            assert_eq!(decode_exec_limits(&buf, &mut pos).unwrap(), limits);
+            assert_eq!(pos, buf.len());
+        }
+        assert!(decode_exec_limits(&[], &mut 0).is_err());
     }
 
     #[test]

@@ -48,6 +48,10 @@ pub enum CodecError {
     BadUtf8,
     /// The buffer's version byte names an unknown codec revision.
     BadVersion(u8),
+    /// The value has no wire representation: a closure-backed predicate
+    /// at *encode* time, or decoded bytes describing a value the domain
+    /// forbids (e.g. a non-finite throughput figure).
+    Unsupported(&'static str),
 }
 
 impl fmt::Display for CodecError {
@@ -58,6 +62,7 @@ impl fmt::Display for CodecError {
             CodecError::Overflow => f.write_str("varint overflows its integer type"),
             CodecError::BadUtf8 => f.write_str("string field is not valid UTF-8"),
             CodecError::BadVersion(v) => write!(f, "unknown codec version {v}"),
+            CodecError::Unsupported(what) => write!(f, "{what} has no wire representation"),
         }
     }
 }
@@ -122,6 +127,113 @@ fn zigzag(v: i64) -> u64 {
 
 fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends a `bool` as one byte (0 or 1).
+pub fn encode_bool(v: bool, buf: &mut Vec<u8>) {
+    buf.push(u8::from(v));
+}
+
+/// Decodes a `bool` at `*pos`, advancing it.
+///
+/// # Errors
+///
+/// [`CodecError::UnexpectedEnd`] at end of buffer, [`CodecError::BadTag`]
+/// on any byte other than 0 or 1.
+pub fn decode_bool(bytes: &[u8], pos: &mut usize) -> Result<bool, CodecError> {
+    let &b = bytes.get(*pos).ok_or(CodecError::UnexpectedEnd)?;
+    *pos += 1;
+    match b {
+        0 => Ok(false),
+        1 => Ok(true),
+        tag => Err(CodecError::BadTag { what: "bool", tag }),
+    }
+}
+
+/// Appends a UTF-8 string as a varint byte length plus the raw bytes.
+pub fn encode_str(s: &str, buf: &mut Vec<u8>) {
+    encode_u64(s.len() as u64, buf);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Decodes a string at `*pos`, advancing it.
+///
+/// # Errors
+///
+/// The varint errors, [`CodecError::UnexpectedEnd`] on a short buffer, and
+/// [`CodecError::BadUtf8`] on invalid UTF-8.
+pub fn decode_str(bytes: &[u8], pos: &mut usize) -> Result<String, CodecError> {
+    let len = usize::try_from(decode_u64(bytes, pos)?).map_err(|_| CodecError::Overflow)?;
+    let end = pos.checked_add(len).ok_or(CodecError::Overflow)?;
+    let slice = bytes.get(*pos..end).ok_or(CodecError::UnexpectedEnd)?;
+    let s = std::str::from_utf8(slice).map_err(|_| CodecError::BadUtf8)?;
+    *pos = end;
+    Ok(s.to_owned())
+}
+
+/// Appends a [`std::time::Duration`] as whole seconds plus subsecond
+/// nanoseconds, both varints (exact round-trip across the full range).
+pub fn encode_duration(d: std::time::Duration, buf: &mut Vec<u8>) {
+    encode_u64(d.as_secs(), buf);
+    encode_u64(u64::from(d.subsec_nanos()), buf);
+}
+
+/// Decodes a [`std::time::Duration`] at `*pos`, advancing it.
+///
+/// # Errors
+///
+/// The varint errors; [`CodecError::Overflow`] when the nanosecond field
+/// exceeds a billion (no valid encoder emits that).
+pub fn decode_duration(bytes: &[u8], pos: &mut usize) -> Result<std::time::Duration, CodecError> {
+    let secs = decode_u64(bytes, pos)?;
+    let nanos = decode_u64(bytes, pos)?;
+    if nanos >= 1_000_000_000 {
+        return Err(CodecError::Overflow);
+    }
+    Ok(std::time::Duration::new(secs, nanos as u32))
+}
+
+/// Appends an `Option<Duration>` as a presence byte plus the duration.
+pub fn encode_opt_duration(d: Option<std::time::Duration>, buf: &mut Vec<u8>) {
+    match d {
+        None => buf.push(0),
+        Some(d) => {
+            buf.push(1);
+            encode_duration(d, buf);
+        }
+    }
+}
+
+/// Decodes an `Option<Duration>` at `*pos`, advancing it.
+///
+/// # Errors
+///
+/// [`CodecError::BadTag`] on a presence byte other than 0/1, plus the
+/// duration errors.
+pub fn decode_opt_duration(
+    bytes: &[u8],
+    pos: &mut usize,
+) -> Result<Option<std::time::Duration>, CodecError> {
+    if decode_bool(bytes, pos)? {
+        Ok(Some(decode_duration(bytes, pos)?))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Appends an `f64` as the varint of its IEEE-754 bit pattern (exact
+/// round-trip, including signed zeros and infinities).
+pub fn encode_f64(v: f64, buf: &mut Vec<u8>) {
+    encode_u64(v.to_bits(), buf);
+}
+
+/// Decodes an `f64` at `*pos`, advancing it.
+///
+/// # Errors
+///
+/// Propagates the varint errors of [`decode_u64`].
+pub fn decode_f64(bytes: &[u8], pos: &mut usize) -> Result<f64, CodecError> {
+    Ok(f64::from_bits(decode_u64(bytes, pos)?))
 }
 
 const VALUE_INT: u8 = 0;
@@ -321,6 +433,64 @@ mod tests {
         );
         let overlong = [0xFFu8; 11];
         assert_eq!(decode_u64(&overlong, &mut 0), Err(CodecError::Overflow));
+    }
+
+    #[test]
+    fn scalar_leaves_roundtrip() {
+        use std::time::Duration;
+        let mut buf = Vec::new();
+        encode_bool(true, &mut buf);
+        encode_bool(false, &mut buf);
+        encode_str("héllo", &mut buf);
+        encode_str("", &mut buf);
+        encode_duration(Duration::new(u64::MAX, 999_999_999), &mut buf);
+        encode_opt_duration(None, &mut buf);
+        encode_opt_duration(Some(Duration::from_millis(1500)), &mut buf);
+        encode_f64(-0.0, &mut buf);
+        encode_f64(1234.5678, &mut buf);
+        encode_f64(f64::INFINITY, &mut buf);
+        let mut pos = 0;
+        assert!(decode_bool(&buf, &mut pos).unwrap());
+        assert!(!decode_bool(&buf, &mut pos).unwrap());
+        assert_eq!(decode_str(&buf, &mut pos).unwrap(), "héllo");
+        assert_eq!(decode_str(&buf, &mut pos).unwrap(), "");
+        assert_eq!(
+            decode_duration(&buf, &mut pos).unwrap(),
+            Duration::new(u64::MAX, 999_999_999)
+        );
+        assert_eq!(decode_opt_duration(&buf, &mut pos).unwrap(), None);
+        assert_eq!(
+            decode_opt_duration(&buf, &mut pos).unwrap(),
+            Some(Duration::from_millis(1500))
+        );
+        assert_eq!(
+            decode_f64(&buf, &mut pos).unwrap().to_bits(),
+            (-0.0f64).to_bits()
+        );
+        assert_eq!(decode_f64(&buf, &mut pos).unwrap(), 1234.5678);
+        assert_eq!(decode_f64(&buf, &mut pos).unwrap(), f64::INFINITY);
+        assert_eq!(pos, buf.len(), "every byte consumed");
+    }
+
+    #[test]
+    fn scalar_leaves_reject_malformed_bytes() {
+        assert!(matches!(
+            decode_bool(&[7], &mut 0),
+            Err(CodecError::BadTag { what: "bool", .. })
+        ));
+        // String length runs past the buffer.
+        let mut buf = Vec::new();
+        encode_u64(100, &mut buf);
+        buf.push(b'x');
+        assert_eq!(decode_str(&buf, &mut 0), Err(CodecError::UnexpectedEnd));
+        // Invalid UTF-8 payload.
+        let bad = [1u8, 0xFF];
+        assert_eq!(decode_str(&bad, &mut 0), Err(CodecError::BadUtf8));
+        // Nanoseconds out of range.
+        let mut buf = Vec::new();
+        encode_u64(0, &mut buf);
+        encode_u64(1_000_000_000, &mut buf);
+        assert_eq!(decode_duration(&buf, &mut 0), Err(CodecError::Overflow));
     }
 
     #[test]

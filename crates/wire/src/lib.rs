@@ -1,0 +1,234 @@
+//! # sympl-wire — cluster-over-network campaigns
+//!
+//! The paper's evaluation ran its injection campaigns "on a cluster of 150
+//! dual-processor AMD Opteron machines". `sympl-cluster` reproduces that
+//! harness on in-process threads; this crate takes it over the network: a
+//! compact, dependency-free wire protocol for campaign tasks and results,
+//! and a `std::net` TCP transport — a coordinator that distributes
+//! injection-point shards to remote workers and a worker agent
+//! (`symplfied serve --listen <addr>`) that runs them through the exact
+//! same engine code path as the in-process pool.
+//!
+//! ## Protocol specification
+//!
+//! The protocol rides entirely on the varint codec primitives the disk
+//! -spilling frontier introduced (`sympl_symbolic::codec` leaf encoders,
+//! `sympl_machine::codec::encode_state`, `sympl_check::codec` report and
+//! limits records, `sympl_inject::codec` injection points) — no serde, no
+//! third-party dependency, byte-stable against the golden vectors checked
+//! in under `tests/wire_golden/`.
+//!
+//! ### Connection preamble (version negotiation)
+//!
+//! Immediately after `accept`/`connect`, **both** sides write and then
+//! read a preamble:
+//!
+//! ```text
+//! magic: 4 bytes  b"SYWR"
+//! version: varint  (PROTOCOL_VERSION, currently 1)
+//! ```
+//!
+//! A peer that sees a wrong magic or a version it does not speak closes
+//! the connection and surfaces [`WireError::BadMagic`] /
+//! [`WireError::VersionMismatch`]; nothing else is ever sent on such a
+//! connection, so an old worker can never silently mis-decode a newer
+//! coordinator's frames (and vice versa). Any byte-format change to the
+//! frames below MUST bump [`PROTOCOL_VERSION`].
+//!
+//! ### Frames
+//!
+//! After the preamble the connection is a sequence of frames, each:
+//!
+//! ```text
+//! length: varint        — payload byte count (hard-capped, see MAX_FRAME_LEN)
+//! payload: length bytes — tag byte + message body
+//! ```
+//!
+//! Messages ([`Message`]):
+//!
+//! | tag | message | body |
+//! |-----|---------|------|
+//! | 0 | `Task` | task id, program id + FNV-128 program digest, input stream, injection points, predicate, full `SearchLimits` (watchdog/fork bounds, state/solution/time budgets, frontier policy, spill budget), task budget, finding cap, point-workers share |
+//! | 1 | `TaskDone` | the `TaskResult` statistics plus every `Finding` (injection point, terminal state via the state codec, witness trace) |
+//! | 2 | `Error` | human-readable reason (unknown program id, digest mismatch, …) |
+//! | 3 | `Shutdown` | empty — coordinator asks the worker process to exit |
+//!
+//! Every record inside a payload is self-delimiting (tag bytes for variant
+//! choices, varints for counts), so a frame decodes without out-of-band
+//! schema knowledge and truncation/corruption surfaces as a
+//! [`CodecError`], never a wrong value.
+//!
+//! ### Conversation
+//!
+//! The coordinator opens one connection per worker address and runs a
+//! simple request/response loop: send `Task`, await `TaskDone`, repeat
+//! until the shared task queue drains; a worker `Error` reply or an I/O
+//! failure re-queues the in-flight task for the surviving workers
+//! (bounded retries, so a task that kills every worker aborts the
+//! campaign instead of spinning). Workers are single-conversation:
+//! `serve` handles one connection at a time and goes back to `accept`
+//! when the coordinator hangs up, or exits on `Shutdown`.
+//!
+//! ### Determinism contract
+//!
+//! Task sharding ([`sympl_cluster::shard_specs`]), per-task execution
+//! ([`sympl_cluster::run_task_spec`]), and result pooling
+//! ([`sympl_cluster::pool_results`]) are the *same functions* the
+//! in-process pool uses; the coordinator ships the resolved point-workers
+//! share with every task so a remote machine's core count cannot change
+//! the searches. A distributed campaign whose point searches run
+//! sequentially (`ClusterConfig::point_workers_hint = Some(1)`) or run to
+//! exhaustion therefore reproduces the in-process campaign's
+//! [`sympl_cluster::CampaignReport`] verbatim — same per-task outcome
+//! counts, same findings in the same canonical order, same witness
+//! traces, same [`sympl_cluster::CampaignReport::outcome_digest`]. Only
+//! the wall-clock fields (`elapsed`, per-task `elapsed`) differ. The
+//! `distributed-campaign` CI job gates on exactly this contract with a
+//! loopback coordinator and two worker processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod frame;
+mod proto;
+mod transport;
+
+use std::fmt;
+use std::io;
+
+pub use frame::{
+    handshake, read_frame, read_preamble, write_frame, write_preamble, MAGIC, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};
+pub use proto::{decode_finding, decode_task_result, encode_finding, encode_task_result};
+pub use proto::{decode_message, encode_message, Message, TaskFrame};
+pub use transport::{
+    run_distributed, spawn_loopback_workers, CampaignJob, ProgramResolver, SpawnedWorkers,
+    WorkerServer, LISTENING_PREFIX,
+};
+
+pub use sympl_symbolic::CodecError;
+
+/// A transport- or protocol-level failure.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed.
+    Io(io::Error),
+    /// A frame payload did not decode.
+    Codec(CodecError),
+    /// The peer's preamble did not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The peer speaks a different protocol revision.
+    VersionMismatch {
+        /// Our [`PROTOCOL_VERSION`].
+        ours: u64,
+        /// The version the peer announced.
+        theirs: u64,
+    },
+    /// A frame announced a payload larger than [`MAX_FRAME_LEN`].
+    FrameTooLarge(usize),
+    /// The peer closed the connection at a frame boundary.
+    Disconnected,
+    /// The peer reported an application-level error (e.g. an unknown
+    /// program id or a program-digest mismatch).
+    Remote(String),
+    /// The peer sent a message that makes no sense in the current
+    /// conversation state (e.g. a `Task` frame sent to a coordinator).
+    UnexpectedMessage(&'static str),
+    /// Tasks remained after every worker connection failed or was
+    /// exhausted; the campaign could not complete.
+    NoWorkersLeft {
+        /// Tasks still unfinished when the last worker was lost.
+        pending: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::Codec(e) => write!(f, "malformed frame: {e}"),
+            WireError::BadMagic(m) => write!(f, "peer sent bad magic {m:02x?}"),
+            WireError::VersionMismatch { ours, theirs } => {
+                write!(f, "protocol version mismatch: ours {ours}, peer's {theirs}")
+            }
+            WireError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds the cap"),
+            WireError::Disconnected => f.write_str("peer disconnected"),
+            WireError::Remote(msg) => write!(f, "peer error: {msg}"),
+            WireError::UnexpectedMessage(what) => {
+                write!(f, "peer sent an out-of-place {what} frame")
+            }
+            WireError::NoWorkersLeft { pending } => {
+                write!(f, "no workers left with {pending} task(s) pending")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Disconnected
+        } else {
+            WireError::Io(e)
+        }
+    }
+}
+
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> Self {
+        WireError::Codec(e)
+    }
+}
+
+/// A deterministic FNV-128 digest of a program's listing, carried in every
+/// task frame. Workers refuse tasks whose digest does not match the
+/// program they resolved for the task's program id, so a version-skewed
+/// worker (different workload revision under the same name) fails loudly
+/// instead of silently computing a different campaign.
+#[must_use]
+pub fn program_digest(program: &sympl_asm::Program) -> u128 {
+    use std::hash::Hasher as _;
+    let mut h = sympl_symbolic::Fnv128Hasher::new();
+    h.write(program.listing().as_bytes());
+    h.finish128()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympl_asm::parse_program;
+
+    #[test]
+    fn program_digest_is_content_pure() {
+        let a = parse_program("read $1\nprint $1\nhalt").unwrap();
+        let b = parse_program("read $1\nprint $1\nhalt").unwrap();
+        let c = parse_program("read $2\nprint $2\nhalt").unwrap();
+        assert_eq!(program_digest(&a), program_digest(&b));
+        assert_ne!(program_digest(&a), program_digest(&c));
+    }
+
+    #[test]
+    fn wire_errors_render() {
+        let errors: Vec<WireError> = vec![
+            io::Error::new(io::ErrorKind::ConnectionRefused, "nope").into(),
+            io::Error::new(io::ErrorKind::UnexpectedEof, "eof").into(),
+            CodecError::UnexpectedEnd.into(),
+            WireError::BadMagic(*b"HTTP"),
+            WireError::VersionMismatch { ours: 1, theirs: 2 },
+            WireError::FrameTooLarge(usize::MAX),
+            WireError::Remote("unknown program".into()),
+            WireError::UnexpectedMessage("task"),
+            WireError::NoWorkersLeft { pending: 3 },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(matches!(
+            WireError::from(io::Error::new(io::ErrorKind::UnexpectedEof, "eof")),
+            WireError::Disconnected
+        ));
+    }
+}

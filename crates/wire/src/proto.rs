@@ -1,0 +1,406 @@
+//! The message vocabulary: campaign tasks and results as byte payloads.
+//!
+//! Each payload is a tag byte plus a body assembled from the layered
+//! codecs: leaf varints (`sympl_symbolic::codec`), machine states
+//! (`sympl_machine::codec`), report/limits records (`sympl_check::codec`),
+//! and injection points (`sympl_inject::codec`). See the crate docs for
+//! the frame table.
+
+use std::time::Duration;
+
+use sympl_check::codec::{
+    decode_i64_seq, decode_predicate, decode_search_limits, decode_solution, encode_i64_seq,
+    encode_predicate, encode_search_limits, encode_solution,
+};
+use sympl_check::{Predicate, SearchLimits};
+use sympl_cluster::{Finding, TaskResult, TaskSpec};
+use sympl_inject::codec::{decode_point, encode_point};
+use sympl_symbolic::codec::{
+    decode_bool, decode_duration, decode_opt_duration, decode_str, decode_u64, encode_bool,
+    encode_duration, encode_opt_duration, encode_str, encode_u64,
+};
+
+use crate::CodecError;
+
+const MSG_TASK: u8 = 0;
+const MSG_TASK_DONE: u8 = 1;
+const MSG_ERROR: u8 = 2;
+const MSG_SHUTDOWN: u8 = 3;
+
+/// One campaign task as shipped to a remote worker: everything
+/// [`sympl_cluster::run_task_spec`] needs, plus the program identity the
+/// worker resolves and verifies.
+#[derive(Debug, Clone)]
+pub struct TaskFrame {
+    /// The program the worker must resolve (a bundled workload name, e.g.
+    /// `"tcas"`).
+    pub program_id: String,
+    /// FNV-128 digest of the resolved program's listing
+    /// ([`crate::program_digest`]); the worker refuses the task on
+    /// mismatch, so version skew fails loudly.
+    pub program_digest: u128,
+    /// The campaign's input stream.
+    pub input: Vec<i64>,
+    /// The task shard: id plus the injection points to sweep.
+    pub spec: TaskSpec,
+    /// The outcome predicate (wire-encodable variants only).
+    pub predicate: Predicate,
+    /// Per-point search budgets, frontier policy, and spill budget.
+    pub search: SearchLimits,
+    /// Wall-clock budget for the whole task.
+    pub task_budget: Option<Duration>,
+    /// Finding cap for the task (the paper capped at 10).
+    pub max_findings: usize,
+    /// The resolved point-search worker share the coordinator computed —
+    /// shipped explicitly so the remote machine's core count cannot
+    /// change which engine runs (the determinism contract).
+    pub point_workers: usize,
+}
+
+/// A protocol message (one frame payload).
+#[derive(Debug)]
+pub enum Message {
+    /// Coordinator → worker: run this task.
+    Task(TaskFrame),
+    /// Worker → coordinator: the task's results.
+    TaskDone {
+        /// The per-task statistics, exactly as the in-process pool
+        /// produces them.
+        result: TaskResult,
+        /// Every finding, with its terminal state and witness trace.
+        findings: Vec<Finding>,
+    },
+    /// Worker → coordinator: the task was refused (unknown program,
+    /// digest mismatch, undecodable limits, …).
+    Error(String),
+    /// Coordinator → worker: drain and exit the serve loop.
+    Shutdown,
+}
+
+fn decode_usize(bytes: &[u8], pos: &mut usize) -> Result<usize, CodecError> {
+    usize::try_from(decode_u64(bytes, pos)?).map_err(|_| CodecError::Overflow)
+}
+
+fn encode_u128(v: u128, buf: &mut Vec<u8>) {
+    encode_u64(v as u64, buf);
+    encode_u64((v >> 64) as u64, buf);
+}
+
+fn decode_u128(bytes: &[u8], pos: &mut usize) -> Result<u128, CodecError> {
+    let lo = decode_u64(bytes, pos)?;
+    let hi = decode_u64(bytes, pos)?;
+    Ok(u128::from(lo) | (u128::from(hi) << 64))
+}
+
+/// Appends a [`TaskResult`] record.
+pub fn encode_task_result(result: &TaskResult, buf: &mut Vec<u8>) {
+    encode_u64(result.id as u64, buf);
+    encode_u64(result.points_examined as u64, buf);
+    encode_u64(result.points_total as u64, buf);
+    encode_u64(result.activated as u64, buf);
+    encode_u64(result.findings as u64, buf);
+    encode_bool(result.completed, buf);
+    encode_duration(result.elapsed, buf);
+    encode_u64(result.states_explored as u64, buf);
+    encode_u64(result.point_workers as u64, buf);
+    encode_u64(result.steals as u64, buf);
+    encode_u64(result.peak_frontier_len as u64, buf);
+    encode_u64(result.peak_frontier_bytes as u64, buf);
+    encode_u64(result.spilled_states as u64, buf);
+}
+
+/// Decodes a [`TaskResult`] at `*pos`, advancing it.
+///
+/// # Errors
+///
+/// Any [`CodecError`] on truncated or malformed bytes.
+pub fn decode_task_result(bytes: &[u8], pos: &mut usize) -> Result<TaskResult, CodecError> {
+    Ok(TaskResult {
+        id: decode_usize(bytes, pos)?,
+        points_examined: decode_usize(bytes, pos)?,
+        points_total: decode_usize(bytes, pos)?,
+        activated: decode_usize(bytes, pos)?,
+        findings: decode_usize(bytes, pos)?,
+        completed: decode_bool(bytes, pos)?,
+        elapsed: decode_duration(bytes, pos)?,
+        states_explored: decode_usize(bytes, pos)?,
+        point_workers: decode_usize(bytes, pos)?,
+        steals: decode_usize(bytes, pos)?,
+        peak_frontier_len: decode_usize(bytes, pos)?,
+        peak_frontier_bytes: decode_usize(bytes, pos)?,
+        spilled_states: decode_usize(bytes, pos)?,
+    })
+}
+
+/// Appends a [`Finding`] record.
+pub fn encode_finding(finding: &Finding, buf: &mut Vec<u8>) {
+    encode_u64(finding.task_id as u64, buf);
+    encode_point(&finding.point, buf);
+    encode_solution(&finding.solution, buf);
+}
+
+/// Decodes a [`Finding`] at `*pos`, advancing it.
+///
+/// # Errors
+///
+/// Any [`CodecError`] on truncated or malformed bytes.
+pub fn decode_finding(bytes: &[u8], pos: &mut usize) -> Result<Finding, CodecError> {
+    Ok(Finding {
+        task_id: decode_usize(bytes, pos)?,
+        point: decode_point(bytes, pos)?,
+        solution: decode_solution(bytes, pos)?,
+    })
+}
+
+/// Encodes a [`Message`] into a frame payload.
+///
+/// # Errors
+///
+/// [`CodecError::Unsupported`] when a task frame carries a
+/// closure-backed [`Predicate::Custom`].
+pub fn encode_message(message: &Message) -> Result<Vec<u8>, CodecError> {
+    let mut buf = Vec::new();
+    match message {
+        Message::Task(task) => {
+            buf.push(MSG_TASK);
+            encode_str(&task.program_id, &mut buf);
+            encode_u128(task.program_digest, &mut buf);
+            encode_i64_seq(&task.input, &mut buf);
+            encode_u64(task.spec.id as u64, &mut buf);
+            encode_u64(task.spec.points.len() as u64, &mut buf);
+            for point in &task.spec.points {
+                encode_point(point, &mut buf);
+            }
+            encode_predicate(&task.predicate, &mut buf)?;
+            encode_search_limits(&task.search, &mut buf);
+            encode_opt_duration(task.task_budget, &mut buf);
+            encode_u64(task.max_findings as u64, &mut buf);
+            encode_u64(task.point_workers as u64, &mut buf);
+        }
+        Message::TaskDone { result, findings } => {
+            buf.push(MSG_TASK_DONE);
+            encode_task_result(result, &mut buf);
+            encode_u64(findings.len() as u64, &mut buf);
+            for finding in findings {
+                encode_finding(finding, &mut buf);
+            }
+        }
+        Message::Error(msg) => {
+            buf.push(MSG_ERROR);
+            encode_str(msg, &mut buf);
+        }
+        Message::Shutdown => buf.push(MSG_SHUTDOWN),
+    }
+    Ok(buf)
+}
+
+/// Decodes a frame payload into a [`Message`], checking that the whole
+/// payload is consumed (trailing garbage is corruption, not padding).
+///
+/// # Errors
+///
+/// Any [`CodecError`] on truncated, malformed, or over-long payloads.
+pub fn decode_message(bytes: &[u8]) -> Result<Message, CodecError> {
+    let mut pos = 0usize;
+    let &tag = bytes.get(pos).ok_or(CodecError::UnexpectedEnd)?;
+    pos += 1;
+    let message = match tag {
+        MSG_TASK => {
+            let program_id = decode_str(bytes, &mut pos)?;
+            let program_digest = decode_u128(bytes, &mut pos)?;
+            let input = decode_i64_seq(bytes, &mut pos)?;
+            let id = decode_usize(bytes, &mut pos)?;
+            let n_points = decode_usize(bytes, &mut pos)?;
+            let mut points = Vec::with_capacity(n_points.min(1 << 16));
+            for _ in 0..n_points {
+                points.push(decode_point(bytes, &mut pos)?);
+            }
+            let predicate = decode_predicate(bytes, &mut pos)?;
+            let search = decode_search_limits(bytes, &mut pos)?;
+            let task_budget = decode_opt_duration(bytes, &mut pos)?;
+            let max_findings = decode_usize(bytes, &mut pos)?;
+            let point_workers = decode_usize(bytes, &mut pos)?;
+            Message::Task(TaskFrame {
+                program_id,
+                program_digest,
+                input,
+                spec: TaskSpec { id, points },
+                predicate,
+                search,
+                task_budget,
+                max_findings,
+                point_workers,
+            })
+        }
+        MSG_TASK_DONE => {
+            let result = decode_task_result(bytes, &mut pos)?;
+            let n = decode_usize(bytes, &mut pos)?;
+            let mut findings = Vec::with_capacity(n.min(1 << 12));
+            for _ in 0..n {
+                findings.push(decode_finding(bytes, &mut pos)?);
+            }
+            Message::TaskDone { result, findings }
+        }
+        MSG_ERROR => Message::Error(decode_str(bytes, &mut pos)?),
+        MSG_SHUTDOWN => Message::Shutdown,
+        tag => {
+            return Err(CodecError::BadTag {
+                what: "message",
+                tag,
+            })
+        }
+    };
+    if pos != bytes.len() {
+        return Err(CodecError::BadTag {
+            what: "trailing bytes after message",
+            tag: bytes[pos],
+        });
+    }
+    Ok(message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympl_asm::Reg;
+    use sympl_check::{FrontierPolicy, Solution};
+    use sympl_inject::{InjectTarget, InjectionPoint};
+    use sympl_machine::MachineState;
+
+    pub(crate) fn sample_task() -> TaskFrame {
+        TaskFrame {
+            program_id: "tcas".into(),
+            program_digest: 0xDEAD_BEEF_0123_4567_89AB_CDEF_0011_2233,
+            input: vec![5, -7, 0],
+            spec: TaskSpec {
+                id: 3,
+                points: vec![
+                    InjectionPoint::new(10, InjectTarget::Register(Reg::r(4))),
+                    InjectionPoint::new(11, InjectTarget::ProgramCounter).at_occurrence(2),
+                ],
+            },
+            predicate: Predicate::WrongOutput { expected: vec![1] },
+            search: SearchLimits {
+                policy: FrontierPolicy::Dfs,
+                max_frontier_bytes: Some(512 << 10),
+                ..SearchLimits::default()
+            },
+            task_budget: Some(Duration::from_secs(30)),
+            max_findings: 10,
+            point_workers: 1,
+        }
+    }
+
+    fn sample_done() -> Message {
+        let mut state = MachineState::new();
+        state.set_status(sympl_machine::Status::Halted);
+        Message::TaskDone {
+            result: TaskResult {
+                id: 3,
+                points_examined: 2,
+                points_total: 2,
+                activated: 2,
+                findings: 1,
+                completed: true,
+                elapsed: Duration::from_millis(123),
+                states_explored: 456,
+                point_workers: 1,
+                steals: 0,
+                peak_frontier_len: 7,
+                peak_frontier_bytes: 1024,
+                spilled_states: 0,
+            },
+            findings: vec![Finding {
+                task_id: 3,
+                point: InjectionPoint::new(10, InjectTarget::Register(Reg::r(4))),
+                solution: Solution {
+                    state,
+                    trace: vec![0, 1, 2],
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn task_frames_roundtrip() {
+        let task = sample_task();
+        let bytes = encode_message(&Message::Task(task.clone())).unwrap();
+        let Message::Task(decoded) = decode_message(&bytes).unwrap() else {
+            panic!("wrong message kind");
+        };
+        assert_eq!(decoded.program_id, task.program_id);
+        assert_eq!(decoded.program_digest, task.program_digest);
+        assert_eq!(decoded.input, task.input);
+        assert_eq!(decoded.spec, task.spec);
+        assert_eq!(
+            format!("{:?}", decoded.predicate),
+            format!("{:?}", task.predicate)
+        );
+        assert_eq!(decoded.search.policy, task.search.policy);
+        assert_eq!(
+            decoded.search.max_frontier_bytes,
+            task.search.max_frontier_bytes
+        );
+        assert_eq!(decoded.task_budget, task.task_budget);
+        assert_eq!(decoded.max_findings, task.max_findings);
+        assert_eq!(decoded.point_workers, task.point_workers);
+    }
+
+    #[test]
+    fn results_and_control_frames_roundtrip() {
+        let done = sample_done();
+        let bytes = encode_message(&done).unwrap();
+        let decoded = decode_message(&bytes).unwrap();
+        let (
+            Message::TaskDone {
+                result: a,
+                findings: fa,
+            },
+            Message::TaskDone {
+                result: b,
+                findings: fb,
+            },
+        ) = (&done, &decoded)
+        else {
+            panic!("wrong message kind");
+        };
+        assert_eq!(a, b);
+        assert_eq!(fa, fb);
+
+        let bytes = encode_message(&Message::Error("nope".into())).unwrap();
+        assert!(matches!(decode_message(&bytes).unwrap(), Message::Error(m) if m == "nope"));
+        let bytes = encode_message(&Message::Shutdown).unwrap();
+        assert!(matches!(decode_message(&bytes).unwrap(), Message::Shutdown));
+    }
+
+    #[test]
+    fn custom_predicates_cannot_cross_the_wire() {
+        let mut task = sample_task();
+        task.predicate = Predicate::custom(|_| true);
+        assert!(matches!(
+            encode_message(&Message::Task(task)),
+            Err(CodecError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_payloads_error_cleanly() {
+        assert!(decode_message(&[]).is_err());
+        assert!(matches!(
+            decode_message(&[77]),
+            Err(CodecError::BadTag {
+                what: "message",
+                ..
+            })
+        ));
+        // Trailing garbage is rejected.
+        let mut bytes = encode_message(&Message::Shutdown).unwrap();
+        bytes.push(0);
+        assert!(decode_message(&bytes).is_err());
+        // Truncation anywhere inside a task frame is detected.
+        let bytes = encode_message(&Message::Task(sample_task())).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(decode_message(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

@@ -1,0 +1,692 @@
+//! The TCP transport: a campaign coordinator and the worker agent.
+//!
+//! The coordinator ([`run_distributed`]) shards a campaign with the same
+//! [`sympl_cluster::shard_specs`] partition as the in-process pool, opens
+//! one connection per worker address, and drives a request/response loop
+//! per worker off a shared task queue — a worker that disconnects,
+//! times out, or refuses a task has its in-flight task re-queued for the
+//! survivors (bounded retries). Results pool through
+//! [`sympl_cluster::pool_results`], so the merged
+//! [`CampaignReport`] is ordered exactly as an in-process run's.
+//!
+//! The worker ([`WorkerServer`]) accepts one coordinator at a time and
+//! runs each task frame through [`sympl_cluster::run_task_spec`] — the
+//! same function the in-process pool's threads call — under the budgets
+//! and point-workers share the frame carries.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use sympl_asm::Program;
+use sympl_check::Predicate;
+use sympl_cluster::{
+    pool_results, run_task_spec, shard_specs, CampaignReport, ClusterConfig, Finding, TaskResult,
+    TaskSpec,
+};
+use sympl_detect::DetectorSet;
+use sympl_inject::Campaign;
+
+use crate::frame::{handshake, read_frame, write_frame};
+use crate::proto::{decode_message, encode_message, Message, TaskFrame};
+use crate::{program_digest, WireError};
+
+/// The line a worker prints to stdout once it is ready, followed by its
+/// bound socket address — the contract the loopback self-spawn helpers
+/// parse to learn an OS-assigned port.
+pub const LISTENING_PREFIX: &str = "sympl-wire listening on ";
+
+/// Resolves a task frame's program id to the program and detectors the
+/// worker should run. `symplfied serve` resolves the bundled
+/// `sympl_apps` workload names; tests plug in whatever they like.
+pub type ProgramResolver<'a> = dyn Fn(&str) -> Option<(Program, DetectorSet)> + Sync + 'a;
+
+/// A buffered duplex protocol connection.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    fn establish(mut stream: TcpStream) -> Result<Self, WireError> {
+        handshake(&mut stream)?;
+        Ok(Conn {
+            reader: BufReader::new(stream.try_clone().map_err(WireError::Io)?),
+            writer: stream,
+        })
+    }
+
+    fn send(&mut self, message: &Message) -> Result<(), WireError> {
+        let payload = encode_message(message)?;
+        write_frame(&mut self.writer, &payload)
+    }
+
+    fn recv(&mut self) -> Result<Message, WireError> {
+        let payload = read_frame(&mut self.reader)?;
+        Ok(decode_message(&payload)?)
+    }
+}
+
+/// The worker agent: a TCP listener that runs campaign tasks for a
+/// coordinator. Exposed on the CLI as `symplfied serve --listen <addr>`.
+pub struct WorkerServer {
+    listener: TcpListener,
+}
+
+impl WorkerServer {
+    /// Binds the worker to `addr` (use port 0 for an OS-assigned port).
+    ///
+    /// # Errors
+    ///
+    /// Any socket error.
+    pub fn bind(addr: &str) -> io::Result<Self> {
+        Ok(WorkerServer {
+            listener: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The bound socket address.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Prints the [`LISTENING_PREFIX`] readiness line spawn helpers wait
+    /// for.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error resolving the bound address.
+    pub fn announce(&self) -> io::Result<()> {
+        println!("{LISTENING_PREFIX}{}", self.local_addr()?);
+        // The line must be visible to a parent reading our piped stdout
+        // before we block in accept.
+        io::stdout().flush()
+    }
+
+    /// Serves coordinators one connection at a time: each task frame runs
+    /// through [`sympl_cluster::run_task_spec`] and is answered with a
+    /// `TaskDone` (or `Error`) frame. A coordinator hang-up returns the
+    /// worker to `accept`; a `Shutdown` frame returns from this function.
+    ///
+    /// # Errors
+    ///
+    /// Only listener-level failures; per-connection errors are reported
+    /// to stderr and the worker keeps serving.
+    pub fn serve(&self, resolve: &ProgramResolver<'_>) -> Result<(), WireError> {
+        loop {
+            let (stream, peer) = self.listener.accept().map_err(WireError::Io)?;
+            match Self::handle_connection(stream, resolve) {
+                Ok(true) => return Ok(()),
+                Ok(false) => {}
+                Err(e) => eprintln!("sympl-wire worker: connection from {peer} failed: {e}"),
+            }
+        }
+    }
+
+    /// Runs one coordinator conversation. Returns `true` when the
+    /// coordinator asked the worker to shut down.
+    fn handle_connection(
+        stream: TcpStream,
+        resolve: &ProgramResolver<'_>,
+    ) -> Result<bool, WireError> {
+        let mut conn = Conn::establish(stream)?;
+        loop {
+            let message = match conn.recv() {
+                Err(WireError::Disconnected) => return Ok(false),
+                other => other?,
+            };
+            match message {
+                Message::Task(task) => {
+                    let reply = run_task_frame(&task, resolve);
+                    conn.send(&reply)?;
+                }
+                Message::Shutdown => return Ok(true),
+                Message::TaskDone { .. } | Message::Error(_) => {
+                    return Err(WireError::UnexpectedMessage("result"))
+                }
+            }
+        }
+    }
+}
+
+/// Executes one task frame, producing the reply message.
+fn run_task_frame(task: &TaskFrame, resolve: &ProgramResolver<'_>) -> Message {
+    let Some((program, detectors)) = resolve(&task.program_id) else {
+        return Message::Error(format!("unknown program id `{}`", task.program_id));
+    };
+    let digest = program_digest(&program);
+    if digest != task.program_digest {
+        return Message::Error(format!(
+            "program digest mismatch for `{}`: this worker has a different revision",
+            task.program_id
+        ));
+    }
+    let config = ClusterConfig {
+        workers: 1,
+        tasks: 1,
+        search: task.search.clone(),
+        task_budget: task.task_budget,
+        max_findings_per_task: task.max_findings,
+        point_workers_hint: Some(task.point_workers.max(1)),
+    };
+    let (result, findings) = run_task_spec(
+        &program,
+        &detectors,
+        &task.input,
+        &task.spec,
+        &task.predicate,
+        &config,
+    );
+    Message::TaskDone { result, findings }
+}
+
+/// A campaign to distribute: the same inputs [`sympl_cluster::run_cluster`]
+/// takes, plus the program id remote workers resolve. The coordinator
+/// never runs a search itself — the program is only needed to compute the
+/// digest workers verify against.
+pub struct CampaignJob<'a> {
+    /// The campaign's program (digested into every task frame).
+    pub program: &'a Program,
+    /// The id workers resolve (a bundled workload name, e.g. `"tcas"`).
+    pub program_id: &'a str,
+    /// The campaign's input stream.
+    pub input: &'a [i64],
+    /// The injection campaign to shard.
+    pub campaign: &'a Campaign,
+    /// The outcome predicate (must be wire-encodable).
+    pub predicate: &'a Predicate,
+    /// Budgets and sharding — `workers` is ignored (the worker list
+    /// plays that role); everything else means what it means in-process.
+    pub config: &'a ClusterConfig,
+}
+
+/// Runs a campaign across remote workers, returning the same
+/// [`CampaignReport`] an in-process [`sympl_cluster::run_cluster`] with
+/// the same config produces (wall-clock fields aside; see the crate docs'
+/// determinism contract).
+///
+/// `shutdown_workers` sends each surviving worker a `Shutdown` frame once
+/// the queue drains — the loopback self-spawn mode uses it so worker
+/// processes exit cleanly.
+///
+/// # Errors
+///
+/// [`WireError::NoWorkersLeft`] when tasks remain but every worker
+/// connection failed, died, or exhausted its retries; the fatal error of
+/// a task that failed on too many workers; never a partial report.
+pub fn run_distributed(
+    job: &CampaignJob<'_>,
+    workers_at: &[String],
+    shutdown_workers: bool,
+) -> Result<CampaignReport, WireError> {
+    let start = Instant::now();
+    let digest = program_digest(job.program);
+    let point_workers = job.config.point_share();
+    // A read deadline so a wedged worker cannot hang the campaign: twice
+    // the task budget plus slack. Unbudgeted tasks may legitimately run
+    // arbitrarily long, so they get no deadline.
+    let read_timeout = job
+        .config
+        .task_budget
+        .map(|b| b * 2 + Duration::from_secs(30));
+
+    let queue: Mutex<VecDeque<(TaskSpec, usize)>> = Mutex::new(
+        shard_specs(job.campaign, job.config.tasks)
+            .into_iter()
+            .map(|spec| (spec, 0))
+            .collect(),
+    );
+    let results: Mutex<Vec<(TaskResult, Vec<Finding>)>> = Mutex::new(Vec::new());
+    let fatal: Mutex<Option<WireError>> = Mutex::new(None);
+    let abort = AtomicBool::new(false);
+    // Tasks popped but not yet resolved (completed or re-queued). An idle
+    // worker must NOT exit while another worker's task is in flight: that
+    // task may fail and be re-queued, and the idle worker is then the one
+    // to pick it up. Incremented under the queue lock at pop time, and on
+    // the failure path decremented only *after* the re-queue push, so an
+    // observer holding the queue lock can never see "queue empty and
+    // nothing in flight" while a task is still going to come back.
+    let in_flight = AtomicUsize::new(0);
+    // A task that failed on this many workers is declared poisonous and
+    // aborts the campaign instead of cycling forever.
+    let max_attempts = workers_at.len().max(1);
+
+    std::thread::scope(|scope| {
+        let (queue, results, fatal, abort) = (&queue, &results, &fatal, &abort);
+        let in_flight = &in_flight;
+        for addr in workers_at {
+            scope.spawn(move || {
+                let mut conn = match TcpStream::connect(addr.as_str())
+                    .map_err(WireError::from)
+                    .and_then(|stream| {
+                        stream
+                            .set_read_timeout(read_timeout)
+                            .map_err(WireError::Io)?;
+                        Conn::establish(stream)
+                    }) {
+                    Ok(conn) => conn,
+                    Err(e) => {
+                        eprintln!("sympl-wire coordinator: cannot reach worker {addr}: {e}");
+                        return;
+                    }
+                };
+                loop {
+                    if abort.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let popped = {
+                        let mut q = queue.lock().expect("queue lock");
+                        let p = q.pop_front();
+                        if p.is_some() {
+                            in_flight.fetch_add(1, Ordering::SeqCst);
+                        }
+                        p
+                    };
+                    let Some((spec, attempts)) = popped else {
+                        if in_flight.load(Ordering::SeqCst) > 0 {
+                            // Another worker may yet fail and re-queue its
+                            // task; stay available.
+                            std::thread::sleep(Duration::from_millis(5));
+                            continue;
+                        }
+                        if shutdown_workers {
+                            let _ = conn.send(&Message::Shutdown);
+                        }
+                        return;
+                    };
+                    match dispatch_task(&mut conn, job, digest, point_workers, &spec) {
+                        Ok(outcome) => {
+                            results.lock().expect("results lock").push(outcome);
+                            in_flight.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        Err(e) => {
+                            if attempts + 1 >= max_attempts {
+                                *fatal.lock().expect("fatal lock") = Some(e);
+                                abort.store(true, Ordering::Relaxed);
+                            } else {
+                                eprintln!(
+                                    "sympl-wire coordinator: worker {addr} failed task {} \
+                                     (attempt {}): {e}; re-queueing",
+                                    spec.id,
+                                    attempts + 1
+                                );
+                                queue
+                                    .lock()
+                                    .expect("queue lock")
+                                    .push_front((spec, attempts + 1));
+                            }
+                            // Re-queue before the decrement (see in_flight
+                            // above), then abandon this connection; the
+                            // rest of the queue is the other workers'.
+                            in_flight.fetch_sub(1, Ordering::SeqCst);
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(err) = fatal.into_inner().expect("fatal lock") {
+        return Err(err);
+    }
+    let pending = queue.into_inner().expect("queue lock").len();
+    if pending > 0 {
+        return Err(WireError::NoWorkersLeft { pending });
+    }
+    Ok(pool_results(
+        results.into_inner().expect("results lock"),
+        start.elapsed(),
+    ))
+}
+
+/// Sends one task to a worker and awaits its result.
+fn dispatch_task(
+    conn: &mut Conn,
+    job: &CampaignJob<'_>,
+    digest: u128,
+    point_workers: usize,
+    spec: &TaskSpec,
+) -> Result<(TaskResult, Vec<Finding>), WireError> {
+    conn.send(&Message::Task(TaskFrame {
+        program_id: job.program_id.to_owned(),
+        program_digest: digest,
+        input: job.input.to_vec(),
+        spec: spec.clone(),
+        predicate: job.predicate.clone(),
+        search: job.config.search.clone(),
+        task_budget: job.config.task_budget,
+        max_findings: job.config.max_findings_per_task,
+        point_workers,
+    }))?;
+    match conn.recv()? {
+        Message::TaskDone { result, findings } => Ok((result, findings)),
+        Message::Error(msg) => Err(WireError::Remote(msg)),
+        Message::Task(_) | Message::Shutdown => Err(WireError::UnexpectedMessage("task")),
+    }
+}
+
+/// Worker processes spawned on loopback for tests, demos, and CI; killed
+/// on drop if still running.
+pub struct SpawnedWorkers {
+    /// The workers' bound addresses, ready for [`run_distributed`].
+    pub addrs: Vec<String>,
+    children: Vec<Child>,
+}
+
+impl SpawnedWorkers {
+    /// Waits for every worker process to exit (after a campaign run with
+    /// `shutdown_workers = true`), for up to ~10 seconds per worker.
+    ///
+    /// A worker whose coordinator connection was abandoned mid-campaign
+    /// (failure → re-queue) never receives a `Shutdown` frame and sits in
+    /// its accept loop; rather than hang forever, such a worker is killed
+    /// and reported as an error — the campaign's results are unaffected,
+    /// but a clean-shutdown assertion (the integration tests') should see
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Any wait error, a worker exiting unsuccessfully, or a worker that
+    /// had to be killed after the grace period.
+    pub fn join(mut self) -> io::Result<()> {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        // Pop children one at a time so an early error return leaves the
+        // rest inside `self` for `Drop` to kill — a lazy `drain` would
+        // leak them as orphan processes instead.
+        while let Some(mut child) = self.children.pop() {
+            let status = loop {
+                if let Some(status) = child.try_wait()? {
+                    break status;
+                }
+                if std::time::Instant::now() >= deadline {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(io::Error::other(
+                        "worker did not exit after shutdown; killed",
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            };
+            if !status.success() {
+                return Err(io::Error::other(format!("worker exited with {status}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for SpawnedWorkers {
+    fn drop(&mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Spawns `n` worker processes of `exe` on 127.0.0.1, waiting for each to
+/// print its [`LISTENING_PREFIX`] readiness line. `args` is the argument
+/// prefix that puts the executable into worker mode listening on
+/// `127.0.0.1:0` (e.g. `["serve", "--listen", "127.0.0.1:0"]` for the
+/// `symplfied` CLI, or a campaign binary's self-spawn flag).
+///
+/// # Errors
+///
+/// Any spawn error, or a worker exiting / closing stdout before
+/// announcing readiness.
+pub fn spawn_loopback_workers(exe: &Path, args: &[String], n: usize) -> io::Result<SpawnedWorkers> {
+    let mut workers = SpawnedWorkers {
+        addrs: Vec::with_capacity(n),
+        children: Vec::with_capacity(n),
+    };
+    for _ in 0..n {
+        let mut child = Command::new(exe)
+            .args(args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        let stdout = child
+            .stdout
+            .take()
+            .ok_or_else(|| io::Error::other("worker stdout not captured"))?;
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = loop {
+            let Some(line) = lines.next() else {
+                let _ = child.kill();
+                return Err(io::Error::other(
+                    "worker exited before announcing its address",
+                ));
+            };
+            let line = line?;
+            if let Some(addr) = line.strip_prefix(LISTENING_PREFIX) {
+                break addr.trim().to_owned();
+            }
+        };
+        workers.addrs.push(addr);
+        workers.children.push(child);
+    }
+    Ok(workers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympl_asm::parse_program;
+    use sympl_check::SearchLimits;
+    use sympl_cluster::run_cluster;
+    use sympl_inject::{Campaign, ErrorClass};
+    use sympl_machine::ExecLimits;
+
+    fn factorial() -> Program {
+        parse_program(
+            "ori $2 $0 #1\nread $1\nmov $3, $1\nori $4 $0 #1\n\
+             loop: setgt $5 $3 $4\nbeq $5 0 exit\nmult $2 $2 $3\nsubi $3 $3 #1\nbeq $0 #0 loop\n\
+             exit: prints \"Factorial = \"\nprint $2\nhalt",
+        )
+        .unwrap()
+    }
+
+    fn resolver(id: &str) -> Option<(Program, DetectorSet)> {
+        (id == "factorial").then(|| (factorial(), DetectorSet::new()))
+    }
+
+    fn deterministic_config(tasks: usize) -> ClusterConfig {
+        ClusterConfig {
+            workers: 2,
+            tasks,
+            search: SearchLimits {
+                exec: ExecLimits::with_max_steps(300),
+                ..SearchLimits::default()
+            },
+            task_budget: None,
+            max_findings_per_task: 10,
+            point_workers_hint: Some(1),
+        }
+    }
+
+    /// Starts an in-process worker serving the factorial resolver on a
+    /// loopback port; returns its address and join handle.
+    fn start_worker() -> (String, std::thread::JoinHandle<Result<(), WireError>>) {
+        let server = WorkerServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || server.serve(&resolver));
+        (addr, handle)
+    }
+
+    #[test]
+    fn distributed_campaign_reproduces_in_process_report() {
+        let program = factorial();
+        let campaign = Campaign::new(&program, ErrorClass::RegisterFile);
+        let predicate = Predicate::OutputContainsErr;
+        let config = deterministic_config(5);
+
+        let local = run_cluster(
+            &program,
+            &DetectorSet::new(),
+            &[4],
+            &campaign,
+            &predicate,
+            &config,
+        );
+
+        let (addr_a, join_a) = start_worker();
+        let (addr_b, join_b) = start_worker();
+        let job = CampaignJob {
+            program: &program,
+            program_id: "factorial",
+            input: &[4],
+            campaign: &campaign,
+            predicate: &predicate,
+            config: &config,
+        };
+        let distributed = run_distributed(&job, &[addr_a, addr_b], true).unwrap();
+        join_a.join().unwrap().unwrap();
+        join_b.join().unwrap().unwrap();
+
+        assert_eq!(distributed.findings, local.findings, "findings verbatim");
+        assert_eq!(distributed.tasks.len(), local.tasks.len());
+        for (d, l) in distributed.tasks.iter().zip(&local.tasks) {
+            assert_eq!(
+                (d.id, d.points_examined, d.points_total),
+                (l.id, l.points_examined, l.points_total)
+            );
+            assert_eq!(
+                (d.activated, d.findings, d.completed),
+                (l.activated, l.findings, l.completed)
+            );
+            assert_eq!(d.states_explored, l.states_explored);
+        }
+        assert_eq!(distributed.outcome_digest(), local.outcome_digest());
+    }
+
+    #[test]
+    fn dropped_worker_has_its_task_requeued() {
+        let program = factorial();
+        let campaign = Campaign::new(&program, ErrorClass::RegisterFile);
+        let predicate = Predicate::OutputContainsErr;
+        let config = deterministic_config(4);
+
+        // A flaky "worker" that handshakes, accepts one task, then drops
+        // the connection without answering.
+        let flaky_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let flaky_addr = flaky_listener.local_addr().unwrap().to_string();
+        let flaky = std::thread::spawn(move || {
+            let (mut stream, _) = flaky_listener.accept().unwrap();
+            handshake(&mut stream).unwrap();
+            let _ = read_frame(&mut stream).unwrap();
+            // Drop the stream with the task unanswered.
+        });
+
+        let (real_addr, real_join) = start_worker();
+        let job = CampaignJob {
+            program: &program,
+            program_id: "factorial",
+            input: &[4],
+            campaign: &campaign,
+            predicate: &predicate,
+            config: &config,
+        };
+        let distributed = run_distributed(&job, &[flaky_addr, real_addr], true).unwrap();
+        flaky.join().unwrap();
+        real_join.join().unwrap().unwrap();
+
+        let local = run_cluster(
+            &program,
+            &DetectorSet::new(),
+            &[4],
+            &campaign,
+            &predicate,
+            &config,
+        );
+        assert_eq!(
+            distributed.outcome_digest(),
+            local.outcome_digest(),
+            "the dropped task must be re-run on the surviving worker"
+        );
+        assert_eq!(distributed.tasks.len(), 4);
+    }
+
+    #[test]
+    fn unknown_program_and_digest_mismatch_are_remote_errors() {
+        let program = factorial();
+        let campaign = Campaign::new(&program, ErrorClass::RegisterFile);
+        let predicate = Predicate::OutputContainsErr;
+        let config = deterministic_config(2);
+
+        // Unknown id: the single worker refuses every attempt, so the
+        // campaign aborts with the remote error.
+        let (addr, join) = start_worker();
+        let job = CampaignJob {
+            program: &program,
+            program_id: "no-such-workload",
+            input: &[4],
+            campaign: &campaign,
+            predicate: &predicate,
+            config: &config,
+        };
+        let err = run_distributed(&job, std::slice::from_ref(&addr), false).unwrap_err();
+        assert!(
+            matches!(err, WireError::Remote(ref m) if m.contains("unknown program")),
+            "{err}"
+        );
+
+        // Digest mismatch: same id, different program body.
+        let other = parse_program("read $1\nprint $1\nhalt").unwrap();
+        let other_campaign = Campaign::new(&other, ErrorClass::RegisterFile);
+        let job = CampaignJob {
+            program: &other,
+            program_id: "factorial",
+            input: &[4],
+            campaign: &other_campaign,
+            predicate: &predicate,
+            config: &config,
+        };
+        let err = run_distributed(&job, std::slice::from_ref(&addr), false).unwrap_err();
+        assert!(
+            matches!(err, WireError::Remote(ref m) if m.contains("digest mismatch")),
+            "{err}"
+        );
+
+        // Shut the worker down via a bare connection.
+        let stream = TcpStream::connect(addr.as_str()).unwrap();
+        let mut conn = Conn::establish(stream).unwrap();
+        conn.send(&Message::Shutdown).unwrap();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn no_reachable_workers_is_an_error() {
+        let program = factorial();
+        let campaign = Campaign::new(&program, ErrorClass::RegisterFile);
+        let predicate = Predicate::OutputContainsErr;
+        let config = deterministic_config(3);
+        // A bound-then-dropped listener leaves a refused port behind.
+        let dead_addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let job = CampaignJob {
+            program: &program,
+            program_id: "factorial",
+            input: &[4],
+            campaign: &campaign,
+            predicate: &predicate,
+            config: &config,
+        };
+        let err = run_distributed(&job, &[dead_addr], false).unwrap_err();
+        assert!(
+            matches!(err, WireError::NoWorkersLeft { pending: 3 }),
+            "{err}"
+        );
+    }
+}

@@ -25,6 +25,14 @@ bench:
 bench-json:
     cargo run --release -p sympl-bench --bin bench_json
 
+# Loopback distributed-campaign demo: a coordinator plus N self-spawned
+# worker processes on 127.0.0.1 run the quick tcas campaign over the
+# sympl_wire TCP protocol, then gate on the distributed report reproducing
+# the in-process cluster's outcome digest verbatim. The CI
+# distributed-campaign job runs exactly this recipe.
+cluster-demo workers="2":
+    cargo run --release -p sympl-bench --bin tcas_campaign -- --quick --tasks 16 --spawn-workers {{workers}} --verify-local
+
 # Regenerate the paper's tables and figures from the assembled workloads.
 repro-tables:
     cargo run --release -p sympl-bench --bin table1

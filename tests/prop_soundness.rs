@@ -454,6 +454,180 @@ mod codec_roundtrip {
 }
 
 // ---------------------------------------------------------------------
+// Wire-protocol round-trips: the frames a distributed campaign ships —
+// search reports, task results, whole task frames — must decode back to
+// full-Eq equality, over the same CoW-layered state zoo (state_ops) the
+// state-codec tests use.
+// ---------------------------------------------------------------------
+
+mod wire_roundtrip {
+    use super::state_ops::{op_strategy, run_ops};
+    use super::*;
+    use std::time::Duration;
+    use symplfied::check::codec::{decode_search_report, encode_search_report};
+    use symplfied::check::{OutcomeCounts, SearchReport, Solution};
+    use symplfied::cluster::{Finding, TaskResult, TaskSpec};
+    use symplfied::wire::{
+        decode_message, decode_task_result, encode_message, encode_task_result, Message, TaskFrame,
+    };
+
+    /// Builds a search report whose solutions are the op-generated states
+    /// and whose statistics come from the sampled words.
+    fn report_from(states: Vec<MachineState>, words: &[u64]) -> SearchReport {
+        let w = |i: usize| words[i % words.len()] as usize;
+        let solutions: Vec<Solution> = states
+            .into_iter()
+            .enumerate()
+            .map(|(i, state)| Solution {
+                state,
+                trace: (0..(i % 7)).collect(),
+            })
+            .collect();
+        let mut report = SearchReport {
+            solutions,
+            states_explored: w(0),
+            terminals: OutcomeCounts {
+                halted: w(1),
+                crashed: w(2),
+                hung: w(3),
+                detected: w(4),
+            },
+            duplicate_hits: w(5),
+            exhausted: w(6) % 2 == 0,
+            hit_state_cap: w(7) % 2 == 0,
+            hit_solution_cap: w(8) % 2 == 0,
+            hit_time_cap: w(9) % 2 == 0,
+            elapsed: Duration::from_micros(words[10 % words.len()]),
+            states_per_second: 0.0,
+            workers: w(11),
+            steals: w(12),
+            peak_frontier_len: w(0).wrapping_add(1),
+            peak_frontier_bytes: w(1).wrapping_add(2),
+            spilled_states: w(2) % 1000,
+        };
+        report.states_per_second = SearchReport::throughput(report.states_explored, report.elapsed);
+        report
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn search_reports_roundtrip_with_full_eq(
+            ops in prop::collection::vec(op_strategy(), 1..60),
+            words in prop::collection::vec(0u64..5_000_000, 13..14),
+        ) {
+            let report = report_from(run_ops(&[3, -8], &ops), &words);
+            let mut buf = Vec::new();
+            encode_search_report(&report, &mut buf);
+            let mut pos = 0;
+            let decoded = decode_search_report(&buf, &mut pos)
+                .expect("well-formed report encodings must decode");
+            prop_assert_eq!(pos, buf.len(), "whole record consumed");
+            prop_assert_eq!(&decoded, &report, "full Eq after round-trip");
+        }
+
+        #[test]
+        fn task_results_and_result_frames_roundtrip(
+            ops in prop::collection::vec(op_strategy(), 1..40),
+            words in prop::collection::vec(0u64..5_000_000, 13..14),
+        ) {
+            let w = |i: usize| words[i % words.len()] as usize;
+            let result = TaskResult {
+                id: w(0),
+                points_examined: w(1),
+                points_total: w(2),
+                activated: w(3),
+                findings: w(4),
+                completed: w(5) % 2 == 0,
+                elapsed: Duration::from_micros(words[6 % words.len()]),
+                states_explored: w(7),
+                point_workers: w(8),
+                steals: w(9),
+                peak_frontier_len: w(10),
+                peak_frontier_bytes: w(11),
+                spilled_states: w(12),
+            };
+            // Bare record round-trip.
+            let mut buf = Vec::new();
+            encode_task_result(&result, &mut buf);
+            let mut pos = 0;
+            prop_assert_eq!(&decode_task_result(&buf, &mut pos).unwrap(), &result);
+            prop_assert_eq!(pos, buf.len());
+
+            // Full TaskDone frame with op-generated solution states.
+            let findings: Vec<Finding> = run_ops(&[2], &ops)
+                .into_iter()
+                .enumerate()
+                .map(|(i, state)| Finding {
+                    task_id: result.id,
+                    point: InjectionPoint::new(i, InjectTarget::Register(Reg::r(3))),
+                    solution: Solution { state, trace: vec![0, i] },
+                })
+                .collect();
+            let frame = encode_message(&Message::TaskDone {
+                result: result.clone(),
+                findings: findings.clone(),
+            })
+            .expect("result frames are always encodable");
+            let Message::TaskDone { result: dr, findings: df } =
+                decode_message(&frame).expect("result frames decode")
+            else {
+                panic!("wrong message kind");
+            };
+            prop_assert_eq!(&dr, &result);
+            prop_assert_eq!(&df, &findings);
+        }
+
+        #[test]
+        fn task_frames_roundtrip(
+            breakpoints in prop::collection::vec(0usize..200, 1..12),
+            words in prop::collection::vec(0u64..1_000_000, 6..7),
+        ) {
+            let spec = TaskSpec {
+                id: words[0] as usize,
+                points: breakpoints
+                    .iter()
+                    .map(|&b| InjectionPoint::new(b, InjectTarget::ProgramCounter))
+                    .collect(),
+            };
+            let task = TaskFrame {
+                program_id: "tcas".into(),
+                program_digest: u128::from(words[1]) << 64 | u128::from(words[2]),
+                input: vec![words[3] as i64, -(words[4] as i64)],
+                spec,
+                predicate: Predicate::WrongOutput { expected: vec![1, 2, 3] },
+                search: SearchLimits {
+                    max_states: words[5] as usize,
+                    max_time: Some(Duration::from_millis(words[0])),
+                    ..SearchLimits::default()
+                },
+                task_budget: Some(Duration::from_secs(words[1] % 1000)),
+                max_findings: words[2] as usize,
+                point_workers: 1 + (words[3] as usize % 8),
+            };
+            let frame = encode_message(&Message::Task(task.clone())).unwrap();
+            let Message::Task(decoded) = decode_message(&frame).unwrap() else {
+                panic!("wrong message kind");
+            };
+            prop_assert_eq!(&decoded.program_id, &task.program_id);
+            prop_assert_eq!(decoded.program_digest, task.program_digest);
+            prop_assert_eq!(&decoded.input, &task.input);
+            prop_assert_eq!(&decoded.spec, &task.spec);
+            prop_assert_eq!(
+                format!("{:?}", decoded.predicate),
+                format!("{:?}", task.predicate)
+            );
+            prop_assert_eq!(decoded.search.max_states, task.search.max_states);
+            prop_assert_eq!(decoded.search.max_time, task.search.max_time);
+            prop_assert_eq!(decoded.task_budget, task.task_budget);
+            prop_assert_eq!(decoded.max_findings, task.max_findings);
+            prop_assert_eq!(decoded.point_workers, task.point_workers);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Fingerprint-dedup equivalence: the Explorer's 16-byte visited set must
 // not change search outcomes versus retaining whole states.
 // ---------------------------------------------------------------------

@@ -1,0 +1,213 @@
+//! Golden wire-format vectors: checked-in byte images of every frame kind
+//! the distributed-campaign protocol ships, pinned against the current
+//! encoders *and* decoders.
+//!
+//! A change to any codec layer (leaf varints, state codec, report codec,
+//! point codec, message framing, preamble) that moves bytes will fail this
+//! suite — the signal that [`symplfied::wire::PROTOCOL_VERSION`] must be
+//! bumped *before* old workers are stranded mid-campaign. CI runs this in
+//! release mode on every push.
+//!
+//! To regenerate after an *intentional* format change (with the version
+//! bump):
+//!
+//! ```text
+//! WIRE_GOLDEN_REGEN=1 cargo test --test wire_golden
+//! ```
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use symplfied::check::{FrontierPolicy, SearchLimits, Solution};
+use symplfied::cluster::{Finding, TaskResult, TaskSpec};
+use symplfied::machine::{MachineState, OutItem, Status};
+use symplfied::prelude::*;
+use symplfied::symbolic::{Constraint, Location, Value};
+use symplfied::wire::{
+    decode_message, encode_message, read_frame, write_frame, write_preamble, Message, TaskFrame,
+};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/wire_golden")
+}
+
+/// Compares `bytes` against the named golden file — or rewrites it under
+/// `WIRE_GOLDEN_REGEN=1`.
+fn check_golden(name: &str, bytes: &[u8]) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("WIRE_GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/wire_golden");
+        std::fs::write(&path, bytes).expect("write golden vector");
+        return;
+    }
+    let golden = std::fs::read(&path)
+        .unwrap_or_else(|e| panic!("missing golden vector {}: {e}", path.display()));
+    assert_eq!(
+        golden, bytes,
+        "{name}: byte format changed — if intentional, bump PROTOCOL_VERSION and \
+         regenerate with WIRE_GOLDEN_REGEN=1"
+    );
+}
+
+/// A fully deterministic machine state exercising every encoded component.
+fn fixture_state() -> MachineState {
+    let mut s = MachineState::with_input(vec![25, 99, -4]);
+    let _ = s.read_input();
+    s.set_pc(42);
+    for _ in 0..9 {
+        s.bump_steps();
+    }
+    s.set_reg(Reg::r(1), Value::Int(-7));
+    s.set_reg(Reg::r(13), Value::Err);
+    s.load_memory([(0, 640), (8, -1), (2048, 3)]);
+    s.set_mem(16, Value::Err);
+    let _ = s
+        .constraints_mut()
+        .constrain(Location::reg(13), Constraint::Gt(2));
+    let _ = s
+        .constraints_mut()
+        .constrain(Location::Mem(16), Constraint::Ne(0));
+    s.push_output(OutItem::Str("Advisory = ".into()));
+    s.push_output(OutItem::Val(Value::Int(2)));
+    s.set_status(Status::Halted);
+    s
+}
+
+fn fixture_task() -> TaskFrame {
+    TaskFrame {
+        program_id: "tcas".into(),
+        program_digest: 0x0123_4567_89AB_CDEF_FEDC_BA98_7654_3210,
+        input: vec![601, 579, 4, 639, 0, 2],
+        spec: TaskSpec {
+            id: 7,
+            points: vec![
+                InjectionPoint::new(12, InjectTarget::Register(Reg::r(4))),
+                InjectionPoint::new(57, InjectTarget::LoadedWord).at_occurrence(3),
+                InjectionPoint::new(101, InjectTarget::ProgramCounter),
+            ],
+        },
+        predicate: Predicate::WrongOutput { expected: vec![1] },
+        search: SearchLimits {
+            exec: symplfied::machine::ExecLimits::with_max_steps(5_000),
+            max_states: 300_000,
+            max_solutions: 10,
+            max_time: Some(Duration::from_secs(60)),
+            policy: FrontierPolicy::Bfs,
+            max_frontier_bytes: Some(512 << 10),
+        },
+        task_budget: Some(Duration::from_secs(120)),
+        max_findings: 10,
+        point_workers: 1,
+    }
+}
+
+fn fixture_done() -> Message {
+    Message::TaskDone {
+        result: TaskResult {
+            id: 7,
+            points_examined: 3,
+            points_total: 3,
+            activated: 3,
+            findings: 1,
+            completed: true,
+            elapsed: Duration::from_millis(875),
+            states_explored: 51_234,
+            point_workers: 1,
+            steals: 0,
+            peak_frontier_len: 211,
+            peak_frontier_bytes: 346_112,
+            spilled_states: 0,
+        },
+        findings: vec![Finding {
+            task_id: 7,
+            point: InjectionPoint::new(12, InjectTarget::Register(Reg::r(4))),
+            solution: Solution {
+                state: fixture_state(),
+                trace: vec![0, 1, 2, 12, 13, 57, 101, 102],
+            },
+        }],
+    }
+}
+
+fn framed(message: &Message) -> Vec<u8> {
+    let payload = encode_message(message).expect("fixtures are wire-encodable");
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &payload).expect("in-memory frame write");
+    buf
+}
+
+#[test]
+fn preamble_bytes_are_pinned() {
+    let mut buf = Vec::new();
+    write_preamble(&mut buf).unwrap();
+    check_golden("preamble.bin", &buf);
+    // And it must open with the magic in the clear.
+    assert_eq!(&buf[..4], b"SYWR");
+}
+
+#[test]
+fn task_frame_bytes_are_pinned_and_decode() {
+    let bytes = framed(&Message::Task(fixture_task()));
+    check_golden("task_frame.bin", &bytes);
+
+    // Decode the *golden file* (not our fresh encoding), proving old
+    // bytes still decode to the expected campaign task.
+    let golden = std::fs::read(golden_dir().join("task_frame.bin")).unwrap();
+    let payload = read_frame(&mut golden.as_slice()).unwrap();
+    let Message::Task(task) = decode_message(&payload).unwrap() else {
+        panic!("golden task frame decoded to the wrong message kind");
+    };
+    let expected = fixture_task();
+    assert_eq!(task.program_id, expected.program_id);
+    assert_eq!(task.program_digest, expected.program_digest);
+    assert_eq!(task.input, expected.input);
+    assert_eq!(task.spec, expected.spec);
+    assert_eq!(task.search.max_states, expected.search.max_states);
+    assert_eq!(
+        task.search.max_frontier_bytes,
+        expected.search.max_frontier_bytes
+    );
+    assert_eq!(task.task_budget, expected.task_budget);
+    assert_eq!(task.point_workers, expected.point_workers);
+}
+
+#[test]
+fn task_done_frame_bytes_are_pinned_and_decode() {
+    let bytes = framed(&fixture_done());
+    check_golden("task_done_frame.bin", &bytes);
+
+    let golden = std::fs::read(golden_dir().join("task_done_frame.bin")).unwrap();
+    let payload = read_frame(&mut golden.as_slice()).unwrap();
+    let Message::TaskDone { result, findings } = decode_message(&payload).unwrap() else {
+        panic!("golden result frame decoded to the wrong message kind");
+    };
+    let Message::TaskDone {
+        result: expected_result,
+        findings: expected_findings,
+    } = fixture_done()
+    else {
+        unreachable!()
+    };
+    assert_eq!(result, expected_result);
+    assert_eq!(findings, expected_findings);
+    // The decoded solution state must carry live fingerprint caches.
+    let state = &findings[0].solution.state;
+    assert_eq!(state.fingerprint(), state.fingerprint_from_scratch());
+    assert_eq!(state, &fixture_state());
+}
+
+#[test]
+fn control_frame_bytes_are_pinned() {
+    check_golden(
+        "error_frame.bin",
+        &framed(&Message::Error("program digest mismatch for `tcas`".into())),
+    );
+    check_golden("shutdown_frame.bin", &framed(&Message::Shutdown));
+
+    let golden = std::fs::read(golden_dir().join("shutdown_frame.bin")).unwrap();
+    let payload = read_frame(&mut golden.as_slice()).unwrap();
+    assert!(matches!(
+        decode_message(&payload).unwrap(),
+        Message::Shutdown
+    ));
+}
