@@ -52,8 +52,10 @@ mod program;
 mod reg;
 mod transform;
 
+pub mod decoded;
 pub mod mips;
 
+pub use decoded::{DecodeStats, DecodedOp, DecodedProgram, SuperOp};
 pub use error::AsmError;
 pub use instr::{BinOp, Cmp, Instr, Operand};
 pub use parser::parse_program;

@@ -2,9 +2,9 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use crate::{AsmError, Cmp, Instr, Operand, Reg};
+use crate::{AsmError, Cmp, DecodedProgram, Instr, Operand, Reg};
 
 /// An assembled program: an immutable instruction sequence plus its label
 /// table.
@@ -20,6 +20,10 @@ pub struct Program {
     labels: Arc<BTreeMap<String, usize>>,
     /// Reverse map from address to the labels defined there (for display).
     label_at: Arc<BTreeMap<usize, Vec<String>>>,
+    /// Lazily-computed decoded IR ([`crate::decoded`]), shared across
+    /// clones. Deliberately excluded from `PartialEq`/`Hash`: it is a pure
+    /// function of `instrs`.
+    decoded: OnceLock<Arc<DecodedProgram>>,
 }
 
 impl Program {
@@ -60,7 +64,19 @@ impl Program {
             instrs: instrs.into(),
             labels: Arc::new(labels),
             label_at: Arc::new(label_at),
+            decoded: OnceLock::new(),
         })
+    }
+
+    /// The decoded executable form, lowered on first use and cached.
+    ///
+    /// Decoding is a pure, semantics-preserving function of the instruction
+    /// sequence (see [`crate::decoded`]), so the cache is sound; clones of
+    /// this program share the same decode.
+    #[must_use]
+    pub fn decoded(&self) -> &DecodedProgram {
+        self.decoded
+            .get_or_init(|| Arc::new(DecodedProgram::decode(self)))
     }
 
     /// Number of instructions.

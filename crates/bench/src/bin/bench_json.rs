@@ -20,11 +20,20 @@
 //! digests/sec. The ratio is the visited-set digest win the rolling scheme
 //! buys.
 //!
-//! Usage: `bench_json [--quick] [--workers N] [--out PATH]`
+//! `decode_<workload>` rows time the one-off lowering of each bundled
+//! program into its dense [`sympl_asm::DecodedProgram`] IR (the cost the
+//! engines pay once per search): `states` holds the ops emitted, `seconds`
+//! the mean decode time, `states_per_second` ops lowered per second, and
+//! `peak_frontier_len` the superinstruction pairs fused.
+//!
+//! Usage: `bench_json [--quick] [--workers N] [--out PATH] [--only P,..]`
 //!
 //! `--quick` shrinks the budgets for CI smoke runs; `--workers N` pins the
 //! parallel engine's worker count (default: one per hardware thread, min 2
-//! so the parallel path is exercised even on single-core runners).
+//! so the parallel path is exercised even on single-core runners);
+//! `--only` keeps only row groups whose names start with one of the given
+//! comma-separated prefixes (e.g. `--only tcas,decode_` — CI smoke uses it
+//! to skip the micro-benches).
 
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -171,6 +180,18 @@ fn main() {
     let out_path = flag("--out")
         .cloned()
         .unwrap_or_else(|| "BENCH_explore.json".into());
+    // Row filter: `--only tcas,decode_` keeps only rows whose name starts
+    // with one of the prefixes. An absent/empty flag keeps everything.
+    let only: Vec<String> = flag("--only")
+        .map(|s| {
+            s.split(',')
+                .map(str::trim)
+                .filter(|p| !p.is_empty())
+                .map(String::from)
+                .collect()
+        })
+        .unwrap_or_default();
+    let wanted = |name: &str| only.is_empty() || only.iter().any(|p| name.starts_with(p.as_str()));
 
     // (workload, exec-step bound, state budget): fixed budgets so entries
     // are comparable across revisions.
@@ -214,8 +235,56 @@ fn main() {
         },
     ];
 
-    let mut entries: Vec<Entry> = fingerprint_micro_bench(quick);
+    let mut entries: Vec<Entry> = if wanted("fingerprint_") {
+        fingerprint_micro_bench(quick)
+    } else {
+        Vec::new()
+    };
+
+    // Decode-time rows: the one-off cost of lowering each bundled program
+    // into the dense IR every engine dispatches over. Schema mapping (the
+    // Entry shape is fixed across all rows): `states` = ops emitted,
+    // `seconds` = mean decode wall time, `states_per_second` = ops lowered
+    // per second, `peak_frontier_len` = superinstruction pairs fused.
+    let decode_iters: u32 = if quick { 200 } else { 2_000 };
+    for w in sympl_apps::all_workloads() {
+        let name = format!("decode_{}", w.name);
+        if !wanted(&name) {
+            continue;
+        }
+        // Call the lowering directly: `Program::decoded()` memoizes, which
+        // is exactly what this row must not measure.
+        let start = Instant::now();
+        for _ in 0..decode_iters {
+            black_box(sympl_asm::DecodedProgram::decode(black_box(&w.program)));
+        }
+        let seconds = start.elapsed().as_secs_f64() / f64::from(decode_iters);
+        let stats = w.program.decoded().stats();
+        println!(
+            "{name}: {} ops, {} superinstructions in {:.1}us ({:.0} ops/s)",
+            stats.ops,
+            stats.superinstructions,
+            seconds * 1e6,
+            stats.ops as f64 / seconds.max(1e-9)
+        );
+        entries.push(Entry {
+            workload: name,
+            states: stats.ops,
+            seconds,
+            states_per_second: stats.ops as f64 / seconds.max(1e-9),
+            workers: 1,
+            steals: 0,
+            peak_frontier_len: stats.superinstructions,
+            peak_frontier_bytes: 0,
+            spilled_states: 0,
+            exhausted: true,
+        });
+    }
+
     for (w, steps, max_states) in &configs {
+        if !wanted(w.name) {
+            continue;
+        }
         let exec = ExecLimits::with_max_steps(*steps);
         let limits = SearchLimits {
             exec: exec.clone(),
@@ -297,6 +366,9 @@ fn main() {
         },
     ];
     for (w, steps, max_states) in &spill_configs {
+        if !wanted(&format!("spill_frontier_{}", w.name)) {
+            continue;
+        }
         let exec = ExecLimits::with_max_steps(*steps);
         let limits = SearchLimits {
             exec: exec.clone(),

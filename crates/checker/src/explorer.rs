@@ -40,7 +40,7 @@ use std::time::Instant;
 
 use sympl_asm::Program;
 use sympl_detect::DetectorSet;
-use sympl_machine::{ExecLimits, FingerprintSet, MachineState};
+use sympl_machine::{ExecLimits, FingerprintSet, MachineState, SuccessorBuf};
 
 use crate::{
     FrontierPolicy, FrontierQueue, OutcomeCounts, Predicate, SearchLimits, SearchReport, Solution,
@@ -185,6 +185,11 @@ impl<'a> Explorer<'a> {
         // is cheap but not free, and tasks expand millions of states.
         const TIME_CHECK_MASK: usize = 0x3F;
 
+        // Decode once per search, then dispatch over the dense IR with one
+        // successor buffer reused for the whole sweep (no per-step Vec).
+        let decoded = self.program.decoded();
+        let mut successors = SuccessorBuf::new();
+
         // Whether the loop exited by sweeping the space (frontier drained
         // and no further round demanded), as opposed to a cap break.
         let mut swept = false;
@@ -217,7 +222,8 @@ impl<'a> Explorer<'a> {
                     continue;
                 }
 
-                for succ in state.step(self.program, self.detectors, &self.limits.exec) {
+                state.step_into(decoded, self.detectors, &self.limits.exec, &mut successors);
+                for succ in successors.drain() {
                     if visited.insert(succ.fingerprint()) {
                         arena.push((idx, succ.pc()));
                         frontier.push(succ, arena.len() - 1);

@@ -107,7 +107,7 @@ use std::time::Instant;
 
 use sympl_asm::Program;
 use sympl_detect::DetectorSet;
-use sympl_machine::{Fingerprint, FingerprintSet, MachineState};
+use sympl_machine::{Fingerprint, FingerprintSet, MachineState, SuccessorBuf};
 
 use crate::frontier::BoundedLifoQueue;
 use crate::{
@@ -557,6 +557,13 @@ fn worker_loop(shared: &Shared<'_>, id: usize) -> WorkerPool {
     let mut pool = WorkerPool::default();
     let mut expanded = 0usize;
     let mut idle_spins = 0u32;
+    // Per-worker scratch, allocated once for the worker's lifetime: the
+    // shared decode of the program, the successor sink the dispatch fills,
+    // and the batch buffer for the own-queue push. The fork hot path never
+    // touches the global allocator for these again.
+    let decoded = shared.program.decoded();
+    let mut successors = SuccessorBuf::new();
+    let mut fresh: Vec<(MachineState, Arc<TraceNode>)> = Vec::new();
 
     loop {
         if shared.stop.load(Ordering::Acquire) {
@@ -636,8 +643,13 @@ fn worker_loop(shared: &Shared<'_>, id: usize) -> WorkerPool {
         // unreachable to thieves until the lock drops, so the counter can
         // never dip to zero with work outstanding, and policy-dropped
         // pushes (depth cuts) are never counted.
-        let mut fresh: Vec<(MachineState, Arc<TraceNode>)> = Vec::new();
-        for succ in state.step(shared.program, shared.detectors, &shared.limits.exec) {
+        state.step_into(
+            decoded,
+            shared.detectors,
+            &shared.limits.exec,
+            &mut successors,
+        );
+        for succ in successors.drain() {
             if shared.visited.insert(succ.fingerprint()) {
                 let node = trace.child(succ.pc());
                 fresh.push((succ, node));
@@ -648,7 +660,7 @@ fn worker_loop(shared: &Shared<'_>, id: usize) -> WorkerPool {
         if !fresh.is_empty() {
             let mut queue = shared.queues[id].lock().expect("own queue poisoned");
             let before = queue.len();
-            for (succ, node) in fresh {
+            for (succ, node) in fresh.drain(..) {
                 queue.push(succ, node);
             }
             let grown = queue.len() - before;

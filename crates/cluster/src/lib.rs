@@ -447,6 +447,10 @@ pub fn run_task_spec(
 
     let share = config.point_share();
 
+    // Decode once per task: the per-point explorers constructed below all
+    // borrow the same cached IR rather than re-lowering the program.
+    let _ = program.decoded();
+
     for point in &spec.points {
         if let Some(budget) = config.task_budget {
             if start.elapsed() >= budget {

@@ -7,10 +7,19 @@
 //! encountered is an error — concrete execution is only defined on concrete
 //! states — which also gives the property tests a cross-check: on concrete
 //! states, [`step_concrete`] and [`MachineState::step`] must agree exactly.
+//!
+//! Dispatch runs over the pre-decoded IR ([`sympl_asm::DecodedProgram`],
+//! cached on the program). [`run_concrete`] additionally executes the
+//! decoder's fused superinstruction pairs: its intermediate states are
+//! unobservable, so collapsing two dispatches into one is safe as long as
+//! the watchdog is still consulted between the sub-ops (a timeout mid-pair
+//! must leave the state exactly where the unfused loop would). The
+//! breakpoint runner stays unfused — it must observe the pc before *every*
+//! instruction.
 
 use std::fmt;
 
-use sympl_asm::{Instr, Operand, Program};
+use sympl_asm::{DecodedOp, DecodedProgram, Operand, Program, SuperOp};
 use sympl_detect::{eval_expr, DetectError, DetectorSet};
 use sympl_symbolic::Value;
 
@@ -47,6 +56,13 @@ fn concrete(v: Value, pc: usize) -> Result<i64, ConcreteError> {
     v.as_int().ok_or(ConcreteError::SymbolicValue { pc })
 }
 
+fn operand_concrete(state: &MachineState, src: Operand, pc: usize) -> Result<i64, ConcreteError> {
+    match src {
+        Operand::Imm(v) => Ok(v),
+        Operand::Reg(r) => concrete(state.reg(r), pc),
+    }
+}
+
 /// Executes exactly one instruction in place.
 ///
 /// Terminal states are left untouched. Returns `Ok(())` on success.
@@ -54,13 +70,13 @@ fn concrete(v: Value, pc: usize) -> Result<i64, ConcreteError> {
 /// # Errors
 ///
 /// [`ConcreteError::SymbolicValue`] if an operand holds `err`.
-#[allow(clippy::too_many_lines)]
 pub fn step_concrete(
     state: &mut MachineState,
     program: &Program,
     detectors: &DetectorSet,
     limits: &ExecLimits,
 ) -> Result<(), ConcreteError> {
+    let decoded = program.decoded();
     if state.status().is_terminal() {
         return Ok(());
     }
@@ -69,105 +85,120 @@ pub fn step_concrete(
         return Ok(());
     }
     let pc = state.pc();
-    let Some(instr) = program.fetch(pc) else {
+    let Some(op) = decoded.op(pc) else {
         state.set_status(Status::Exception(Exception::IllegalInstruction));
         return Ok(());
     };
     state.bump_steps();
+    exec_op(state, pc, op, decoded, detectors)
+}
 
-    let operand = |state: &MachineState, src: Operand| -> Result<i64, ConcreteError> {
-        match src {
-            Operand::Imm(v) => Ok(v),
-            Operand::Reg(r) => concrete(state.reg(r), pc),
+/// Executes one decoded op. The caller has already checked the terminal
+/// status and the watchdog, and bumped the step counter — bump-before-read
+/// matters: a `SymbolicValue` error must leave the counter advanced, just
+/// as the pre-IR executor did.
+fn exec_op(
+    state: &mut MachineState,
+    pc: usize,
+    op: DecodedOp,
+    decoded: &DecodedProgram,
+    detectors: &DetectorSet,
+) -> Result<(), ConcreteError> {
+    match op {
+        DecodedOp::Nop => state.set_pc(pc + 1),
+        DecodedOp::Halt => state.set_status(Status::Halted),
+        DecodedOp::MovImm { rd, imm } => {
+            state.set_reg(rd, Value::Int(imm));
+            state.set_pc(pc + 1);
         }
-    };
-
-    match instr.clone() {
-        Instr::Nop => state.set_pc(pc + 1),
-        Instr::Halt => state.set_status(Status::Halted),
-        Instr::Mov { rd, src } => {
-            let v = operand(state, src)?;
+        DecodedOp::MovReg { rd, rs } => {
+            let v = concrete(state.reg(rs), pc)?;
             state.set_reg(rd, Value::Int(v));
             state.set_pc(pc + 1);
         }
-        Instr::Bin { op, rd, rs, src } => {
+        DecodedOp::BinImm { op, rd, rs, imm } => {
             let a = concrete(state.reg(rs), pc)?;
-            let b = operand(state, src)?;
-            match op.apply(a, b) {
-                Some(v) => {
-                    state.set_reg(rd, Value::Int(v));
-                    state.set_pc(pc + 1);
-                }
-                None => state.set_status(Status::Exception(Exception::DivByZero)),
-            }
+            exec_bin(state, pc, op, rd, a, imm);
         }
-        Instr::Set { cmp, rd, rs, src } => {
+        DecodedOp::BinReg { op, rd, rs, rt } => {
             let a = concrete(state.reg(rs), pc)?;
-            let b = operand(state, src)?;
+            let b = concrete(state.reg(rt), pc)?;
+            exec_bin(state, pc, op, rd, a, b);
+        }
+        DecodedOp::SetImm { cmp, rd, rs, imm } => {
+            let a = concrete(state.reg(rs), pc)?;
+            state.set_reg(rd, Value::Int(i64::from(cmp.eval(a, imm))));
+            state.set_pc(pc + 1);
+        }
+        DecodedOp::SetReg { cmp, rd, rs, rt } => {
+            let a = concrete(state.reg(rs), pc)?;
+            let b = concrete(state.reg(rt), pc)?;
             state.set_reg(rd, Value::Int(i64::from(cmp.eval(a, b))));
             state.set_pc(pc + 1);
         }
-        Instr::Branch {
+        DecodedOp::BranchImm {
             cmp,
             rs,
-            src,
+            imm,
             target,
         } => {
             let a = concrete(state.reg(rs), pc)?;
-            let b = operand(state, src)?;
-            state.set_pc(if cmp.eval(a, b) { target } else { pc + 1 });
+            state.set_pc(if cmp.eval(a, imm) {
+                target as usize
+            } else {
+                pc + 1
+            });
         }
-        Instr::Jmp { target } => state.set_pc(target),
-        Instr::Jal { target } => {
+        DecodedOp::BranchReg {
+            cmp,
+            rs,
+            rt,
+            target,
+        } => {
+            let a = concrete(state.reg(rs), pc)?;
+            let b = concrete(state.reg(rt), pc)?;
+            state.set_pc(if cmp.eval(a, b) {
+                target as usize
+            } else {
+                pc + 1
+            });
+        }
+        DecodedOp::Jmp { target } => state.set_pc(target as usize),
+        DecodedOp::Jal { target } => {
             state.set_reg(sympl_asm::LINK_REG, Value::Int(pc as i64 + 1));
-            state.set_pc(target);
+            state.set_pc(target as usize);
         }
-        Instr::Jr { rs } => {
+        DecodedOp::Jr { rs } => {
             let v = concrete(state.reg(rs), pc)?;
-            if v >= 0 && (v as usize) < program.len() {
+            if v >= 0 && (v as usize) < decoded.len() {
                 state.set_pc(v as usize);
             } else {
                 state.set_status(Status::Exception(Exception::IllegalInstruction));
             }
         }
-        Instr::Load { rt, rs, offset } => {
+        DecodedOp::Load { rt, rs, offset } => {
             let base = concrete(state.reg(rs), pc)?;
-            let addr = base.wrapping_add(offset);
-            match u64::try_from(addr).ok().and_then(|a| state.mem(a)) {
-                Some(v) => {
-                    state.set_reg(rt, v);
-                    state.set_pc(pc + 1);
-                }
-                None => state.set_status(Status::Exception(Exception::IllegalAddress)),
-            }
+            exec_load(state, pc, rt, base, offset);
         }
-        Instr::Store { rt, rs, offset } => {
+        DecodedOp::Store { rt, rs, offset } => {
             let base = concrete(state.reg(rs), pc)?;
-            let addr = base.wrapping_add(offset);
-            match u64::try_from(addr) {
-                Ok(a) => {
-                    let v = state.reg(rt);
-                    state.set_mem(a, v);
-                    state.set_pc(pc + 1);
-                }
-                Err(_) => state.set_status(Status::Exception(Exception::IllegalAddress)),
-            }
+            exec_store(state, pc, rt, base, offset);
         }
-        Instr::Read { rd } => {
+        DecodedOp::Read { rd } => {
             let v = state.read_input();
             state.set_reg(rd, Value::Int(v));
             state.set_pc(pc + 1);
         }
-        Instr::Print { rs } => {
+        DecodedOp::Print { rs } => {
             let v = state.reg(rs);
             state.push_output(OutItem::Val(v));
             state.set_pc(pc + 1);
         }
-        Instr::PrintS { text } => {
-            state.push_output(OutItem::Str(text));
+        DecodedOp::PrintS { text } => {
+            state.push_output(OutItem::Str(decoded.text(text).clone()));
             state.set_pc(pc + 1);
         }
-        Instr::Check { id } => {
+        DecodedOp::Check { id } => {
             let Some(det) = detectors.get(id) else {
                 state.set_status(Status::Exception(Exception::IllegalInstruction));
                 return Ok(());
@@ -198,8 +229,146 @@ pub fn step_concrete(
     Ok(())
 }
 
+fn exec_bin(
+    state: &mut MachineState,
+    pc: usize,
+    op: sympl_asm::BinOp,
+    rd: sympl_asm::Reg,
+    a: i64,
+    b: i64,
+) {
+    match op.apply(a, b) {
+        Some(v) => {
+            state.set_reg(rd, Value::Int(v));
+            state.set_pc(pc + 1);
+        }
+        None => state.set_status(Status::Exception(Exception::DivByZero)),
+    }
+}
+
+fn exec_load(state: &mut MachineState, pc: usize, rt: sympl_asm::Reg, base: i64, offset: i64) {
+    let addr = base.wrapping_add(offset);
+    match u64::try_from(addr).ok().and_then(|a| state.mem(a)) {
+        Some(v) => {
+            state.set_reg(rt, v);
+            state.set_pc(pc + 1);
+        }
+        None => state.set_status(Status::Exception(Exception::IllegalAddress)),
+    }
+}
+
+fn exec_store(state: &mut MachineState, pc: usize, rt: sympl_asm::Reg, base: i64, offset: i64) {
+    let addr = base.wrapping_add(offset);
+    match u64::try_from(addr) {
+        Ok(a) => {
+            let v = state.reg(rt);
+            state.set_mem(a, v);
+            state.set_pc(pc + 1);
+        }
+        Err(_) => state.set_status(Status::Exception(Exception::IllegalAddress)),
+    }
+}
+
+/// Executes one fused pair. Byte-equivalent to two trips around the
+/// unfused loop: each sub-op bumps the step counter before reading its
+/// operands, the pair aborts if sub-op 1 went terminal, and the watchdog
+/// is consulted between the sub-ops so a mid-pair timeout leaves the state
+/// exactly where the unfused loop would.
+fn exec_fused(
+    state: &mut MachineState,
+    pc: usize,
+    fused: SuperOp,
+    limits: &ExecLimits,
+) -> Result<(), ConcreteError> {
+    match fused {
+        SuperOp::CmpBranch {
+            cmp,
+            rd,
+            rs,
+            src,
+            bcmp,
+            bimm,
+            target,
+        } => {
+            state.bump_steps();
+            let a = concrete(state.reg(rs), pc)?;
+            let b = operand_concrete(state, src, pc)?;
+            state.set_reg(rd, Value::Int(i64::from(cmp.eval(a, b))));
+            state.set_pc(pc + 1);
+            if state.steps() >= limits.max_steps {
+                state.set_status(Status::TimedOut);
+                return Ok(());
+            }
+            state.bump_steps();
+            let flag = concrete(state.reg(rd), pc + 1)?;
+            state.set_pc(if bcmp.eval(flag, bimm) {
+                target as usize
+            } else {
+                pc + 2
+            });
+        }
+        SuperOp::LoadOp {
+            rt,
+            rs,
+            offset,
+            op,
+            rd,
+            rs2,
+            src2,
+        } => {
+            state.bump_steps();
+            let base = concrete(state.reg(rs), pc)?;
+            exec_load(state, pc, rt, base, offset);
+            if state.status().is_terminal() {
+                return Ok(());
+            }
+            if state.steps() >= limits.max_steps {
+                state.set_status(Status::TimedOut);
+                return Ok(());
+            }
+            state.bump_steps();
+            let a = concrete(state.reg(rs2), pc + 1)?;
+            let b = operand_concrete(state, src2, pc + 1)?;
+            exec_bin(state, pc + 1, op, rd, a, b);
+        }
+        SuperOp::OpStore {
+            op,
+            rd,
+            rs,
+            src,
+            rt,
+            bs,
+            offset,
+        } => {
+            state.bump_steps();
+            let a = concrete(state.reg(rs), pc)?;
+            let b = operand_concrete(state, src, pc)?;
+            exec_bin(state, pc, op, rd, a, b);
+            if state.status().is_terminal() {
+                return Ok(());
+            }
+            if state.steps() >= limits.max_steps {
+                state.set_status(Status::TimedOut);
+                return Ok(());
+            }
+            state.bump_steps();
+            // Both the base and the stored value are read *after* sub-op 1,
+            // so a pair fused on either `rt == rd` or `bs == rd` sees the
+            // freshly computed result, exactly as the unfused loop would.
+            let base = concrete(state.reg(bs), pc + 1)?;
+            exec_store(state, pc + 1, rt, base, offset);
+        }
+    }
+    Ok(())
+}
+
 /// Runs a concrete state to a terminal status (halt, exception, detection,
 /// or watchdog timeout).
+///
+/// This is the only executor that uses the decoder's fused
+/// superinstruction pairs (its intermediate states are unobservable); the
+/// fusion table is consulted only on fall-through into the first op of a
+/// pair, so jumps into the middle of a pair behave normally.
 ///
 /// # Errors
 ///
@@ -210,8 +379,23 @@ pub fn run_concrete(
     detectors: &DetectorSet,
     limits: &ExecLimits,
 ) -> Result<(), ConcreteError> {
+    let decoded = program.decoded();
     while !state.status().is_terminal() {
-        step_concrete(state, program, detectors, limits)?;
+        if state.steps() >= limits.max_steps {
+            state.set_status(Status::TimedOut);
+            return Ok(());
+        }
+        let pc = state.pc();
+        let Some(op) = decoded.op(pc) else {
+            state.set_status(Status::Exception(Exception::IllegalInstruction));
+            return Ok(());
+        };
+        if let Some(fused) = decoded.fused_at(pc) {
+            exec_fused(state, pc, fused, limits)?;
+        } else {
+            state.bump_steps();
+            exec_op(state, pc, op, decoded, detectors)?;
+        }
     }
     Ok(())
 }

@@ -16,9 +16,15 @@
 //!   learned constraints, `jr` on an erroneous register forks to every valid
 //!   code location, and loads/stores through an erroneous pointer fork over
 //!   every defined memory word plus the illegal-address case.
+//! * [`MachineState::step_into`] — the same symbolic semantics dispatched
+//!   over the pre-decoded IR ([`sympl_asm::DecodedProgram`]) into a
+//!   reusable [`SuccessorBuf`]; this is the allocation-free hot path the
+//!   search engines drive (see the `dispatch` module docs in the source).
 //! * [`run_concrete`] / [`step_concrete`] — a fast in-place executor for
-//!   fully concrete states, used by the SimpleScalar-substitute fault
-//!   injector and for replaying symbolic findings with witness values.
+//!   fully concrete states (also dispatched over the decoded IR, with
+//!   superinstruction fusion in [`run_concrete`]), used by the
+//!   SimpleScalar-substitute fault injector and for replaying symbolic
+//!   findings with witness values.
 //!
 //! # Example
 //!
@@ -43,6 +49,7 @@
 pub mod codec;
 mod concrete;
 mod cow;
+mod dispatch;
 mod fingerprint;
 mod limits;
 mod state;
@@ -50,6 +57,7 @@ mod step;
 
 pub use codec::{decode_state, encode_state, CodecError};
 pub use concrete::{run_concrete, run_concrete_to_breakpoint, step_concrete, ConcreteError};
+pub use dispatch::SuccessorBuf;
 pub use fingerprint::{
     cell_hash, Fingerprint, FingerprintBuildHasher, FingerprintSet, Fnv128Hasher, IdentityHasher,
     ZobristComponent,

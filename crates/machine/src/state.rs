@@ -130,11 +130,20 @@ impl fmt::Display for OutItem {
 #[derive(Debug, Clone)]
 pub struct MachineState {
     pc: usize,
-    regs: [Value; NUM_REGS],
+    // The register file is Arc-shared between a state and its forks
+    // (copy-on-write, like the memory image): a clone bumps a refcount
+    // instead of copying 32 cells, the state term stays small enough to
+    // move cheaply through successor buffers and frontier queues, and the
+    // first post-fork write of each branch pays the one unsharing copy.
+    regs: Arc<[Value; NUM_REGS]>,
     mem: CowMemory,
     input: Arc<[i64]>,
     input_pos: usize,
-    output: Vec<OutItem>,
+    // The output stream is Arc-shared like the register file: forks of a
+    // state that has already printed share one backing vector until the
+    // next `push_output` unshares it, so cloning a deep-in-the-run state
+    // never re-copies (or re-allocates) its print history.
+    output: Arc<Vec<OutItem>>,
     constraints: ConstraintMap,
     steps: u64,
     status: Status,
@@ -164,10 +173,10 @@ impl MachineState {
         let input: Arc<[i64]> = input.into();
         MachineState {
             pc: 0,
-            regs: [Value::Int(0); NUM_REGS],
+            regs: Arc::new([Value::Int(0); NUM_REGS]),
             mem: CowMemory::new(),
             input_pos: 0,
-            output: Vec::new(),
+            output: Arc::new(Vec::new()),
             constraints: ConstraintMap::new(),
             steps: 0,
             status: Status::Running,
@@ -223,7 +232,9 @@ impl MachineState {
         let old = self.regs[i];
         if old != v {
             self.reg_digest.update(&i, &old, &v);
-            self.regs[i] = v;
+            // Unshares the register file on the first write after a fork;
+            // a no-op atomic check when this state already owns it.
+            Arc::make_mut(&mut self.regs)[i] = v;
         }
     }
 
@@ -356,7 +367,9 @@ impl MachineState {
         if matches!(item, OutItem::Val(Value::Err)) {
             self.out_errs += 1;
         }
-        self.output.push(item);
+        // Unshares the stream on the first post-fork print; a no-op
+        // refcount check when this state already owns it.
+        Arc::make_mut(&mut self.output).push(item);
     }
 
     /// The output stream so far.
@@ -500,12 +513,12 @@ impl MachineState {
         MachineState {
             pc: d.pc,
             reg_digest: Self::refold_regs(&d.regs),
-            regs: d.regs,
+            regs: Arc::new(d.regs),
             mem,
             input_pos: d.input_pos,
             out_digest: ZobristComponent::refold(d.output.iter().enumerate()),
             out_errs,
-            output: d.output,
+            output: Arc::new(d.output),
             constraints: d.constraints,
             steps: d.steps,
             status: d.status,
@@ -532,6 +545,8 @@ impl MachineState {
         // per entry; constraint sets carry an interval plus a small
         // exclusion tree.
         size_of::<Self>()
+            // The Arc-shared register file, counted unshared (see above).
+            + size_of::<[Value; NUM_REGS]>()
             + self.mem.len() * (size_of::<u64>() + size_of::<Value>() + 16)
             + self.output.len() * size_of::<OutItem>()
             + self.input.len() * size_of::<i64>()

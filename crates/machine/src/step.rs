@@ -45,7 +45,9 @@ impl MachineState {
         let mut succ = self.clone();
         succ.bump_steps();
 
-        match instr.clone() {
+        // Match by reference: cloning the instruction here would allocate
+        // for `String`-carrying variants on every fetch.
+        match instr {
             Instr::Nop => {
                 succ.set_pc(self.pc() + 1);
                 vec![succ]
@@ -55,22 +57,22 @@ impl MachineState {
                 vec![succ]
             }
             Instr::Mov { rd, src } => {
-                match src {
-                    Operand::Imm(v) => succ.set_reg(rd, Value::Int(v)),
+                match *src {
+                    Operand::Imm(v) => succ.set_reg(*rd, Value::Int(v)),
                     Operand::Reg(rs) => {
                         let v = self.reg(rs);
-                        succ.copy_reg_with_constraints(rd, v, Location::Reg(rs));
+                        succ.copy_reg_with_constraints(*rd, v, Location::Reg(rs));
                     }
                 }
                 succ.set_pc(self.pc() + 1);
                 vec![succ]
             }
             Instr::Bin { op, rd, rs, src } => {
-                let a = self.reg(rs);
-                let (b, bloc) = self.operand_value(src);
-                match symbolic_binop(op, a, b) {
+                let a = self.reg(*rs);
+                let (b, bloc) = self.operand_value(*src);
+                match symbolic_binop(*op, a, b) {
                     ArithOutcome::Value(v) => {
-                        succ.set_reg(rd, v);
+                        succ.set_reg(*rd, v);
                         succ.set_pc(self.pc() + 1);
                         vec![succ]
                     }
@@ -79,57 +81,29 @@ impl MachineState {
                         vec![succ]
                     }
                     ArithOutcome::ForkOnDivisorZero => {
-                        // Fork on isEqual(divisor, 0), as in the paper's
-                        // division equations.
                         let mut out = Vec::with_capacity(2);
-                        // Case 1: divisor == 0 -> div-zero exception.
-                        let mut trap = succ.clone();
-                        let feasible = match bloc {
-                            Some(loc) if limits.track_constraints => {
-                                let zero_ok =
-                                    trap.constraints().get(loc).is_none_or(|set| set.allows(0));
-                                if zero_ok {
-                                    trap.set_location(loc, Value::Int(0));
-                                }
-                                zero_ok
-                            }
-                            _ => true,
-                        };
-                        if feasible {
-                            trap.set_status(Status::Exception(Exception::DivByZero));
-                            out.push(trap);
-                        }
-                        // Case 2: divisor != 0 -> err result.
-                        let mut go = succ;
-                        let feasible = match bloc {
-                            Some(loc) if limits.track_constraints => go
-                                .constraints_mut()
-                                .constrain(loc, sympl_symbolic::Constraint::Ne(0)),
-                            _ => true,
-                        };
-                        if feasible {
-                            go.set_reg(rd, Value::Err);
-                            go.set_pc(self.pc() + 1);
-                            out.push(go);
-                        }
+                        fork_div_zero(succ, *rd, bloc, limits.track_constraints, &mut out);
                         out
                     }
                 }
             }
             Instr::Set { cmp, rd, rs, src } => {
-                let (a, aloc) = self.reg_with_loc(rs);
-                let (b, bloc) = self.operand_value(src);
-                let cases = fork_compare(cmp, a, aloc, b, bloc);
+                let (a, aloc) = self.reg_with_loc(*rs);
+                let (b, bloc) = self.operand_value(*src);
+                let cases = fork_compare(*cmp, a, aloc, b, bloc);
+                let rd = *rd;
+                let next = self.pc() + 1;
                 let mut out = Vec::with_capacity(cases.len());
-                for case in cases {
-                    let mut s = succ.clone();
-                    if !apply_case(&mut s, &case, limits.track_constraints) {
-                        continue;
-                    }
-                    s.set_reg(rd, Value::Int(i64::from(case.result)));
-                    s.set_pc(self.pc() + 1);
-                    out.push(s);
-                }
+                apply_fork_cases(
+                    succ,
+                    &cases,
+                    limits.track_constraints,
+                    |s, result| {
+                        s.set_reg(rd, Value::Int(i64::from(result)));
+                        s.set_pc(next);
+                    },
+                    &mut out,
+                );
                 out
             }
             Instr::Branch {
@@ -138,30 +112,32 @@ impl MachineState {
                 src,
                 target,
             } => {
-                let (a, aloc) = self.reg_with_loc(rs);
-                let (b, bloc) = self.operand_value(src);
-                let cases = fork_compare(cmp, a, aloc, b, bloc);
+                let (a, aloc) = self.reg_with_loc(*rs);
+                let (b, bloc) = self.operand_value(*src);
+                let cases = fork_compare(*cmp, a, aloc, b, bloc);
+                let (target, next) = (*target, self.pc() + 1);
                 let mut out = Vec::with_capacity(cases.len());
-                for case in cases {
-                    let mut s = succ.clone();
-                    if !apply_case(&mut s, &case, limits.track_constraints) {
-                        continue;
-                    }
-                    s.set_pc(if case.result { target } else { self.pc() + 1 });
-                    out.push(s);
-                }
+                apply_fork_cases(
+                    succ,
+                    &cases,
+                    limits.track_constraints,
+                    |s, result| {
+                        s.set_pc(if result { target } else { next });
+                    },
+                    &mut out,
+                );
                 out
             }
             Instr::Jmp { target } => {
-                succ.set_pc(target);
+                succ.set_pc(*target);
                 vec![succ]
             }
             Instr::Jal { target } => {
                 succ.set_reg(sympl_asm::LINK_REG, Value::Int(self.pc() as i64 + 1));
-                succ.set_pc(target);
+                succ.set_pc(*target);
                 vec![succ]
             }
-            Instr::Jr { rs } => match self.reg(rs) {
+            Instr::Jr { rs } => match self.reg(*rs) {
                 Value::Int(v) => {
                     if v >= 0 && (v as usize) < program.len() {
                         succ.set_pc(v as usize);
@@ -171,17 +147,21 @@ impl MachineState {
                         vec![succ]
                     }
                 }
-                Value::Err => self.fork_jump_targets(succ, rs, program, limits),
+                Value::Err => {
+                    let mut out = Vec::new();
+                    fork_jump_targets(succ, *rs, program.len(), limits, &mut out);
+                    out
+                }
             },
-            Instr::Load { rt, rs, offset } => match self.reg(rs) {
+            Instr::Load { rt, rs, offset } => match self.reg(*rs) {
                 Value::Int(base) => {
-                    let addr = base.wrapping_add(offset);
+                    let addr = base.wrapping_add(*offset);
                     match u64::try_from(addr)
                         .ok()
                         .and_then(|a| self.mem(a).map(|v| (a, v)))
                     {
                         Some((a, v)) => {
-                            succ.copy_reg_with_constraints(rt, v, Location::Mem(a));
+                            succ.copy_reg_with_constraints(*rt, v, Location::Mem(a));
                             succ.set_pc(self.pc() + 1);
                             vec![succ]
                         }
@@ -191,15 +171,19 @@ impl MachineState {
                         }
                     }
                 }
-                Value::Err => self.fork_load_targets(succ, rt, rs, offset, limits),
+                Value::Err => {
+                    let mut out = Vec::new();
+                    fork_load_targets(succ, *rt, *rs, *offset, limits, &mut out);
+                    out
+                }
             },
-            Instr::Store { rt, rs, offset } => match self.reg(rs) {
+            Instr::Store { rt, rs, offset } => match self.reg(*rs) {
                 Value::Int(base) => {
-                    let addr = base.wrapping_add(offset);
+                    let addr = base.wrapping_add(*offset);
                     match u64::try_from(addr) {
                         Ok(a) => {
-                            let v = self.reg(rt);
-                            succ.copy_mem_with_constraints(a, v, Location::Reg(rt));
+                            let v = self.reg(*rt);
+                            succ.copy_mem_with_constraints(a, v, Location::Reg(*rt));
                             succ.set_pc(self.pc() + 1);
                             vec![succ]
                         }
@@ -209,38 +193,46 @@ impl MachineState {
                         }
                     }
                 }
-                Value::Err => self.fork_store_targets(succ, rt, rs, offset, limits),
+                Value::Err => {
+                    let mut out = Vec::new();
+                    fork_store_targets(succ, *rt, *rs, *offset, limits, &mut out);
+                    out
+                }
             },
             Instr::Read { rd } => {
                 let v = succ.read_input();
-                succ.set_reg(rd, Value::Int(v));
+                succ.set_reg(*rd, Value::Int(v));
                 succ.set_pc(self.pc() + 1);
                 vec![succ]
             }
             Instr::Print { rs } => {
-                succ.push_output(OutItem::Val(self.reg(rs)));
+                succ.push_output(OutItem::Val(self.reg(*rs)));
                 succ.set_pc(self.pc() + 1);
                 vec![succ]
             }
             Instr::PrintS { text } => {
-                succ.push_output(OutItem::Str(text));
+                succ.push_output(OutItem::Str(text.clone()));
                 succ.set_pc(self.pc() + 1);
                 vec![succ]
             }
-            Instr::Check { id } => self.step_check(succ, id, detectors, limits.track_constraints),
+            Instr::Check { id } => {
+                let mut out = Vec::new();
+                step_check(succ, *id, detectors, limits.track_constraints, &mut out);
+                out
+            }
         }
     }
 
     /// An operand's value, plus the location it was read from when that
     /// location currently holds `err` (for constraint attachment).
-    fn operand_value(&self, src: Operand) -> (Value, Option<Location>) {
+    pub(crate) fn operand_value(&self, src: Operand) -> (Value, Option<Location>) {
         match src {
             Operand::Imm(v) => (Value::Int(v), None),
             Operand::Reg(r) => self.reg_with_loc(r),
         }
     }
 
-    fn reg_with_loc(&self, r: Reg) -> (Value, Option<Location>) {
+    pub(crate) fn reg_with_loc(&self, r: Reg) -> (Value, Option<Location>) {
         let v = self.reg(r);
         let loc = if v.is_err() {
             Some(Location::Reg(r))
@@ -249,149 +241,244 @@ impl MachineState {
         };
         (v, loc)
     }
+}
 
-    /// `jr` through an erroneous register: "the program either jumps to an
-    /// arbitrary (but valid) code location or throws an illegal-instruction
-    /// exception" (§5.2). Landing at address `t` pins the register to `t`.
-    fn fork_jump_targets(
-        &self,
-        succ: MachineState,
-        rs: Reg,
-        program: &Program,
-        limits: &ExecLimits,
-    ) -> Vec<MachineState> {
-        let mut out = Vec::new();
-        for t in ExecLimits::spread(limits.fork_jump_targets, program.len()) {
-            let mut s = succ.clone();
-            // The landed-on address is the concrete value the corrupted
-            // register must have held.
-            s.set_reg(rs, Value::Int(t as i64));
-            s.set_pc(t);
-            out.push(s);
-        }
-        // The register held an out-of-range value.
-        let mut trap = succ;
-        trap.set_status(Status::Exception(Exception::IllegalInstruction));
-        out.push(trap);
-        out
+// ---------------------------------------------------------------------------
+// Fork machinery, shared between the AST reference interpreter above and the
+// decoded dispatch (`crate::dispatch`). Each function consumes the
+// already-bumped successor `succ`; its registers/memory/pc still equal the
+// pre-state's (only the step counter differs, and these paths never read
+// it), so reading operands from `succ` is equivalent to reading them from
+// the pre-state. Keeping one copy of these rules is what guarantees the two
+// dispatchers fork identically.
+// ---------------------------------------------------------------------------
+
+/// A successor sink: where the shared fork rules append the states they
+/// materialise. Implemented by `Vec<MachineState>` (the reference
+/// interpreter's return value) and by [`crate::SuccessorBuf`] (the engines'
+/// reusable buffer), so each fork case lands directly in the caller's
+/// storage instead of round-tripping through an intermediate `Vec`.
+pub(crate) trait SuccessorSink {
+    /// Appends one successor.
+    fn put(&mut self, state: MachineState);
+}
+
+impl SuccessorSink for Vec<MachineState> {
+    #[inline]
+    fn put(&mut self, state: MachineState) {
+        self.push(state);
     }
+}
 
-    /// Load through an erroneous pointer: fork over every defined word or
-    /// trap (§5.2 "errors in pointer values of loads").
-    fn fork_load_targets(
-        &self,
-        succ: MachineState,
-        rt: Reg,
-        rs: Reg,
-        offset: i64,
-        limits: &ExecLimits,
-    ) -> Vec<MachineState> {
-        let addrs: Vec<u64> = self.defined_addresses().collect();
-        let mut out = Vec::new();
-        for i in ExecLimits::spread(limits.fork_mem_targets, addrs.len()) {
-            let a = addrs[i];
-            let mut s = succ.clone();
-            let v = self.mem(a).expect("address enumerated from defined set");
-            // Reading from `a` pins the base register to `a - offset`.
-            s.set_reg(rs, Value::Int((a as i64).wrapping_sub(offset)));
-            s.copy_reg_with_constraints(rt, v, Location::Mem(a));
-            s.set_pc(self.pc() + 1);
-            out.push(s);
+/// Division with a symbolic divisor: fork on `isEqual(divisor, 0)`, as in
+/// the paper's division equations. The trap case comes first.
+pub(crate) fn fork_div_zero(
+    succ: MachineState,
+    rd: Reg,
+    bloc: Option<Location>,
+    track_constraints: bool,
+    out: &mut impl SuccessorSink,
+) {
+    let next = succ.pc() + 1;
+    // Case 1: divisor == 0 -> div-zero exception.
+    let mut trap = succ.clone();
+    let feasible = match bloc {
+        Some(loc) if track_constraints => {
+            let zero_ok = trap.constraints().get(loc).is_none_or(|set| set.allows(0));
+            if zero_ok {
+                trap.set_location(loc, Value::Int(0));
+            }
+            zero_ok
         }
-        let mut trap = succ;
-        trap.set_status(Status::Exception(Exception::IllegalAddress));
-        out.push(trap);
-        out
+        _ => true,
+    };
+    if feasible {
+        trap.set_status(Status::Exception(Exception::DivByZero));
+        out.put(trap);
     }
-
-    /// Store through an erroneous pointer: overwrite any defined word, or
-    /// create a new value in memory (§5.2 "errors in pointer values of
-    /// stores").
-    fn fork_store_targets(
-        &self,
-        succ: MachineState,
-        rt: Reg,
-        rs: Reg,
-        offset: i64,
-        limits: &ExecLimits,
-    ) -> Vec<MachineState> {
-        let addrs: Vec<u64> = self.defined_addresses().collect();
-        let value = self.reg(rt);
-        let mut out = Vec::new();
-        for i in ExecLimits::spread(limits.fork_mem_targets, addrs.len()) {
-            let a = addrs[i];
-            let mut s = succ.clone();
-            s.set_reg(rs, Value::Int((a as i64).wrapping_sub(offset)));
-            s.copy_mem_with_constraints(a, value, Location::Reg(rt));
-            s.set_pc(self.pc() + 1);
-            out.push(s);
-        }
-        // "Creates a new value in memory": a store to a previously
-        // undefined address.
-        let mut fresh = succ;
-        let a = fresh.fresh_address();
-        fresh.set_reg(rs, Value::Int((a as i64).wrapping_sub(offset)));
-        fresh.copy_mem_with_constraints(a, value, Location::Reg(rt));
-        fresh.set_pc(self.pc() + 1);
-        out.push(fresh);
-        out
+    // Case 2: divisor != 0 -> err result.
+    let mut go = succ;
+    let feasible = match bloc {
+        Some(loc) if track_constraints => go
+            .constraints_mut()
+            .constrain(loc, sympl_symbolic::Constraint::Ne(0)),
+        _ => true,
+    };
+    if feasible {
+        go.set_reg(rd, Value::Err);
+        go.set_pc(next);
+        out.put(go);
     }
+}
 
-    /// Executes a `check` instruction (§5.3): evaluate the detector, fork
-    /// on symbolic comparisons; the false branch *detects* — it throws and
-    /// halts the program with [`Status::Detected`].
-    fn step_check(
-        &self,
-        succ: MachineState,
-        id: u32,
-        detectors: &DetectorSet,
-        track_constraints: bool,
-    ) -> Vec<MachineState> {
-        let Some(det) = detectors.get(id) else {
-            // A check referencing a missing detector is a configuration
-            // error surfaced as an illegal instruction.
-            let mut s = succ;
-            s.set_status(Status::Exception(Exception::IllegalInstruction));
-            return vec![s];
+/// Materialises comparison fork cases in order, pruning infeasible ones.
+/// The last feasible case takes ownership of `succ` instead of cloning it.
+pub(crate) fn apply_fork_cases(
+    succ: MachineState,
+    cases: &[CmpCase],
+    track_constraints: bool,
+    mut finish: impl FnMut(&mut MachineState, bool),
+    out: &mut impl SuccessorSink,
+) {
+    let last = cases.len() - 1;
+    let mut succ = Some(succ);
+    for (i, case) in cases.iter().enumerate() {
+        let mut s = if i == last {
+            succ.take().expect("state consumed only by the last case")
+        } else {
+            succ.as_ref()
+                .expect("state present before last case")
+                .clone()
         };
-        let target = det.target();
-        let Some(lhs) = self.location_value(target) else {
+        if !apply_case(&mut s, case, track_constraints) {
+            continue;
+        }
+        finish(&mut s, case.result);
+        out.put(s);
+    }
+}
+
+/// `jr` through an erroneous register: "the program either jumps to an
+/// arbitrary (but valid) code location or throws an illegal-instruction
+/// exception" (§5.2). Landing at address `t` pins the register to `t`.
+pub(crate) fn fork_jump_targets(
+    succ: MachineState,
+    rs: Reg,
+    code_len: usize,
+    limits: &ExecLimits,
+    out: &mut impl SuccessorSink,
+) {
+    for t in ExecLimits::spread(limits.fork_jump_targets, code_len) {
+        let mut s = succ.clone();
+        // The landed-on address is the concrete value the corrupted
+        // register must have held.
+        s.set_reg(rs, Value::Int(t as i64));
+        s.set_pc(t);
+        out.put(s);
+    }
+    // The register held an out-of-range value.
+    let mut trap = succ;
+    trap.set_status(Status::Exception(Exception::IllegalInstruction));
+    out.put(trap);
+}
+
+/// Load through an erroneous pointer: fork over every defined word or
+/// trap (§5.2 "errors in pointer values of loads").
+pub(crate) fn fork_load_targets(
+    succ: MachineState,
+    rt: Reg,
+    rs: Reg,
+    offset: i64,
+    limits: &ExecLimits,
+    out: &mut impl SuccessorSink,
+) {
+    let next = succ.pc() + 1;
+    let addrs: Vec<u64> = succ.defined_addresses().collect();
+    for i in ExecLimits::spread(limits.fork_mem_targets, addrs.len()) {
+        let a = addrs[i];
+        let mut s = succ.clone();
+        let v = succ.mem(a).expect("address enumerated from defined set");
+        // Reading from `a` pins the base register to `a - offset`.
+        s.set_reg(rs, Value::Int((a as i64).wrapping_sub(offset)));
+        s.copy_reg_with_constraints(rt, v, Location::Mem(a));
+        s.set_pc(next);
+        out.put(s);
+    }
+    let mut trap = succ;
+    trap.set_status(Status::Exception(Exception::IllegalAddress));
+    out.put(trap);
+}
+
+/// Store through an erroneous pointer: overwrite any defined word, or
+/// create a new value in memory (§5.2 "errors in pointer values of
+/// stores").
+pub(crate) fn fork_store_targets(
+    succ: MachineState,
+    rt: Reg,
+    rs: Reg,
+    offset: i64,
+    limits: &ExecLimits,
+    out: &mut impl SuccessorSink,
+) {
+    let next = succ.pc() + 1;
+    let addrs: Vec<u64> = succ.defined_addresses().collect();
+    let value = succ.reg(rt);
+    for i in ExecLimits::spread(limits.fork_mem_targets, addrs.len()) {
+        let a = addrs[i];
+        let mut s = succ.clone();
+        s.set_reg(rs, Value::Int((a as i64).wrapping_sub(offset)));
+        s.copy_mem_with_constraints(a, value, Location::Reg(rt));
+        s.set_pc(next);
+        out.put(s);
+    }
+    // "Creates a new value in memory": a store to a previously
+    // undefined address.
+    let mut fresh = succ;
+    let a = fresh.fresh_address();
+    fresh.set_reg(rs, Value::Int((a as i64).wrapping_sub(offset)));
+    fresh.copy_mem_with_constraints(a, value, Location::Reg(rt));
+    fresh.set_pc(next);
+    out.put(fresh);
+}
+
+/// Executes a `check` instruction (§5.3): evaluate the detector, fork
+/// on symbolic comparisons; the false branch *detects* — it throws and
+/// halts the program with [`Status::Detected`].
+pub(crate) fn step_check(
+    succ: MachineState,
+    id: u32,
+    detectors: &DetectorSet,
+    track_constraints: bool,
+    out: &mut impl SuccessorSink,
+) {
+    let Some(det) = detectors.get(id) else {
+        // A check referencing a missing detector is a configuration
+        // error surfaced as an illegal instruction.
+        let mut s = succ;
+        s.set_status(Status::Exception(Exception::IllegalInstruction));
+        out.put(s);
+        return;
+    };
+    let target = det.target();
+    let Some(lhs) = succ.location_value(target) else {
+        let mut s = succ;
+        s.set_status(Status::Exception(Exception::IllegalAddress));
+        out.put(s);
+        return;
+    };
+    let lloc = lhs.is_err().then_some(target);
+    let rhs = match eval_expr(det.expr(), &succ) {
+        Ok(v) => v,
+        Err(DetectError::DivByZero) => {
+            let mut s = succ;
+            s.set_status(Status::Exception(Exception::DivByZero));
+            out.put(s);
+            return;
+        }
+        Err(_) => {
             let mut s = succ;
             s.set_status(Status::Exception(Exception::IllegalAddress));
-            return vec![s];
-        };
-        let lloc = lhs.is_err().then_some(target);
-        let rhs = match eval_expr(det.expr(), self) {
-            Ok(out) => out,
-            Err(DetectError::DivByZero) => {
-                let mut s = succ;
-                s.set_status(Status::Exception(Exception::DivByZero));
-                return vec![s];
-            }
-            Err(_) => {
-                let mut s = succ;
-                s.set_status(Status::Exception(Exception::IllegalAddress));
-                return vec![s];
-            }
-        };
-        let cases = fork_compare(det.cmp(), lhs, lloc, rhs.value, rhs.origin.single());
-        let mut out = Vec::with_capacity(cases.len());
-        for case in cases {
-            let mut s = succ.clone();
-            if !apply_case(&mut s, &case, track_constraints) {
-                continue;
-            }
-            if case.result {
+            out.put(s);
+            return;
+        }
+    };
+    let cases = fork_compare(det.cmp(), lhs, lloc, rhs.value, rhs.origin.single());
+    let next = succ.pc() + 1;
+    apply_fork_cases(
+        succ,
+        &cases,
+        track_constraints,
+        |s, result| {
+            if result {
                 // Check passed: execution continues.
-                s.set_pc(self.pc() + 1);
+                s.set_pc(next);
             } else {
                 // Check failed: the detector throws and halts — detection.
                 s.set_status(Status::Detected(id));
             }
-            out.push(s);
-        }
-        out
-    }
+        },
+        out,
+    );
 }
 
 /// Applies one fork case's learned facts to a successor state. Returns

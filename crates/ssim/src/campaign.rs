@@ -186,6 +186,9 @@ pub fn run_campaign(
     config: &CampaignConfig,
     limits: &ExecLimits,
 ) -> SsimReport {
+    // Decode once up front: every injected run below dispatches over the
+    // cached IR instead of re-lowering the program per point × value.
+    let _ = program.decoded();
     let points = enumerate_concrete_points(program);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut report = SsimReport::default();

@@ -35,6 +35,20 @@ impl Fnv128Hasher {
     pub fn finish128(&self) -> u128 {
         self.state
     }
+
+    /// One FNV-1a round over a whole word. The fixed-width [`Hasher`]
+    /// methods below route here, absorbing an integer in a single
+    /// xor-multiply instead of one round per byte — the state fingerprint
+    /// and rolling-fold paths hash almost exclusively through those
+    /// methods, and this is what keeps a per-successor digest to a handful
+    /// of 128-bit multiplies. The round is a bijection on the state (odd
+    /// prime, invertible xor), so word-at-a-time absorption loses no
+    /// distinctness over the byte loop.
+    #[inline]
+    fn round(&mut self, word: u128) {
+        self.state ^= word;
+        self.state = self.state.wrapping_mul(FNV128_PRIME);
+    }
 }
 
 impl Default for Fnv128Hasher {
@@ -45,10 +59,71 @@ impl Default for Fnv128Hasher {
 
 impl Hasher for Fnv128Hasher {
     fn write(&mut self, bytes: &[u8]) {
+        // Raw byte streams (strings, mixed-width encodings) keep the
+        // canonical per-byte FNV-1a rounds.
         for &b in bytes {
-            self.state ^= u128::from(b);
-            self.state = self.state.wrapping_mul(FNV128_PRIME);
+            self.round(u128::from(b));
         }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.round(u128::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.round(u128::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.round(u128::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.round(u128::from(i));
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.round(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.round(i as u128);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, i: i8) {
+        self.round(u128::from(i as u8));
+    }
+
+    #[inline]
+    fn write_i16(&mut self, i: i16) {
+        self.round(u128::from(i as u16));
+    }
+
+    #[inline]
+    fn write_i32(&mut self, i: i32) {
+        self.round(u128::from(i as u32));
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.round(u128::from(i as u64));
+    }
+
+    #[inline]
+    fn write_i128(&mut self, i: i128) {
+        self.round(i as u128);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, i: isize) {
+        self.round(i as u128);
     }
 
     fn finish(&self) -> u64 {

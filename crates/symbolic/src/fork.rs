@@ -33,6 +33,44 @@ impl CmpCase {
     }
 }
 
+/// The cases of one (possibly forked) comparison: at most two, stored
+/// inline.
+///
+/// A comparison forks at most two ways, so the cases live in a fixed
+/// two-slot array rather than a heap `Vec` — [`fork_compare`] sits on the
+/// engines' hottest fork path, where a per-comparison allocation is pure
+/// overhead. Derefs to a `[CmpCase]` slice, so callers index, iterate, and
+/// take `len()` as before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CmpCases {
+    cases: [CmpCase; 2],
+    len: usize,
+}
+
+impl CmpCases {
+    fn one(case: CmpCase) -> Self {
+        CmpCases {
+            cases: [case, case],
+            len: 1,
+        }
+    }
+
+    fn two(true_case: CmpCase, false_case: CmpCase) -> Self {
+        CmpCases {
+            cases: [true_case, false_case],
+            len: 2,
+        }
+    }
+}
+
+impl std::ops::Deref for CmpCases {
+    type Target = [CmpCase];
+
+    fn deref(&self) -> &[CmpCase] {
+        &self.cases[..self.len]
+    }
+}
+
 /// Evaluates `lhs CMP rhs` over the symbolic domain.
 ///
 /// `lloc`/`rloc` are the locations the operands were read from, when known;
@@ -71,22 +109,22 @@ pub fn fork_compare(
     lloc: Option<Location>,
     rhs: Value,
     rloc: Option<Location>,
-) -> Vec<CmpCase> {
+) -> CmpCases {
     match (lhs, rhs) {
-        (Value::Int(a), Value::Int(b)) => vec![CmpCase::concrete(cmp.eval(a, b))],
+        (Value::Int(a), Value::Int(b)) => CmpCases::one(CmpCase::concrete(cmp.eval(a, b))),
         (Value::Err, Value::Int(c)) => fork_one_sided(cmp, lloc, c),
         (Value::Int(c), Value::Err) => fork_one_sided(cmp.swap(), rloc, c),
         (Value::Err, Value::Err) => {
             // Two unknowns share the single `err` symbol; no relational
             // constraint is expressible (paper §3.2's stated source of
             // false positives). Fork with no learned facts.
-            vec![CmpCase::concrete(true), CmpCase::concrete(false)]
+            CmpCases::two(CmpCase::concrete(true), CmpCase::concrete(false))
         }
     }
 }
 
 /// Forks `err CMP c` where the error sits in `loc` (if known).
-fn fork_one_sided(cmp: Cmp, loc: Option<Location>, c: i64) -> Vec<CmpCase> {
+fn fork_one_sided(cmp: Cmp, loc: Option<Location>, c: i64) -> CmpCases {
     let true_case = match (cmp, loc) {
         // Equality true: pin the location to the comparand.
         (Cmp::Eq, Some(l)) => CmpCase {
@@ -116,7 +154,7 @@ fn fork_one_sided(cmp: Cmp, loc: Option<Location>, c: i64) -> Vec<CmpCase> {
         },
         (_, None) => CmpCase::concrete(false),
     };
-    vec![true_case, false_case]
+    CmpCases::two(true_case, false_case)
 }
 
 #[cfg(test)]
@@ -190,7 +228,7 @@ mod tests {
             Some(Location::reg(4)),
         );
         assert_eq!(cases.len(), 2);
-        for c in &cases {
+        for c in cases.iter() {
             assert!(c.constraint.is_none());
             assert!(c.substitute.is_none());
         }

@@ -54,7 +54,7 @@ mod value;
 pub use codec::CodecError;
 pub use constraint::{Constraint, ConstraintSet};
 pub use fold::{cell_hash, Fnv128Hasher, ZobristComponent};
-pub use fork::{fork_compare, CmpCase};
+pub use fork::{fork_compare, CmpCase, CmpCases};
 pub use location::Location;
 pub use map::ConstraintMap;
 pub use value::{symbolic_binop, ArithOutcome, Value};

@@ -163,6 +163,9 @@ fn run_task_frame(task: &TaskFrame, resolve: &ProgramResolver<'_>) -> Message {
     let Some((program, detectors)) = resolve(&task.program_id) else {
         return Message::Error(format!("unknown program id `{}`", task.program_id));
     };
+    // Decode once per task frame: the whole task runs against this one
+    // cached IR, so resolve-then-decode is the only lowering that happens.
+    let _ = program.decoded();
     let digest = program_digest(&program);
     if digest != task.program_digest {
         return Message::Error(format!(

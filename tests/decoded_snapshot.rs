@@ -1,0 +1,82 @@
+//! Golden snapshots of the decoded IR: the pretty-printed
+//! [`symplfied::asm::DecodedProgram`] listing for every bundled workload,
+//! pinned against the current lowering.
+//!
+//! Any change to the lowering — operand splitting, target resolution,
+//! string pooling, or the superinstruction fusion rules — shows up here as
+//! a readable diff of the affected listing, so reviewers see exactly which
+//! ops moved rather than a pass/fail bit. CI runs this in release mode on
+//! every push.
+//!
+//! To regenerate after an *intentional* lowering change:
+//!
+//! ```text
+//! DECODED_GOLDEN_REGEN=1 cargo test --test decoded_snapshot
+//! ```
+
+use std::path::PathBuf;
+
+use sympl_apps::all_workloads;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/decoded_snapshot")
+}
+
+/// Compares `listing` against the named golden file — or rewrites it under
+/// `DECODED_GOLDEN_REGEN=1`.
+fn check_golden(name: &str, listing: &str) {
+    let path = golden_dir().join(format!("{name}.txt"));
+    if std::env::var_os("DECODED_GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/decoded_snapshot");
+        std::fs::write(&path, listing).expect("write golden listing");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden listing {}: {e}", path.display()));
+    assert_eq!(
+        golden, listing,
+        "{name}: decoded listing changed — if the lowering change is \
+         intentional, regenerate with DECODED_GOLDEN_REGEN=1"
+    );
+}
+
+#[test]
+fn decoded_listings_are_pinned_for_every_workload() {
+    let workloads = all_workloads();
+    assert!(
+        workloads.len() >= 8,
+        "bundled workload set shrank — update the snapshot suite"
+    );
+    for w in &workloads {
+        let decoded = w.program.decoded();
+        // The listing is the snapshot: it embeds the op count, fusion
+        // count, string pool, and every decoded op with fusion markers.
+        check_golden(w.name, &decoded.listing());
+        // Sanity-pin the structural invariant independently of the text:
+        // lowering is 1:1 with the architectural instruction sequence.
+        assert_eq!(decoded.len(), w.program.instrs().len());
+    }
+}
+
+#[test]
+fn listings_expose_fused_superinstructions() {
+    // At least one bundled workload must exercise each fusion kind, so the
+    // snapshots cover the superinstruction printer — and so a regression
+    // that stops fusion firing entirely cannot slip through as a set of
+    // plausible-looking fusion-free goldens.
+    let mut kinds = std::collections::BTreeSet::new();
+    for w in all_workloads() {
+        let decoded = w.program.decoded();
+        for pc in 0..decoded.len() {
+            if let Some(fused) = decoded.fused_at(pc) {
+                kinds.insert(fused.kind());
+            }
+        }
+    }
+    for kind in ["cmp-branch", "load-op", "op-store"] {
+        assert!(
+            kinds.contains(kind),
+            "no bundled workload fuses a `{kind}` pair; goldens would not cover it"
+        );
+    }
+}

@@ -1170,3 +1170,216 @@ mod spill_smoke {
         assert_eq!(solution_digests(&parallel), solution_digests(&unbounded));
     }
 }
+
+// ---------------------------------------------------------------------
+// Decoded-IR equivalence: lowering a program to the dense DecodedOp array
+// (ISSUE 6) must be semantics-preserving. The fast dispatcher
+// (`MachineState::step_into` over `Program::decoded()`) is differentially
+// tested against the AST reference interpreter (`MachineState::step`) on
+// random programs and randomly mutated start states: identical successor
+// sets (full state equality, which subsumes per-step outcome counts),
+// identical fingerprints, in identical order. The fused concrete runner is
+// checked the same way against a chain of single AST steps.
+// ---------------------------------------------------------------------
+
+mod decoded_equivalence {
+    use super::state_ops::{self, Op};
+    use super::*;
+    use std::collections::BTreeMap;
+    use symplfied::asm::{BinOp, Instr, Program};
+    use symplfied::detect::Detector;
+    use symplfied::machine::{run_concrete, SuccessorBuf};
+
+    fn reg_strategy() -> impl Strategy<Value = Reg> {
+        (0u8..8).prop_map(Reg::r)
+    }
+
+    fn operand_strategy() -> impl Strategy<Value = Operand> {
+        prop_oneof![
+            reg_strategy().prop_map(Operand::Reg),
+            (-9i64..=9).prop_map(Operand::Imm),
+        ]
+    }
+
+    fn binop_strategy() -> impl Strategy<Value = BinOp> {
+        prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Sub),
+            Just(BinOp::Mul),
+            Just(BinOp::Div),
+            Just(BinOp::Rem),
+            Just(BinOp::And),
+            Just(BinOp::Or),
+            Just(BinOp::Xor),
+            Just(BinOp::Sll),
+            Just(BinOp::Srl),
+        ]
+    }
+
+    fn cmp_strategy() -> impl Strategy<Value = Cmp> {
+        prop_oneof![
+            Just(Cmp::Eq),
+            Just(Cmp::Ne),
+            Just(Cmp::Gt),
+            Just(Cmp::Lt),
+            Just(Cmp::Ge),
+            Just(Cmp::Le),
+        ]
+    }
+
+    /// One instruction with all code targets inside `0..len`, weighted so
+    /// runs mix arithmetic, forking compares, memory traffic, erroneous
+    /// indirect jumps, detector checks, and adjacent fusable pairs.
+    fn instr_strategy(len: usize) -> impl Strategy<Value = Instr> {
+        prop_oneof![
+            4 => (binop_strategy(), reg_strategy(), reg_strategy(), operand_strategy())
+                .prop_map(|(op, rd, rs, src)| Instr::Bin { op, rd, rs, src }),
+            2 => (reg_strategy(), operand_strategy())
+                .prop_map(|(rd, src)| Instr::Mov { rd, src }),
+            3 => (cmp_strategy(), reg_strategy(), reg_strategy(), operand_strategy())
+                .prop_map(|(cmp, rd, rs, src)| Instr::Set { cmp, rd, rs, src }),
+            3 => (cmp_strategy(), reg_strategy(), operand_strategy(), 0..len)
+                .prop_map(|(cmp, rs, src, target)| Instr::Branch { cmp, rs, src, target }),
+            1 => (0..len).prop_map(|target| Instr::Jmp { target }),
+            1 => (0..len).prop_map(|target| Instr::Jal { target }),
+            1 => reg_strategy().prop_map(|rs| Instr::Jr { rs }),
+            2 => (reg_strategy(), reg_strategy(), (0i64..=5).prop_map(|w| w * 8))
+                .prop_map(|(rt, rs, offset)| Instr::Load { rt, rs, offset }),
+            2 => (reg_strategy(), reg_strategy(), (0i64..=5).prop_map(|w| w * 8))
+                .prop_map(|(rt, rs, offset)| Instr::Store { rt, rs, offset }),
+            1 => reg_strategy().prop_map(|rd| Instr::Read { rd }),
+            1 => reg_strategy().prop_map(|rs| Instr::Print { rs }),
+            1 => prop_oneof![Just("a"), Just("bb")]
+                .prop_map(|text| Instr::PrintS { text: text.into() }),
+            1 => (1u32..=2).prop_map(|id| Instr::Check { id }),
+            1 => Just(Instr::Nop),
+            1 => Just(Instr::Halt),
+        ]
+    }
+
+    fn program_strategy() -> impl Strategy<Value = Program> {
+        (4usize..=16)
+            .prop_flat_map(|len| prop::collection::vec(instr_strategy(len), len..len + 1))
+            .prop_map(|instrs| {
+                Program::new(instrs, BTreeMap::new())
+                    .expect("non-empty, every static target in range")
+            })
+    }
+
+    /// Detectors for the `check` instructions the generator emits (ids 1
+    /// and 2), so `step_check`'s detected/ok fork is exercised.
+    fn detectors() -> DetectorSet {
+        let mut set = DetectorSet::new();
+        set.insert(Detector::parse("det(1, $(2), >=, (3))").unwrap());
+        set.insert(Detector::parse("det(2, $(3), ==, ($1))").unwrap());
+        set
+    }
+
+    /// Start states: a fresh machine with the given input, mutated by a
+    /// random `state_ops` sequence (shared with the digest/codec suites),
+    /// with the status forced back to `Running` and the pc anywhere in
+    /// `0..=len` (one past the end exercises the illegal-fetch path).
+    fn start_states(input: &[i64], ops: &[Op], pc: usize) -> Vec<MachineState> {
+        let mut pool = state_ops::run_ops(input, ops);
+        for state in &mut pool {
+            state.set_status(Status::Running);
+            state.set_pc(pc);
+        }
+        pool
+    }
+
+    /// One differential step: `step_into` must produce exactly the
+    /// successor vector `step` produces — same states, same order, same
+    /// fingerprints.
+    fn assert_step_matches(
+        state: &MachineState,
+        program: &Program,
+        dets: &DetectorSet,
+        limits: &ExecLimits,
+        buf: &mut SuccessorBuf,
+    ) -> Vec<MachineState> {
+        let reference = state.step(program, dets, limits);
+        buf.clear();
+        state
+            .clone()
+            .step_into(program.decoded(), dets, limits, buf);
+        let fast: Vec<MachineState> = buf.drain().collect();
+        assert_eq!(
+            reference,
+            fast,
+            "decoded dispatch diverged from the AST interpreter at pc {}",
+            state.pc()
+        );
+        for (r, f) in reference.iter().zip(&fast) {
+            assert_eq!(r.fingerprint(), f.fingerprint(), "fingerprint divergence");
+        }
+        reference
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Breadth-first differential execution: every expansion of every
+        /// reachable state (capped) goes through both interpreters and
+        /// must agree exactly.
+        #[test]
+        fn successors_match_ast_interpreter(
+            program in program_strategy(),
+            ops in prop::collection::vec(state_ops::op_strategy(), 0..12),
+            input in prop::collection::vec(-6i64..=6, 0..4),
+            pc_seed in 0usize..=16,
+            track_constraints in any::<bool>(),
+        ) {
+            let dets = detectors();
+            let mut limits = ExecLimits::with_max_steps(40);
+            limits.track_constraints = track_constraints;
+            let pc = pc_seed.min(program.instrs().len());
+            let mut frontier = start_states(&input, &ops, pc);
+            let mut buf = SuccessorBuf::new();
+            let mut expansions = 0usize;
+            while let Some(state) = frontier.pop() {
+                let succ = assert_step_matches(&state, &program, &dets, &limits, &mut buf);
+                expansions += 1;
+                if expansions >= 300 {
+                    break;
+                }
+                frontier.extend(succ);
+            }
+        }
+
+        /// The fused concrete runner against a chain of single AST steps:
+        /// whenever the AST interpreter runs a start state to a terminal
+        /// deterministically (one successor per step), `run_concrete` must
+        /// reach the byte-identical terminal state.
+        #[test]
+        fn concrete_runner_matches_ast_chain(
+            program in program_strategy(),
+            input in prop::collection::vec(-6i64..=6, 0..4),
+        ) {
+            let dets = detectors();
+            let limits = ExecLimits::with_max_steps(60);
+            let mut reference = MachineState::with_input(input.clone());
+            let mut deterministic = true;
+            while !reference.status().is_terminal() && reference.steps() < limits.max_steps {
+                let mut succ = reference.step(&program, &dets, &limits);
+                if succ.len() != 1 {
+                    deterministic = false;
+                    break;
+                }
+                reference = succ.pop().expect("len checked");
+            }
+            if deterministic {
+                if !reference.status().is_terminal() {
+                    // The AST chain stopped at the watchdog bound without a
+                    // terminal status; the runner marks that state TimedOut.
+                    reference.set_status(Status::TimedOut);
+                }
+                let mut fast = MachineState::with_input(input);
+                run_concrete(&mut fast, &program, &dets, &limits)
+                    .expect("a deterministic AST chain never hits a symbolic value");
+                prop_assert_eq!(&reference, &fast);
+                prop_assert_eq!(reference.fingerprint(), fast.fingerprint());
+            }
+        }
+    }
+}
