@@ -8,11 +8,16 @@
 //! local machine, and reports the same statistics plus an example scenario.
 //!
 //! Usage: `replace_campaign [--tasks N] [--quick]
-//!                          [--workers-at host:port,…] [--spawn-workers N] [--verify-local]`
+//!                          [--workers-at host:port,…] [--spawn-workers N] [--verify-local]
+//!                          [--checkpoint PATH] [--resume PATH] [--heartbeat-interval MS]
+//!                          [--chaos-kill-one] [--chaos-abort-after N]`
 //!
 //! The `--workers-at` / `--spawn-workers` flags run the campaign over the
 //! network through `sympl_wire`; `--verify-local` gates on the
-//! distributed and in-process outcome digests matching.
+//! distributed and in-process outcome digests matching. The remaining
+//! flags are the fault-tolerance set shared with `tcas_campaign`:
+//! checkpoint/resume across coordinator crashes, heartbeat cadence, and
+//! the chaos-injection legs of `just chaos-demo`.
 
 use std::time::Duration;
 

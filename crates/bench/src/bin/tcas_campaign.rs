@@ -7,12 +7,19 @@
 //! cluster nodes), each task capped at 10 findings and a wall budget.
 //!
 //! Usage: `tcas_campaign [--tasks N] [--quick]
-//!                       [--workers-at host:port,…] [--spawn-workers N] [--verify-local]`
+//!                       [--workers-at host:port,…] [--spawn-workers N] [--verify-local]
+//!                       [--checkpoint PATH] [--resume PATH] [--heartbeat-interval MS]
+//!                       [--chaos-kill-one] [--chaos-abort-after N]`
 //!
 //! The `--workers-at` / `--spawn-workers` flags run the campaign over the
 //! network through `sympl_wire` instead of in-process threads;
 //! `--verify-local` additionally re-runs it in-process and gates on the
 //! two outcome digests matching (the distributed-campaign CI job).
+//! `--checkpoint` / `--resume` persist and recover completed shards
+//! across a coordinator crash, `--heartbeat-interval` tunes the worker
+//! liveness cadence, and the `--chaos-*` flags drive the fault-injection
+//! legs of `just chaos-demo` (SIGKILL a spawned worker mid-run; abort
+//! the coordinator after N results for a later `--resume`).
 
 use std::time::Duration;
 

@@ -151,14 +151,25 @@ pub fn render_table2(report: &SsimReport, caption: &str) -> String {
 
 /// Distributed-campaign plumbing shared by the campaign binaries:
 /// `--workers-at` / `--spawn-workers` / `--verify-local` parsing, the
-/// loopback self-spawn worker mode, and the gating digest comparison the
-/// `distributed-campaign` CI job (and `just cluster-demo`) rides on.
+/// fault-tolerance flags (`--checkpoint` / `--resume` /
+/// `--heartbeat-interval` and the chaos-injection flags the
+/// `just chaos-demo` CI gate drives), the loopback self-spawn worker
+/// mode, and the gating digest comparison the `distributed-campaign` CI
+/// job (and `just cluster-demo`) rides on.
 pub mod net {
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+    use std::time::Duration;
+
     use sympl_apps::Workload;
     use sympl_check::Predicate;
     use sympl_cluster::{run_cluster, CampaignReport, ClusterConfig};
     use sympl_inject::Campaign;
-    use sympl_wire::{run_distributed, spawn_loopback_workers, CampaignJob, WorkerServer};
+    use sympl_wire::{
+        run_distributed_with, spawn_loopback_workers, CampaignJob, ChaosPlan, DistOptions,
+        WireError, WorkerServer, DEFAULT_HEARTBEAT_INTERVAL,
+    };
 
     /// The hidden flag that re-runs a campaign binary as a loopback
     /// worker process (the self-spawn mode used by `--spawn-workers`).
@@ -195,6 +206,24 @@ pub mod net {
         /// `--verify-local`: also run the campaign in-process and gate on
         /// the two outcome digests matching.
         pub verify_local: bool,
+        /// `--checkpoint <path>`: append every completed task to a
+        /// checkpoint file a crashed coordinator can `--resume` from.
+        pub checkpoint: Option<PathBuf>,
+        /// `--resume <path>`: seed completed tasks from a checkpoint and
+        /// re-queue only the missing shards.
+        pub resume: Option<PathBuf>,
+        /// `--heartbeat-interval <ms>`: worker heartbeat cadence (the
+        /// liveness deadline derives from it); default 500 ms.
+        pub heartbeat_interval: Option<Duration>,
+        /// `--chaos-kill-one`: SIGKILL the first self-spawned loopback
+        /// worker after the first pooled result — the
+        /// kill-a-worker-mid-campaign chaos leg (needs `--spawn-workers`
+        /// ≥ 2 so a survivor remains).
+        pub chaos_kill_one: bool,
+        /// `--chaos-abort-after <n>`: abort the coordinator (exit 0,
+        /// checkpoint retained) once `n` results have been pooled — the
+        /// kill-the-coordinator chaos leg a later `--resume` completes.
+        pub chaos_abort_after: Option<usize>,
     }
 
     impl DistMode {
@@ -226,6 +255,29 @@ pub mod net {
                         .expect("--spawn-workers expects a count");
                 }
                 "--verify-local" => mode.verify_local = true,
+                "--checkpoint" => {
+                    mode.checkpoint = Some(PathBuf::from(
+                        it.next().expect("--checkpoint expects a path"),
+                    ));
+                }
+                "--resume" => {
+                    mode.resume = Some(PathBuf::from(it.next().expect("--resume expects a path")));
+                }
+                "--heartbeat-interval" => {
+                    mode.heartbeat_interval = Some(Duration::from_millis(
+                        it.next()
+                            .and_then(|s| s.parse().ok())
+                            .expect("--heartbeat-interval expects milliseconds"),
+                    ));
+                }
+                "--chaos-kill-one" => mode.chaos_kill_one = true,
+                "--chaos-abort-after" => {
+                    mode.chaos_abort_after = Some(
+                        it.next()
+                            .and_then(|s| s.parse().ok())
+                            .expect("--chaos-abort-after expects a count"),
+                    );
+                }
                 _ => {}
             }
         }
@@ -236,16 +288,20 @@ pub mod net {
     /// `--verify-local` — re-runs it in-process and gates on the two
     /// [`CampaignReport::outcome_digest`]s matching.
     ///
-    /// Verification forces the determinism contract (sequential point
-    /// searches, no task wall-clock budget) on *both* runs, because a
+    /// Verification, checkpointing, resuming, and the chaos legs all
+    /// force the determinism contract (sequential point searches, no
+    /// task wall-clock budget) on every run involved, because a
     /// time-budgeted or schedule-dependent truncation can legitimately
-    /// differ between runs; without `--verify-local` the config is used
-    /// as given.
+    /// differ between runs — and a checkpoint's campaign key must match
+    /// between the run that wrote it and the run that resumes it.
+    /// Without any of those flags the config is used as given.
     ///
     /// # Panics
     ///
     /// Exits the process with a failure code when workers cannot be
-    /// spawned/reached or when the gating digest comparison fails.
+    /// spawned/reached or when the gating digest comparison fails. A
+    /// `--chaos-abort-after` abort exits 0 (the checkpoint is the
+    /// deliverable); any other campaign error exits 1.
     #[must_use]
     pub fn run_distributed_campaign(
         workload: &Workload,
@@ -255,7 +311,12 @@ pub mod net {
         mode: &DistMode,
     ) -> CampaignReport {
         let mut config = config.clone();
-        if mode.verify_local {
+        let force_determinism = mode.verify_local
+            || mode.checkpoint.is_some()
+            || mode.resume.is_some()
+            || mode.chaos_kill_one
+            || mode.chaos_abort_after.is_some();
+        if force_determinism {
             config.point_workers_hint = Some(1);
             config.task_budget = None;
         }
@@ -287,17 +348,69 @@ pub mod net {
         // Shut workers down only when we spawned them; externally managed
         // workers (--workers-at) keep serving for the next campaign.
         let shutdown = spawned.is_some();
-        let report = match run_distributed(&job, &addrs, shutdown) {
+
+        // The SIGKILL chaos leg reaches into the spawned-worker set from
+        // the coordinator's result callback, so the set lives behind a
+        // lock; the flag makes the kill fire exactly once.
+        let spawned = Mutex::new(spawned);
+        let killed = AtomicBool::new(false);
+        let kill_one_mid_campaign = |completed: usize| {
+            if completed >= 1 && !killed.swap(true, Ordering::SeqCst) {
+                let mut guard = spawned.lock().expect("spawned workers lock");
+                if let Some(workers) = guard.as_mut() {
+                    match workers.kill_one(0) {
+                        Ok(addr) => println!("chaos: SIGKILLed loopback worker at {addr}"),
+                        Err(e) => eprintln!("chaos: failed to kill worker: {e}"),
+                    }
+                }
+            }
+        };
+        let opts = DistOptions {
+            shutdown_workers: shutdown,
+            heartbeat_interval: mode
+                .heartbeat_interval
+                .unwrap_or(DEFAULT_HEARTBEAT_INTERVAL),
+            checkpoint: mode.checkpoint.as_deref(),
+            resume: mode.resume.as_deref(),
+            chaos: ChaosPlan {
+                abort_after_results: mode.chaos_abort_after,
+                on_result: mode
+                    .chaos_kill_one
+                    .then_some(&kill_one_mid_campaign as &(dyn Fn(usize) + Sync)),
+            },
+        };
+        let report = match run_distributed_with(&job, &addrs, &opts) {
             Ok(report) => report,
-            Err(e) => {
-                eprintln!("distributed campaign failed: {e}");
+            Err(WireError::CoordinatorAborted { completed }) => {
+                println!(
+                    "chaos: coordinator aborted after {completed} completed task(s); \
+                     the checkpoint holds them for --resume"
+                );
                 // `exit` skips destructors; reap the spawned workers
                 // explicitly so they are not orphaned.
-                drop(spawned);
+                drop(spawned.into_inner().expect("spawned workers lock"));
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("distributed campaign failed: {e}");
+                drop(spawned.into_inner().expect("spawned workers lock"));
                 std::process::exit(1);
             }
         };
-        if let Some(spawned) = spawned {
+        if report.resumed_tasks > 0 {
+            println!(
+                "resumed {} task(s) from checkpoint; {} re-run",
+                report.resumed_tasks,
+                report.tasks.len() - report.resumed_tasks
+            );
+        }
+        if report.degraded {
+            println!(
+                "campaign finished DEGRADED: {} worker(s) lost, {} task(s) re-queued",
+                report.workers_lost, report.tasks_retried
+            );
+        }
+        if let Some(spawned) = spawned.into_inner().expect("spawned workers lock") {
             spawned.join().expect("spawned workers exit cleanly");
         }
         println!(

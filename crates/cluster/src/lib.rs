@@ -37,7 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -185,6 +185,18 @@ pub struct CampaignReport {
     pub findings: Vec<Finding>,
     /// Total wall-clock time of the campaign (not the sum of task times).
     pub elapsed: Duration,
+    /// The campaign survived worker failures: at least one worker died,
+    /// stalled past its liveness deadline, or had tasks re-queued. The
+    /// *outcomes* are still exact (every shard ran to the same result on a
+    /// surviving worker) — degradation describes the schedule, not the
+    /// results, so none of these fields feed [`Self::outcome_digest`].
+    pub degraded: bool,
+    /// Worker connections lost mid-campaign (dead, stalled, or refused).
+    pub workers_lost: usize,
+    /// Tasks that had to be re-queued onto another worker.
+    pub tasks_retried: usize,
+    /// Tasks restored from a coordinator checkpoint instead of re-run.
+    pub resumed_tasks: usize,
 }
 
 impl CampaignReport {
@@ -285,12 +297,15 @@ impl CampaignReport {
     /// A deterministic 128-bit digest of the campaign's *outcome* — the
     /// per-task completion statistics and every finding's injection point,
     /// terminal-state fingerprint, and witness trace — excluding all
-    /// wall-clock figures. Two campaign runs that swept the same points to
-    /// the same results produce the same digest, whether the tasks ran on
-    /// in-process threads or on remote workers over the wire; the
-    /// distributed CI gate diffs exactly this value. (FNV-128 over
-    /// `Hash`-fed bytes: stable across processes on one platform, not
-    /// across platforms of different endianness.)
+    /// wall-clock figures and the schedule-dependent degradation counters
+    /// ([`Self::degraded`], [`Self::workers_lost`], [`Self::tasks_retried`],
+    /// [`Self::resumed_tasks`]). Two campaign runs that swept the same
+    /// points to the same results produce the same digest, whether the
+    /// tasks ran on in-process threads or on remote workers over the wire,
+    /// and whether or not workers died or the run was resumed from a
+    /// checkpoint along the way; the distributed CI gate diffs exactly
+    /// this value. (FNV-128 over `Hash`-fed bytes: stable across processes
+    /// on one platform, not across platforms of different endianness.)
     #[must_use]
     pub fn outcome_digest(&self) -> u128 {
         use std::hash::Hash;
@@ -321,7 +336,7 @@ impl CampaignReport {
     /// A paper-style textual summary (the §6.2 "Running Time" paragraph).
     #[must_use]
     pub fn summary(&self) -> String {
-        format!(
+        let mut text = format!(
             "{} tasks: {} completed ({} found errors, {} found none), {} incomplete; \
              {} findings total; avg completed-task time {:?}; campaign wall time {:?}; \
              engine: {} states at {:.0} states/s ({}-way point searches, {} steals); \
@@ -341,7 +356,20 @@ impl CampaignReport {
             self.peak_frontier_len(),
             self.peak_frontier_bytes(),
             self.spilled_states(),
-        )
+        );
+        if self.resumed_tasks > 0 {
+            text.push_str(&format!(
+                "; resumed {} task(s) from checkpoint",
+                self.resumed_tasks
+            ));
+        }
+        if self.degraded {
+            text.push_str(&format!(
+                "; DEGRADED: {} worker(s) lost, {} task(s) re-queued",
+                self.workers_lost, self.tasks_retried
+            ));
+        }
+        text
     }
 }
 
@@ -427,6 +455,35 @@ pub fn run_task_spec(
     predicate: &Predicate,
     config: &ClusterConfig,
 ) -> (TaskResult, Vec<Finding>) {
+    run_task_spec_with_cancel(
+        program,
+        detectors,
+        input,
+        spec,
+        predicate,
+        config,
+        &AtomicBool::new(false),
+    )
+}
+
+/// [`run_task_spec`] with a cooperative cancellation flag, checked between
+/// point searches: once `cancel` is set the task stops sweeping, marks
+/// itself incomplete, and returns whatever it has. A network worker's
+/// connection thread sets the flag when the coordinator sends a `Cancel`
+/// frame (or dies), so an aborting campaign does not strand the worker in
+/// a long sweep. Cancellation granularity is one injection point — a
+/// single long point search runs to its own budget before the flag is
+/// seen.
+#[must_use]
+pub fn run_task_spec_with_cancel(
+    program: &Program,
+    detectors: &DetectorSet,
+    input: &[i64],
+    spec: &TaskSpec,
+    predicate: &Predicate,
+    config: &ClusterConfig,
+    cancel: &AtomicBool,
+) -> (TaskResult, Vec<Finding>) {
     let start = Instant::now();
     let mut findings = Vec::new();
     let mut result = TaskResult {
@@ -452,6 +509,10 @@ pub fn run_task_spec(
     let _ = program.decoded();
 
     for point in &spec.points {
+        if cancel.load(Ordering::Relaxed) {
+            result.completed = false;
+            break;
+        }
         if let Some(budget) = config.task_budget {
             if start.elapsed() >= budget {
                 result.completed = false;
@@ -678,6 +739,84 @@ mod tests {
         assert!(config.point_share() >= 1);
         config.point_workers_hint = Some(7);
         assert_eq!(config.point_share(), 7);
+    }
+
+    #[test]
+    fn cancel_flag_stops_a_task_between_points() {
+        let p = factorial();
+        let campaign = Campaign::new(&p, ErrorClass::RegisterFile);
+        let config = quick_config(1);
+        let specs = shard_specs(&campaign, 1);
+        // A pre-set flag stops the sweep before the first point.
+        let cancel = AtomicBool::new(true);
+        let (result, findings) = run_task_spec_with_cancel(
+            &p,
+            &DetectorSet::new(),
+            &[4],
+            &specs[0],
+            &Predicate::OutputContainsErr,
+            &config,
+            &cancel,
+        );
+        assert_eq!(result.points_examined, 0);
+        assert!(!result.completed, "a cancelled task is incomplete");
+        assert!(findings.is_empty());
+        // An unset flag reproduces run_task_spec exactly.
+        let cancel = AtomicBool::new(false);
+        let (a, fa) = run_task_spec_with_cancel(
+            &p,
+            &DetectorSet::new(),
+            &[4],
+            &specs[0],
+            &Predicate::OutputContainsErr,
+            &config,
+            &cancel,
+        );
+        let (b, fb) = run_task_spec(
+            &p,
+            &DetectorSet::new(),
+            &[4],
+            &specs[0],
+            &Predicate::OutputContainsErr,
+            &config,
+        );
+        assert_eq!(
+            (a.points_examined, a.findings, a.completed),
+            (b.points_examined, b.findings, b.completed)
+        );
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn degradation_counters_render_but_do_not_move_the_digest() {
+        let p = factorial();
+        let campaign = Campaign::new(&p, ErrorClass::RegisterFile);
+        let config = ClusterConfig {
+            point_workers_hint: Some(1),
+            ..quick_config(3)
+        };
+        let clean = run_cluster(
+            &p,
+            &DetectorSet::new(),
+            &[4],
+            &campaign,
+            &Predicate::OutputContainsErr,
+            &config,
+        );
+        let mut degraded = clean.clone();
+        degraded.degraded = true;
+        degraded.workers_lost = 2;
+        degraded.tasks_retried = 5;
+        degraded.resumed_tasks = 1;
+        assert_eq!(
+            clean.outcome_digest(),
+            degraded.outcome_digest(),
+            "degradation describes the schedule, not the outcome"
+        );
+        let text = degraded.summary();
+        assert!(text.contains("DEGRADED: 2 worker(s) lost, 5 task(s) re-queued"));
+        assert!(text.contains("resumed 1 task(s) from checkpoint"));
+        assert!(!clean.summary().contains("DEGRADED"));
     }
 
     #[test]

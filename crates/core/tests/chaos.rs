@@ -1,0 +1,202 @@
+//! Chaos acceptance suite: real `symplfied serve` worker *processes*
+//! under injected faults. Two scenarios, both gated on reproducing the
+//! in-process `CampaignReport::outcome_digest` verbatim:
+//!
+//! 1. **Kill a worker mid-campaign** — SIGKILL one of three worker
+//!    processes after the first pooled result; the survivors absorb its
+//!    re-queued work and the campaign finishes degraded but correct.
+//! 2. **Kill the coordinator, then resume** — a checkpointing
+//!    coordinator aborts mid-campaign (the deterministic stand-in for a
+//!    coordinator crash); a fresh coordinator resumes from the
+//!    checkpoint, re-running only the missing shards, and merges to the
+//!    identical digest.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use symplfied::check::{Predicate, SearchLimits};
+use symplfied::cluster::{run_cluster, ClusterConfig};
+use symplfied::inject::{Campaign, ErrorClass};
+use symplfied::machine::ExecLimits;
+use symplfied::wire::{
+    run_distributed_with, spawn_loopback_workers, CampaignJob, ChaosPlan, DistOptions, WireError,
+};
+
+/// The deterministic campaign configuration: sequential point searches
+/// (`point_workers_hint = Some(1)`) and no wall-clock budgets, so even
+/// truncated searches explore a schedule-independent prefix and every
+/// run must agree bit-for-bit on outcomes.
+fn deterministic_config(max_steps: u64, tasks: usize) -> ClusterConfig {
+    ClusterConfig {
+        workers: 2,
+        tasks,
+        search: SearchLimits {
+            exec: ExecLimits::with_max_steps(max_steps),
+            max_states: 20_000,
+            ..SearchLimits::default()
+        },
+        task_budget: None,
+        max_findings_per_task: 10,
+        point_workers_hint: Some(1),
+    }
+}
+
+fn serve_args() -> Vec<String> {
+    ["serve", "--listen", "127.0.0.1:0"]
+        .map(String::from)
+        .to_vec()
+}
+
+#[test]
+fn sigkilled_worker_mid_campaign_still_reproduces_the_in_process_digest() {
+    let w = symplfied::apps::tcas();
+    let golden = symplfied::apps::golden(&w).output_ints();
+    let mut campaign = Campaign::new(&w.program, ErrorClass::RegisterFile);
+    campaign.points.truncate(48);
+    let predicate = Predicate::WrongOutput { expected: golden };
+    let config = deterministic_config(w.max_steps, 6);
+
+    let local = run_cluster(
+        &w.program,
+        &w.detectors,
+        &w.input,
+        &campaign,
+        &predicate,
+        &config,
+    );
+
+    let exe = Path::new(env!("CARGO_BIN_EXE_symplfied"));
+    let workers = spawn_loopback_workers(exe, &serve_args(), 3).expect("spawn 3 worker processes");
+    let addrs = workers.addrs.clone();
+
+    let job = CampaignJob {
+        program: &w.program,
+        program_id: "tcas",
+        input: &w.input,
+        campaign: &campaign,
+        predicate: &predicate,
+        config: &config,
+    };
+    // SIGKILL the first worker process once the first result lands —
+    // mid-campaign, with its own task very likely in flight.
+    let workers = Mutex::new(workers);
+    let killed = AtomicBool::new(false);
+    let kill_one = |completed: usize| {
+        if completed >= 1 && !killed.swap(true, Ordering::SeqCst) {
+            workers
+                .lock()
+                .expect("workers lock")
+                .kill_one(0)
+                .expect("SIGKILL a worker process");
+        }
+    };
+    let opts = DistOptions {
+        shutdown_workers: true,
+        chaos: ChaosPlan {
+            on_result: Some(&kill_one),
+            ..ChaosPlan::default()
+        },
+        ..DistOptions::default()
+    };
+    let distributed = run_distributed_with(&job, &addrs, &opts).expect("degraded campaign");
+    assert!(killed.load(Ordering::SeqCst), "the chaos kill must fire");
+    workers
+        .into_inner()
+        .expect("workers lock")
+        .join()
+        .expect("surviving workers exit cleanly after shutdown");
+
+    assert_eq!(
+        distributed.outcome_digest(),
+        local.outcome_digest(),
+        "a campaign that lost a worker to SIGKILL must still reproduce \
+         the in-process outcome digest"
+    );
+    assert_eq!(distributed.tasks.len(), local.tasks.len());
+    assert_eq!(distributed.findings, local.findings);
+    assert!(
+        distributed.degraded,
+        "losing a worker must be reported as degradation"
+    );
+    assert!(distributed.workers_lost >= 1);
+}
+
+#[test]
+fn killed_coordinator_resumes_from_checkpoint_to_the_in_process_digest() {
+    let w = symplfied::apps::tcas();
+    let golden = symplfied::apps::golden(&w).output_ints();
+    let mut campaign = Campaign::new(&w.program, ErrorClass::RegisterFile);
+    campaign.points.truncate(48);
+    let predicate = Predicate::WrongOutput { expected: golden };
+    let config = deterministic_config(w.max_steps, 6);
+
+    let local = run_cluster(
+        &w.program,
+        &w.detectors,
+        &w.input,
+        &campaign,
+        &predicate,
+        &config,
+    );
+
+    let exe = Path::new(env!("CARGO_BIN_EXE_symplfied"));
+    let workers = spawn_loopback_workers(exe, &serve_args(), 2).expect("spawn 2 worker processes");
+    let addrs = workers.addrs.clone();
+    let job = CampaignJob {
+        program: &w.program,
+        program_id: "tcas",
+        input: &w.input,
+        campaign: &campaign,
+        predicate: &predicate,
+        config: &config,
+    };
+    let ck = std::env::temp_dir().join(format!(
+        "symplfied-chaos-resume-{}.checkpoint",
+        std::process::id()
+    ));
+
+    // Leg 1: the checkpointing coordinator "crashes" after two results.
+    // The worker processes survive (no shutdown frame is sent on abort).
+    let leg1 = DistOptions {
+        checkpoint: Some(&ck),
+        chaos: ChaosPlan {
+            abort_after_results: Some(2),
+            ..ChaosPlan::default()
+        },
+        ..DistOptions::default()
+    };
+    let err = run_distributed_with(&job, &addrs, &leg1).expect_err("the abort leg must fail");
+    assert!(
+        matches!(err, WireError::CoordinatorAborted { completed } if completed >= 2),
+        "{err}"
+    );
+
+    // Leg 2: a fresh coordinator resumes the same worker processes from
+    // the checkpoint — only the missing shards are re-run.
+    let leg2 = DistOptions {
+        shutdown_workers: true,
+        resume: Some(&ck),
+        ..DistOptions::default()
+    };
+    let resumed = run_distributed_with(&job, &addrs, &leg2).expect("resumed campaign");
+    workers.join().expect("workers exit cleanly after shutdown");
+    let _ = std::fs::remove_file(&ck);
+
+    assert!(
+        resumed.resumed_tasks >= 2,
+        "the checkpointed shards must be seeded, not re-run"
+    );
+    assert!(
+        resumed.resumed_tasks < local.tasks.len(),
+        "the missing shards must actually be re-run"
+    );
+    assert_eq!(
+        resumed.outcome_digest(),
+        local.outcome_digest(),
+        "checkpointed + re-run shards must merge to the uninterrupted \
+         in-process outcome digest"
+    );
+    assert_eq!(resumed.tasks.len(), local.tasks.len());
+    assert_eq!(resumed.findings, local.findings);
+}

@@ -1,0 +1,169 @@
+//! A test-only failure injector for the transport: a frame-aware TCP
+//! proxy that sits between a coordinator and a worker and breaks the
+//! conversation in controlled ways. The chaos acceptance suite (in-crate
+//! tests, `crates/core/tests/chaos.rs`, and the `just chaos-demo` CI leg)
+//! uses it to prove the supervision layer's claims: a dropped connection
+//! re-queues the in-flight task, a mid-frame stall trips the
+//! heartbeat-derived liveness deadline instead of hanging the campaign,
+//! and either way the merged report reproduces the in-process
+//! `outcome_digest` verbatim.
+//!
+//! This module injects faults into *our own* infrastructure under test —
+//! it is not a general network tool. The proxy serves exactly one
+//! downstream connection and then exits.
+
+use std::io::{self, BufRead as _, BufReader, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How the proxy should break the worker→coordinator stream.
+#[derive(Debug, Clone, Copy)]
+pub enum ChaosMode {
+    /// Forward this many worker→coordinator frames (heartbeats count),
+    /// then drop both connections — the coordinator observes a clean
+    /// disconnect mid-task.
+    DropAfterFrames(usize),
+    /// Forward this many frames, then forward only *half* of the next
+    /// frame and go silent for `hold` before dropping — the coordinator
+    /// observes a wedged worker (partial bytes, then nothing) and must
+    /// fail the connection via its liveness deadline, never by waiting
+    /// out the hold.
+    StallMidFrame {
+        /// Intact frames to forward before the stall.
+        after_frames: usize,
+        /// How long to hold the half-sent frame before dropping.
+        hold: Duration,
+    },
+}
+
+/// A one-shot chaos proxy in front of an upstream worker address.
+pub struct ChaosProxy {
+    /// The proxy's own listen address — hand this to the coordinator in
+    /// place of the worker's.
+    pub addr: String,
+    handle: JoinHandle<()>,
+}
+
+impl ChaosProxy {
+    /// Starts a proxy on a loopback port that will serve one coordinator
+    /// connection against `upstream`, applying `mode` to the
+    /// worker→coordinator direction.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error binding the listen port.
+    pub fn start(upstream: String, mode: ChaosMode) -> io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?.to_string();
+        let handle = std::thread::spawn(move || {
+            if let Err(e) = proxy_one(&listener, &upstream, mode) {
+                eprintln!("sympl-wire chaos proxy: {e}");
+            }
+        });
+        Ok(ChaosProxy { addr, handle })
+    }
+
+    /// Waits for the proxy thread to finish (it exits once its single
+    /// connection has been served and broken).
+    pub fn join(self) {
+        let _ = self.handle.join();
+    }
+}
+
+/// Reads one LEB128 varint byte-at-a-time, appending the raw bytes to
+/// `raw` so they can be forwarded verbatim.
+fn read_varint_raw(r: &mut impl Read, raw: &mut Vec<u8>) -> io::Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let mut b = [0u8; 1];
+        r.read_exact(&mut b)?;
+        raw.push(b[0]);
+        if shift >= 64 {
+            return Err(io::Error::other("varint overflow in proxied stream"));
+        }
+        v |= u64::from(b[0] & 0x7F) << shift;
+        if b[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn proxy_one(listener: &TcpListener, upstream: &str, mode: ChaosMode) -> io::Result<()> {
+    let (down, _) = listener.accept()?;
+    let up = TcpStream::connect(upstream)?;
+
+    // Coordinator→worker is forwarded verbatim on its own thread; the
+    // chaos is injected into the worker→coordinator direction only.
+    let down_for_copy = down.try_clone()?;
+    let up_for_copy = up.try_clone()?;
+    let forward = std::thread::spawn(move || {
+        let _ = io::copy(&mut &down_for_copy, &mut &up_for_copy);
+        let _ = up_for_copy.shutdown(Shutdown::Write);
+    });
+
+    let outcome = run_chaos_direction(&up, &down, mode);
+
+    // Tear everything down so the copy thread unblocks whatever happens.
+    let _ = down.shutdown(Shutdown::Both);
+    let _ = up.shutdown(Shutdown::Both);
+    let _ = forward.join();
+    outcome
+}
+
+/// Forwards the worker preamble then frames downstream, applying `mode`.
+fn run_chaos_direction(up: &TcpStream, down: &TcpStream, mode: ChaosMode) -> io::Result<()> {
+    let mut reader = BufReader::new(up.try_clone()?);
+    let mut writer = down.try_clone()?;
+
+    // Preamble: 4 magic bytes + the varint protocol version.
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    writer.write_all(&magic)?;
+    let mut raw = Vec::new();
+    let _ = read_varint_raw(&mut reader, &mut raw)?;
+    writer.write_all(&raw)?;
+    writer.flush()?;
+
+    let mut forwarded = 0usize;
+    loop {
+        // End of upstream stream at a frame boundary: clean hang-up,
+        // forward the close by returning.
+        if reader.fill_buf()?.is_empty() {
+            return Ok(());
+        }
+        let mut prefix = Vec::with_capacity(5);
+        let len = read_varint_raw(&mut reader, &mut prefix)?;
+        let len = usize::try_from(len)
+            .ok()
+            .filter(|&l| l <= crate::frame::MAX_FRAME_LEN)
+            .ok_or_else(|| io::Error::other("oversized frame in proxied stream"))?;
+        let mut payload = vec![0u8; len];
+        reader.read_exact(&mut payload)?;
+
+        match mode {
+            ChaosMode::DropAfterFrames(n) if forwarded >= n => {
+                // Drop the connection with this frame unsent.
+                return Ok(());
+            }
+            ChaosMode::StallMidFrame { after_frames, hold } if forwarded >= after_frames => {
+                // Send the prefix and half the payload, then go silent:
+                // the coordinator holds partial bytes it can never
+                // complete into a frame.
+                writer.write_all(&prefix)?;
+                writer.write_all(&payload[..len / 2])?;
+                writer.flush()?;
+                std::thread::sleep(hold);
+                return Ok(());
+            }
+            _ => {
+                writer.write_all(&prefix)?;
+                writer.write_all(&payload)?;
+                writer.flush()?;
+                forwarded += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! Campaign checkpointing: an append-only, codec-encoded record of every
+//! completed task, so a coordinator that dies mid-campaign can be
+//! restarted with `--resume` and re-queue *only* the missing shards.
+//!
+//! ## File format
+//!
+//! ```text
+//! magic: 4 bytes            b"SYCP"
+//! checkpoint version: varint  (CHECKPOINT_VERSION, currently 1)
+//! protocol version: varint    (PROTOCOL_VERSION — record payloads ride
+//!                              the wire message codecs, so a checkpoint
+//!                              written by a different protocol revision
+//!                              is refused rather than mis-decoded)
+//! campaign key: 2 varints     (FNV-128 digest of the campaign identity:
+//!                              program digest, input, predicate, search
+//!                              limits, budgets, shard count, point
+//!                              workers share, and every injection point
+//!                              — see [`campaign_key`])
+//! tasks total: varint         (shard count the campaign was split into)
+//! record*:
+//!   payload length: varint
+//!   payload: length bytes     (TaskResult record + varint finding count
+//!                              + Finding records, exactly the `TaskDone`
+//!                              body encoding)
+//!   payload digest: 16 bytes  (FNV-128 of the payload, little-endian —
+//!                              a flipped byte anywhere in a record is
+//!                              detected, not silently merged)
+//! ```
+//!
+//! Records are appended and flushed one at a time, so a coordinator
+//! killed mid-append leaves at most one *truncated* trailing record. The
+//! loader is deliberately lenient about exactly that case (the tail is
+//! dropped and reported via [`CheckpointFile::truncated_tail`]) and
+//! strict about everything else: a header that does not match, a record
+//! whose digest check fails, or trailing garbage is corruption and
+//! refuses to load.
+//!
+//! ## Determinism contract
+//!
+//! Task execution is deterministic (see the crate docs), so a resumed
+//! campaign — checkpointed results merged with freshly re-run missing
+//! shards through the same [`sympl_cluster::pool_results`] — produces a
+//! [`sympl_cluster::CampaignReport`] whose
+//! [`outcome_digest`](sympl_cluster::CampaignReport::outcome_digest) is
+//! identical to an uninterrupted run's. The chaos acceptance suite gates
+//! on exactly this.
+
+use std::fs::File;
+use std::hash::Hasher as _;
+use std::io::{Read as _, Write as _};
+use std::path::Path;
+
+use sympl_cluster::{Finding, TaskResult};
+use sympl_symbolic::codec::{decode_u64, encode_u64};
+use sympl_symbolic::Fnv128Hasher;
+
+use crate::frame::PROTOCOL_VERSION;
+use crate::proto::{
+    decode_finding, decode_task_result, decode_u128, encode_finding, encode_task_result,
+    encode_u128,
+};
+use crate::transport::CampaignJob;
+use crate::{program_digest, CodecError, WireError};
+
+/// The four bytes every checkpoint file opens with.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"SYCP";
+
+/// The checkpoint container-format revision (header + record framing).
+/// Record *payload* compatibility is tracked separately via the embedded
+/// [`PROTOCOL_VERSION`].
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// Hard cap on a single checkpoint record (matches the wire frame cap —
+/// a record is a `TaskDone` body).
+const MAX_RECORD_LEN: usize = crate::frame::MAX_FRAME_LEN;
+
+/// A deterministic FNV-128 digest of everything that identifies a
+/// campaign: the program (by [`program_digest`]), the input stream, the
+/// predicate, the full search limits, the task budget and finding cap,
+/// the resolved point-workers share, the shard count, and every injection
+/// point in order. Two [`CampaignJob`]s with the same key shard into the
+/// same tasks and run them to the same outcomes, which is what makes a
+/// checkpoint written by one coordinator safe for another to resume; a
+/// checkpoint whose key differs is stale and is refused.
+///
+/// # Errors
+///
+/// [`CodecError::Unsupported`] when the predicate is a closure-backed
+/// `Predicate::Custom` — such campaigns cannot be checkpointed (or
+/// distributed) because their identity cannot be encoded.
+pub fn campaign_key(job: &CampaignJob<'_>) -> Result<u128, CodecError> {
+    use sympl_check::codec::{encode_i64_seq, encode_predicate, encode_search_limits};
+    use sympl_inject::codec::encode_point;
+    use sympl_symbolic::codec::encode_opt_duration;
+
+    let mut buf = Vec::new();
+    encode_u128(program_digest(job.program), &mut buf);
+    encode_i64_seq(job.input, &mut buf);
+    encode_predicate(job.predicate, &mut buf)?;
+    encode_search_limits(&job.config.search, &mut buf);
+    encode_opt_duration(job.config.task_budget, &mut buf);
+    encode_u64(job.config.max_findings_per_task as u64, &mut buf);
+    encode_u64(job.config.point_share() as u64, &mut buf);
+    encode_u64(job.config.tasks as u64, &mut buf);
+    encode_u64(job.campaign.points.len() as u64, &mut buf);
+    for point in &job.campaign.points {
+        encode_point(point, &mut buf);
+    }
+    let mut h = Fnv128Hasher::new();
+    h.write(&buf);
+    Ok(h.finish128())
+}
+
+fn record_digest(payload: &[u8]) -> u128 {
+    let mut h = Fnv128Hasher::new();
+    h.write(payload);
+    h.finish128()
+}
+
+/// Appends completed-task records to a checkpoint file, one flushed
+/// record per task, so the on-disk state is crash-consistent at record
+/// granularity.
+pub struct CheckpointWriter {
+    file: File,
+}
+
+impl CheckpointWriter {
+    /// Creates (truncating) a checkpoint file and writes its header.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error.
+    pub fn create(path: &Path, key: u128, tasks_total: usize) -> Result<Self, WireError> {
+        let mut header = Vec::with_capacity(64);
+        header.extend_from_slice(&CHECKPOINT_MAGIC);
+        encode_u64(CHECKPOINT_VERSION, &mut header);
+        encode_u64(PROTOCOL_VERSION, &mut header);
+        encode_u128(key, &mut header);
+        encode_u64(tasks_total as u64, &mut header);
+        let mut file = File::create(path).map_err(WireError::Io)?;
+        file.write_all(&header).map_err(WireError::Io)?;
+        file.flush().map_err(WireError::Io)?;
+        Ok(CheckpointWriter { file })
+    }
+
+    /// Appends one completed task's result and findings as a single
+    /// digest-protected record, flushed before returning.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error.
+    pub fn append(&mut self, result: &TaskResult, findings: &[Finding]) -> Result<(), WireError> {
+        let mut payload = Vec::new();
+        encode_task_result(result, &mut payload);
+        encode_u64(findings.len() as u64, &mut payload);
+        for finding in findings {
+            encode_finding(finding, &mut payload);
+        }
+        let mut record = Vec::with_capacity(payload.len() + 24);
+        encode_u64(payload.len() as u64, &mut record);
+        record.extend_from_slice(&payload);
+        record.extend_from_slice(&record_digest(&payload).to_le_bytes());
+        self.file.write_all(&record).map_err(WireError::Io)?;
+        self.file.flush().map_err(WireError::Io)?;
+        Ok(())
+    }
+}
+
+/// A parsed checkpoint file.
+#[derive(Debug)]
+pub struct CheckpointFile {
+    /// The campaign key the checkpoint was written under
+    /// ([`campaign_key`]); resume refuses a key mismatch.
+    pub key: u128,
+    /// The shard count the checkpointed campaign was split into.
+    pub tasks_total: usize,
+    /// Every intact completed-task record, in append order.
+    pub entries: Vec<(TaskResult, Vec<Finding>)>,
+    /// Whether a truncated trailing record was dropped — the signature of
+    /// a coordinator killed mid-append. The intact prefix is still valid.
+    pub truncated_tail: bool,
+}
+
+/// Reads and parses a checkpoint file. See [`parse_checkpoint`].
+///
+/// # Errors
+///
+/// Any filesystem error, plus everything [`parse_checkpoint`] refuses.
+pub fn load_checkpoint(path: &Path) -> Result<CheckpointFile, WireError> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(WireError::Io)?;
+    parse_checkpoint(&bytes)
+}
+
+/// Parses checkpoint bytes: strict about the header and any corruption
+/// inside complete records, lenient about exactly one truncated trailing
+/// record (a mid-append crash), which is dropped and flagged.
+///
+/// # Errors
+///
+/// [`WireError::BadMagic`] / [`WireError::VersionMismatch`] on a foreign
+/// or stale header, [`WireError::CheckpointCorrupt`] when a record's
+/// digest check fails, plus any [`CodecError`] from malformed payloads.
+pub fn parse_checkpoint(bytes: &[u8]) -> Result<CheckpointFile, WireError> {
+    let mut pos = 0usize;
+    let magic: [u8; 4] = bytes
+        .get(..4)
+        .and_then(|m| m.try_into().ok())
+        .ok_or(WireError::from(CodecError::UnexpectedEnd))?;
+    if magic != CHECKPOINT_MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    pos += 4;
+    let version = decode_u64(bytes, &mut pos)?;
+    if version != CHECKPOINT_VERSION {
+        return Err(WireError::VersionMismatch {
+            ours: CHECKPOINT_VERSION,
+            theirs: version,
+        });
+    }
+    let protocol = decode_u64(bytes, &mut pos)?;
+    if protocol != PROTOCOL_VERSION {
+        return Err(WireError::VersionMismatch {
+            ours: PROTOCOL_VERSION,
+            theirs: protocol,
+        });
+    }
+    let key = decode_u128(bytes, &mut pos)?;
+    let tasks_total = usize::try_from(decode_u64(bytes, &mut pos)?)
+        .map_err(|_| WireError::from(CodecError::Overflow))?;
+
+    let mut entries = Vec::new();
+    let mut truncated_tail = false;
+    while pos < bytes.len() {
+        let record_start = pos;
+        // A record that cannot even announce its length is a truncated
+        // tail, not corruption.
+        let Ok(len) = decode_u64(bytes, &mut pos) else {
+            truncated_tail = true;
+            break;
+        };
+        let Ok(len) = usize::try_from(len) else {
+            return Err(WireError::CheckpointCorrupt {
+                offset: record_start,
+            });
+        };
+        if len > MAX_RECORD_LEN {
+            return Err(WireError::CheckpointCorrupt {
+                offset: record_start,
+            });
+        }
+        let Some(payload) = bytes.get(pos..pos + len) else {
+            truncated_tail = true;
+            break;
+        };
+        let Some(digest) = bytes
+            .get(pos + len..pos + len + 16)
+            .and_then(|d| <[u8; 16]>::try_from(d).ok())
+        else {
+            truncated_tail = true;
+            break;
+        };
+        if u128::from_le_bytes(digest) != record_digest(payload) {
+            return Err(WireError::CheckpointCorrupt {
+                offset: record_start,
+            });
+        }
+        let mut p = 0usize;
+        let result = decode_task_result(payload, &mut p)?;
+        let n = usize::try_from(decode_u64(payload, &mut p)?)
+            .map_err(|_| WireError::from(CodecError::Overflow))?;
+        let mut findings = Vec::with_capacity(n.min(1 << 12));
+        for _ in 0..n {
+            findings.push(decode_finding(payload, &mut p)?);
+        }
+        if p != payload.len() {
+            return Err(WireError::CheckpointCorrupt {
+                offset: record_start,
+            });
+        }
+        entries.push((result, findings));
+        pos += len + 16;
+    }
+    Ok(CheckpointFile {
+        key,
+        tasks_total,
+        entries,
+        truncated_tail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample_entry(id: usize) -> (TaskResult, Vec<Finding>) {
+        (
+            TaskResult {
+                id,
+                points_examined: 3 + id,
+                points_total: 4,
+                activated: 2,
+                findings: 0,
+                completed: true,
+                elapsed: Duration::from_millis(id as u64 * 7),
+                states_explored: 100 + id,
+                point_workers: 1,
+                steals: 0,
+                peak_frontier_len: 5,
+                peak_frontier_bytes: 640,
+                spilled_states: 0,
+            },
+            Vec::new(),
+        )
+    }
+
+    fn write_file(entries: &[(TaskResult, Vec<Finding>)], key: u128, total: usize) -> Vec<u8> {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "sympl-checkpoint-test-{}-{:x}.bin",
+            std::process::id(),
+            key as u64
+        ));
+        let mut w = CheckpointWriter::create(&path, key, total).unwrap();
+        for (r, f) in entries {
+            w.append(r, f).unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        bytes
+    }
+
+    #[test]
+    fn checkpoints_roundtrip() {
+        let entries: Vec<_> = (0..5).map(sample_entry).collect();
+        let bytes = write_file(&entries, 0xDEAD_BEEF, 8);
+        let file = parse_checkpoint(&bytes).unwrap();
+        assert_eq!(file.key, 0xDEAD_BEEF);
+        assert_eq!(file.tasks_total, 8);
+        assert!(!file.truncated_tail);
+        assert_eq!(file.entries, entries);
+    }
+
+    #[test]
+    fn truncated_tails_drop_only_the_tail() {
+        let entries: Vec<_> = (0..4).map(sample_entry).collect();
+        let bytes = write_file(&entries, 1, 4);
+        // Cut 5 bytes off the end: the last record is truncated, the
+        // prefix still loads.
+        let file = parse_checkpoint(&bytes[..bytes.len() - 5]).unwrap();
+        assert!(file.truncated_tail);
+        assert_eq!(file.entries, entries[..3]);
+    }
+
+    #[test]
+    fn corrupt_records_are_refused() {
+        let entries: Vec<_> = (0..3).map(sample_entry).collect();
+        let bytes = write_file(&entries, 2, 3);
+        // Flip a byte in the middle of the records region.
+        let mut corrupt = bytes.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x40;
+        let outcome = parse_checkpoint(&corrupt);
+        match outcome {
+            Err(_) => {}
+            Ok(file) => {
+                // A flip after the last intact record boundary may read as
+                // a truncated tail; intact entries must still be a prefix.
+                assert!(file.entries.len() < entries.len() || file.truncated_tail);
+                assert_eq!(file.entries[..], entries[..file.entries.len()]);
+            }
+        }
+        // Wrong magic and stale versions are refused outright.
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert!(matches!(
+            parse_checkpoint(&wrong_magic),
+            Err(WireError::BadMagic(_))
+        ));
+        let mut header = CHECKPOINT_MAGIC.to_vec();
+        encode_u64(CHECKPOINT_VERSION + 9, &mut header);
+        assert!(matches!(
+            parse_checkpoint(&header),
+            Err(WireError::VersionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_checkpoints_are_valid() {
+        let bytes = write_file(&[], 7, 12);
+        let file = parse_checkpoint(&bytes).unwrap();
+        assert_eq!(file.tasks_total, 12);
+        assert!(file.entries.is_empty());
+        assert!(!file.truncated_tail);
+    }
+}

@@ -15,7 +15,16 @@ pub const MAGIC: [u8; 4] = *b"SYWR";
 /// The protocol revision this build speaks. Bump on ANY change to the
 /// preamble, frame, or message byte formats (the golden-vector test under
 /// `tests/wire_golden/` is the tripwire).
-pub const PROTOCOL_VERSION: u64 = 1;
+///
+/// History:
+/// - **1** — initial protocol: `Task`/`TaskDone`/`Error`/`Shutdown`.
+/// - **2** — fault-tolerance revision: `Heartbeat` and `Cancel` control
+///   frames, and task frames grew a trailing `heartbeat_interval`
+///   duration (the cadence the worker must beat at while a task is in
+///   flight). Version negotiation is symmetric and all-or-nothing, so a
+///   v1 peer refuses a v2 connection at the preamble — it can never
+///   mis-decode the extended task frame.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// Hard cap on a frame's payload size (64 MiB). A corrupt or hostile
 /// length prefix fails fast instead of asking the allocator for the moon;

@@ -25,7 +25,7 @@
 //!
 //! ```text
 //! magic: 4 bytes  b"SYWR"
-//! version: varint  (PROTOCOL_VERSION, currently 1)
+//! version: varint  (PROTOCOL_VERSION, currently 2)
 //! ```
 //!
 //! A peer that sees a wrong magic or a version it does not speak closes
@@ -33,7 +33,11 @@
 //! [`WireError::VersionMismatch`]; nothing else is ever sent on such a
 //! connection, so an old worker can never silently mis-decode a newer
 //! coordinator's frames (and vice versa). Any byte-format change to the
-//! frames below MUST bump [`PROTOCOL_VERSION`].
+//! frames below MUST bump [`PROTOCOL_VERSION`]. Negotiation is symmetric
+//! and all-or-nothing — version 2 (the fault-tolerance revision: the
+//! `Heartbeat`/`Cancel` frames and the task frame's trailing heartbeat
+//! cadence) is refused at the preamble by a v1 peer, so a v1 worker can
+//! never mis-decode the extended task frame as trailing garbage.
 //!
 //! ### Frames
 //!
@@ -48,10 +52,12 @@
 //!
 //! | tag | message | body |
 //! |-----|---------|------|
-//! | 0 | `Task` | task id, program id + FNV-128 program digest, input stream, injection points, predicate, full `SearchLimits` (watchdog/fork bounds, state/solution/time budgets, frontier policy, spill budget), task budget, finding cap, point-workers share |
+//! | 0 | `Task` | task id, program id + FNV-128 program digest, input stream, injection points, predicate, full `SearchLimits` (watchdog/fork bounds, state/solution/time budgets, frontier policy, spill budget), task budget, finding cap, point-workers share, heartbeat cadence (v2) |
 //! | 1 | `TaskDone` | the `TaskResult` statistics plus every `Finding` (injection point, terminal state via the state codec, witness trace) |
 //! | 2 | `Error` | human-readable reason (unknown program id, digest mismatch, …) |
 //! | 3 | `Shutdown` | empty — coordinator asks the worker process to exit |
+//! | 4 | `Heartbeat` | empty — worker→coordinator liveness signal, sent at the task frame's cadence while a task is in flight (v2) |
+//! | 5 | `Cancel` | empty — coordinator asks the worker to stop the in-flight task at the next injection-point boundary (v2) |
 //!
 //! Every record inside a payload is self-delimiting (tag bytes for variant
 //! choices, varints for counts), so a frame decodes without out-of-band
@@ -61,13 +67,52 @@
 //! ### Conversation
 //!
 //! The coordinator opens one connection per worker address and runs a
-//! simple request/response loop: send `Task`, await `TaskDone`, repeat
-//! until the shared task queue drains; a worker `Error` reply or an I/O
-//! failure re-queues the in-flight task for the surviving workers
-//! (bounded retries, so a task that kills every worker aborts the
-//! campaign instead of spinning). Workers are single-conversation:
-//! `serve` handles one connection at a time and goes back to `accept`
-//! when the coordinator hangs up, or exits on `Shutdown`.
+//! supervised request/response loop: send `Task`, then consume
+//! `Heartbeat` frames until `TaskDone` (or `Error`) arrives, repeat
+//! until the shared task queue drains. While a task is in flight the
+//! worker beats at the cadence the task frame carries; a connection
+//! silent past [`liveness_deadline`] (derived from that cadence, *never*
+//! from the task budget, so unbudgeted tasks are just as supervised) is
+//! declared dead. A dead, refusing, or erroring worker has its in-flight
+//! task re-queued for the survivors after a deterministic, jitter-free
+//! exponential [`backoff_delay`] — the campaign degrades gracefully
+//! (finishing with `degraded: true` and loss counters in the report)
+//! rather than aborting, as long as one worker remains; only a task that
+//! fails on *every* worker aborts the campaign. A campaign abort sends
+//! the in-flight workers `Cancel`, which they honour at the next
+//! injection-point boundary. Workers are single-conversation: `serve`
+//! handles one connection at a time and goes back to `accept` when the
+//! coordinator hangs up, or exits on `Shutdown`.
+//!
+//! ### Checkpoint file format
+//!
+//! With [`DistOptions::checkpoint`] set, the coordinator appends every
+//! completed task to a checkpoint file, and [`DistOptions::resume`]
+//! seeds a later run from one, re-queuing only the missing shards:
+//!
+//! ```text
+//! magic: 4 bytes              b"SYCP"
+//! checkpoint version: varint  (CHECKPOINT_VERSION, currently 1)
+//! protocol version: varint    (PROTOCOL_VERSION the records encode under)
+//! campaign key: 2 varints     (FNV-128 over program digest + input +
+//!                              predicate + limits + budgets + sharding +
+//!                              every injection point — a stale or
+//!                              foreign checkpoint is refused)
+//! tasks total: varint
+//! record*:                    one per completed task, appended + flushed
+//!   payload length: varint
+//!   payload: length bytes     (TaskResult + findings, TaskDone encoding)
+//!   payload digest: 16 bytes  (FNV-128, little-endian)
+//! ```
+//!
+//! A coordinator killed mid-append leaves at most one truncated trailing
+//! record, which the loader drops; any other damage (a flipped byte, a
+//! bad digest, trailing garbage) is corruption and refuses to load. Task
+//! execution is deterministic, so a resumed run's merged report
+//! reproduces the uninterrupted run's
+//! [`sympl_cluster::CampaignReport::outcome_digest`] verbatim — the
+//! chaos acceptance suite and the `distributed-campaign` CI job gate on
+//! exactly that.
 //!
 //! ### Determinism contract
 //!
@@ -89,13 +134,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+mod checkpoint;
 mod frame;
 mod proto;
 mod transport;
 
 use std::fmt;
 use std::io;
+use std::time::Duration;
 
+pub use checkpoint::{
+    campaign_key, load_checkpoint, parse_checkpoint, CheckpointFile, CheckpointWriter,
+    CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+};
 pub use frame::{
     handshake, read_frame, read_preamble, write_frame, write_preamble, MAGIC, MAX_FRAME_LEN,
     PROTOCOL_VERSION,
@@ -103,8 +155,9 @@ pub use frame::{
 pub use proto::{decode_finding, decode_task_result, encode_finding, encode_task_result};
 pub use proto::{decode_message, encode_message, Message, TaskFrame};
 pub use transport::{
-    run_distributed, spawn_loopback_workers, CampaignJob, ProgramResolver, SpawnedWorkers,
-    WorkerServer, LISTENING_PREFIX,
+    backoff_delay, liveness_deadline, run_distributed, run_distributed_with,
+    spawn_loopback_workers, CampaignJob, ChaosPlan, DistOptions, ProgramResolver, SpawnedWorkers,
+    WorkerServer, DEFAULT_HEARTBEAT_INTERVAL, LISTENING_PREFIX, MIN_HEARTBEAT_INTERVAL,
 };
 
 pub use sympl_symbolic::CodecError;
@@ -141,6 +194,31 @@ pub enum WireError {
         /// Tasks still unfinished when the last worker was lost.
         pending: usize,
     },
+    /// A connection with a task in flight went silent past its
+    /// heartbeat-derived liveness deadline; the worker is declared dead.
+    LivenessExpired {
+        /// How long the connection had been silent.
+        silent_for: Duration,
+    },
+    /// The in-flight task was cancelled because the campaign is aborting.
+    TaskCancelled,
+    /// The coordinator was deliberately aborted mid-campaign by the chaos
+    /// plan (a deterministic stand-in for a coordinator crash); the
+    /// checkpoint file holds everything completed so far.
+    CoordinatorAborted {
+        /// Task results pooled (and checkpointed) before the abort.
+        completed: usize,
+    },
+    /// A checkpoint file does not belong to this campaign (different
+    /// program, config, or sharding) and cannot be resumed from.
+    StaleCheckpoint(String),
+    /// A checkpoint record failed its digest or structure check — the
+    /// file is damaged beyond the crash-truncated tail the loader
+    /// tolerates.
+    CheckpointCorrupt {
+        /// Byte offset of the damaged record.
+        offset: usize,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -160,6 +238,25 @@ impl fmt::Display for WireError {
             }
             WireError::NoWorkersLeft { pending } => {
                 write!(f, "no workers left with {pending} task(s) pending")
+            }
+            WireError::LivenessExpired { silent_for } => {
+                write!(
+                    f,
+                    "worker silent for {silent_for:?}, past its liveness deadline"
+                )
+            }
+            WireError::TaskCancelled => f.write_str("task cancelled by campaign abort"),
+            WireError::CoordinatorAborted { completed } => {
+                write!(
+                    f,
+                    "coordinator aborted by chaos plan after {completed} completed task(s)"
+                )
+            }
+            WireError::StaleCheckpoint(why) => {
+                write!(f, "checkpoint is stale for this campaign: {why}")
+            }
+            WireError::CheckpointCorrupt { offset } => {
+                write!(f, "checkpoint record at byte {offset} is corrupt")
             }
         }
     }
@@ -222,6 +319,13 @@ mod tests {
             WireError::Remote("unknown program".into()),
             WireError::UnexpectedMessage("task"),
             WireError::NoWorkersLeft { pending: 3 },
+            WireError::LivenessExpired {
+                silent_for: Duration::from_secs(3),
+            },
+            WireError::TaskCancelled,
+            WireError::CoordinatorAborted { completed: 5 },
+            WireError::StaleCheckpoint("campaign key mismatch".into()),
+            WireError::CheckpointCorrupt { offset: 42 },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

@@ -26,6 +26,8 @@ const MSG_TASK: u8 = 0;
 const MSG_TASK_DONE: u8 = 1;
 const MSG_ERROR: u8 = 2;
 const MSG_SHUTDOWN: u8 = 3;
+const MSG_HEARTBEAT: u8 = 4;
+const MSG_CANCEL: u8 = 5;
 
 /// One campaign task as shipped to a remote worker: everything
 /// [`sympl_cluster::run_task_spec`] needs, plus the program identity the
@@ -55,6 +57,13 @@ pub struct TaskFrame {
     /// shipped explicitly so the remote machine's core count cannot
     /// change which engine runs (the determinism contract).
     pub point_workers: usize,
+    /// The heartbeat cadence the worker must keep while this task is in
+    /// flight: at least one `Heartbeat` (or the final `TaskDone`) frame
+    /// per interval. The coordinator derives its per-connection liveness
+    /// deadline from this value, so liveness never depends on the task
+    /// budget — an unbudgeted task on a healthy worker heartbeats
+    /// forever, while a wedged worker is detected within a few intervals.
+    pub heartbeat_interval: Duration,
 }
 
 /// A protocol message (one frame payload).
@@ -71,22 +80,32 @@ pub enum Message {
         findings: Vec<Finding>,
     },
     /// Worker → coordinator: the task was refused (unknown program,
-    /// digest mismatch, undecodable limits, …).
+    /// digest mismatch, undecodable limits, …) or cancelled.
     Error(String),
     /// Coordinator → worker: drain and exit the serve loop.
     Shutdown,
+    /// Worker → coordinator: still alive and computing the in-flight
+    /// task. Sent at the task frame's `heartbeat_interval` cadence; the
+    /// coordinator's liveness deadline re-arms on every received frame.
+    Heartbeat,
+    /// Coordinator → worker: stop the in-flight task as soon as
+    /// practicable (point-search granularity) and answer with an
+    /// `Error("task cancelled")` acknowledgement. Sent when the
+    /// coordinator is aborting a campaign, so workers stay healthy for
+    /// the next one instead of finishing a doomed sweep.
+    Cancel,
 }
 
 fn decode_usize(bytes: &[u8], pos: &mut usize) -> Result<usize, CodecError> {
     usize::try_from(decode_u64(bytes, pos)?).map_err(|_| CodecError::Overflow)
 }
 
-fn encode_u128(v: u128, buf: &mut Vec<u8>) {
+pub(crate) fn encode_u128(v: u128, buf: &mut Vec<u8>) {
     encode_u64(v as u64, buf);
     encode_u64((v >> 64) as u64, buf);
 }
 
-fn decode_u128(bytes: &[u8], pos: &mut usize) -> Result<u128, CodecError> {
+pub(crate) fn decode_u128(bytes: &[u8], pos: &mut usize) -> Result<u128, CodecError> {
     let lo = decode_u64(bytes, pos)?;
     let hi = decode_u64(bytes, pos)?;
     Ok(u128::from(lo) | (u128::from(hi) << 64))
@@ -176,6 +195,7 @@ pub fn encode_message(message: &Message) -> Result<Vec<u8>, CodecError> {
             encode_opt_duration(task.task_budget, &mut buf);
             encode_u64(task.max_findings as u64, &mut buf);
             encode_u64(task.point_workers as u64, &mut buf);
+            encode_duration(task.heartbeat_interval, &mut buf);
         }
         Message::TaskDone { result, findings } => {
             buf.push(MSG_TASK_DONE);
@@ -190,6 +210,8 @@ pub fn encode_message(message: &Message) -> Result<Vec<u8>, CodecError> {
             encode_str(msg, &mut buf);
         }
         Message::Shutdown => buf.push(MSG_SHUTDOWN),
+        Message::Heartbeat => buf.push(MSG_HEARTBEAT),
+        Message::Cancel => buf.push(MSG_CANCEL),
     }
     Ok(buf)
 }
@@ -220,6 +242,7 @@ pub fn decode_message(bytes: &[u8]) -> Result<Message, CodecError> {
             let task_budget = decode_opt_duration(bytes, &mut pos)?;
             let max_findings = decode_usize(bytes, &mut pos)?;
             let point_workers = decode_usize(bytes, &mut pos)?;
+            let heartbeat_interval = decode_duration(bytes, &mut pos)?;
             Message::Task(TaskFrame {
                 program_id,
                 program_digest,
@@ -230,6 +253,7 @@ pub fn decode_message(bytes: &[u8]) -> Result<Message, CodecError> {
                 task_budget,
                 max_findings,
                 point_workers,
+                heartbeat_interval,
             })
         }
         MSG_TASK_DONE => {
@@ -243,6 +267,8 @@ pub fn decode_message(bytes: &[u8]) -> Result<Message, CodecError> {
         }
         MSG_ERROR => Message::Error(decode_str(bytes, &mut pos)?),
         MSG_SHUTDOWN => Message::Shutdown,
+        MSG_HEARTBEAT => Message::Heartbeat,
+        MSG_CANCEL => Message::Cancel,
         tag => {
             return Err(CodecError::BadTag {
                 what: "message",
@@ -288,6 +314,7 @@ mod tests {
             task_budget: Some(Duration::from_secs(30)),
             max_findings: 10,
             point_workers: 1,
+            heartbeat_interval: Duration::from_millis(500),
         }
     }
 
@@ -344,6 +371,23 @@ mod tests {
         assert_eq!(decoded.task_budget, task.task_budget);
         assert_eq!(decoded.max_findings, task.max_findings);
         assert_eq!(decoded.point_workers, task.point_workers);
+        assert_eq!(decoded.heartbeat_interval, task.heartbeat_interval);
+    }
+
+    #[test]
+    fn heartbeat_and_cancel_frames_roundtrip() {
+        let bytes = encode_message(&Message::Heartbeat).unwrap();
+        assert_eq!(bytes, [MSG_HEARTBEAT], "heartbeats are a single byte");
+        assert!(matches!(
+            decode_message(&bytes).unwrap(),
+            Message::Heartbeat
+        ));
+        let bytes = encode_message(&Message::Cancel).unwrap();
+        assert_eq!(bytes, [MSG_CANCEL], "cancels are a single byte");
+        assert!(matches!(decode_message(&bytes).unwrap(), Message::Cancel));
+        // Trailing garbage after a control frame is corruption.
+        assert!(decode_message(&[MSG_HEARTBEAT, 0]).is_err());
+        assert!(decode_message(&[MSG_CANCEL, 0]).is_err());
     }
 
     #[test]

@@ -1,37 +1,47 @@
 //! The TCP transport: a campaign coordinator and the worker agent.
 //!
-//! The coordinator ([`run_distributed`]) shards a campaign with the same
-//! [`sympl_cluster::shard_specs`] partition as the in-process pool, opens
-//! one connection per worker address, and drives a request/response loop
-//! per worker off a shared task queue — a worker that disconnects,
-//! times out, or refuses a task has its in-flight task re-queued for the
-//! survivors (bounded retries). Results pool through
-//! [`sympl_cluster::pool_results`], so the merged
-//! [`CampaignReport`] is ordered exactly as an in-process run's.
+//! The coordinator ([`run_distributed`] / [`run_distributed_with`])
+//! shards a campaign with the same [`sympl_cluster::shard_specs`]
+//! partition as the in-process pool, opens one connection per worker
+//! address, and drives a request/response loop per worker off a shared
+//! task queue. Supervision is heartbeat-based: every in-flight task's
+//! worker must beat at the cadence the task frame carries, and a
+//! connection silent past [`liveness_deadline`] is declared dead — its
+//! task is re-queued for the survivors after a deterministic
+//! [`backoff_delay`], the campaign finishing *degraded* rather than
+//! aborting as long as one worker remains. Results pool through
+//! [`sympl_cluster::pool_results`], so the merged [`CampaignReport`] is
+//! ordered exactly as an in-process run's; with a checkpoint file
+//! attached, every completed task is also persisted so a coordinator
+//! crash can resume instead of restarting.
 //!
 //! The worker ([`WorkerServer`]) accepts one coordinator at a time and
-//! runs each task frame through [`sympl_cluster::run_task_spec`] — the
-//! same function the in-process pool's threads call — under the budgets
-//! and point-workers share the frame carries.
+//! runs each task frame through
+//! [`sympl_cluster::run_task_spec_with_cancel`] — the same engine the
+//! in-process pool's threads call — on a supervised thread, sending
+//! `Heartbeat` frames at the requested cadence and honouring `Cancel`
+//! frames between injection points.
 
 use std::collections::VecDeque;
-use std::io::{self, BufRead, BufReader, Write as _};
+use std::io::{self, BufRead as _, BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use sympl_asm::Program;
 use sympl_check::Predicate;
 use sympl_cluster::{
-    pool_results, run_task_spec, shard_specs, CampaignReport, ClusterConfig, Finding, TaskResult,
-    TaskSpec,
+    pool_results, run_task_spec_with_cancel, shard_specs, CampaignReport, ClusterConfig, Finding,
+    TaskResult, TaskSpec,
 };
 use sympl_detect::DetectorSet;
 use sympl_inject::Campaign;
 
+use crate::checkpoint::{campaign_key, load_checkpoint, CheckpointWriter};
 use crate::frame::{handshake, read_frame, write_frame};
 use crate::proto::{decode_message, encode_message, Message, TaskFrame};
 use crate::{program_digest, WireError};
@@ -40,6 +50,52 @@ use crate::{program_digest, WireError};
 /// bound socket address — the contract the loopback self-spawn helpers
 /// parse to learn an OS-assigned port.
 pub const LISTENING_PREFIX: &str = "sympl-wire listening on ";
+
+/// The heartbeat cadence [`run_distributed`] asks workers for when no
+/// explicit `--heartbeat-interval` is configured.
+pub const DEFAULT_HEARTBEAT_INTERVAL: Duration = Duration::from_millis(500);
+
+/// The floor any configured heartbeat interval is clamped to, so a zero
+/// or near-zero cadence cannot turn both ends into busy loops.
+pub const MIN_HEARTBEAT_INTERVAL: Duration = Duration::from_millis(10);
+
+/// How long a connection with a task in flight may stay silent before the
+/// coordinator declares the worker dead: four missed beats plus a second
+/// of slack for scheduling and socket latency. Derived from the heartbeat
+/// cadence — **never** from the task budget, so unbudgeted tasks are just
+/// as supervised as budgeted ones (a wedged worker can no longer hang a
+/// campaign whose tasks may legitimately run arbitrarily long).
+#[must_use]
+pub fn liveness_deadline(heartbeat_interval: Duration) -> Duration {
+    heartbeat_interval * 4 + Duration::from_secs(1)
+}
+
+/// The deterministic, jitter-free delay before re-queuing a task that has
+/// already failed `attempts` times: exponential from 50 ms, capped at
+/// 2 s. Zero for a task that has never failed. No randomness — retry
+/// schedules must replay identically run-to-run, like everything else in
+/// the campaign layer.
+#[must_use]
+pub fn backoff_delay(attempts: usize) -> Duration {
+    if attempts == 0 {
+        return Duration::ZERO;
+    }
+    let base = Duration::from_millis(50);
+    let cap = Duration::from_secs(2);
+    base.saturating_mul(1u32 << (attempts - 1).min(16)).min(cap)
+}
+
+/// How often an idle coordinator connection re-polls the queue.
+const IDLE_POLL: Duration = Duration::from_millis(5);
+
+/// Locks a mutex, recovering the guard from a poisoned lock: a panic on
+/// one dispatch thread must degrade the campaign, not crash the
+/// coordinator. Every structure guarded this way (queue, results, fatal
+/// error, checkpoint writer) is valid after any partial update — pushes
+/// and pops are atomic at the element level.
+fn lock_recovering<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Resolves a task frame's program id to the program and detectors the
 /// worker should run. `symplfied serve` resolves the bundled
@@ -61,6 +117,13 @@ impl Conn {
         })
     }
 
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), WireError> {
+        self.reader
+            .get_ref()
+            .set_read_timeout(timeout)
+            .map_err(WireError::Io)
+    }
+
     fn send(&mut self, message: &Message) -> Result<(), WireError> {
         let payload = encode_message(message)?;
         write_frame(&mut self.writer, &payload)
@@ -69,6 +132,30 @@ impl Conn {
     fn recv(&mut self) -> Result<Message, WireError> {
         let payload = read_frame(&mut self.reader)?;
         Ok(decode_message(&payload)?)
+    }
+
+    /// Waits up to `wait` for the *start* of a frame, then up to `grace`
+    /// for the frame to complete. `Ok(None)` means nothing arrived — and
+    /// crucially, nothing was consumed: the wait is a buffered `fill_buf`
+    /// peek, so a timeout can never eat half a varint and desynchronise
+    /// the stream.
+    fn poll_recv(&mut self, wait: Duration, grace: Duration) -> Result<Option<Message>, WireError> {
+        self.set_read_timeout(Some(wait.max(Duration::from_millis(1))))?;
+        match self.reader.fill_buf() {
+            Ok(buf) => {
+                if buf.is_empty() {
+                    return Err(WireError::Disconnected);
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Ok(None)
+            }
+            Err(e) => return Err(e.into()),
+        }
+        self.set_read_timeout(Some(grace.max(Duration::from_millis(1))))?;
+        self.recv().map(Some)
     }
 }
 
@@ -113,9 +200,10 @@ impl WorkerServer {
     }
 
     /// Serves coordinators one connection at a time: each task frame runs
-    /// through [`sympl_cluster::run_task_spec`] and is answered with a
-    /// `TaskDone` (or `Error`) frame. A coordinator hang-up returns the
-    /// worker to `accept`; a `Shutdown` frame returns from this function.
+    /// on a supervised thread (heartbeats out, `Cancel` honoured) and is
+    /// answered with a `TaskDone` (or `Error`) frame. A coordinator
+    /// hang-up returns the worker to `accept`; a `Shutdown` frame returns
+    /// from this function.
     ///
     /// # Errors
     ///
@@ -140,17 +228,25 @@ impl WorkerServer {
     ) -> Result<bool, WireError> {
         let mut conn = Conn::establish(stream)?;
         loop {
+            // Idle: block indefinitely for the coordinator's next frame
+            // (clearing any poll timeout a previous task left behind).
+            conn.set_read_timeout(None)?;
             let message = match conn.recv() {
                 Err(WireError::Disconnected) => return Ok(false),
                 other => other?,
             };
             match message {
-                Message::Task(task) => {
-                    let reply = run_task_frame(&task, resolve);
-                    conn.send(&reply)?;
-                }
+                Message::Task(task) => match serve_task(&mut conn, &task, resolve) {
+                    Ok(reply) => conn.send(&reply)?,
+                    // The coordinator vanished mid-task; back to accept.
+                    Err(WireError::Disconnected) => return Ok(false),
+                    Err(e) => return Err(e),
+                },
                 Message::Shutdown => return Ok(true),
-                Message::TaskDone { .. } | Message::Error(_) => {
+                // A Cancel can race a task completion and arrive while
+                // the worker is idle again; there is nothing to cancel.
+                Message::Cancel => {}
+                Message::Heartbeat | Message::TaskDone { .. } | Message::Error(_) => {
                     return Err(WireError::UnexpectedMessage("result"))
                 }
             }
@@ -158,20 +254,30 @@ impl WorkerServer {
     }
 }
 
-/// Executes one task frame, producing the reply message.
-fn run_task_frame(task: &TaskFrame, resolve: &ProgramResolver<'_>) -> Message {
+/// Runs one task frame on a supervised thread, heartbeating the
+/// coordinator at the frame's cadence and honouring `Cancel` frames
+/// between injection points. Returns the reply to send; an `Err` means
+/// the connection itself failed.
+fn serve_task(
+    conn: &mut Conn,
+    task: &TaskFrame,
+    resolve: &ProgramResolver<'_>,
+) -> Result<Message, WireError> {
     let Some((program, detectors)) = resolve(&task.program_id) else {
-        return Message::Error(format!("unknown program id `{}`", task.program_id));
+        return Ok(Message::Error(format!(
+            "unknown program id `{}`",
+            task.program_id
+        )));
     };
     // Decode once per task frame: the whole task runs against this one
     // cached IR, so resolve-then-decode is the only lowering that happens.
     let _ = program.decoded();
     let digest = program_digest(&program);
     if digest != task.program_digest {
-        return Message::Error(format!(
+        return Ok(Message::Error(format!(
             "program digest mismatch for `{}`: this worker has a different revision",
             task.program_id
-        ));
+        )));
     }
     let config = ClusterConfig {
         workers: 1,
@@ -181,15 +287,73 @@ fn run_task_frame(task: &TaskFrame, resolve: &ProgramResolver<'_>) -> Message {
         max_findings_per_task: task.max_findings,
         point_workers_hint: Some(task.point_workers.max(1)),
     };
-    let (result, findings) = run_task_spec(
-        &program,
-        &detectors,
-        &task.input,
-        &task.spec,
-        &task.predicate,
-        &config,
-    );
-    Message::TaskDone { result, findings }
+    let interval = task.heartbeat_interval.max(MIN_HEARTBEAT_INTERVAL);
+
+    let cancel = AtomicBool::new(false);
+    let mut cancelled_by_frame = false;
+    let mut connection_error: Option<WireError> = None;
+    let outcome = std::thread::scope(|scope| {
+        let cancel = &cancel;
+        let handle = scope.spawn(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                run_task_spec_with_cancel(
+                    &program,
+                    &detectors,
+                    &task.input,
+                    &task.spec,
+                    &task.predicate,
+                    &config,
+                    cancel,
+                )
+            }))
+        });
+        let mut last_beat = Instant::now();
+        while !handle.is_finished() {
+            if last_beat.elapsed() >= interval {
+                if let Err(e) = conn.send(&Message::Heartbeat) {
+                    // The coordinator is gone; stop the task promptly
+                    // rather than burn the box on an unwanted search.
+                    cancel.store(true, Ordering::Relaxed);
+                    connection_error = Some(e);
+                    break;
+                }
+                last_beat = Instant::now();
+            }
+            match conn.poll_recv(interval / 4, Duration::from_secs(5)) {
+                Ok(Some(Message::Cancel)) => {
+                    cancel.store(true, Ordering::Relaxed);
+                    cancelled_by_frame = true;
+                }
+                Ok(Some(_)) => {
+                    cancel.store(true, Ordering::Relaxed);
+                    connection_error = Some(WireError::UnexpectedMessage("mid-task frame"));
+                    break;
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    cancel.store(true, Ordering::Relaxed);
+                    connection_error = Some(e);
+                    break;
+                }
+            }
+        }
+        handle.join()
+    });
+    if let Some(e) = connection_error {
+        return Err(e);
+    }
+    match outcome {
+        Err(_) | Ok(Err(_)) => Ok(Message::Error(
+            "task panicked on the worker; the campaign can re-queue it elsewhere".into(),
+        )),
+        Ok(Ok((result, findings))) => {
+            if cancelled_by_frame && !result.completed {
+                Ok(Message::Error("task cancelled by the coordinator".into()))
+            } else {
+                Ok(Message::TaskDone { result, findings })
+            }
+        }
+    }
 }
 
 /// A campaign to distribute: the same inputs [`sympl_cluster::run_cluster`]
@@ -212,73 +376,237 @@ pub struct CampaignJob<'a> {
     pub config: &'a ClusterConfig,
 }
 
-/// Runs a campaign across remote workers, returning the same
-/// [`CampaignReport`] an in-process [`sympl_cluster::run_cluster`] with
-/// the same config produces (wall-clock fields aside; see the crate docs'
-/// determinism contract).
-///
-/// `shutdown_workers` sends each surviving worker a `Shutdown` frame once
-/// the queue drains — the loopback self-spawn mode uses it so worker
-/// processes exit cleanly.
+/// Test-only failure hooks threaded through [`DistOptions`]; all `None`
+/// in production. See the [`crate::chaos`] module for the network-level
+/// injector these compose with.
+#[derive(Default)]
+pub struct ChaosPlan<'a> {
+    /// Abort the coordinator (as if it crashed) once this many task
+    /// results have been pooled — deterministic stand-in for a SIGKILL'd
+    /// coordinator, used by the checkpoint/resume acceptance tests. The
+    /// run fails with [`WireError::CoordinatorAborted`]; workers are NOT
+    /// shut down, so a resume leg can reuse them.
+    pub abort_after_results: Option<usize>,
+    /// Called with the running completed-result count after each pooled
+    /// result — the kill-a-worker-mid-campaign tests use it to SIGKILL a
+    /// loopback worker at a deterministic point in the run.
+    pub on_result: Option<&'a (dyn Fn(usize) + Sync)>,
+}
+
+/// Coordinator options beyond the worker list.
+pub struct DistOptions<'a> {
+    /// Send each surviving worker a `Shutdown` frame once the queue
+    /// drains (the loopback self-spawn mode uses it so worker processes
+    /// exit cleanly).
+    pub shutdown_workers: bool,
+    /// The heartbeat cadence workers are asked for (clamped to
+    /// [`MIN_HEARTBEAT_INTERVAL`]); the liveness deadline is derived from
+    /// it via [`liveness_deadline`].
+    pub heartbeat_interval: Duration,
+    /// Append every completed task to a checkpoint file at this path
+    /// (created/truncated at start, carried-over resume entries
+    /// rewritten first).
+    pub checkpoint: Option<&'a Path>,
+    /// Seed completed tasks from this checkpoint file and re-queue only
+    /// the missing shards. The checkpoint's campaign key must match this
+    /// job's ([`WireError::StaleCheckpoint`] otherwise).
+    pub resume: Option<&'a Path>,
+    /// Test-only failure injection.
+    pub chaos: ChaosPlan<'a>,
+}
+
+impl Default for DistOptions<'_> {
+    fn default() -> Self {
+        DistOptions {
+            shutdown_workers: false,
+            heartbeat_interval: DEFAULT_HEARTBEAT_INTERVAL,
+            checkpoint: None,
+            resume: None,
+            chaos: ChaosPlan::default(),
+        }
+    }
+}
+
+/// A queued task: its spec, how many workers have already failed it, and
+/// the deterministic earliest instant it may be handed out again
+/// ([`backoff_delay`]).
+struct QueuedTask {
+    spec: TaskSpec,
+    attempts: usize,
+    ready_at: Instant,
+}
+
+enum Popped {
+    Ready(QueuedTask),
+    /// Tasks exist but all are still backing off.
+    Delayed,
+    Empty,
+}
+
+fn pop_task(queue: &Mutex<VecDeque<QueuedTask>>, in_flight: &AtomicUsize) -> Popped {
+    let mut q = lock_recovering(queue);
+    if q.is_empty() {
+        return Popped::Empty;
+    }
+    let now = Instant::now();
+    let Some(idx) = q.iter().position(|t| t.ready_at <= now) else {
+        return Popped::Delayed;
+    };
+    let task = q.remove(idx).expect("position() index in bounds");
+    // Under the queue lock, so an observer can never see "queue empty and
+    // nothing in flight" while this task is still going to come back.
+    in_flight.fetch_add(1, Ordering::SeqCst);
+    Popped::Ready(task)
+}
+
+/// Runs a campaign across remote workers with default options — the
+/// supervision layer (heartbeats, liveness, deterministic backoff,
+/// graceful degradation) is always on; checkpointing and chaos are not.
+/// See [`run_distributed_with`].
 ///
 /// # Errors
 ///
-/// [`WireError::NoWorkersLeft`] when tasks remain but every worker
-/// connection failed, died, or exhausted its retries; the fatal error of
-/// a task that failed on too many workers; never a partial report.
+/// Those of [`run_distributed_with`].
 pub fn run_distributed(
     job: &CampaignJob<'_>,
     workers_at: &[String],
     shutdown_workers: bool,
 ) -> Result<CampaignReport, WireError> {
+    run_distributed_with(
+        job,
+        workers_at,
+        &DistOptions {
+            shutdown_workers,
+            ..DistOptions::default()
+        },
+    )
+}
+
+/// Runs a campaign across remote workers, returning the same
+/// [`CampaignReport`] an in-process [`sympl_cluster::run_cluster`] with
+/// the same config produces (wall-clock and scheduling-telemetry fields
+/// aside; see the crate docs' determinism contract) — including a run
+/// resumed from a checkpoint, whose merged report's
+/// [`CampaignReport::outcome_digest`] is identical to an uninterrupted
+/// run's.
+///
+/// # Errors
+///
+/// [`WireError::NoWorkersLeft`] when tasks remain but every worker
+/// connection failed, died, or exhausted its retries; the fatal error of
+/// a task that failed on every worker; [`WireError::StaleCheckpoint`] /
+/// checkpoint parse errors when resuming; [`WireError::CoordinatorAborted`]
+/// from the chaos plan; never a partial report.
+pub fn run_distributed_with(
+    job: &CampaignJob<'_>,
+    workers_at: &[String],
+    opts: &DistOptions<'_>,
+) -> Result<CampaignReport, WireError> {
     let start = Instant::now();
     let digest = program_digest(job.program);
     let point_workers = job.config.point_share();
-    // A read deadline so a wedged worker cannot hang the campaign: twice
-    // the task budget plus slack. Unbudgeted tasks may legitimately run
-    // arbitrarily long, so they get no deadline.
-    let read_timeout = job
-        .config
-        .task_budget
-        .map(|b| b * 2 + Duration::from_secs(30));
+    let heartbeat_interval = opts.heartbeat_interval.max(MIN_HEARTBEAT_INTERVAL);
+    let liveness = liveness_deadline(heartbeat_interval);
 
-    let queue: Mutex<VecDeque<(TaskSpec, usize)>> = Mutex::new(
-        shard_specs(job.campaign, job.config.tasks)
+    let specs = shard_specs(job.campaign, job.config.tasks);
+    let tasks_total = specs.len();
+
+    // Resume: seed completed tasks from the checkpoint, keyed so a
+    // checkpoint from a different program/config/campaign is refused.
+    let key = if opts.checkpoint.is_some() || opts.resume.is_some() {
+        Some(campaign_key(job)?)
+    } else {
+        None
+    };
+    let mut seeded: Vec<(TaskResult, Vec<Finding>)> = Vec::new();
+    if let Some(path) = opts.resume {
+        let file = load_checkpoint(path)?;
+        let key = key.expect("resume implies a campaign key");
+        if file.key != key {
+            return Err(WireError::StaleCheckpoint(format!(
+                "campaign key mismatch (checkpoint {:032x}, this campaign {:032x})",
+                file.key, key
+            )));
+        }
+        if file.tasks_total != tasks_total {
+            return Err(WireError::StaleCheckpoint(format!(
+                "shard count mismatch (checkpoint {}, this campaign {tasks_total})",
+                file.tasks_total
+            )));
+        }
+        let mut have = vec![false; tasks_total];
+        for (result, findings) in file.entries {
+            if result.id < tasks_total && !have[result.id] {
+                have[result.id] = true;
+                seeded.push((result, findings));
+            }
+        }
+    }
+    let resumed_tasks = seeded.len();
+    let done = {
+        let mut done = vec![false; tasks_total];
+        for (result, _) in &seeded {
+            done[result.id] = true;
+        }
+        done
+    };
+
+    let writer: Mutex<Option<CheckpointWriter>> = Mutex::new(match opts.checkpoint {
+        Some(path) => {
+            let mut w =
+                CheckpointWriter::create(path, key.expect("checkpoint implies key"), tasks_total)?;
+            // Carried-over entries are rewritten so the new file is
+            // self-contained.
+            for (result, findings) in &seeded {
+                w.append(result, findings)?;
+            }
+            Some(w)
+        }
+        None => None,
+    });
+
+    let queue: Mutex<VecDeque<QueuedTask>> = Mutex::new(
+        specs
             .into_iter()
-            .map(|spec| (spec, 0))
+            .filter(|spec| !done[spec.id])
+            .map(|spec| QueuedTask {
+                spec,
+                attempts: 0,
+                ready_at: start,
+            })
             .collect(),
     );
-    let results: Mutex<Vec<(TaskResult, Vec<Finding>)>> = Mutex::new(Vec::new());
+    let results: Mutex<Vec<(TaskResult, Vec<Finding>)>> = Mutex::new(seeded);
     let fatal: Mutex<Option<WireError>> = Mutex::new(None);
     let abort = AtomicBool::new(false);
     // Tasks popped but not yet resolved (completed or re-queued). An idle
     // worker must NOT exit while another worker's task is in flight: that
     // task may fail and be re-queued, and the idle worker is then the one
     // to pick it up. Incremented under the queue lock at pop time, and on
-    // the failure path decremented only *after* the re-queue push, so an
-    // observer holding the queue lock can never see "queue empty and
-    // nothing in flight" while a task is still going to come back.
+    // the failure path decremented only *after* the re-queue push.
     let in_flight = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(resumed_tasks);
+    let tasks_retried = AtomicUsize::new(0);
+    let workers_lost = AtomicUsize::new(0);
     // A task that failed on this many workers is declared poisonous and
     // aborts the campaign instead of cycling forever.
     let max_attempts = workers_at.len().max(1);
 
     std::thread::scope(|scope| {
         let (queue, results, fatal, abort) = (&queue, &results, &fatal, &abort);
-        let in_flight = &in_flight;
+        let (in_flight, completed) = (&in_flight, &completed);
+        let (tasks_retried, workers_lost) = (&tasks_retried, &workers_lost);
+        let writer = &writer;
         for addr in workers_at {
             scope.spawn(move || {
                 let mut conn = match TcpStream::connect(addr.as_str())
                     .map_err(WireError::from)
-                    .and_then(|stream| {
-                        stream
-                            .set_read_timeout(read_timeout)
-                            .map_err(WireError::Io)?;
-                        Conn::establish(stream)
-                    }) {
+                    .and_then(Conn::establish)
+                {
                     Ok(conn) => conn,
                     Err(e) => {
                         eprintln!("sympl-wire coordinator: cannot reach worker {addr}: {e}");
+                        workers_lost.fetch_add(1, Ordering::Relaxed);
                         return;
                     }
                 };
@@ -286,46 +614,97 @@ pub fn run_distributed(
                     if abort.load(Ordering::Relaxed) {
                         return;
                     }
-                    let popped = {
-                        let mut q = queue.lock().expect("queue lock");
-                        let p = q.pop_front();
-                        if p.is_some() {
-                            in_flight.fetch_add(1, Ordering::SeqCst);
-                        }
-                        p
-                    };
-                    let Some((spec, attempts)) = popped else {
-                        if in_flight.load(Ordering::SeqCst) > 0 {
-                            // Another worker may yet fail and re-queue its
-                            // task; stay available.
-                            std::thread::sleep(Duration::from_millis(5));
+                    let task = match pop_task(queue, in_flight) {
+                        Popped::Ready(task) => task,
+                        Popped::Delayed => {
+                            std::thread::sleep(IDLE_POLL);
                             continue;
                         }
-                        if shutdown_workers {
-                            let _ = conn.send(&Message::Shutdown);
+                        Popped::Empty => {
+                            if in_flight.load(Ordering::SeqCst) > 0 {
+                                // Another worker may yet fail and re-queue
+                                // its task; stay available.
+                                std::thread::sleep(IDLE_POLL);
+                                continue;
+                            }
+                            if opts.shutdown_workers {
+                                let _ = conn.send(&Message::Shutdown);
+                            }
+                            return;
                         }
-                        return;
                     };
-                    match dispatch_task(&mut conn, job, digest, point_workers, &spec) {
-                        Ok(outcome) => {
-                            results.lock().expect("results lock").push(outcome);
+                    // A panicking dispatch degrades this worker (its task
+                    // is re-queued below) instead of crashing the
+                    // coordinator with a poisoned lock.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        dispatch_task(
+                            &mut conn,
+                            job,
+                            digest,
+                            point_workers,
+                            &task.spec,
+                            heartbeat_interval,
+                            liveness,
+                            abort,
+                        )
+                    }))
+                    .unwrap_or_else(|_| {
+                        Err(WireError::Io(io::Error::other(
+                            "coordinator dispatch thread panicked",
+                        )))
+                    });
+                    match outcome {
+                        Ok((result, findings)) => {
+                            {
+                                let mut w = lock_recovering(writer);
+                                if let Some(writer) = w.as_mut() {
+                                    if let Err(e) = writer.append(&result, &findings) {
+                                        eprintln!(
+                                            "sympl-wire coordinator: checkpoint append \
+                                             failed ({e}); checkpointing disabled"
+                                        );
+                                        *w = None;
+                                    }
+                                }
+                            }
+                            lock_recovering(results).push((result, findings));
+                            let n = completed.fetch_add(1, Ordering::SeqCst) + 1;
+                            if let Some(on_result) = opts.chaos.on_result {
+                                on_result(n);
+                            }
+                            if opts.chaos.abort_after_results.is_some_and(|cap| n >= cap)
+                                && !abort.swap(true, Ordering::Relaxed)
+                            {
+                                *lock_recovering(fatal) =
+                                    Some(WireError::CoordinatorAborted { completed: n });
+                            }
                             in_flight.fetch_sub(1, Ordering::SeqCst);
                         }
                         Err(e) => {
-                            if attempts + 1 >= max_attempts {
-                                *fatal.lock().expect("fatal lock") = Some(e);
+                            if abort.load(Ordering::Relaxed) {
+                                // The campaign is aborting; nothing to
+                                // re-queue for.
+                                in_flight.fetch_sub(1, Ordering::SeqCst);
+                                return;
+                            }
+                            if task.attempts + 1 >= max_attempts {
+                                *lock_recovering(fatal) = Some(e);
                                 abort.store(true, Ordering::Relaxed);
                             } else {
+                                let attempts = task.attempts + 1;
+                                let delay = backoff_delay(attempts);
                                 eprintln!(
                                     "sympl-wire coordinator: worker {addr} failed task {} \
-                                     (attempt {}): {e}; re-queueing",
-                                    spec.id,
-                                    attempts + 1
+                                     (attempt {attempts}): {e}; re-queueing after {delay:?}",
+                                    task.spec.id,
                                 );
-                                queue
-                                    .lock()
-                                    .expect("queue lock")
-                                    .push_front((spec, attempts + 1));
+                                lock_recovering(queue).push_front(QueuedTask {
+                                    spec: task.spec,
+                                    attempts,
+                                    ready_at: Instant::now() + delay,
+                                });
+                                tasks_retried.fetch_add(1, Ordering::Relaxed);
+                                workers_lost.fetch_add(1, Ordering::Relaxed);
                             }
                             // Re-queue before the decrement (see in_flight
                             // above), then abandon this connection; the
@@ -339,26 +718,42 @@ pub fn run_distributed(
         }
     });
 
-    if let Some(err) = fatal.into_inner().expect("fatal lock") {
+    if let Some(err) = fatal.into_inner().unwrap_or_else(PoisonError::into_inner) {
         return Err(err);
     }
-    let pending = queue.into_inner().expect("queue lock").len();
+    let pending = queue
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+        .len();
     if pending > 0 {
         return Err(WireError::NoWorkersLeft { pending });
     }
-    Ok(pool_results(
-        results.into_inner().expect("results lock"),
+    let lost = workers_lost.load(Ordering::Relaxed);
+    let mut report = pool_results(
+        results.into_inner().unwrap_or_else(PoisonError::into_inner),
         start.elapsed(),
-    ))
+    );
+    report.degraded = lost > 0;
+    report.workers_lost = lost;
+    report.tasks_retried = tasks_retried.load(Ordering::Relaxed);
+    report.resumed_tasks = resumed_tasks;
+    Ok(report)
 }
 
-/// Sends one task to a worker and awaits its result.
+/// Sends one task to a worker and supervises it to completion: heartbeats
+/// re-arm the liveness deadline, silence past it fails the connection,
+/// and a campaign abort sends `Cancel` and waits (boundedly) for the
+/// worker to acknowledge.
+#[allow(clippy::too_many_arguments)]
 fn dispatch_task(
     conn: &mut Conn,
     job: &CampaignJob<'_>,
     digest: u128,
     point_workers: usize,
     spec: &TaskSpec,
+    heartbeat_interval: Duration,
+    liveness: Duration,
+    abort: &AtomicBool,
 ) -> Result<(TaskResult, Vec<Finding>), WireError> {
     conn.send(&Message::Task(TaskFrame {
         program_id: job.program_id.to_owned(),
@@ -370,11 +765,52 @@ fn dispatch_task(
         task_budget: job.config.task_budget,
         max_findings: job.config.max_findings_per_task,
         point_workers,
+        heartbeat_interval,
     }))?;
-    match conn.recv()? {
-        Message::TaskDone { result, findings } => Ok((result, findings)),
-        Message::Error(msg) => Err(WireError::Remote(msg)),
-        Message::Task(_) | Message::Shutdown => Err(WireError::UnexpectedMessage("task")),
+    let poll = (liveness / 8).clamp(Duration::from_millis(5), Duration::from_millis(100));
+    let mut last_signal = Instant::now();
+    let mut cancel_sent: Option<Instant> = None;
+    loop {
+        if cancel_sent.is_none() && abort.load(Ordering::Relaxed) {
+            conn.send(&Message::Cancel)?;
+            cancel_sent = Some(Instant::now());
+        }
+        if let Some(sent) = cancel_sent {
+            // Bounded wait for the worker's acknowledgement, heartbeats
+            // notwithstanding — the abort must not block on a wedged peer.
+            if sent.elapsed() >= liveness {
+                return Err(WireError::TaskCancelled);
+            }
+        }
+        match conn.poll_recv(poll, liveness)? {
+            None => {
+                if last_signal.elapsed() >= liveness {
+                    return Err(WireError::LivenessExpired {
+                        silent_for: last_signal.elapsed(),
+                    });
+                }
+            }
+            Some(Message::Heartbeat) => last_signal = Instant::now(),
+            Some(Message::TaskDone { result, findings }) => {
+                return if cancel_sent.is_some() {
+                    // The completion raced our Cancel; the campaign is
+                    // aborting, so the result is discarded either way.
+                    Err(WireError::TaskCancelled)
+                } else {
+                    Ok((result, findings))
+                };
+            }
+            Some(Message::Error(msg)) => {
+                return if cancel_sent.is_some() {
+                    Err(WireError::TaskCancelled)
+                } else {
+                    Err(WireError::Remote(msg))
+                };
+            }
+            Some(Message::Task(_) | Message::Shutdown | Message::Cancel) => {
+                return Err(WireError::UnexpectedMessage("task"));
+            }
+        }
     }
 }
 
@@ -387,6 +823,29 @@ pub struct SpawnedWorkers {
 }
 
 impl SpawnedWorkers {
+    /// SIGKILLs worker `idx` (by position in [`SpawnedWorkers::addrs`])
+    /// and removes it from the set, returning its address. The chaos
+    /// suite calls this mid-campaign; a later [`SpawnedWorkers::join`]
+    /// only waits on the survivors.
+    ///
+    /// # Errors
+    ///
+    /// Any kill/wait error.
+    ///
+    /// # Panics
+    ///
+    /// When `idx` is out of bounds.
+    pub fn kill_one(&mut self, idx: usize) -> io::Result<String> {
+        let mut child = self.children.remove(idx);
+        let addr = self.addrs.remove(idx);
+        // Always reap, even when the kill itself errors, so a half-dead
+        // child can't linger as a zombie.
+        let killed = child.kill();
+        let waited = child.wait();
+        killed.and(waited)?;
+        Ok(addr)
+    }
+
     /// Waits for every worker process to exit (after a campaign run with
     /// `shutdown_workers = true`), for up to ~10 seconds per worker.
     ///
@@ -484,6 +943,7 @@ pub fn spawn_loopback_workers(exe: &Path, args: &[String], n: usize) -> io::Resu
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::{ChaosMode, ChaosProxy};
     use sympl_asm::parse_program;
     use sympl_check::SearchLimits;
     use sympl_cluster::run_cluster;
@@ -524,6 +984,38 @@ mod tests {
         let addr = server.local_addr().unwrap().to_string();
         let handle = std::thread::spawn(move || server.serve(&resolver));
         (addr, handle)
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("sympl-transport-{tag}-{}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_capped() {
+        assert_eq!(backoff_delay(0), Duration::ZERO);
+        assert_eq!(backoff_delay(1), Duration::from_millis(50));
+        assert_eq!(backoff_delay(2), Duration::from_millis(100));
+        assert_eq!(backoff_delay(3), Duration::from_millis(200));
+        assert_eq!(backoff_delay(6), Duration::from_millis(1600));
+        assert_eq!(backoff_delay(7), Duration::from_secs(2));
+        assert_eq!(backoff_delay(100), Duration::from_secs(2));
+        // Determinism: same input, same schedule — twice.
+        for attempt in 0..10 {
+            assert_eq!(backoff_delay(attempt), backoff_delay(attempt));
+        }
+    }
+
+    #[test]
+    fn liveness_deadline_scales_with_the_cadence_and_never_vanishes() {
+        assert_eq!(
+            liveness_deadline(Duration::from_millis(500)),
+            Duration::from_secs(3)
+        );
+        assert!(liveness_deadline(Duration::ZERO) >= Duration::from_secs(1));
+        assert!(
+            liveness_deadline(Duration::from_millis(25)) < Duration::from_secs(2),
+            "a fast cadence should give a tight deadline"
+        );
     }
 
     #[test]
@@ -570,6 +1062,8 @@ mod tests {
             assert_eq!(d.states_explored, l.states_explored);
         }
         assert_eq!(distributed.outcome_digest(), local.outcome_digest());
+        assert!(!distributed.degraded, "no worker was lost");
+        assert_eq!(distributed.resumed_tasks, 0);
     }
 
     #[test]
@@ -617,6 +1111,239 @@ mod tests {
             "the dropped task must be re-run on the surviving worker"
         );
         assert_eq!(distributed.tasks.len(), 4);
+        assert!(distributed.degraded, "a worker was lost");
+        assert!(distributed.workers_lost >= 1);
+        assert!(distributed.tasks_retried >= 1);
+    }
+
+    #[test]
+    fn stalled_worker_trips_the_liveness_deadline_without_a_task_budget() {
+        let program = factorial();
+        let campaign = Campaign::new(&program, ErrorClass::RegisterFile);
+        let predicate = Predicate::OutputContainsErr;
+        // task_budget is None (see deterministic_config): before the
+        // heartbeat layer this was the read-deadline hole — a wedged
+        // worker could hang the campaign forever.
+        let config = deterministic_config(3);
+
+        // A "worker" that handshakes, reads the task, then goes silent
+        // holding the connection open — no heartbeats, no reply, no EOF.
+        let wedged_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let wedged_addr = wedged_listener.local_addr().unwrap().to_string();
+        let unwedge = std::sync::Arc::new(AtomicBool::new(false));
+        let unwedge_thread = std::sync::Arc::clone(&unwedge);
+        let wedged = std::thread::spawn(move || {
+            let (mut stream, _) = wedged_listener.accept().unwrap();
+            handshake(&mut stream).unwrap();
+            let _ = read_frame(&mut stream).unwrap();
+            while !unwedge_thread.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        });
+
+        let (real_addr, real_join) = start_worker();
+        let job = CampaignJob {
+            program: &program,
+            program_id: "factorial",
+            input: &[4],
+            campaign: &campaign,
+            predicate: &predicate,
+            config: &config,
+        };
+        // A fast cadence keeps the test quick: liveness ≈ 1.12 s.
+        let opts = DistOptions {
+            shutdown_workers: true,
+            heartbeat_interval: Duration::from_millis(30),
+            ..DistOptions::default()
+        };
+        let started = Instant::now();
+        let distributed = run_distributed_with(&job, &[wedged_addr, real_addr], &opts).unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "the wedged worker must be declared dead by the liveness \
+             deadline, not waited out"
+        );
+        unwedge.store(true, Ordering::Relaxed);
+        wedged.join().unwrap();
+        real_join.join().unwrap().unwrap();
+
+        let local = run_cluster(
+            &program,
+            &DetectorSet::new(),
+            &[4],
+            &campaign,
+            &predicate,
+            &config,
+        );
+        assert_eq!(distributed.outcome_digest(), local.outcome_digest());
+        assert!(distributed.degraded);
+    }
+
+    #[test]
+    fn chaos_proxy_drop_and_stall_both_requeue_to_the_survivor() {
+        let program = factorial();
+        let campaign = Campaign::new(&program, ErrorClass::RegisterFile);
+        let predicate = Predicate::OutputContainsErr;
+        let config = deterministic_config(4);
+        let local = run_cluster(
+            &program,
+            &DetectorSet::new(),
+            &[4],
+            &campaign,
+            &predicate,
+            &config,
+        );
+        let job = CampaignJob {
+            program: &program,
+            program_id: "factorial",
+            input: &[4],
+            campaign: &campaign,
+            predicate: &predicate,
+            config: &config,
+        };
+
+        for mode in [
+            // Drop after the preamble: the first worker→coordinator frame
+            // (a heartbeat or the result) is never delivered.
+            ChaosMode::DropAfterFrames(0),
+            // Stall half-way through the first frame and hold the socket:
+            // only the liveness deadline can fail this connection.
+            ChaosMode::StallMidFrame {
+                after_frames: 0,
+                hold: Duration::from_secs(5),
+            },
+        ] {
+            let (victim_addr, victim_join) = start_worker();
+            let (real_addr, real_join) = start_worker();
+            let proxy = ChaosProxy::start(victim_addr.clone(), mode).unwrap();
+            let opts = DistOptions {
+                shutdown_workers: true,
+                heartbeat_interval: Duration::from_millis(30),
+                ..DistOptions::default()
+            };
+            let started = Instant::now();
+            let distributed =
+                run_distributed_with(&job, &[proxy.addr.clone(), real_addr], &opts).unwrap();
+            assert!(
+                started.elapsed() < Duration::from_secs(15),
+                "{mode:?}: the chaos leg must fail fast via supervision"
+            );
+            assert_eq!(
+                distributed.outcome_digest(),
+                local.outcome_digest(),
+                "{mode:?}: the merged report must hit the in-process digest"
+            );
+            assert!(distributed.degraded, "{mode:?}");
+            real_join.join().unwrap().unwrap();
+            // The victim worker behind the proxy never got a Shutdown;
+            // send one directly so its serve loop exits.
+            let stream = TcpStream::connect(victim_addr.as_str()).unwrap();
+            let mut conn = Conn::establish(stream).unwrap();
+            conn.send(&Message::Shutdown).unwrap();
+            victim_join.join().unwrap().unwrap();
+            proxy.join();
+        }
+    }
+
+    #[test]
+    fn aborted_coordinator_resumes_from_its_checkpoint_to_the_same_digest() {
+        let program = factorial();
+        let campaign = Campaign::new(&program, ErrorClass::RegisterFile);
+        let predicate = Predicate::OutputContainsErr;
+        let config = deterministic_config(6);
+        let local = run_cluster(
+            &program,
+            &DetectorSet::new(),
+            &[4],
+            &campaign,
+            &predicate,
+            &config,
+        );
+        let job = CampaignJob {
+            program: &program,
+            program_id: "factorial",
+            input: &[4],
+            campaign: &campaign,
+            predicate: &predicate,
+            config: &config,
+        };
+        let ck = temp_path("abort-resume");
+
+        // Leg 1: checkpointing coordinator "crashes" after 2 results.
+        // Workers survive (no Shutdown is sent on abort).
+        let (addr_a, join_a) = start_worker();
+        let (addr_b, join_b) = start_worker();
+        let workers = [addr_a, addr_b];
+        let leg1 = DistOptions {
+            checkpoint: Some(&ck),
+            chaos: ChaosPlan {
+                abort_after_results: Some(2),
+                ..ChaosPlan::default()
+            },
+            ..DistOptions::default()
+        };
+        let err = run_distributed_with(&job, &workers, &leg1).unwrap_err();
+        assert!(
+            matches!(err, WireError::CoordinatorAborted { completed } if completed >= 2),
+            "{err}"
+        );
+
+        // Leg 2: a fresh coordinator resumes the same workers from the
+        // checkpoint and must reproduce the uninterrupted digest.
+        let leg2 = DistOptions {
+            shutdown_workers: true,
+            resume: Some(&ck),
+            ..DistOptions::default()
+        };
+        let resumed = run_distributed_with(&job, &workers, &leg2).unwrap();
+        join_a.join().unwrap().unwrap();
+        join_b.join().unwrap().unwrap();
+        let _ = std::fs::remove_file(&ck);
+
+        assert!(
+            resumed.resumed_tasks >= 2,
+            "at least the checkpointed tasks must be seeded"
+        );
+        assert!(
+            resumed.resumed_tasks < local.tasks.len(),
+            "some shards must be re-run"
+        );
+        assert_eq!(
+            resumed.outcome_digest(),
+            local.outcome_digest(),
+            "resumed + re-run shards must merge to the uninterrupted digest"
+        );
+        assert_eq!(resumed.tasks.len(), local.tasks.len());
+    }
+
+    #[test]
+    fn stale_checkpoints_are_refused() {
+        let program = factorial();
+        let campaign = Campaign::new(&program, ErrorClass::RegisterFile);
+        let predicate = Predicate::OutputContainsErr;
+        let config = deterministic_config(3);
+        let job = CampaignJob {
+            program: &program,
+            program_id: "factorial",
+            input: &[4],
+            campaign: &campaign,
+            predicate: &predicate,
+            config: &config,
+        };
+        let ck = temp_path("stale");
+        // A checkpoint written under a *different* campaign key (other
+        // input stream → other key).
+        let other_job = CampaignJob { input: &[5], ..job };
+        let key = campaign_key(&other_job).unwrap();
+        drop(CheckpointWriter::create(&ck, key, 3).unwrap());
+
+        let opts = DistOptions {
+            resume: Some(&ck),
+            ..DistOptions::default()
+        };
+        let err = run_distributed_with(&job, &["127.0.0.1:1".into()], &opts).unwrap_err();
+        let _ = std::fs::remove_file(&ck);
+        assert!(matches!(err, WireError::StaleCheckpoint(_)), "{err}");
     }
 
     #[test]

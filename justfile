@@ -33,6 +33,18 @@ bench-json:
 cluster-demo workers="2":
     cargo run --release -p sympl-bench --bin tcas_campaign -- --quick --tasks 16 --spawn-workers {{workers}} --verify-local
 
+# Chaos demo: the fault-tolerance acceptance legs the distributed-campaign
+# CI job gates on. Leg 1 SIGKILLs one of three loopback workers after the
+# first result and still requires the in-process outcome digest verbatim.
+# Leg 2 runs a checkpointing coordinator that aborts mid-campaign (a
+# deterministic coordinator crash), and leg 3 resumes from its checkpoint
+# — re-running only the missing shards — and again gates on the
+# in-process digest.
+chaos-demo:
+    cargo run --release -p sympl-bench --bin tcas_campaign -- --quick --tasks 16 --spawn-workers 3 --chaos-kill-one --verify-local
+    cargo run --release -p sympl-bench --bin tcas_campaign -- --quick --tasks 16 --spawn-workers 2 --checkpoint target/chaos-demo.checkpoint --chaos-abort-after 5
+    cargo run --release -p sympl-bench --bin tcas_campaign -- --quick --tasks 16 --spawn-workers 2 --resume target/chaos-demo.checkpoint --verify-local
+
 # Regenerate the paper's tables and figures from the assembled workloads.
 repro-tables:
     cargo run --release -p sympl-bench --bin table1

@@ -605,6 +605,7 @@ mod wire_roundtrip {
                 task_budget: Some(Duration::from_secs(words[1] % 1000)),
                 max_findings: words[2] as usize,
                 point_workers: 1 + (words[3] as usize % 8),
+                heartbeat_interval: Duration::from_millis(1 + words[4] % 10_000),
             };
             let frame = encode_message(&Message::Task(task.clone())).unwrap();
             let Message::Task(decoded) = decode_message(&frame).unwrap() else {
@@ -623,6 +624,145 @@ mod wire_roundtrip {
             prop_assert_eq!(decoded.task_budget, task.task_budget);
             prop_assert_eq!(decoded.max_findings, task.max_findings);
             prop_assert_eq!(decoded.point_workers, task.point_workers);
+            prop_assert_eq!(decoded.heartbeat_interval, task.heartbeat_interval);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint-file round-trips: a campaign checkpoint must parse back to
+// the exact entries written, drop a crash-truncated tail without losing
+// the intact prefix, and refuse (or prefix-truncate at) corruption —
+// never invent or alter an entry.
+// ---------------------------------------------------------------------
+
+mod checkpoint_roundtrip {
+    use super::state_ops::{op_strategy, run_ops};
+    use super::*;
+    use std::time::Duration;
+    use symplfied::check::Solution;
+    use symplfied::cluster::{Finding, TaskResult};
+    use symplfied::wire::{parse_checkpoint, CheckpointWriter};
+
+    fn entry_from(
+        id: usize,
+        words: &[u64],
+        states: Vec<MachineState>,
+    ) -> (TaskResult, Vec<Finding>) {
+        let w = |i: usize| words[i % words.len()] as usize;
+        let result = TaskResult {
+            id,
+            points_examined: w(1),
+            points_total: w(2),
+            activated: w(3),
+            findings: states.len(),
+            completed: w(4) % 2 == 0,
+            elapsed: Duration::from_micros(words[5 % words.len()]),
+            states_explored: w(6),
+            point_workers: 1 + w(7) % 8,
+            steals: w(8),
+            peak_frontier_len: w(9),
+            peak_frontier_bytes: w(10),
+            spilled_states: w(11),
+        };
+        let findings = states
+            .into_iter()
+            .enumerate()
+            .map(|(i, state)| Finding {
+                task_id: id,
+                point: InjectionPoint::new(i, InjectTarget::LoadedWord),
+                solution: Solution {
+                    state,
+                    trace: vec![i, 0],
+                },
+            })
+            .collect();
+        (result, findings)
+    }
+
+    /// Writes entries through the real `CheckpointWriter` and reads the
+    /// file bytes back.
+    fn checkpoint_bytes(
+        entries: &[(TaskResult, Vec<Finding>)],
+        key: u128,
+        total: usize,
+    ) -> Vec<u8> {
+        let path = std::env::temp_dir().join(format!(
+            "sympl-ckpt-prop-{}-{key:x}-{total}.bin",
+            std::process::id()
+        ));
+        let mut writer = CheckpointWriter::create(&path, key, total).expect("create checkpoint");
+        for (result, findings) in entries {
+            writer.append(result, findings).expect("append record");
+        }
+        let bytes = std::fs::read(&path).expect("read checkpoint back");
+        let _ = std::fs::remove_file(&path);
+        bytes
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn checkpoints_roundtrip_with_full_eq(
+            ops in prop::collection::vec(op_strategy(), 1..30),
+            words in prop::collection::vec(0u64..5_000_000, 12..13),
+            tasks in 1usize..6,
+        ) {
+            let states = run_ops(&[5, -2], &ops);
+            let entries: Vec<_> = (0..tasks)
+                .map(|id| entry_from(id, &words, if id == 0 { states.clone() } else { Vec::new() }))
+                .collect();
+            let key = u128::from(words[0]) << 64 | u128::from(words[1]);
+            let bytes = checkpoint_bytes(&entries, key, tasks);
+            let file = parse_checkpoint(&bytes).expect("intact checkpoints parse");
+            prop_assert_eq!(file.key, key);
+            prop_assert_eq!(file.tasks_total, tasks);
+            prop_assert!(!file.truncated_tail);
+            prop_assert_eq!(&file.entries, &entries, "full Eq after round-trip");
+        }
+
+        #[test]
+        fn truncated_checkpoints_keep_the_intact_prefix(
+            words in prop::collection::vec(0u64..5_000_000, 12..13),
+            tasks in 2usize..6,
+            cut in 1usize..200,
+        ) {
+            let entries: Vec<_> = (0..tasks)
+                .map(|id| entry_from(id, &words, Vec::new()))
+                .collect();
+            let bytes = checkpoint_bytes(&entries, 7, tasks);
+            // Cut somewhere inside the records region (never into the
+            // header): a mid-append crash leaves exactly this shape.
+            let header_end = checkpoint_bytes(&[], 7, tasks).len();
+            let cut = (bytes.len() - cut.min(bytes.len() - header_end)).max(header_end);
+            let file = parse_checkpoint(&bytes[..cut]).expect("truncation is tolerated");
+            prop_assert!(file.entries.len() < entries.len() || !file.truncated_tail);
+            // The surviving entries are an exact prefix — never altered,
+            // never reordered.
+            prop_assert_eq!(&file.entries[..], &entries[..file.entries.len()]);
+        }
+
+        #[test]
+        fn corrupt_checkpoints_never_invent_entries(
+            words in prop::collection::vec(0u64..5_000_000, 12..13),
+            tasks in 1usize..5,
+            flip_at in 0usize..10_000,
+            flip_bits in 1u8..=255,
+        ) {
+            let entries: Vec<_> = (0..tasks)
+                .map(|id| entry_from(id, &words, Vec::new()))
+                .collect();
+            let mut bytes = checkpoint_bytes(&entries, 11, tasks);
+            let idx = flip_at % bytes.len();
+            bytes[idx] ^= flip_bits;
+            // A flipped byte either fails the parse outright (header or
+            // record damage) or truncates to an intact prefix; it must
+            // never yield an entry that was not written.
+            if let Ok(file) = parse_checkpoint(&bytes) {
+                prop_assert!(file.entries.len() <= entries.len());
+                prop_assert_eq!(&file.entries[..], &entries[..file.entries.len()]);
+            }
         }
     }
 }

@@ -98,6 +98,7 @@ fn fixture_task() -> TaskFrame {
         task_budget: Some(Duration::from_secs(120)),
         max_findings: 10,
         point_workers: 1,
+        heartbeat_interval: Duration::from_millis(500),
     }
 }
 
@@ -169,6 +170,7 @@ fn task_frame_bytes_are_pinned_and_decode() {
     );
     assert_eq!(task.task_budget, expected.task_budget);
     assert_eq!(task.point_workers, expected.point_workers);
+    assert_eq!(task.heartbeat_interval, expected.heartbeat_interval);
 }
 
 #[test]
@@ -210,4 +212,21 @@ fn control_frame_bytes_are_pinned() {
         decode_message(&payload).unwrap(),
         Message::Shutdown
     ));
+}
+
+#[test]
+fn supervision_frame_bytes_are_pinned() {
+    // The v2 fault-tolerance control frames: both are a single tag byte.
+    check_golden("heartbeat_frame.bin", &framed(&Message::Heartbeat));
+    check_golden("cancel_frame.bin", &framed(&Message::Cancel));
+
+    let golden = std::fs::read(golden_dir().join("heartbeat_frame.bin")).unwrap();
+    let payload = read_frame(&mut golden.as_slice()).unwrap();
+    assert!(matches!(
+        decode_message(&payload).unwrap(),
+        Message::Heartbeat
+    ));
+    let golden = std::fs::read(golden_dir().join("cancel_frame.bin")).unwrap();
+    let payload = read_frame(&mut golden.as_slice()).unwrap();
+    assert!(matches!(decode_message(&payload).unwrap(), Message::Cancel));
 }
