@@ -12,6 +12,9 @@
 //!   `locate`).
 //! * [`sum`], [`bubble_sort`], [`gcd`], [`matmul`] — auxiliary workloads
 //!   for tests and benches.
+//! * [`spin`] — a synthetic loop-heavy stressor whose per-point searches
+//!   are slow enough for the elastic-membership demos to exercise
+//!   mid-campaign joins and shard splits.
 //!
 //! Each workload bundles its program, detectors, a default input, and a
 //! watchdog bound that encompasses every correct execution (§5.4).
@@ -151,6 +154,23 @@ pub fn matmul() -> Workload {
     )
 }
 
+/// Auxiliary: a synthetic O(n²) nested counting loop (default n = 60)
+/// whose per-point symbolic searches take tens of milliseconds — long
+/// enough for elastic-membership events (late joins, shard splits) to
+/// land mid-campaign. The `elastic_campaign` demo binary and the
+/// `just elastic-demo` CI gate run on it; the paper workloads finish
+/// their searches too quickly to exercise network-scale timing.
+#[must_use]
+pub fn spin() -> Workload {
+    Workload::new(
+        "spin",
+        parse_source(include_str!("../asm/spin.sasm")),
+        DetectorSet::new(),
+        vec![60],
+        20_000,
+    )
+}
+
 /// Every bundled workload, for sweep-style tests and benches.
 #[must_use]
 pub fn all_workloads() -> Vec<Workload> {
@@ -163,6 +183,7 @@ pub fn all_workloads() -> Vec<Workload> {
         bubble_sort(),
         gcd(),
         matmul(),
+        spin(),
     ]
 }
 

@@ -1,0 +1,86 @@
+//! Elastic-membership demo campaign: the register-error sweep on the
+//! synthetic `spin` workload, whose per-point symbolic searches are slow
+//! enough (tens of milliseconds) for dynamic-membership events to land
+//! mid-campaign. The paper workloads exhaust their searches in
+//! microseconds per point, so a late joiner or a wire-level shard split
+//! would always lose the race against campaign completion; this binary
+//! exists so `just elastic-demo` can gate on those events actually
+//! happening (`--expect-split`), not merely being permitted.
+//!
+//! Usage: `elastic_campaign [--tasks N] [--spin N] [--max-states N]
+//!                          [--workers-at host:port,…] [--spawn-workers N] [--verify-local]
+//!                          [--checkpoint PATH] [--resume PATH] [--heartbeat-interval MS]
+//!                          [--chaos-kill-one] [--chaos-abort-after N]
+//!                          [--allow-join] [--join-late N] [--split-idle] [--expect-split]`
+//!
+//! `--spin N` overrides the workload's loop bound (default 60; keep
+//! `3·N²` under the 20 000-step watchdog so the golden run halts). The
+//! distribution, fault-tolerance, and elasticity flags are the shared
+//! set from `sympl_bench::net` — see `tcas_campaign` for their
+//! semantics.
+
+use sympl_bench::campaign_limits;
+use sympl_bench::net::{maybe_serve_loopback, parse_dist_mode, run_distributed_campaign};
+use sympl_check::Predicate;
+use sympl_cluster::{run_cluster, ClusterConfig};
+use sympl_inject::{Campaign, ErrorClass};
+
+fn arg<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+}
+
+fn main() {
+    maybe_serve_loopback();
+    let args: Vec<String> = std::env::args().collect();
+    let dist = parse_dist_mode(&args);
+    let tasks: usize = arg(&args, "--tasks").unwrap_or(2);
+    let spin: i64 = arg(&args, "--spin").unwrap_or(60);
+
+    let mut w = sympl_apps::spin();
+    w.input = vec![spin];
+    println!(
+        "spin: {} instructions, loop bound {spin} ({} golden steps)",
+        w.program.len(),
+        sympl_apps::golden(&w).steps()
+    );
+
+    let campaign = Campaign::new(&w.program, ErrorClass::RegisterFile);
+    println!(
+        "register-error campaign: {} injection points, {tasks} tasks\n",
+        campaign.len()
+    );
+
+    let mut search = campaign_limits(w.max_steps);
+    // The stressor's whole point is long per-point searches: let each
+    // one run to a deep (but schedule-independent) state-cap truncation
+    // instead of the paper binaries' quick exhaustion. 250k states puts
+    // a shard at hundreds of milliseconds — many network round-trips.
+    search.max_states = arg(&args, "--max-states").unwrap_or(250_000);
+    search.max_time = None;
+    let config = ClusterConfig {
+        tasks,
+        search,
+        task_budget: None,
+        max_findings_per_task: 10,
+        point_workers_hint: Some(1),
+        ..ClusterConfig::default()
+    };
+    let predicate = Predicate::OutputContainsErr;
+
+    let report = if dist.is_active() {
+        run_distributed_campaign(&w, &campaign, &predicate, &config, &dist)
+    } else {
+        run_cluster(
+            &w.program,
+            &w.detectors,
+            &w.input,
+            &campaign,
+            &predicate,
+            &config,
+        )
+    };
+    println!("{}", report.summary());
+}

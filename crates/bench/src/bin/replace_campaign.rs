@@ -10,14 +10,18 @@
 //! Usage: `replace_campaign [--tasks N] [--quick]
 //!                          [--workers-at host:port,…] [--spawn-workers N] [--verify-local]
 //!                          [--checkpoint PATH] [--resume PATH] [--heartbeat-interval MS]
-//!                          [--chaos-kill-one] [--chaos-abort-after N]`
+//!                          [--chaos-kill-one] [--chaos-abort-after N]
+//!                          [--allow-join] [--join-late N] [--split-idle] [--expect-split]`
 //!
 //! The `--workers-at` / `--spawn-workers` flags run the campaign over the
 //! network through `sympl_wire`; `--verify-local` gates on the
 //! distributed and in-process outcome digests matching. The remaining
-//! flags are the fault-tolerance set shared with `tcas_campaign`:
-//! checkpoint/resume across coordinator crashes, heartbeat cadence, and
-//! the chaos-injection legs of `just chaos-demo`.
+//! flags are the fault-tolerance and elasticity set shared with
+//! `tcas_campaign`: checkpoint/resume across coordinator crashes,
+//! heartbeat cadence, the chaos-injection legs of `just chaos-demo`,
+//! and the elastic-membership legs of `just elastic-demo`
+//! (`--allow-join`/`--join-late` admit workers mid-campaign,
+//! `--split-idle`/`--expect-split` exercise wire-level shard stealing).
 
 use std::time::Duration;
 

@@ -9,7 +9,8 @@
 //! Usage: `tcas_campaign [--tasks N] [--quick]
 //!                       [--workers-at host:port,…] [--spawn-workers N] [--verify-local]
 //!                       [--checkpoint PATH] [--resume PATH] [--heartbeat-interval MS]
-//!                       [--chaos-kill-one] [--chaos-abort-after N]`
+//!                       [--chaos-kill-one] [--chaos-abort-after N]
+//!                       [--allow-join] [--join-late N] [--split-idle] [--expect-split]`
 //!
 //! The `--workers-at` / `--spawn-workers` flags run the campaign over the
 //! network through `sympl_wire` instead of in-process threads;
@@ -19,7 +20,12 @@
 //! across a coordinator crash, `--heartbeat-interval` tunes the worker
 //! liveness cadence, and the `--chaos-*` flags drive the fault-injection
 //! legs of `just chaos-demo` (SIGKILL a spawned worker mid-run; abort
-//! the coordinator after N results for a later `--resume`).
+//! the coordinator after N results for a later `--resume`). The elastic
+//! flags drive `just elastic-demo`: `--allow-join` opens a join listener
+//! for `symplfied serve --join`, `--join-late N` self-spawns N late
+//! joiners mid-campaign, `--split-idle` lets idle workers steal half of
+//! the largest in-flight shard, and `--expect-split` gates on at least
+//! one split actually happening.
 
 use std::time::Duration;
 

@@ -153,10 +153,13 @@ pub fn render_table2(report: &SsimReport, caption: &str) -> String {
 /// `--workers-at` / `--spawn-workers` / `--verify-local` parsing, the
 /// fault-tolerance flags (`--checkpoint` / `--resume` /
 /// `--heartbeat-interval` and the chaos-injection flags the
-/// `just chaos-demo` CI gate drives), the loopback self-spawn worker
-/// mode, and the gating digest comparison the `distributed-campaign` CI
-/// job (and `just cluster-demo`) rides on.
+/// `just chaos-demo` CI gate drives), the elastic-membership flags
+/// (`--allow-join` / `--join-late` / `--split-idle` / `--expect-split`
+/// behind `just elastic-demo`), the loopback self-spawn worker mode,
+/// and the gating digest comparison the `distributed-campaign` CI job
+/// (and `just cluster-demo`) rides on.
 pub mod net {
+    use std::net::TcpListener;
     use std::path::PathBuf;
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Mutex;
@@ -167,31 +170,49 @@ pub mod net {
     use sympl_cluster::{run_cluster, CampaignReport, ClusterConfig};
     use sympl_inject::Campaign;
     use sympl_wire::{
-        run_distributed_with, spawn_loopback_workers, CampaignJob, ChaosPlan, DistOptions,
-        WireError, WorkerServer, DEFAULT_HEARTBEAT_INTERVAL,
+        join_coordinator, run_distributed_with, spawn_loopback_workers, CampaignJob, ChaosPlan,
+        DistOptions, WireError, WorkerServer, DEFAULT_HEARTBEAT_INTERVAL,
     };
 
     /// The hidden flag that re-runs a campaign binary as a loopback
     /// worker process (the self-spawn mode used by `--spawn-workers`).
     pub const SERVE_FLAG: &str = "--serve-loopback";
 
-    /// If the process was invoked in self-spawn worker mode, serve
-    /// distributed-campaign tasks on a loopback port until the
-    /// coordinator's shutdown frame, then exit the process. Campaign
-    /// binaries call this first thing in `main`.
+    /// The hidden flag that re-runs a campaign binary as an elastic
+    /// late joiner: it dials the coordinator's join listener (the next
+    /// argument), registers, and serves tasks from the live queue (the
+    /// self-spawn mode used by `--join-late`).
+    pub const JOIN_FLAG: &str = "--join-loopback";
+
+    /// If the process was invoked in a self-spawn worker mode, serve
+    /// distributed-campaign tasks until the coordinator's shutdown frame
+    /// (or hang-up), then exit the process. Campaign binaries call this
+    /// first thing in `main`. Two modes: [`SERVE_FLAG`] listens on a
+    /// loopback port for the coordinator to dial in; [`JOIN_FLAG`] dials
+    /// a running campaign's join listener instead.
     ///
     /// # Panics
     ///
     /// Panics if the loopback socket cannot be bound or the serve loop
     /// fails — a worker that cannot work should die loudly.
     pub fn maybe_serve_loopback() {
-        if !std::env::args().any(|a| a == SERVE_FLAG) {
+        let resolve = |id: &str| sympl_apps::resolve_workload(id).map(|w| (w.program, w.detectors));
+        let args: Vec<String> = std::env::args().collect();
+        if let Some(pos) = args.iter().position(|a| a == JOIN_FLAG) {
+            let addr = args
+                .get(pos + 1)
+                .expect("--join-loopback expects the coordinator's join address");
+            let label = format!("late-joiner-pid{}", std::process::id());
+            join_coordinator(addr, &label, &resolve).expect("join the running campaign");
+            std::process::exit(0);
+        }
+        if !args.iter().any(|a| a == SERVE_FLAG) {
             return;
         }
         let server = WorkerServer::bind("127.0.0.1:0").expect("bind a loopback port");
         server.announce().expect("announce the bound address");
         server
-            .serve(&|id: &str| sympl_apps::resolve_workload(id).map(|w| (w.program, w.detectors)))
+            .serve(&resolve)
             .expect("serve distributed-campaign tasks");
         std::process::exit(0);
     }
@@ -224,13 +245,31 @@ pub mod net {
         /// checkpoint retained) once `n` results have been pooled — the
         /// kill-the-coordinator chaos leg a later `--resume` completes.
         pub chaos_abort_after: Option<usize>,
+        /// `--allow-join`: open a join listener so freshly started
+        /// workers (`symplfied serve --join HOST:PORT`) can enter the
+        /// campaign while it runs.
+        pub allow_join: bool,
+        /// `--join-late <n>`: self-spawn `n` late-joiner processes
+        /// against the join listener once the first result is pooled —
+        /// the elastic-membership chaos leg (implies `--allow-join`).
+        pub join_late: usize,
+        /// `--split-idle`: let an idle worker steal half of the largest
+        /// in-flight shard (wire-level split), when the campaign-wide
+        /// exactness gate allows it.
+        pub split_idle: bool,
+        /// `--expect-split`: gate (exit 2) unless at least one shard
+        /// split actually happened — keeps the elastic CI leg honest.
+        pub expect_split: bool,
+        /// `--expect-join`: gate (exit 2) unless at least one worker
+        /// actually joined mid-campaign.
+        pub expect_join: bool,
     }
 
     impl DistMode {
         /// Whether any distribution was requested.
         #[must_use]
         pub fn is_active(&self) -> bool {
-            !self.workers_at.is_empty() || self.spawn_workers > 0
+            !self.workers_at.is_empty() || self.spawn_workers > 0 || self.allow_join
         }
     }
 
@@ -278,6 +317,17 @@ pub mod net {
                             .expect("--chaos-abort-after expects a count"),
                     );
                 }
+                "--allow-join" => mode.allow_join = true,
+                "--join-late" => {
+                    mode.join_late = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--join-late expects a count");
+                    mode.allow_join = true;
+                }
+                "--split-idle" => mode.split_idle = true,
+                "--expect-split" => mode.expect_split = true,
+                "--expect-join" => mode.expect_join = true,
                 _ => {}
             }
         }
@@ -315,10 +365,21 @@ pub mod net {
             || mode.checkpoint.is_some()
             || mode.resume.is_some()
             || mode.chaos_kill_one
-            || mode.chaos_abort_after.is_some();
+            || mode.chaos_abort_after.is_some()
+            || mode.allow_join
+            || mode.split_idle;
         if force_determinism {
             config.point_workers_hint = Some(1);
             config.task_budget = None;
+        }
+        if mode.split_idle {
+            // Splitting preserves exactness only when the per-task
+            // finding cap cannot bind; lift it campaign-wide. Both the
+            // distributed run and the verify-local re-run share this
+            // config, so the gate still compares like with like.
+            config.max_findings_per_task = config
+                .max_findings_per_task
+                .max(campaign.len().saturating_mul(config.search.max_solutions));
         }
 
         let mut addrs = mode.workers_at.clone();
@@ -365,6 +426,59 @@ pub mod net {
                 }
             }
         };
+
+        // Elastic membership: open the join listener up front so its
+        // address exists before the campaign starts, and self-spawn the
+        // late joiners from the coordinator's delayed-join hook (fires
+        // once, after the first pooled result — genuinely mid-campaign).
+        let join_listener = (mode.allow_join).then(|| {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind the join listener");
+            let addr = listener.local_addr().expect("join listener address");
+            println!("elastic: join listener on {addr}");
+            (listener, addr)
+        });
+        let joiners: Mutex<Vec<std::process::Child>> = Mutex::new(Vec::new());
+        let spawn_late_joiners = || {
+            let exe = std::env::current_exe().expect("own executable path");
+            let (_, addr) = join_listener
+                .as_ref()
+                .expect("--join-late implies a join listener");
+            let mut guard = joiners.lock().expect("late joiners lock");
+            for _ in 0..mode.join_late {
+                let child = std::process::Command::new(&exe)
+                    .arg(JOIN_FLAG)
+                    .arg(addr.to_string())
+                    .spawn()
+                    .expect("spawn a late joiner");
+                guard.push(child);
+            }
+            println!(
+                "elastic: spawned {} late joiner(s) against {addr}",
+                mode.join_late
+            );
+        };
+        let reap_joiners = || {
+            let mut guard = joiners.lock().expect("late joiners lock");
+            for child in guard.iter_mut() {
+                // Joiners exit on the coordinator's shutdown frame or
+                // hang-up; give them a grace period, then insist.
+                let deadline = std::time::Instant::now() + Duration::from_secs(5);
+                loop {
+                    match child.try_wait() {
+                        Ok(Some(_)) => break,
+                        Ok(None) if std::time::Instant::now() < deadline => {
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        _ => {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            break;
+                        }
+                    }
+                }
+            }
+        };
+
         let opts = DistOptions {
             shutdown_workers: shutdown,
             heartbeat_interval: mode
@@ -377,7 +491,11 @@ pub mod net {
                 on_result: mode
                     .chaos_kill_one
                     .then_some(&kill_one_mid_campaign as &(dyn Fn(usize) + Sync)),
+                delayed_join: (mode.join_late > 0)
+                    .then_some((1, &spawn_late_joiners as &(dyn Fn() + Sync))),
             },
+            join_listener: join_listener.as_ref().map(|(listener, _)| listener),
+            split_idle: mode.split_idle,
         };
         let report = match run_distributed_with(&job, &addrs, &opts) {
             Ok(report) => report,
@@ -387,16 +505,19 @@ pub mod net {
                      the checkpoint holds them for --resume"
                 );
                 // `exit` skips destructors; reap the spawned workers
-                // explicitly so they are not orphaned.
+                // and any late joiners explicitly so none are orphaned.
+                reap_joiners();
                 drop(spawned.into_inner().expect("spawned workers lock"));
                 std::process::exit(0);
             }
             Err(e) => {
                 eprintln!("distributed campaign failed: {e}");
+                reap_joiners();
                 drop(spawned.into_inner().expect("spawned workers lock"));
                 std::process::exit(1);
             }
         };
+        reap_joiners();
         if report.resumed_tasks > 0 {
             println!(
                 "resumed {} task(s) from checkpoint; {} re-run",
@@ -409,6 +530,28 @@ pub mod net {
                 "campaign finished DEGRADED: {} worker(s) lost, {} task(s) re-queued",
                 report.workers_lost, report.tasks_retried
             );
+        }
+        if report.workers_joined > 0 || report.tasks_split > 0 {
+            println!(
+                "elastic: {} worker(s) joined mid-campaign, {} shard split(s)",
+                report.workers_joined, report.tasks_split
+            );
+        }
+        if mode.expect_split && report.tasks_split == 0 {
+            eprintln!(
+                "GATE FAILED: --expect-split was set but the campaign completed \
+                 without a single shard split"
+            );
+            drop(spawned.into_inner().expect("spawned workers lock"));
+            std::process::exit(2);
+        }
+        if mode.expect_join && report.workers_joined == 0 {
+            eprintln!(
+                "GATE FAILED: --expect-join was set but no worker was admitted \
+                 mid-campaign"
+            );
+            drop(spawned.into_inner().expect("spawned workers lock"));
+            std::process::exit(2);
         }
         if let Some(spawned) = spawned.into_inner().expect("spawned workers lock") {
             spawned.join().expect("spawned workers exit cleanly");

@@ -71,6 +71,86 @@ pub fn shard_specs(campaign: &Campaign, tasks: usize) -> Vec<TaskSpec> {
         .collect()
 }
 
+/// Splits a task's point list deterministically in two contiguous halves,
+/// both carrying the *parent's* id — the steal-half discipline of the
+/// parallel point engine lifted to whole shards. The left half gets the
+/// extra point when the count is odd (the same rounding as
+/// [`Campaign::shards`]); concatenating the halves reproduces the parent's
+/// point list exactly, which is what lets a coordinator re-queue the two
+/// halves, run them anywhere, and [`merge_part_results`] back into the
+/// result an uninterrupted sweep would have produced. Returns `None` for a
+/// task with fewer than two points — there is nothing to share.
+#[must_use]
+pub fn split_spec(spec: &TaskSpec) -> Option<(TaskSpec, TaskSpec)> {
+    if spec.points.len() < 2 {
+        return None;
+    }
+    let mid = spec.points.len().div_ceil(2);
+    Some((
+        TaskSpec {
+            id: spec.id,
+            points: spec.points[..mid].to_vec(),
+        },
+        TaskSpec {
+            id: spec.id,
+            points: spec.points[mid..].to_vec(),
+        },
+    ))
+}
+
+/// Whether splitting `spec` under `config` preserves result-exactness.
+///
+/// [`run_task_spec`]'s finding cap couples points to each other: once a
+/// task has accumulated `max_findings_per_task` findings, later points are
+/// skipped and each point's solution budget shrinks to the cap's
+/// remainder. A split part replays its points with the counter reset, so
+/// splitting is only exact when the cap can never bind — no task budget,
+/// and a finding cap at least `points × max_solutions` (every point can
+/// max out its own solution budget without the task-level `min` or the
+/// early break ever firing). Any sub-range of a spec that satisfies this
+/// satisfies it too, so the guarantee survives recursive splitting.
+#[must_use]
+pub fn split_preserves_outcome(spec: &TaskSpec, config: &ClusterConfig) -> bool {
+    config.task_budget.is_none()
+        && config.max_findings_per_task
+            >= spec
+                .points
+                .len()
+                .saturating_mul(config.search.max_solutions)
+}
+
+/// Re-merges the results of split parts of one task — given in canonical
+/// order (each part's position in the parent's point list) — into the
+/// `(TaskResult, findings)` an uninterrupted sweep of the parent would
+/// have produced: counters sum, `completed` ANDs, engine high-water marks
+/// max, and findings concatenate (part order *is* point order). Returns
+/// `None` for an empty part list. Exact only under the
+/// [`split_preserves_outcome`] conditions.
+#[must_use]
+pub fn merge_part_results(
+    parts: Vec<(TaskResult, Vec<Finding>)>,
+) -> Option<(TaskResult, Vec<Finding>)> {
+    let mut parts = parts.into_iter();
+    let (mut merged, mut findings) = parts.next()?;
+    for (part, part_findings) in parts {
+        debug_assert_eq!(part.id, merged.id, "parts of one task share its id");
+        merged.points_examined += part.points_examined;
+        merged.points_total += part.points_total;
+        merged.activated += part.activated;
+        merged.findings += part.findings;
+        merged.completed &= part.completed;
+        merged.elapsed += part.elapsed;
+        merged.states_explored += part.states_explored;
+        merged.point_workers = merged.point_workers.max(part.point_workers);
+        merged.steals += part.steals;
+        merged.peak_frontier_len = merged.peak_frontier_len.max(part.peak_frontier_len);
+        merged.peak_frontier_bytes = merged.peak_frontier_bytes.max(part.peak_frontier_bytes);
+        merged.spilled_states += part.spilled_states;
+        findings.extend(part_findings);
+    }
+    Some((merged, findings))
+}
+
 /// A finding: an injection point together with one terminal state that
 /// matched the campaign predicate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -197,6 +277,14 @@ pub struct CampaignReport {
     pub tasks_retried: usize,
     /// Tasks restored from a coordinator checkpoint instead of re-run.
     pub resumed_tasks: usize,
+    /// Workers admitted into the campaign after it started (wire-level
+    /// `Register`/`Welcome`). Like the degradation counters, a schedule
+    /// fact — it never feeds [`Self::outcome_digest`].
+    pub workers_joined: usize,
+    /// In-flight shards cancelled and split in two to feed idle workers
+    /// ([`split_spec`]); the halves are re-merged before pooling, so the
+    /// count describes the schedule, not the outcomes.
+    pub tasks_split: usize,
 }
 
 impl CampaignReport {
@@ -299,7 +387,8 @@ impl CampaignReport {
     /// terminal-state fingerprint, and witness trace — excluding all
     /// wall-clock figures and the schedule-dependent degradation counters
     /// ([`Self::degraded`], [`Self::workers_lost`], [`Self::tasks_retried`],
-    /// [`Self::resumed_tasks`]). Two campaign runs that swept the same
+    /// [`Self::resumed_tasks`], [`Self::workers_joined`],
+    /// [`Self::tasks_split`]). Two campaign runs that swept the same
     /// points to the same results produce the same digest, whether the
     /// tasks ran on in-process threads or on remote workers over the wire,
     /// and whether or not workers died or the run was resumed from a
@@ -361,6 +450,12 @@ impl CampaignReport {
             text.push_str(&format!(
                 "; resumed {} task(s) from checkpoint",
                 self.resumed_tasks
+            ));
+        }
+        if self.workers_joined > 0 || self.tasks_split > 0 {
+            text.push_str(&format!(
+                "; ELASTIC: {} worker(s) joined, {} shard split(s)",
+                self.workers_joined, self.tasks_split
             ));
         }
         if self.degraded {
@@ -808,6 +903,8 @@ mod tests {
         degraded.workers_lost = 2;
         degraded.tasks_retried = 5;
         degraded.resumed_tasks = 1;
+        degraded.workers_joined = 3;
+        degraded.tasks_split = 4;
         assert_eq!(
             clean.outcome_digest(),
             degraded.outcome_digest(),
@@ -816,7 +913,104 @@ mod tests {
         let text = degraded.summary();
         assert!(text.contains("DEGRADED: 2 worker(s) lost, 5 task(s) re-queued"));
         assert!(text.contains("resumed 1 task(s) from checkpoint"));
+        assert!(text.contains("ELASTIC: 3 worker(s) joined, 4 shard split(s)"));
         assert!(!clean.summary().contains("DEGRADED"));
+        assert!(!clean.summary().contains("ELASTIC"));
+    }
+
+    #[test]
+    fn split_spec_halves_deterministically_and_preserves_order() {
+        let p = factorial();
+        let campaign = Campaign::new(&p, ErrorClass::RegisterFile);
+        let spec = &shard_specs(&campaign, 1)[0];
+        assert!(spec.points.len() >= 2, "factorial campaign is splittable");
+        let (left, right) = split_spec(spec).unwrap();
+        assert_eq!(left.id, spec.id);
+        assert_eq!(right.id, spec.id);
+        assert_eq!(left.points.len(), spec.points.len().div_ceil(2));
+        let mut rejoined = left.points.clone();
+        rejoined.extend(right.points.iter().copied());
+        assert_eq!(rejoined, spec.points, "halves concatenate to the parent");
+        // Determinism: the same spec splits the same way twice.
+        assert_eq!(split_spec(spec), split_spec(spec));
+        // Too small to share.
+        let tiny = TaskSpec {
+            id: 0,
+            points: vec![spec.points[0]],
+        };
+        assert!(split_spec(&tiny).is_none());
+        assert!(split_spec(&TaskSpec {
+            id: 0,
+            points: Vec::new()
+        })
+        .is_none());
+    }
+
+    #[test]
+    fn split_run_merge_reproduces_the_unsplit_task_exactly() {
+        let p = factorial();
+        let campaign = Campaign::new(&p, ErrorClass::RegisterFile);
+        let mut config = quick_config(1);
+        config.point_workers_hint = Some(1);
+        let spec = &shard_specs(&campaign, 1)[0];
+        // Lift the finding cap so splitting is exactness-preserving.
+        config.max_findings_per_task = spec.points.len() * config.search.max_solutions;
+        assert!(split_preserves_outcome(spec, &config));
+        let dets = DetectorSet::new();
+        let predicate = Predicate::OutputContainsErr;
+        let (whole, whole_findings) = run_task_spec(&p, &dets, &[4], spec, &predicate, &config);
+
+        // Split recursively: left half split once more, three parts total.
+        let (left, right) = split_spec(spec).unwrap();
+        let (ll, lr) = split_spec(&left).unwrap();
+        let parts: Vec<_> = [ll, lr, right]
+            .iter()
+            .map(|part| run_task_spec(&p, &dets, &[4], part, &predicate, &config))
+            .collect();
+        let (merged, merged_findings) = merge_part_results(parts).unwrap();
+
+        assert_eq!(
+            (
+                merged.id,
+                merged.points_examined,
+                merged.points_total,
+                merged.activated,
+                merged.findings,
+                merged.completed,
+                merged.states_explored,
+                merged.spilled_states,
+            ),
+            (
+                whole.id,
+                whole.points_examined,
+                whole.points_total,
+                whole.activated,
+                whole.findings,
+                whole.completed,
+                whole.states_explored,
+                whole.spilled_states,
+            ),
+            "every digest-visible statistic must merge back exactly"
+        );
+        assert_eq!(merged_findings, whole_findings, "findings in point order");
+        assert!(merge_part_results(Vec::new()).is_none());
+    }
+
+    #[test]
+    fn split_exactness_gate_rejects_binding_caps() {
+        let p = factorial();
+        let campaign = Campaign::new(&p, ErrorClass::RegisterFile);
+        let spec = &shard_specs(&campaign, 1)[0];
+        let mut config = quick_config(1);
+        // The default cap (10) can bind on a many-point task: not exact.
+        config.max_findings_per_task = 10;
+        assert!(!split_preserves_outcome(spec, &config));
+        // A task budget couples points through wall time: never exact.
+        config.max_findings_per_task = usize::MAX;
+        config.task_budget = Some(Duration::from_secs(1));
+        assert!(!split_preserves_outcome(spec, &config));
+        config.task_budget = None;
+        assert!(split_preserves_outcome(spec, &config));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!                  [--class register|memory|pc|fetch] [--max-steps N]
 //!                  [--max-solutions N]
 //! symplfied ssim   <prog.sasm> [--mips] [--input …] [--random N] [--seed N]
-//! symplfied serve  [--listen HOST:PORT]
+//! symplfied serve  [--listen HOST:PORT | --join HOST:PORT]
 //! ```
 
 use std::process::ExitCode;
@@ -38,7 +38,7 @@ const USAGE: &str = "usage:
                    [--frontier bfs|dfs|priority-constraints|priority-depth|priority-output|iddfs]
                    [--max-frontier-bytes N]
   symplfied ssim   <prog> [--mips] [--input 1,2,3] [--random N] [--seed N]
-  symplfied serve  [--listen HOST:PORT]
+  symplfied serve  [--listen HOST:PORT | --join HOST:PORT]
 
 --frontier picks the search's frontier policy (exhausted searches agree
 under every policy; see each policy's determinism contract in the docs);
@@ -50,7 +50,10 @@ coordinator (tcas_campaign/replace_campaign --workers-at), announces its
 bound address as `sympl-wire listening on HOST:PORT`, resolves tasks'
 program ids against the bundled workloads, and exits when the
 coordinator sends a shutdown frame. --listen defaults to 127.0.0.1:0
-(loopback, OS-assigned port).";
+(loopback, OS-assigned port). With --join the direction flips: the
+worker dials a *running* campaign's join listener (the coordinator's
+--allow-join port), registers, and serves tasks from the live queue
+until the coordinator shuts it down.";
 
 struct Opts {
     program_path: String,
@@ -175,14 +178,25 @@ fn resolve_workload(id: &str) -> Option<(Program, DetectorSet)> {
 /// The `serve` subcommand: a distributed-campaign worker agent.
 fn serve(args: &[String]) -> Result<(), String> {
     let mut listen = String::from("127.0.0.1:0");
+    let mut join: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--listen" => {
                 listen = it.next().ok_or("--listen expects a value")?.clone();
             }
+            "--join" => {
+                join = Some(it.next().ok_or("--join expects a value")?.clone());
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
+    }
+    if let Some(addr) = join {
+        // Elastic membership: dial a *running* campaign's join listener
+        // and serve tasks until the coordinator hangs up.
+        let label = format!("joiner-pid{}", std::process::id());
+        return symplfied::wire::join_coordinator(&addr, &label, &resolve_workload)
+            .map_err(|e| e.to_string());
     }
     let server = symplfied::wire::WorkerServer::bind(&listen)
         .map_err(|e| format!("cannot bind {listen}: {e}"))?;

@@ -1,5 +1,5 @@
 //! Chaos acceptance suite: real `symplfied serve` worker *processes*
-//! under injected faults. Two scenarios, both gated on reproducing the
+//! under injected faults. Four scenarios, all gated on reproducing the
 //! in-process `CampaignReport::outcome_digest` verbatim:
 //!
 //! 1. **Kill a worker mid-campaign** — SIGKILL one of three worker
@@ -10,6 +10,14 @@
 //!    coordinator crash); a fresh coordinator resumes from the
 //!    checkpoint, re-running only the missing shards, and merges to the
 //!    identical digest.
+//! 3. **Elastic membership under fire** — SIGKILL a worker after the
+//!    first result while two fresh `serve --join` processes enter the
+//!    running campaign through its join listener, with idle-worker
+//!    shard splitting armed.
+//! 4. **Resume under a different fleet** — the checkpoint written by
+//!    one fleet is resumed by an entirely fresh, larger fleet (the
+//!    original processes are dead); the campaign key is fleet-blind, so
+//!    the merge still lands on the in-process digest.
 
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -196,6 +204,211 @@ fn killed_coordinator_resumes_from_checkpoint_to_the_in_process_digest() {
         local.outcome_digest(),
         "checkpointed + re-run shards must merge to the uninterrupted \
          in-process outcome digest"
+    );
+    assert_eq!(resumed.tasks.len(), local.tasks.len());
+    assert_eq!(resumed.findings, local.findings);
+}
+
+#[test]
+fn elastic_campaign_with_kill_late_joins_and_splitting_reproduces_the_digest() {
+    let w = symplfied::apps::tcas();
+    let golden = symplfied::apps::golden(&w).output_ints();
+    let mut campaign = Campaign::new(&w.program, ErrorClass::RegisterFile);
+    campaign.points.truncate(48);
+    let predicate = Predicate::WrongOutput { expected: golden };
+    let mut config = deterministic_config(w.max_steps, 6);
+    // Splitting preserves exactness only when the per-task finding cap
+    // cannot bind; lift it so the split gate opens (both runs share the
+    // config, so the comparison is still like-for-like).
+    config.max_findings_per_task = campaign.len() * config.search.max_solutions;
+
+    let local = run_cluster(
+        &w.program,
+        &w.detectors,
+        &w.input,
+        &campaign,
+        &predicate,
+        &config,
+    );
+
+    let exe = Path::new(env!("CARGO_BIN_EXE_symplfied"));
+    let workers = spawn_loopback_workers(exe, &serve_args(), 2).expect("spawn 2 worker processes");
+    let addrs = workers.addrs.clone();
+    let join_listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind a join listener");
+    let join_addr = join_listener.local_addr().expect("join listener address");
+
+    let job = CampaignJob {
+        program: &w.program,
+        program_id: "tcas",
+        input: &w.input,
+        campaign: &campaign,
+        predicate: &predicate,
+        config: &config,
+    };
+
+    // After the first pooled result: SIGKILL one of the original workers
+    // and send two fresh `serve --join` processes into the breach.
+    let workers = Mutex::new(workers);
+    let killed = AtomicBool::new(false);
+    let kill_one = |completed: usize| {
+        if completed >= 1 && !killed.swap(true, Ordering::SeqCst) {
+            workers
+                .lock()
+                .expect("workers lock")
+                .kill_one(0)
+                .expect("SIGKILL a worker process");
+        }
+    };
+    let joiners: Mutex<Vec<std::process::Child>> = Mutex::new(Vec::new());
+    let spawn_joiners = || {
+        let mut guard = joiners.lock().expect("joiners lock");
+        for _ in 0..2 {
+            let child = std::process::Command::new(exe)
+                .args(["serve", "--join", &join_addr.to_string()])
+                .spawn()
+                .expect("spawn a late-joining worker process");
+            guard.push(child);
+        }
+    };
+    let opts = DistOptions {
+        shutdown_workers: true,
+        join_listener: Some(&join_listener),
+        split_idle: true,
+        chaos: ChaosPlan {
+            on_result: Some(&kill_one),
+            delayed_join: Some((1, &spawn_joiners)),
+            ..ChaosPlan::default()
+        },
+        ..DistOptions::default()
+    };
+    let distributed = run_distributed_with(&job, &addrs, &opts).expect("elastic campaign");
+    assert!(killed.load(Ordering::SeqCst), "the chaos kill must fire");
+    workers
+        .into_inner()
+        .expect("workers lock")
+        .join()
+        .expect("surviving pre-listed workers exit cleanly");
+    // Joiners exit on the coordinator's shutdown frame (or its hang-up);
+    // give them a grace period, then insist.
+    for mut child in joiners.into_inner().expect("joiners lock") {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            match child.try_wait().expect("poll a joiner process") {
+                Some(status) => {
+                    assert!(status.success(), "joiner exited with {status}");
+                    break;
+                }
+                None if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                None => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    panic!("a late joiner did not exit after the campaign");
+                }
+            }
+        }
+    }
+
+    assert_eq!(
+        distributed.outcome_digest(),
+        local.outcome_digest(),
+        "a campaign that lost a worker, admitted two late joiners, and \
+         may have split shards must still reproduce the in-process digest"
+    );
+    assert_eq!(distributed.tasks.len(), local.tasks.len());
+    assert_eq!(distributed.findings, local.findings);
+    assert!(
+        distributed.workers_joined >= 1,
+        "at least one late joiner must have been admitted mid-campaign \
+         (joined: {})",
+        distributed.workers_joined
+    );
+    assert!(
+        distributed.degraded,
+        "the SIGKILL must register as degradation"
+    );
+}
+
+#[test]
+fn checkpoint_written_by_one_fleet_resumes_under_a_different_fleet() {
+    let w = symplfied::apps::tcas();
+    let golden = symplfied::apps::golden(&w).output_ints();
+    let mut campaign = Campaign::new(&w.program, ErrorClass::RegisterFile);
+    campaign.points.truncate(48);
+    let predicate = Predicate::WrongOutput { expected: golden };
+    let config = deterministic_config(w.max_steps, 6);
+
+    let local = run_cluster(
+        &w.program,
+        &w.detectors,
+        &w.input,
+        &campaign,
+        &predicate,
+        &config,
+    );
+
+    let exe = Path::new(env!("CARGO_BIN_EXE_symplfied"));
+    let job = CampaignJob {
+        program: &w.program,
+        program_id: "tcas",
+        input: &w.input,
+        campaign: &campaign,
+        predicate: &predicate,
+        config: &config,
+    };
+    let ck = std::env::temp_dir().join(format!(
+        "symplfied-elastic-refleet-{}.checkpoint",
+        std::process::id()
+    ));
+
+    // Leg 1: fleet A (two workers) checkpoints, then the coordinator
+    // aborts. Fleet A is then destroyed entirely — dropping the handle
+    // SIGKILLs the processes — so nothing of the original fleet can
+    // leak into the resume.
+    {
+        let fleet_a =
+            spawn_loopback_workers(exe, &serve_args(), 2).expect("spawn fleet A (2 workers)");
+        let leg1 = DistOptions {
+            checkpoint: Some(&ck),
+            chaos: ChaosPlan {
+                abort_after_results: Some(2),
+                ..ChaosPlan::default()
+            },
+            ..DistOptions::default()
+        };
+        let err =
+            run_distributed_with(&job, &fleet_a.addrs, &leg1).expect_err("the abort leg must fail");
+        assert!(
+            matches!(err, WireError::CoordinatorAborted { completed } if completed >= 2),
+            "{err}"
+        );
+    }
+
+    // Leg 2: fleet B — three *fresh* workers on different ports — picks
+    // the checkpoint up. The campaign key is a pure function of the job,
+    // never of the fleet, so the seeded shards are accepted verbatim.
+    let fleet_b = spawn_loopback_workers(exe, &serve_args(), 3).expect("spawn fleet B (3 workers)");
+    let leg2 = DistOptions {
+        shutdown_workers: true,
+        resume: Some(&ck),
+        ..DistOptions::default()
+    };
+    let resumed = run_distributed_with(&job, &fleet_b.addrs, &leg2).expect("resumed campaign");
+    fleet_b
+        .join()
+        .expect("fleet B exits cleanly after shutdown");
+    let _ = std::fs::remove_file(&ck);
+
+    assert!(
+        resumed.resumed_tasks >= 2,
+        "fleet B must seed the shards fleet A completed, not re-run them"
+    );
+    assert_eq!(
+        resumed.outcome_digest(),
+        local.outcome_digest(),
+        "a checkpoint written under one fleet must resume under a \
+         different fleet to the identical in-process digest"
     );
     assert_eq!(resumed.tasks.len(), local.tasks.len());
     assert_eq!(resumed.findings, local.findings);

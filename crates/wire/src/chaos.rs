@@ -35,6 +35,17 @@ pub enum ChaosMode {
         /// How long to hold the half-sent frame before dropping.
         hold: Duration,
     },
+    /// Forward every frame, but send frame number `frame` (0-based)
+    /// *twice* — duplicate delivery at the frame layer. A doubled
+    /// heartbeat is harmless (liveness just re-arms); a doubled result
+    /// frame arrives when the coordinator expects nothing and must be
+    /// handled without corrupting the merged report (the connection is
+    /// failed and the duplicate discarded — results are keyed by task,
+    /// never double-counted).
+    DuplicateFrame {
+        /// Index of the worker→coordinator frame to send twice.
+        frame: usize,
+    },
 }
 
 /// A one-shot chaos proxy in front of an upstream worker address.
@@ -147,6 +158,16 @@ fn run_chaos_direction(up: &TcpStream, down: &TcpStream, mode: ChaosMode) -> io:
             ChaosMode::DropAfterFrames(n) if forwarded >= n => {
                 // Drop the connection with this frame unsent.
                 return Ok(());
+            }
+            ChaosMode::DuplicateFrame { frame } if forwarded == frame => {
+                // Deliver the frame twice, back to back, then keep
+                // forwarding normally.
+                writer.write_all(&prefix)?;
+                writer.write_all(&payload)?;
+                writer.write_all(&prefix)?;
+                writer.write_all(&payload)?;
+                writer.flush()?;
+                forwarded += 1;
             }
             ChaosMode::StallMidFrame { after_frames, hold } if forwarded >= after_frames => {
                 // Send the prefix and half the payload, then go silent:

@@ -396,4 +396,59 @@ mod tests {
         assert!(file.entries.is_empty());
         assert!(!file.truncated_tail);
     }
+
+    /// The elastic-fleet resume guarantee: the campaign key is a pure
+    /// function of the *job* — program, input, predicate, limits,
+    /// budgets, sharding, points. The worker list is not even a
+    /// parameter, and no fleet-shaped config field may leak in: a
+    /// checkpoint written under one fleet must resume under any other
+    /// (different worker count, workers joining late, shards split
+    /// mid-run — splits re-merge before checkpointing, so records are
+    /// whole shards either way).
+    #[test]
+    fn campaign_key_is_independent_of_the_fleet() {
+        use sympl_asm::parse_program;
+        use sympl_check::{Predicate, SearchLimits};
+        use sympl_cluster::ClusterConfig;
+        use sympl_inject::{Campaign, ErrorClass};
+
+        let program = parse_program("read $1\nprint $1\nhalt").unwrap();
+        let campaign = Campaign::new(&program, ErrorClass::RegisterFile);
+        let predicate = Predicate::OutputContainsErr;
+        // The determinism regime: a pinned point-workers share, so the
+        // in-process `workers` knob cannot reshape per-point searches.
+        let config = |workers: usize| ClusterConfig {
+            workers,
+            tasks: 4,
+            search: SearchLimits::default(),
+            task_budget: None,
+            max_findings_per_task: 10,
+            point_workers_hint: Some(1),
+        };
+        let job = |config: &ClusterConfig| -> u128 {
+            campaign_key(&CampaignJob {
+                program: &program,
+                program_id: "echo",
+                input: &[4],
+                campaign: &campaign,
+                predicate: &predicate,
+                config,
+            })
+            .unwrap()
+        };
+        let two = config(2);
+        let eight = config(8);
+        assert_eq!(
+            job(&two),
+            job(&eight),
+            "worker count must not move the campaign key"
+        );
+        // Stability across repeated derivation (no hidden state).
+        assert_eq!(job(&two), job(&two));
+        // The key still guards everything outcome-shaping: a different
+        // shard count is a different campaign.
+        let mut other = config(2);
+        other.tasks = 5;
+        assert_ne!(job(&two), job(&other));
+    }
 }

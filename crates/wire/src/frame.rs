@@ -24,7 +24,14 @@ pub const MAGIC: [u8; 4] = *b"SYWR";
 ///   flight). Version negotiation is symmetric and all-or-nothing, so a
 ///   v1 peer refuses a v2 connection at the preamble — it can never
 ///   mis-decode the extended task frame.
-pub const PROTOCOL_VERSION: u64 = 2;
+/// - **3** — elastic-membership revision: `Register` and `Welcome`
+///   frames let a freshly started worker join a *running* campaign
+///   (worker connects to the coordinator's join listener, announces
+///   itself, and receives the program identity it will be asked to
+///   resolve). No existing frame changed shape, but the vocabulary grew,
+///   so a v2 peer must refuse a v3 connection rather than choke on an
+///   unknown message tag mid-conversation.
+pub const PROTOCOL_VERSION: u64 = 3;
 
 /// Hard cap on a frame's payload size (64 MiB). A corrupt or hostile
 /// length prefix fails fast instead of asking the allocator for the moon;

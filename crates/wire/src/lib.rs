@@ -25,7 +25,7 @@
 //!
 //! ```text
 //! magic: 4 bytes  b"SYWR"
-//! version: varint  (PROTOCOL_VERSION, currently 2)
+//! version: varint  (PROTOCOL_VERSION, currently 3)
 //! ```
 //!
 //! A peer that sees a wrong magic or a version it does not speak closes
@@ -37,7 +37,10 @@
 //! and all-or-nothing — version 2 (the fault-tolerance revision: the
 //! `Heartbeat`/`Cancel` frames and the task frame's trailing heartbeat
 //! cadence) is refused at the preamble by a v1 peer, so a v1 worker can
-//! never mis-decode the extended task frame as trailing garbage.
+//! never mis-decode the extended task frame as trailing garbage; version
+//! 3 (the elastic-membership revision: the `Register`/`Welcome` frames)
+//! is likewise refused by a v2 peer, which would otherwise choke on an
+//! unknown message tag mid-conversation.
 //!
 //! ### Frames
 //!
@@ -58,6 +61,8 @@
 //! | 3 | `Shutdown` | empty — coordinator asks the worker process to exit |
 //! | 4 | `Heartbeat` | empty — worker→coordinator liveness signal, sent at the task frame's cadence while a task is in flight (v2) |
 //! | 5 | `Cancel` | empty — coordinator asks the worker to stop the in-flight task at the next injection-point boundary (v2) |
+//! | 6 | `Register` | worker label (free-form string, diagnostic only) — worker→coordinator admission request on a join connection (v3) |
+//! | 7 | `Welcome` | program id + FNV-128 program digest — coordinator→worker admission grant, announcing the campaign's program identity (v3) |
 //!
 //! Every record inside a payload is self-delimiting (tag bytes for variant
 //! choices, varints for counts), so a frame decodes without out-of-band
@@ -83,6 +88,67 @@
 //! injection-point boundary. Workers are single-conversation: `serve`
 //! handles one connection at a time and goes back to `accept` when the
 //! coordinator hangs up, or exits on `Shutdown`.
+//!
+//! ### Membership state machine (elastic fleets, v3)
+//!
+//! With [`DistOptions::join_listener`] set, the fleet is *dynamic*:
+//! membership is per-connection state on the coordinator, and every
+//! worker connection — pre-listed or late-joining — moves through the
+//! same three states:
+//!
+//! ```text
+//! joining ──(preamble + Register/Welcome ok)──► active ──(heartbeat loss,
+//!    │                                            │        socket error,
+//!    └──(bad preamble / version mismatch /        │        clean Shutdown)
+//!        non-Register first frame: refused,       ▼
+//!        listener keeps serving)               lost (in-flight shard
+//!                                                   re-queued for the rest)
+//! ```
+//!
+//! - **joining** — a connection accepted on the join listener that has
+//!   completed the preamble and sent `Register`; the coordinator answers
+//!   `Welcome` (program id + digest, so the joiner can pre-warm) and the
+//!   connection becomes a worker like any other. A malformed preamble,
+//!   version mismatch, or any first frame other than `Register` refuses
+//!   *that connection only*. Pre-listed workers skip this state: their
+//!   connections are dialled by the coordinator and start active.
+//! - **active** — pulling from the shared task queue; supervised by the
+//!   same heartbeat/liveness machinery, counted in the retry budget (a
+//!   fleet that grew tolerates more per-task failures).
+//! - **lost** — departure by heartbeat loss, socket error, or hang-up
+//!   degrades exactly as a fixed fleet does: the in-flight shard is
+//!   re-queued with deterministic backoff and the report's loss counters
+//!   tick. There is no rejoin: a worker that comes back is a fresh
+//!   `Register`.
+//!
+//! ### Shard splitting and re-queue rules (v3)
+//!
+//! With [`DistOptions::split_idle`] set, an idle worker (empty queue,
+//! shards still in flight) asks the coordinator to reclaim work: the
+//! *largest* in-flight shard is sent `Cancel`, its partial work is
+//! discarded (the worker answers `Error`, the acknowledgement), and the
+//! shard's points re-queue as two contiguous halves
+//! ([`sympl_cluster::split_spec`]) carrying the parent's task id — the
+//! PR 2 steal-half discipline lifted to the wire. The rules that keep the
+//! digest fixed:
+//!
+//! - Splitting is refused wholesale unless
+//!   [`sympl_cluster::split_preserves_outcome`] holds for every shard (no
+//!   task budget, finding cap that can never bind) — the only regime in
+//!   which a shard's outcome equals the sum of its halves'.
+//! - A completion racing the split-`Cancel` wins: the shard is done and
+//!   no split happens.
+//! - Halves may split again, down to [`MAX_SPLIT_DEPTH`]; a poisonous
+//!   shard fragments into at most `2^MAX_SPLIT_DEPTH` pieces.
+//! - Parts re-assemble on the coordinator keyed by point-range offset;
+//!   when they cover the parent shard contiguously they merge in offset
+//!   order ([`sympl_cluster::merge_part_results`]) — canonical point
+//!   order — and only the merged whole shard is pooled and checkpointed.
+//!   Duplicate part delivery is idempotent (first writer wins per range).
+//!
+//! The `CampaignReport`'s `workers_joined`/`tasks_split` counters record
+//! the schedule; like the loss counters they never feed the outcome
+//! digest.
 //!
 //! ### Checkpoint file format
 //!
@@ -155,9 +221,10 @@ pub use frame::{
 pub use proto::{decode_finding, decode_task_result, encode_finding, encode_task_result};
 pub use proto::{decode_message, encode_message, Message, TaskFrame};
 pub use transport::{
-    backoff_delay, liveness_deadline, run_distributed, run_distributed_with,
+    backoff_delay, join_coordinator, liveness_deadline, run_distributed, run_distributed_with,
     spawn_loopback_workers, CampaignJob, ChaosPlan, DistOptions, ProgramResolver, SpawnedWorkers,
-    WorkerServer, DEFAULT_HEARTBEAT_INTERVAL, LISTENING_PREFIX, MIN_HEARTBEAT_INTERVAL,
+    WorkerServer, DEFAULT_HEARTBEAT_INTERVAL, LISTENING_PREFIX, MAX_SPLIT_DEPTH,
+    MIN_HEARTBEAT_INTERVAL,
 };
 
 pub use sympl_symbolic::CodecError;

@@ -28,6 +28,8 @@ const MSG_ERROR: u8 = 2;
 const MSG_SHUTDOWN: u8 = 3;
 const MSG_HEARTBEAT: u8 = 4;
 const MSG_CANCEL: u8 = 5;
+const MSG_REGISTER: u8 = 6;
+const MSG_WELCOME: u8 = 7;
 
 /// One campaign task as shipped to a remote worker: everything
 /// [`sympl_cluster::run_task_spec`] needs, plus the program identity the
@@ -94,6 +96,24 @@ pub enum Message {
     /// coordinator is aborting a campaign, so workers stay healthy for
     /// the next one instead of finishing a doomed sweep.
     Cancel,
+    /// Worker → coordinator: request admission into a running campaign
+    /// (sent immediately after the preamble on a join connection). The
+    /// label is free-form and purely diagnostic — membership never feeds
+    /// the campaign key or the outcome digest.
+    Register {
+        /// A human-readable worker label (host/pid style), for logs.
+        worker: String,
+    },
+    /// Coordinator → worker: admission granted. Carries the campaign's
+    /// program identity so the joiner can resolve and warm the program
+    /// before its first task arrives (every subsequent `Task` frame
+    /// still carries the digest, which the worker re-verifies).
+    Welcome {
+        /// The bundled workload name the campaign runs.
+        program_id: String,
+        /// FNV-128 digest of the resolved program's listing.
+        program_digest: u128,
+    },
 }
 
 fn decode_usize(bytes: &[u8], pos: &mut usize) -> Result<usize, CodecError> {
@@ -212,6 +232,18 @@ pub fn encode_message(message: &Message) -> Result<Vec<u8>, CodecError> {
         Message::Shutdown => buf.push(MSG_SHUTDOWN),
         Message::Heartbeat => buf.push(MSG_HEARTBEAT),
         Message::Cancel => buf.push(MSG_CANCEL),
+        Message::Register { worker } => {
+            buf.push(MSG_REGISTER);
+            encode_str(worker, &mut buf);
+        }
+        Message::Welcome {
+            program_id,
+            program_digest,
+        } => {
+            buf.push(MSG_WELCOME);
+            encode_str(program_id, &mut buf);
+            encode_u128(*program_digest, &mut buf);
+        }
     }
     Ok(buf)
 }
@@ -269,6 +301,13 @@ pub fn decode_message(bytes: &[u8]) -> Result<Message, CodecError> {
         MSG_SHUTDOWN => Message::Shutdown,
         MSG_HEARTBEAT => Message::Heartbeat,
         MSG_CANCEL => Message::Cancel,
+        MSG_REGISTER => Message::Register {
+            worker: decode_str(bytes, &mut pos)?,
+        },
+        MSG_WELCOME => Message::Welcome {
+            program_id: decode_str(bytes, &mut pos)?,
+            program_digest: decode_u128(bytes, &mut pos)?,
+        },
         tag => {
             return Err(CodecError::BadTag {
                 what: "message",
@@ -415,6 +454,39 @@ mod tests {
         assert!(matches!(decode_message(&bytes).unwrap(), Message::Error(m) if m == "nope"));
         let bytes = encode_message(&Message::Shutdown).unwrap();
         assert!(matches!(decode_message(&bytes).unwrap(), Message::Shutdown));
+    }
+
+    #[test]
+    fn membership_frames_roundtrip() {
+        let bytes = encode_message(&Message::Register {
+            worker: "joiner-7".into(),
+        })
+        .unwrap();
+        assert_eq!(bytes[0], MSG_REGISTER);
+        assert!(matches!(
+            decode_message(&bytes).unwrap(),
+            Message::Register { worker } if worker == "joiner-7"
+        ));
+
+        let bytes = encode_message(&Message::Welcome {
+            program_id: "tcas".into(),
+            program_digest: 0xFEED_FACE_CAFE_BEEF_0123_4567_89AB_CDEF,
+        })
+        .unwrap();
+        assert_eq!(bytes[0], MSG_WELCOME);
+        let Message::Welcome {
+            program_id,
+            program_digest,
+        } = decode_message(&bytes).unwrap()
+        else {
+            panic!("wrong message kind");
+        };
+        assert_eq!(program_id, "tcas");
+        assert_eq!(program_digest, 0xFEED_FACE_CAFE_BEEF_0123_4567_89AB_CDEF);
+        // Trailing garbage after either frame is corruption.
+        let mut bytes = encode_message(&Message::Register { worker: "w".into() }).unwrap();
+        bytes.push(0);
+        assert!(decode_message(&bytes).is_err());
     }
 
     #[test]

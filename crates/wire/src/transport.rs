@@ -22,21 +22,22 @@
 //! `Heartbeat` frames at the requested cadence and honouring `Cancel`
 //! frames between injection points.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{self, BufRead as _, BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use sympl_asm::Program;
 use sympl_check::Predicate;
 use sympl_cluster::{
-    pool_results, run_task_spec_with_cancel, shard_specs, CampaignReport, ClusterConfig, Finding,
-    TaskResult, TaskSpec,
+    merge_part_results, pool_results, run_task_spec_with_cancel, shard_specs,
+    split_preserves_outcome, split_spec, CampaignReport, ClusterConfig, Finding, TaskResult,
+    TaskSpec,
 };
 use sympl_detect::DetectorSet;
 use sympl_inject::Campaign;
@@ -87,6 +88,12 @@ pub fn backoff_delay(attempts: usize) -> Duration {
 
 /// How often an idle coordinator connection re-polls the queue.
 const IDLE_POLL: Duration = Duration::from_millis(5);
+
+/// How many times one original shard may be recursively halved by idle
+/// workers before the coordinator stops splitting it: a poisonous or
+/// merely slow shard fragments into at most `2^MAX_SPLIT_DEPTH` pieces,
+/// never forever.
+pub const MAX_SPLIT_DEPTH: usize = 6;
 
 /// Locks a mutex, recovering the guard from a poisoned lock: a panic on
 /// one dispatch thread must degrade the campaign, not crash the
@@ -227,31 +234,82 @@ impl WorkerServer {
         resolve: &ProgramResolver<'_>,
     ) -> Result<bool, WireError> {
         let mut conn = Conn::establish(stream)?;
-        loop {
-            // Idle: block indefinitely for the coordinator's next frame
-            // (clearing any poll timeout a previous task left behind).
-            conn.set_read_timeout(None)?;
-            let message = match conn.recv() {
+        serve_conversation(&mut conn, resolve)
+    }
+}
+
+/// The worker's half of an established coordinator conversation: task
+/// frames are served, `Shutdown` returns `Ok(true)`, a hang-up returns
+/// `Ok(false)`. Shared by the listening [`WorkerServer`] and the
+/// outbound [`join_coordinator`] — once admitted, a joiner speaks
+/// exactly the same dialect as a pre-listed worker.
+fn serve_conversation(conn: &mut Conn, resolve: &ProgramResolver<'_>) -> Result<bool, WireError> {
+    loop {
+        // Idle: block indefinitely for the coordinator's next frame
+        // (clearing any poll timeout a previous task left behind).
+        conn.set_read_timeout(None)?;
+        let message = match conn.recv() {
+            Err(WireError::Disconnected) => return Ok(false),
+            other => other?,
+        };
+        match message {
+            Message::Task(task) => match serve_task(conn, &task, resolve) {
+                Ok(reply) => conn.send(&reply)?,
+                // The coordinator vanished mid-task; back to accept.
                 Err(WireError::Disconnected) => return Ok(false),
-                other => other?,
-            };
-            match message {
-                Message::Task(task) => match serve_task(&mut conn, &task, resolve) {
-                    Ok(reply) => conn.send(&reply)?,
-                    // The coordinator vanished mid-task; back to accept.
-                    Err(WireError::Disconnected) => return Ok(false),
-                    Err(e) => return Err(e),
-                },
-                Message::Shutdown => return Ok(true),
-                // A Cancel can race a task completion and arrive while
-                // the worker is idle again; there is nothing to cancel.
-                Message::Cancel => {}
-                Message::Heartbeat | Message::TaskDone { .. } | Message::Error(_) => {
-                    return Err(WireError::UnexpectedMessage("result"))
-                }
-            }
+                Err(e) => return Err(e),
+            },
+            Message::Shutdown => return Ok(true),
+            // A Cancel can race a task completion and arrive while
+            // the worker is idle again; there is nothing to cancel.
+            Message::Cancel => {}
+            Message::Heartbeat
+            | Message::TaskDone { .. }
+            | Message::Error(_)
+            | Message::Register { .. }
+            | Message::Welcome { .. } => return Err(WireError::UnexpectedMessage("result")),
         }
     }
+}
+
+/// Joins a *running* campaign as a worker: connects to the coordinator's
+/// join listener, sends `Register`, waits for the `Welcome` (pre-warming
+/// the announced program), then serves tasks exactly like a pre-listed
+/// worker until the coordinator shuts the connection down. Exposed on
+/// the CLI as `symplfied serve --join <addr>`.
+///
+/// Returns once the campaign releases the worker — a `Shutdown` frame
+/// and a coordinator hang-up are both clean ends (the campaign is simply
+/// over).
+///
+/// # Errors
+///
+/// Connection/handshake failures, a coordinator that answers the
+/// `Register` with anything but `Welcome`, or a mid-conversation
+/// protocol error.
+pub fn join_coordinator(
+    addr: &str,
+    worker_label: &str,
+    resolve: &ProgramResolver<'_>,
+) -> Result<(), WireError> {
+    let stream = TcpStream::connect(addr).map_err(WireError::from)?;
+    let mut conn = Conn::establish(stream)?;
+    conn.send(&Message::Register {
+        worker: worker_label.to_owned(),
+    })?;
+    conn.set_read_timeout(Some(Duration::from_secs(30)))?;
+    match conn.recv()? {
+        Message::Welcome { program_id, .. } => {
+            // Pre-warm: resolve and decode the campaign's program before
+            // the first task frame arrives. Purely an optimisation — every
+            // task frame still carries the digest the worker verifies.
+            if let Some((program, _)) = resolve(&program_id) {
+                let _ = program.decoded();
+            }
+        }
+        _ => return Err(WireError::UnexpectedMessage("welcome")),
+    }
+    serve_conversation(&mut conn, resolve).map(|_shutdown| ())
 }
 
 /// Runs one task frame on a supervised thread, heartbeating the
@@ -391,6 +449,12 @@ pub struct ChaosPlan<'a> {
     /// result — the kill-a-worker-mid-campaign tests use it to SIGKILL a
     /// loopback worker at a deterministic point in the run.
     pub on_result: Option<&'a (dyn Fn(usize) + Sync)>,
+    /// Called exactly once, when the completed-result count first reaches
+    /// the threshold — the elastic acceptance legs use it to launch
+    /// late-joining workers at a deterministic point in the run
+    /// (deterministic in campaign progress, that is; the join itself
+    /// still races the remaining work, which is the point).
+    pub delayed_join: Option<(usize, &'a (dyn Fn() + Sync))>,
 }
 
 /// Coordinator options beyond the worker list.
@@ -411,6 +475,20 @@ pub struct DistOptions<'a> {
     /// the missing shards. The checkpoint's campaign key must match this
     /// job's ([`WireError::StaleCheckpoint`] otherwise).
     pub resume: Option<&'a Path>,
+    /// Accept late-joining workers on this listener for the duration of
+    /// the campaign: a `Register` frame admits the connection into the
+    /// same queue/results machinery as the pre-listed workers. The
+    /// listener is switched to non-blocking and polled; it outlives the
+    /// run (the caller owns it).
+    pub join_listener: Option<&'a TcpListener>,
+    /// Let idle workers trigger wire-level shard splitting: when the
+    /// queue is empty but shards are in flight, the largest in-flight
+    /// shard is cancelled, halved via [`sympl_cluster::split_spec`], and
+    /// both halves re-queued (down to [`MAX_SPLIT_DEPTH`]). Only honoured
+    /// when [`sympl_cluster::split_preserves_outcome`] holds for every
+    /// shard — otherwise splitting could move the outcome digest, and the
+    /// option is ignored with a warning.
+    pub split_idle: bool,
     /// Test-only failure injection.
     pub chaos: ChaosPlan<'a>,
 }
@@ -422,16 +500,25 @@ impl Default for DistOptions<'_> {
             heartbeat_interval: DEFAULT_HEARTBEAT_INTERVAL,
             checkpoint: None,
             resume: None,
+            join_listener: None,
+            split_idle: false,
             chaos: ChaosPlan::default(),
         }
     }
 }
 
-/// A queued task: its spec, how many workers have already failed it, and
-/// the deterministic earliest instant it may be handed out again
-/// ([`backoff_delay`]).
+/// A queued task: its spec, the contiguous range of the *parent* shard's
+/// point list it covers (the whole list for an unsplit shard), its split
+/// depth, how many workers have already failed it, and the deterministic
+/// earliest instant it may be handed out again ([`backoff_delay`]).
 struct QueuedTask {
     spec: TaskSpec,
+    /// `[start, end)` offsets into the parent shard's original point
+    /// list. Split halves carry the parent's id; the range is what lets
+    /// the coordinator re-assemble them in canonical order.
+    range: (usize, usize),
+    /// How many times this entry's ancestry has been halved.
+    depth: usize,
     attempts: usize,
     ready_at: Instant,
 }
@@ -457,6 +544,391 @@ fn pop_task(queue: &Mutex<VecDeque<QueuedTask>>, in_flight: &AtomicUsize) -> Pop
     // nothing in flight" while this task is still going to come back.
     in_flight.fetch_add(1, Ordering::SeqCst);
     Popped::Ready(task)
+}
+
+/// Per-connection membership state the coordinator's split logic reads:
+/// what the worker is chewing on (so an idle peer can pick the biggest
+/// victim) and the one-shot split request flag the dispatch loop polls.
+#[derive(Default)]
+struct WorkerSlot {
+    /// Points in the worker's in-flight task; 0 when idle.
+    in_flight_points: AtomicUsize,
+    /// Split depth of the in-flight task.
+    in_flight_depth: AtomicUsize,
+    /// Set by an idle worker to ask this one to give up half its shard.
+    split_requested: AtomicBool,
+    /// The connection is gone; never pick this slot again.
+    gone: AtomicBool,
+}
+
+/// A completed split part, keyed in the assembly map by its start offset:
+/// `(end, result, findings)`.
+type PartEntry = (usize, TaskResult, Vec<Finding>);
+
+/// Everything the coordinator's worker threads share. Pre-listed
+/// connections and late joiners run the identical [`Self::worker_loop`];
+/// membership only changes who is pulling from the queue, never what the
+/// merged report contains.
+struct Coordinator<'a> {
+    job: &'a CampaignJob<'a>,
+    opts: &'a DistOptions<'a>,
+    digest: u128,
+    point_workers: usize,
+    heartbeat_interval: Duration,
+    liveness: Duration,
+    split_enabled: bool,
+    /// Pre-listed worker count (the retry budget's base; joiners extend
+    /// it, so a campaign that grew can tolerate more failures per task).
+    base_workers: usize,
+    /// Original point count of each shard, by task id.
+    task_points: Vec<usize>,
+    queue: Mutex<VecDeque<QueuedTask>>,
+    /// Completed split parts awaiting their siblings: task id → start
+    /// offset → part. A shard leaves this map the moment its parts cover
+    /// `[0, task_points[id])` contiguously, merged in offset order.
+    parts: Mutex<HashMap<usize, BTreeMap<usize, PartEntry>>>,
+    results: Mutex<Vec<(TaskResult, Vec<Finding>)>>,
+    writer: Mutex<Option<CheckpointWriter>>,
+    fatal: Mutex<Option<WireError>>,
+    abort: AtomicBool,
+    /// The queue drained with nothing in flight: joiner admission stops.
+    finished: AtomicBool,
+    delayed_join_fired: AtomicBool,
+    in_flight: AtomicUsize,
+    completed: AtomicUsize,
+    tasks_retried: AtomicUsize,
+    workers_lost: AtomicUsize,
+    workers_joined: AtomicUsize,
+    tasks_split: AtomicUsize,
+    /// Worker threads alive (connected or still connecting) — the accept
+    /// thread's liveness signal.
+    active_workers: AtomicUsize,
+    membership: Mutex<Vec<Arc<WorkerSlot>>>,
+}
+
+impl Coordinator<'_> {
+    fn add_slot(&self) -> Arc<WorkerSlot> {
+        let slot = Arc::new(WorkerSlot::default());
+        lock_recovering(&self.membership).push(Arc::clone(&slot));
+        slot
+    }
+
+    /// A task that failed on this many workers is declared poisonous and
+    /// aborts the campaign instead of cycling forever. Read at failure
+    /// time: a fleet that grew mid-campaign has more distinct workers a
+    /// task could still succeed on.
+    fn max_attempts(&self) -> usize {
+        (self.base_workers + self.workers_joined.load(Ordering::Relaxed)).max(1)
+    }
+
+    /// Picks the busiest splittable in-flight shard and asks its worker
+    /// to give half up. Called by idle workers; at most one outstanding
+    /// request per victim.
+    fn request_split(&self) {
+        let membership = lock_recovering(&self.membership);
+        let victim = membership
+            .iter()
+            .filter(|s| {
+                !s.gone.load(Ordering::Relaxed) && !s.split_requested.load(Ordering::Relaxed)
+            })
+            .filter(|s| {
+                s.in_flight_points.load(Ordering::Relaxed) >= 2
+                    && s.in_flight_depth.load(Ordering::Relaxed) < MAX_SPLIT_DEPTH
+            })
+            .max_by_key(|s| s.in_flight_points.load(Ordering::Relaxed));
+        if let Some(victim) = victim {
+            victim.split_requested.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Accepts `Register` connections for the duration of the campaign,
+    /// spawning an ordinary worker loop per admitted joiner on the same
+    /// scope as the pre-listed workers.
+    fn accept_joiners<'s>(&'s self, scope: &'s std::thread::Scope<'s, '_>, listener: &TcpListener) {
+        if let Err(e) = listener.set_nonblocking(true) {
+            eprintln!("sympl-wire coordinator: join listener unusable: {e}");
+            return;
+        }
+        let mut no_workers_since: Option<Instant> = None;
+        loop {
+            if self.finished.load(Ordering::Relaxed) || self.abort.load(Ordering::Relaxed) {
+                return;
+            }
+            // All workers gone and none joining: give a departed fleet one
+            // liveness window to be replaced, then stop so the campaign
+            // can fail with `NoWorkersLeft` instead of waiting forever.
+            if self.active_workers.load(Ordering::SeqCst) == 0 {
+                let since = *no_workers_since.get_or_insert_with(Instant::now);
+                if since.elapsed() >= self.liveness {
+                    return;
+                }
+            } else {
+                no_workers_since = None;
+            }
+            match listener.accept() {
+                Ok((stream, peer)) => match self.admit(stream) {
+                    Ok(conn) => {
+                        self.workers_joined.fetch_add(1, Ordering::Relaxed);
+                        self.active_workers.fetch_add(1, Ordering::SeqCst);
+                        let slot = self.add_slot();
+                        let label = format!("joined worker {peer}");
+                        scope.spawn(move || {
+                            self.worker_loop(conn, &slot, &label);
+                            self.active_workers.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    }
+                    // A malformed preamble, version mismatch, or a frame
+                    // other than Register: refuse this connection, keep
+                    // the listener.
+                    Err(e) => {
+                        eprintln!("sympl-wire coordinator: join from {peer} refused: {e}");
+                    }
+                },
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(IDLE_POLL);
+                }
+                Err(e) => {
+                    eprintln!("sympl-wire coordinator: join listener failed: {e}");
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Handshakes a join connection and runs the admission exchange:
+    /// expect `Register`, answer `Welcome` with the campaign's program
+    /// identity.
+    fn admit(&self, stream: TcpStream) -> Result<Conn, WireError> {
+        let mut conn = Conn::establish(stream)?;
+        conn.set_read_timeout(Some(Duration::from_secs(5)))?;
+        match conn.recv()? {
+            Message::Register { worker } => {
+                eprintln!("sympl-wire coordinator: admitted worker `{worker}`");
+            }
+            _ => return Err(WireError::UnexpectedMessage("register")),
+        }
+        conn.send(&Message::Welcome {
+            program_id: self.job.program_id.to_owned(),
+            program_digest: self.digest,
+        })?;
+        conn.set_read_timeout(None)?;
+        Ok(conn)
+    }
+
+    /// One worker connection's dispatch loop — identical for pre-listed
+    /// workers and admitted joiners.
+    fn worker_loop(&self, mut conn: Conn, slot: &WorkerSlot, label: &str) {
+        loop {
+            if self.abort.load(Ordering::Relaxed) {
+                slot.gone.store(true, Ordering::Relaxed);
+                return;
+            }
+            let task = match pop_task(&self.queue, &self.in_flight) {
+                Popped::Ready(task) => task,
+                Popped::Delayed => {
+                    std::thread::sleep(IDLE_POLL);
+                    continue;
+                }
+                Popped::Empty => {
+                    if self.in_flight.load(Ordering::SeqCst) > 0 {
+                        // Another worker may yet fail and re-queue its
+                        // task — stay available, and if splitting is on,
+                        // ask the biggest in-flight shard to share.
+                        if self.split_enabled {
+                            self.request_split();
+                        }
+                        std::thread::sleep(IDLE_POLL);
+                        continue;
+                    }
+                    self.finished.store(true, Ordering::Relaxed);
+                    slot.gone.store(true, Ordering::Relaxed);
+                    if self.opts.shutdown_workers {
+                        let _ = conn.send(&Message::Shutdown);
+                    }
+                    return;
+                }
+            };
+            let splittable =
+                self.split_enabled && task.spec.points.len() >= 2 && task.depth < MAX_SPLIT_DEPTH;
+            slot.in_flight_points
+                .store(task.spec.points.len(), Ordering::Relaxed);
+            slot.in_flight_depth.store(task.depth, Ordering::Relaxed);
+            // A panicking dispatch degrades this worker (its task is
+            // re-queued below) instead of crashing the coordinator with a
+            // poisoned lock.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                dispatch_task(
+                    &mut conn,
+                    self.job,
+                    self.digest,
+                    self.point_workers,
+                    &task.spec,
+                    self.heartbeat_interval,
+                    self.liveness,
+                    &self.abort,
+                    slot,
+                    splittable,
+                )
+            }))
+            .unwrap_or_else(|_| {
+                Err(WireError::Io(io::Error::other(
+                    "coordinator dispatch thread panicked",
+                )))
+            });
+            slot.in_flight_points.store(0, Ordering::Relaxed);
+            slot.split_requested.store(false, Ordering::Relaxed);
+            match outcome {
+                Ok(DispatchOutcome::Done(result, findings)) => {
+                    self.complete(&task, result, findings);
+                    self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                }
+                Ok(DispatchOutcome::SplitCancelled) => {
+                    self.requeue_halves(task);
+                    self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                }
+                Err(e) => {
+                    if self.abort.load(Ordering::Relaxed) {
+                        // The campaign is aborting; nothing to re-queue
+                        // for.
+                        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                        slot.gone.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    if task.attempts + 1 >= self.max_attempts() {
+                        *lock_recovering(&self.fatal) = Some(e);
+                        self.abort.store(true, Ordering::Relaxed);
+                    } else {
+                        let attempts = task.attempts + 1;
+                        let delay = backoff_delay(attempts);
+                        eprintln!(
+                            "sympl-wire coordinator: worker {label} failed task {} \
+                             (attempt {attempts}): {e}; re-queueing after {delay:?}",
+                            task.spec.id,
+                        );
+                        lock_recovering(&self.queue).push_front(QueuedTask {
+                            ready_at: Instant::now() + delay,
+                            attempts,
+                            ..task
+                        });
+                        self.tasks_retried.fetch_add(1, Ordering::Relaxed);
+                        self.workers_lost.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Re-queue before the decrement (see in_flight above),
+                    // then abandon this connection; the rest of the queue
+                    // is the other workers'.
+                    self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    slot.gone.store(true, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Splits a cancelled task's spec in two and re-queues both halves at
+    /// the front of the queue — the requesting idle worker grabs one, the
+    /// cancelled worker's loop comes back for the other.
+    fn requeue_halves(&self, task: QueuedTask) {
+        match split_spec(&task.spec) {
+            Some((left, right)) => {
+                let mid = task.range.0 + left.points.len();
+                let now = Instant::now();
+                {
+                    let mut q = lock_recovering(&self.queue);
+                    q.push_front(QueuedTask {
+                        spec: right,
+                        range: (mid, task.range.1),
+                        depth: task.depth + 1,
+                        attempts: task.attempts,
+                        ready_at: now,
+                    });
+                    q.push_front(QueuedTask {
+                        spec: left,
+                        range: (task.range.0, mid),
+                        depth: task.depth + 1,
+                        attempts: task.attempts,
+                        ready_at: now,
+                    });
+                }
+                self.tasks_split.fetch_add(1, Ordering::Relaxed);
+            }
+            // A stale split request on an unsplittable task: just put it
+            // back whole.
+            None => lock_recovering(&self.queue).push_front(task),
+        }
+    }
+
+    /// Books a finished dispatch: a whole shard finalizes directly; a
+    /// split part waits in the assembly map until its siblings cover the
+    /// parent's full point range, then the parts merge (in offset order —
+    /// canonical point order) and finalize as one shard.
+    fn complete(&self, task: &QueuedTask, result: TaskResult, findings: Vec<Finding>) {
+        let id = task.spec.id;
+        let total = self.task_points[id];
+        if task.range == (0, total) {
+            self.finalize(result, findings);
+            return;
+        }
+        let merged = {
+            let mut parts = lock_recovering(&self.parts);
+            let entry = parts.entry(id).or_default();
+            // First writer wins per range start: duplicate delivery (or a
+            // cancelled-then-retried part) can never double-count.
+            entry
+                .entry(task.range.0)
+                .or_insert((task.range.1, result, findings));
+            let mut cursor = 0usize;
+            while let Some(&(end, ..)) = entry.get(&cursor) {
+                cursor = end;
+            }
+            if cursor == total {
+                parts.remove(&id)
+            } else {
+                None
+            }
+        };
+        if let Some(map) = merged {
+            let parts: Vec<_> = map.into_values().map(|(_, r, f)| (r, f)).collect();
+            if let Some((result, findings)) = merge_part_results(parts) {
+                self.finalize(result, findings);
+            }
+        }
+    }
+
+    /// Checkpoints, pools, and counts one completed shard, firing the
+    /// chaos hooks that key off campaign progress.
+    fn finalize(&self, result: TaskResult, findings: Vec<Finding>) {
+        {
+            let mut w = lock_recovering(&self.writer);
+            if let Some(writer) = w.as_mut() {
+                if let Err(e) = writer.append(&result, &findings) {
+                    eprintln!(
+                        "sympl-wire coordinator: checkpoint append failed ({e}); \
+                         checkpointing disabled"
+                    );
+                    *w = None;
+                }
+            }
+        }
+        lock_recovering(&self.results).push((result, findings));
+        let n = self.completed.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(on_result) = self.opts.chaos.on_result {
+            on_result(n);
+        }
+        if let Some((threshold, hook)) = self.opts.chaos.delayed_join {
+            if n >= threshold && !self.delayed_join_fired.swap(true, Ordering::Relaxed) {
+                hook();
+            }
+        }
+        if self
+            .opts
+            .chaos
+            .abort_after_results
+            .is_some_and(|cap| n >= cap)
+            && !self.abort.swap(true, Ordering::Relaxed)
+        {
+            *lock_recovering(&self.fatal) = Some(WireError::CoordinatorAborted { completed: n });
+        }
+    }
 }
 
 /// Runs a campaign across remote workers with default options — the
@@ -565,185 +1037,148 @@ pub fn run_distributed_with(
         None => None,
     });
 
-    let queue: Mutex<VecDeque<QueuedTask>> = Mutex::new(
-        specs
-            .into_iter()
-            .filter(|spec| !done[spec.id])
-            .map(|spec| QueuedTask {
-                spec,
-                attempts: 0,
-                ready_at: start,
-            })
-            .collect(),
-    );
-    let results: Mutex<Vec<(TaskResult, Vec<Finding>)>> = Mutex::new(seeded);
-    let fatal: Mutex<Option<WireError>> = Mutex::new(None);
-    let abort = AtomicBool::new(false);
-    // Tasks popped but not yet resolved (completed or re-queued). An idle
-    // worker must NOT exit while another worker's task is in flight: that
-    // task may fail and be re-queued, and the idle worker is then the one
-    // to pick it up. Incremented under the queue lock at pop time, and on
-    // the failure path decremented only *after* the re-queue push.
-    let in_flight = AtomicUsize::new(0);
-    let completed = AtomicUsize::new(resumed_tasks);
-    let tasks_retried = AtomicUsize::new(0);
-    let workers_lost = AtomicUsize::new(0);
-    // A task that failed on this many workers is declared poisonous and
-    // aborts the campaign instead of cycling forever.
-    let max_attempts = workers_at.len().max(1);
+    // The original point count of every shard, by task id — what the
+    // part-assembly map checks contiguous coverage against.
+    let task_points: Vec<usize> = specs.iter().map(|s| s.points.len()).collect();
+
+    // Splitting is only exactness-preserving when the finding cap can
+    // never bind and there is no wall-clock task budget; otherwise the
+    // digest could move with the split schedule, so the option is refused
+    // wholesale (any sub-range of a shard that passes the gate passes it
+    // too, so the guarantee survives recursive splitting).
+    let split_enabled = opts.split_idle && {
+        let ok = specs
+            .iter()
+            .all(|spec| split_preserves_outcome(spec, job.config));
+        if !ok {
+            eprintln!(
+                "sympl-wire coordinator: --split-idle ignored (a task budget or a \
+                 binding finding cap makes shard splitting outcome-changing)"
+            );
+        }
+        ok
+    };
+
+    let co = Coordinator {
+        job,
+        opts,
+        digest,
+        point_workers,
+        heartbeat_interval,
+        liveness,
+        split_enabled,
+        base_workers: workers_at.len(),
+        task_points,
+        queue: Mutex::new(
+            specs
+                .into_iter()
+                .filter(|spec| !done[spec.id])
+                .map(|spec| QueuedTask {
+                    range: (0, spec.points.len()),
+                    spec,
+                    depth: 0,
+                    attempts: 0,
+                    ready_at: start,
+                })
+                .collect(),
+        ),
+        parts: Mutex::new(HashMap::new()),
+        results: Mutex::new(seeded),
+        writer,
+        fatal: Mutex::new(None),
+        abort: AtomicBool::new(false),
+        finished: AtomicBool::new(false),
+        delayed_join_fired: AtomicBool::new(false),
+        in_flight: AtomicUsize::new(0),
+        completed: AtomicUsize::new(resumed_tasks),
+        tasks_retried: AtomicUsize::new(0),
+        workers_lost: AtomicUsize::new(0),
+        workers_joined: AtomicUsize::new(0),
+        tasks_split: AtomicUsize::new(0),
+        active_workers: AtomicUsize::new(0),
+        membership: Mutex::new(Vec::new()),
+    };
 
     std::thread::scope(|scope| {
-        let (queue, results, fatal, abort) = (&queue, &results, &fatal, &abort);
-        let (in_flight, completed) = (&in_flight, &completed);
-        let (tasks_retried, workers_lost) = (&tasks_retried, &workers_lost);
-        let writer = &writer;
+        let co = &co;
         for addr in workers_at {
+            co.active_workers.fetch_add(1, Ordering::SeqCst);
             scope.spawn(move || {
-                let mut conn = match TcpStream::connect(addr.as_str())
+                match TcpStream::connect(addr.as_str())
                     .map_err(WireError::from)
                     .and_then(Conn::establish)
                 {
-                    Ok(conn) => conn,
+                    Ok(conn) => {
+                        let slot = co.add_slot();
+                        co.worker_loop(conn, &slot, addr);
+                    }
                     Err(e) => {
                         eprintln!("sympl-wire coordinator: cannot reach worker {addr}: {e}");
-                        workers_lost.fetch_add(1, Ordering::Relaxed);
-                        return;
-                    }
-                };
-                loop {
-                    if abort.load(Ordering::Relaxed) {
-                        return;
-                    }
-                    let task = match pop_task(queue, in_flight) {
-                        Popped::Ready(task) => task,
-                        Popped::Delayed => {
-                            std::thread::sleep(IDLE_POLL);
-                            continue;
-                        }
-                        Popped::Empty => {
-                            if in_flight.load(Ordering::SeqCst) > 0 {
-                                // Another worker may yet fail and re-queue
-                                // its task; stay available.
-                                std::thread::sleep(IDLE_POLL);
-                                continue;
-                            }
-                            if opts.shutdown_workers {
-                                let _ = conn.send(&Message::Shutdown);
-                            }
-                            return;
-                        }
-                    };
-                    // A panicking dispatch degrades this worker (its task
-                    // is re-queued below) instead of crashing the
-                    // coordinator with a poisoned lock.
-                    let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        dispatch_task(
-                            &mut conn,
-                            job,
-                            digest,
-                            point_workers,
-                            &task.spec,
-                            heartbeat_interval,
-                            liveness,
-                            abort,
-                        )
-                    }))
-                    .unwrap_or_else(|_| {
-                        Err(WireError::Io(io::Error::other(
-                            "coordinator dispatch thread panicked",
-                        )))
-                    });
-                    match outcome {
-                        Ok((result, findings)) => {
-                            {
-                                let mut w = lock_recovering(writer);
-                                if let Some(writer) = w.as_mut() {
-                                    if let Err(e) = writer.append(&result, &findings) {
-                                        eprintln!(
-                                            "sympl-wire coordinator: checkpoint append \
-                                             failed ({e}); checkpointing disabled"
-                                        );
-                                        *w = None;
-                                    }
-                                }
-                            }
-                            lock_recovering(results).push((result, findings));
-                            let n = completed.fetch_add(1, Ordering::SeqCst) + 1;
-                            if let Some(on_result) = opts.chaos.on_result {
-                                on_result(n);
-                            }
-                            if opts.chaos.abort_after_results.is_some_and(|cap| n >= cap)
-                                && !abort.swap(true, Ordering::Relaxed)
-                            {
-                                *lock_recovering(fatal) =
-                                    Some(WireError::CoordinatorAborted { completed: n });
-                            }
-                            in_flight.fetch_sub(1, Ordering::SeqCst);
-                        }
-                        Err(e) => {
-                            if abort.load(Ordering::Relaxed) {
-                                // The campaign is aborting; nothing to
-                                // re-queue for.
-                                in_flight.fetch_sub(1, Ordering::SeqCst);
-                                return;
-                            }
-                            if task.attempts + 1 >= max_attempts {
-                                *lock_recovering(fatal) = Some(e);
-                                abort.store(true, Ordering::Relaxed);
-                            } else {
-                                let attempts = task.attempts + 1;
-                                let delay = backoff_delay(attempts);
-                                eprintln!(
-                                    "sympl-wire coordinator: worker {addr} failed task {} \
-                                     (attempt {attempts}): {e}; re-queueing after {delay:?}",
-                                    task.spec.id,
-                                );
-                                lock_recovering(queue).push_front(QueuedTask {
-                                    spec: task.spec,
-                                    attempts,
-                                    ready_at: Instant::now() + delay,
-                                });
-                                tasks_retried.fetch_add(1, Ordering::Relaxed);
-                                workers_lost.fetch_add(1, Ordering::Relaxed);
-                            }
-                            // Re-queue before the decrement (see in_flight
-                            // above), then abandon this connection; the
-                            // rest of the queue is the other workers'.
-                            in_flight.fetch_sub(1, Ordering::SeqCst);
-                            return;
-                        }
+                        co.workers_lost.fetch_add(1, Ordering::Relaxed);
                     }
                 }
+                co.active_workers.fetch_sub(1, Ordering::SeqCst);
             });
+        }
+        if let Some(listener) = opts.join_listener {
+            scope.spawn(move || co.accept_joiners(scope, listener));
         }
     });
 
-    if let Some(err) = fatal.into_inner().unwrap_or_else(PoisonError::into_inner) {
+    if let Some(err) = co
+        .fatal
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+    {
         return Err(err);
     }
-    let pending = queue
+    let pending = co
+        .queue
         .into_inner()
         .unwrap_or_else(PoisonError::into_inner)
         .len();
     if pending > 0 {
         return Err(WireError::NoWorkersLeft { pending });
     }
-    let lost = workers_lost.load(Ordering::Relaxed);
+    let lost = co.workers_lost.load(Ordering::Relaxed);
     let mut report = pool_results(
-        results.into_inner().unwrap_or_else(PoisonError::into_inner),
+        co.results
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner),
         start.elapsed(),
     );
     report.degraded = lost > 0;
     report.workers_lost = lost;
-    report.tasks_retried = tasks_retried.load(Ordering::Relaxed);
+    report.tasks_retried = co.tasks_retried.load(Ordering::Relaxed);
     report.resumed_tasks = resumed_tasks;
+    report.workers_joined = co.workers_joined.load(Ordering::Relaxed);
+    report.tasks_split = co.tasks_split.load(Ordering::Relaxed);
     Ok(report)
+}
+
+/// Why a `Cancel` frame went out mid-dispatch: a campaign abort discards
+/// the task; a split request wants the worker's shard back to halve it.
+#[derive(Clone, Copy, PartialEq)]
+enum CancelReason {
+    Abort,
+    Split,
+}
+
+/// What one supervised dispatch produced.
+enum DispatchOutcome {
+    /// The worker answered `TaskDone` (possibly racing a split request —
+    /// a completed shard beats a split, so the result stands).
+    Done(TaskResult, Vec<Finding>),
+    /// The worker acknowledged a split-`Cancel`: its partial work is
+    /// discarded and the shard's points are free to re-queue as halves.
+    SplitCancelled,
 }
 
 /// Sends one task to a worker and supervises it to completion: heartbeats
 /// re-arm the liveness deadline, silence past it fails the connection,
-/// and a campaign abort sends `Cancel` and waits (boundedly) for the
-/// worker to acknowledge.
+/// a campaign abort sends `Cancel` and waits (boundedly) for the worker
+/// to acknowledge, and — when `splittable` — a split request on `slot`
+/// sends the same `Cancel` to reclaim the shard for halving.
 #[allow(clippy::too_many_arguments)]
 fn dispatch_task(
     conn: &mut Conn,
@@ -754,7 +1189,9 @@ fn dispatch_task(
     heartbeat_interval: Duration,
     liveness: Duration,
     abort: &AtomicBool,
-) -> Result<(TaskResult, Vec<Finding>), WireError> {
+    slot: &WorkerSlot,
+    splittable: bool,
+) -> Result<DispatchOutcome, WireError> {
     conn.send(&Message::Task(TaskFrame {
         program_id: job.program_id.to_owned(),
         program_digest: digest,
@@ -769,13 +1206,20 @@ fn dispatch_task(
     }))?;
     let poll = (liveness / 8).clamp(Duration::from_millis(5), Duration::from_millis(100));
     let mut last_signal = Instant::now();
-    let mut cancel_sent: Option<Instant> = None;
+    let mut cancel_sent: Option<(Instant, CancelReason)> = None;
     loop {
-        if cancel_sent.is_none() && abort.load(Ordering::Relaxed) {
-            conn.send(&Message::Cancel)?;
-            cancel_sent = Some(Instant::now());
+        if cancel_sent.is_none() {
+            // An abort outranks a split: both send Cancel, but an abort
+            // discards the answer while a split re-queues the points.
+            if abort.load(Ordering::Relaxed) {
+                conn.send(&Message::Cancel)?;
+                cancel_sent = Some((Instant::now(), CancelReason::Abort));
+            } else if splittable && slot.split_requested.load(Ordering::Relaxed) {
+                conn.send(&Message::Cancel)?;
+                cancel_sent = Some((Instant::now(), CancelReason::Split));
+            }
         }
-        if let Some(sent) = cancel_sent {
+        if let Some((sent, _)) = cancel_sent {
             // Bounded wait for the worker's acknowledgement, heartbeats
             // notwithstanding — the abort must not block on a wedged peer.
             if sent.elapsed() >= liveness {
@@ -792,22 +1236,36 @@ fn dispatch_task(
             }
             Some(Message::Heartbeat) => last_signal = Instant::now(),
             Some(Message::TaskDone { result, findings }) => {
-                return if cancel_sent.is_some() {
-                    // The completion raced our Cancel; the campaign is
-                    // aborting, so the result is discarded either way.
-                    Err(WireError::TaskCancelled)
-                } else {
-                    Ok((result, findings))
+                // A result that does not describe the dispatched shard —
+                // a duplicated or stale frame from an earlier task — must
+                // never be booked as this task's answer; fail the
+                // connection so the shard re-queues and re-runs cleanly.
+                if result.id != spec.id || result.points_total != spec.points.len() {
+                    return Err(WireError::UnexpectedMessage("stale result"));
+                }
+                return match cancel_sent {
+                    // The completion raced our abort-Cancel; the campaign
+                    // is aborting, so the result is discarded either way.
+                    Some((_, CancelReason::Abort)) => Err(WireError::TaskCancelled),
+                    // A completion racing a split-Cancel wins: the shard
+                    // is done, there is nothing left to split.
+                    _ => Ok(DispatchOutcome::Done(result, findings)),
                 };
             }
             Some(Message::Error(msg)) => {
-                return if cancel_sent.is_some() {
-                    Err(WireError::TaskCancelled)
-                } else {
-                    Err(WireError::Remote(msg))
+                return match cancel_sent {
+                    Some((_, CancelReason::Abort)) => Err(WireError::TaskCancelled),
+                    Some((_, CancelReason::Split)) => Ok(DispatchOutcome::SplitCancelled),
+                    None => Err(WireError::Remote(msg)),
                 };
             }
-            Some(Message::Task(_) | Message::Shutdown | Message::Cancel) => {
+            Some(
+                Message::Task(_)
+                | Message::Shutdown
+                | Message::Cancel
+                | Message::Register { .. }
+                | Message::Welcome { .. },
+            ) => {
                 return Err(WireError::UnexpectedMessage("task"));
             }
         }
@@ -959,8 +1417,26 @@ mod tests {
         .unwrap()
     }
 
+    /// A program whose per-point searches run long enough (tens of
+    /// milliseconds under a generous step budget) that membership events
+    /// — a late join, an idle worker's split request — land while a
+    /// shard is still in flight.
+    fn slow_program() -> Program {
+        parse_program(
+            "read $1\nmov $4 $1\nouter: ori $2 $0 #0\n\
+             inner: addi $2 $2 #1\nsetgt $3 $2 $1\nbeq $3 0 inner\n\
+             subi $4 $4 #1\nsetgt $5 $4 #0\nbeq $5 1 outer\n\
+             prints \"done\"\nhalt",
+        )
+        .unwrap()
+    }
+
     fn resolver(id: &str) -> Option<(Program, DetectorSet)> {
-        (id == "factorial").then(|| (factorial(), DetectorSet::new()))
+        match id {
+            "factorial" => Some((factorial(), DetectorSet::new())),
+            "slowprog" => Some((slow_program(), DetectorSet::new())),
+            _ => None,
+        }
     }
 
     fn deterministic_config(tasks: usize) -> ClusterConfig {
@@ -1418,5 +1894,275 @@ mod tests {
             matches!(err, WireError::NoWorkersLeft { pending: 3 }),
             "{err}"
         );
+    }
+
+    /// A slow-campaign config: one long-searching shard set under a step
+    /// budget big enough that splits and joins can land mid-flight.
+    fn slow_config(tasks: usize, max_states: usize) -> ClusterConfig {
+        ClusterConfig {
+            workers: 2,
+            tasks,
+            search: SearchLimits {
+                exec: ExecLimits::with_max_steps(20_000),
+                max_states,
+                ..SearchLimits::default()
+            },
+            task_budget: None,
+            max_findings_per_task: 10,
+            point_workers_hint: Some(1),
+        }
+    }
+
+    #[test]
+    fn garbage_connections_do_not_kill_the_worker_listener() {
+        use std::io::Write as _;
+        let (addr, join) = start_worker();
+
+        // 1: raw garbage — not even our magic.
+        let mut s = TcpStream::connect(addr.as_str()).unwrap();
+        s.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        drop(s);
+
+        // 2: correct magic, unsupported protocol version.
+        let mut s = TcpStream::connect(addr.as_str()).unwrap();
+        s.write_all(&crate::frame::MAGIC).unwrap();
+        s.write_all(&[99]).unwrap();
+        drop(s);
+
+        // 3: a real coordinator still completes a full campaign.
+        let program = factorial();
+        let campaign = Campaign::new(&program, ErrorClass::RegisterFile);
+        let predicate = Predicate::OutputContainsErr;
+        let config = deterministic_config(3);
+        let local = run_cluster(
+            &program,
+            &DetectorSet::new(),
+            &[4],
+            &campaign,
+            &predicate,
+            &config,
+        );
+        let job = CampaignJob {
+            program: &program,
+            program_id: "factorial",
+            input: &[4],
+            campaign: &campaign,
+            predicate: &predicate,
+            config: &config,
+        };
+        let distributed = run_distributed(&job, std::slice::from_ref(&addr), true).unwrap();
+        join.join().unwrap().unwrap();
+        assert_eq!(distributed.outcome_digest(), local.outcome_digest());
+        assert!(!distributed.degraded, "garbage peers are not lost workers");
+    }
+
+    #[test]
+    fn late_joiner_is_admitted_and_the_digest_holds() {
+        let program = slow_program();
+        let campaign = Campaign::new(&program, ErrorClass::RegisterFile);
+        let predicate = Predicate::OutputContainsErr;
+        let config = slow_config(6, 2_000);
+        let local = run_cluster(
+            &program,
+            &DetectorSet::new(),
+            &[12],
+            &campaign,
+            &predicate,
+            &config,
+        );
+        let job = CampaignJob {
+            program: &program,
+            program_id: "slowprog",
+            input: &[12],
+            campaign: &campaign,
+            predicate: &predicate,
+            config: &config,
+        };
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let join_addr = listener.local_addr().unwrap().to_string();
+        let joiner: Mutex<Option<std::thread::JoinHandle<Result<(), WireError>>>> =
+            Mutex::new(None);
+        let spawn_joiner = || {
+            let addr = join_addr.clone();
+            *joiner.lock().unwrap() = Some(std::thread::spawn(move || {
+                join_coordinator(&addr, "late-joiner", &resolver)
+            }));
+        };
+
+        let (addr, worker_join) = start_worker();
+        let opts = DistOptions {
+            shutdown_workers: true,
+            heartbeat_interval: Duration::from_millis(30),
+            join_listener: Some(&listener),
+            chaos: ChaosPlan {
+                delayed_join: Some((1, &spawn_joiner)),
+                ..ChaosPlan::default()
+            },
+            ..DistOptions::default()
+        };
+        let report = run_distributed_with(&job, std::slice::from_ref(&addr), &opts).unwrap();
+        worker_join.join().unwrap().unwrap();
+        assert_eq!(
+            report.workers_joined, 1,
+            "the delayed joiner must have been admitted"
+        );
+        assert!(!report.degraded, "a join is growth, not degradation");
+        assert_eq!(
+            report.outcome_digest(),
+            local.outcome_digest(),
+            "an elastic fleet must reproduce the in-process digest"
+        );
+        let handle = joiner
+            .into_inner()
+            .unwrap()
+            .expect("the delayed-join hook must have fired");
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn idle_worker_forces_a_split_and_the_digest_holds() {
+        let program = slow_program();
+        let campaign = Campaign::new(&program, ErrorClass::RegisterFile);
+        assert!(campaign.len() >= 2, "need a splittable campaign");
+        let predicate = Predicate::OutputContainsErr;
+        // One shard holding every point: without splitting, the second
+        // worker would sit idle for the whole campaign. The deep state
+        // cap keeps the shard in flight for seconds even on a loaded
+        // machine (the full test suite runs in parallel), so the split
+        // round-trip — idle worker requests, victim acks after its
+        // current point, halves re-queue — always lands before the
+        // shard completes.
+        let mut config = slow_config(1, 20_000);
+        // Lift the finding cap past every point's worst case so splitting
+        // is exactness-preserving (the split gate's requirement).
+        config.max_findings_per_task = campaign.len() * config.search.max_solutions;
+        let local = run_cluster(
+            &program,
+            &DetectorSet::new(),
+            &[60],
+            &campaign,
+            &predicate,
+            &config,
+        );
+        let job = CampaignJob {
+            program: &program,
+            program_id: "slowprog",
+            input: &[60],
+            campaign: &campaign,
+            predicate: &predicate,
+            config: &config,
+        };
+        let (addr_a, join_a) = start_worker();
+        let (addr_b, join_b) = start_worker();
+        let opts = DistOptions {
+            shutdown_workers: true,
+            heartbeat_interval: Duration::from_millis(30),
+            split_idle: true,
+            ..DistOptions::default()
+        };
+        let report = run_distributed_with(&job, &[addr_a, addr_b], &opts).unwrap();
+        join_a.join().unwrap().unwrap();
+        join_b.join().unwrap().unwrap();
+        assert!(
+            report.tasks_split >= 1,
+            "the idle worker must have claimed half the only shard"
+        );
+        assert!(!report.degraded, "splitting is not degradation");
+        assert_eq!(report.tasks.len(), 1, "halves re-merge into one shard");
+        assert_eq!(
+            report.outcome_digest(),
+            local.outcome_digest(),
+            "shard splitting must not move the digest"
+        );
+    }
+
+    #[test]
+    fn split_idle_is_refused_when_the_finding_cap_binds() {
+        let program = factorial();
+        let campaign = Campaign::new(&program, ErrorClass::RegisterFile);
+        let predicate = Predicate::OutputContainsErr;
+        // The default cap (10) can bind on a whole-campaign shard, so the
+        // coordinator must ignore --split-idle and still finish clean.
+        let config = deterministic_config(2);
+        let local = run_cluster(
+            &program,
+            &DetectorSet::new(),
+            &[4],
+            &campaign,
+            &predicate,
+            &config,
+        );
+        let job = CampaignJob {
+            program: &program,
+            program_id: "factorial",
+            input: &[4],
+            campaign: &campaign,
+            predicate: &predicate,
+            config: &config,
+        };
+        let (addr_a, join_a) = start_worker();
+        let (addr_b, join_b) = start_worker();
+        let opts = DistOptions {
+            shutdown_workers: true,
+            split_idle: true,
+            ..DistOptions::default()
+        };
+        let report = run_distributed_with(&job, &[addr_a, addr_b], &opts).unwrap();
+        join_a.join().unwrap().unwrap();
+        join_b.join().unwrap().unwrap();
+        assert_eq!(report.tasks_split, 0, "the gate must refuse to split");
+        assert_eq!(report.outcome_digest(), local.outcome_digest());
+    }
+
+    #[test]
+    fn duplicated_result_frame_does_not_corrupt_the_report() {
+        let program = factorial();
+        let campaign = Campaign::new(&program, ErrorClass::RegisterFile);
+        let predicate = Predicate::OutputContainsErr;
+        let config = deterministic_config(4);
+        let local = run_cluster(
+            &program,
+            &DetectorSet::new(),
+            &[4],
+            &campaign,
+            &predicate,
+            &config,
+        );
+        let job = CampaignJob {
+            program: &program,
+            program_id: "factorial",
+            input: &[4],
+            campaign: &campaign,
+            predicate: &predicate,
+            config: &config,
+        };
+
+        // With the default 500 ms cadence, frame 0 on a fast task is the
+        // TaskDone — its duplicate arrives while the coordinator expects
+        // nothing, fails the connection, and must never double-count.
+        let (victim_addr, victim_join) = start_worker();
+        let (real_addr, real_join) = start_worker();
+        let proxy =
+            ChaosProxy::start(victim_addr.clone(), ChaosMode::DuplicateFrame { frame: 0 }).unwrap();
+        let opts = DistOptions {
+            shutdown_workers: true,
+            ..DistOptions::default()
+        };
+        let report = run_distributed_with(&job, &[proxy.addr.clone(), real_addr], &opts).unwrap();
+        assert_eq!(
+            report.outcome_digest(),
+            local.outcome_digest(),
+            "duplicate delivery must never double-count a task"
+        );
+        assert_eq!(report.tasks.len(), local.tasks.len());
+        real_join.join().unwrap().unwrap();
+        // The victim behind the proxy never got a Shutdown; send one
+        // directly so its serve loop exits.
+        let stream = TcpStream::connect(victim_addr.as_str()).unwrap();
+        let mut conn = Conn::establish(stream).unwrap();
+        conn.send(&Message::Shutdown).unwrap();
+        victim_join.join().unwrap().unwrap();
+        proxy.join();
     }
 }

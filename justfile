@@ -45,6 +45,23 @@ chaos-demo:
     cargo run --release -p sympl-bench --bin tcas_campaign -- --quick --tasks 16 --spawn-workers 2 --checkpoint target/chaos-demo.checkpoint --chaos-abort-after 5
     cargo run --release -p sympl-bench --bin tcas_campaign -- --quick --tasks 16 --spawn-workers 2 --resume target/chaos-demo.checkpoint --verify-local
 
+# Elastic demo: the dynamic-membership acceptance legs the
+# distributed-campaign CI job gates on, run on the slow `spin` workload
+# (the paper workloads finish too fast for membership events to land
+# mid-campaign). Leg 1 runs one coordinator with everything at once —
+# SIGKILL one of two loopback workers after the first result, admit two
+# late joiners through the join listener (--expect-join exits 2 if none
+# arrived in time), force at least one wire-level shard split
+# (--expect-split exits 2 if none happened) — and still requires the
+# in-process outcome digest verbatim. Legs 2 and 3 prove the checkpoint
+# is fleet-blind: a three-worker fleet checkpoints and aborts, then an
+# entirely different two-worker fleet resumes it to the same gated
+# digest.
+elastic-demo:
+    cargo run --release -p sympl-bench --bin elastic_campaign -- --tasks 3 --spawn-workers 2 --chaos-kill-one --join-late 2 --split-idle --expect-split --expect-join --heartbeat-interval 30 --verify-local
+    cargo run --release -p sympl-bench --bin elastic_campaign -- --tasks 6 --spawn-workers 3 --checkpoint target/elastic-demo.checkpoint --chaos-abort-after 2
+    cargo run --release -p sympl-bench --bin elastic_campaign -- --tasks 6 --spawn-workers 2 --resume target/elastic-demo.checkpoint --verify-local
+
 # Regenerate the paper's tables and figures from the assembled workloads.
 repro-tables:
     cargo run --release -p sympl-bench --bin table1

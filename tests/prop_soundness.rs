@@ -768,6 +768,70 @@ mod checkpoint_roundtrip {
 }
 
 // ---------------------------------------------------------------------
+// Shard splitting: any sequence of `split_spec` applications must yield
+// leaves that are pairwise disjoint, union back to the original point
+// set, and preserve the canonical point order — the invariant the
+// elastic coordinator's part re-assembly (and the outcome digest)
+// stands on.
+// ---------------------------------------------------------------------
+
+mod split_spec {
+    use super::*;
+    use symplfied::cluster::{split_spec, TaskSpec};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn any_split_sequence_partitions_the_shard_in_order(
+            breakpoints in prop::collection::vec(0usize..500, 1..40),
+            choices in prop::collection::vec(0usize..64, 0..12),
+        ) {
+            let original = TaskSpec {
+                id: 3,
+                points: breakpoints
+                    .iter()
+                    .map(|&b| InjectionPoint::new(b, InjectTarget::ProgramCounter))
+                    .collect(),
+            };
+            // Apply an arbitrary split schedule: each choice picks the
+            // leaf to split next (mod the current leaf count), exactly
+            // like an adversarial steal schedule would.
+            let mut leaves = vec![original.clone()];
+            for &choice in &choices {
+                let idx = choice % leaves.len();
+                if let Some((left, right)) = split_spec(&leaves[idx]) {
+                    // A split never loses, invents, or reorders points,
+                    // and both halves keep the parent's task id.
+                    prop_assert!(!left.points.is_empty());
+                    prop_assert!(!right.points.is_empty());
+                    prop_assert_eq!(left.points.len(), leaves[idx].points.len().div_ceil(2));
+                    prop_assert_eq!(left.id, leaves[idx].id);
+                    prop_assert_eq!(right.id, leaves[idx].id);
+                    leaves.splice(idx..=idx, [left, right]);
+                } else {
+                    // Only single-point leaves are unsplittable.
+                    prop_assert_eq!(leaves[idx].points.len(), 1);
+                }
+            }
+            // Disjointness + union + order, all in one: the in-order
+            // concatenation of the leaves is byte-for-byte the original
+            // canonical point sequence.
+            let reassembled: Vec<_> = leaves
+                .iter()
+                .flat_map(|leaf| leaf.points.iter().copied())
+                .collect();
+            prop_assert_eq!(&reassembled, &original.points);
+            // And splitting is deterministic: the same leaf splits the
+            // same way every time.
+            if original.points.len() >= 2 {
+                prop_assert_eq!(split_spec(&original), split_spec(&original));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Fingerprint-dedup equivalence: the Explorer's 16-byte visited set must
 // not change search outcomes versus retaining whole states.
 // ---------------------------------------------------------------------

@@ -230,3 +230,41 @@ fn supervision_frame_bytes_are_pinned() {
     let payload = read_frame(&mut golden.as_slice()).unwrap();
     assert!(matches!(decode_message(&payload).unwrap(), Message::Cancel));
 }
+
+#[test]
+fn membership_frame_bytes_are_pinned() {
+    // The v3 elastic-membership frames: a joining worker's Register and
+    // the coordinator's Welcome.
+    check_golden(
+        "register_frame.bin",
+        &framed(&Message::Register {
+            worker: "joiner-pid4242".into(),
+        }),
+    );
+    check_golden(
+        "welcome_frame.bin",
+        &framed(&Message::Welcome {
+            program_id: "tcas".into(),
+            program_digest: 0x0123_4567_89AB_CDEF_FEDC_BA98_7654_3210,
+        }),
+    );
+
+    let golden = std::fs::read(golden_dir().join("register_frame.bin")).unwrap();
+    let payload = read_frame(&mut golden.as_slice()).unwrap();
+    let Message::Register { worker } = decode_message(&payload).unwrap() else {
+        panic!("golden register frame decoded to the wrong message kind");
+    };
+    assert_eq!(worker, "joiner-pid4242");
+
+    let golden = std::fs::read(golden_dir().join("welcome_frame.bin")).unwrap();
+    let payload = read_frame(&mut golden.as_slice()).unwrap();
+    let Message::Welcome {
+        program_id,
+        program_digest,
+    } = decode_message(&payload).unwrap()
+    else {
+        panic!("golden welcome frame decoded to the wrong message kind");
+    };
+    assert_eq!(program_id, "tcas");
+    assert_eq!(program_digest, 0x0123_4567_89AB_CDEF_FEDC_BA98_7654_3210);
+}
