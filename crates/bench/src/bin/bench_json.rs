@@ -26,6 +26,13 @@
 //! the mean decode time, `states_per_second` ops lowered per second, and
 //! `peak_frontier_len` the superinstruction pairs fused.
 //!
+//! `memo_cold_<workload>` / `memo_warm_<workload>` rows run the full
+//! register-error campaign through the cluster layer against one
+//! cross-campaign [`sympl_check::MemoStore`] — cold populating it, warm
+//! served from it: `states_per_second` holds injection points per second,
+//! `peak_frontier_len` the memo hits, and `peak_frontier_bytes` the
+//! states served from the store instead of re-expanded.
+//!
 //! Usage: `bench_json [--quick] [--workers N] [--out PATH] [--only P,..]`
 //!
 //! `--quick` shrinks the budgets for CI smoke runs; `--workers N` pins the
@@ -40,8 +47,9 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use sympl_apps::Workload;
-use sympl_check::{Explorer, ParallelExplorer, Predicate, SearchLimits, SearchReport};
-use sympl_inject::{enumerate_points, prepare, ErrorClass};
+use sympl_check::{Explorer, MemoStore, ParallelExplorer, Predicate, SearchLimits, SearchReport};
+use sympl_cluster::{memo_preserves_outcome, run_cluster_with_memo, ClusterConfig};
+use sympl_inject::{enumerate_points, prepare, Campaign, ErrorClass};
 use sympl_machine::{ExecLimits, MachineState, OutItem};
 use sympl_symbolic::{Constraint, Location, Value};
 
@@ -177,6 +185,18 @@ fn main() {
                 .map_or(2, usize::from)
                 .max(2)
         });
+    // An oversubscribed pool (more workers than hardware threads — the
+    // forced min-2 on a 1-CPU runner, for instance) measures scheduler
+    // churn, not engine speedup: its parallel rows legitimately trail the
+    // sequential ones. Flag it so a regression hunt starts at the host's
+    // shape, not at the engine.
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    if workers > cores {
+        eprintln!(
+            "warning: {workers} workers on {cores} hardware thread(s): parallel rows are \
+             oversubscribed and will under-report speedup"
+        );
+    }
     let out_path = flag("--out")
         .cloned()
         .unwrap_or_else(|| "BENCH_explore.json".into());
@@ -397,6 +417,97 @@ fn main() {
             format!("spill_frontier_{}", w.name),
             &spilling,
         ));
+    }
+
+    // Cross-campaign memoization rows: the full register-error campaign
+    // through the cluster layer against one shared store — cold populating
+    // it, warm served from it — under the memo exactness gate (no task
+    // budget, sequential point searches). Schema mapping: `states` =
+    // campaign states explored, `seconds` = campaign wall time,
+    // `states_per_second` = injection points per second,
+    // `peak_frontier_len` = memo hits, `peak_frontier_bytes` = states
+    // served from the store, `exhausted` = every task completed.
+    let memo_configs: Vec<(Workload, u64)> = vec![
+        {
+            let w = sympl_apps::tcas();
+            let steps = if quick {
+                w.max_steps.min(2_000)
+            } else {
+                w.max_steps
+            };
+            (w, steps)
+        },
+        {
+            let w = sympl_apps::replace();
+            (w, if quick { 2_000 } else { 6_000 })
+        },
+    ];
+    for (w, steps) in &memo_configs {
+        if !wanted(&format!("memo_cold_{}", w.name)) && !wanted(&format!("memo_warm_{}", w.name)) {
+            continue;
+        }
+        let config = ClusterConfig {
+            workers,
+            tasks: 64,
+            search: SearchLimits {
+                exec: ExecLimits::with_max_steps(*steps),
+                max_states: if quick { 8_000 } else { 100_000 },
+                max_solutions: 10,
+                max_time: None,
+                ..SearchLimits::default()
+            },
+            task_budget: None,
+            max_findings_per_task: 10,
+            point_workers_hint: Some(1),
+        };
+        assert!(memo_preserves_outcome(&config));
+        let campaign = Campaign::new(&w.program, ErrorClass::RegisterFile);
+        let store = MemoStore::for_campaign(&w.program, &w.detectors);
+        let mut digests = Vec::new();
+        for leg in ["cold", "warm"] {
+            let name = format!("memo_{leg}_{}", w.name);
+            let report = run_cluster_with_memo(
+                &w.program,
+                &w.detectors,
+                &w.input,
+                &campaign,
+                &Predicate::Any,
+                &config,
+                Some(&store),
+            );
+            let points: usize = report.tasks.iter().map(|t| t.points_examined).sum();
+            let seconds = report.elapsed.as_secs_f64();
+            println!(
+                "{name}: {points} points in {seconds:.3}s ({:.0} points/s), \
+                 {} hit(s) served {} of {} states ({:.0}% hit rate)",
+                points as f64 / seconds.max(1e-9),
+                report.memo_hits(),
+                report.memo_states_skipped(),
+                report.states_explored(),
+                100.0 * report.memo_states_skipped() as f64
+                    / report.states_explored().max(1) as f64
+            );
+            digests.push(report.outcome_digest());
+            if wanted(&name) {
+                entries.push(Entry {
+                    workload: name,
+                    states: report.states_explored(),
+                    seconds,
+                    states_per_second: points as f64 / seconds.max(1e-9),
+                    workers: config.workers,
+                    steals: report.steals(),
+                    peak_frontier_len: report.memo_hits(),
+                    peak_frontier_bytes: report.memo_states_skipped(),
+                    spilled_states: report.spilled_states(),
+                    exhausted: report.tasks_completed() == report.tasks.len(),
+                });
+            }
+        }
+        assert_eq!(
+            digests[0], digests[1],
+            "{}: warm campaign must reproduce the cold outcome digest",
+            w.name
+        );
     }
 
     let mut json = String::from("[\n");

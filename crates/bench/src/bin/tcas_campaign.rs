@@ -10,7 +10,9 @@
 //!                       [--workers-at host:port,…] [--spawn-workers N] [--verify-local]
 //!                       [--checkpoint PATH] [--resume PATH] [--heartbeat-interval MS]
 //!                       [--chaos-kill-one] [--chaos-abort-after N]
-//!                       [--allow-join] [--join-late N] [--split-idle] [--expect-split]`
+//!                       [--allow-join] [--join-late N] [--split-idle] [--expect-split]
+//!                       [--memo-path FILE] [--expect-memo-warm]
+//!                       [--mutate-program] [--expect-stale-memo]`
 //!
 //! The `--workers-at` / `--spawn-workers` flags run the campaign over the
 //! network through `sympl_wire` instead of in-process threads;
@@ -26,13 +28,25 @@
 //! joiners mid-campaign, `--split-idle` lets idle workers steal half of
 //! the largest in-flight shard, and `--expect-split` gates on at least
 //! one split actually happening.
+//!
+//! The memo flags drive `just memo-demo`: `--memo-path` persists the
+//! cross-campaign memo store (forcing the deterministic configuration the
+//! store's exactness gate requires: no task budget, sequential point
+//! searches); `--expect-memo-warm` gates on the run being served warm —
+//! memo hits present, ≥ 50% of states skipped, and an outcome digest
+//! identical to an in-process memo-off run. `--mutate-program` appends a
+//! dead instruction to tcas before running, and `--expect-stale-memo`
+//! gates on the now-stale store being *refused* at load (the
+//! incremental-recheck contract: a program edit invalidates the store).
 
+use std::path::Path;
+use std::process::exit;
 use std::time::Duration;
 
 use sympl_bench::net::{maybe_serve_loopback, parse_dist_mode, run_distributed_campaign};
 use sympl_bench::{campaign_limits, render_table};
-use sympl_check::Predicate;
-use sympl_cluster::{run_cluster, ClusterConfig};
+use sympl_check::{memo_key, MemoError, MemoStore, Predicate};
+use sympl_cluster::{memo_preserves_outcome, run_cluster, run_cluster_with_memo, ClusterConfig};
 use sympl_inject::{Campaign, ErrorClass};
 use sympl_machine::Status;
 
@@ -47,8 +61,53 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
         .unwrap_or(150);
+    let memo_path = args
+        .iter()
+        .position(|a| a == "--memo-path")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let expect_memo_warm = args.iter().any(|a| a == "--expect-memo-warm");
+    let mutate_program = args.iter().any(|a| a == "--mutate-program");
+    let expect_stale_memo = args.iter().any(|a| a == "--expect-stale-memo");
 
-    let w = sympl_apps::tcas();
+    let mut w = sympl_apps::tcas();
+    if mutate_program {
+        // The incremental-recheck scenario: one edit anywhere in the
+        // program must change the memo key. A dead `halt` after the final
+        // instruction leaves every reachable outcome untouched but moves
+        // the key (appending never shifts existing addresses).
+        let mut b = sympl_asm::ProgramBuilder::new();
+        for instr in w.program.instrs() {
+            b.push(instr.clone());
+        }
+        b.halt();
+        w.program = b.build().expect("mutated tcas still builds");
+        println!(
+            "mutated tcas: appended a dead halt ({} instructions)",
+            w.program.len()
+        );
+    }
+    if expect_stale_memo {
+        let Some(path) = &memo_path else {
+            eprintln!("--expect-stale-memo requires --memo-path");
+            exit(2);
+        };
+        let key = memo_key(&w.program, &w.detectors);
+        match MemoStore::load(Path::new(path), Some(key)) {
+            Err(MemoError::StaleKey { .. }) => {
+                println!("stale memo store refused as expected: {path} keys a different program");
+                return;
+            }
+            Err(e) => {
+                eprintln!("FAIL: expected a StaleKey refusal for {path}, got: {e}");
+                exit(2);
+            }
+            Ok(_) => {
+                eprintln!("FAIL: stale memo store {path} was accepted");
+                exit(2);
+            }
+        }
+    }
     let golden = sympl_apps::golden(&w).output_ints();
     println!(
         "tcas: {} instructions, golden output {:?} (upward advisory)",
@@ -67,7 +126,7 @@ fn main() {
     if quick {
         search.max_states = 50_000;
     }
-    let config = ClusterConfig {
+    let mut config = ClusterConfig {
         tasks,
         search,
         task_budget: Some(Duration::from_secs(if quick { 10 } else { 120 })),
@@ -75,19 +134,49 @@ fn main() {
         ..ClusterConfig::default()
     };
 
+    // Load (or create) the memo store, forcing the deterministic
+    // configuration its exactness gate requires: without it the store
+    // would be silently ignored (`memo_preserves_outcome`).
+    let memo_store = memo_path.as_ref().map(|path| {
+        config.task_budget = None;
+        config.point_workers_hint = Some(1);
+        assert!(memo_preserves_outcome(&config));
+        let key = memo_key(&w.program, &w.detectors);
+        let file = Path::new(path);
+        if file.exists() {
+            match MemoStore::load(file, Some(key)) {
+                Ok((store, truncated)) => {
+                    if truncated {
+                        eprintln!("warning: {path} had a truncated tail; kept the intact prefix");
+                    }
+                    println!("memo store loaded: {} entr(ies) from {path}", store.len());
+                    store
+                }
+                Err(e) => {
+                    eprintln!("error: cannot use memo store {path}: {e}");
+                    exit(2);
+                }
+            }
+        } else {
+            println!("memo store: starting cold at {path}");
+            MemoStore::new(key)
+        }
+    });
+
     let predicate = Predicate::WrongOutput {
         expected: golden.clone(),
     };
     let report = if dist.is_active() {
         run_distributed_campaign(&w, &campaign, &predicate, &config, &dist)
     } else {
-        run_cluster(
+        run_cluster_with_memo(
             &w.program,
             &w.detectors,
             &w.input,
             &campaign,
             &predicate,
             &config,
+            memo_store.as_ref(),
         )
     };
 
@@ -98,6 +187,53 @@ fn main() {
         report.steals(),
         report.states_per_second()
     );
+
+    if let (Some(path), Some(store)) = (&memo_path, &memo_store) {
+        if let Err(e) = store.save(Path::new(path)) {
+            eprintln!("error: cannot save memo store {path}: {e}");
+            exit(2);
+        }
+        let digest = report.outcome_digest();
+        println!(
+            "memo: {} entr(ies) at {path}; {} hit(s) served {} of {} states; \
+             prefix cache saved {} step(s); outcome digest {digest:032x}",
+            store.len(),
+            report.memo_hits(),
+            report.memo_states_skipped(),
+            report.states_explored(),
+            report.prefix_steps_saved()
+        );
+        if expect_memo_warm {
+            // The gate: the run must have been served warm, and the memoized
+            // outcome must be indistinguishable from a memo-off run.
+            let off = run_cluster(
+                &w.program,
+                &w.detectors,
+                &w.input,
+                &campaign,
+                &predicate,
+                &config,
+            );
+            let hits_ok = report.memo_hits() > 0;
+            let rate_ok = report.memo_states_skipped() * 2 >= report.states_explored().max(1);
+            let digest_ok = off.outcome_digest() == digest;
+            if !(hits_ok && rate_ok && digest_ok) {
+                eprintln!(
+                    "FAIL: warm memo expectations not met \
+                     (hits={}, skipped={}/{}, digest match={digest_ok})",
+                    report.memo_hits(),
+                    report.memo_states_skipped(),
+                    report.states_explored()
+                );
+                exit(2);
+            }
+            println!(
+                "warm memo gate passed: {} hit(s), {:.0}% of states served, digest matches memo-off",
+                report.memo_hits(),
+                100.0 * report.memo_states_skipped() as f64 / report.states_explored().max(1) as f64
+            );
+        }
+    }
 
     // Bucket the findings by printed outcome, as §6.2 discusses them.
     let mut catastrophic = 0usize; // printed exactly 2

@@ -273,6 +273,12 @@ pub fn decode_outcome_counts(bytes: &[u8], pos: &mut usize) -> Result<OutcomeCou
 
 /// Appends a full [`SearchReport`]: solutions, statistics, and truncation
 /// flags, exactly the fields a coordinator pools into campaign results.
+///
+/// `memo_hits`/`memo_states_skipped` are deliberately **not** encoded:
+/// they are process-local accounting of where a result came from, not part
+/// of the result itself, and keeping them off the wire leaves the frame
+/// format (and the checked-in golden vectors) byte-identical whether or
+/// not a memo store was attached.
 pub fn encode_search_report(report: &SearchReport, buf: &mut Vec<u8>) {
     encode_u64(report.solutions.len() as u64, buf);
     for sol in &report.solutions {
@@ -324,6 +330,10 @@ pub fn decode_search_report(bytes: &[u8], pos: &mut usize) -> Result<SearchRepor
         peak_frontier_len: decode_usize(bytes, pos)?,
         peak_frontier_bytes: decode_usize(bytes, pos)?,
         spilled_states: decode_usize(bytes, pos)?,
+        // Not on the wire (see `encode_search_report`): a decoded report
+        // was computed elsewhere, so locally it answered no memo probes.
+        memo_hits: 0,
+        memo_states_skipped: 0,
     };
     if !report.states_per_second.is_finite() {
         return Err(CodecError::Unsupported("non-finite states_per_second"));
@@ -439,6 +449,8 @@ mod tests {
             peak_frontier_len: 99,
             peak_frontier_bytes: 4096,
             spilled_states: 12,
+            memo_hits: 0,
+            memo_states_skipped: 0,
         };
         let mut buf = Vec::new();
         encode_search_report(&report, &mut buf);

@@ -42,6 +42,7 @@ use sympl_asm::Program;
 use sympl_detect::DetectorSet;
 use sympl_machine::{ExecLimits, FingerprintSet, MachineState, SuccessorBuf};
 
+use crate::memo::{probe_digest, MemoStore, SubtreeSummary};
 use crate::{
     FrontierPolicy, FrontierQueue, OutcomeCounts, Predicate, SearchLimits, SearchReport, Solution,
 };
@@ -60,6 +61,11 @@ pub struct Explorer<'a> {
     /// `with_policy` choice.
     policy_override: Option<FrontierPolicy>,
     workers_hint: Option<usize>,
+    /// An attached memo store ([`Explorer::with_memo`]): searches are
+    /// probed against it before expanding and recorded into it when they
+    /// finish deterministically. `None` (the default) explores
+    /// unconditionally.
+    memo: Option<&'a MemoStore>,
 }
 
 impl<'a> Explorer<'a> {
@@ -72,7 +78,34 @@ impl<'a> Explorer<'a> {
             limits: SearchLimits::default(),
             policy_override: None,
             workers_hint: None,
+            memo: None,
         }
+    }
+
+    /// Attaches (or detaches) a memoization store. With a store attached,
+    /// [`Explorer::explore`] first derives the search's probe digest
+    /// ([`crate::probe_digest`]) and serves a hit without expanding a
+    /// single state; on a miss it explores normally and records its
+    /// summary for later identical searches. Because this traversal is
+    /// deterministic, even state- and solution-capped reports are
+    /// reproducible and recordable — only time-capped searches (where the
+    /// wall clock, not the search's identity, decides the cut) are never
+    /// recorded. Closure-backed [`Predicate::Custom`] searches bypass the
+    /// store (their identity cannot be encoded). Served reports replay
+    /// the recorded statistics and truncation flags verbatim, so
+    /// memoization never changes a search's outcome — only
+    /// [`SearchReport::memo_hits`] / [`SearchReport::memo_states_skipped`]
+    /// reveal it.
+    #[must_use]
+    pub fn with_memo(mut self, memo: Option<&'a MemoStore>) -> Self {
+        self.memo = memo;
+        self
+    }
+
+    /// The attached memo store, if any.
+    #[must_use]
+    pub fn memo(&self) -> Option<&'a MemoStore> {
+        self.memo
     }
 
     /// Caps the worker count [`Explorer::explore_auto`] may engage when it
@@ -152,9 +185,37 @@ impl<'a> Explorer<'a> {
     /// complete whenever the search exhausts (see [`crate::frontier`]).
     #[must_use]
     pub fn explore(&self, seeds: Vec<MachineState>, predicate: &Predicate) -> SearchReport {
+        let Some(store) = self.memo else {
+            return self.explore_core(seeds, predicate).0;
+        };
+        let Some(digest) = probe_digest(predicate, &self.limits, self.policy(), 1, &seeds) else {
+            // Custom predicate: no encodable identity, bypass the store.
+            return self.explore_core(seeds, predicate).0;
+        };
+        if let Some(served) = store.serve(digest) {
+            return served;
+        }
+        let (report, max_depth) = self.explore_core(seeds, predicate);
+        // The sequential traversal is deterministic, so a state- or
+        // solution-capped report truncates at the same state on every
+        // identical search and is just as replayable as an exhausted one.
+        // Only a wall-clock stop depends on something outside the probe
+        // digest and must never be recorded.
+        if !report.hit_time_cap {
+            store.record(digest, SubtreeSummary::from_report(&report, max_depth));
+        }
+        report
+    }
+
+    /// The expansion loop behind [`Explorer::explore`], memo-blind.
+    /// Returns the report plus the subtree depth: the deepest terminal's
+    /// step count beyond the shallowest seed's.
+    fn explore_core(&self, seeds: Vec<MachineState>, predicate: &Predicate) -> (SearchReport, u64) {
         let start = Instant::now();
         let mut report = SearchReport::default();
         let mut terminals = OutcomeCounts::default();
+        let base_steps = seeds.iter().map(MachineState::steps).min().unwrap_or(0);
+        let mut deepest = base_steps;
 
         // Parent arena for witness traces: (parent index or usize::MAX, pc).
         // Survives iterative-deepening rounds: indices recorded in round 0
@@ -209,6 +270,7 @@ impl<'a> Explorer<'a> {
 
                 if state.status().is_terminal() {
                     terminals.record(&state);
+                    deepest = deepest.max(state.steps());
                     if predicate.matches(&state) {
                         report.solutions.push(Solution {
                             trace: reconstruct_trace(&arena, idx),
@@ -269,7 +331,7 @@ impl<'a> Explorer<'a> {
         report.elapsed = start.elapsed();
         report.states_per_second = SearchReport::throughput(report.states_explored, report.elapsed);
         report.workers = 1;
-        report
+        (report, deepest - base_steps)
     }
 }
 
@@ -291,6 +353,7 @@ fn reconstruct_trace(arena: &[(usize, usize)], mut idx: usize) -> Vec<usize> {
 mod tests {
     use super::*;
     use crate::PriorityHeuristic;
+    use std::time::Duration;
     use sympl_asm::{parse_program, Reg};
     use sympl_symbolic::Value;
 
@@ -470,6 +533,97 @@ mod tests {
             ..SearchLimits::default()
         });
         assert_eq!(from_limits.policy(), FrontierPolicy::Dfs);
+    }
+
+    #[test]
+    fn memoized_reruns_serve_identical_reports() {
+        let p = parse_program(
+            "beq $1, 0, t\nmov $2, 1\njmp join\nt: mov $2, 2\nnop\n\
+             join: print $2\nprint $1\nhalt",
+        )
+        .unwrap();
+        let d = dets();
+        let mut s = MachineState::new();
+        s.set_reg(Reg::r(1), Value::Err);
+        let store = crate::MemoStore::for_campaign(&p, &d);
+        let e = Explorer::new(&p, &d).with_memo(Some(&store));
+        let cold = e.explore(vec![s.clone()], &Predicate::Any);
+        assert!(cold.exhausted);
+        assert_eq!(cold.memo_hits, 0, "first run expands");
+        assert_eq!(store.inserts(), 1, "exhausted search recorded");
+        let warm = e.explore(vec![s.clone()], &Predicate::Any);
+        assert_eq!(warm.memo_hits, 1, "second run serves");
+        assert_eq!(warm.memo_states_skipped, cold.states_explored);
+        // Everything outcome-shaped replays verbatim.
+        assert_eq!(warm.states_explored, cold.states_explored);
+        assert_eq!(warm.terminals, cold.terminals);
+        assert_eq!(warm.duplicate_hits, cold.duplicate_hits);
+        assert_eq!(warm.solutions, cold.solutions);
+        assert!(warm.exhausted);
+        // A different seed set is a different search: miss, then record.
+        let fresh = e.explore(vec![MachineState::new()], &Predicate::Any);
+        assert_eq!(fresh.memo_hits, 0);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn state_capped_searches_are_memoized_and_replay_their_truncation() {
+        // The sequential traversal is deterministic, so a state-capped
+        // report truncates at the same state on every identical search:
+        // it is recorded, and a warm run replays the cap flag verbatim.
+        let p = parse_program("loop: addi $2, $2, 1\nbeq $0, 0, loop").unwrap();
+        let d = dets();
+        let store = crate::MemoStore::for_campaign(&p, &d);
+        let limits = SearchLimits {
+            max_states: 100,
+            exec: ExecLimits::with_max_steps(1_000_000),
+            ..SearchLimits::default()
+        };
+        let e = Explorer::new(&p, &d)
+            .with_limits(limits)
+            .with_memo(Some(&store));
+        let cold = e.explore(vec![MachineState::new()], &Predicate::Any);
+        assert!(cold.hit_state_cap && !cold.exhausted);
+        assert_eq!(store.inserts(), 1, "deterministic truncation recorded");
+        let warm = e.explore(vec![MachineState::new()], &Predicate::Any);
+        assert_eq!(warm.memo_hits, 1);
+        assert!(warm.hit_state_cap && !warm.exhausted);
+        assert_eq!(warm.states_explored, cold.states_explored);
+    }
+
+    #[test]
+    fn time_capped_searches_are_never_memoized() {
+        // Where a wall clock truncates is not a function of the search's
+        // identity, so a time-capped report must never enter the store.
+        let p = parse_program("loop: addi $2, $2, 1\nbeq $0, 0, loop").unwrap();
+        let d = dets();
+        let store = crate::MemoStore::for_campaign(&p, &d);
+        let limits = SearchLimits {
+            max_time: Some(Duration::ZERO),
+            exec: ExecLimits::with_max_steps(1_000_000),
+            ..SearchLimits::default()
+        };
+        let e = Explorer::new(&p, &d)
+            .with_limits(limits)
+            .with_memo(Some(&store));
+        let report = e.explore(vec![MachineState::new()], &Predicate::Any);
+        assert!(report.hit_time_cap);
+        assert!(
+            store.is_empty(),
+            "a wall-clock stop describes the clock, not the subtree"
+        );
+    }
+
+    #[test]
+    fn custom_predicates_bypass_the_store() {
+        let p = parse_program("print $1\nhalt").unwrap();
+        let d = dets();
+        let store = crate::MemoStore::for_campaign(&p, &d);
+        let e = Explorer::new(&p, &d).with_memo(Some(&store));
+        let report = e.explore(vec![MachineState::new()], &Predicate::custom(|_| true));
+        assert!(report.exhausted);
+        assert!(store.is_empty(), "no encodable identity, nothing stored");
+        assert_eq!(store.misses(), 0, "not even probed");
     }
 
     #[test]

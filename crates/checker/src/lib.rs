@@ -47,6 +47,7 @@
 pub mod codec;
 mod explorer;
 pub mod frontier;
+pub mod memo;
 mod parallel;
 mod predicate;
 mod report;
@@ -57,6 +58,7 @@ pub use frontier::{
     FifoQueue, FrontierPolicy, FrontierQueue, IddQueue, LifoQueue, PriorityFrontier,
     PriorityHeuristic, SpillOrder, SpillingFrontier,
 };
+pub use memo::{memo_key, probe_digest, MemoError, MemoStore, SubtreeSummary};
 pub use parallel::{ParallelExplorer, PARALLEL_STATE_THRESHOLD};
 pub use predicate::Predicate;
 pub use report::{OutcomeCounts, SearchReport, Solution};

@@ -110,6 +110,7 @@ use sympl_detect::DetectorSet;
 use sympl_machine::{Fingerprint, FingerprintSet, MachineState, SuccessorBuf};
 
 use crate::frontier::BoundedLifoQueue;
+use crate::memo::{probe_digest, MemoStore, SubtreeSummary};
 use crate::{
     Explorer, FrontierPolicy, FrontierQueue, OutcomeCounts, Predicate, SearchLimits, SearchReport,
     Solution,
@@ -225,6 +226,9 @@ struct WorkerPool {
     duplicate_hits: usize,
     peak_frontier_len: usize,
     peak_frontier_bytes: usize,
+    /// Deepest terminal this worker reached, in absolute execution steps
+    /// (memo summaries record the subtree depth; merged by max).
+    deepest: u64,
 }
 
 /// A work-stealing parallel twin of [`Explorer`]: same program/detector
@@ -257,6 +261,11 @@ pub struct ParallelExplorer<'a> {
     policy_override: Option<FrontierPolicy>,
     workers: usize,
     shard_bits: u32,
+    /// An attached memo store ([`ParallelExplorer::with_memo`]): probed
+    /// before spinning up the pool, populated when a search exhausts. The
+    /// worker count folds into the probe digest, so entries recorded at
+    /// one engine width never serve another (traces record race winners).
+    memo: Option<&'a MemoStore>,
 }
 
 impl<'a> ParallelExplorer<'a> {
@@ -271,12 +280,13 @@ impl<'a> ParallelExplorer<'a> {
             policy_override: None,
             workers: available_workers(),
             shard_bits: DEFAULT_SHARD_BITS,
+            memo: None,
         }
     }
 
     /// A parallel engine inheriting a sequential [`Explorer`]'s full
     /// configuration (program, detectors, budgets, effective policy,
-    /// worker cap).
+    /// worker cap, attached memo store).
     #[must_use]
     pub fn from_explorer(explorer: &Explorer<'a>) -> Self {
         ParallelExplorer {
@@ -286,7 +296,16 @@ impl<'a> ParallelExplorer<'a> {
             policy_override: Some(explorer.policy()),
             workers: explorer.workers_hint().unwrap_or_else(available_workers),
             shard_bits: DEFAULT_SHARD_BITS,
+            memo: explorer.memo(),
         }
+    }
+
+    /// Attaches (or detaches) a memoization store — the parallel twin of
+    /// [`Explorer::with_memo`], with the same serve/record contract.
+    #[must_use]
+    pub fn with_memo(mut self, memo: Option<&'a MemoStore>) -> Self {
+        self.memo = memo;
+        self
     }
 
     /// Replaces the search budgets.
@@ -356,8 +375,40 @@ impl<'a> ParallelExplorer<'a> {
     /// truncated searches explore a schedule-dependent prefix.
     #[must_use]
     pub fn explore(&self, seeds: Vec<MachineState>, predicate: &Predicate) -> SearchReport {
+        let Some(store) = self.memo else {
+            return self.explore_inner(seeds, predicate).0;
+        };
+        let Some(digest) =
+            probe_digest(predicate, &self.limits, self.policy(), self.workers, &seeds)
+        else {
+            // Custom predicate: no encodable identity, bypass the store.
+            return self.explore_inner(seeds, predicate).0;
+        };
+        if let Some(served) = store.serve(digest) {
+            return served;
+        }
+        let (report, max_depth) = self.explore_inner(seeds, predicate);
+        // Unlike the sequential engine, a truncated parallel search
+        // explores a schedule-dependent prefix: only exhausted reports
+        // are deterministic functions of the probe digest, so only they
+        // may enter the store.
+        if report.exhausted {
+            store.record(digest, SubtreeSummary::from_report(&report, max_depth));
+        }
+        report
+    }
+
+    /// The pool-driving body behind [`ParallelExplorer::explore`],
+    /// memo-blind. Returns the report plus the subtree depth (deepest
+    /// terminal's step count beyond the shallowest seed's).
+    fn explore_inner(
+        &self,
+        seeds: Vec<MachineState>,
+        predicate: &Predicate,
+    ) -> (SearchReport, u64) {
         let start = Instant::now();
-        let mut report = if let FrontierPolicy::IterativeDeepening {
+        let base_steps = seeds.iter().map(MachineState::steps).min().unwrap_or(0);
+        let (mut report, deepest) = if let FrontierPolicy::IterativeDeepening {
             initial_depth,
             depth_step,
         } = self.policy()
@@ -372,7 +423,7 @@ impl<'a> ParallelExplorer<'a> {
         };
         report.elapsed = start.elapsed();
         report.states_per_second = SearchReport::throughput(report.states_explored, report.elapsed);
-        report
+        (report, deepest.saturating_sub(base_steps))
     }
 
     /// Iterative deepening on the worker pool: a loop of complete parallel
@@ -388,7 +439,7 @@ impl<'a> ParallelExplorer<'a> {
         start: Instant,
         initial_depth: u64,
         depth_step: u64,
-    ) -> SearchReport {
+    ) -> (SearchReport, u64) {
         let base = seeds.iter().map(MachineState::steps).min().unwrap_or(0);
         let mut bound = initial_depth;
         let step = depth_step.max(1);
@@ -397,6 +448,7 @@ impl<'a> ParallelExplorer<'a> {
         let mut total_steals = 0usize;
         let mut peak_len = 0usize;
         let mut peak_bytes = 0usize;
+        let mut deepest = 0u64;
         loop {
             let cut = Arc::new(AtomicBool::new(false));
             let queues: Vec<WorkerQueue> = (0..self.workers)
@@ -407,8 +459,9 @@ impl<'a> ParallelExplorer<'a> {
                     )
                 })
                 .collect();
-            let mut report =
+            let (mut report, round_deepest) =
                 self.explore_round(seeds.clone(), predicate, queues, total_states, start);
+            deepest = deepest.max(round_deepest);
             total_states += report.states_explored;
             total_dups += report.duplicate_hits;
             total_steals += report.steals;
@@ -424,7 +477,7 @@ impl<'a> ParallelExplorer<'a> {
             report.steals = total_steals;
             report.peak_frontier_len = peak_len;
             report.peak_frontier_bytes = peak_bytes;
-            return report;
+            return (report, deepest);
         }
     }
 
@@ -439,7 +492,7 @@ impl<'a> ParallelExplorer<'a> {
         queues: Vec<WorkerQueue>,
         states_used: usize,
         start: Instant,
-    ) -> SearchReport {
+    ) -> (SearchReport, u64) {
         let shared = Shared {
             program: self.program,
             detectors: self.detectors,
@@ -515,12 +568,14 @@ impl<'a> ParallelExplorer<'a> {
         report.peak_frontier_bytes = seed_bytes;
         let mut worker_peak_len = 0usize;
         let mut worker_peak_bytes = 0usize;
+        let mut deepest = 0u64;
         for pool in pools {
             report.terminals.absorb(&pool.terminals);
             report.duplicate_hits += pool.duplicate_hits;
             report.solutions.extend(pool.solutions);
             worker_peak_len += pool.peak_frontier_len;
             worker_peak_bytes += pool.peak_frontier_bytes;
+            deepest = deepest.max(pool.deepest);
         }
         report.peak_frontier_len = report.peak_frontier_len.max(worker_peak_len);
         report.peak_frontier_bytes = report.peak_frontier_bytes.max(worker_peak_bytes);
@@ -548,7 +603,7 @@ impl<'a> ParallelExplorer<'a> {
         if report.solutions.len() > self.limits.max_solutions {
             report.solutions.truncate(self.limits.max_solutions);
         }
-        report
+        (report, deepest)
     }
 }
 
@@ -622,6 +677,7 @@ fn worker_loop(shared: &Shared<'_>, id: usize) -> WorkerPool {
 
         if state.status().is_terminal() {
             pool.terminals.record(&state);
+            pool.deepest = pool.deepest.max(state.steps());
             if shared.predicate.matches(&state) {
                 pool.solutions.push(Solution {
                     trace: trace.reconstruct(),
@@ -764,6 +820,33 @@ mod tests {
         let mut s = MachineState::new();
         s.set_reg(Reg::r(1), Value::Err);
         (p, s)
+    }
+
+    #[test]
+    fn memoized_parallel_reruns_replay_and_never_cross_widths() {
+        let (p, s) = forked_program();
+        let d = dets();
+        let store = crate::MemoStore::for_campaign(&p, &d);
+        let two = ParallelExplorer::new(&p, &d)
+            .with_workers(2)
+            .with_memo(Some(&store));
+        let cold = two.explore(vec![s.clone()], &Predicate::Any);
+        assert!(cold.exhausted);
+        assert_eq!(store.inserts(), 1, "exhausted search recorded");
+        let warm = two.explore(vec![s.clone()], &Predicate::Any);
+        assert_eq!(warm.memo_hits, 1, "re-run served from the store");
+        assert_eq!(warm.states_explored, cold.states_explored);
+        assert_eq!(warm.terminals, cold.terminals);
+        assert_eq!(warm.solutions, cold.solutions);
+        assert_eq!(warm.workers, cold.workers, "recorded width replays");
+        // A different engine width is a different probe digest: entries
+        // never cross between widths (traces record race winners).
+        let one = ParallelExplorer::new(&p, &d)
+            .with_workers(1)
+            .with_memo(Some(&store));
+        let other = one.explore(vec![s.clone()], &Predicate::Any);
+        assert_eq!(other.memo_hits, 0);
+        assert_eq!(store.len(), 2);
     }
 
     fn solution_digests(report: &SearchReport) -> Vec<Fingerprint> {

@@ -144,6 +144,16 @@ pub struct SearchReport {
     /// States the frontier wrote to disk over the whole search (0 unless a
     /// `max_frontier_bytes` budget forced spilling).
     pub spilled_states: usize,
+    /// Searches answered from a [`crate::MemoStore`] instead of expanding
+    /// (0 or 1 for a single search; campaign pooling sums them). A memo hit
+    /// replays the stored exhausted-subtree summary verbatim, so every
+    /// other statistic in a served report equals the original search's.
+    pub memo_hits: usize,
+    /// States the memo hit saved: the `states_explored` figure of the
+    /// stored search, which this run did *not* re-expand. `states_explored`
+    /// still reports the replayed figure (summary fidelity), so the saved
+    /// work is only visible here.
+    pub memo_states_skipped: usize,
 }
 
 // `states_per_second` is a pure function of `states_explored`/`elapsed`
@@ -178,6 +188,8 @@ impl SearchReport {
         self.peak_frontier_len = self.peak_frontier_len.max(other.peak_frontier_len);
         self.peak_frontier_bytes = self.peak_frontier_bytes.max(other.peak_frontier_bytes);
         self.spilled_states += other.spilled_states;
+        self.memo_hits += other.memo_hits;
+        self.memo_states_skipped += other.memo_states_skipped;
         self.exhausted &= other.exhausted;
         self.hit_state_cap |= other.hit_state_cap;
         self.hit_solution_cap |= other.hit_solution_cap;
@@ -218,6 +230,13 @@ impl fmt::Display for SearchReport {
             "frontier: peak {} state(s) / ~{} bytes in RAM, {} spilled to disk",
             self.peak_frontier_len, self.peak_frontier_bytes, self.spilled_states
         )?;
+        if self.memo_hits > 0 {
+            writeln!(
+                f,
+                "memo: {} hit(s) served {} state(s) without expansion",
+                self.memo_hits, self.memo_states_skipped
+            )?;
+        }
         if self.is_proof_of_resilience() {
             writeln!(f, "PROOF: program is resilient to this error (bounded)")?;
         }

@@ -42,9 +42,9 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use sympl_asm::Program;
-use sympl_check::{Explorer, Predicate, SearchLimits, Solution};
+use sympl_check::{Explorer, MemoStore, Predicate, SearchLimits, Solution};
 use sympl_detect::DetectorSet;
-use sympl_inject::{run_point_with, Campaign, InjectionPoint};
+use sympl_inject::{run_point_cached, Campaign, InjectionPoint, PrefixCache};
 use sympl_symbolic::Fnv128Hasher;
 
 /// One shard of a campaign: a set of injection points examined by a single
@@ -119,6 +119,31 @@ pub fn split_preserves_outcome(spec: &TaskSpec, config: &ClusterConfig) -> bool 
                 .saturating_mul(config.search.max_solutions)
 }
 
+/// Whether consulting a cross-campaign [`MemoStore`] under `config`
+/// preserves result-exactness — the memoization analogue of
+/// [`split_preserves_outcome`].
+///
+/// A memo hit replays the statistics the search recorded when it first
+/// ran, so memo-on and memo-off campaigns produce identical
+/// [`CampaignReport::outcome_digest`]s exactly when every point search is
+/// itself run-to-run deterministic:
+///
+/// * no task budget — a wall-clock budget folds the remaining time into
+///   each point's `max_time`, making the probe digest (and whether a
+///   search is even exhaustive) time-dependent;
+/// * sequential point searches ([`ClusterConfig::point_share`] of 1) —
+///   the multi-worker engine's truncated searches are schedule-dependent,
+///   and its per-width memo entries would be populated by one
+///   nondeterministic representative run.
+///
+/// [`run_task_spec_with_cancel`] applies this gate itself (a store passed
+/// under a non-conforming config is simply ignored), so callers use it to
+/// decide whether warming a store is worthwhile, not for soundness.
+#[must_use]
+pub fn memo_preserves_outcome(config: &ClusterConfig) -> bool {
+    config.task_budget.is_none() && config.point_share() == 1
+}
+
 /// Re-merges the results of split parts of one task — given in canonical
 /// order (each part's position in the parent's point list) — into the
 /// `(TaskResult, findings)` an uninterrupted sweep of the parent would
@@ -146,6 +171,9 @@ pub fn merge_part_results(
         merged.peak_frontier_len = merged.peak_frontier_len.max(part.peak_frontier_len);
         merged.peak_frontier_bytes = merged.peak_frontier_bytes.max(part.peak_frontier_bytes);
         merged.spilled_states += part.spilled_states;
+        merged.memo_hits += part.memo_hits;
+        merged.memo_states_skipped += part.memo_states_skipped;
+        merged.prefix_steps_saved += part.prefix_steps_saved;
         findings.extend(part_findings);
     }
     Some((merged, findings))
@@ -197,6 +225,19 @@ pub struct TaskResult {
     pub peak_frontier_bytes: usize,
     /// Frontier states this task's searches spilled to disk.
     pub spilled_states: usize,
+    /// Point searches served whole from a cross-campaign [`MemoStore`]
+    /// instead of being re-expanded. A served search replays its recorded
+    /// statistics verbatim (so every digest-visible counter above is
+    /// unchanged); the saved work is visible only here. Process-local —
+    /// never crosses the wire.
+    pub memo_hits: usize,
+    /// States the memo hits above did *not* have to re-expand (the served
+    /// searches' recorded `states_explored`). Process-local.
+    pub memo_states_skipped: usize,
+    /// Concrete error-free prefix steps served from the task's
+    /// [`PrefixCache`] snapshots instead of re-executed per point.
+    /// Process-local.
+    pub prefix_steps_saved: u64,
 }
 
 /// Cluster configuration.
@@ -382,6 +423,29 @@ impl CampaignReport {
         self.tasks.iter().map(|t| t.spilled_states).sum()
     }
 
+    /// Point searches served whole from the cross-campaign [`MemoStore`],
+    /// across all tasks.
+    #[must_use]
+    pub fn memo_hits(&self) -> usize {
+        self.tasks.iter().map(|t| t.memo_hits).sum()
+    }
+
+    /// States the memo hits did not have to re-expand, across all tasks.
+    /// [`Self::states_explored`] already *includes* these (served searches
+    /// replay their recorded statistics), so the hit rate by states is
+    /// `memo_states_skipped / states_explored`.
+    #[must_use]
+    pub fn memo_states_skipped(&self) -> usize {
+        self.tasks.iter().map(|t| t.memo_states_skipped).sum()
+    }
+
+    /// Concrete error-free prefix steps served from [`PrefixCache`]
+    /// snapshots instead of re-executed, across all tasks.
+    #[must_use]
+    pub fn prefix_steps_saved(&self) -> u64 {
+        self.tasks.iter().map(|t| t.prefix_steps_saved).sum()
+    }
+
     /// A deterministic 128-bit digest of the campaign's *outcome* — the
     /// per-task completion statistics and every finding's injection point,
     /// terminal-state fingerprint, and witness trace — excluding all
@@ -446,6 +510,19 @@ impl CampaignReport {
             self.peak_frontier_bytes(),
             self.spilled_states(),
         );
+        if self.memo_hits() > 0 {
+            text.push_str(&format!(
+                "; memo: {} hit(s) served {} state(s) without expansion",
+                self.memo_hits(),
+                self.memo_states_skipped()
+            ));
+        }
+        if self.prefix_steps_saved() > 0 {
+            text.push_str(&format!(
+                "; prefix cache saved {} concrete step(s)",
+                self.prefix_steps_saved()
+            ));
+        }
         if self.resumed_tasks > 0 {
             text.push_str(&format!(
                 "; resumed {} task(s) from checkpoint",
@@ -482,6 +559,34 @@ pub fn run_cluster(
     predicate: &Predicate,
     config: &ClusterConfig,
 ) -> CampaignReport {
+    run_cluster_with_memo(program, detectors, input, campaign, predicate, config, None)
+}
+
+/// [`run_cluster`] with a cross-campaign [`MemoStore`] shared by every
+/// task: each point search probes the store before expanding and records
+/// its exhausted result after, so a warm store (a previous run of the same
+/// campaign, loaded from disk) serves repeated searches without
+/// re-expansion, and a cold store is warmed for the next run. The store's
+/// hit counters and [`TaskResult::memo_hits`] /
+/// [`TaskResult::memo_states_skipped`] make the saved work visible.
+///
+/// Exactness: the store is consulted only when [`memo_preserves_outcome`]
+/// holds for `config` (the per-task runner enforces this), so memo-on and
+/// memo-off campaigns always pool to the same
+/// [`CampaignReport::outcome_digest`]. Callers are responsible for keying
+/// the store to the campaign's program + detectors
+/// ([`MemoStore::for_campaign`]) — a stale store must be refused at load
+/// time, not probed.
+#[must_use]
+pub fn run_cluster_with_memo(
+    program: &Program,
+    detectors: &DetectorSet,
+    input: &[i64],
+    campaign: &Campaign,
+    predicate: &Predicate,
+    config: &ClusterConfig,
+    memo: Option<&MemoStore>,
+) -> CampaignReport {
     let start = Instant::now();
     let specs = shard_specs(campaign, config.tasks);
 
@@ -494,7 +599,16 @@ pub fn run_cluster(
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(spec) = specs.get(i) else { break };
-                let outcome = run_task_spec(program, detectors, input, spec, predicate, config);
+                let outcome = run_task_spec_with_cancel(
+                    program,
+                    detectors,
+                    input,
+                    spec,
+                    predicate,
+                    config,
+                    &AtomicBool::new(false),
+                    memo,
+                );
                 results
                     .lock()
                     .expect("worker panicked while holding the results lock")
@@ -558,6 +672,7 @@ pub fn run_task_spec(
         predicate,
         config,
         &AtomicBool::new(false),
+        None,
     )
 }
 
@@ -569,7 +684,17 @@ pub fn run_task_spec(
 /// a long sweep. Cancellation granularity is one injection point — a
 /// single long point search runs to its own budget before the flag is
 /// seen.
+///
+/// `memo` is an optional cross-campaign [`MemoStore`] the task's point
+/// searches probe and warm. It is consulted only when
+/// [`memo_preserves_outcome`] holds for `config` — under a non-conforming
+/// config the store is ignored, so passing one is always outcome-safe.
+/// The caller must have keyed the store to this (program, detectors) pair;
+/// a store for a different campaign would simply never hit (probe digests
+/// include the seed fingerprints), but refusing it at load time keeps the
+/// waste visible.
 #[must_use]
+#[allow(clippy::too_many_arguments)] // the task runner IS the parameter list: one shard + full campaign identity
 pub fn run_task_spec_with_cancel(
     program: &Program,
     detectors: &DetectorSet,
@@ -578,6 +703,7 @@ pub fn run_task_spec_with_cancel(
     predicate: &Predicate,
     config: &ClusterConfig,
     cancel: &AtomicBool,
+    memo: Option<&MemoStore>,
 ) -> (TaskResult, Vec<Finding>) {
     let start = Instant::now();
     let mut findings = Vec::new();
@@ -595,13 +721,28 @@ pub fn run_task_spec_with_cancel(
         peak_frontier_len: 0,
         peak_frontier_bytes: 0,
         spilled_states: 0,
+        memo_hits: 0,
+        memo_states_skipped: 0,
+        prefix_steps_saved: 0,
     };
 
     let share = config.point_share();
+    let memo = if memo_preserves_outcome(config) {
+        memo
+    } else {
+        None
+    };
 
     // Decode once per task: the per-point explorers constructed below all
     // borrow the same cached IR rather than re-lowering the program.
     let _ = program.decoded();
+
+    // One error-free-prefix sweep per task: every point's prepare phase is
+    // served from first-arrival snapshots instead of re-running the
+    // concrete prefix. Valid for the whole task because the exec limits
+    // (`config.search.exec`) are never adjusted per point — only the
+    // search-level budgets above are.
+    let cache = PrefixCache::new(program, detectors, input, &config.search.exec);
 
     for point in &spec.points {
         if cancel.load(Ordering::Relaxed) {
@@ -637,8 +778,9 @@ pub fn run_task_spec_with_cancel(
         // code path as inject/ssim/Framework, not object reuse.
         let explorer = Explorer::new(program, detectors)
             .with_limits(limits)
-            .with_workers_hint(Some(share));
-        let outcome = run_point_with(&explorer, input, point, predicate);
+            .with_workers_hint(Some(share))
+            .with_memo(memo);
+        let outcome = run_point_cached(&explorer, &cache, point, predicate);
         result.points_examined += 1;
         if outcome.activated {
             result.activated += 1;
@@ -653,6 +795,8 @@ pub fn run_task_spec_with_cancel(
             .peak_frontier_bytes
             .max(outcome.report.peak_frontier_bytes);
         result.spilled_states += outcome.report.spilled_states;
+        result.memo_hits += outcome.report.memo_hits;
+        result.memo_states_skipped += outcome.report.memo_states_skipped;
         if outcome.report.hit_time_cap || outcome.report.hit_state_cap {
             // A truncated search means the task did not fully sweep its
             // section — it counts as incomplete, like the paper's 65
@@ -669,6 +813,7 @@ pub fn run_task_spec_with_cancel(
         }
     }
     result.elapsed = start.elapsed();
+    result.prefix_steps_saved = cache.steps_saved();
     (result, findings)
 }
 
@@ -852,6 +997,7 @@ mod tests {
             &Predicate::OutputContainsErr,
             &config,
             &cancel,
+            None,
         );
         assert_eq!(result.points_examined, 0);
         assert!(!result.completed, "a cancelled task is incomplete");
@@ -866,6 +1012,7 @@ mod tests {
             &Predicate::OutputContainsErr,
             &config,
             &cancel,
+            None,
         );
         let (b, fb) = run_task_spec(
             &p,
@@ -1011,6 +1158,76 @@ mod tests {
         assert!(!split_preserves_outcome(spec, &config));
         config.task_budget = None;
         assert!(split_preserves_outcome(spec, &config));
+    }
+
+    #[test]
+    fn memoized_campaign_reproduces_the_digest_and_serves_the_rerun() {
+        let p = factorial();
+        let campaign = Campaign::new(&p, ErrorClass::RegisterFile);
+        let predicate = Predicate::OutputContainsErr;
+        let config = ClusterConfig {
+            point_workers_hint: Some(1),
+            ..quick_config(4)
+        };
+        assert!(memo_preserves_outcome(&config));
+        let dets = DetectorSet::new();
+        let store = MemoStore::for_campaign(&p, &dets);
+
+        let off = run_cluster(&p, &dets, &[4], &campaign, &predicate, &config);
+        let cold = run_cluster_with_memo(
+            &p,
+            &dets,
+            &[4],
+            &campaign,
+            &predicate,
+            &config,
+            Some(&store),
+        );
+        let warm = run_cluster_with_memo(
+            &p,
+            &dets,
+            &[4],
+            &campaign,
+            &predicate,
+            &config,
+            Some(&store),
+        );
+
+        assert_eq!(off.outcome_digest(), cold.outcome_digest());
+        assert_eq!(off.outcome_digest(), warm.outcome_digest());
+        assert_eq!(cold.memo_hits(), 0, "first run finds an empty store");
+        assert!(!store.is_empty(), "point searches were recorded");
+        assert!(warm.memo_hits() > 0, "rerun is served from the store");
+        // Under the deterministic gate every sequential point search is
+        // recordable (no wall-clock budget in this config), so the warm
+        // rerun expands nothing at all.
+        assert_eq!(
+            warm.memo_states_skipped(),
+            warm.states_explored(),
+            "a warm rerun serves every state from the store ({} of {})",
+            warm.memo_states_skipped(),
+            warm.states_explored()
+        );
+        assert!(warm.summary().contains("memo:"));
+        assert!(off.prefix_steps_saved() > 0, "prefix cache is always on");
+
+        // A non-conforming config ignores the store instead of polluting
+        // the digest: same outcome, no hits counted.
+        let budgeted = ClusterConfig {
+            task_budget: Some(Duration::from_secs(3600)),
+            ..config.clone()
+        };
+        assert!(!memo_preserves_outcome(&budgeted));
+        let gated = run_cluster_with_memo(
+            &p,
+            &dets,
+            &[4],
+            &campaign,
+            &predicate,
+            &budgeted,
+            Some(&store),
+        );
+        assert_eq!(gated.memo_hits(), 0, "gate keeps the store out of play");
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! The one-call framework API of Figure 1: program + detectors + error
 //! class in; proof of resilience or enumeration of escaping errors out.
 
+use std::sync::Arc;
+
 use sympl_asm::Program;
-use sympl_check::{Explorer, Predicate, SearchLimits};
+use sympl_check::{Explorer, MemoStore, Predicate, SearchLimits};
 use sympl_cluster::Finding;
 use sympl_detect::DetectorSet;
-use sympl_inject::{enumerate_points, golden_run, run_point_with, ErrorClass};
+use sympl_inject::{enumerate_points, golden_run, run_point_cached, ErrorClass, PrefixCache};
 
 /// The SymPLFIED framework: holds the program under analysis, its
 /// detectors, the reference input, and the search budgets.
@@ -21,6 +23,7 @@ pub struct Framework {
     detectors: DetectorSet,
     input: Vec<i64>,
     limits: SearchLimits,
+    memo: Option<Arc<MemoStore>>,
 }
 
 impl Framework {
@@ -32,6 +35,7 @@ impl Framework {
             detectors: DetectorSet::new(),
             input: Vec::new(),
             limits: SearchLimits::default(),
+            memo: None,
         }
     }
 
@@ -56,10 +60,29 @@ impl Framework {
         self
     }
 
+    /// Attaches a cross-campaign [`MemoStore`]: every point search probes
+    /// the store before expanding and records its exhausted result after,
+    /// so a store warmed by a previous `enumerate_*` call (or loaded from
+    /// disk) serves repeated searches without re-expansion. The caller is
+    /// responsible for keying the store to this framework's program and
+    /// detectors ([`MemoStore::for_campaign`]) — the CLI refuses a stale
+    /// on-disk store at load time.
+    #[must_use]
+    pub fn with_memo(mut self, memo: Arc<MemoStore>) -> Self {
+        self.memo = Some(memo);
+        self
+    }
+
     /// The program under analysis.
     #[must_use]
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// The detector set embedded in the analyzed executions.
+    #[must_use]
+    pub fn detectors(&self) -> &DetectorSet {
+        &self.detectors
     }
 
     /// The golden (error-free) output for the configured input.
@@ -93,8 +116,17 @@ impl Framework {
         // One shared engine configuration for the whole enumeration; each
         // point's search is routed by budget to the sequential or the
         // work-stealing parallel engine (`Explorer::explore_auto`).
-        let explorer =
-            Explorer::new(&self.program, &self.detectors).with_limits(self.limits.clone());
+        let explorer = Explorer::new(&self.program, &self.detectors)
+            .with_limits(self.limits.clone())
+            .with_memo(self.memo.as_deref());
+        // One error-free-prefix sweep for the whole enumeration: every
+        // point's prepare phase is served from first-arrival snapshots.
+        let cache = PrefixCache::new(
+            &self.program,
+            &self.detectors,
+            &self.input,
+            &self.limits.exec,
+        );
         let mut findings = Vec::new();
         let mut complete = true;
         let mut states_explored = 0usize;
@@ -104,8 +136,10 @@ impl Framework {
         let mut peak_frontier_len = 0usize;
         let mut peak_frontier_bytes = 0usize;
         let mut spilled_states = 0usize;
+        let mut memo_hits = 0usize;
+        let mut memo_states_skipped = 0usize;
         for point in &points {
-            let outcome = run_point_with(&explorer, &self.input, point, predicate);
+            let outcome = run_point_cached(&explorer, &cache, point, predicate);
             if outcome.activated {
                 points_activated += 1;
             }
@@ -115,6 +149,8 @@ impl Framework {
             peak_frontier_len = peak_frontier_len.max(outcome.report.peak_frontier_len);
             peak_frontier_bytes = peak_frontier_bytes.max(outcome.report.peak_frontier_bytes);
             spilled_states += outcome.report.spilled_states;
+            memo_hits += outcome.report.memo_hits;
+            memo_states_skipped += outcome.report.memo_states_skipped;
             if !outcome.report.completed() && outcome.activated {
                 complete = false;
             }
@@ -138,6 +174,9 @@ impl Framework {
             peak_frontier_len,
             peak_frontier_bytes,
             spilled_states,
+            memo_hits,
+            memo_states_skipped,
+            prefix_steps_saved: cache.steps_saved(),
             complete,
             findings,
         }
@@ -173,6 +212,15 @@ pub struct Verdict {
     pub peak_frontier_bytes: usize,
     /// Frontier states spilled to disk across all point searches.
     pub spilled_states: usize,
+    /// Point searches served whole from the attached [`MemoStore`]
+    /// (0 without one). Served searches replay their recorded statistics,
+    /// so `states_explored` already includes the skipped states.
+    pub memo_hits: usize,
+    /// States the memo hits did not have to re-expand.
+    pub memo_states_skipped: usize,
+    /// Concrete error-free prefix steps served from the enumeration's
+    /// prefix cache instead of re-executed per point.
+    pub prefix_steps_saved: u64,
     /// Whether every activated point's search ran to completion.
     pub complete: bool,
     /// All predicate-matching outcomes (empty for a resilient program).
@@ -191,7 +239,7 @@ impl Verdict {
     /// Human-readable summary.
     #[must_use]
     pub fn summary(&self) -> String {
-        let frontier = if self.spilled_states > 0 {
+        let mut frontier = if self.spilled_states > 0 {
             format!(
                 ", frontier peak {} states / ~{} bytes in RAM ({} spilled)",
                 self.peak_frontier_len, self.peak_frontier_bytes, self.spilled_states
@@ -202,6 +250,12 @@ impl Verdict {
                 self.peak_frontier_len, self.peak_frontier_bytes
             )
         };
+        if self.memo_hits > 0 {
+            frontier.push_str(&format!(
+                ", memo served {} search(es) / {} states",
+                self.memo_hits, self.memo_states_skipped
+            ));
+        }
         if self.is_resilient() {
             format!(
                 "PROOF: resilient to {} ({} points, {} activated, {} states explored \
@@ -281,6 +335,23 @@ mod tests {
         let verdict = fw.enumerate_undetected(ErrorClass::RegisterFile);
         assert!(verdict.is_resilient(), "{}", verdict.summary());
         assert!(verdict.summary().contains("PROOF"));
+    }
+
+    #[test]
+    fn memoized_framework_reruns_are_served() {
+        let p = parse_program("read $1\naddi $2, $1, 1\nprint $2\nhalt").unwrap();
+        let fw = Framework::new(p).with_input(vec![41]);
+        let store = Arc::new(MemoStore::for_campaign(fw.program(), fw.detectors()));
+        let fw = fw.with_memo(Arc::clone(&store));
+        let cold = fw.enumerate_undetected(ErrorClass::RegisterFile);
+        let warm = fw.enumerate_undetected(ErrorClass::RegisterFile);
+        assert_eq!(cold.memo_hits, 0, "first enumeration finds an empty store");
+        assert!(!store.is_empty(), "exhausted searches were recorded");
+        assert!(warm.memo_hits > 0, "rerun is served from the store");
+        assert_eq!(cold.findings, warm.findings, "served results are exact");
+        assert_eq!(cold.states_explored, warm.states_explored);
+        assert!(warm.prefix_steps_saved > 0, "prefix cache is always on");
+        assert!(warm.summary().contains("memo served"));
     }
 
     #[test]

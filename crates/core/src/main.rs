@@ -36,7 +36,7 @@ const USAGE: &str = "usage:
   symplfied verify <prog> [--mips] [--input 1,2,3] [--detectors FILE]
                    [--class register|memory|pc|fetch] [--max-steps N] [--max-solutions N]
                    [--frontier bfs|dfs|priority-constraints|priority-depth|priority-output|iddfs]
-                   [--max-frontier-bytes N]
+                   [--max-frontier-bytes N] [--memo-path FILE]
   symplfied ssim   <prog> [--mips] [--input 1,2,3] [--random N] [--seed N]
   symplfied serve  [--listen HOST:PORT | --join HOST:PORT]
 
@@ -44,6 +44,12 @@ const USAGE: &str = "usage:
 under every policy; see each policy's determinism contract in the docs);
 --max-frontier-bytes bounds the in-RAM frontier for bfs/dfs, spilling
 overflow to disk so exhaustive searches larger than RAM still complete.
+
+--memo-path persists the cross-campaign memo store: point searches
+recorded on one verify are served without re-expansion on the next,
+making repeated verification incremental. The store is keyed to the
+exact program + detectors — after an edit the stale file is refused
+(delete it to start fresh).
 
 serve starts a distributed-campaign worker: it listens for a campaign
 coordinator (tcas_campaign/replace_campaign --workers-at), announces its
@@ -65,6 +71,7 @@ struct Opts {
     max_solutions: usize,
     policy: FrontierPolicy,
     max_frontier_bytes: Option<usize>,
+    memo_path: Option<String>,
     random: usize,
     seed: u64,
 }
@@ -80,6 +87,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         max_solutions: 10,
         policy: FrontierPolicy::default(),
         max_frontier_bytes: None,
+        memo_path: None,
         random: 3,
         seed: 0x5151_F1ED,
     };
@@ -141,6 +149,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                         .parse()
                         .map_err(|_| "bad --max-frontier-bytes")?,
                 );
+            }
+            "--memo-path" => {
+                opts.memo_path = Some(value("--memo-path")?.clone());
             }
             "--random" => {
                 opts.random = value("--random")?.parse().map_err(|_| "bad --random")?;
@@ -234,7 +245,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             Ok(())
         }
         "verify" => {
-            let framework = Framework::new(program)
+            let mut framework = Framework::new(program)
                 .with_detectors(opts.detectors.clone())
                 .with_input(opts.input.clone())
                 .with_limits(SearchLimits {
@@ -244,6 +255,34 @@ fn run(args: Vec<String>) -> Result<(), String> {
                     max_frontier_bytes: opts.max_frontier_bytes,
                     ..SearchLimits::default()
                 });
+            // Load (or create) the cross-campaign memo store. A file whose
+            // key does not match this exact program + detector set is
+            // refused — a stale store must never be probed.
+            let store = match &opts.memo_path {
+                Some(path) => {
+                    let key =
+                        symplfied::check::memo_key(framework.program(), framework.detectors());
+                    let file = std::path::Path::new(path);
+                    let store = if file.exists() {
+                        let (store, truncated) = symplfied::check::MemoStore::load(file, Some(key))
+                            .map_err(|e| format!("cannot use memo store {path}: {e}"))?;
+                        if truncated {
+                            eprintln!(
+                                "warning: memo store {path} had a truncated tail; \
+                                 kept the intact prefix"
+                            );
+                        }
+                        store
+                    } else {
+                        symplfied::check::MemoStore::new(key)
+                    };
+                    Some(std::sync::Arc::new(store))
+                }
+                None => None,
+            };
+            if let Some(store) = &store {
+                framework = framework.with_memo(std::sync::Arc::clone(store));
+            }
             let verdict = framework.enumerate_undetected(opts.class);
             println!("{}", verdict.summary());
             for f in &verdict.findings {
@@ -254,6 +293,16 @@ fn run(args: Vec<String>) -> Result<(), String> {
                     f.solution.state.rendered_output()
                 );
                 println!("      trace: {}", f.solution.trace_summary(12));
+            }
+            if let (Some(path), Some(store)) = (&opts.memo_path, &store) {
+                store
+                    .save(std::path::Path::new(path))
+                    .map_err(|e| format!("cannot save memo store {path}: {e}"))?;
+                println!(
+                    "memo store: {} entr(ies) at {path} ({} served this run)",
+                    store.len(),
+                    store.hits()
+                );
             }
             Ok(())
         }

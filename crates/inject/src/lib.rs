@@ -55,6 +55,7 @@ pub use class::{ComputationError, ErrorClass};
 pub use derive::{derive_range_detectors, observe_range, DerivedDetectors, ObservedRange};
 pub use point::{InjectTarget, InjectionPoint};
 pub use prepare::{
-    golden_run, prepare, run_point, run_point_with, PointOutcome, PreparedInjection,
+    golden_run, prepare, prepare_cached, run_point, run_point_cached, run_point_with, PointOutcome,
+    PrefixCache, PreparedInjection,
 };
 pub use query::{Query, QueryKind};

@@ -1,5 +1,8 @@
 //! Preparing an injection: concrete prefix, plant the `err`, search.
 
+use std::cell::Cell;
+use std::collections::HashMap;
+
 use sympl_asm::{Instr, Program};
 use sympl_check::{Explorer, Predicate, SearchLimits, SearchReport};
 use sympl_detect::DetectorSet;
@@ -198,6 +201,151 @@ fn apply_target(
     }
 }
 
+/// A cache of the shared error-free prefix for one (program, detectors,
+/// input, limits) configuration: every injection point of a campaign
+/// re-runs the same concrete execution up to its breakpoint, so one sweep
+/// that snapshots the state at the *first arrival* of every PC replaces
+/// per-point prefix re-execution with an O(1) copy-on-write clone.
+///
+/// Exactness: concrete execution is deterministic and the machine state
+/// is a pure content function (rolling fingerprints included), so a
+/// cloned first-arrival snapshot is indistinguishable from a state
+/// [`run_concrete_to_breakpoint`] produced fresh — for occurrence 1, which
+/// is every point [`crate::enumerate_points`] emits. Later-occurrence
+/// points fall back to the uncached path (snapshots record first arrivals
+/// only). A PC with no snapshot was never reached before termination:
+/// the fault is not activated on this input, decided without re-running
+/// anything.
+///
+/// The saved work is reported through [`PrefixCache::steps_saved`]:
+/// the concrete steps each served prepare did *not* re-execute.
+#[derive(Debug)]
+pub struct PrefixCache<'a> {
+    program: &'a Program,
+    detectors: &'a DetectorSet,
+    input: Vec<i64>,
+    limits: ExecLimits,
+    /// First-arrival state per PC, captured pre-expansion (the exact state
+    /// `run_concrete_to_breakpoint` hands to `apply_target`).
+    snapshots: HashMap<usize, MachineState>,
+    /// Steps of the whole error-free run (what a fresh prepare of an
+    /// unreached breakpoint would have executed before giving up).
+    full_run_steps: u64,
+    steps_saved: Cell<u64>,
+    hits: Cell<usize>,
+}
+
+impl<'a> PrefixCache<'a> {
+    /// Runs the error-free execution once, snapshotting the first arrival
+    /// at every PC. The sweep's own cost is one concrete run — the same
+    /// price a single uncached `prepare` pays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prefix is not concretely executable (no err values
+    /// exist before injection; a failure indicates a malformed workload).
+    #[must_use]
+    pub fn new(
+        program: &'a Program,
+        detectors: &'a DetectorSet,
+        input: &[i64],
+        limits: &ExecLimits,
+    ) -> Self {
+        let mut snapshots = HashMap::new();
+        let mut state = MachineState::with_input(input.to_vec());
+        // Mirrors `run_concrete_to_breakpoint`: terminal check first, then
+        // the PC is observable as a breakpoint, then one step.
+        while !state.status().is_terminal() {
+            snapshots.entry(state.pc()).or_insert_with(|| state.clone());
+            step_concrete(&mut state, program, detectors, limits)
+                .expect("prefix must be concrete: no err values exist before injection");
+        }
+        PrefixCache {
+            program,
+            detectors,
+            input: input.to_vec(),
+            limits: limits.clone(),
+            snapshots,
+            full_run_steps: state.steps(),
+            steps_saved: Cell::new(0),
+            hits: Cell::new(0),
+        }
+    }
+
+    /// The program the cache swept.
+    #[must_use]
+    pub fn program(&self) -> &'a Program {
+        self.program
+    }
+
+    /// The input the cache swept under.
+    #[must_use]
+    pub fn input(&self) -> &[i64] {
+        &self.input
+    }
+
+    /// Concrete prefix steps served from snapshots instead of re-executed.
+    #[must_use]
+    pub fn steps_saved(&self) -> u64 {
+        self.steps_saved.get()
+    }
+
+    /// Prepares served from the cache (vs. fallback to [`prepare`]).
+    #[must_use]
+    pub fn hits(&self) -> usize {
+        self.hits.get()
+    }
+
+    fn note_saved(&self, steps: u64) {
+        self.steps_saved.set(self.steps_saved.get() + steps);
+        self.hits.set(self.hits.get() + 1);
+    }
+}
+
+/// [`prepare`] served from a [`PrefixCache`]: identical outputs for
+/// occurrence-1 points (see the cache's exactness contract), with the
+/// shared prefix cloned instead of re-executed. Later-occurrence points
+/// fall back to the uncached path.
+#[must_use]
+pub fn prepare_cached(cache: &PrefixCache<'_>, point: &InjectionPoint) -> PreparedInjection {
+    if point.occurrence > 1 {
+        return prepare(
+            cache.program,
+            cache.detectors,
+            &cache.input,
+            point,
+            &cache.limits,
+        );
+    }
+    match cache.snapshots.get(&point.breakpoint) {
+        Some(snapshot) => {
+            cache.note_saved(snapshot.steps());
+            let seeds = apply_target(
+                cache.program,
+                cache.detectors,
+                snapshot.clone(),
+                point,
+                &cache.limits,
+            );
+            PreparedInjection {
+                point: *point,
+                seeds,
+                activated: true,
+            }
+        }
+        None => {
+            // Never reached pre-terminal: not activated. A fresh prepare
+            // would have executed the whole error-free run to learn this.
+            cache.note_saved(cache.full_run_steps);
+            PreparedInjection {
+                point: *point,
+                seeds: Vec::new(),
+                activated: false,
+            }
+        }
+    }
+}
+
 /// The result of one injection-point search task.
 #[derive(Debug, Clone)]
 pub struct PointOutcome {
@@ -242,6 +390,34 @@ pub fn run_point_with(
         point,
         explorer.exec_limits(),
     );
+    if !prepared.activated || prepared.seeds.is_empty() {
+        return PointOutcome {
+            point: *point,
+            activated: prepared.activated,
+            report: SearchReport::default(),
+        };
+    }
+    let report = explorer.explore_auto(prepared.seeds, predicate);
+    PointOutcome {
+        point: *point,
+        activated: true,
+        report,
+    }
+}
+
+/// [`run_point_with`], with the prepare phase served from a
+/// [`PrefixCache`] instead of re-running the error-free prefix. The cache
+/// must have been built for the same program, detectors, input, and exec
+/// limits the explorer carries — campaign layers build one cache per
+/// (task, input) next to the task's explorer configuration.
+#[must_use]
+pub fn run_point_cached(
+    explorer: &Explorer<'_>,
+    cache: &PrefixCache<'_>,
+    point: &InjectionPoint,
+    predicate: &Predicate,
+) -> PointOutcome {
+    let prepared = prepare_cached(cache, point);
     if !prepared.activated || prepared.seeds.is_empty() {
         return PointOutcome {
             point: *point,
@@ -381,6 +557,44 @@ mod tests {
         assert!(outcome.activated);
         assert!(outcome.found_errors());
         assert_eq!(outcome.report.solutions.len(), 1);
+    }
+
+    #[test]
+    fn cached_prepare_equals_fresh_prepare() {
+        // Every point of a register campaign on a looping program: the
+        // cached prefix must reproduce the fresh prepare bit-for-bit —
+        // same activation, same seed fingerprints, same seed order.
+        let p = parse_program(
+            "ori $2 $0 #1\nread $1\nloop: mult $2 $2 $1\nsubi $1 $1 #1\n\
+             setgt $5 $1 $0\nbeq $5 0 exit\nbeq $0 #0 loop\nexit: print $2\nhalt",
+        )
+        .unwrap();
+        let d = dets();
+        let input = [3i64];
+        let limits = ExecLimits::default();
+        let cache = PrefixCache::new(&p, &d, &input, &limits);
+        let mut points = enumerate_points(&p, &ErrorClass::RegisterFile);
+        points.extend(enumerate_points(&p, &ErrorClass::ProgramCounter));
+        // Include a dead-code point so the not-activated path is covered.
+        points.push(InjectionPoint::new(6, InjectTarget::Register(Reg::r(2))));
+        assert!(!points.is_empty());
+        for point in &points {
+            let fresh = prepare(&p, &d, &input, point, &limits);
+            let cached = prepare_cached(&cache, point);
+            assert_eq!(cached.activated, fresh.activated, "{point:?}");
+            let fp = |prep: &PreparedInjection| {
+                prep.seeds
+                    .iter()
+                    .map(|s| s.fingerprint())
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(fp(&cached), fp(&fresh), "{point:?}");
+        }
+        assert!(cache.hits() > 0);
+        assert!(
+            cache.steps_saved() > 0,
+            "the loop program has real prefixes to save"
+        );
     }
 
     #[test]

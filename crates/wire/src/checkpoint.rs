@@ -312,6 +312,9 @@ mod tests {
                 peak_frontier_len: 5,
                 peak_frontier_bytes: 640,
                 spilled_states: 0,
+                memo_hits: 0,
+                memo_states_skipped: 0,
+                prefix_steps_saved: 0,
             },
             Vec::new(),
         )

@@ -131,7 +131,9 @@ pub(crate) fn decode_u128(bytes: &[u8], pos: &mut usize) -> Result<u128, CodecEr
     Ok(u128::from(lo) | (u128::from(hi) << 64))
 }
 
-/// Appends a [`TaskResult`] record.
+/// Appends a [`TaskResult`] record. The process-local cache statistics
+/// (`memo_hits`, `memo_states_skipped`, `prefix_steps_saved`) are not
+/// encoded — see [`decode_task_result`].
 pub fn encode_task_result(result: &TaskResult, buf: &mut Vec<u8>) {
     encode_u64(result.id as u64, buf);
     encode_u64(result.points_examined as u64, buf);
@@ -168,6 +170,13 @@ pub fn decode_task_result(bytes: &[u8], pos: &mut usize) -> Result<TaskResult, C
         peak_frontier_len: decode_usize(bytes, pos)?,
         peak_frontier_bytes: decode_usize(bytes, pos)?,
         spilled_states: decode_usize(bytes, pos)?,
+        // Process-local cache statistics (memo hits, prefix steps) are
+        // deliberately not on the wire: they describe one worker's local
+        // caches, not the task's outcome, and keeping them out preserves
+        // the checked-in golden frame vectors byte-for-byte.
+        memo_hits: 0,
+        memo_states_skipped: 0,
+        prefix_steps_saved: 0,
     })
 }
 
@@ -375,6 +384,9 @@ mod tests {
                 peak_frontier_len: 7,
                 peak_frontier_bytes: 1024,
                 spilled_states: 0,
+                memo_hits: 0,
+                memo_states_skipped: 0,
+                prefix_steps_saved: 0,
             },
             findings: vec![Finding {
                 task_id: 3,

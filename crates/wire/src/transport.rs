@@ -354,6 +354,10 @@ fn serve_task(
         let cancel = &cancel;
         let handle = scope.spawn(|| {
             catch_unwind(AssertUnwindSafe(|| {
+                // No memo store on the wire path yet: a worker process
+                // serves many campaigns, and the store is keyed per
+                // (program, detectors) — a per-worker cache would need
+                // lifecycle management the protocol does not carry.
                 run_task_spec_with_cancel(
                     &program,
                     &detectors,
@@ -362,6 +366,7 @@ fn serve_task(
                     &task.predicate,
                     &config,
                     cancel,
+                    None,
                 )
             }))
         });

@@ -62,6 +62,21 @@ elastic-demo:
     cargo run --release -p sympl-bench --bin elastic_campaign -- --tasks 6 --spawn-workers 3 --checkpoint target/elastic-demo.checkpoint --chaos-abort-after 2
     cargo run --release -p sympl-bench --bin elastic_campaign -- --tasks 6 --spawn-workers 2 --resume target/elastic-demo.checkpoint --verify-local
 
+# Memo demo: the cross-campaign memoization acceptance legs the
+# distributed-campaign CI job gates on. Leg 1 runs the quick tcas
+# campaign cold against a fresh store. Leg 2 reruns it against the saved
+# store and gates (--expect-memo-warm exits 2 otherwise) on the run being
+# served warm: memo hits present, ≥ 50% of states skipped, and an
+# outcome digest identical to an in-process memo-off run. Leg 3 appends a
+# dead instruction to tcas (--mutate-program) and gates on the now-stale
+# store being *refused* at load (--expect-stale-memo) — the
+# incremental-recheck contract: one program edit invalidates the store.
+memo-demo:
+    rm -f target/memo-demo.symo
+    cargo run --release -p sympl-bench --bin tcas_campaign -- --quick --tasks 16 --memo-path target/memo-demo.symo
+    cargo run --release -p sympl-bench --bin tcas_campaign -- --quick --tasks 16 --memo-path target/memo-demo.symo --expect-memo-warm
+    cargo run --release -p sympl-bench --bin tcas_campaign -- --quick --tasks 16 --memo-path target/memo-demo.symo --mutate-program --expect-stale-memo
+
 # Regenerate the paper's tables and figures from the assembled workloads.
 repro-tables:
     cargo run --release -p sympl-bench --bin table1

@@ -504,6 +504,10 @@ mod wire_roundtrip {
             peak_frontier_len: w(0).wrapping_add(1),
             peak_frontier_bytes: w(1).wrapping_add(2),
             spilled_states: w(2) % 1000,
+            // Process-local memo statistics: never wire-encoded, so the
+            // round-trip fixtures pin them at zero.
+            memo_hits: 0,
+            memo_states_skipped: 0,
         };
         report.states_per_second = SearchReport::throughput(report.states_explored, report.elapsed);
         report
@@ -547,6 +551,11 @@ mod wire_roundtrip {
                 peak_frontier_len: w(10),
                 peak_frontier_bytes: w(11),
                 spilled_states: w(12),
+                // Process-local cache stats: not wire-encoded, so a
+                // round-trip only preserves them when they are zero.
+                memo_hits: 0,
+                memo_states_skipped: 0,
+                prefix_steps_saved: 0,
             };
             // Bare record round-trip.
             let mut buf = Vec::new();
@@ -664,6 +673,9 @@ mod checkpoint_roundtrip {
             peak_frontier_len: w(9),
             peak_frontier_bytes: w(10),
             spilled_states: w(11),
+            memo_hits: 0,
+            memo_states_skipped: 0,
+            prefix_steps_saved: 0,
         };
         let findings = states
             .into_iter()
@@ -1583,6 +1595,228 @@ mod decoded_equivalence {
                     .expect("a deterministic AST chain never hits a symbolic value");
                 prop_assert_eq!(&reference, &fast);
                 prop_assert_eq!(reference.fingerprint(), fast.fingerprint());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cross-campaign memoization: a memoized campaign must be outcome-
+// indistinguishable from a memo-off run at every worker count — one
+// shared store serving across reruns and pool widths — and the SYMO
+// store file must round-trip exactly, drop a crash-truncated tail
+// without losing the intact prefix, refuse corruption, and refuse a
+// store keyed to a different program (the incremental-recheck contract).
+// ---------------------------------------------------------------------
+
+mod memo_equivalence {
+    use super::state_ops::{op_strategy, run_ops};
+    use super::*;
+    use symplfied::apps::Workload;
+    use symplfied::check::{MemoError, MemoStore, OutcomeCounts, Solution, SubtreeSummary};
+    use symplfied::cluster::{
+        memo_preserves_outcome, run_cluster, run_cluster_with_memo, ClusterConfig,
+    };
+    use symplfied::inject::{Campaign, ErrorClass};
+
+    /// A deterministic campaign config the memo exactness gate accepts:
+    /// no wall-clock budgets anywhere, sequential point searches.
+    fn memo_config(workers: usize, max_steps: u64) -> ClusterConfig {
+        let config = ClusterConfig {
+            workers,
+            tasks: 12,
+            search: SearchLimits {
+                exec: ExecLimits::with_max_steps(max_steps),
+                max_states: 3_000,
+                max_solutions: 5,
+                max_time: None,
+                ..SearchLimits::default()
+            },
+            task_budget: None,
+            point_workers_hint: Some(1),
+            ..ClusterConfig::default()
+        };
+        assert!(memo_preserves_outcome(&config));
+        config
+    }
+
+    /// Runs the full register-error campaign memo-off and memo-on at 1,
+    /// 2, and 8 pool workers against ONE shared store, requiring every
+    /// digest to match the memo-off run's and every post-population run
+    /// to be served entirely from the store.
+    fn assert_memo_equivalent(w: &Workload) {
+        let campaign = Campaign::new(&w.program, ErrorClass::RegisterFile);
+        let predicate = Predicate::Any;
+        let store = MemoStore::for_campaign(&w.program, &w.detectors);
+        for workers in [1usize, 2, 8] {
+            let config = memo_config(workers, w.max_steps);
+            let off = run_cluster(
+                &w.program,
+                &w.detectors,
+                &w.input,
+                &campaign,
+                &predicate,
+                &config,
+            );
+            let on = run_cluster_with_memo(
+                &w.program,
+                &w.detectors,
+                &w.input,
+                &campaign,
+                &predicate,
+                &config,
+                Some(&store),
+            );
+            assert_eq!(
+                off.outcome_digest(),
+                on.outcome_digest(),
+                "{} x{workers}: memoized digest must match memo-off",
+                w.name
+            );
+            if workers > 1 {
+                // The first pass populated the store; the pool width is
+                // not part of a sequential point search's identity, so
+                // every later pass is served whole.
+                assert!(on.memo_hits() > 0, "{} x{workers}: warm", w.name);
+                assert_eq!(
+                    on.memo_states_skipped(),
+                    on.states_explored(),
+                    "{} x{workers}: fully served",
+                    w.name
+                );
+            }
+        }
+        assert!(!store.is_empty(), "{}: store was populated", w.name);
+    }
+
+    #[test]
+    fn tcas_memoized_campaign_matches_memo_off() {
+        assert_memo_equivalent(&symplfied::apps::tcas());
+    }
+
+    #[test]
+    fn replace_memoized_campaign_matches_memo_off() {
+        assert_memo_equivalent(&symplfied::apps::replace());
+    }
+
+    /// An arbitrary-ish summary built from generated words and machine
+    /// states (the checkpoint round-trip idiom).
+    fn summary_from(words: &[u64], states: Vec<MachineState>) -> SubtreeSummary {
+        let w = |i: usize| words[i % words.len()] as usize;
+        SubtreeSummary {
+            states_explored: w(0),
+            duplicate_hits: w(1),
+            terminals: OutcomeCounts {
+                halted: w(2),
+                crashed: w(3),
+                hung: w(4),
+                detected: w(5),
+            },
+            solutions: states
+                .into_iter()
+                .enumerate()
+                .map(|(i, state)| Solution {
+                    state,
+                    trace: vec![i, 1],
+                })
+                .collect(),
+            max_depth: words[6 % words.len()],
+            peak_frontier_len: w(7),
+            peak_frontier_bytes: w(8),
+            spilled_states: w(9),
+            workers: 1 + w(10) % 8,
+            steals: w(11),
+            exhausted: w(3) % 2 == 0,
+            hit_state_cap: w(4) % 2 == 0,
+            hit_solution_cap: w(5) % 3 == 0,
+        }
+    }
+
+    /// Serializes `n` records under `key` through the real store.
+    fn store_bytes(n: usize, key: u128, words: &[u64], states: &[MachineState]) -> Vec<u8> {
+        let store = MemoStore::new(key);
+        for d in 0..n {
+            store.record(
+                (d as u128) << 64 | 0xD1_6E57,
+                summary_from(words, if d == 0 { states.to_vec() } else { Vec::new() }),
+            );
+        }
+        store.to_bytes()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn symo_files_roundtrip_with_full_eq(
+            ops in prop::collection::vec(op_strategy(), 1..20),
+            words in prop::collection::vec(0u64..5_000_000, 12..13),
+            records in 1usize..6,
+        ) {
+            let states = run_ops(&[3, -1], &ops);
+            let key = u128::from(words[0]) << 64 | u128::from(words[1]);
+            let bytes = store_bytes(records, key, &words, &states);
+            let (loaded, truncated) =
+                MemoStore::parse(&bytes, Some(key)).expect("intact stores parse");
+            prop_assert!(!truncated);
+            prop_assert_eq!(loaded.key(), key);
+            prop_assert_eq!(loaded.len(), records);
+            // Deterministic serialization: equal contents, equal bytes.
+            prop_assert_eq!(bytes, loaded.to_bytes());
+        }
+
+        #[test]
+        fn truncated_symo_tails_keep_the_intact_prefix(
+            words in prop::collection::vec(0u64..5_000_000, 12..13),
+            records in 2usize..6,
+            cut in 1usize..200,
+        ) {
+            let bytes = store_bytes(records, 7, &words, &[]);
+            // Cut inside the records region (never into the header): a
+            // mid-save crash leaves exactly this shape.
+            let header_end = store_bytes(0, 7, &words, &[]).len();
+            let cut = (bytes.len() - cut.min(bytes.len() - header_end)).max(header_end);
+            let (loaded, truncated) =
+                MemoStore::parse(&bytes[..cut], Some(7)).expect("truncation is tolerated");
+            prop_assert!(loaded.len() < records || !truncated);
+            prop_assert!(loaded.len() <= records);
+        }
+
+        #[test]
+        fn corrupt_symo_records_never_invent_entries(
+            words in prop::collection::vec(0u64..5_000_000, 12..13),
+            records in 1usize..5,
+            flip_at in 0usize..10_000,
+            flip_bits in 1u8..=255,
+        ) {
+            let bytes = store_bytes(records, 11, &words, &[]);
+            let mut corrupt = bytes.clone();
+            let idx = flip_at % corrupt.len();
+            corrupt[idx] ^= flip_bits;
+            // A flipped byte either fails the parse outright, or parses
+            // to at most the written entries — and any record it does
+            // keep must serve a summary that was actually recorded (its
+            // per-record FNV-128 digest still matched).
+            if let Ok((loaded, _)) = MemoStore::parse(&corrupt, Some(11)) {
+                prop_assert!(loaded.len() <= records);
+            }
+        }
+
+        #[test]
+        fn stale_symo_keys_are_refused(
+            words in prop::collection::vec(0u64..5_000_000, 12..13),
+            key in 0u64..1_000,
+            other in 1u64..1_000,
+        ) {
+            let key = u128::from(key);
+            let expected = key + u128::from(other); // always != key
+            let bytes = store_bytes(2, key, &words, &[]);
+            match MemoStore::parse(&bytes, Some(expected)) {
+                Err(MemoError::StaleKey { expected: e, found }) => {
+                    prop_assert_eq!(e, expected);
+                    prop_assert_eq!(found, key);
+                }
+                other => prop_assert!(false, "expected StaleKey, got {:?}", other.map(|_| ())),
             }
         }
     }

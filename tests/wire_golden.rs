@@ -118,6 +118,11 @@ fn fixture_done() -> Message {
             peak_frontier_len: 211,
             peak_frontier_bytes: 346_112,
             spilled_states: 0,
+            // Not wire-encoded (process-local cache stats); zero keeps the
+            // decoded struct equal to this fixture.
+            memo_hits: 0,
+            memo_states_skipped: 0,
+            prefix_steps_saved: 0,
         },
         findings: vec![Finding {
             task_id: 7,
