@@ -1,0 +1,133 @@
+//! Multi-tenant campaign-service demo: two concurrent campaigns, one
+//! shared worker fleet, both digest-gated.
+//!
+//! The `cluster-demo` leg proves one coordinator can drive remote
+//! workers; this leg proves the workers are a *service*. It spawns a
+//! shared loopback fleet, then runs the tcas and replace register-error
+//! campaigns **concurrently** against the same workers — each campaign a
+//! separate coordinator session with its own `ClientHello` label and
+//! scheduling priority, interleaved by the workers' fair scheduler. Both
+//! campaigns run with `--verify-local` semantics: each gates (exit 2) on
+//! its distributed [`sympl_cluster::CampaignReport::outcome_digest`]
+//! matching its own in-process re-run, proving the determinism contract
+//! is tenant-blind — sharing a fleet changes the schedule, never the
+//! outcome.
+//!
+//! Usage: `service_demo [--workers N] [--tasks N]`
+//!
+//! `just service-demo` runs this as part of the `distributed-campaign`
+//! CI job. See `docs/OPERATIONS.md` for the operator-facing walkthrough.
+
+use std::time::Duration;
+
+use sympl_bench::campaign_limits;
+use sympl_bench::net::{maybe_serve_loopback, DistMode, SERVE_FLAG};
+use sympl_check::Predicate;
+use sympl_cluster::ClusterConfig;
+use sympl_inject::{Campaign, ErrorClass};
+use sympl_wire::{shutdown_worker, spawn_loopback_workers};
+
+fn main() {
+    maybe_serve_loopback();
+    let args: Vec<String> = std::env::args().collect();
+    let arg = |flag: &str, default: usize| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    };
+    let workers = arg("--workers", 2).max(1);
+    let tasks = arg("--tasks", 6).max(1);
+
+    // One shared fleet for both campaigns; each worker is a multiplexed
+    // service, so neither coordinator owns it.
+    let exe = std::env::current_exe().expect("own executable path");
+    let fleet = spawn_loopback_workers(&exe, &[SERVE_FLAG.to_owned()], workers)
+        .expect("spawn the shared loopback fleet");
+    println!(
+        "service demo: shared fleet of {} worker(s) at {:?}",
+        workers, fleet.addrs
+    );
+
+    let dist_mode = |label: &str, priority: u64| DistMode {
+        workers_at: fleet.addrs.clone(),
+        verify_local: true,
+        client_label: Some(label.to_owned()),
+        client_priority: Some(priority),
+        ..DistMode::default()
+    };
+
+    // Campaign A: tcas, quick budgets scaled down for CI.
+    let run_tcas = || {
+        let w = sympl_apps::tcas();
+        let golden = sympl_apps::golden(&w).output_ints();
+        let campaign = Campaign::new(&w.program, ErrorClass::RegisterFile);
+        let config = ClusterConfig {
+            tasks,
+            search: campaign_limits(6_000),
+            max_findings_per_task: 10,
+            ..ClusterConfig::default()
+        };
+        let predicate = Predicate::WrongOutput { expected: golden };
+        sympl_bench::net::run_distributed_campaign(
+            &w,
+            &campaign,
+            &predicate,
+            &config,
+            &dist_mode("tcas", 1),
+        )
+    };
+
+    // Campaign B: replace, a different tenant at double priority.
+    let run_replace = || {
+        let w = sympl_apps::replace();
+        let golden = sympl_apps::golden(&w).output_ints();
+        let campaign = Campaign::new(&w.program, ErrorClass::RegisterFile);
+        let mut search = campaign_limits(6_000);
+        search.max_states = 20_000;
+        search.max_time = Some(Duration::from_secs(5));
+        let config = ClusterConfig {
+            tasks,
+            search,
+            max_findings_per_task: 10,
+            ..ClusterConfig::default()
+        };
+        let predicate = Predicate::WrongOutput { expected: golden };
+        sympl_bench::net::run_distributed_campaign(
+            &w,
+            &campaign,
+            &predicate,
+            &config,
+            &dist_mode("replace", 2),
+        )
+    };
+
+    // Both coordinators run concurrently against the same fleet. The
+    // digest gates live inside run_distributed_campaign (verify_local):
+    // any divergence from the in-process run exits 2 before we get here.
+    let (tcas_report, replace_report) = std::thread::scope(|scope| {
+        let a = scope.spawn(run_tcas);
+        let b = scope.spawn(run_replace);
+        (
+            a.join().expect("tcas campaign thread"),
+            b.join().expect("replace campaign thread"),
+        )
+    });
+
+    // Drain the shared fleet explicitly — no single coordinator owns it.
+    for addr in &fleet.addrs {
+        shutdown_worker(addr).expect("drain a shared worker");
+    }
+    fleet.join().expect("shared workers exit cleanly");
+
+    println!(
+        "\nservice demo PASSED: tcas ({} tasks, {} findings) and replace \
+         ({} tasks, {} findings) shared one fleet; both reproduced their \
+         in-process outcome digests verbatim",
+        tcas_report.tasks.len(),
+        tcas_report.findings.len(),
+        replace_report.tasks.len(),
+        replace_report.findings.len(),
+    );
+}

@@ -263,6 +263,14 @@ pub mod net {
         /// `--expect-join`: gate (exit 2) unless at least one worker
         /// actually joined mid-campaign.
         pub expect_join: bool,
+        /// `--client-label <name>`: the label this coordinator announces
+        /// in its `ClientHello` when its campaign shares a multi-tenant
+        /// worker service (shows up in the service's status lines).
+        /// Default: the workload name.
+        pub client_label: Option<String>,
+        /// `--client-priority <n>`: the scheduling weight (≥ 1) this
+        /// coordinator's tasks get on a shared service; default 1.
+        pub client_priority: Option<u64>,
     }
 
     impl DistMode {
@@ -328,6 +336,17 @@ pub mod net {
                 "--split-idle" => mode.split_idle = true,
                 "--expect-split" => mode.expect_split = true,
                 "--expect-join" => mode.expect_join = true,
+                "--client-label" => {
+                    mode.client_label =
+                        Some(it.next().expect("--client-label expects a name").clone());
+                }
+                "--client-priority" => {
+                    mode.client_priority = Some(
+                        it.next()
+                            .and_then(|s| s.parse().ok())
+                            .expect("--client-priority expects a weight"),
+                    );
+                }
                 _ => {}
             }
         }
@@ -496,6 +515,12 @@ pub mod net {
             },
             join_listener: join_listener.as_ref().map(|(listener, _)| listener),
             split_idle: mode.split_idle,
+            client_label: Some(
+                mode.client_label
+                    .clone()
+                    .unwrap_or_else(|| workload.name.to_owned()),
+            ),
+            client_priority: mode.client_priority.unwrap_or(1),
         };
         let report = match run_distributed_with(&job, &addrs, &opts) {
             Ok(report) => report,

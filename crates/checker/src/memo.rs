@@ -74,27 +74,14 @@
 //!
 //! ## File format
 //!
-//! Persistence follows the checkpoint idiom (`SYCP` in `sympl-wire`):
-//! strict header, digest-protected records, lenient about exactly one
-//! truncated trailing record.
-//!
-//! ```text
-//! magic: 4 bytes            b"SYMO"
-//! store version: varint       (MEMO_VERSION, currently 1)
-//! store key: 2 varints        (memo_key: FNV-128 of program listing +
-//!                              detector set, low half then high half)
-//! record*:
-//!   payload length: varint
-//!   payload: length bytes     probe digest (2 varints, low then high)
-//!                             + SubtreeSummary encoding (varint counters,
-//!                             outcome counts, solutions via the
-//!                             sympl-check codec)
-//!   payload digest: 16 bytes  (FNV-128 of the payload, little-endian)
-//! ```
-//!
-//! A save rewrites the whole file with records sorted by probe digest, so
-//! byte-identical stores come from equal contents regardless of insertion
-//! order.
+//! Persistence is the `SYMO` format: the `b"SYMO"` magic, then
+//! [`MEMO_VERSION`] and the store key, then digest-protected records
+//! sorted by probe digest (byte-identical stores from equal contents).
+//! It follows the checkpoint idiom (`SYCP` in `sympl-wire`): strict
+//! header, per-record FNV-128 integrity digests, lenient about exactly
+//! one truncated trailing record. The normative byte layout lives in
+//! **`docs/PROTOCOL.md`** (§3) at the repository root, next to the wire
+//! and checkpoint specs.
 
 use std::collections::HashMap;
 use std::fmt;

@@ -8,6 +8,7 @@
 //!                  [--max-solutions N]
 //! symplfied ssim   <prog.sasm> [--mips] [--input …] [--random N] [--seed N]
 //! symplfied serve  [--listen HOST:PORT | --join HOST:PORT]
+//!                  [--max-clients N] [--status-interval SECS]
 //! ```
 
 use std::process::ExitCode;
@@ -39,6 +40,7 @@ const USAGE: &str = "usage:
                    [--max-frontier-bytes N] [--memo-path FILE]
   symplfied ssim   <prog> [--mips] [--input 1,2,3] [--random N] [--seed N]
   symplfied serve  [--listen HOST:PORT | --join HOST:PORT]
+                   [--max-clients N] [--status-interval SECS]
 
 --frontier picks the search's frontier policy (exhausted searches agree
 under every policy; see each policy's determinism contract in the docs);
@@ -51,15 +53,21 @@ making repeated verification incremental. The store is keyed to the
 exact program + detectors — after an edit the stale file is refused
 (delete it to start fresh).
 
-serve starts a distributed-campaign worker: it listens for a campaign
-coordinator (tcas_campaign/replace_campaign --workers-at), announces its
-bound address as `sympl-wire listening on HOST:PORT`, resolves tasks'
-program ids against the bundled workloads, and exits when the
-coordinator sends a shutdown frame. --listen defaults to 127.0.0.1:0
-(loopback, OS-assigned port). With --join the direction flips: the
-worker dials a *running* campaign's join listener (the coordinator's
---allow-join port), registers, and serves tasks from the live queue
-until the coordinator shuts it down.";
+serve starts a distributed-campaign worker: it listens for campaign
+coordinators (tcas_campaign/replace_campaign --workers-at), announces
+its bound address as `sympl-wire listening on HOST:PORT`, resolves
+tasks' program ids against the bundled workloads, and exits when a
+coordinator sends a shutdown frame and the last session drains.
+--listen defaults to 127.0.0.1:0 (loopback, OS-assigned port). The
+worker is a multi-tenant campaign service: up to --max-clients
+(default 16) coordinators run concurrently, their tasks scheduled by
+priority-weighted round-robin; a full service refuses new clients with
+a typed error frame. --status-interval SECS logs a per-client
+accounting line (queued/completed per client, fairness ratio) at that
+cadence. With --join the direction flips: the worker dials a *running*
+campaign's join listener (the coordinator's --allow-join port),
+registers, and serves tasks from the live queue until the coordinator
+shuts it down. See docs/OPERATIONS.md for the full operator manual.";
 
 struct Opts {
     program_path: String,
@@ -190,6 +198,7 @@ fn resolve_workload(id: &str) -> Option<(Program, DetectorSet)> {
 fn serve(args: &[String]) -> Result<(), String> {
     let mut listen = String::from("127.0.0.1:0");
     let mut join: Option<String> = None;
+    let mut opts = symplfied::wire::ServeOptions::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -198,6 +207,27 @@ fn serve(args: &[String]) -> Result<(), String> {
             }
             "--join" => {
                 join = Some(it.next().ok_or("--join expects a value")?.clone());
+            }
+            "--max-clients" => {
+                opts.max_clients = it
+                    .next()
+                    .ok_or("--max-clients expects a value")?
+                    .parse()
+                    .map_err(|_| "bad --max-clients")?;
+                if opts.max_clients == 0 {
+                    return Err("--max-clients must be at least 1".into());
+                }
+            }
+            "--status-interval" => {
+                let secs: u64 = it
+                    .next()
+                    .ok_or("--status-interval expects a value")?
+                    .parse()
+                    .map_err(|_| "bad --status-interval")?;
+                if secs == 0 {
+                    return Err("--status-interval must be at least 1 second".into());
+                }
+                opts.status_interval = Some(std::time::Duration::from_secs(secs));
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -212,7 +242,14 @@ fn serve(args: &[String]) -> Result<(), String> {
     let server = symplfied::wire::WorkerServer::bind(&listen)
         .map_err(|e| format!("cannot bind {listen}: {e}"))?;
     server.announce().map_err(|e| e.to_string())?;
-    server.serve(&resolve_workload).map_err(|e| e.to_string())
+    let stats = server
+        .serve_with(&resolve_workload, &opts)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "sympl-wire service: drained after serving {} client(s)",
+        stats.clients.len()
+    );
+    Ok(())
 }
 
 fn run(args: Vec<String>) -> Result<(), String> {

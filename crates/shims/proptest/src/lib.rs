@@ -3,7 +3,7 @@
 //!
 //! The build environment has no network access to crates.io, so the real
 //! `proptest` cannot be fetched. This shim implements the pieces the
-//! property tests exercise — the [`Strategy`] trait with `prop_map` /
+//! property tests exercise — the [`Strategy`](strategy::Strategy) trait with `prop_map` /
 //! `prop_flat_map` / `boxed`, range/tuple/`Just`/`any` strategies, the
 //! `prop_oneof!` union (with weights), `prop::collection::vec`,
 //! `prop::sample::select`, a tiny `[class]{m,n}` string-pattern strategy,

@@ -4,28 +4,13 @@
 //!
 //! ## File format
 //!
-//! ```text
-//! magic: 4 bytes            b"SYCP"
-//! checkpoint version: varint  (CHECKPOINT_VERSION, currently 1)
-//! protocol version: varint    (PROTOCOL_VERSION — record payloads ride
-//!                              the wire message codecs, so a checkpoint
-//!                              written by a different protocol revision
-//!                              is refused rather than mis-decoded)
-//! campaign key: 2 varints     (FNV-128 digest of the campaign identity:
-//!                              program digest, input, predicate, search
-//!                              limits, budgets, shard count, point
-//!                              workers share, and every injection point
-//!                              — see [`campaign_key`])
-//! tasks total: varint         (shard count the campaign was split into)
-//! record*:
-//!   payload length: varint
-//!   payload: length bytes     (TaskResult record + varint finding count
-//!                              + Finding records, exactly the `TaskDone`
-//!                              body encoding)
-//!   payload digest: 16 bytes  (FNV-128 of the payload, little-endian —
-//!                              a flipped byte anywhere in a record is
-//!                              detected, not silently merged)
-//! ```
+//! The `SYCP` format: `b"SYCP"` magic + [`CHECKPOINT_VERSION`] +
+//! [`PROTOCOL_VERSION`](crate::PROTOCOL_VERSION) + the [`campaign_key`]
+//! (an FNV-128 digest of the full campaign identity — a stale or foreign
+//! checkpoint is refused) + shard count, followed by one digest-tailed
+//! record per completed task in the `TaskDone` body encoding. The
+//! normative byte layout lives in **`docs/PROTOCOL.md`** (§2) at the
+//! repository root, next to the wire and memo-store specs.
 //!
 //! Records are appended and flushed one at a time, so a coordinator
 //! killed mid-append leaves at most one *truncated* trailing record. The

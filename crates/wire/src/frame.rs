@@ -31,7 +31,15 @@ pub const MAGIC: [u8; 4] = *b"SYWR";
 ///   resolve). No existing frame changed shape, but the vocabulary grew,
 ///   so a v2 peer must refuse a v3 connection rather than choke on an
 ///   unknown message tag mid-conversation.
-pub const PROTOCOL_VERSION: u64 = 3;
+/// - **4** — campaign-service revision: `ClientHello` and `ClientAccept`
+///   frames open every serve-side conversation (the coordinator
+///   announces a client label + scheduling priority; the multi-tenant
+///   service answers with a session id, or with a typed `Error` frame
+///   when it is at capacity). Existing frames kept their shapes, but the
+///   conversation's opening sequence changed, so a v3 peer must refuse a
+///   v4 connection at the preamble rather than mistake the hello for an
+///   unexpected message.
+pub const PROTOCOL_VERSION: u64 = 4;
 
 /// Hard cap on a frame's payload size (64 MiB). A corrupt or hostile
 /// length prefix fails fast instead of asking the allocator for the moon;

@@ -7,178 +7,41 @@
 //! and a `std::net` TCP transport — a coordinator that distributes
 //! injection-point shards to remote workers and a worker agent
 //! (`symplfied serve --listen <addr>`) that runs them through the exact
-//! same engine code path as the in-process pool.
+//! same engine code path as the in-process pool. The worker side is a
+//! *multi-tenant campaign service* ([`WorkerServer::serve_with`]): many
+//! concurrent coordinators share one fleet, scheduled fairly by a
+//! weighted round-robin [`FairScheduler`] and admitted through a
+//! `ClientHello`/`ClientAccept` session handshake bounded by a
+//! `--max-clients` accept gate.
 //!
-//! ## Protocol specification
+//! ## Protocol summary
 //!
-//! The protocol rides entirely on the varint codec primitives the disk
-//! -spilling frontier introduced (`sympl_symbolic::codec` leaf encoders,
-//! `sympl_machine::codec::encode_state`, `sympl_check::codec` report and
-//! limits records, `sympl_inject::codec` injection points) — no serde, no
-//! third-party dependency, byte-stable against the golden vectors checked
-//! in under `tests/wire_golden/`.
+//! The full versioned byte-level specification — preamble and version
+//! negotiation, the frame table, the session/conversation state machines,
+//! elastic membership, shard splitting, and the checkpoint (`SYCP`) and
+//! memo (`SYMO`) file formats — lives in **`docs/PROTOCOL.md`** at the
+//! repository root; the operator's guide to running fleets is
+//! **`docs/OPERATIONS.md`**. The short version:
 //!
-//! ### Connection preamble (version negotiation)
-//!
-//! Immediately after `accept`/`connect`, **both** sides write and then
-//! read a preamble:
-//!
-//! ```text
-//! magic: 4 bytes  b"SYWR"
-//! version: varint  (PROTOCOL_VERSION, currently 3)
-//! ```
-//!
-//! A peer that sees a wrong magic or a version it does not speak closes
-//! the connection and surfaces [`WireError::BadMagic`] /
-//! [`WireError::VersionMismatch`]; nothing else is ever sent on such a
-//! connection, so an old worker can never silently mis-decode a newer
-//! coordinator's frames (and vice versa). Any byte-format change to the
-//! frames below MUST bump [`PROTOCOL_VERSION`]. Negotiation is symmetric
-//! and all-or-nothing — version 2 (the fault-tolerance revision: the
-//! `Heartbeat`/`Cancel` frames and the task frame's trailing heartbeat
-//! cadence) is refused at the preamble by a v1 peer, so a v1 worker can
-//! never mis-decode the extended task frame as trailing garbage; version
-//! 3 (the elastic-membership revision: the `Register`/`Welcome` frames)
-//! is likewise refused by a v2 peer, which would otherwise choke on an
-//! unknown message tag mid-conversation.
-//!
-//! ### Frames
-//!
-//! After the preamble the connection is a sequence of frames, each:
-//!
-//! ```text
-//! length: varint        — payload byte count (hard-capped, see MAX_FRAME_LEN)
-//! payload: length bytes — tag byte + message body
-//! ```
-//!
-//! Messages ([`Message`]):
-//!
-//! | tag | message | body |
-//! |-----|---------|------|
-//! | 0 | `Task` | task id, program id + FNV-128 program digest, input stream, injection points, predicate, full `SearchLimits` (watchdog/fork bounds, state/solution/time budgets, frontier policy, spill budget), task budget, finding cap, point-workers share, heartbeat cadence (v2) |
-//! | 1 | `TaskDone` | the `TaskResult` statistics plus every `Finding` (injection point, terminal state via the state codec, witness trace) |
-//! | 2 | `Error` | human-readable reason (unknown program id, digest mismatch, …) |
-//! | 3 | `Shutdown` | empty — coordinator asks the worker process to exit |
-//! | 4 | `Heartbeat` | empty — worker→coordinator liveness signal, sent at the task frame's cadence while a task is in flight (v2) |
-//! | 5 | `Cancel` | empty — coordinator asks the worker to stop the in-flight task at the next injection-point boundary (v2) |
-//! | 6 | `Register` | worker label (free-form string, diagnostic only) — worker→coordinator admission request on a join connection (v3) |
-//! | 7 | `Welcome` | program id + FNV-128 program digest — coordinator→worker admission grant, announcing the campaign's program identity (v3) |
-//!
-//! Every record inside a payload is self-delimiting (tag bytes for variant
-//! choices, varints for counts), so a frame decodes without out-of-band
-//! schema knowledge and truncation/corruption surfaces as a
-//! [`CodecError`], never a wrong value.
-//!
-//! ### Conversation
-//!
-//! The coordinator opens one connection per worker address and runs a
-//! supervised request/response loop: send `Task`, then consume
-//! `Heartbeat` frames until `TaskDone` (or `Error`) arrives, repeat
-//! until the shared task queue drains. While a task is in flight the
-//! worker beats at the cadence the task frame carries; a connection
-//! silent past [`liveness_deadline`] (derived from that cadence, *never*
-//! from the task budget, so unbudgeted tasks are just as supervised) is
-//! declared dead. A dead, refusing, or erroring worker has its in-flight
-//! task re-queued for the survivors after a deterministic, jitter-free
-//! exponential [`backoff_delay`] — the campaign degrades gracefully
-//! (finishing with `degraded: true` and loss counters in the report)
-//! rather than aborting, as long as one worker remains; only a task that
-//! fails on *every* worker aborts the campaign. A campaign abort sends
-//! the in-flight workers `Cancel`, which they honour at the next
-//! injection-point boundary. Workers are single-conversation: `serve`
-//! handles one connection at a time and goes back to `accept` when the
-//! coordinator hangs up, or exits on `Shutdown`.
-//!
-//! ### Membership state machine (elastic fleets, v3)
-//!
-//! With [`DistOptions::join_listener`] set, the fleet is *dynamic*:
-//! membership is per-connection state on the coordinator, and every
-//! worker connection — pre-listed or late-joining — moves through the
-//! same three states:
-//!
-//! ```text
-//! joining ──(preamble + Register/Welcome ok)──► active ──(heartbeat loss,
-//!    │                                            │        socket error,
-//!    └──(bad preamble / version mismatch /        │        clean Shutdown)
-//!        non-Register first frame: refused,       ▼
-//!        listener keeps serving)               lost (in-flight shard
-//!                                                   re-queued for the rest)
-//! ```
-//!
-//! - **joining** — a connection accepted on the join listener that has
-//!   completed the preamble and sent `Register`; the coordinator answers
-//!   `Welcome` (program id + digest, so the joiner can pre-warm) and the
-//!   connection becomes a worker like any other. A malformed preamble,
-//!   version mismatch, or any first frame other than `Register` refuses
-//!   *that connection only*. Pre-listed workers skip this state: their
-//!   connections are dialled by the coordinator and start active.
-//! - **active** — pulling from the shared task queue; supervised by the
-//!   same heartbeat/liveness machinery, counted in the retry budget (a
-//!   fleet that grew tolerates more per-task failures).
-//! - **lost** — departure by heartbeat loss, socket error, or hang-up
-//!   degrades exactly as a fixed fleet does: the in-flight shard is
-//!   re-queued with deterministic backoff and the report's loss counters
-//!   tick. There is no rejoin: a worker that comes back is a fresh
-//!   `Register`.
-//!
-//! ### Shard splitting and re-queue rules (v3)
-//!
-//! With [`DistOptions::split_idle`] set, an idle worker (empty queue,
-//! shards still in flight) asks the coordinator to reclaim work: the
-//! *largest* in-flight shard is sent `Cancel`, its partial work is
-//! discarded (the worker answers `Error`, the acknowledgement), and the
-//! shard's points re-queue as two contiguous halves
-//! ([`sympl_cluster::split_spec`]) carrying the parent's task id — the
-//! PR 2 steal-half discipline lifted to the wire. The rules that keep the
-//! digest fixed:
-//!
-//! - Splitting is refused wholesale unless
-//!   [`sympl_cluster::split_preserves_outcome`] holds for every shard (no
-//!   task budget, finding cap that can never bind) — the only regime in
-//!   which a shard's outcome equals the sum of its halves'.
-//! - A completion racing the split-`Cancel` wins: the shard is done and
-//!   no split happens.
-//! - Halves may split again, down to [`MAX_SPLIT_DEPTH`]; a poisonous
-//!   shard fragments into at most `2^MAX_SPLIT_DEPTH` pieces.
-//! - Parts re-assemble on the coordinator keyed by point-range offset;
-//!   when they cover the parent shard contiguously they merge in offset
-//!   order ([`sympl_cluster::merge_part_results`]) — canonical point
-//!   order — and only the merged whole shard is pooled and checkpointed.
-//!   Duplicate part delivery is idempotent (first writer wins per range).
-//!
-//! The `CampaignReport`'s `workers_joined`/`tasks_split` counters record
-//! the schedule; like the loss counters they never feed the outcome
-//! digest.
-//!
-//! ### Checkpoint file format
-//!
-//! With [`DistOptions::checkpoint`] set, the coordinator appends every
-//! completed task to a checkpoint file, and [`DistOptions::resume`]
-//! seeds a later run from one, re-queuing only the missing shards:
-//!
-//! ```text
-//! magic: 4 bytes              b"SYCP"
-//! checkpoint version: varint  (CHECKPOINT_VERSION, currently 1)
-//! protocol version: varint    (PROTOCOL_VERSION the records encode under)
-//! campaign key: 2 varints     (FNV-128 over program digest + input +
-//!                              predicate + limits + budgets + sharding +
-//!                              every injection point — a stale or
-//!                              foreign checkpoint is refused)
-//! tasks total: varint
-//! record*:                    one per completed task, appended + flushed
-//!   payload length: varint
-//!   payload: length bytes     (TaskResult + findings, TaskDone encoding)
-//!   payload digest: 16 bytes  (FNV-128, little-endian)
-//! ```
-//!
-//! A coordinator killed mid-append leaves at most one truncated trailing
-//! record, which the loader drops; any other damage (a flipped byte, a
-//! bad digest, trailing garbage) is corruption and refuses to load. Task
-//! execution is deterministic, so a resumed run's merged report
-//! reproduces the uninterrupted run's
-//! [`sympl_cluster::CampaignReport::outcome_digest`] verbatim — the
-//! chaos acceptance suite and the `distributed-campaign` CI job gate on
-//! exactly that.
+//! - Every connection opens with a symmetric preamble (`b"SYWR"` +
+//!   varint [`PROTOCOL_VERSION`], currently 4); any mismatch refuses the
+//!   connection before a single frame is exchanged.
+//! - After the preamble the connection is varint-length-prefixed frames
+//!   (capped at [`MAX_FRAME_LEN`]), each a tag byte plus a
+//!   self-delimiting body built from the workspace's varint codecs — no
+//!   serde, byte-stable against the golden vectors under
+//!   `tests/wire_golden/`.
+//! - A coordinator session announces itself with `ClientHello` (label +
+//!   scheduling priority, v4) and then runs the supervised
+//!   request/response loop: `Task`, `Heartbeat`s at the cadence the task
+//!   frame carries, `TaskDone`/`Error`, until the queue drains; liveness
+//!   is derived from the heartbeat cadence via [`liveness_deadline`],
+//!   never from task budgets, and failures re-queue with the
+//!   deterministic [`backoff_delay`].
+//! - Late workers join a *running* campaign with `Register`/`Welcome`
+//!   (v3) and idle workers can reclaim work through outcome-preserving
+//!   shard splits; neither membership nor scheduling ever feeds the
+//!   outcome digest.
 //!
 //! ### Determinism contract
 //!
@@ -194,8 +57,11 @@
 //! counts, same findings in the same canonical order, same witness
 //! traces, same [`sympl_cluster::CampaignReport::outcome_digest`]. Only
 //! the wall-clock fields (`elapsed`, per-task `elapsed`) differ. The
-//! `distributed-campaign` CI job gates on exactly this contract with a
-//! loopback coordinator and two worker processes.
+//! contract is tenant-blind: a campaign interleaved with other clients on
+//! a shared service hits the same digest as a run with the fleet to
+//! itself. The `distributed-campaign` CI job gates on exactly this
+//! contract with loopback worker processes — including two campaigns run
+//! concurrently against one shared fleet (`just service-demo`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -204,6 +70,7 @@ pub mod chaos;
 mod checkpoint;
 mod frame;
 mod proto;
+pub mod service;
 mod transport;
 
 use std::fmt;
@@ -220,10 +87,11 @@ pub use frame::{
 };
 pub use proto::{decode_finding, decode_task_result, encode_finding, encode_task_result};
 pub use proto::{decode_message, encode_message, Message, TaskFrame};
+pub use service::{ClientStats, FairScheduler, ServeOptions, ServiceStats, DEFAULT_MAX_CLIENTS};
 pub use transport::{
     backoff_delay, join_coordinator, liveness_deadline, run_distributed, run_distributed_with,
-    spawn_loopback_workers, CampaignJob, ChaosPlan, DistOptions, ProgramResolver, SpawnedWorkers,
-    WorkerServer, DEFAULT_HEARTBEAT_INTERVAL, LISTENING_PREFIX, MAX_SPLIT_DEPTH,
+    shutdown_worker, spawn_loopback_workers, CampaignJob, ChaosPlan, DistOptions, ProgramResolver,
+    SpawnedWorkers, WorkerServer, DEFAULT_HEARTBEAT_INTERVAL, LISTENING_PREFIX, MAX_SPLIT_DEPTH,
     MIN_HEARTBEAT_INTERVAL,
 };
 

@@ -30,6 +30,8 @@ const MSG_HEARTBEAT: u8 = 4;
 const MSG_CANCEL: u8 = 5;
 const MSG_REGISTER: u8 = 6;
 const MSG_WELCOME: u8 = 7;
+const MSG_CLIENT_HELLO: u8 = 8;
+const MSG_CLIENT_ACCEPT: u8 = 9;
 
 /// One campaign task as shipped to a remote worker: everything
 /// [`sympl_cluster::run_task_spec`] needs, plus the program identity the
@@ -113,6 +115,27 @@ pub enum Message {
         program_id: String,
         /// FNV-128 digest of the resolved program's listing.
         program_digest: u128,
+    },
+    /// Coordinator → worker: the mandatory first frame on a serve
+    /// connection (protocol v4). Identifies the client session to the
+    /// multi-tenant campaign service: the label is free-form and purely
+    /// diagnostic (logs and `ServiceStats`), while the priority is the
+    /// client's weight in the service's round-robin scheduler (clamped
+    /// to ≥ 1 by the receiver). Neither field feeds the campaign key or
+    /// the outcome digest.
+    ClientHello {
+        /// A human-readable client label (campaign/pid style), for logs
+        /// and per-client accounting.
+        client: String,
+        /// The scheduling weight: a backlogged client receives `priority`
+        /// task slots per scheduler round.
+        priority: u64,
+    },
+    /// Worker → coordinator: session admitted. A full service answers a
+    /// `ClientHello` with a typed `Error` frame instead.
+    ClientAccept {
+        /// The service-assigned session id, echoed in status log lines.
+        client_id: u64,
     },
 }
 
@@ -253,6 +276,15 @@ pub fn encode_message(message: &Message) -> Result<Vec<u8>, CodecError> {
             encode_str(program_id, &mut buf);
             encode_u128(*program_digest, &mut buf);
         }
+        Message::ClientHello { client, priority } => {
+            buf.push(MSG_CLIENT_HELLO);
+            encode_str(client, &mut buf);
+            encode_u64(*priority, &mut buf);
+        }
+        Message::ClientAccept { client_id } => {
+            buf.push(MSG_CLIENT_ACCEPT);
+            encode_u64(*client_id, &mut buf);
+        }
     }
     Ok(buf)
 }
@@ -316,6 +348,13 @@ pub fn decode_message(bytes: &[u8]) -> Result<Message, CodecError> {
         MSG_WELCOME => Message::Welcome {
             program_id: decode_str(bytes, &mut pos)?,
             program_digest: decode_u128(bytes, &mut pos)?,
+        },
+        MSG_CLIENT_HELLO => Message::ClientHello {
+            client: decode_str(bytes, &mut pos)?,
+            priority: decode_u64(bytes, &mut pos)?,
+        },
+        MSG_CLIENT_ACCEPT => Message::ClientAccept {
+            client_id: decode_u64(bytes, &mut pos)?,
         },
         tag => {
             return Err(CodecError::BadTag {
@@ -497,6 +536,39 @@ mod tests {
         assert_eq!(program_digest, 0xFEED_FACE_CAFE_BEEF_0123_4567_89AB_CDEF);
         // Trailing garbage after either frame is corruption.
         let mut bytes = encode_message(&Message::Register { worker: "w".into() }).unwrap();
+        bytes.push(0);
+        assert!(decode_message(&bytes).is_err());
+    }
+
+    #[test]
+    fn session_frames_roundtrip() {
+        let bytes = encode_message(&Message::ClientHello {
+            client: "tcas-campaign".into(),
+            priority: 3,
+        })
+        .unwrap();
+        assert_eq!(bytes[0], MSG_CLIENT_HELLO);
+        let Message::ClientHello { client, priority } = decode_message(&bytes).unwrap() else {
+            panic!("wrong message kind");
+        };
+        assert_eq!(client, "tcas-campaign");
+        assert_eq!(priority, 3);
+
+        let bytes = encode_message(&Message::ClientAccept { client_id: 42 }).unwrap();
+        assert_eq!(bytes[0], MSG_CLIENT_ACCEPT);
+        assert!(matches!(
+            decode_message(&bytes).unwrap(),
+            Message::ClientAccept { client_id: 42 }
+        ));
+        // Trailing garbage after either frame is corruption.
+        let mut bytes = encode_message(&Message::ClientHello {
+            client: "c".into(),
+            priority: 1,
+        })
+        .unwrap();
+        bytes.push(0);
+        assert!(decode_message(&bytes).is_err());
+        let mut bytes = encode_message(&Message::ClientAccept { client_id: 1 }).unwrap();
         bytes.push(0);
         assert!(decode_message(&bytes).is_err());
     }

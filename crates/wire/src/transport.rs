@@ -86,8 +86,9 @@ pub fn backoff_delay(attempts: usize) -> Duration {
     base.saturating_mul(1u32 << (attempts - 1).min(16)).min(cap)
 }
 
-/// How often an idle coordinator connection re-polls the queue.
-const IDLE_POLL: Duration = Duration::from_millis(5);
+/// How often an idle coordinator connection re-polls the queue (and the
+/// service's accept loop re-polls its listener).
+pub(crate) const IDLE_POLL: Duration = Duration::from_millis(5);
 
 /// How many times one original shard may be recursively halved by idle
 /// workers before the coordinator stops splitting it: a poisonous or
@@ -100,7 +101,7 @@ pub const MAX_SPLIT_DEPTH: usize = 6;
 /// coordinator. Every structure guarded this way (queue, results, fatal
 /// error, checkpoint writer) is valid after any partial update — pushes
 /// and pops are atomic at the element level.
-fn lock_recovering<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock_recovering<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -110,13 +111,13 @@ fn lock_recovering<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 pub type ProgramResolver<'a> = dyn Fn(&str) -> Option<(Program, DetectorSet)> + Sync + 'a;
 
 /// A buffered duplex protocol connection.
-struct Conn {
+pub(crate) struct Conn {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
 }
 
 impl Conn {
-    fn establish(mut stream: TcpStream) -> Result<Self, WireError> {
+    pub(crate) fn establish(mut stream: TcpStream) -> Result<Self, WireError> {
         handshake(&mut stream)?;
         Ok(Conn {
             reader: BufReader::new(stream.try_clone().map_err(WireError::Io)?),
@@ -124,19 +125,19 @@ impl Conn {
         })
     }
 
-    fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), WireError> {
+    pub(crate) fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), WireError> {
         self.reader
             .get_ref()
             .set_read_timeout(timeout)
             .map_err(WireError::Io)
     }
 
-    fn send(&mut self, message: &Message) -> Result<(), WireError> {
+    pub(crate) fn send(&mut self, message: &Message) -> Result<(), WireError> {
         let payload = encode_message(message)?;
         write_frame(&mut self.writer, &payload)
     }
 
-    fn recv(&mut self) -> Result<Message, WireError> {
+    pub(crate) fn recv(&mut self) -> Result<Message, WireError> {
         let payload = read_frame(&mut self.reader)?;
         Ok(decode_message(&payload)?)
     }
@@ -146,7 +147,11 @@ impl Conn {
     /// crucially, nothing was consumed: the wait is a buffered `fill_buf`
     /// peek, so a timeout can never eat half a varint and desynchronise
     /// the stream.
-    fn poll_recv(&mut self, wait: Duration, grace: Duration) -> Result<Option<Message>, WireError> {
+    pub(crate) fn poll_recv(
+        &mut self,
+        wait: Duration,
+        grace: Duration,
+    ) -> Result<Option<Message>, WireError> {
         self.set_read_timeout(Some(wait.max(Duration::from_millis(1))))?;
         match self.reader.fill_buf() {
             Ok(buf) => {
@@ -166,10 +171,13 @@ impl Conn {
     }
 }
 
-/// The worker agent: a TCP listener that runs campaign tasks for a
-/// coordinator. Exposed on the CLI as `symplfied serve --listen <addr>`.
+/// The worker agent: a TCP listener that runs campaign tasks for
+/// coordinators. Exposed on the CLI as `symplfied serve --listen <addr>`.
+/// [`WorkerServer::serve`] (and its configurable twin
+/// [`WorkerServer::serve_with`], in [`crate::service`]) multiplexes many
+/// concurrent coordinator sessions over one fairly-scheduled executor.
 pub struct WorkerServer {
-    listener: TcpListener,
+    pub(crate) listener: TcpListener,
 }
 
 impl WorkerServer {
@@ -206,43 +214,31 @@ impl WorkerServer {
         io::stdout().flush()
     }
 
-    /// Serves coordinators one connection at a time: each task frame runs
-    /// on a supervised thread (heartbeats out, `Cancel` honoured) and is
-    /// answered with a `TaskDone` (or `Error`) frame. A coordinator
-    /// hang-up returns the worker to `accept`; a `Shutdown` frame returns
-    /// from this function.
+    /// Serves coordinators with default service options: concurrent
+    /// sessions (up to [`crate::DEFAULT_MAX_CLIENTS`]) share one
+    /// fairly-scheduled executor, each task answered with a `TaskDone`
+    /// (or `Error`) frame. A coordinator hang-up ends only its session; a
+    /// `Shutdown` frame drains the service and returns from this function
+    /// once the last session closes. See [`WorkerServer::serve_with`] for
+    /// the accept gate, status loop, and returned per-client stats.
     ///
     /// # Errors
     ///
     /// Only listener-level failures; per-connection errors are reported
     /// to stderr and the worker keeps serving.
     pub fn serve(&self, resolve: &ProgramResolver<'_>) -> Result<(), WireError> {
-        loop {
-            let (stream, peer) = self.listener.accept().map_err(WireError::Io)?;
-            match Self::handle_connection(stream, resolve) {
-                Ok(true) => return Ok(()),
-                Ok(false) => {}
-                Err(e) => eprintln!("sympl-wire worker: connection from {peer} failed: {e}"),
-            }
-        }
-    }
-
-    /// Runs one coordinator conversation. Returns `true` when the
-    /// coordinator asked the worker to shut down.
-    fn handle_connection(
-        stream: TcpStream,
-        resolve: &ProgramResolver<'_>,
-    ) -> Result<bool, WireError> {
-        let mut conn = Conn::establish(stream)?;
-        serve_conversation(&mut conn, resolve)
+        self.serve_with(resolve, &crate::ServeOptions::default())
+            .map(|_stats| ())
     }
 }
 
 /// The worker's half of an established coordinator conversation: task
 /// frames are served, `Shutdown` returns `Ok(true)`, a hang-up returns
-/// `Ok(false)`. Shared by the listening [`WorkerServer`] and the
-/// outbound [`join_coordinator`] — once admitted, a joiner speaks
-/// exactly the same dialect as a pre-listed worker.
+/// `Ok(false)`. Used by the outbound [`join_coordinator`] — a joiner's
+/// dialect is the single-conversation one (no session hello: admission
+/// happened through `Register`/`Welcome`, and the dialled coordinator is
+/// by construction this connection's only tenant). The listening
+/// [`WorkerServer`] instead serves sessions through [`crate::service`].
 fn serve_conversation(conn: &mut Conn, resolve: &ProgramResolver<'_>) -> Result<bool, WireError> {
     loop {
         // Idle: block indefinitely for the coordinator's next frame
@@ -267,7 +263,9 @@ fn serve_conversation(conn: &mut Conn, resolve: &ProgramResolver<'_>) -> Result<
             | Message::TaskDone { .. }
             | Message::Error(_)
             | Message::Register { .. }
-            | Message::Welcome { .. } => return Err(WireError::UnexpectedMessage("result")),
+            | Message::Welcome { .. }
+            | Message::ClientHello { .. }
+            | Message::ClientAccept { .. } => return Err(WireError::UnexpectedMessage("result")),
         }
     }
 }
@@ -310,6 +308,23 @@ pub fn join_coordinator(
         _ => return Err(WireError::UnexpectedMessage("welcome")),
     }
     serve_conversation(&mut conn, resolve).map(|_shutdown| ())
+}
+
+/// Asks the worker service at `addr` to drain: connects, sends a bare
+/// `Shutdown` frame, and hangs up. The service stops admitting new
+/// clients immediately and exits once its last active session finishes —
+/// in-flight campaigns complete undisturbed. The fleet-sharing demos and
+/// operator tooling use this to retire a worker no single coordinator
+/// owns (a coordinator's own `shutdown_workers` option drains the fleet
+/// through its session instead).
+///
+/// # Errors
+///
+/// Connection or preamble-handshake failures.
+pub fn shutdown_worker(addr: &str) -> Result<(), WireError> {
+    let stream = TcpStream::connect(addr).map_err(WireError::from)?;
+    let mut conn = Conn::establish(stream)?;
+    conn.send(&Message::Shutdown)
 }
 
 /// Runs one task frame on a supervised thread, heartbeating the
@@ -494,6 +509,15 @@ pub struct DistOptions<'a> {
     /// shard — otherwise splitting could move the outcome digest, and the
     /// option is ignored with a warning.
     pub split_idle: bool,
+    /// The label this coordinator announces in its `ClientHello` to each
+    /// worker's campaign service — free-form, for the service's logs and
+    /// per-client stats (never the campaign key or outcome digest).
+    /// `None` announces `coordinator-pid<pid>`.
+    pub client_label: Option<String>,
+    /// The scheduling weight announced in the `ClientHello`: a
+    /// backlogged client receives this many task slots per service
+    /// scheduler round (clamped to ≥ 1; the default 1 shares equally).
+    pub client_priority: u64,
     /// Test-only failure injection.
     pub chaos: ChaosPlan<'a>,
 }
@@ -507,6 +531,8 @@ impl Default for DistOptions<'_> {
             resume: None,
             join_listener: None,
             split_idle: false,
+            client_label: None,
+            client_priority: 1,
             chaos: ChaosPlan::default(),
         }
     }
@@ -1104,15 +1130,28 @@ pub fn run_distributed_with(
         membership: Mutex::new(Vec::new()),
     };
 
+    // The session identity announced to each worker's campaign service.
+    // One campaign, one label — every per-worker connection belongs to
+    // the same logical client.
+    let client_label = opts
+        .client_label
+        .clone()
+        .unwrap_or_else(|| format!("coordinator-pid{}", std::process::id()));
+    let client_priority = opts.client_priority.max(1);
+
     std::thread::scope(|scope| {
         let co = &co;
+        let client_label = client_label.as_str();
         for addr in workers_at {
             co.active_workers.fetch_add(1, Ordering::SeqCst);
             scope.spawn(move || {
                 match TcpStream::connect(addr.as_str())
                     .map_err(WireError::from)
                     .and_then(Conn::establish)
-                {
+                    .and_then(|mut conn| {
+                        client_handshake(&mut conn, client_label, client_priority, co.liveness)?;
+                        Ok(conn)
+                    }) {
                     Ok(conn) => {
                         let slot = co.add_slot();
                         co.worker_loop(conn, &slot, addr);
@@ -1159,6 +1198,32 @@ pub fn run_distributed_with(
     report.workers_joined = co.workers_joined.load(Ordering::Relaxed);
     report.tasks_split = co.tasks_split.load(Ordering::Relaxed);
     Ok(report)
+}
+
+/// The coordinator's half of the v4 session hello: announce a client
+/// label + scheduling priority, wait (boundedly) for the service's
+/// `ClientAccept`. A typed `Error` answer — the service's capacity
+/// refusal — surfaces as [`WireError::Remote`], so a full fleet fails
+/// the connection loudly instead of hanging the campaign.
+fn client_handshake(
+    conn: &mut Conn,
+    label: &str,
+    priority: u64,
+    liveness: Duration,
+) -> Result<(), WireError> {
+    conn.send(&Message::ClientHello {
+        client: label.to_owned(),
+        priority: priority.max(1),
+    })?;
+    conn.set_read_timeout(Some(liveness.max(Duration::from_secs(5))))?;
+    match conn.recv()? {
+        Message::ClientAccept { .. } => {
+            conn.set_read_timeout(None)?;
+            Ok(())
+        }
+        Message::Error(msg) => Err(WireError::Remote(msg)),
+        _ => Err(WireError::UnexpectedMessage("client accept")),
+    }
 }
 
 /// Why a `Cancel` frame went out mid-dispatch: a campaign abort discards
@@ -1269,7 +1334,9 @@ fn dispatch_task(
                 | Message::Shutdown
                 | Message::Cancel
                 | Message::Register { .. }
-                | Message::Welcome { .. },
+                | Message::Welcome { .. }
+                | Message::ClientHello { .. }
+                | Message::ClientAccept { .. },
             ) => {
                 return Err(WireError::UnexpectedMessage("task"));
             }
@@ -1554,15 +1621,18 @@ mod tests {
         let predicate = Predicate::OutputContainsErr;
         let config = deterministic_config(4);
 
-        // A flaky "worker" that handshakes, accepts one task, then drops
-        // the connection without answering.
+        // A flaky "worker" that handshakes, admits the session, accepts
+        // one task, then drops the connection without answering.
         let flaky_listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let flaky_addr = flaky_listener.local_addr().unwrap().to_string();
         let flaky = std::thread::spawn(move || {
             let (mut stream, _) = flaky_listener.accept().unwrap();
             handshake(&mut stream).unwrap();
-            let _ = read_frame(&mut stream).unwrap();
-            // Drop the stream with the task unanswered.
+            let _ = read_frame(&mut stream).unwrap(); // ClientHello
+            let accept = encode_message(&Message::ClientAccept { client_id: 1 }).unwrap();
+            write_frame(&mut stream, &accept).unwrap();
+            let _ = read_frame(&mut stream).unwrap(); // the task
+                                                      // Drop the stream with the task unanswered.
         });
 
         let (real_addr, real_join) = start_worker();
@@ -1607,8 +1677,9 @@ mod tests {
         // worker could hang the campaign forever.
         let config = deterministic_config(3);
 
-        // A "worker" that handshakes, reads the task, then goes silent
-        // holding the connection open — no heartbeats, no reply, no EOF.
+        // A "worker" that handshakes, admits the session, reads the task,
+        // then goes silent holding the connection open — no heartbeats,
+        // no reply, no EOF.
         let wedged_listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let wedged_addr = wedged_listener.local_addr().unwrap().to_string();
         let unwedge = std::sync::Arc::new(AtomicBool::new(false));
@@ -1616,7 +1687,10 @@ mod tests {
         let wedged = std::thread::spawn(move || {
             let (mut stream, _) = wedged_listener.accept().unwrap();
             handshake(&mut stream).unwrap();
-            let _ = read_frame(&mut stream).unwrap();
+            let _ = read_frame(&mut stream).unwrap(); // ClientHello
+            let accept = encode_message(&Message::ClientAccept { client_id: 1 }).unwrap();
+            write_frame(&mut stream, &accept).unwrap();
+            let _ = read_frame(&mut stream).unwrap(); // the task
             while !unwedge_thread.load(Ordering::Relaxed) {
                 std::thread::sleep(Duration::from_millis(10));
             }
@@ -1685,10 +1759,12 @@ mod tests {
 
         for mode in [
             // Drop after the preamble: the first worker→coordinator frame
-            // (a heartbeat or the result) is never delivered.
+            // (the session's ClientAccept) is never delivered, so the
+            // connection dies in the hello exchange.
             ChaosMode::DropAfterFrames(0),
             // Stall half-way through the first frame and hold the socket:
-            // only the liveness deadline can fail this connection.
+            // the coordinator's bounded hello read must fail this
+            // connection rather than wait out the hold.
             ChaosMode::StallMidFrame {
                 after_frames: 0,
                 hold: Duration::from_secs(5),
@@ -2143,9 +2219,11 @@ mod tests {
             config: &config,
         };
 
-        // With the default 500 ms cadence, frame 0 on a fast task is the
-        // TaskDone — its duplicate arrives while the coordinator expects
-        // nothing, fails the connection, and must never double-count.
+        // Frame 0 in the worker→coordinator direction is the session's
+        // ClientAccept — its duplicate arrives while the coordinator is
+        // awaiting the task's heartbeats, fails the connection as an
+        // unexpected message, and must never corrupt the report (the
+        // shard re-runs cleanly on the survivor).
         let (victim_addr, victim_join) = start_worker();
         let (real_addr, real_join) = start_worker();
         let proxy =

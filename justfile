@@ -77,6 +77,15 @@ memo-demo:
     cargo run --release -p sympl-bench --bin tcas_campaign -- --quick --tasks 16 --memo-path target/memo-demo.symo --expect-memo-warm
     cargo run --release -p sympl-bench --bin tcas_campaign -- --quick --tasks 16 --memo-path target/memo-demo.symo --mutate-program --expect-stale-memo
 
+# Service demo: the multi-tenant acceptance leg the distributed-campaign
+# CI job gates on. One shared fleet of multiplexed loopback workers
+# serves TWO campaigns (tcas + replace) run concurrently by separate
+# coordinators with distinct client labels and priorities; each campaign
+# gates (exit 2) on its distributed outcome digest reproducing its own
+# in-process run verbatim — the determinism contract is tenant-blind.
+service-demo workers="2":
+    cargo run --release -p sympl-bench --bin service_demo -- --workers {{workers}}
+
 # Regenerate the paper's tables and figures from the assembled workloads.
 repro-tables:
     cargo run --release -p sympl-bench --bin table1

@@ -1821,3 +1821,83 @@ mod memo_equivalence {
         }
     }
 }
+
+/// The campaign service's fairness contract: the weighted round-robin
+/// [`symplfied::wire::FairScheduler`] serves continuously backlogged
+/// clients proportionally to their declared priorities, never drifting
+/// more than one refill round apart, and a client with a small queue is
+/// fully served within the interleaving bound — it cannot starve behind
+/// a large tenant at equal priority.
+mod service_fairness {
+    use proptest::prelude::*;
+    use symplfied::wire::FairScheduler;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// With every client permanently backlogged, the served counts
+        /// per unit priority stay within one round of each other at
+        /// *every* prefix of the schedule — the documented fairness
+        /// bound of `WorkerServer::serve_with`.
+        #[test]
+        fn backlogged_clients_stay_within_one_round_per_unit_priority(
+            priorities in prop::collection::vec(1u64..=4, 2..6),
+            picks in 16usize..200,
+        ) {
+            let mut sched = FairScheduler::new();
+            let clients: Vec<(u64, bool)> =
+                priorities.iter().map(|&p| (p, true)).collect();
+            let mut served = vec![0u64; clients.len()];
+            for _ in 0..picks {
+                let i = sched.pick(&clients).expect("backlogged clients always schedule");
+                served[i] += 1;
+            }
+            for (a, &pa) in priorities.iter().enumerate() {
+                for (b, &pb) in priorities.iter().enumerate() {
+                    let ra = served[a] as f64 / pa as f64;
+                    let rb = served[b] as f64 / pb as f64;
+                    prop_assert!(
+                        (ra - rb).abs() <= 1.0 + f64::EPSILON,
+                        "clients {a} (prio {pa}, served {}) and {b} (prio {pb}, served {}) \
+                         drifted more than one round apart",
+                        served[a], served[b],
+                    );
+                }
+            }
+        }
+
+        /// Two equal-priority clients with unequal task counts: the
+        /// small client's whole queue is dispatched within the
+        /// interleaving bound (2·m + 1 picks for m tasks), so a quick
+        /// campaign never waits for a big one — the starvation
+        /// regression the service integration tests pin end-to-end.
+        #[test]
+        fn small_queues_drain_within_the_interleaving_bound(
+            small in 1usize..8,
+            extra in 1usize..24,
+        ) {
+            let big = small + extra;
+            let mut sched = FairScheduler::new();
+            let mut left = [big, small];
+            let mut position = 0usize;
+            let mut small_done_at = None;
+            while left.iter().any(|&n| n > 0) {
+                let clients = [(1, left[0] > 0), (1, left[1] > 0)];
+                let i = sched.pick(&clients).expect("work remains");
+                prop_assert!(left[i] > 0, "an idle client was scheduled");
+                left[i] -= 1;
+                position += 1;
+                if i == 1 && left[1] == 0 {
+                    small_done_at = Some(position);
+                }
+            }
+            let done = small_done_at.expect("the small client drained");
+            prop_assert!(
+                done <= 2 * small + 1,
+                "the small client's {small} task(s) took {done} pick(s) to dispatch \
+                 — starved behind the {big}-task client"
+            );
+            prop_assert_eq!(position, small + big, "every task dispatched exactly once");
+        }
+    }
+}

@@ -273,3 +273,35 @@ fn membership_frame_bytes_are_pinned() {
     assert_eq!(program_id, "tcas");
     assert_eq!(program_digest, 0x0123_4567_89AB_CDEF_FEDC_BA98_7654_3210);
 }
+
+#[test]
+fn session_frame_bytes_are_pinned() {
+    // The v4 campaign-service frames: a coordinator's ClientHello and the
+    // multi-tenant service's ClientAccept.
+    check_golden(
+        "client_hello_frame.bin",
+        &framed(&Message::ClientHello {
+            client: "campaign-tcas".into(),
+            priority: 3,
+        }),
+    );
+    check_golden(
+        "client_accept_frame.bin",
+        &framed(&Message::ClientAccept { client_id: 17 }),
+    );
+
+    let golden = std::fs::read(golden_dir().join("client_hello_frame.bin")).unwrap();
+    let payload = read_frame(&mut golden.as_slice()).unwrap();
+    let Message::ClientHello { client, priority } = decode_message(&payload).unwrap() else {
+        panic!("golden client-hello frame decoded to the wrong message kind");
+    };
+    assert_eq!(client, "campaign-tcas");
+    assert_eq!(priority, 3);
+
+    let golden = std::fs::read(golden_dir().join("client_accept_frame.bin")).unwrap();
+    let payload = read_frame(&mut golden.as_slice()).unwrap();
+    let Message::ClientAccept { client_id } = decode_message(&payload).unwrap() else {
+        panic!("golden client-accept frame decoded to the wrong message kind");
+    };
+    assert_eq!(client_id, 17);
+}
